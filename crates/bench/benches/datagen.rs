@@ -1,0 +1,25 @@
+//! Table 2 workload: synthetic corpus generation per category.
+
+use comparesets_data::{CategoryPreset, DatasetStats};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_datagen(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2_datagen");
+    g.sample_size(10);
+    for preset in CategoryPreset::ALL {
+        g.bench_with_input(
+            BenchmarkId::new("generate_240", preset.name()),
+            &preset,
+            |b, &p| b.iter(|| black_box(p.config(240, 1).generate())),
+        );
+    }
+    g.bench_function("stats_240_cellphone", |b| {
+        let d = CategoryPreset::Cellphone.config(240, 1).generate();
+        b.iter(|| black_box(DatasetStats::compute(&d)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_datagen);
+criterion_main!(benches);

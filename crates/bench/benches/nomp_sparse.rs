@@ -1,0 +1,62 @@
+//! Dense vs. sparse NOMP on paper-scale design matrices.
+//!
+//! At the paper's z = 500, a CompaReSetS+ design matrix has thousands of
+//! rows but only a handful of non-zeros per review column; this bench
+//! quantifies the CSC speedup that keeps Integer-Regression fast there.
+
+use comparesets_linalg::{nomp, CscMatrix, Matrix, NompOptions};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+/// A tall sparse 0/1 design matrix: `rows` rows, `cols` columns, ~`nnz`
+/// non-zeros per column.
+#[allow(clippy::needless_range_loop)] // index loops read clearest here
+fn design(rows: usize, cols: usize, nnz: usize, seed: u64) -> (Matrix, CscMatrix, Vec<f64>) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut columns: Vec<Vec<(usize, f64)>> = Vec::with_capacity(cols);
+    for _ in 0..cols {
+        let mut entries = Vec::with_capacity(nnz);
+        for _ in 0..nnz {
+            entries.push((rng.random_range(0..rows), 1.0));
+        }
+        columns.push(entries);
+    }
+    let sparse = CscMatrix::from_columns(rows, &columns);
+    let dense = sparse.to_dense();
+    // Target: a blend of a few columns plus noise.
+    let mut b = vec![0.0; rows];
+    for j in 0..cols.min(3) {
+        for (r, v) in columns[j].iter() {
+            b[*r] += v;
+        }
+    }
+    for v in &mut b {
+        *v += rng.random_range(0.0..0.05);
+    }
+    (dense, sparse, b)
+}
+
+fn bench_nomp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("nomp_dense_vs_sparse");
+    g.sample_size(10);
+    for &(rows, cols) in &[(1_000usize, 30usize), (8_000, 30), (16_000, 60)] {
+        let (dense, sparse, b) = design(rows, cols, 8, 7);
+        let opts = NompOptions::with_max_atoms(5);
+        g.bench_with_input(
+            BenchmarkId::new("dense", format!("{rows}x{cols}")),
+            &dense,
+            |bch, m| bch.iter(|| black_box(nomp(m, &b, opts).unwrap())),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("sparse", format!("{rows}x{cols}")),
+            &sparse,
+            |bch, m| bch.iter(|| black_box(nomp(m, &b, opts).unwrap())),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_nomp);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Metric-substrate workload: ROUGE-1/2/L on realistic review pairs
+//! (backs every alignment number in Tables 3, 4, and 6).
+
+use comparesets_text::{rouge_1, rouge_2, rouge_l};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_rouge(c: &mut Criterion) {
+    let dataset = comparesets_bench::corpus();
+    let a = &dataset.reviews[0].text;
+    let b2 = &dataset.reviews[1].text;
+    let mut g = c.benchmark_group("rouge");
+    g.bench_function("rouge_1", |bch| bch.iter(|| black_box(rouge_1(a, b2))));
+    g.bench_function("rouge_2", |bch| bch.iter(|| black_box(rouge_2(a, b2))));
+    g.bench_function("rouge_l", |bch| bch.iter(|| black_box(rouge_l(a, b2))));
+    g.finish();
+}
+
+criterion_group!(benches, bench_rouge);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Figure 5 workload: CompaReSetS / CompaReSetS+ at the hyper-parameter
+//! grid points.
+
+use comparesets_core::{solve_comparesets, solve_comparesets_plus, SelectParams};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_sweep(c: &mut Criterion) {
+    let dataset = comparesets_bench::corpus();
+    let ctx = comparesets_bench::instance(&dataset, 4);
+    let mut g = c.benchmark_group("fig5_sweep");
+    g.sample_size(15);
+    for &lambda in &[0.01, 1.0, 100.0] {
+        let params = SelectParams {
+            m: 3,
+            lambda,
+            mu: 0.0,
+        };
+        g.bench_with_input(
+            BenchmarkId::new("comparesets_lambda", lambda.to_string()),
+            &params,
+            |b, p| b.iter(|| black_box(solve_comparesets(&ctx, p))),
+        );
+    }
+    for &mu in &[0.01, 1.0, 100.0] {
+        let params = SelectParams {
+            m: 3,
+            lambda: 1.0,
+            mu,
+        };
+        g.bench_with_input(
+            BenchmarkId::new("comparesets_plus_mu", mu.to_string()),
+            &params,
+            |b, p| b.iter(|| black_box(solve_comparesets_plus(&ctx, p))),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sweep);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Table 5 workload: exact vs. greedy vs. random TargetHkS on complete
+//! graphs of growing size.
+
+use comparesets_graph::{solve_exact, solve_greedy, solve_random_k, ExactOptions, SimilarityGraph};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn random_graph(n: usize, seed: u64) -> SimilarityGraph {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut w = vec![0.0; n * n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let v: f64 = rng.random_range(0.0..10.0);
+            w[i * n + j] = v;
+            w[j * n + i] = v;
+        }
+    }
+    SimilarityGraph::from_weights(n, w)
+}
+
+fn bench_targethks(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table5_targethks");
+    g.sample_size(10);
+    for n in [10usize, 20, 30] {
+        let graph = random_graph(n, 42);
+        let k = 5;
+        g.bench_with_input(BenchmarkId::new("exact_k5", n), &graph, |b, gr| {
+            b.iter(|| black_box(solve_exact(gr, 0, k, ExactOptions::default())))
+        });
+        g.bench_with_input(BenchmarkId::new("greedy_k5", n), &graph, |b, gr| {
+            b.iter(|| black_box(solve_greedy(gr, 0, k)))
+        });
+        g.bench_with_input(BenchmarkId::new("random_k5", n), &graph, |b, gr| {
+            b.iter(|| black_box(solve_random_k(gr, 0, k, 1)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_targethks);
+criterion_main!(benches);

@@ -1,0 +1,385 @@
+//! Subcommand implementations. Every command returns its output as a
+//! `String` so the logic is unit-testable without capturing stdout.
+
+use crate::args::{parse, Args};
+use comparesets_core::{
+    solve, Algorithm, InstanceContext, OpinionScheme, SelectParams,
+};
+use comparesets_data::{
+    io as corpus_io, AmazonLoader, CategoryPreset, ComparisonInstance, Dataset, DatasetStats,
+    ProductId,
+};
+use comparesets_graph::{
+    improve_by_swaps, solve_exact, solve_greedy as graph_greedy, solve_peeling,
+    solve_random_k, solve_top_k_similarity, ExactOptions, SimilarityGraph,
+};
+use std::io::BufReader;
+use std::path::Path;
+
+/// Usage text printed on errors.
+pub const USAGE: &str = "\
+usage: comparesets <command> [flags]
+
+commands:
+  generate        --category <cellphone|toy|clothing> [--products N] [--seed S] --out FILE
+  stats           <corpus.json>
+  convert-amazon  --reviews FILE --meta FILE --out FILE [--name NAME] [--max-aspects N] [--min-aspect-count N]
+  select          --corpus FILE --target ID [--m N] [--lambda X] [--mu X]
+                  [--algorithm random|crs|greedy|comparesets|comparesets+]
+                  [--max-comparatives N] [--scheme binary|3-polarity|unary-scale] [--seed S]
+  narrow          --corpus FILE --target ID [--k N] [--method exact|greedy|topk|random|peel]
+                  [--m N] [--lambda X] [--mu X] [--time-limit-ms N] [--seed S]";
+
+/// Dispatch a raw argv to the matching command.
+pub fn dispatch(argv: &[String]) -> Result<String, String> {
+    let args = parse(argv)?;
+    let command = args
+        .positional()
+        .first()
+        .ok_or_else(|| "no command given".to_string())?;
+    match command.as_str() {
+        "generate" => cmd_generate(&args),
+        "stats" => cmd_stats(&args),
+        "convert-amazon" => cmd_convert_amazon(&args),
+        "select" => cmd_select(&args),
+        "narrow" => cmd_narrow(&args),
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+fn parse_category(name: &str) -> Result<CategoryPreset, String> {
+    match name.to_lowercase().as_str() {
+        "cellphone" => Ok(CategoryPreset::Cellphone),
+        "toy" => Ok(CategoryPreset::Toy),
+        "clothing" => Ok(CategoryPreset::Clothing),
+        other => Err(format!("unknown category {other:?}")),
+    }
+}
+
+fn parse_algorithm(name: &str) -> Result<Algorithm, String> {
+    match name.to_lowercase().as_str() {
+        "random" => Ok(Algorithm::Random),
+        "crs" => Ok(Algorithm::Crs),
+        "greedy" => Ok(Algorithm::CompareSetsGreedy),
+        "comparesets" => Ok(Algorithm::CompareSets),
+        "comparesets+" | "comparesetsplus" | "plus" => Ok(Algorithm::CompareSetsPlus),
+        other => Err(format!("unknown algorithm {other:?}")),
+    }
+}
+
+fn parse_scheme(name: &str) -> Result<OpinionScheme, String> {
+    match name.to_lowercase().as_str() {
+        "binary" => Ok(OpinionScheme::Binary),
+        "3-polarity" | "three-polarity" | "ternary" => Ok(OpinionScheme::ThreePolarity),
+        "unary-scale" | "unary" => Ok(OpinionScheme::UnaryScale),
+        other => Err(format!("unknown opinion scheme {other:?}")),
+    }
+}
+
+fn load_corpus(path: &str) -> Result<Dataset, String> {
+    corpus_io::load(Path::new(path)).map_err(|e| format!("loading {path}: {e}"))
+}
+
+/// Build the comparison instance anchored at a target product.
+fn instance_for(
+    dataset: &Dataset,
+    target: u32,
+    max_comparatives: usize,
+) -> Result<(ComparisonInstance, InstanceContext), String> {
+    if target as usize >= dataset.products.len() {
+        return Err(format!(
+            "target {target} out of range (corpus has {} products)",
+            dataset.products.len()
+        ));
+    }
+    let pid = ProductId(target);
+    if dataset.reviews_of(pid).is_empty() {
+        return Err(format!("product {target} has no reviews"));
+    }
+    let comps: Vec<ProductId> = dataset
+        .product(pid)
+        .also_bought
+        .iter()
+        .copied()
+        .filter(|c| !dataset.reviews_of(*c).is_empty())
+        .collect();
+    if comps.is_empty() {
+        return Err(format!(
+            "product {target} has no reviewed comparison products"
+        ));
+    }
+    let mut items = vec![pid];
+    items.extend(comps);
+    let inst = ComparisonInstance { items }.truncated(max_comparatives);
+    Ok((inst.clone(), InstanceContext::build(dataset, &inst, OpinionScheme::Binary)))
+}
+
+fn cmd_generate(args: &Args) -> Result<String, String> {
+    let category = parse_category(args.require("category")?)?;
+    let products: usize = args.get_or("products", 240)?;
+    let seed: u64 = args.get_or("seed", 42)?;
+    let out = args.require("out")?;
+    let dataset = category.config(products, seed).generate();
+    corpus_io::save(&dataset, Path::new(out)).map_err(|e| format!("writing {out}: {e}"))?;
+    Ok(format!(
+        "wrote {} ({} products, {} reviews, {} aspects)",
+        out,
+        dataset.products.len(),
+        dataset.reviews.len(),
+        dataset.num_aspects()
+    ))
+}
+
+fn cmd_stats(args: &Args) -> Result<String, String> {
+    let path = args
+        .positional()
+        .get(1)
+        .ok_or_else(|| "stats needs a corpus file".to_string())?;
+    let dataset = load_corpus(path)?;
+    Ok(DatasetStats::compute(&dataset).to_string())
+}
+
+fn cmd_convert_amazon(args: &Args) -> Result<String, String> {
+    let reviews_path = args.require("reviews")?;
+    let meta_path = args.require("meta")?;
+    let out = args.require("out")?;
+    let loader = AmazonLoader {
+        name: args.get("name").unwrap_or("Amazon").to_string(),
+        max_aspects: args.get_or("max-aspects", 500)?,
+        min_aspect_count: args.get_or("min-aspect-count", 3)?,
+        min_reviews_per_product: args.get_or("min-reviews", 1)?,
+    };
+    let reviews = std::fs::File::open(reviews_path)
+        .map_err(|e| format!("opening {reviews_path}: {e}"))?;
+    let meta =
+        std::fs::File::open(meta_path).map_err(|e| format!("opening {meta_path}: {e}"))?;
+    let dataset = loader
+        .load(BufReader::new(reviews), BufReader::new(meta))
+        .map_err(|e| format!("converting: {e}"))?;
+    corpus_io::save(&dataset, Path::new(out)).map_err(|e| format!("writing {out}: {e}"))?;
+    Ok(format!(
+        "wrote {} ({} products, {} usable reviews, {} aspects)",
+        out,
+        dataset.products.len(),
+        dataset.reviews.len(),
+        dataset.num_aspects()
+    ))
+}
+
+fn select_params(args: &Args) -> Result<SelectParams, String> {
+    Ok(SelectParams {
+        m: args.get_or("m", 3)?,
+        lambda: args.get_or("lambda", 1.0)?,
+        mu: args.get_or("mu", 0.1)?,
+    })
+}
+
+fn cmd_select(args: &Args) -> Result<String, String> {
+    let dataset = load_corpus(args.require("corpus")?)?;
+    let target: u32 = args.get_or("target", u32::MAX)?;
+    if target == u32::MAX {
+        return Err("missing required flag --target".into());
+    }
+    let max_comp: usize = args.get_or("max-comparatives", 12)?;
+    let algorithm = parse_algorithm(args.get("algorithm").unwrap_or("comparesets+"))?;
+    let scheme = parse_scheme(args.get("scheme").unwrap_or("binary"))?;
+    let params = select_params(args)?;
+    let seed: u64 = args.get_or("seed", 42)?;
+
+    let (inst, _) = instance_for(&dataset, target, max_comp)?;
+    let ctx = InstanceContext::build(&dataset, &inst, scheme);
+    let selections = solve(&ctx, algorithm, &params, seed);
+
+    let mut out = format!(
+        "algorithm: {} | m = {} | lambda = {} | mu = {}\n",
+        algorithm.name(),
+        params.m,
+        params.lambda,
+        params.mu
+    );
+    for (i, sel) in selections.iter().enumerate() {
+        let item = ctx.item(i);
+        let product = dataset.product(item.product);
+        let role = if i == 0 { "TARGET" } else { "COMPARATIVE" };
+        out.push_str(&format!(
+            "\n[{role}] #{} {} ({} of {} reviews selected)\n",
+            item.product.0,
+            product.title,
+            sel.len(),
+            item.num_reviews()
+        ));
+        for &r in &sel.indices {
+            let review = dataset.review(item.review_ids[r]);
+            out.push_str(&format!("  {}* {}\n", review.rating, review.text));
+        }
+    }
+    Ok(out)
+}
+
+fn cmd_narrow(args: &Args) -> Result<String, String> {
+    let dataset = load_corpus(args.require("corpus")?)?;
+    let target: u32 = args.get_or("target", u32::MAX)?;
+    if target == u32::MAX {
+        return Err("missing required flag --target".into());
+    }
+    let k: usize = args.get_or("k", 3)?;
+    let method = args.get("method").unwrap_or("exact").to_lowercase();
+    let max_comp: usize = args.get_or("max-comparatives", 12)?;
+    let params = select_params(args)?;
+    let seed: u64 = args.get_or("seed", 42)?;
+    let time_limit: u64 = args.get_or("time-limit-ms", 60_000)?;
+
+    let (_, ctx) = instance_for(&dataset, target, max_comp)?;
+    let selections =
+        comparesets_core::solve_comparesets_plus(&ctx, &params);
+    let graph = SimilarityGraph::from_selections(&ctx, &selections, params.lambda, params.mu);
+    let vertices = match method.as_str() {
+        "exact" | "ilp" => {
+            solve_exact(
+                &graph,
+                0,
+                k,
+                ExactOptions {
+                    time_limit: std::time::Duration::from_millis(time_limit),
+                },
+            )
+            .vertices
+        }
+        "greedy" => graph_greedy(&graph, 0, k),
+        "topk" | "top-k" => solve_top_k_similarity(&graph, 0, k),
+        "random" => solve_random_k(&graph, 0, k, seed),
+        "peel" | "peeling" => {
+            improve_by_swaps(&graph, &solve_peeling(&graph, Some(0), k), &[0])
+        }
+        other => return Err(format!("unknown narrowing method {other:?}")),
+    };
+
+    let mut out = format!(
+        "method: {method} | k = {k} | candidates = {} | core weight = {:.4}\n",
+        ctx.num_items() - 1,
+        graph.subgraph_weight(&vertices)
+    );
+    for &v in &vertices {
+        let item = ctx.item(v);
+        let role = if v == 0 { "TARGET" } else { "CORE" };
+        out.push_str(&format!(
+            "[{role}] #{} {}\n",
+            item.product.0,
+            dataset.product(item.product).title
+        ));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(argv: &[&str]) -> Result<String, String> {
+        let v: Vec<String> = argv.iter().map(|s| s.to_string()).collect();
+        dispatch(&v)
+    }
+
+    fn temp_corpus() -> String {
+        let dir = std::env::temp_dir().join("comparesets_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("corpus_{}.json", std::process::id()));
+        path.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn generate_then_stats_then_select_then_narrow() {
+        let path = temp_corpus();
+        let g = run(&[
+            "generate", "--category", "toy", "--products", "80", "--seed", "5", "--out", &path,
+        ])
+        .unwrap();
+        assert!(g.contains("80 products"));
+
+        let s = run(&["stats", &path]).unwrap();
+        assert!(s.contains("#Target Product"));
+
+        // Find a target with comparisons by trying product 0..n.
+        let dataset = load_corpus(&path).unwrap();
+        let target = dataset
+            .instances()
+            .first()
+            .map(|i| i.target().0)
+            .expect("corpus has instances");
+        let sel = run(&[
+            "select",
+            "--corpus",
+            &path,
+            "--target",
+            &target.to_string(),
+            "--m",
+            "2",
+        ])
+        .unwrap();
+        assert!(sel.contains("[TARGET]"));
+        assert!(sel.contains("CompaReSetS+"));
+
+        for method in ["exact", "greedy", "topk", "random", "peel"] {
+            let n = run(&[
+                "narrow",
+                "--corpus",
+                &path,
+                "--target",
+                &target.to_string(),
+                "--k",
+                "3",
+                "--method",
+                method,
+            ])
+            .unwrap();
+            assert!(n.contains("[TARGET]"), "{method}: {n}");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn unknown_command_fails() {
+        assert!(run(&["frobnicate"]).is_err());
+        assert!(run(&[]).is_err());
+    }
+
+    #[test]
+    fn bad_category_fails() {
+        let e = run(&["generate", "--category", "laptop", "--out", "/tmp/x.json"]).unwrap_err();
+        assert!(e.contains("laptop"));
+    }
+
+    #[test]
+    fn select_requires_target() {
+        let path = temp_corpus();
+        run(&[
+            "generate", "--category", "toy", "--products", "20", "--seed", "1", "--out", &path,
+        ])
+        .unwrap();
+        let e = run(&["select", "--corpus", &path]).unwrap_err();
+        assert!(e.contains("target"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn out_of_range_target_fails() {
+        let path = temp_corpus();
+        run(&[
+            "generate", "--category", "toy", "--products", "20", "--seed", "1", "--out", &path,
+        ])
+        .unwrap();
+        let e = run(&["select", "--corpus", &path, "--target", "9999"]).unwrap_err();
+        assert!(e.contains("out of range"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn algorithm_and_scheme_parsers() {
+        assert!(parse_algorithm("comparesets+").is_ok());
+        assert!(parse_algorithm("CRS").is_ok());
+        assert!(parse_algorithm("nope").is_err());
+        assert!(parse_scheme("unary-scale").is_ok());
+        assert!(parse_scheme("binary").is_ok());
+        assert!(parse_scheme("hex").is_err());
+    }
+}

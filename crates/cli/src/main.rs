@@ -1,0 +1,30 @@
+//! `comparesets` — command-line front end for the CompaReSetS library.
+//!
+//! ```text
+//! comparesets generate --category cellphone --products 240 --seed 42 --out corpus.json
+//! comparesets stats corpus.json
+//! comparesets convert-amazon --reviews reviews.json --meta meta.json --out corpus.json
+//! comparesets select --corpus corpus.json --target 0 --m 3 --algorithm comparesets+
+//! comparesets narrow --corpus corpus.json --target 0 --k 3 --method exact
+//! ```
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match commands::dispatch(&argv) {
+        Ok(output) => {
+            println!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{}", commands::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}

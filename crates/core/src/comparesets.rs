@@ -1,0 +1,239 @@
+//! CompaReSetS (Problem 1) and CompaReSetS+ (Problem 2, Algorithm 1).
+//!
+//! * [`solve_comparesets`] solves Equation 1: per item, Integer-Regression
+//!   against the concatenated target `[τᵢ; λ·Γ]` (Equation 4).
+//! * [`solve_comparesets_plus`] runs Algorithm 1: start from the
+//!   CompaReSetS solutions, then for each item rebuild the regression
+//!   with the extended target `Υ = [τᵢ; λΓ; μφ(S₁); …; μφ(Sₙ)]` (other
+//!   items' current selections) and accept the re-selection only when it
+//!   lowers the per-item synchronized objective (lines 10–12).
+
+use comparesets_linalg::vector::sq_distance;
+
+use crate::instance::{InstanceContext, Selection};
+use crate::integer_regression::{integer_regression, RegressionTask};
+use crate::SelectParams;
+
+/// Solve CompaReSetS (Problem 1): independent Integer-Regression per item
+/// with target `[τᵢ; λΓ]`.
+pub fn solve_comparesets(ctx: &InstanceContext, params: &SelectParams) -> Vec<Selection> {
+    let lambda = params.lambda;
+    (0..ctx.num_items())
+        .map(|i| {
+            let item = ctx.item(i);
+            let tau = ctx.tau(i);
+            let gamma = ctx.gamma();
+            let task = RegressionTask::build(ctx.space(), item, tau, &[(gamma, lambda)]);
+            integer_regression(&task, params.m, |sel| {
+                crate::objective::item_objective(ctx, i, sel, lambda)
+            })
+        })
+        .collect()
+}
+
+/// Solve CompaReSetS+ (Problem 2) with one alternating sweep (Algorithm 1).
+pub fn solve_comparesets_plus(ctx: &InstanceContext, params: &SelectParams) -> Vec<Selection> {
+    solve_comparesets_plus_sweeps(ctx, params, 1)
+}
+
+/// Solve CompaReSetS+ with a configurable number of alternating sweeps.
+/// Algorithm 1 performs a single sweep `i = 1…n`; additional sweeps keep
+/// refining while each per-item step can only decrease the objective.
+pub fn solve_comparesets_plus_sweeps(
+    ctx: &InstanceContext,
+    params: &SelectParams,
+    sweeps: usize,
+) -> Vec<Selection> {
+    let (lambda, mu) = (params.lambda, params.mu);
+    // Algorithm 1 input: solutions of CompaReSetS.
+    let mut selections = solve_comparesets(ctx, params);
+    let n = ctx.num_items();
+    if n <= 1 || mu == 0.0 {
+        // Coupling vanishes; CompaReSetS is already optimal for Eq. 5.
+        return selections;
+    }
+
+    for _ in 0..sweeps {
+        for i in 0..n {
+            // φ(Sⱼ) of every other item, under its *current* selection.
+            let other_phis: Vec<Vec<f64>> = (0..n)
+                .filter(|&j| j != i)
+                .map(|j| ctx.space().phi(ctx.item(j), &selections[j].indices))
+                .collect();
+
+            // Per-item synchronized objective used for accept/reject
+            // (Algorithm 1 line 10): Eq. 3 plus μ² Σⱼ Δ(φ(Sᵢ), φ(Sⱼ)).
+            let item_plus_cost = |sel: &Selection| {
+                let base = crate::objective::item_objective(ctx, i, sel, lambda);
+                let phi = ctx.space().phi(ctx.item(i), &sel.indices);
+                let coupling: f64 = other_phis
+                    .iter()
+                    .map(|p| sq_distance(&phi, p))
+                    .sum();
+                base + mu * mu * coupling
+            };
+
+            let current_cost = item_plus_cost(&selections[i]);
+
+            // Υ blocks: Γ with weight λ, then each φ(Sⱼ) with weight μ.
+            let mut aspect_targets: Vec<(&[f64], f64)> =
+                Vec::with_capacity(1 + other_phis.len());
+            aspect_targets.push((ctx.gamma(), lambda));
+            for p in &other_phis {
+                aspect_targets.push((p.as_slice(), mu));
+            }
+            let task =
+                RegressionTask::build(ctx.space(), ctx.item(i), ctx.tau(i), &aspect_targets);
+            let candidate = integer_regression(&task, params.m, item_plus_cost);
+
+            if item_plus_cost(&candidate) < current_cost {
+                selections[i] = candidate;
+            }
+        }
+    }
+    selections
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::{InstanceContext, Item};
+    use crate::objective::{comparesets_objective, comparesets_plus_objective};
+    use crate::space::OpinionScheme;
+    use comparesets_data::{CategoryPreset, Polarity, ProductId, ReviewId};
+
+    fn params(m: usize, lambda: f64, mu: f64) -> SelectParams {
+        SelectParams { m, lambda, mu }
+    }
+
+    /// The three-item example of Figure 2: p₁ as in Working Example 1;
+    /// p₂/p₃ built so that CompaReSetS+ must pull the selections toward
+    /// the shared aspect *quality* (aspect 2).
+    fn figure2_ctx() -> InstanceContext {
+        use Polarity::{Negative, Positive};
+        let p1 = crate::space::fixtures::working_example_item();
+        // p2: reviews r8..r17 — two sub-populations: one matching p1's
+        // battery/lens profile, one adding quality.
+        let p2 = Item::from_mentions(
+            ProductId(1),
+            vec![
+                (ReviewId(8), vec![(0, Positive), (1, Positive)]),
+                (ReviewId(9), vec![(0, Negative), (1, Negative)]),
+                (ReviewId(10), vec![(0, Negative)]),
+                (ReviewId(15), vec![(0, Positive), (2, Positive)]),
+                (ReviewId(16), vec![(0, Negative), (2, Negative)]),
+                (ReviewId(17), vec![(0, Negative), (1, Positive), (2, Positive)]),
+            ],
+        );
+        // p3: r20, r21 discuss quality (+ price).
+        let p3 = Item::from_mentions(
+            ProductId(2),
+            vec![
+                (ReviewId(20), vec![(0, Positive), (2, Positive)]),
+                (ReviewId(21), vec![(0, Negative), (2, Negative), (3, Negative)]),
+            ],
+        );
+        InstanceContext::from_items(5, vec![p1, p2, p3], OpinionScheme::Binary)
+    }
+
+    #[test]
+    fn comparesets_selects_one_set_per_item_within_budget() {
+        let ctx = figure2_ctx();
+        let sels = solve_comparesets(&ctx, &params(3, 1.0, 0.0));
+        assert_eq!(sels.len(), 3);
+        for s in &sels {
+            assert!(!s.is_empty());
+            assert!(s.len() <= 3);
+        }
+    }
+
+    #[test]
+    fn comparesets_achieves_zero_cost_on_target_item() {
+        let ctx = figure2_ctx();
+        let sels = solve_comparesets(&ctx, &params(3, 1.0, 0.0));
+        let cost0 = crate::objective::item_objective(&ctx, 0, &sels[0], 1.0);
+        assert!(cost0 < 1e-12, "target item cost {cost0}");
+    }
+
+    #[test]
+    fn plus_improves_or_matches_the_synchronized_objective() {
+        let ctx = figure2_ctx();
+        let p = params(3, 1.0, 1.0);
+        let base = solve_comparesets(&ctx, &p);
+        let plus = solve_comparesets_plus(&ctx, &p);
+        let obj_base = comparesets_plus_objective(&ctx, &base, p.lambda, p.mu);
+        let obj_plus = comparesets_plus_objective(&ctx, &plus, p.lambda, p.mu);
+        assert!(
+            obj_plus <= obj_base + 1e-9,
+            "plus {obj_plus} vs base {obj_base}"
+        );
+    }
+
+    #[test]
+    fn plus_with_mu_zero_equals_comparesets() {
+        let ctx = figure2_ctx();
+        let p = params(3, 1.0, 0.0);
+        assert_eq!(
+            solve_comparesets_plus(&ctx, &p),
+            solve_comparesets(&ctx, &p)
+        );
+    }
+
+    #[test]
+    fn plus_synchronizes_shared_aspects() {
+        // With a strong μ, the selections of p2 and p3 must overlap on the
+        // aspects they can share with p1's selection profile. We check the
+        // coupling term strictly decreases vs. the unsynchronized solution.
+        let ctx = figure2_ctx();
+        let p = params(3, 1.0, 2.0);
+        let base = solve_comparesets(&ctx, &p);
+        let plus = solve_comparesets_plus_sweeps(&ctx, &p, 2);
+        let coupling = |sels: &[Selection]| {
+            comparesets_plus_objective(&ctx, sels, p.lambda, p.mu)
+                - comparesets_objective(&ctx, sels, p.lambda)
+        };
+        assert!(
+            coupling(&plus) <= coupling(&base) + 1e-9,
+            "coupling {} vs {}",
+            coupling(&plus),
+            coupling(&base)
+        );
+    }
+
+    #[test]
+    fn extra_sweeps_never_hurt() {
+        let ctx = figure2_ctx();
+        let p = params(3, 1.0, 0.5);
+        let one = solve_comparesets_plus_sweeps(&ctx, &p, 1);
+        let three = solve_comparesets_plus_sweeps(&ctx, &p, 3);
+        let o1 = comparesets_plus_objective(&ctx, &one, p.lambda, p.mu);
+        let o3 = comparesets_plus_objective(&ctx, &three, p.lambda, p.mu);
+        assert!(o3 <= o1 + 1e-9);
+    }
+
+    #[test]
+    fn works_on_generated_instances() {
+        let d = CategoryPreset::Toy.config(60, 23).generate();
+        let inst = d.instances().into_iter().nth(1).unwrap().truncated(4);
+        let ctx = InstanceContext::build(&d, &inst, OpinionScheme::Binary);
+        let p = params(5, 1.0, 0.1);
+        let sels = solve_comparesets_plus(&ctx, &p);
+        assert_eq!(sels.len(), ctx.num_items());
+        for (i, s) in sels.iter().enumerate() {
+            assert!(!s.is_empty());
+            assert!(s.len() <= 5);
+            assert!(s.indices.iter().all(|&r| r < ctx.item(i).num_reviews()));
+        }
+    }
+
+    #[test]
+    fn single_item_instance_reduces_to_comparesets() {
+        let p1 = crate::space::fixtures::working_example_item();
+        let ctx = InstanceContext::from_items(5, vec![p1], OpinionScheme::Binary);
+        let p = params(3, 1.0, 0.7);
+        assert_eq!(
+            solve_comparesets_plus(&ctx, &p),
+            solve_comparesets(&ctx, &p)
+        );
+    }
+}

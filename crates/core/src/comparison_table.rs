@@ -1,0 +1,270 @@
+//! Aspect-by-item comparison tables — the presentation layer of Figure 1.
+//!
+//! The paper's motivating screenshot shows an aspect × item grid ("Picture
+//! Quality 4.5★ | 4.3★ | — | 4.8★ …"). Given a solved instance, this
+//! module aggregates the *selected* reviews into exactly that structure:
+//! per (aspect, item), the positive/negative/neutral mention counts and a
+//! 1–5 star score, with aspects ordered by how many items they cover —
+//! the common aspects CompaReSetS+ synchronizes on float to the top.
+
+use crate::instance::{InstanceContext, Selection};
+use comparesets_data::Polarity;
+
+/// Sentiment tally of one (aspect, item) cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CellCounts {
+    /// Positive mentions in the selected reviews.
+    pub positive: usize,
+    /// Negative mentions.
+    pub negative: usize,
+    /// Neutral mentions.
+    pub neutral: usize,
+}
+
+impl CellCounts {
+    /// Total mentions.
+    pub fn total(&self) -> usize {
+        self.positive + self.negative + self.neutral
+    }
+
+    /// A 1–5 star score: 3 + 2·(pos − neg)/(pos + neg), the same shape the
+    /// synthetic generator uses for review ratings. `None` for untouched
+    /// cells (rendered as "—" like Figure 1's missing entries).
+    pub fn stars(&self) -> Option<f64> {
+        if self.total() == 0 {
+            return None;
+        }
+        let signed = self.positive as f64 - self.negative as f64;
+        let voiced = (self.positive + self.negative) as f64;
+        if voiced == 0.0 {
+            return Some(3.0);
+        }
+        Some((3.0 + 2.0 * signed / voiced).clamp(1.0, 5.0))
+    }
+}
+
+/// One row of the table: an aspect and its per-item cells.
+#[derive(Debug, Clone)]
+pub struct AspectRow {
+    /// Aspect index into the dataset vocabulary.
+    pub aspect: usize,
+    /// One cell per item (target first).
+    pub cells: Vec<CellCounts>,
+    /// Number of items whose selected reviews mention the aspect.
+    pub coverage: usize,
+}
+
+/// The full comparison table.
+#[derive(Debug, Clone)]
+pub struct ComparisonTable {
+    /// Item product ids (target first).
+    pub products: Vec<comparesets_data::ProductId>,
+    /// Rows sorted by coverage (descending), then aspect index.
+    pub rows: Vec<AspectRow>,
+}
+
+impl ComparisonTable {
+    /// Build the table from selected review sets. `items` restricts to a
+    /// core list (must contain index 0); `None` uses all items.
+    ///
+    /// # Panics
+    /// Panics when `selections` does not align with the instance.
+    pub fn build(
+        ctx: &InstanceContext,
+        selections: &[Selection],
+        items: Option<&[usize]>,
+    ) -> Self {
+        assert_eq!(selections.len(), ctx.num_items(), "one selection per item");
+        let all: Vec<usize> = (0..ctx.num_items()).collect();
+        let items = items.unwrap_or(&all);
+        let z = ctx.space().num_aspects();
+        let mut cells = vec![vec![CellCounts::default(); items.len()]; z];
+        for (col, &i) in items.iter().enumerate() {
+            let item = ctx.item(i);
+            for &r in &selections[i].indices {
+                for &(a, pol) in &item.features[r].mentions {
+                    let cell = &mut cells[a][col];
+                    match pol {
+                        Polarity::Positive => cell.positive += 1,
+                        Polarity::Negative => cell.negative += 1,
+                        Polarity::Neutral => cell.neutral += 1,
+                    }
+                }
+            }
+        }
+        let mut rows: Vec<AspectRow> = cells
+            .into_iter()
+            .enumerate()
+            .filter_map(|(aspect, cells)| {
+                let coverage = cells.iter().filter(|c| c.total() > 0).count();
+                (coverage > 0).then_some(AspectRow {
+                    aspect,
+                    cells,
+                    coverage,
+                })
+            })
+            .collect();
+        rows.sort_by(|a, b| b.coverage.cmp(&a.coverage).then(a.aspect.cmp(&b.aspect)));
+        ComparisonTable {
+            products: items.iter().map(|&i| ctx.item(i).product).collect(),
+            rows,
+        }
+    }
+
+    /// Rows covered by every item — the directly comparable aspects.
+    pub fn common_aspects(&self) -> Vec<usize> {
+        let n = self.products.len();
+        self.rows
+            .iter()
+            .filter(|r| r.coverage == n)
+            .map(|r| r.aspect)
+            .collect()
+    }
+
+    /// Render with aspect names from a vocabulary.
+    ///
+    /// # Panics
+    /// Panics when the vocabulary is smaller than the aspect universe.
+    pub fn render(&self, aspect_names: &[String]) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{:<16}", "Aspect"));
+        for p in &self.products {
+            out.push_str(&format!("  {:>12}", format!("item #{}", p.0)));
+        }
+        out.push('\n');
+        out.push_str(&"-".repeat(16 + 14 * self.products.len()));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&format!("{:<16}", aspect_names[row.aspect]));
+            for cell in &row.cells {
+                let shown = match cell.stars() {
+                    Some(s) => format!("{s:.1}* ({}/{})", cell.positive, cell.negative),
+                    None => "-".to_string(),
+                };
+                out.push_str(&format!("  {shown:>12}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::{InstanceContext, Item};
+    use crate::space::OpinionScheme;
+    use comparesets_data::{Polarity, ProductId, ReviewId};
+
+    fn two_item_ctx() -> InstanceContext {
+        use Polarity::{Negative, Neutral, Positive};
+        let a = Item::from_mentions(
+            ProductId(0),
+            vec![
+                (ReviewId(0), vec![(0, Positive), (1, Positive)]),
+                (ReviewId(1), vec![(0, Negative)]),
+            ],
+        );
+        let b = Item::from_mentions(
+            ProductId(1),
+            vec![
+                (ReviewId(2), vec![(0, Positive)]),
+                (ReviewId(3), vec![(2, Neutral)]),
+            ],
+        );
+        InstanceContext::from_items(3, vec![a, b], OpinionScheme::Binary)
+    }
+
+    fn select_all(ctx: &InstanceContext) -> Vec<Selection> {
+        (0..ctx.num_items())
+            .map(|i| Selection::new((0..ctx.item(i).num_reviews()).collect()))
+            .collect()
+    }
+
+    #[test]
+    fn cells_tally_polarities() {
+        let ctx = two_item_ctx();
+        let table = ComparisonTable::build(&ctx, &select_all(&ctx), None);
+        // Aspect 0 covered by both items → first row.
+        assert_eq!(table.rows[0].aspect, 0);
+        assert_eq!(table.rows[0].coverage, 2);
+        let c00 = table.rows[0].cells[0];
+        assert_eq!((c00.positive, c00.negative, c00.neutral), (1, 1, 0));
+        let c01 = table.rows[0].cells[1];
+        assert_eq!((c01.positive, c01.negative), (1, 0));
+        assert_eq!(table.common_aspects(), vec![0]);
+    }
+
+    #[test]
+    fn stars_map_sentiment_to_scale() {
+        let all_pos = CellCounts {
+            positive: 3,
+            negative: 0,
+            neutral: 0,
+        };
+        assert_eq!(all_pos.stars(), Some(5.0));
+        let all_neg = CellCounts {
+            positive: 0,
+            negative: 2,
+            neutral: 0,
+        };
+        assert_eq!(all_neg.stars(), Some(1.0));
+        let mixed = CellCounts {
+            positive: 1,
+            negative: 1,
+            neutral: 0,
+        };
+        assert_eq!(mixed.stars(), Some(3.0));
+        let neutral_only = CellCounts {
+            positive: 0,
+            negative: 0,
+            neutral: 2,
+        };
+        assert_eq!(neutral_only.stars(), Some(3.0));
+        assert_eq!(CellCounts::default().stars(), None);
+    }
+
+    #[test]
+    fn uncovered_aspects_are_dropped_and_rows_sorted_by_coverage() {
+        let ctx = two_item_ctx();
+        let table = ComparisonTable::build(&ctx, &select_all(&ctx), None);
+        // Aspects present: 0 (both), 1 (item 0), 2 (item 1). None missing.
+        assert_eq!(table.rows.len(), 3);
+        assert!(table.rows[0].coverage >= table.rows[1].coverage);
+        assert!(table.rows[1].coverage >= table.rows[2].coverage);
+    }
+
+    #[test]
+    fn empty_selection_yields_empty_table() {
+        let ctx = two_item_ctx();
+        let sels = vec![Selection::default(), Selection::default()];
+        let table = ComparisonTable::build(&ctx, &sels, None);
+        assert!(table.rows.is_empty());
+        assert!(table.common_aspects().is_empty());
+    }
+
+    #[test]
+    fn item_subset_restricts_columns() {
+        let ctx = two_item_ctx();
+        let table = ComparisonTable::build(&ctx, &select_all(&ctx), Some(&[0]));
+        assert_eq!(table.products, vec![ProductId(0)]);
+        for row in &table.rows {
+            assert_eq!(row.cells.len(), 1);
+        }
+    }
+
+    #[test]
+    fn renders_dashes_for_missing_cells() {
+        let ctx = two_item_ctx();
+        let table = ComparisonTable::build(&ctx, &select_all(&ctx), None);
+        let names: Vec<String> = ["battery", "lens", "strap"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let text = table.render(&names);
+        assert!(text.contains("battery"));
+        assert!(text.contains('-'));
+        assert!(text.contains("item #0"));
+        assert!(text.contains("item #1"));
+    }
+}

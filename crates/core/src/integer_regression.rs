@@ -1,0 +1,433 @@
+//! The Integer-Regression machinery (§2.2, Algorithm 1).
+//!
+//! Strategy, following Lappas et al. (KDD'12) as generalised by the paper:
+//!
+//! 1. Build a design matrix `V` with one column per candidate review —
+//!    an opinion-indicator block stacked on weighted aspect-indicator
+//!    blocks (λ for the Γ block, μ for every other item's φ(Sⱼ) block).
+//! 2. Deduplicate identical columns (Algorithm 1 line 5); `cᵢ` caps how
+//!    many copies of a deduplicated column may be selected.
+//! 3. For every sparsity budget ℓ = 1…m, solve the continuous relaxation
+//!    with NOMP (line 7), then round the normalised solution to the
+//!    closest integer selection `ν` with `νᵢ ≤ cᵢ`, `‖ν‖₁ ≤ m` (line 8)
+//!    using largest-remainder rounding over every total mass `s ≤ m`.
+//! 4. Keep the candidate minimising the *true* objective (lines 10–12),
+//!    evaluated by a caller-supplied closure so CRS, CompaReSetS, and
+//!    CompaReSetS+ can share this machinery with their own objectives.
+
+use comparesets_linalg::{nomp, CscMatrix, NompOptions};
+
+use crate::instance::{Item, Selection};
+use crate::space::VectorSpace;
+
+/// Deduplicated design-matrix columns for one item.
+#[derive(Debug, Clone)]
+pub struct DedupColumns {
+    /// For each group: the indices of the item's reviews sharing one
+    /// column signature.
+    pub groups: Vec<Vec<usize>>,
+}
+
+impl DedupColumns {
+    /// Group the reviews of an item by identical annotation signatures.
+    /// (Columns are functions of the `ReviewFeature` alone, so equal
+    /// features ⇔ equal design columns for any block weights.)
+    pub fn build(item: &Item) -> Self {
+        let mut index: std::collections::HashMap<&crate::instance::ReviewFeature, usize> =
+            std::collections::HashMap::new();
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        for (ri, f) in item.features.iter().enumerate() {
+            match index.get(f) {
+                Some(&g) => groups[g].push(ri),
+                None => {
+                    index.insert(f, groups.len());
+                    groups.push(vec![ri]);
+                }
+            }
+        }
+        DedupColumns { groups }
+    }
+
+    /// Number of deduplicated columns q.
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// True when the item has no reviews.
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// Multiplicity cap cᵢ of each group.
+    pub fn caps(&self) -> Vec<usize> {
+        self.groups.iter().map(Vec::len).collect()
+    }
+
+    /// Expand an integer group-count vector ν̃ into concrete review
+    /// indices (Algorithm 1 line 9): the first `ν̃_g` members of group g.
+    pub fn expand(&self, nu: &[usize]) -> Selection {
+        debug_assert_eq!(nu.len(), self.groups.len());
+        let mut indices = Vec::new();
+        for (g, &count) in nu.iter().enumerate() {
+            let take = count.min(self.groups[g].len());
+            indices.extend_from_slice(&self.groups[g][..take]);
+        }
+        Selection::new(indices)
+    }
+}
+
+/// A prepared regression task: deduplicated design matrix plus target.
+///
+/// The matrix is stored in compressed sparse column form: with the
+/// paper's z = 500 aspects the CompaReSetS+ design matrix has
+/// `2z + n·z` ≈ 15 000+ rows per item while each review column touches
+/// only a handful — sparsity is what keeps Integer-Regression fast at
+/// real-corpus scale.
+#[derive(Debug, Clone)]
+pub struct RegressionTask {
+    /// Deduplicated design matrix Ṽ (rows = blocks, cols = groups).
+    pub matrix: CscMatrix,
+    /// Target vector Υ, pre-weighted to match the matrix blocks.
+    pub target: Vec<f64>,
+    /// Column groups / caps.
+    pub dedup: DedupColumns,
+}
+
+impl RegressionTask {
+    /// Build the task for one item.
+    ///
+    /// `target_blocks` are `(vector, weight)` pairs: the first must be the
+    /// opinion target τᵢ with weight 1; every following block is an
+    /// aspect-space target (Γ or some φ(Sⱼ)) with its coefficient (λ or
+    /// μ). The matrix mirrors the blocks: the opinion-column block then
+    /// one `weight × aspect-indicator` block per aspect target.
+    ///
+    /// # Panics
+    /// Panics when blocks have wrong dimensions.
+    pub fn build(
+        space: &VectorSpace,
+        item: &Item,
+        opinion_target: &[f64],
+        aspect_targets: &[(&[f64], f64)],
+    ) -> Self {
+        let z = space.num_aspects();
+        let od = space.opinion_dim();
+        assert_eq!(opinion_target.len(), od, "opinion target dimension");
+        for (t, _) in aspect_targets {
+            assert_eq!(t.len(), z, "aspect target dimension");
+        }
+        let dedup = DedupColumns::build(item);
+        let rows = od + z * aspect_targets.len();
+        // Build columns sparsely: only the mentioned opinion slots and the
+        // mentioned aspects of each review are non-zero.
+        let columns: Vec<Vec<(usize, f64)>> = dedup
+            .groups
+            .iter()
+            .map(|group| {
+                let f = &item.features[group[0]];
+                let mut entries: Vec<(usize, f64)> = Vec::new();
+                for (r, v) in space.opinion_column(f).into_iter().enumerate() {
+                    if v != 0.0 {
+                        entries.push((r, v));
+                    }
+                }
+                let asp = space.aspect_column(f);
+                for (b, &(_, w)) in aspect_targets.iter().enumerate() {
+                    for (a, v) in asp.iter().enumerate() {
+                        if *v != 0.0 && w != 0.0 {
+                            entries.push((od + b * z + a, w * v));
+                        }
+                    }
+                }
+                entries
+            })
+            .collect();
+        let matrix = CscMatrix::from_columns(rows, &columns);
+        let mut target = Vec::with_capacity(rows);
+        target.extend_from_slice(opinion_target);
+        for &(t, w) in aspect_targets {
+            target.extend(t.iter().map(|v| w * v));
+        }
+        RegressionTask {
+            matrix,
+            target,
+            dedup,
+        }
+    }
+}
+
+/// Largest-remainder rounding of `s · x̂` to integers under per-entry caps.
+/// Returns `None` when `x̂` has no mass.
+fn round_with_caps(x_hat: &[f64], s: usize, caps: &[usize]) -> Option<Vec<usize>> {
+    let mass: f64 = x_hat.iter().sum();
+    if mass <= 0.0 || s == 0 {
+        return None;
+    }
+    let scaled: Vec<f64> = x_hat.iter().map(|v| v * s as f64 / mass).collect();
+    let mut nu: Vec<usize> = scaled
+        .iter()
+        .zip(caps.iter())
+        .map(|(&t, &c)| (t.floor() as usize).min(c))
+        .collect();
+    let mut assigned: usize = nu.iter().sum();
+    if assigned < s {
+        // Distribute the remainder by descending fractional part among
+        // entries with spare cap.
+        let mut order: Vec<usize> = (0..x_hat.len()).collect();
+        order.sort_by(|&a, &b| {
+            let fa = scaled[a] - scaled[a].floor();
+            let fb = scaled[b] - scaled[b].floor();
+            fb.partial_cmp(&fa).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        // Possibly several rounds if caps bind.
+        'outer: loop {
+            let mut progressed = false;
+            for &i in &order {
+                if assigned >= s {
+                    break 'outer;
+                }
+                if nu[i] < caps[i] {
+                    nu[i] += 1;
+                    assigned += 1;
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                break; // All caps saturated; ‖ν‖₁ < s is acceptable (≤ m).
+            }
+        }
+    }
+    if nu.iter().all(|&v| v == 0) {
+        None
+    } else {
+        Some(nu)
+    }
+}
+
+/// Run Integer-Regression for one item (Algorithm 1 lines 6–12).
+///
+/// `evaluate` must return the true objective of a candidate selection
+/// (lower is better); the best candidate over all ℓ and rounding masses is
+/// returned. When no non-trivial candidate emerges (e.g. the item's
+/// reviews are entirely uncorrelated with the target), falls back to
+/// selecting the single review minimising `evaluate`.
+pub fn integer_regression<F>(
+    task: &RegressionTask,
+    m: usize,
+    mut evaluate: F,
+) -> Selection
+where
+    F: FnMut(&Selection) -> f64,
+{
+    let caps = task.dedup.caps();
+    let q = task.dedup.len();
+    let mut best: Option<(f64, Selection)> = None;
+    let consider = |sel: Selection, evaluate: &mut F, best: &mut Option<(f64, Selection)>| {
+        if sel.len() > m {
+            return;
+        }
+        let cost = evaluate(&sel);
+        if best.as_ref().is_none_or(|(c, _)| cost < *c) {
+            *best = Some((cost, sel));
+        }
+    };
+
+    if q > 0 {
+        for l in 1..=m {
+            let Ok(res) = nomp(
+                &task.matrix,
+                &task.target,
+                NompOptions::with_max_atoms(l.min(q)),
+            ) else {
+                continue;
+            };
+            if res.support.is_empty() {
+                continue;
+            }
+            for s in 1..=m {
+                if let Some(nu) = round_with_caps(&res.x, s, &caps) {
+                    let sel = task.dedup.expand(&nu);
+                    consider(sel, &mut evaluate, &mut best);
+                }
+            }
+        }
+    }
+
+    // Fallback: best single review (ensures a non-empty selection).
+    if best.as_ref().is_none_or(|(_, s)| s.is_empty()) {
+        for g in 0..q {
+            let mut nu = vec![0usize; q];
+            nu[g] = 1;
+            let sel = task.dedup.expand(&nu);
+            consider(sel, &mut evaluate, &mut best);
+        }
+    }
+
+    best.map(|(_, s)| s).unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::Item;
+    use crate::space::{OpinionScheme, VectorSpace};
+    use comparesets_data::{Polarity, ProductId, ReviewId};
+    use comparesets_linalg::vector::sq_distance;
+
+    fn item_with(reviews: Vec<Vec<(usize, Polarity)>>) -> Item {
+        Item::from_mentions(
+            ProductId(0),
+            reviews
+                .into_iter()
+                .enumerate()
+                .map(|(i, ms)| (ReviewId(i as u32), ms))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn dedup_groups_identical_reviews() {
+        use Polarity::Positive;
+        let item = item_with(vec![
+            vec![(0, Positive)],
+            vec![(1, Positive)],
+            vec![(0, Positive)],
+            vec![(0, Positive)],
+        ]);
+        let d = DedupColumns::build(&item);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.caps(), vec![3, 1]);
+        let sel = d.expand(&[2, 1]);
+        assert_eq!(sel.indices, vec![0, 1, 2]);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn round_with_caps_basic() {
+        // x̂ = (0.5, 0.5), s = 3, caps (2, 2) → (2,1) or (1,2); largest
+        // remainder with equal fractions keeps order stability.
+        let nu = round_with_caps(&[0.5, 0.5], 3, &[2, 2]).unwrap();
+        assert_eq!(nu.iter().sum::<usize>(), 3);
+        assert!(nu.iter().all(|&v| v <= 2));
+    }
+
+    #[test]
+    fn round_with_caps_respects_caps() {
+        let nu = round_with_caps(&[1.0, 0.0], 5, &[2, 3]).unwrap();
+        assert_eq!(nu[0], 2);
+        // Cap binds; remainder flows to the other entry up to its cap.
+        assert!(nu.iter().sum::<usize>() <= 5);
+    }
+
+    #[test]
+    fn round_with_caps_zero_mass_is_none() {
+        assert!(round_with_caps(&[0.0, 0.0], 3, &[1, 1]).is_none());
+        assert!(round_with_caps(&[0.5], 0, &[1]).is_none());
+    }
+
+    #[test]
+    fn task_builder_shapes() {
+        use Polarity::{Negative, Positive};
+        let item = item_with(vec![vec![(0, Positive)], vec![(1, Negative)]]);
+        let space = VectorSpace::new(2, OpinionScheme::Binary);
+        let tau = vec![0.5, 0.0, 0.0, 0.5];
+        let gamma = vec![1.0, 1.0];
+        let phi_other = vec![1.0, 0.0];
+        let task = RegressionTask::build(
+            &space,
+            &item,
+            &tau,
+            &[(&gamma, 2.0), (&phi_other, 0.5)],
+        );
+        // rows = 4 (opinion) + 2 + 2.
+        assert_eq!(task.matrix.rows(), 8);
+        assert_eq!(task.matrix.cols(), 2);
+        // Aspect block of review 0 is weighted by 2.0 then 0.5.
+        assert_eq!(task.matrix.get(4, 0), 2.0);
+        assert_eq!(task.matrix.get(6, 0), 0.5);
+        // Target is [τ; 2Γ; 0.5φ].
+        assert_eq!(task.target.len(), 8);
+        assert_eq!(task.target[4], 2.0);
+        assert_eq!(task.target[6], 0.5);
+    }
+
+    /// Working Example 2: Integer-Regression on ℛ₁ with m = 3 and λ = 1
+    /// must recover a selection whose π and φ equal τ₁ and Γ exactly.
+    #[test]
+    fn working_example_2_recovers_optimal_selection() {
+        let item = crate::space::fixtures::working_example_item();
+        let space = VectorSpace::new(5, OpinionScheme::Binary);
+        let all: Vec<usize> = (0..7).collect();
+        let tau = space.pi(&item, &all);
+        let gamma = space.phi(&item, &all);
+        let task = RegressionTask::build(&space, &item, &tau, &[(&gamma, 1.0)]);
+        let sel = integer_regression(&task, 3, |s| {
+            let pi = space.pi(&item, &s.indices);
+            let phi = space.phi(&item, &s.indices);
+            sq_distance(&tau, &pi) + sq_distance(&gamma, &phi)
+        });
+        assert!(sel.len() <= 3);
+        let pi = space.pi(&item, &sel.indices);
+        let phi = space.phi(&item, &sel.indices);
+        assert!(sq_distance(&tau, &pi) < 1e-12, "pi {pi:?} tau {tau:?} sel {sel:?}");
+        assert!(sq_distance(&gamma, &phi) < 1e-12, "phi {phi:?}");
+    }
+
+    /// With m ≥ 4 the paper notes {r1,r2,r3,r4} is another optimum; the
+    /// solver must still achieve zero objective.
+    #[test]
+    fn working_example_2_with_larger_budget() {
+        let item = crate::space::fixtures::working_example_item();
+        let space = VectorSpace::new(5, OpinionScheme::Binary);
+        let all: Vec<usize> = (0..7).collect();
+        let tau = space.pi(&item, &all);
+        let gamma = space.phi(&item, &all);
+        let task = RegressionTask::build(&space, &item, &tau, &[(&gamma, 1.0)]);
+        let sel = integer_regression(&task, 4, |s| {
+            let pi = space.pi(&item, &s.indices);
+            let phi = space.phi(&item, &s.indices);
+            sq_distance(&tau, &pi) + sq_distance(&gamma, &phi)
+        });
+        let pi = space.pi(&item, &sel.indices);
+        let phi = space.phi(&item, &sel.indices);
+        assert!(sq_distance(&tau, &pi) + sq_distance(&gamma, &phi) < 1e-12);
+    }
+
+    #[test]
+    fn never_exceeds_budget_and_never_empty() {
+        use Polarity::{Negative, Positive};
+        let item = item_with(vec![
+            vec![(0, Positive)],
+            vec![(0, Negative)],
+            vec![(1, Positive)],
+            vec![(2, Negative)],
+            vec![(0, Positive), (1, Negative)],
+        ]);
+        let space = VectorSpace::new(3, OpinionScheme::Binary);
+        let all: Vec<usize> = (0..5).collect();
+        let tau = space.pi(&item, &all);
+        let gamma = space.phi(&item, &all);
+        for m in 1..=5 {
+            let task = RegressionTask::build(&space, &item, &tau, &[(&gamma, 1.0)]);
+            let sel = integer_regression(&task, m, |s| {
+                let pi = space.pi(&item, &s.indices);
+                sq_distance(&tau, &pi)
+            });
+            assert!(!sel.is_empty(), "m={m}");
+            assert!(sel.len() <= m, "m={m} sel={sel:?}");
+        }
+    }
+
+    #[test]
+    fn single_review_item() {
+        let item = item_with(vec![vec![(0, Polarity::Positive)]]);
+        let space = VectorSpace::new(1, OpinionScheme::Binary);
+        let tau = vec![1.0, 0.0];
+        let gamma = vec![1.0];
+        let task = RegressionTask::build(&space, &item, &tau, &[(&gamma, 1.0)]);
+        let sel = integer_regression(&task, 3, |s| {
+            sq_distance(&tau, &space.pi(&item, &s.indices))
+        });
+        assert_eq!(sel.indices, vec![0]);
+    }
+}

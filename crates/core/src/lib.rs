@@ -1,0 +1,156 @@
+//! CompaReSetS core: comparative review-set selection across multiple items.
+//!
+//! This crate implements the paper's primary contribution:
+//!
+//! * **Problem 1 — CompaReSetS** (§2.1.1): for a target item p₁ and
+//!   comparative items p₂…pₙ, select at most `m` reviews per item
+//!   minimising `Σᵢ Δ(τᵢ, π(Sᵢ)) + λ² Σᵢ Δ(Γ, φ(Sᵢ))` (Equation 1).
+//! * **Problem 2 — CompaReSetS+** (§2.1.2): additionally penalise the
+//!   pairwise aspect distance between the selected sets,
+//!   `μ² Σᵢ<ⱼ Δ(φ(Sᵢ), φ(Sⱼ))` (Equation 5), solved by alternating
+//!   Integer-Regression (Algorithm 1).
+//! * The **CRS** single-item baseline (Lappas, Crovella & Terzi, KDD'12),
+//!   of which CompaReSetS is a strict generalisation (n = 1, λ = 0).
+//! * The **greedy** and **random** selection baselines of §4.1.2.
+//! * The three **opinion definitions** of §4.2.3 (binary, 3-polarity,
+//!   unary-scale).
+//!
+//! ## Walkthrough
+//!
+//! ```
+//! use comparesets_data::CategoryPreset;
+//! use comparesets_core::{InstanceContext, OpinionScheme, SelectParams};
+//!
+//! let dataset = CategoryPreset::Cellphone.config(60, 7).generate();
+//! let instance = dataset.instances().into_iter().next().unwrap();
+//! let ctx = InstanceContext::build(&dataset, &instance.truncated(5), OpinionScheme::Binary);
+//!
+//! let params = SelectParams { m: 3, lambda: 1.0, mu: 0.1 };
+//! let selections = comparesets_core::solve_comparesets_plus(&ctx, &params);
+//! assert_eq!(selections.len(), ctx.num_items());
+//! for s in &selections {
+//!     assert!(s.indices.len() <= 3);
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod comparesets;
+pub mod comparison_table;
+pub mod crs;
+pub mod exhaustive;
+pub mod incremental;
+pub mod instance;
+pub mod integer_regression;
+pub mod objective;
+pub mod space;
+
+pub use baselines::{solve_greedy, solve_random};
+pub use comparison_table::{AspectRow, CellCounts, ComparisonTable};
+pub use exhaustive::{solve_exhaustive, solve_exhaustive_item};
+pub use comparesets::{solve_comparesets, solve_comparesets_plus, solve_comparesets_plus_sweeps};
+pub use crs::solve_crs;
+pub use incremental::IncrementalSession;
+pub use instance::{InstanceContext, Item, ReviewFeature, Selection};
+pub use integer_regression::{integer_regression, RegressionTask};
+pub use objective::{comparesets_objective, comparesets_plus_objective, item_objective, pair_distance};
+pub use space::{OpinionScheme, VectorSpace};
+
+/// Shared knobs for the selection solvers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SelectParams {
+    /// Maximum number of reviews selected per item (m).
+    pub m: usize,
+    /// Trade-off between opinion and aspect distance (λ, Equation 1).
+    pub lambda: f64,
+    /// Weight of the cross-item aspect coupling (μ, Equation 5).
+    pub mu: f64,
+}
+
+impl Default for SelectParams {
+    /// The paper's tuned setting: m = 3, λ = 1, μ = 0.1 (§4.1.4).
+    fn default() -> Self {
+        SelectParams {
+            m: 3,
+            lambda: 1.0,
+            mu: 0.1,
+        }
+    }
+}
+
+/// Which selection algorithm to run; used by the evaluation harness to
+/// sweep the baselines of §4.1.2 uniformly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// Uniform random selection of m reviews (seeded).
+    Random,
+    /// Characteristic Review Selection, single item at a time (Lappas'12).
+    Crs,
+    /// Greedy one-by-one selection minimising Equation 3.
+    CompareSetsGreedy,
+    /// Problem 1 solved by Integer-Regression.
+    CompareSets,
+    /// Problem 2 solved by alternating Integer-Regression (Algorithm 1).
+    CompareSetsPlus,
+}
+
+impl Algorithm {
+    /// All algorithms in the order the paper's tables list them.
+    pub const ALL: [Algorithm; 5] = [
+        Algorithm::Random,
+        Algorithm::Crs,
+        Algorithm::CompareSetsGreedy,
+        Algorithm::CompareSets,
+        Algorithm::CompareSetsPlus,
+    ];
+
+    /// Name as printed in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::Random => "Random",
+            Algorithm::Crs => "Crs",
+            Algorithm::CompareSetsGreedy => "CompaReSetS_Greedy",
+            Algorithm::CompareSets => "CompaReSetS",
+            Algorithm::CompareSetsPlus => "CompaReSetS+",
+        }
+    }
+}
+
+/// Run the chosen algorithm on a prepared instance context.
+///
+/// `seed` only affects [`Algorithm::Random`].
+pub fn solve(
+    ctx: &InstanceContext,
+    algorithm: Algorithm,
+    params: &SelectParams,
+    seed: u64,
+) -> Vec<Selection> {
+    match algorithm {
+        Algorithm::Random => solve_random(ctx, params.m, seed),
+        Algorithm::Crs => solve_crs(ctx, params.m),
+        Algorithm::CompareSetsGreedy => solve_greedy(ctx, params),
+        Algorithm::CompareSets => solve_comparesets(ctx, params),
+        Algorithm::CompareSetsPlus => solve_comparesets_plus(ctx, params),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_params_match_paper_tuning() {
+        let p = SelectParams::default();
+        assert_eq!(p.m, 3);
+        assert_eq!(p.lambda, 1.0);
+        assert_eq!(p.mu, 0.1);
+    }
+
+    #[test]
+    fn algorithm_names_match_tables() {
+        assert_eq!(Algorithm::Crs.name(), "Crs");
+        assert_eq!(Algorithm::CompareSetsPlus.name(), "CompaReSetS+");
+        assert_eq!(Algorithm::ALL.len(), 5);
+    }
+}

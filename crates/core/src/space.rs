@@ -1,0 +1,390 @@
+//! Opinion schemes and the π/φ vector space.
+//!
+//! §2.1: `π(S) ∈ ℝ₊` is the opinion-distribution vector of a review set S
+//! and `φ(S) ∈ ℝ₊ᶻ` its aspect-distribution vector. Working Example 1
+//! fixes the normalisation: both vectors are divided by the **maximum
+//! aspect frequency** within S (for `τ₁ = π(ℛ₁)` the denominator 6 is the
+//! count of the most frequent aspect, *battery*).
+//!
+//! §4.2.3 generalises the opinion definition:
+//! * **binary** (default) — π ∈ ℝ₊²ᶻ, one `+` and one `−` slot per aspect;
+//! * **3-polarity** — π ∈ ℝ₊³ᶻ with an extra neutral slot;
+//! * **unary-scale** — π ∈ ℝ₊ᶻ, the per-aspect aggregated sentiment mapped
+//!   through a sigmoid `1/(1+e^{−s})`.
+
+use comparesets_data::Polarity;
+
+use crate::instance::{Item, ReviewFeature};
+
+/// Opinion-vector definition (§4.2.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpinionScheme {
+    /// Positive/negative slots per aspect (the paper's default).
+    Binary,
+    /// Positive/negative/neutral slots per aspect.
+    ThreePolarity,
+    /// One slot per aspect holding `sigmoid(Σ sentiment)`.
+    UnaryScale,
+}
+
+impl OpinionScheme {
+    /// All schemes in the order of Table 4's columns.
+    pub const ALL: [OpinionScheme; 3] = [
+        OpinionScheme::Binary,
+        OpinionScheme::ThreePolarity,
+        OpinionScheme::UnaryScale,
+    ];
+
+    /// Name as printed in Table 4.
+    pub fn name(self) -> &'static str {
+        match self {
+            OpinionScheme::Binary => "binary",
+            OpinionScheme::ThreePolarity => "3-polarity",
+            OpinionScheme::UnaryScale => "unary-scale",
+        }
+    }
+}
+
+/// Computes π and φ vectors over a fixed aspect universe of size `z`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VectorSpace {
+    z: usize,
+    scheme: OpinionScheme,
+}
+
+/// Logistic sigmoid used by the unary-scale aggregation.
+#[inline]
+pub(crate) fn sigmoid(s: f64) -> f64 {
+    1.0 / (1.0 + (-s).exp())
+}
+
+impl VectorSpace {
+    /// A vector space over `z` aspects with the given opinion scheme.
+    pub fn new(z: usize, scheme: OpinionScheme) -> Self {
+        VectorSpace { z, scheme }
+    }
+
+    /// Number of aspects z.
+    pub fn num_aspects(&self) -> usize {
+        self.z
+    }
+
+    /// The active opinion scheme.
+    pub fn scheme(&self) -> OpinionScheme {
+        self.scheme
+    }
+
+    /// Dimension of π vectors (2z / 3z / z by scheme).
+    pub fn opinion_dim(&self) -> usize {
+        match self.scheme {
+            OpinionScheme::Binary => 2 * self.z,
+            OpinionScheme::ThreePolarity => 3 * self.z,
+            OpinionScheme::UnaryScale => self.z,
+        }
+    }
+
+    /// Slot of `(aspect, polarity)` within the opinion vector, or `None`
+    /// when the scheme has no slot for that polarity (binary ignores
+    /// neutral mentions).
+    pub fn opinion_slot(&self, aspect: usize, polarity: Polarity) -> Option<usize> {
+        debug_assert!(aspect < self.z);
+        match self.scheme {
+            OpinionScheme::Binary => match polarity {
+                Polarity::Positive => Some(2 * aspect),
+                Polarity::Negative => Some(2 * aspect + 1),
+                Polarity::Neutral => None,
+            },
+            OpinionScheme::ThreePolarity => Some(
+                3 * aspect
+                    + match polarity {
+                        Polarity::Positive => 0,
+                        Polarity::Negative => 1,
+                        Polarity::Neutral => 2,
+                    },
+            ),
+            OpinionScheme::UnaryScale => Some(aspect),
+        }
+    }
+
+    /// Raw per-aspect frequency counts over the selected reviews of `item`.
+    pub fn aspect_counts(&self, item: &Item, selected: &[usize]) -> Vec<f64> {
+        let mut counts = vec![0.0; self.z];
+        for &ri in selected {
+            for &(a, _) in &item.features[ri].mentions {
+                counts[a] += 1.0;
+            }
+        }
+        counts
+    }
+
+    /// Aspect-distribution vector φ(S): aspect frequencies divided by the
+    /// maximum aspect frequency (Working Example 1). All-zero when S
+    /// mentions nothing.
+    pub fn phi(&self, item: &Item, selected: &[usize]) -> Vec<f64> {
+        let mut counts = self.aspect_counts(item, selected);
+        normalize_by_max(&mut counts);
+        counts
+    }
+
+    /// Opinion-distribution vector π(S) under the active scheme.
+    pub fn pi(&self, item: &Item, selected: &[usize]) -> Vec<f64> {
+        match self.scheme {
+            OpinionScheme::Binary | OpinionScheme::ThreePolarity => {
+                let mut v = vec![0.0; self.opinion_dim()];
+                for &ri in selected {
+                    for &(a, pol) in &item.features[ri].mentions {
+                        if let Some(slot) = self.opinion_slot(a, pol) {
+                            v[slot] += 1.0;
+                        }
+                    }
+                }
+                // Normalise by the maximum *aspect* frequency, per Working
+                // Example 1 ("the denominator 6 is the maximum occurrences
+                // of aspects").
+                let counts = self.aspect_counts(item, selected);
+                let max = counts.iter().copied().fold(0.0_f64, f64::max);
+                if max > 0.0 {
+                    for x in &mut v {
+                        *x /= max;
+                    }
+                }
+                v
+            }
+            OpinionScheme::UnaryScale => {
+                let mut sums = vec![0.0; self.z];
+                let mut mentioned = vec![false; self.z];
+                for &ri in selected {
+                    for &(a, pol) in &item.features[ri].mentions {
+                        sums[a] += pol.score();
+                        mentioned[a] = true;
+                    }
+                }
+                // σ(Σ sentiment) per mentioned aspect; unmentioned aspects
+                // stay at 0 so sparse vectors remain comparable.
+                sums.iter()
+                    .zip(mentioned.iter())
+                    .map(|(&s, &m)| if m { sigmoid(s) } else { 0.0 })
+                    .collect()
+            }
+        }
+    }
+
+    /// The opinion-block column of the design matrix for one review:
+    /// indicator (or signed score, for unary-scale) of each opinion slot.
+    pub fn opinion_column(&self, feature: &ReviewFeature) -> Vec<f64> {
+        let mut col = vec![0.0; self.opinion_dim()];
+        match self.scheme {
+            OpinionScheme::Binary | OpinionScheme::ThreePolarity => {
+                for &(a, pol) in &feature.mentions {
+                    if let Some(slot) = self.opinion_slot(a, pol) {
+                        col[slot] = 1.0;
+                    }
+                }
+            }
+            OpinionScheme::UnaryScale => {
+                // Linear surrogate: the signed sentiment contribution. The
+                // sigmoid is applied only in vector evaluation, which is
+                // exactly why integer regression degrades on this scheme
+                // (Table 4 shows Crs dropping below Random).
+                for &(a, pol) in &feature.mentions {
+                    col[a] += pol.score();
+                }
+            }
+        }
+        col
+    }
+
+    /// The aspect-block column of the design matrix for one review:
+    /// indicator of each aspect mentioned.
+    pub fn aspect_column(&self, feature: &ReviewFeature) -> Vec<f64> {
+        let mut col = vec![0.0; self.z];
+        for &(a, _) in &feature.mentions {
+            col[a] = 1.0;
+        }
+        col
+    }
+}
+
+/// Divide by the max element when positive.
+fn normalize_by_max(v: &mut [f64]) {
+    let max = v.iter().copied().fold(0.0_f64, f64::max);
+    if max > 0.0 {
+        for x in v.iter_mut() {
+            *x /= max;
+        }
+    }
+}
+
+/// Test fixtures shared across the crate's unit tests.
+#[cfg(test)]
+pub(crate) mod fixtures {
+    use crate::instance::Item;
+    use comparesets_data::{Polarity, ProductId, ReviewId};
+
+    /// Build the ℛ₁ of Working Example 1 (Figure 2a):
+    /// aspects {battery=0, lens=1, quality=2, price=3, shuttle=4};
+    /// 7 reviews with opinions:
+    /// r1..r4: battery+ ... — reconstructed to match the stated totals:
+    /// battery appears 6×(2+,4−), lens 4×(2+,2−), quality 4×(2+,2−).
+    /// r5,r6,r7 = the optimal subset with π = (1/3,2/3,1/3,0,1/3,0,…)·?
+    ///
+    /// We reproduce the *vectors* the paper states: τ₁ and Γ for the full
+    /// set, and identical (up to scale) π/φ for {r5,r6,r7}.
+    pub(crate) fn working_example_item() -> Item {
+        use Polarity::{Negative, Positive};
+        // Chosen so that totals are battery 6 (2+,4−), lens 4 (2+,2−),
+        // quality 4 (2+,2−), and both {r5,r6,r7} (m=3) and {r1..r4} (m≥4)
+        // reproduce τ₁ and Γ exactly, as the paper's Working Example 2
+        // requires.
+        let reviews = vec![
+            vec![(0, Positive), (1, Positive)],                 // r1
+            vec![(0, Negative), (1, Negative)],                 // r2
+            vec![(0, Negative), (2, Positive)],                 // r3
+            vec![(2, Negative)],                                // r4
+            vec![(0, Positive), (1, Positive), (2, Positive)],  // r5
+            vec![(0, Negative), (1, Negative)],                 // r6
+            vec![(0, Negative), (2, Negative)],                 // r7
+        ];
+        Item::from_mentions(
+            ProductId(0),
+            reviews
+                .into_iter()
+                .enumerate()
+                .map(|(i, ms)| (ReviewId(i as u32), ms))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::fixtures::working_example_item;
+    use super::*;
+    use crate::instance::Item;
+    use comparesets_data::{Polarity, ProductId, ReviewId};
+
+    #[test]
+    fn dimensions_by_scheme() {
+        assert_eq!(VectorSpace::new(5, OpinionScheme::Binary).opinion_dim(), 10);
+        assert_eq!(
+            VectorSpace::new(5, OpinionScheme::ThreePolarity).opinion_dim(),
+            15
+        );
+        assert_eq!(
+            VectorSpace::new(5, OpinionScheme::UnaryScale).opinion_dim(),
+            5
+        );
+    }
+
+    #[test]
+    fn working_example_full_set_vectors() {
+        let item = working_example_item();
+        let space = VectorSpace::new(5, OpinionScheme::Binary);
+        let all: Vec<usize> = (0..7).collect();
+
+        // Γ = φ(ℛ₁) = (6/6, 4/6, 4/6, 0, 0).
+        let phi = space.phi(&item, &all);
+        let expect_phi = [1.0, 4.0 / 6.0, 4.0 / 6.0, 0.0, 0.0];
+        for (a, b) in phi.iter().zip(expect_phi.iter()) {
+            assert!((a - b).abs() < 1e-12, "phi {phi:?}");
+        }
+
+        // τ₁ = π(ℛ₁) = (2/6, 4/6, 2/6, 2/6, 2/6, 2/6, 0, 0, 0, 0).
+        let pi = space.pi(&item, &all);
+        let expect_pi = [
+            2.0 / 6.0,
+            4.0 / 6.0,
+            2.0 / 6.0,
+            2.0 / 6.0,
+            2.0 / 6.0,
+            2.0 / 6.0,
+            0.0,
+            0.0,
+            0.0,
+            0.0,
+        ];
+        for (a, b) in pi.iter().zip(expect_pi.iter()) {
+            assert!((a - b).abs() < 1e-12, "pi {pi:?}");
+        }
+    }
+
+    #[test]
+    fn working_example_optimal_subset_matches_targets() {
+        let item = working_example_item();
+        let space = VectorSpace::new(5, OpinionScheme::Binary);
+        let all: Vec<usize> = (0..7).collect();
+        let subset = [4usize, 5, 6]; // {r5, r6, r7}
+
+        // π(S₁) ≡ τ₁ and φ(S₁) ≡ Γ (identical distributions).
+        let tau = space.pi(&item, &all);
+        let gamma = space.phi(&item, &all);
+        let pi_s = space.pi(&item, &subset);
+        let phi_s = space.phi(&item, &subset);
+        for (a, b) in pi_s.iter().zip(tau.iter()) {
+            assert!((a - b).abs() < 1e-12, "pi_s {pi_s:?} tau {tau:?}");
+        }
+        for (a, b) in phi_s.iter().zip(gamma.iter()) {
+            assert!((a - b).abs() < 1e-12, "phi_s {phi_s:?} gamma {gamma:?}");
+        }
+    }
+
+    #[test]
+    fn empty_selection_gives_zero_vectors() {
+        let item = working_example_item();
+        let space = VectorSpace::new(5, OpinionScheme::Binary);
+        assert!(space.pi(&item, &[]).iter().all(|&v| v == 0.0));
+        assert!(space.phi(&item, &[]).iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn three_polarity_counts_neutral() {
+        let item = Item::from_mentions(
+            ProductId(0),
+            vec![(ReviewId(0), vec![(0, Polarity::Neutral)])],
+        );
+        let space3 = VectorSpace::new(2, OpinionScheme::ThreePolarity);
+        let pi = space3.pi(&item, &[0]);
+        assert_eq!(pi, vec![0.0, 0.0, 1.0, 0.0, 0.0, 0.0]);
+        // Binary ignores the neutral mention, but φ still counts the aspect.
+        let space2 = VectorSpace::new(2, OpinionScheme::Binary);
+        assert!(space2.pi(&item, &[0]).iter().all(|&v| v == 0.0));
+        assert_eq!(space2.phi(&item, &[0]), vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn unary_scale_applies_sigmoid() {
+        let item = Item::from_mentions(
+            ProductId(0),
+            vec![
+                (ReviewId(0), vec![(0, Polarity::Positive)]),
+                (ReviewId(1), vec![(0, Polarity::Positive), (1, Polarity::Negative)]),
+            ],
+        );
+        let space = VectorSpace::new(2, OpinionScheme::UnaryScale);
+        let pi = space.pi(&item, &[0, 1]);
+        assert!((pi[0] - sigmoid(2.0)).abs() < 1e-12);
+        assert!((pi[1] - sigmoid(-1.0)).abs() < 1e-12);
+        // Unmentioned aspect stays 0, not sigmoid(0)=0.5.
+        let pi_one = space.pi(&item, &[0]);
+        assert_eq!(pi_one[1], 0.0);
+    }
+
+    #[test]
+    fn opinion_columns_by_scheme() {
+        let f = ReviewFeature {
+            mentions: vec![(0, Polarity::Positive), (1, Polarity::Negative)],
+        };
+        let b = VectorSpace::new(2, OpinionScheme::Binary);
+        assert_eq!(b.opinion_column(&f), vec![1.0, 0.0, 0.0, 1.0]);
+        assert_eq!(b.aspect_column(&f), vec![1.0, 1.0]);
+        let u = VectorSpace::new(2, OpinionScheme::UnaryScale);
+        assert_eq!(u.opinion_column(&f), vec![1.0, -1.0]);
+    }
+
+    #[test]
+    fn scheme_names() {
+        assert_eq!(OpinionScheme::Binary.name(), "binary");
+        assert_eq!(OpinionScheme::ThreePolarity.name(), "3-polarity");
+        assert_eq!(OpinionScheme::UnaryScale.name(), "unary-scale");
+    }
+}

@@ -1,0 +1,454 @@
+//! Loader for the Amazon Product Review Dataset format (McAuley et al.,
+//! <http://jmcauley.ucsd.edu/data/amazon/>) — the corpus the paper
+//! evaluates on (§4.1.1).
+//!
+//! Two JSON-lines files are consumed:
+//!
+//! * **reviews** — one object per line with at least `reviewerID`, `asin`,
+//!   `reviewText`, `overall` (e.g. `reviews_Cell_Phones_and_Accessories_5.json`);
+//! * **metadata** — one object per line with `asin`, optional `title`, and
+//!   `related.also_bought` (e.g. `meta_Cell_Phones_and_Accessories.json`).
+//!   The original metadata uses Python-literal quoting; this parser accepts
+//!   strict JSON (convert with the dataset's published snippet) and is
+//!   lenient about unknown fields.
+//!
+//! Since the paper's aspect-sentiment annotations (Le & Lauw WSDM'21) are
+//! not redistributable, loaded reviews are annotated on the fly with the
+//! frequency-based extractor from `comparesets-text` — the documented
+//! substitution (DESIGN.md §1). Pass a pre-built
+//! [`comparesets_text::AspectExtractor`] to control the vocabulary, or let
+//! [`AmazonLoader::load`] discover one from the corpus.
+
+use crate::model::{
+    AspectId, AspectMention, Dataset, Polarity, Product, ProductId, Review, ReviewId,
+};
+use comparesets_text::{AspectExtractor, Sentiment};
+use serde::Deserialize;
+use std::collections::HashMap;
+use std::io::BufRead;
+
+/// One line of the review file (unknown fields ignored).
+#[derive(Debug, Deserialize)]
+struct RawReview {
+    #[serde(rename = "reviewerID")]
+    reviewer_id: String,
+    asin: String,
+    #[serde(rename = "reviewText", default)]
+    review_text: String,
+    #[serde(default)]
+    overall: f64,
+}
+
+/// `related` sub-object of the metadata file.
+#[derive(Debug, Deserialize, Default)]
+struct RawRelated {
+    #[serde(default)]
+    also_bought: Vec<String>,
+}
+
+/// One line of the metadata file (unknown fields ignored).
+#[derive(Debug, Deserialize)]
+struct RawMeta {
+    asin: String,
+    #[serde(default)]
+    title: Option<String>,
+    #[serde(default)]
+    related: Option<RawRelated>,
+}
+
+/// Errors from the Amazon-format loader.
+#[derive(Debug)]
+pub enum AmazonError {
+    /// Underlying IO failure.
+    Io(std::io::Error),
+    /// A line failed to parse as JSON.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// The serde error.
+        source: serde_json::Error,
+    },
+    /// The corpus contained no usable review.
+    Empty,
+}
+
+impl std::fmt::Display for AmazonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AmazonError::Io(e) => write!(f, "io error: {e}"),
+            AmazonError::Parse { line, source } => {
+                write!(f, "parse error on line {line}: {source}")
+            }
+            AmazonError::Empty => write!(f, "no usable reviews in corpus"),
+        }
+    }
+}
+
+impl std::error::Error for AmazonError {}
+
+impl From<std::io::Error> for AmazonError {
+    fn from(e: std::io::Error) -> Self {
+        AmazonError::Io(e)
+    }
+}
+
+/// Configuration of the loader.
+#[derive(Debug, Clone)]
+pub struct AmazonLoader {
+    /// Dataset name (e.g. "Cellphone").
+    pub name: String,
+    /// Size of the discovered aspect vocabulary (paper keeps top-500 of
+    /// 2000 candidate concepts; tune to corpus size).
+    pub max_aspects: usize,
+    /// Minimum number of reviews an aspect term must appear in.
+    pub min_aspect_count: usize,
+    /// Drop products with fewer reviews than this (the paper's 5-core
+    /// data guarantees ≥ 5).
+    pub min_reviews_per_product: usize,
+}
+
+impl Default for AmazonLoader {
+    fn default() -> Self {
+        AmazonLoader {
+            name: "Amazon".to_string(),
+            max_aspects: 500,
+            min_aspect_count: 3,
+            min_reviews_per_product: 1,
+        }
+    }
+}
+
+impl AmazonLoader {
+    /// Load a dataset from JSON-lines readers, discovering the aspect
+    /// vocabulary from the review texts.
+    ///
+    /// # Errors
+    /// IO and per-line parse errors; [`AmazonError::Empty`] when nothing
+    /// usable was read.
+    pub fn load<R1: BufRead, R2: BufRead>(
+        &self,
+        reviews: R1,
+        metadata: R2,
+    ) -> Result<Dataset, AmazonError> {
+        let raw_reviews = read_reviews(reviews)?;
+        if raw_reviews.is_empty() {
+            return Err(AmazonError::Empty);
+        }
+        let extractor = AspectExtractor::discover(
+            raw_reviews.iter().map(|r| r.review_text.as_str()),
+            self.max_aspects,
+            self.min_aspect_count,
+        );
+        self.load_with_extractor(raw_reviews, metadata, &extractor)
+    }
+
+    /// Load with a caller-supplied aspect extractor (fixed vocabulary).
+    ///
+    /// # Errors
+    /// As for [`AmazonLoader::load`].
+    pub fn load_with_vocabulary<R1: BufRead, R2: BufRead>(
+        &self,
+        reviews: R1,
+        metadata: R2,
+        extractor: &AspectExtractor,
+    ) -> Result<Dataset, AmazonError> {
+        let raw_reviews = read_reviews(reviews)?;
+        if raw_reviews.is_empty() {
+            return Err(AmazonError::Empty);
+        }
+        self.load_with_extractor(raw_reviews, metadata, extractor)
+    }
+
+    fn load_with_extractor<R2: BufRead>(
+        &self,
+        raw_reviews: Vec<RawReview>,
+        metadata: R2,
+        extractor: &AspectExtractor,
+    ) -> Result<Dataset, AmazonError> {
+        let metas = read_metadata(metadata)?;
+
+        // Assign product ids to every asin seen in reviews (metadata may
+        // cover a superset; products without reviews are retained only if
+        // they appear in an also-bought list, matching how the paper's
+        // comparison lists can point at low-review products).
+        let mut product_of_asin: HashMap<String, u32> = HashMap::new();
+        let mut products: Vec<Product> = Vec::new();
+        let mut intern = |asin: &str, products: &mut Vec<Product>| -> u32 {
+            if let Some(&id) = product_of_asin.get(asin) {
+                return id;
+            }
+            let id = products.len() as u32;
+            product_of_asin.insert(asin.to_string(), id);
+            products.push(Product {
+                id: ProductId(id),
+                title: asin.to_string(),
+                also_bought: Vec::new(),
+                reviews: Vec::new(),
+            });
+            id
+        };
+
+        // Reviews + reviewer interning + on-the-fly annotation.
+        let mut reviewer_of: HashMap<String, u32> = HashMap::new();
+        let mut reviews: Vec<Review> = Vec::with_capacity(raw_reviews.len());
+        for raw in raw_reviews {
+            let pid = intern(&raw.asin, &mut products);
+            let reviewer = {
+                let next = reviewer_of.len() as u32;
+                *reviewer_of.entry(raw.reviewer_id).or_insert(next)
+            };
+            let mentions: Vec<AspectMention> = extractor
+                .extract(&raw.review_text)
+                .into_iter()
+                .filter_map(|op| {
+                    let aspect = extractor.aspect_index(&op.aspect)? as u32;
+                    let polarity = match op.sentiment {
+                        Some(Sentiment::Positive) => Polarity::Positive,
+                        Some(Sentiment::Negative) => Polarity::Negative,
+                        None => Polarity::Neutral,
+                    };
+                    Some(AspectMention {
+                        aspect: AspectId(aspect),
+                        polarity,
+                    })
+                })
+                .collect();
+            if mentions.is_empty() {
+                continue; // unusable for aspect-based selection
+            }
+            let id = ReviewId(reviews.len() as u32);
+            products[pid as usize].reviews.push(id);
+            reviews.push(Review {
+                id,
+                product: ProductId(pid),
+                reviewer,
+                rating: (raw.overall.round() as i64).clamp(1, 5) as u8,
+                text: raw.review_text,
+                mentions,
+            });
+        }
+        if reviews.is_empty() {
+            return Err(AmazonError::Empty);
+        }
+
+        // Metadata: titles and also-bought lists. Only asins already
+        // interned (i.e. with reviews) or referenced become products.
+        for meta in metas {
+            let Some(&pid) = product_of_asin.get(&meta.asin) else {
+                continue;
+            };
+            if let Some(title) = meta.title {
+                products[pid as usize].title = title;
+            }
+            if let Some(related) = meta.related {
+                let mut ab: Vec<ProductId> = related
+                    .also_bought
+                    .iter()
+                    .filter_map(|asin| product_of_asin.get(asin))
+                    .map(|&id| ProductId(id))
+                    .filter(|&id| id != ProductId(pid))
+                    .collect();
+                ab.sort_unstable();
+                ab.dedup();
+                products[pid as usize].also_bought = ab;
+            }
+        }
+
+        // Drop under-reviewed products from comparison lists (5-core-like
+        // filtering); the products themselves stay for index stability.
+        let min = self.min_reviews_per_product;
+        let reviewed_enough: Vec<bool> = products
+            .iter()
+            .map(|p| p.reviews.len() >= min)
+            .collect();
+        for p in &mut products {
+            p.also_bought
+                .retain(|ab| reviewed_enough[ab.0 as usize]);
+        }
+
+        Ok(Dataset {
+            name: self.name.clone(),
+            aspects: extractor.vocabulary().to_vec(),
+            products,
+            reviews,
+            num_reviewers: reviewer_of.len() as u32,
+        })
+    }
+}
+
+fn read_reviews<R: BufRead>(reader: R) -> Result<Vec<RawReview>, AmazonError> {
+    let mut out = Vec::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let raw: RawReview = serde_json::from_str(&line).map_err(|source| {
+            AmazonError::Parse {
+                line: idx + 1,
+                source,
+            }
+        })?;
+        out.push(raw);
+    }
+    Ok(out)
+}
+
+fn read_metadata<R: BufRead>(reader: R) -> Result<Vec<RawMeta>, AmazonError> {
+    let mut out = Vec::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let raw: RawMeta = serde_json::from_str(&line).map_err(|source| {
+            AmazonError::Parse {
+                line: idx + 1,
+                source,
+            }
+        })?;
+        out.push(raw);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    const REVIEWS: &str = r#"{"reviewerID":"A1","asin":"B001","reviewText":"The battery is great and the battery lasts.","overall":5.0}
+{"reviewerID":"A2","asin":"B001","reviewText":"Terrible battery, poor case.","overall":1.0}
+{"reviewerID":"A1","asin":"B002","reviewText":"The case is solid, nice case for travel.","overall":4.0}
+{"reviewerID":"A3","asin":"B002","reviewText":"Battery works, case is good.","overall":4.0}
+{"reviewerID":"A3","asin":"B003","reviewText":"Great battery here too.","overall":5.0}
+"#;
+
+    const META: &str = r#"{"asin":"B001","title":"Acme Charger","related":{"also_bought":["B002","B003","B999"]}}
+{"asin":"B002","title":"Budget Charger","related":{"also_bought":["B001"]}}
+{"asin":"B003","title":"Premium Charger"}
+"#;
+
+    fn loader() -> AmazonLoader {
+        AmazonLoader {
+            name: "TestAmazon".into(),
+            max_aspects: 10,
+            min_aspect_count: 1,
+            min_reviews_per_product: 1,
+        }
+    }
+
+    #[test]
+    fn loads_and_links_products() {
+        let ds = loader()
+            .load(Cursor::new(REVIEWS), Cursor::new(META))
+            .unwrap();
+        assert!(ds.validate().is_empty(), "{:?}", ds.validate());
+        assert_eq!(ds.name, "TestAmazon");
+        assert_eq!(ds.products.len(), 3);
+        assert_eq!(ds.num_reviewers, 3);
+        // Titles come from metadata.
+        assert_eq!(ds.products[0].title, "Acme Charger");
+        // also_bought resolves known asins and drops B999.
+        assert_eq!(
+            ds.products[0].also_bought,
+            vec![ProductId(1), ProductId(2)]
+        );
+        // Aspects discovered from text.
+        assert!(ds.aspects.iter().any(|a| a == "battery"));
+        assert!(ds.aspects.iter().any(|a| a == "case"));
+    }
+
+    #[test]
+    fn annotations_capture_polarity() {
+        let ds = loader()
+            .load(Cursor::new(REVIEWS), Cursor::new(META))
+            .unwrap();
+        let battery = ds.aspects.iter().position(|a| a == "battery").unwrap() as u32;
+        let first = &ds.reviews[0];
+        let m = first
+            .mentions
+            .iter()
+            .find(|m| m.aspect.0 == battery)
+            .expect("battery mention");
+        assert_eq!(m.polarity, Polarity::Positive);
+        // Second review is negative on battery.
+        let second = &ds.reviews[1];
+        let m2 = second
+            .mentions
+            .iter()
+            .find(|m| m.aspect.0 == battery)
+            .unwrap();
+        assert_eq!(m2.polarity, Polarity::Negative);
+    }
+
+    #[test]
+    fn instances_form_from_also_bought() {
+        let ds = loader()
+            .load(Cursor::new(REVIEWS), Cursor::new(META))
+            .unwrap();
+        let instances = ds.instances();
+        assert!(!instances.is_empty());
+        assert_eq!(instances[0].target(), ProductId(0));
+        assert_eq!(instances[0].comparatives().len(), 2);
+    }
+
+    #[test]
+    fn min_reviews_filter_prunes_comparisons() {
+        let mut l = loader();
+        l.min_reviews_per_product = 2;
+        let ds = l.load(Cursor::new(REVIEWS), Cursor::new(META)).unwrap();
+        // B003 has a single review → removed from comparison lists.
+        assert_eq!(ds.products[0].also_bought, vec![ProductId(1)]);
+    }
+
+    #[test]
+    fn fixed_vocabulary_is_respected() {
+        let extractor = AspectExtractor::with_vocabulary(
+            ["battery"],
+            comparesets_text::Lexicon::builtin(),
+        );
+        let ds = loader()
+            .load_with_vocabulary(Cursor::new(REVIEWS), Cursor::new(META), &extractor)
+            .unwrap();
+        assert_eq!(ds.aspects, vec!["battery".to_string()]);
+        for r in &ds.reviews {
+            for m in &r.mentions {
+                assert_eq!(m.aspect, AspectId(0));
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_line_reports_line_number() {
+        let bad = "{\"reviewerID\":\"A1\",\"asin\":\"B1\",\"reviewText\":\"great battery\",\"overall\":5}\nnot json\n";
+        let err = loader()
+            .load(Cursor::new(bad), Cursor::new(""))
+            .unwrap_err();
+        match err {
+            AmazonError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_corpus_is_an_error() {
+        let err = loader().load(Cursor::new(""), Cursor::new("")).unwrap_err();
+        assert!(matches!(err, AmazonError::Empty));
+        // Reviews with no recognisable aspects are unusable too (tokens
+        // shorter than 3 characters are never discovered as aspects).
+        let no_aspects =
+            r#"{"reviewerID":"A","asin":"B","reviewText":"zz qq ab","overall":3}"#.to_string();
+        let err2 = loader()
+            .load(Cursor::new(no_aspects), Cursor::new(""))
+            .unwrap_err();
+        assert!(matches!(err2, AmazonError::Empty));
+    }
+
+    #[test]
+    fn rating_is_clamped() {
+        let odd = r#"{"reviewerID":"A","asin":"B","reviewText":"great battery","overall":9.7}"#;
+        let ds = loader().load(Cursor::new(odd), Cursor::new("")).unwrap();
+        assert_eq!(ds.reviews[0].rating, 5);
+    }
+}

@@ -1,0 +1,159 @@
+//! JSON (de)serialisation of datasets.
+//!
+//! Corpora are written as pretty-printed JSON so experiment inputs can be
+//! pinned, diffed, and shared — the reproducibility role the paper's
+//! public dataset download plays.
+
+use crate::model::Dataset;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Errors from dataset IO.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying filesystem error.
+    Io(std::io::Error),
+    /// JSON (de)serialisation error.
+    Json(serde_json::Error),
+    /// The loaded dataset failed consistency validation.
+    InvalidDataset(Vec<String>),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "io error: {e}"),
+            IoError::Json(e) => write!(f, "json error: {e}"),
+            IoError::InvalidDataset(problems) => {
+                write!(f, "invalid dataset: {} problems, first: {}",
+                    problems.len(),
+                    problems.first().map(String::as_str).unwrap_or(""))
+            }
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for IoError {
+    fn from(e: serde_json::Error) -> Self {
+        IoError::Json(e)
+    }
+}
+
+/// Serialise a dataset to a JSON string.
+///
+/// # Errors
+/// Propagates serialisation failures.
+pub fn to_json(dataset: &Dataset) -> Result<String, IoError> {
+    Ok(serde_json::to_string(dataset)?)
+}
+
+/// Parse a dataset from JSON, validating consistency.
+///
+/// # Errors
+/// [`IoError::Json`] on malformed JSON, [`IoError::InvalidDataset`] when
+/// the parsed dataset fails [`Dataset::validate`].
+pub fn from_json(json: &str) -> Result<Dataset, IoError> {
+    let ds: Dataset = serde_json::from_str(json)?;
+    let problems = ds.validate();
+    if problems.is_empty() {
+        Ok(ds)
+    } else {
+        Err(IoError::InvalidDataset(problems))
+    }
+}
+
+/// Save a dataset to a file.
+///
+/// # Errors
+/// Filesystem and serialisation errors.
+pub fn save(dataset: &Dataset, path: &Path) -> Result<(), IoError> {
+    let mut w = BufWriter::new(File::create(path)?);
+    serde_json::to_writer(&mut w, dataset)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Load and validate a dataset from a file.
+///
+/// # Errors
+/// Filesystem, parse, and validation errors.
+pub fn load(path: &Path) -> Result<Dataset, IoError> {
+    let r = BufReader::new(File::open(path)?);
+    let ds: Dataset = serde_json::from_reader(r)?;
+    let problems = ds.validate();
+    if problems.is_empty() {
+        Ok(ds)
+    } else {
+        Err(IoError::InvalidDataset(problems))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::CategoryPreset;
+
+    #[test]
+    fn json_round_trip_preserves_dataset() {
+        let d = CategoryPreset::Toy.config(20, 11).generate();
+        let json = to_json(&d).unwrap();
+        let back = from_json(&json).unwrap();
+        assert_eq!(d.name, back.name);
+        assert_eq!(d.aspects, back.aspects);
+        assert_eq!(d.reviews.len(), back.reviews.len());
+        assert_eq!(d.reviews[3].text, back.reviews[3].text);
+        assert_eq!(d.products[7].also_bought, back.products[7].also_bought);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let d = CategoryPreset::Clothing.config(10, 5).generate();
+        let dir = std::env::temp_dir().join("comparesets_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ds.json");
+        save(&d, &path).unwrap();
+        let back = load(&path).unwrap();
+        assert_eq!(back.reviews.len(), d.reviews.len());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn malformed_json_is_rejected() {
+        assert!(matches!(from_json("{not json"), Err(IoError::Json(_))));
+    }
+
+    #[test]
+    fn inconsistent_dataset_is_rejected() {
+        let mut d = CategoryPreset::Toy.config(5, 2).generate();
+        // Corrupt: dangling review reference.
+        d.products[0].reviews.push(crate::model::ReviewId(9999));
+        let json = serde_json::to_string(&d).unwrap();
+        assert!(matches!(
+            from_json(&json),
+            Err(IoError::InvalidDataset(_))
+        ));
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        assert!(matches!(
+            load(Path::new("/nonexistent/definitely/not/here.json")),
+            Err(IoError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn error_display() {
+        let e = IoError::InvalidDataset(vec!["boom".into()]);
+        assert!(e.to_string().contains("boom"));
+    }
+}

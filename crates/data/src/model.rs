@@ -1,0 +1,346 @@
+//! Corpus data model.
+//!
+//! Mirrors the paper's setting: a set of products 𝒫, each with reviews
+//! ℛᵢ annotated with aspect mentions from a universal aspect set 𝒜, plus
+//! "also bought" metadata from which comparison instances are built
+//! (target item p₁ + comparative items p₂…pₙ, §4.1.1).
+
+use serde::{Deserialize, Serialize};
+
+/// Index of an aspect in the dataset's aspect vocabulary.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct AspectId(pub u32);
+
+/// Index of a product within a dataset.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct ProductId(pub u32);
+
+/// Index of a review within a dataset.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct ReviewId(pub u32);
+
+/// Opinion polarity of one aspect mention.
+///
+/// The paper's default scheme is binary (positive/negative); the
+/// 3-polarity generalisation (§4.2.3) adds `Neutral`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Polarity {
+    /// Positive opinion on the aspect.
+    Positive,
+    /// Negative opinion on the aspect.
+    Negative,
+    /// Aspect mentioned without clear sentiment.
+    Neutral,
+}
+
+impl Polarity {
+    /// Signed unit score used by the unary-scale aggregation (§4.2.3).
+    pub fn score(self) -> f64 {
+        match self {
+            Polarity::Positive => 1.0,
+            Polarity::Negative => -1.0,
+            Polarity::Neutral => 0.0,
+        }
+    }
+}
+
+/// One aspect mention inside a review.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AspectMention {
+    /// Which aspect is discussed.
+    pub aspect: AspectId,
+    /// The opinion expressed on it.
+    pub polarity: Polarity,
+}
+
+/// A product review with its annotations.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Review {
+    /// Dataset-wide identifier.
+    pub id: ReviewId,
+    /// The reviewed product.
+    pub product: ProductId,
+    /// Anonymous reviewer index.
+    pub reviewer: u32,
+    /// Star rating 1–5.
+    pub rating: u8,
+    /// The review body.
+    pub text: String,
+    /// Aspect-opinion annotations (the paper treats these as given).
+    pub mentions: Vec<AspectMention>,
+}
+
+/// A product with metadata.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Product {
+    /// Dataset-wide identifier.
+    pub id: ProductId,
+    /// Display title.
+    pub title: String,
+    /// "Also bought" products forming the comparison candidates.
+    pub also_bought: Vec<ProductId>,
+    /// Reviews of this product.
+    pub reviews: Vec<ReviewId>,
+}
+
+/// A review corpus for one product category.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Category name (e.g. "Cellphone").
+    pub name: String,
+    /// Universal aspect vocabulary 𝒜 (z = `aspects.len()`).
+    pub aspects: Vec<String>,
+    /// All products 𝒫.
+    pub products: Vec<Product>,
+    /// All reviews, indexable by [`ReviewId`].
+    pub reviews: Vec<Review>,
+    /// Number of distinct reviewers.
+    pub num_reviewers: u32,
+}
+
+impl Dataset {
+    /// Number of aspects z.
+    pub fn num_aspects(&self) -> usize {
+        self.aspects.len()
+    }
+
+    /// Look up a review.
+    pub fn review(&self, id: ReviewId) -> &Review {
+        &self.reviews[id.0 as usize]
+    }
+
+    /// Look up a product.
+    pub fn product(&self, id: ProductId) -> &Product {
+        &self.products[id.0 as usize]
+    }
+
+    /// Reviews of a product as a slice of ids.
+    pub fn reviews_of(&self, id: ProductId) -> &[ReviewId] {
+        &self.product(id).reviews
+    }
+
+    /// Build the comparison instances: one per *target product* that has at
+    /// least one review and at least one also-bought product with reviews.
+    /// This matches the paper's "#Target Product" accounting in Table 2.
+    pub fn instances(&self) -> Vec<ComparisonInstance> {
+        let mut out = Vec::new();
+        for p in &self.products {
+            if p.reviews.is_empty() {
+                continue;
+            }
+            let comps: Vec<ProductId> = p
+                .also_bought
+                .iter()
+                .copied()
+                .filter(|c| !self.product(*c).reviews.is_empty())
+                .collect();
+            if comps.is_empty() {
+                continue;
+            }
+            let mut items = Vec::with_capacity(comps.len() + 1);
+            items.push(p.id);
+            items.extend(comps);
+            out.push(ComparisonInstance { items });
+        }
+        out
+    }
+
+    /// Validate internal consistency (index bounds, back references).
+    /// Returns a list of human-readable problems; empty means valid.
+    pub fn validate(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        let z = self.aspects.len() as u32;
+        let np = self.products.len() as u32;
+        let nr = self.reviews.len() as u32;
+        for (i, p) in self.products.iter().enumerate() {
+            if p.id.0 != i as u32 {
+                problems.push(format!("product {} has id {:?}", i, p.id));
+            }
+            for r in &p.reviews {
+                if r.0 >= nr {
+                    problems.push(format!("product {} references review {:?} out of bounds", i, r));
+                } else if self.reviews[r.0 as usize].product != p.id {
+                    problems.push(format!("review {:?} not back-linked to product {}", r, i));
+                }
+            }
+            for ab in &p.also_bought {
+                if ab.0 >= np {
+                    problems.push(format!("product {} also-bought {:?} out of bounds", i, ab));
+                }
+                if *ab == p.id {
+                    problems.push(format!("product {} lists itself as also-bought", i));
+                }
+            }
+        }
+        for (i, r) in self.reviews.iter().enumerate() {
+            if r.id.0 != i as u32 {
+                problems.push(format!("review {} has id {:?}", i, r.id));
+            }
+            if r.product.0 >= np {
+                problems.push(format!("review {} references product {:?} out of bounds", i, r.product));
+            }
+            if !(1..=5).contains(&r.rating) {
+                problems.push(format!("review {} has rating {}", i, r.rating));
+            }
+            for m in &r.mentions {
+                if m.aspect.0 >= z {
+                    problems.push(format!("review {} mentions aspect {:?} out of bounds", i, m.aspect));
+                }
+            }
+        }
+        problems
+    }
+}
+
+/// One problem instance: a target item (first element) plus its
+/// comparative items, all guaranteed to have at least one review.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ComparisonInstance {
+    /// `items[0]` is the target p₁; the rest are comparative items.
+    pub items: Vec<ProductId>,
+}
+
+impl ComparisonInstance {
+    /// The target item p₁.
+    pub fn target(&self) -> ProductId {
+        self.items[0]
+    }
+
+    /// The comparative items p₂…pₙ.
+    pub fn comparatives(&self) -> &[ProductId] {
+        &self.items[1..]
+    }
+
+    /// Total number of items n.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// An instance always has at least the target item.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// A copy truncated to at most `max_comparatives` comparative items.
+    pub fn truncated(&self, max_comparatives: usize) -> ComparisonInstance {
+        let n = 1 + max_comparatives.min(self.items.len().saturating_sub(1));
+        ComparisonInstance {
+            items: self.items[..n].to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_dataset() -> Dataset {
+        let mk_review = |id: u32, product: u32, aspect: u32, pol: Polarity| Review {
+            id: ReviewId(id),
+            product: ProductId(product),
+            reviewer: id,
+            rating: 4,
+            text: format!("review {id}"),
+            mentions: vec![AspectMention {
+                aspect: AspectId(aspect),
+                polarity: pol,
+            }],
+        };
+        Dataset {
+            name: "tiny".into(),
+            aspects: vec!["battery".into(), "lens".into()],
+            products: vec![
+                Product {
+                    id: ProductId(0),
+                    title: "P0".into(),
+                    also_bought: vec![ProductId(1), ProductId(2)],
+                    reviews: vec![ReviewId(0)],
+                },
+                Product {
+                    id: ProductId(1),
+                    title: "P1".into(),
+                    also_bought: vec![ProductId(0)],
+                    reviews: vec![ReviewId(1)],
+                },
+                Product {
+                    id: ProductId(2),
+                    title: "P2".into(),
+                    also_bought: vec![],
+                    reviews: vec![],
+                },
+            ],
+            reviews: vec![
+                mk_review(0, 0, 0, Polarity::Positive),
+                mk_review(1, 1, 1, Polarity::Negative),
+            ],
+            num_reviewers: 2,
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let d = tiny_dataset();
+        assert_eq!(d.num_aspects(), 2);
+        assert_eq!(d.review(ReviewId(1)).product, ProductId(1));
+        assert_eq!(d.product(ProductId(0)).title, "P0");
+        assert_eq!(d.reviews_of(ProductId(0)), &[ReviewId(0)]);
+    }
+
+    #[test]
+    fn instances_skip_reviewless_products() {
+        let d = tiny_dataset();
+        let insts = d.instances();
+        // P0 -> [P1] (P2 has no reviews); P1 -> [P0]; P2 skipped.
+        assert_eq!(insts.len(), 2);
+        assert_eq!(insts[0].target(), ProductId(0));
+        assert_eq!(insts[0].comparatives(), &[ProductId(1)]);
+        assert_eq!(insts[1].target(), ProductId(1));
+    }
+
+    #[test]
+    fn validate_accepts_consistent_dataset() {
+        assert!(tiny_dataset().validate().is_empty());
+    }
+
+    #[test]
+    fn validate_flags_problems() {
+        let mut d = tiny_dataset();
+        d.reviews[0].rating = 9;
+        d.products[0].also_bought.push(ProductId(0)); // self-loop
+        d.reviews[1].mentions.push(AspectMention {
+            aspect: AspectId(99),
+            polarity: Polarity::Neutral,
+        });
+        let problems = d.validate();
+        assert_eq!(problems.len(), 3, "{problems:?}");
+    }
+
+    #[test]
+    fn truncated_instance_keeps_target() {
+        let inst = ComparisonInstance {
+            items: vec![ProductId(5), ProductId(1), ProductId(2), ProductId(3)],
+        };
+        let t = inst.truncated(2);
+        assert_eq!(t.items, vec![ProductId(5), ProductId(1), ProductId(2)]);
+        assert_eq!(t.target(), ProductId(5));
+        let t0 = inst.truncated(0);
+        assert_eq!(t0.len(), 1);
+        assert!(!t0.is_empty());
+    }
+
+    #[test]
+    fn polarity_scores() {
+        assert_eq!(Polarity::Positive.score(), 1.0);
+        assert_eq!(Polarity::Negative.score(), -1.0);
+        assert_eq!(Polarity::Neutral.score(), 0.0);
+    }
+}

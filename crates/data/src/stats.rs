@@ -1,0 +1,146 @@
+//! Dataset statistics (Table 2).
+//!
+//! "Table 2: Data statistics" reports, per category: #Product, #Reviewer,
+//! #Review, #Target Product, Avg. #Comparison Product, and Avg. #Review
+//! per Product. [`DatasetStats::compute`] derives the same quantities from
+//! any [`Dataset`].
+
+use crate::model::Dataset;
+
+/// Summary statistics of a dataset, matching Table 2's rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetStats {
+    /// Dataset name.
+    pub name: String,
+    /// Number of products.
+    pub num_products: usize,
+    /// Number of distinct reviewers.
+    pub num_reviewers: usize,
+    /// Number of reviews.
+    pub num_reviews: usize,
+    /// Number of valid target products (products with reviews and at least
+    /// one reviewed comparison product).
+    pub num_target_products: usize,
+    /// Average number of comparison products per target product.
+    pub avg_comparison_products: f64,
+    /// Average number of reviews per product, over products with reviews.
+    pub avg_reviews_per_product: f64,
+}
+
+impl DatasetStats {
+    /// Compute statistics for a dataset.
+    pub fn compute(dataset: &Dataset) -> Self {
+        let instances = dataset.instances();
+        let num_target_products = instances.len();
+        let avg_comparison_products = if instances.is_empty() {
+            0.0
+        } else {
+            instances
+                .iter()
+                .map(|i| i.comparatives().len() as f64)
+                .sum::<f64>()
+                / instances.len() as f64
+        };
+        let reviewed: Vec<usize> = dataset
+            .products
+            .iter()
+            .filter(|p| !p.reviews.is_empty())
+            .map(|p| p.reviews.len())
+            .collect();
+        let avg_reviews_per_product = if reviewed.is_empty() {
+            0.0
+        } else {
+            reviewed.iter().sum::<usize>() as f64 / reviewed.len() as f64
+        };
+        DatasetStats {
+            name: dataset.name.clone(),
+            num_products: dataset.products.len(),
+            num_reviewers: dataset.num_reviewers as usize,
+            num_reviews: dataset.reviews.len(),
+            num_target_products,
+            avg_comparison_products,
+            avg_reviews_per_product,
+        }
+    }
+}
+
+impl std::fmt::Display for DatasetStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Dataset: {}", self.name)?;
+        writeln!(f, "  #Product                  {}", self.num_products)?;
+        writeln!(f, "  #Reviewer                 {}", self.num_reviewers)?;
+        writeln!(f, "  #Review                   {}", self.num_reviews)?;
+        writeln!(f, "  #Target Product           {}", self.num_target_products)?;
+        writeln!(
+            f,
+            "  Avg. #Comparison Product  {:.2}",
+            self.avg_comparison_products
+        )?;
+        write!(
+            f,
+            "  Avg. #Review per Product  {:.2}",
+            self.avg_reviews_per_product
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::CategoryPreset;
+
+    #[test]
+    fn stats_are_internally_consistent() {
+        let d = CategoryPreset::Cellphone.config(80, 3).generate();
+        let s = DatasetStats::compute(&d);
+        assert_eq!(s.num_products, 80);
+        assert_eq!(s.num_reviews, d.reviews.len());
+        assert!(s.num_target_products <= s.num_products);
+        assert!(s.avg_reviews_per_product >= 1.0);
+        assert!(s.avg_comparison_products >= 1.0);
+    }
+
+    #[test]
+    fn category_averages_track_presets() {
+        // Clothing has the shortest comparison lists in Table 2; verify the
+        // generated corpora preserve the ordering Toy > Cellphone > Clothing.
+        let toy = DatasetStats::compute(&CategoryPreset::Toy.config(150, 1).generate());
+        let cell = DatasetStats::compute(&CategoryPreset::Cellphone.config(150, 1).generate());
+        let cloth = DatasetStats::compute(&CategoryPreset::Clothing.config(150, 1).generate());
+        assert!(toy.avg_comparison_products > cloth.avg_comparison_products);
+        assert!(cell.avg_comparison_products > cloth.avg_comparison_products);
+        // Reviews/product: Cellphone > Toy ≈ Clothing.
+        assert!(cell.avg_reviews_per_product > cloth.avg_reviews_per_product);
+    }
+
+    #[test]
+    fn display_includes_all_rows() {
+        let d = CategoryPreset::Toy.config(30, 9).generate();
+        let text = DatasetStats::compute(&d).to_string();
+        for needle in [
+            "#Product",
+            "#Reviewer",
+            "#Review",
+            "#Target Product",
+            "Avg. #Comparison Product",
+            "Avg. #Review per Product",
+        ] {
+            assert!(text.contains(needle), "missing {needle}");
+        }
+    }
+
+    #[test]
+    fn empty_dataset_stats_are_zero() {
+        let d = Dataset {
+            name: "empty".into(),
+            aspects: vec!["a".into()],
+            products: vec![],
+            reviews: vec![],
+            num_reviewers: 0,
+        };
+        let s = DatasetStats::compute(&d);
+        assert_eq!(s.num_target_products, 0);
+        assert_eq!(s.avg_comparison_products, 0.0);
+        assert_eq!(s.avg_reviews_per_product, 0.0);
+    }
+}

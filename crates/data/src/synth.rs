@@ -1,0 +1,543 @@
+//! Seeded synthetic corpus generator.
+//!
+//! Substitutes the Amazon Product Review Dataset (see DESIGN.md §1). The
+//! generator reproduces the *structural* properties the selection
+//! algorithms are sensitive to:
+//!
+//! * products cluster into families of similar items ("also bought" lists
+//!   connect mostly within a family, like co-purchase neighbourhoods);
+//! * each product has an aspect-popularity profile and a per-aspect
+//!   quality, so reviews of one product share aspects and skew
+//!   consistently positive/negative;
+//! * review text is rendered from shared templates, so ROUGE between two
+//!   reviews grows with genuine aspect overlap;
+//! * per-category knobs mirror Table 2 (average reviews/product and
+//!   average comparison-list length).
+//!
+//! Everything is driven by a [`ChaCha8Rng`] seed: the same config yields
+//! byte-identical corpora on every platform.
+
+use crate::model::{
+    AspectId, AspectMention, Dataset, Polarity, Product, ProductId, Review, ReviewId,
+};
+use crate::templates;
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+/// Configuration of the synthetic generator.
+#[derive(Debug, Clone)]
+pub struct SynthConfig {
+    /// Dataset/category name.
+    pub name: String,
+    /// Aspect vocabulary for the category.
+    pub aspects: Vec<String>,
+    /// Number of products to generate.
+    pub num_products: usize,
+    /// Number of distinct reviewer identities.
+    pub num_reviewers: usize,
+    /// Number of product families (clusters).
+    pub num_clusters: usize,
+    /// How many of the category's aspects a cluster actively discusses.
+    pub aspects_per_cluster: usize,
+    /// Mean reviews per product (geometric-like distribution).
+    pub avg_reviews_per_product: f64,
+    /// Hard cap on reviews per product.
+    pub max_reviews_per_product: usize,
+    /// Probability a product ends up with zero reviews (such products are
+    /// skipped as targets, as in Table 2 where #Target < #Product).
+    pub reviewless_probability: f64,
+    /// Mean length of the "also bought" comparison list.
+    pub avg_comparisons: f64,
+    /// Minimum and maximum aspect mentions per review.
+    pub mentions_per_review: (usize, usize),
+    /// Base probability that an opinion is positive (modulated per
+    /// product/aspect quality).
+    pub positive_ratio: f64,
+    /// Fraction of mentions that are neutral.
+    pub neutral_ratio: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// The three category presets used throughout the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CategoryPreset {
+    /// Cell Phones and Accessories.
+    Cellphone,
+    /// Toys and Games.
+    Toy,
+    /// Clothing.
+    Clothing,
+}
+
+impl CategoryPreset {
+    /// All presets in paper order.
+    pub const ALL: [CategoryPreset; 3] = [
+        CategoryPreset::Cellphone,
+        CategoryPreset::Toy,
+        CategoryPreset::Clothing,
+    ];
+
+    /// Display name matching Table 2's column headers.
+    pub fn name(self) -> &'static str {
+        match self {
+            CategoryPreset::Cellphone => "Cellphone",
+            CategoryPreset::Toy => "Toy",
+            CategoryPreset::Clothing => "Clothing",
+        }
+    }
+
+    /// Aspect vocabulary for the category.
+    pub fn aspects(self) -> Vec<String> {
+        let terms: &[&str] = match self {
+            CategoryPreset::Cellphone => &[
+                "battery", "screen", "charger", "cable", "case", "camera", "speaker", "button",
+                "signal", "storage", "price", "design", "grip", "port", "bluetooth", "durability",
+                "weight", "display", "microphone", "adapter", "mount", "holder", "protector",
+                "warranty", "packaging", "instructions", "fit", "texture", "brightness", "latency",
+            ],
+            CategoryPreset::Toy => &[
+                "pieces", "colors", "instructions", "assembly", "box", "plastic", "paint",
+                "batteries", "sound", "lights", "wheels", "figure", "puzzle", "cards", "board",
+                "dice", "stickers", "magnets", "blocks", "durability", "size", "price", "theme",
+                "artwork", "rules", "storage", "edges", "safety", "motor", "remote",
+            ],
+            CategoryPreset::Clothing => &[
+                "fabric", "size", "color", "stitching", "zipper", "buttons", "pockets", "sleeves",
+                "collar", "waist", "length", "lining", "elastic", "strap", "sole", "heel",
+                "material", "print", "fit", "seam", "hood", "cuff", "belt", "laces", "padding",
+                "breathability", "warmth", "price", "style", "washing",
+            ],
+        };
+        terms.iter().map(|s| s.to_string()).collect()
+    }
+
+    /// A config scaled to roughly `num_products` products, mirroring the
+    /// per-category averages of Table 2 (comparison-list length and
+    /// reviews/product).
+    pub fn config(self, num_products: usize, seed: u64) -> SynthConfig {
+        let (avg_comp, avg_rev) = match self {
+            CategoryPreset::Cellphone => (25.57, 18.64),
+            CategoryPreset::Toy => (34.33, 14.06),
+            CategoryPreset::Clothing => (12.03, 12.10),
+        };
+        // Comparison lists cannot exceed the cluster population; scale the
+        // target length down for tiny corpora.
+        let cluster_size = 40usize;
+        let num_clusters = (num_products / cluster_size).max(1);
+        let avg_comparisons = f64::min(avg_comp, (cluster_size as f64 - 1.0) * 0.9);
+        SynthConfig {
+            name: self.name().to_string(),
+            aspects: self.aspects(),
+            num_products,
+            num_reviewers: (num_products as f64 * 2.2) as usize + 5,
+            num_clusters,
+            aspects_per_cluster: 12,
+            avg_reviews_per_product: avg_rev,
+            max_reviews_per_product: 120,
+            reviewless_probability: 0.08,
+            avg_comparisons,
+            mentions_per_review: (1, 2),
+            positive_ratio: 0.72,
+            neutral_ratio: 0.08,
+            seed,
+        }
+    }
+}
+
+impl SynthConfig {
+    /// Generate the corpus.
+    ///
+    /// # Panics
+    /// Panics if the configuration is structurally impossible (no aspects,
+    /// no products, `aspects_per_cluster` of zero).
+    pub fn generate(&self) -> Dataset {
+        assert!(!self.aspects.is_empty(), "need at least one aspect");
+        assert!(self.num_products > 0, "need at least one product");
+        assert!(self.aspects_per_cluster > 0, "need aspects per cluster");
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let z = self.aspects.len();
+        let k_aspects = self.aspects_per_cluster.min(z);
+
+        // --- Cluster profiles -------------------------------------------------
+        struct Cluster {
+            /// Active aspects with sampling weights (descending).
+            aspect_weights: Vec<(usize, f64)>,
+            /// Per-active-aspect probability of a positive opinion.
+            quality: Vec<f64>,
+        }
+        let mut clusters = Vec::with_capacity(self.num_clusters);
+        for _ in 0..self.num_clusters {
+            let mut idx: Vec<usize> = (0..z).collect();
+            idx.shuffle(&mut rng);
+            idx.truncate(k_aspects);
+            // Zipf-ish weights: first aspects dominate, like real corpora.
+            let aspect_weights: Vec<(usize, f64)> = idx
+                .iter()
+                .enumerate()
+                .map(|(rank, &a)| (a, 1.0 / (rank as f64 + 1.0)))
+                .collect();
+            let quality: Vec<f64> = (0..k_aspects)
+                .map(|_| {
+                    (self.positive_ratio + rng.random_range(-0.25..0.25)).clamp(0.05, 0.95)
+                })
+                .collect();
+            clusters.push(Cluster {
+                aspect_weights,
+                quality,
+            });
+        }
+
+        // --- Products ---------------------------------------------------------
+        let cluster_of: Vec<usize> = (0..self.num_products)
+            .map(|i| i % self.num_clusters)
+            .collect();
+        let mut members: Vec<Vec<usize>> = vec![Vec::new(); self.num_clusters];
+        for (p, &c) in cluster_of.iter().enumerate() {
+            members[c].push(p);
+        }
+
+        let mut products: Vec<Product> = (0..self.num_products)
+            .map(|i| Product {
+                id: ProductId(i as u32),
+                title: format!("{} product #{i}", self.name),
+                also_bought: Vec::new(),
+                reviews: Vec::new(),
+            })
+            .collect();
+
+        // Per-product perturbed profiles. Crucially, each product keeps
+        // only a random *subset* of its cluster's aspects: real
+        // co-purchased items overlap on some aspects and differ on others
+        // — including sometimes lacking the target's dominant aspects —
+        // which is exactly the diversity the synchronized CompaReSetS+
+        // objective exploits (Figure 2 of the paper). At least two
+        // aspects are always kept so comparison remains possible.
+        let mut product_weights: Vec<Vec<(usize, f64)>> = Vec::with_capacity(self.num_products);
+        let mut product_quality: Vec<Vec<f64>> = Vec::with_capacity(self.num_products);
+        for &c in &cluster_of {
+            let cl = &clusters[c];
+            let n_cluster = cl.aspect_weights.len();
+            let mut keep: Vec<bool> = (0..n_cluster).map(|_| !rng.random_bool(0.35)).collect();
+            // Force at least two kept aspects (uniformly chosen).
+            while keep.iter().filter(|&&k| k).count() < 2.min(n_cluster) {
+                keep[rng.random_range(0..n_cluster)] = true;
+            }
+            let mut w: Vec<(usize, f64)> = Vec::with_capacity(n_cluster);
+            let mut q: Vec<f64> = Vec::with_capacity(n_cluster);
+            for (rank, (&(a, base_w), &base_q)) in cl
+                .aspect_weights
+                .iter()
+                .zip(cl.quality.iter())
+                .enumerate()
+            {
+                if !keep[rank] {
+                    continue; // this product simply lacks the aspect
+                }
+                w.push((a, (base_w * rng.random_range(0.6..1.4_f64)).max(1e-3)));
+                q.push((base_q + rng.random_range(-0.15..0.15)).clamp(0.02, 0.98));
+            }
+            product_weights.push(w);
+            product_quality.push(q);
+        }
+
+        // --- Reviews ----------------------------------------------------------
+        let mut reviews: Vec<Review> = Vec::new();
+        for p in 0..self.num_products {
+            if rng.random_bool(self.reviewless_probability) {
+                continue;
+            }
+            let n_reviews = sample_count(&mut rng, self.avg_reviews_per_product)
+                .clamp(1, self.max_reviews_per_product);
+            for _ in 0..n_reviews {
+                let id = ReviewId(reviews.len() as u32);
+                let review = self.generate_review(
+                    &mut rng,
+                    id,
+                    ProductId(p as u32),
+                    &product_weights[p],
+                    &product_quality[p],
+                );
+                products[p].reviews.push(id);
+                reviews.push(review);
+            }
+        }
+
+        // --- Also-bought lists -------------------------------------------------
+        for p in 0..self.num_products {
+            let c = cluster_of[p];
+            let pool: Vec<usize> = members[c].iter().copied().filter(|&q| q != p).collect();
+            if pool.is_empty() {
+                continue;
+            }
+            let want = sample_count(&mut rng, self.avg_comparisons).clamp(1, pool.len());
+            let mut chosen = pool;
+            chosen.shuffle(&mut rng);
+            chosen.truncate(want);
+            chosen.sort_unstable();
+            products[p].also_bought = chosen.into_iter().map(|q| ProductId(q as u32)).collect();
+        }
+
+        Dataset {
+            name: self.name.clone(),
+            aspects: self.aspects.clone(),
+            products,
+            reviews,
+            num_reviewers: self.num_reviewers as u32,
+        }
+    }
+
+    fn generate_review(
+        &self,
+        rng: &mut ChaCha8Rng,
+        id: ReviewId,
+        product: ProductId,
+        weights: &[(usize, f64)],
+        quality: &[f64],
+    ) -> Review {
+        let (lo, hi) = self.mentions_per_review;
+        let n_mentions = rng.random_range(lo..=hi.max(lo)).min(weights.len().max(1));
+
+        // Weighted sampling of aspects without replacement.
+        let mut pool: Vec<(usize, f64, usize)> = weights
+            .iter()
+            .enumerate()
+            .map(|(slot, &(a, w))| (a, w, slot))
+            .collect();
+        let mut mentions = Vec::with_capacity(n_mentions);
+        let mut sentences = Vec::with_capacity(n_mentions + 2);
+
+        if rng.random_bool(0.4) {
+            sentences.push(
+                templates::OPENERS[rng.random_range(0..templates::OPENERS.len())].to_string(),
+            );
+        }
+
+        let mut sentiment_sum = 0.0;
+        for _ in 0..n_mentions {
+            if pool.is_empty() {
+                break;
+            }
+            let total: f64 = pool.iter().map(|&(_, w, _)| w).sum();
+            let mut t = rng.random_range(0.0..total);
+            let mut pick = 0;
+            for (i, &(_, w, _)) in pool.iter().enumerate() {
+                if t < w {
+                    pick = i;
+                    break;
+                }
+                t -= w;
+            }
+            let (aspect, _, slot) = pool.swap_remove(pick);
+            let polarity = if rng.random_bool(self.neutral_ratio) {
+                Polarity::Neutral
+            } else if rng.random_bool(quality[slot]) {
+                Polarity::Positive
+            } else {
+                Polarity::Negative
+            };
+            sentiment_sum += polarity.score();
+            mentions.push(AspectMention {
+                aspect: AspectId(aspect as u32),
+                polarity,
+            });
+            sentences.push(templates::render_sentence(
+                &self.aspects[aspect],
+                polarity,
+                rng.random_range(0..64),
+                rng.random_range(0..64),
+            ));
+        }
+
+        if rng.random_bool(0.35) {
+            let closer = if sentiment_sum >= 0.0 {
+                templates::POSITIVE_CLOSERS[rng.random_range(0..templates::POSITIVE_CLOSERS.len())]
+            } else {
+                templates::NEGATIVE_CLOSERS[rng.random_range(0..templates::NEGATIVE_CLOSERS.len())]
+            };
+            sentences.push(closer.to_string());
+        }
+
+        let mean = if mentions.is_empty() {
+            0.0
+        } else {
+            sentiment_sum / mentions.len() as f64
+        };
+        let rating = ((3.0 + 2.0 * mean).round() as i32).clamp(1, 5) as u8;
+
+        let mut text = String::new();
+        for s in &sentences {
+            text.push_str(s);
+            text.push_str(". ");
+        }
+        let text = text.trim_end().to_string();
+
+        Review {
+            id,
+            product,
+            reviewer: rng.random_range(0..self.num_reviewers as u32),
+            rating,
+            text,
+            mentions,
+        }
+    }
+}
+
+/// Sample a count with mean `mean` from a geometric-like distribution
+/// (heavier tail than Poisson, closer to review-count distributions).
+fn sample_count(rng: &mut ChaCha8Rng, mean: f64) -> usize {
+    if mean <= 0.0 {
+        return 0;
+    }
+    // Exponential with the given mean, rounded; cheap and tail-heavy.
+    let u: f64 = rng.random_range(0.0_f64..1.0).max(1e-12);
+    (-mean * u.ln()).round() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(preset: CategoryPreset) -> Dataset {
+        preset.config(60, 42).generate()
+    }
+
+    #[test]
+    fn generates_consistent_dataset() {
+        for preset in CategoryPreset::ALL {
+            let d = small(preset);
+            assert!(d.validate().is_empty(), "{:?}", d.validate());
+            assert_eq!(d.products.len(), 60);
+            assert!(!d.reviews.is_empty());
+        }
+    }
+
+    #[test]
+    fn same_seed_same_corpus() {
+        let a = small(CategoryPreset::Toy);
+        let b = small(CategoryPreset::Toy);
+        assert_eq!(a.reviews.len(), b.reviews.len());
+        assert_eq!(a.reviews[0].text, b.reviews[0].text);
+        assert_eq!(
+            a.products[5].also_bought,
+            b.products[5].also_bought
+        );
+    }
+
+    #[test]
+    fn different_seed_differs() {
+        let a = CategoryPreset::Toy.config(60, 1).generate();
+        let b = CategoryPreset::Toy.config(60, 2).generate();
+        // Extremely unlikely to coincide.
+        assert_ne!(
+            (a.reviews.len(), a.reviews.first().map(|r| r.text.clone())),
+            (b.reviews.len(), b.reviews.first().map(|r| r.text.clone()))
+        );
+    }
+
+    #[test]
+    fn most_products_have_reviews() {
+        let d = small(CategoryPreset::Cellphone);
+        let with = d.products.iter().filter(|p| !p.reviews.is_empty()).count();
+        assert!(with >= 45, "only {with}/60 products have reviews");
+    }
+
+    #[test]
+    fn mentions_reference_valid_aspects() {
+        let d = small(CategoryPreset::Clothing);
+        let z = d.num_aspects() as u32;
+        for r in &d.reviews {
+            assert!(!r.mentions.is_empty());
+            for m in &r.mentions {
+                assert!(m.aspect.0 < z);
+            }
+        }
+    }
+
+    #[test]
+    fn review_text_mentions_the_aspect_terms() {
+        let d = small(CategoryPreset::Cellphone);
+        for r in d.reviews.iter().take(50) {
+            for m in &r.mentions {
+                let term = &d.aspects[m.aspect.0 as usize];
+                assert!(
+                    r.text.contains(term),
+                    "review text {:?} missing aspect {term}",
+                    r.text
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn opinion_skew_is_roughly_positive() {
+        let d = small(CategoryPreset::Toy);
+        let mut pos = 0usize;
+        let mut neg = 0usize;
+        for r in &d.reviews {
+            for m in &r.mentions {
+                match m.polarity {
+                    Polarity::Positive => pos += 1,
+                    Polarity::Negative => neg += 1,
+                    Polarity::Neutral => {}
+                }
+            }
+        }
+        let ratio = pos as f64 / (pos + neg) as f64;
+        assert!((0.5..0.95).contains(&ratio), "positive ratio {ratio}");
+    }
+
+    #[test]
+    fn also_bought_stays_within_bounds_and_no_self() {
+        let d = small(CategoryPreset::Toy);
+        for p in &d.products {
+            for ab in &p.also_bought {
+                assert!(ab.0 < d.products.len() as u32);
+                assert_ne!(*ab, p.id);
+            }
+        }
+    }
+
+    #[test]
+    fn instances_are_plentiful() {
+        let d = small(CategoryPreset::Cellphone);
+        let insts = d.instances();
+        assert!(insts.len() >= 40, "{} instances", insts.len());
+        for inst in &insts {
+            assert!(inst.len() >= 2);
+        }
+    }
+
+    #[test]
+    fn ratings_track_sentiment() {
+        let d = small(CategoryPreset::Clothing);
+        // All-positive reviews should never get rating 1; all-negative never 5.
+        for r in &d.reviews {
+            let all_pos = r.mentions.iter().all(|m| m.polarity == Polarity::Positive);
+            let all_neg = r.mentions.iter().all(|m| m.polarity == Polarity::Negative);
+            if all_pos {
+                assert!(r.rating >= 4, "all-positive review rated {}", r.rating);
+            }
+            if all_neg {
+                assert!(r.rating <= 2, "all-negative review rated {}", r.rating);
+            }
+        }
+    }
+
+    #[test]
+    fn sample_count_mean_is_close() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let n = 20_000;
+        let sum: usize = (0..n).map(|_| sample_count(&mut rng, 10.0)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((8.0..12.0).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "aspect")]
+    fn empty_aspects_panics() {
+        let mut cfg = CategoryPreset::Toy.config(5, 1);
+        cfg.aspects.clear();
+        let _ = cfg.generate();
+    }
+}

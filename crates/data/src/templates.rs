@@ -1,0 +1,153 @@
+//! Sentence templates for synthetic review text.
+//!
+//! The generator needs review text whose pairwise ROUGE scores behave
+//! like real reviews: two reviews discussing the same aspect with any
+//! polarity share vocabulary (aspect terms, common phrasing), while
+//! reviews about different aspects share only stop-word-level overlap.
+//! Adjectives are drawn from the same word lists as the sentiment lexicon
+//! in `comparesets-text`, so the end-to-end extraction example can recover
+//! the annotations from the generated text.
+
+use crate::model::Polarity;
+
+/// Positive adjectives (a subset of the lexicon's positive words).
+pub const POSITIVE_ADJECTIVES: &[&str] = &[
+    "great", "excellent", "amazing", "fantastic", "solid", "reliable", "impressive", "superb",
+    "wonderful", "outstanding", "perfect", "nice",
+];
+
+/// Negative adjectives (a subset of the lexicon's negative words).
+pub const NEGATIVE_ADJECTIVES: &[&str] = &[
+    "bad", "poor", "terrible", "disappointing", "flimsy", "awful", "horrible", "mediocre",
+    "frustrating", "weak", "defective", "unreliable",
+];
+
+/// Neutral descriptors for bare mentions.
+pub const NEUTRAL_PHRASES: &[&str] = &[
+    "is about what you would expect",
+    "is there as described",
+    "matches the listing",
+    "is standard for this kind of product",
+    "is unremarkable either way",
+    "works as stated in the manual",
+];
+
+/// Sentence templates; `{aspect}` and `{adj}` are substituted. Each
+/// template mentions the aspect term twice: reviews discussing the same
+/// aspect then share several unigrams and the "the {aspect}" bigram, so
+/// ROUGE between reviews genuinely tracks aspect overlap — the property
+/// the paper's evaluation metric relies on (§4.1.3).
+pub const OPINION_TEMPLATES: &[&str] = &[
+    "the {aspect} is {adj}, a {aspect} like this decides the purchase",
+    "i found the {aspect} to be {adj} and the {aspect} held up in daily use",
+    "its {aspect} turned out {adj}, the {aspect} is what you notice first",
+    "overall the {aspect} seems {adj}, judge the {aspect} for yourself",
+    "honestly the {aspect} was {adj} for the price, few offer such a {aspect}",
+    "{adj} {aspect} compared to what i had before, that {aspect} sold me",
+];
+
+/// Templates for neutral mentions; `{aspect}` and `{phrase}` substituted.
+pub const NEUTRAL_TEMPLATES: &[&str] = &[
+    "the {aspect} {phrase}, no surprises in the {aspect} department",
+    "as for the {aspect}, it {phrase}, a {aspect} is a {aspect}",
+];
+
+/// Opening phrases that add realistic shared filler.
+pub const OPENERS: &[&str] = &[
+    "bought this last month",
+    "arrived quickly and well packaged",
+    "i use this every day",
+    "got this as a gift",
+    "after a few weeks of use",
+    "ordered this to replace an older one",
+];
+
+/// Closing phrases keyed by overall verdict (true = positive lean).
+pub const POSITIVE_CLOSERS: &[&str] = &[
+    "would recommend to anyone",
+    "definitely worth the money",
+    "very happy with this purchase",
+    "will buy again",
+];
+
+/// Closing phrases for negative-leaning reviews.
+pub const NEGATIVE_CLOSERS: &[&str] = &[
+    "would not recommend",
+    "save your money",
+    "thinking about a return",
+    "expected better",
+];
+
+/// Render one opinion sentence for `(aspect, polarity)` using the template
+/// and adjective chosen by the provided indices (callers pass RNG draws so
+/// this function stays deterministic and trivially testable).
+pub fn render_sentence(
+    aspect: &str,
+    polarity: Polarity,
+    template_idx: usize,
+    word_idx: usize,
+) -> String {
+    match polarity {
+        Polarity::Positive => {
+            let t = OPINION_TEMPLATES[template_idx % OPINION_TEMPLATES.len()];
+            let adj = POSITIVE_ADJECTIVES[word_idx % POSITIVE_ADJECTIVES.len()];
+            t.replace("{aspect}", aspect).replace("{adj}", adj)
+        }
+        Polarity::Negative => {
+            let t = OPINION_TEMPLATES[template_idx % OPINION_TEMPLATES.len()];
+            let adj = NEGATIVE_ADJECTIVES[word_idx % NEGATIVE_ADJECTIVES.len()];
+            t.replace("{aspect}", aspect).replace("{adj}", adj)
+        }
+        Polarity::Neutral => {
+            let t = NEUTRAL_TEMPLATES[template_idx % NEUTRAL_TEMPLATES.len()];
+            let phrase = NEUTRAL_PHRASES[word_idx % NEUTRAL_PHRASES.len()];
+            t.replace("{aspect}", aspect).replace("{phrase}", phrase)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn positive_sentence_contains_aspect_and_adjective() {
+        let s = render_sentence("battery", Polarity::Positive, 0, 0);
+        assert!(s.contains("battery"));
+        assert!(s.contains("great"));
+    }
+
+    #[test]
+    fn negative_sentence_contains_negative_adjective() {
+        let s = render_sentence("lens", Polarity::Negative, 1, 2);
+        assert!(s.contains("lens"));
+        assert!(s.contains(NEGATIVE_ADJECTIVES[2]));
+    }
+
+    #[test]
+    fn neutral_sentence_has_no_sentiment_adjective() {
+        let s = render_sentence("strap", Polarity::Neutral, 0, 0);
+        assert!(s.contains("strap"));
+        for adj in POSITIVE_ADJECTIVES.iter().chain(NEGATIVE_ADJECTIVES) {
+            assert!(!s.contains(adj), "{s} contains {adj}");
+        }
+    }
+
+    #[test]
+    fn indices_wrap_safely() {
+        let s = render_sentence("zip", Polarity::Positive, 1000, 1000);
+        assert!(s.contains("zip"));
+    }
+
+    #[test]
+    fn adjectives_are_in_text_lexicon() {
+        use comparesets_text::{Lexicon, Sentiment};
+        let lex = Lexicon::builtin();
+        for w in POSITIVE_ADJECTIVES {
+            assert_eq!(lex.polarity(w), Some(Sentiment::Positive), "{w}");
+        }
+        for w in NEGATIVE_ADJECTIVES {
+            assert_eq!(lex.polarity(w), Some(Sentiment::Negative), "{w}");
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Property-based tests for the synthetic generator and serialisation.
+
+use comparesets_data::io::{from_json, to_json};
+use comparesets_data::{CategoryPreset, SynthConfig};
+use proptest::prelude::*;
+
+fn preset() -> impl Strategy<Value = CategoryPreset> {
+    prop_oneof![
+        Just(CategoryPreset::Cellphone),
+        Just(CategoryPreset::Toy),
+        Just(CategoryPreset::Clothing),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn generated_corpora_are_always_consistent(
+        p in preset(),
+        products in 5usize..60,
+        seed in 0u64..1000,
+    ) {
+        let d = p.config(products, seed).generate();
+        prop_assert!(d.validate().is_empty(), "{:?}", d.validate());
+        prop_assert_eq!(d.products.len(), products);
+        // Every instance's items have at least one review and include the
+        // target.
+        for inst in d.instances() {
+            prop_assert!(inst.len() >= 2);
+            for &pid in &inst.items {
+                prop_assert!(!d.reviews_of(pid).is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn serialisation_round_trip_is_lossless(
+        p in preset(),
+        seed in 0u64..200,
+    ) {
+        let d = p.config(15, seed).generate();
+        let json = to_json(&d).unwrap();
+        let back = from_json(&json).unwrap();
+        prop_assert_eq!(to_json(&back).unwrap(), json);
+    }
+
+    #[test]
+    fn custom_config_knobs_are_respected(
+        seed in 0u64..100,
+        max_reviews in 2usize..8,
+    ) {
+        let mut cfg: SynthConfig = CategoryPreset::Toy.config(20, seed);
+        cfg.max_reviews_per_product = max_reviews;
+        cfg.mentions_per_review = (1, 2);
+        let d = cfg.generate();
+        for p in &d.products {
+            prop_assert!(p.reviews.len() <= max_reviews);
+        }
+        for r in &d.reviews {
+            prop_assert!((1..=2).contains(&r.mentions.len()));
+        }
+    }
+}

@@ -1,0 +1,6 @@
+//! Run the ablation studies (see `comparesets_eval::ablation`).
+fn main() {
+    let cfg = comparesets_eval::EvalConfig::from_env();
+    let result = comparesets_eval::ablation::run(&cfg);
+    println!("{}", result.render());
+}

@@ -1,0 +1,16 @@
+//! Run every experiment in sequence (the full reproduction pass).
+fn main() {
+    let cfg = comparesets_eval::EvalConfig::from_env();
+    println!("{}\n", comparesets_eval::table2::run(&cfg).render());
+    println!("{}\n", comparesets_eval::table3::run(&cfg).render());
+    println!("{}\n", comparesets_eval::table4::run(&cfg).render());
+    println!("{}\n", comparesets_eval::table5::run(&cfg).render());
+    println!("{}\n", comparesets_eval::table6::run(&cfg).render());
+    println!("{}\n", comparesets_eval::table7::run(&cfg).render());
+    println!("{}\n", comparesets_eval::fig5::run(&cfg).render());
+    println!("{}\n", comparesets_eval::fig6::run(&cfg).render());
+    println!("{}\n", comparesets_eval::fig7::run(&cfg).render());
+    println!("{}\n", comparesets_eval::fig11::run(&cfg).render());
+    let cases = comparesets_eval::casestudy::run(&cfg);
+    println!("{}", comparesets_eval::casestudy::render(&cases));
+}

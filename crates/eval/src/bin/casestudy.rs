@@ -1,0 +1,6 @@
+//! Regenerate the case studies of Figures 8-10.
+fn main() {
+    let cfg = comparesets_eval::EvalConfig::from_env();
+    let cases = comparesets_eval::casestudy::run(&cfg);
+    println!("{}", comparesets_eval::casestudy::render(&cases));
+}

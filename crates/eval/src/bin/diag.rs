@@ -1,0 +1,47 @@
+//! Internal diagnostic: algorithm ordering on the current corpus
+//! (target-vs-comp and among-items ROUGE-L at m = 3, default config).
+//! Not part of the reproduction; used to calibrate the generator.
+
+use comparesets_core::{Algorithm, SelectParams};
+use comparesets_data::CategoryPreset;
+use comparesets_eval::metrics::{alignment_among_items, alignment_target_vs_comparatives};
+use comparesets_eval::pipeline::{dataset_for, prepare_instances, run_algorithm};
+use comparesets_eval::EvalConfig;
+
+fn main() {
+    let cfg = EvalConfig::default();
+    for preset in [CategoryPreset::Cellphone, CategoryPreset::Toy] {
+        let ds = dataset_for(preset, &cfg);
+        let instances = prepare_instances(&ds, &cfg);
+        println!("=== {} ({} instances) ===", preset.name(), instances.len());
+        let params = SelectParams {
+            m: 3,
+            lambda: cfg.lambda,
+            mu: cfg.mu,
+        };
+        for alg in Algorithm::ALL {
+            let sols = run_algorithm(&instances, alg, &params, cfg.seed);
+            let mut tv = 0.0;
+            let mut am = 0.0;
+            let mut n = 0.0;
+            for (inst, sels) in instances.iter().zip(sols.iter()) {
+                tv += alignment_target_vs_comparatives(inst, sels, None)
+                    .map(|t| t.rl)
+                    .unwrap_or(0.0);
+                am += alignment_among_items(inst, sels, None)
+                    .map(|t| t.rl)
+                    .unwrap_or(0.0);
+                n += 1.0;
+            }
+            let mut coh = 0.0;
+            for (inst, sels) in instances.iter().zip(sols.iter()) {
+                let items: Vec<usize> = (0..inst.ctx.num_items().min(3)).collect();
+                coh += comparesets_eval::userstudy::selection_coherence(inst, sels, &items);
+            }
+            println!("{:<20} tv={:.2} among={:.2} coherence={:.3}", alg.name(), tv / n, am / n, coh / n);
+        }
+    }
+}
+
+#[allow(dead_code)]
+fn coherence_probe() {}

@@ -1,0 +1,6 @@
+//! Regenerate Fig5 of the paper's evaluation. Scale with COMPARESETS_SCALE.
+fn main() {
+    let cfg = comparesets_eval::EvalConfig::from_env();
+    let result = comparesets_eval::fig5::run(&cfg);
+    println!("{}", result.render());
+}

@@ -1,0 +1,5 @@
+//! Run the scalability sweep (see `comparesets_eval::scaling`).
+fn main() {
+    let cfg = comparesets_eval::EvalConfig::from_env();
+    println!("{}", comparesets_eval::scaling::run(&cfg).render());
+}

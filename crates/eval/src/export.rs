@@ -1,0 +1,170 @@
+//! CSV export of figure data.
+//!
+//! The paper's figures are plots; the harness prints value tables. For
+//! users who want to re-plot (gnuplot, matplotlib, vega), every figure
+//! result exposes `to_csv()` producing tidy long-format CSV with a header
+//! row.
+
+use crate::fig11::Fig11;
+use crate::fig5::{Fig5, GRID};
+use crate::fig6::{Fig6, BUCKETS};
+use crate::fig7::{Fig7, ITEM_COUNTS, TIMED_ALGORITHMS};
+
+/// Escape a CSV field (quotes fields containing separators).
+fn field(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+impl Fig5 {
+    /// Long-format CSV: `panel,dataset,value,rouge_l`.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("panel,dataset,param_value,rouge_l\n");
+        for (panel, series) in [("lambda", &self.lambda_sweep), ("mu", &self.mu_sweep)] {
+            for s in series {
+                for (gi, &g) in GRID.iter().enumerate() {
+                    out.push_str(&format!(
+                        "{},{},{},{:.4}\n",
+                        panel,
+                        field(&s.dataset),
+                        g,
+                        s.rouge_l[gi]
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Fig6 {
+    /// Long-format CSV: `panel,bucket,instances,series,gap`.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("panel,bucket,instances,series,rouge_l_gap\n");
+        for (panel, s) in [
+            ("target_vs_comp", &self.target_vs_comp),
+            ("among_items", &self.among_items),
+        ] {
+            for (bi, &(lo, hi)) in BUCKETS.iter().enumerate() {
+                let bucket = if hi == usize::MAX {
+                    format!("{lo}+")
+                } else {
+                    format!("{lo}-{hi}")
+                };
+                for (series, gap) in [
+                    ("comparesets_plus_minus_random", s.plus_minus_random[bi]),
+                    ("crs_minus_random", s.crs_minus_random[bi]),
+                ] {
+                    if let Some(g) = gap {
+                        out.push_str(&format!(
+                            "{},{},{},{},{:.4}\n",
+                            panel, bucket, s.bucket_counts[bi], series, g
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Fig7 {
+    /// Long-format CSV: `m,algorithm,n_comparatives,millis`.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("m,algorithm,n_comparatives,mean_millis\n");
+        for s in &self.series {
+            for (ai, alg) in TIMED_ALGORITHMS.iter().enumerate() {
+                for (ci, &n) in ITEM_COUNTS.iter().enumerate() {
+                    if let Some(ms) = s.millis[ai][ci] {
+                        out.push_str(&format!(
+                            "{},{},{},{:.4}\n",
+                            s.m,
+                            field(alg.name()),
+                            n,
+                            ms
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Fig11 {
+    /// Long-format CSV: `measure,scope,m,value`.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("measure,scope,m,value\n");
+        let rows: [(&str, &str, &Vec<f64>); 4] = [
+            ("delta", "target", &self.series.loss_target),
+            ("delta", "all_items", &self.series.loss_all),
+            ("cosine", "target", &self.series.cos_target),
+            ("cosine", "all_items", &self.series.cos_all),
+        ];
+        for (measure, scope, values) in rows {
+            for (mi, &m) in crate::fig11::M_VALUES.iter().enumerate() {
+                out.push_str(&format!("{},{},{},{:.6}\n", measure, scope, m, values[mi]));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EvalConfig;
+
+    fn lines_and_header(csv: &str, header: &str) -> usize {
+        let mut lines = csv.lines();
+        assert_eq!(lines.next().unwrap(), header);
+        let mut count = 0;
+        let cols = header.split(',').count();
+        for line in lines {
+            assert_eq!(line.split(',').count(), cols, "ragged row: {line}");
+            count += 1;
+        }
+        count
+    }
+
+    #[test]
+    fn fig5_csv_is_tidy() {
+        let f5 = crate::fig5::run(&EvalConfig::tiny());
+        let csv = f5.to_csv();
+        let rows = lines_and_header(&csv, "panel,dataset,param_value,rouge_l");
+        // 2 panels × 3 datasets × 5 grid points.
+        assert_eq!(rows, 2 * 3 * GRID.len());
+    }
+
+    #[test]
+    fn fig11_csv_is_tidy() {
+        let f11 = crate::fig11::run(&EvalConfig::tiny());
+        let csv = f11.to_csv();
+        let rows = lines_and_header(&csv, "measure,scope,m,value");
+        assert_eq!(rows, 4 * crate::fig11::M_VALUES.len());
+    }
+
+    #[test]
+    fn fig6_and_fig7_csv_parse() {
+        let cfg = EvalConfig::tiny();
+        let f6 = crate::fig6::run(&cfg);
+        let rows6 = lines_and_header(
+            &f6.to_csv(),
+            "panel,bucket,instances,series,rouge_l_gap",
+        );
+        assert!(rows6 > 0);
+        let f7 = crate::fig7::run(&cfg);
+        let rows7 = lines_and_header(&f7.to_csv(), "m,algorithm,n_comparatives,mean_millis");
+        assert!(rows7 > 0);
+    }
+
+    #[test]
+    fn csv_field_escaping() {
+        assert_eq!(field("plain"), "plain");
+        assert_eq!(field("a,b"), "\"a,b\"");
+        assert_eq!(field("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+}

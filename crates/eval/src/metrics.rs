@@ -1,0 +1,232 @@
+//! Review-alignment metrics (§4.1.3) and information-loss measures
+//! (§4.6.1).
+//!
+//! "Since each item may have multiple reviews in the selected sets, we
+//! measure the similarity between each pair of reviews (two reviews
+//! coming from different items) and report the average score", with
+//! ROUGE-1/2/L F1. Tables report scores ×100.
+
+use comparesets_core::Selection;
+use comparesets_linalg::vector::{cosine_similarity, sq_distance};
+use comparesets_text::rouge::{rouge_l_tokens, rouge_n_tokens};
+
+use crate::pipeline::PreparedInstance;
+
+/// Averaged ROUGE-1 / ROUGE-2 / ROUGE-L F1, already scaled ×100 like the
+/// paper's tables.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RougeTriple {
+    /// ROUGE-1 F1 × 100.
+    pub r1: f64,
+    /// ROUGE-2 F1 × 100.
+    pub r2: f64,
+    /// ROUGE-L F1 × 100.
+    pub rl: f64,
+}
+
+impl RougeTriple {
+    /// Mean of a collection of triples; zero when empty.
+    pub fn mean(triples: &[RougeTriple]) -> RougeTriple {
+        if triples.is_empty() {
+            return RougeTriple::default();
+        }
+        let n = triples.len() as f64;
+        RougeTriple {
+            r1: triples.iter().map(|t| t.r1).sum::<f64>() / n,
+            r2: triples.iter().map(|t| t.r2).sum::<f64>() / n,
+            rl: triples.iter().map(|t| t.rl).sum::<f64>() / n,
+        }
+    }
+}
+
+/// Average pairwise ROUGE between the selected reviews of two items.
+fn pair_alignment(
+    inst: &PreparedInstance,
+    i: usize,
+    j: usize,
+    sel_i: &Selection,
+    sel_j: &Selection,
+) -> Option<RougeTriple> {
+    let mut acc = RougeTriple::default();
+    let mut count = 0usize;
+    for &ri in &sel_i.indices {
+        for &rj in &sel_j.indices {
+            let a = &inst.tokens[i][ri];
+            let b = &inst.tokens[j][rj];
+            acc.r1 += rouge_n_tokens(a, b, 1).f1;
+            acc.r2 += rouge_n_tokens(a, b, 2).f1;
+            acc.rl += rouge_l_tokens(a, b).f1;
+            count += 1;
+        }
+    }
+    if count == 0 {
+        return None;
+    }
+    let scale = 100.0 / count as f64;
+    Some(RougeTriple {
+        r1: acc.r1 * scale,
+        r2: acc.r2 * scale,
+        rl: acc.rl * scale,
+    })
+}
+
+/// Table 3a measure: alignment between the target item's selected reviews
+/// and each comparative item's, averaged over comparative items. `items`
+/// optionally restricts to a subset (for Table 6); it must contain the
+/// target index 0.
+pub fn alignment_target_vs_comparatives(
+    inst: &PreparedInstance,
+    selections: &[Selection],
+    items: Option<&[usize]>,
+) -> Option<RougeTriple> {
+    let all: Vec<usize> = (0..inst.ctx.num_items()).collect();
+    let items = items.unwrap_or(&all);
+    debug_assert!(items.contains(&0), "item subset must contain the target");
+    let mut per_pair = Vec::new();
+    for &j in items {
+        if j == 0 {
+            continue;
+        }
+        if let Some(t) = pair_alignment(inst, 0, j, &selections[0], &selections[j]) {
+            per_pair.push(t);
+        }
+    }
+    if per_pair.is_empty() {
+        None
+    } else {
+        Some(RougeTriple::mean(&per_pair))
+    }
+}
+
+/// Table 3b measure: alignment among *all* items (every unordered pair,
+/// target included), averaged over pairs.
+pub fn alignment_among_items(
+    inst: &PreparedInstance,
+    selections: &[Selection],
+    items: Option<&[usize]>,
+) -> Option<RougeTriple> {
+    let all: Vec<usize> = (0..inst.ctx.num_items()).collect();
+    let items = items.unwrap_or(&all);
+    let mut per_pair = Vec::new();
+    for (a, &i) in items.iter().enumerate() {
+        for &j in &items[a + 1..] {
+            if let Some(t) = pair_alignment(inst, i, j, &selections[i], &selections[j]) {
+                per_pair.push(t);
+            }
+        }
+    }
+    if per_pair.is_empty() {
+        None
+    } else {
+        Some(RougeTriple::mean(&per_pair))
+    }
+}
+
+/// §4.6.1 information loss of one item: `Δ(τᵢ, π(Sᵢ))` (Figure 11a).
+pub fn information_loss(inst: &PreparedInstance, i: usize, sel: &Selection) -> f64 {
+    let pi = inst.ctx.space().pi(inst.ctx.item(i), &sel.indices);
+    sq_distance(inst.ctx.tau(i), &pi)
+}
+
+/// §4.6.1 cosine similarity `cos(τᵢ, π(Sᵢ))` (Figure 11b, Equation 9).
+pub fn information_cosine(inst: &PreparedInstance, i: usize, sel: &Selection) -> f64 {
+    let pi = inst.ctx.space().pi(inst.ctx.item(i), &sel.indices);
+    cosine_similarity(inst.ctx.tau(i), &pi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EvalConfig;
+    use crate::pipeline::{dataset_for, prepare_instances};
+    use comparesets_data::CategoryPreset;
+
+    fn one_instance() -> PreparedInstance {
+        let cfg = EvalConfig::tiny();
+        let ds = dataset_for(CategoryPreset::Cellphone, &cfg);
+        prepare_instances(&ds, &cfg).into_iter().next().unwrap()
+    }
+
+    fn full_selections(inst: &PreparedInstance) -> Vec<Selection> {
+        (0..inst.ctx.num_items())
+            .map(|i| Selection::new((0..inst.ctx.item(i).num_reviews()).collect()))
+            .collect()
+    }
+
+    #[test]
+    fn alignment_is_bounded_0_100() {
+        let inst = one_instance();
+        let sels = full_selections(&inst);
+        let t = alignment_target_vs_comparatives(&inst, &sels, None).unwrap();
+        for v in [t.r1, t.r2, t.rl] {
+            assert!((0.0..=100.0).contains(&v), "{t:?}");
+        }
+        let a = alignment_among_items(&inst, &sels, None).unwrap();
+        for v in [a.r1, a.r2, a.rl] {
+            assert!((0.0..=100.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn empty_selection_yields_none() {
+        let inst = one_instance();
+        let sels: Vec<Selection> = (0..inst.ctx.num_items())
+            .map(|_| Selection::default())
+            .collect();
+        assert!(alignment_target_vs_comparatives(&inst, &sels, None).is_none());
+        assert!(alignment_among_items(&inst, &sels, None).is_none());
+    }
+
+    #[test]
+    fn subset_restriction_works() {
+        let inst = one_instance();
+        let sels = full_selections(&inst);
+        if inst.ctx.num_items() >= 3 {
+            let sub = vec![0usize, 1];
+            let t = alignment_among_items(&inst, &sels, Some(&sub)).unwrap();
+            // With exactly one pair this equals the target-vs-comp measure
+            // restricted to the same subset.
+            let tv = alignment_target_vs_comparatives(&inst, &sels, Some(&sub)).unwrap();
+            assert!((t.rl - tv.rl).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)] // index loops read clearest here
+    fn full_selection_has_zero_information_loss() {
+        let inst = one_instance();
+        let sels = full_selections(&inst);
+        for i in 0..inst.ctx.num_items() {
+            assert!(information_loss(&inst, i, &sels[i]) < 1e-12);
+            assert!((information_cosine(&inst, i, &sels[i]) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn partial_selection_loses_information() {
+        let inst = one_instance();
+        // Pick an item with >1 review and select only the first.
+        for i in 0..inst.ctx.num_items() {
+            if inst.ctx.item(i).num_reviews() > 2 {
+                let sel = Selection::new(vec![0]);
+                let full = Selection::new((0..inst.ctx.item(i).num_reviews()).collect());
+                assert!(
+                    information_loss(&inst, i, &sel) >= information_loss(&inst, i, &full)
+                );
+                return;
+            }
+        }
+    }
+
+    #[test]
+    fn triple_mean() {
+        let m = RougeTriple::mean(&[
+            RougeTriple { r1: 10.0, r2: 2.0, rl: 6.0 },
+            RougeTriple { r1: 20.0, r2: 4.0, rl: 10.0 },
+        ]);
+        assert_eq!(m.r1, 15.0);
+        assert_eq!(m.r2, 3.0);
+        assert_eq!(m.rl, 8.0);
+        assert_eq!(RougeTriple::mean(&[]), RougeTriple::default());
+    }
+}

@@ -1,0 +1,142 @@
+//! Scalability experiment (§4.1.1's parallelism claim).
+//!
+//! "Solving multiple target items can be done in parallel. A larger
+//! dataset … does not necessarily mean that the problem is more difficult
+//! to solve, as we apply our solution to every problem instance, not the
+//! whole dataset at once." This experiment quantifies both halves:
+//!
+//! * throughput (instances/second of the full CompaReSetS+ pipeline) at
+//!   growing corpus sizes — per-instance cost must stay flat;
+//! * the parallel speedup from solving instances concurrently with rayon
+//!   (≈ min(cores, instances); on a single-core machine this is ≈ 1.0 by
+//!   construction — the experiment reports whatever the host provides).
+
+use comparesets_core::{solve_comparesets_plus, SelectParams};
+use comparesets_data::CategoryPreset;
+use std::time::Instant;
+
+use crate::config::EvalConfig;
+use crate::pipeline::{dataset_for, prepare_instances};
+use crate::report::Table;
+
+/// Corpus sizes swept (products per category).
+pub const CORPUS_SIZES: [usize; 3] = [120, 240, 480];
+
+/// One measurement row.
+#[derive(Debug, Clone, Copy)]
+pub struct ScalingRow {
+    /// Products in the corpus.
+    pub products: usize,
+    /// Instances solved.
+    pub instances: usize,
+    /// Mean per-instance solve time (ms), sequential.
+    pub ms_per_instance: f64,
+    /// Wall-clock speedup of the rayon-parallel run over sequential.
+    pub parallel_speedup: f64,
+}
+
+/// Results of the sweep.
+#[derive(Debug, Clone)]
+pub struct Scaling {
+    /// One row per corpus size.
+    pub rows: Vec<ScalingRow>,
+}
+
+/// Run the sweep on Cellphone-style corpora.
+pub fn run(cfg: &EvalConfig) -> Scaling {
+    let params = SelectParams {
+        m: cfg.ms.first().copied().unwrap_or(3),
+        lambda: cfg.lambda,
+        mu: cfg.mu,
+    };
+    let rows = CORPUS_SIZES
+        .iter()
+        .map(|&products| {
+            let size_cfg = EvalConfig {
+                products_per_category: products,
+                max_instances: cfg.max_instances,
+                ..cfg.clone()
+            };
+            let dataset = dataset_for(CategoryPreset::Cellphone, &size_cfg);
+            let instances = prepare_instances(&dataset, &size_cfg);
+
+            // Sequential pass.
+            let start = Instant::now();
+            for inst in &instances {
+                let _ = solve_comparesets_plus(&inst.ctx, &params);
+            }
+            let sequential = start.elapsed().as_secs_f64();
+
+            // Parallel pass (rayon default pool).
+            use rayon::prelude::*;
+            let start = Instant::now();
+            instances.par_iter().for_each(|inst| {
+                let _ = solve_comparesets_plus(&inst.ctx, &params);
+            });
+            let parallel = start.elapsed().as_secs_f64();
+
+            ScalingRow {
+                products,
+                instances: instances.len(),
+                ms_per_instance: sequential * 1000.0 / instances.len().max(1) as f64,
+                parallel_speedup: if parallel > 0.0 {
+                    sequential / parallel
+                } else {
+                    1.0
+                },
+            }
+        })
+        .collect();
+    Scaling { rows }
+}
+
+impl Scaling {
+    /// Render the sweep table.
+    pub fn render(&self) -> String {
+        let mut t = Table::new([
+            "#Products",
+            "#Instances",
+            "ms/instance (sequential)",
+            "parallel speedup",
+        ]);
+        for r in &self.rows {
+            t.row([
+                r.products.to_string(),
+                r.instances.to_string(),
+                format!("{:.2}", r.ms_per_instance),
+                format!("{:.2}x", r.parallel_speedup),
+            ]);
+        }
+        format!(
+            "Scalability: per-instance cost vs corpus size (Cellphone, m = {})\n\n{}",
+            3, // header value; the actual m comes from config at run time
+            t.render()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_instance_cost_stays_flat() {
+        let mut cfg = EvalConfig::tiny();
+        cfg.max_instances = 12;
+        let s = run(&cfg);
+        assert_eq!(s.rows.len(), CORPUS_SIZES.len());
+        for r in &s.rows {
+            assert!(r.instances > 0);
+            assert!(r.ms_per_instance >= 0.0);
+        }
+        // §4.1.1's claim: per-instance cost does not grow with corpus size
+        // (instances are independent). Allow generous noise.
+        let first = s.rows[0].ms_per_instance.max(0.01);
+        let last = s.rows.last().unwrap().ms_per_instance;
+        assert!(
+            last < first * 6.0,
+            "per-instance cost grew {first} -> {last}"
+        );
+        assert!(s.render().contains("Scalability"));
+    }
+}

@@ -1,0 +1,78 @@
+//! Table 2 — data statistics for the three categories.
+
+use comparesets_data::{CategoryPreset, DatasetStats};
+
+use crate::config::EvalConfig;
+use crate::pipeline::dataset_for;
+use crate::report::{f2, Table};
+
+/// Computed statistics for all categories.
+#[derive(Debug, Clone)]
+pub struct Table2 {
+    /// One stats entry per category, in paper order.
+    pub stats: Vec<DatasetStats>,
+}
+
+/// Run the experiment.
+pub fn run(cfg: &EvalConfig) -> Table2 {
+    let stats = CategoryPreset::ALL
+        .iter()
+        .map(|&p| DatasetStats::compute(&dataset_for(p, cfg)))
+        .collect();
+    Table2 { stats }
+}
+
+impl Table2 {
+    /// Render in the paper's row layout.
+    pub fn render(&self) -> String {
+        let mut header = vec!["".to_string()];
+        header.extend(self.stats.iter().map(|s| s.name.clone()));
+        let mut t = Table::new(header);
+        t.row(
+            std::iter::once("#Product".to_string())
+                .chain(self.stats.iter().map(|s| s.num_products.to_string())),
+        );
+        t.row(
+            std::iter::once("#Reviewer".to_string())
+                .chain(self.stats.iter().map(|s| s.num_reviewers.to_string())),
+        );
+        t.row(
+            std::iter::once("#Review".to_string())
+                .chain(self.stats.iter().map(|s| s.num_reviews.to_string())),
+        );
+        t.row(
+            std::iter::once("#Target Product".to_string())
+                .chain(self.stats.iter().map(|s| s.num_target_products.to_string())),
+        );
+        t.row(
+            std::iter::once("Avg. #Comparison Product".to_string())
+                .chain(self.stats.iter().map(|s| f2(s.avg_comparison_products))),
+        );
+        t.row(
+            std::iter::once("Avg. #Review per Product".to_string())
+                .chain(self.stats.iter().map(|s| f2(s.avg_reviews_per_product))),
+        );
+        format!("Table 2: Data statistics\n\n{}", t.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_three_categories_with_sane_stats() {
+        let t2 = run(&EvalConfig::tiny());
+        assert_eq!(t2.stats.len(), 3);
+        assert_eq!(t2.stats[0].name, "Cellphone");
+        assert_eq!(t2.stats[1].name, "Toy");
+        assert_eq!(t2.stats[2].name, "Clothing");
+        for s in &t2.stats {
+            assert!(s.num_target_products > 0);
+            assert!(s.avg_reviews_per_product > 1.0);
+        }
+        let text = t2.render();
+        assert!(text.contains("#Target Product"));
+        assert!(text.contains("Cellphone"));
+    }
+}

@@ -1,0 +1,127 @@
+//! Core-list baselines of §4.3.
+//!
+//! * **Random** — the target plus k−1 uniformly sampled items ("selecting
+//!   k − 1 products randomly as the target product p₁ is always belong to
+//!   the solution set", §4.3.1).
+//! * **Top-k similarity** — "selecting top-k highest similar items to the
+//!   target item" (§4.3.2): the k−1 items with the heaviest direct edge to
+//!   the target, ignoring inter-item similarity.
+
+use crate::similarity::SimilarityGraph;
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+/// Random baseline: target + k−1 uniformly random other vertices.
+///
+/// # Panics
+/// Panics when `target >= graph.len()` or `k == 0`.
+pub fn solve_random_k(graph: &SimilarityGraph, target: usize, k: usize, seed: u64) -> Vec<usize> {
+    assert!(target < graph.len(), "target out of bounds");
+    assert!(k > 0, "k must be positive");
+    let n = graph.len();
+    let k = k.min(n);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut others: Vec<usize> = (0..n).filter(|&v| v != target).collect();
+    others.shuffle(&mut rng);
+    let mut out = Vec::with_capacity(k);
+    out.push(target);
+    out.extend(others.into_iter().take(k - 1));
+    out
+}
+
+/// Top-k-similarity baseline: the k−1 vertices with the largest
+/// `w(target, ·)`, ties broken toward lower indices.
+///
+/// # Panics
+/// Panics when `target >= graph.len()` or `k == 0`.
+pub fn solve_top_k_similarity(graph: &SimilarityGraph, target: usize, k: usize) -> Vec<usize> {
+    assert!(target < graph.len(), "target out of bounds");
+    assert!(k > 0, "k must be positive");
+    let n = graph.len();
+    let k = k.min(n);
+    let mut others: Vec<usize> = (0..n).filter(|&v| v != target).collect();
+    others.sort_by(|&a, &b| {
+        graph
+            .weight(target, b)
+            .partial_cmp(&graph.weight(target, a))
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    let mut out = Vec::with_capacity(k);
+    out.push(target);
+    out.extend(others.into_iter().take(k - 1));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::similarity::fixtures::figure4_graph;
+
+    #[test]
+    fn random_contains_target_and_is_seeded() {
+        let g = figure4_graph();
+        let a = solve_random_k(&g, 0, 3, 7);
+        let b = solve_random_k(&g, 0, 3, 7);
+        assert_eq!(a, b);
+        assert_eq!(a[0], 0);
+        assert_eq!(a.len(), 3);
+        let mut s = a.clone();
+        s.sort_unstable();
+        s.dedup();
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn random_k_clamps() {
+        let g = figure4_graph();
+        assert_eq!(solve_random_k(&g, 1, 100, 3).len(), 6);
+        assert_eq!(solve_random_k(&g, 1, 1, 3), vec![1]);
+    }
+
+    #[test]
+    fn top_k_picks_heaviest_target_edges() {
+        let g = figure4_graph();
+        // From vertex 0 the heaviest edges are to 3 (9.0) and 5 (8.4).
+        let sol = solve_top_k_similarity(&g, 0, 3);
+        assert_eq!(sol[0], 0);
+        let mut rest = sol[1..].to_vec();
+        rest.sort_unstable();
+        assert_eq!(rest, vec![3, 5]);
+    }
+
+    #[test]
+    fn top_k_ignores_inter_item_similarity() {
+        // Construct a graph where the two most target-similar items are
+        // mutually dissimilar: top-k picks them anyway, exact would not.
+        let n = 4;
+        let mut w = vec![0.0; n * n];
+        let mut set = |i: usize, j: usize, v: f64| {
+            w[i * n + j] = v;
+            w[j * n + i] = v;
+        };
+        set(0, 1, 10.0);
+        set(0, 2, 9.0);
+        set(1, 2, 0.0); // the two favourites hate each other
+        set(0, 3, 5.0);
+        set(1, 3, 5.0);
+        set(2, 3, 5.0);
+        let g = SimilarityGraph::from_weights(n, w);
+        let topk = solve_top_k_similarity(&g, 0, 3);
+        let mut rest = topk[1..].to_vec();
+        rest.sort_unstable();
+        assert_eq!(rest, vec![1, 2]);
+        // Exact prefers {0,1,3}: 10 + 5 + 5 = 20 > 19.
+        let exact = crate::exact::solve_exact(&g, 0, 3, Default::default());
+        assert_eq!(exact.vertices, vec![0, 1, 3]);
+        assert!(exact.weight > g.subgraph_weight(&topk));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let g = figure4_graph();
+        let runs: std::collections::HashSet<Vec<usize>> =
+            (0..20).map(|s| solve_random_k(&g, 0, 4, s)).collect();
+        assert!(runs.len() > 1);
+    }
+}

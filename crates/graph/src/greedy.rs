@@ -1,0 +1,110 @@
+//! TargetHkS_Greedy (Algorithm 2).
+//!
+//! Start from ρ = {p₁}; repeatedly add the item maximising the total
+//! weight of ρ ∪ {p}, until |ρ| = k. Since the base weight of ρ is common
+//! to all candidates, the argmax reduces to the marginal gain
+//! `w(p, ρ) = Σ_{q∈ρ} w_pq`, computed incrementally in O(n) per step.
+
+use crate::similarity::SimilarityGraph;
+
+/// Run Algorithm 2. Returns the selected vertex set (target first, then
+/// in selection order). `target` must be a valid vertex; `k` is clamped to
+/// the graph size.
+///
+/// # Panics
+/// Panics when `target >= graph.len()` or `k == 0`.
+#[allow(clippy::needless_range_loop)] // index loops read clearest in numerical kernels
+pub fn solve_greedy(graph: &SimilarityGraph, target: usize, k: usize) -> Vec<usize> {
+    assert!(target < graph.len(), "target out of bounds");
+    assert!(k > 0, "k must be positive");
+    let n = graph.len();
+    let k = k.min(n);
+    let mut chosen = Vec::with_capacity(k);
+    chosen.push(target);
+    let mut in_set = vec![false; n];
+    in_set[target] = true;
+    // gain[v] = w(v, chosen), updated incrementally.
+    let mut gain: Vec<f64> = (0..n).map(|v| graph.weight(v, target)).collect();
+
+    while chosen.len() < k {
+        let mut best: Option<(f64, usize)> = None;
+        for v in 0..n {
+            if in_set[v] {
+                continue;
+            }
+            // Ties break toward the lower index, deterministically.
+            if best.as_ref().is_none_or(|&(g, _)| gain[v] > g) {
+                best = Some((gain[v], v));
+            }
+        }
+        let Some((_, v)) = best else { break };
+        chosen.push(v);
+        in_set[v] = true;
+        for u in 0..n {
+            gain[u] += graph.weight(u, v);
+        }
+    }
+    chosen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::similarity::fixtures::figure4_graph;
+    use crate::similarity::SimilarityGraph;
+
+    #[test]
+    fn greedy_always_contains_target_and_k_vertices() {
+        let g = figure4_graph();
+        for target in 0..6 {
+            for k in 1..=6 {
+                let sol = solve_greedy(&g, target, k);
+                assert_eq!(sol.len(), k);
+                assert_eq!(sol[0], target);
+                let mut s = sol.clone();
+                s.sort_unstable();
+                s.dedup();
+                assert_eq!(s.len(), k, "duplicates in {sol:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_matches_exact_on_figure4_instance() {
+        // On this instance greedy from p1 finds the true optimum
+        // {p1, p4, p6} = vertices {0, 3, 5}.
+        let g = figure4_graph();
+        let mut sol = solve_greedy(&g, 0, 3);
+        sol.sort_unstable();
+        assert_eq!(sol, vec![0, 3, 5]);
+        assert!((g.subgraph_weight(&sol) - 25.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn greedy_first_addition_is_heaviest_neighbour() {
+        let g = figure4_graph();
+        let sol = solve_greedy(&g, 0, 2);
+        // Heaviest edge from vertex 0 is to 3 (9.0).
+        assert_eq!(sol, vec![0, 3]);
+    }
+
+    #[test]
+    fn k_clamped_to_graph_size() {
+        let g = SimilarityGraph::from_weights(2, vec![0.0, 1.0, 1.0, 0.0]);
+        let sol = solve_greedy(&g, 1, 10);
+        assert_eq!(sol.len(), 2);
+    }
+
+    #[test]
+    fn k_one_returns_target_alone() {
+        let g = figure4_graph();
+        assert_eq!(solve_greedy(&g, 2, 1), vec![2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "target")]
+    fn invalid_target_panics() {
+        let g = figure4_graph();
+        let _ = solve_greedy(&g, 6, 2);
+    }
+}

@@ -1,0 +1,33 @@
+//! TargetHkS — narrowing the comparison list to a core of k items (§3).
+//!
+//! After CompaReSetS+ selects review sets, §3.1 turns the per-pair costs
+//! into a complete similarity graph (`w_ij = max d − d_ij`) and asks for
+//! the *heaviest k-subgraph containing the target item* (Problem 3,
+//! TargetHkS), which is NP-hard (Lemma 3.1). This crate provides:
+//!
+//! * [`SimilarityGraph`] — graph construction from pairwise distances or
+//!   directly from a solved instance context.
+//! * [`solve_exact`] — an exact branch-and-bound solver with a wall-clock
+//!   time limit, standing in for the paper's Gurobi-based TargetHkS_ILP
+//!   (Table 5 keeps the 60-second protocol and the Optimal/TimeLimit
+//!   accounting).
+//! * [`solve_greedy`] — Algorithm 2, the efficient heuristic.
+//! * [`solve_top_k_similarity`] / [`solve_random_k`] — baselines of §4.3.
+//! * [`solve_hks`] — plain heaviest k-subgraph by running TargetHkS from
+//!   every vertex (the reduction noted in §3.1).
+
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod exact;
+pub mod greedy;
+pub mod hks;
+pub mod peeling;
+pub mod similarity;
+
+pub use baselines::{solve_random_k, solve_top_k_similarity};
+pub use exact::{solve_exact, ExactOptions, ExactResult, SolveStatus};
+pub use greedy::solve_greedy;
+pub use hks::solve_hks;
+pub use peeling::{improve_by_swaps, solve_peeling};
+pub use similarity::SimilarityGraph;

@@ -1,0 +1,203 @@
+//! Vertex-peeling heuristic for (Target)HkS.
+//!
+//! §5.3 cites Asahiro, Iwama, Tamaki & Tokuyama (2000), who "greedily
+//! remove a vertex with the minimum weighted-degree in the currently
+//! remaining graph, until exactly k vertices are left" — a classic
+//! 2-ish-approximation for the dense-k-subgraph problem. We implement it
+//! both in its original form (plain HkS) and in a target-pinned variant
+//! (the target is never peeled), giving a third heuristic to compare with
+//! Algorithm 2's constructive greedy.
+
+use crate::similarity::SimilarityGraph;
+
+/// Peel minimum-weighted-degree vertices until `k` remain. When `target`
+/// is `Some(t)`, vertex `t` is exempt from peeling (TargetHkS variant).
+///
+/// Returns the surviving vertices, sorted ascending.
+///
+/// # Panics
+/// Panics when `k == 0`, or when the target is out of bounds.
+pub fn solve_peeling(graph: &SimilarityGraph, target: Option<usize>, k: usize) -> Vec<usize> {
+    assert!(k > 0, "k must be positive");
+    let n = graph.len();
+    if let Some(t) = target {
+        assert!(t < n, "target out of bounds");
+    }
+    let k = k.min(n);
+    let mut alive = vec![true; n];
+    let mut degree: Vec<f64> = (0..n)
+        .map(|v| (0..n).map(|u| graph.weight(v, u)).sum())
+        .collect();
+    let mut remaining = n;
+    while remaining > k {
+        // Lowest weighted degree among peelable vertices; ties toward the
+        // highest index (peeling later vertices first keeps early, usually
+        // more central, vertices — deterministic either way).
+        let mut victim: Option<usize> = None;
+        for v in 0..n {
+            if !alive[v] || Some(v) == target {
+                continue;
+            }
+            if victim.is_none_or(|w| degree[v] < degree[w]) {
+                victim = Some(v);
+            }
+        }
+        let Some(v) = victim else { break };
+        alive[v] = false;
+        remaining -= 1;
+        for u in 0..n {
+            if alive[u] {
+                degree[u] -= graph.weight(u, v);
+            }
+        }
+    }
+    (0..n).filter(|&v| alive[v]).collect()
+}
+
+/// Single-swap local search: repeatedly exchange one selected vertex for
+/// one outside vertex while the subgraph weight strictly improves.
+/// `pinned` vertices (e.g. the target) are never swapped out. Terminates
+/// at a local optimum; each pass is O(k · n · k).
+#[allow(clippy::needless_range_loop)] // index loops read clearest in numerical kernels
+pub fn improve_by_swaps(
+    graph: &SimilarityGraph,
+    solution: &[usize],
+    pinned: &[usize],
+) -> Vec<usize> {
+    let n = graph.len();
+    let mut current: Vec<usize> = solution.to_vec();
+    let mut in_set = vec![false; n];
+    for &v in &current {
+        in_set[v] = true;
+    }
+    loop {
+        let mut best_gain = 1e-12;
+        let mut best_swap: Option<(usize, usize)> = None; // (position, incoming)
+        for (pos, &out) in current.iter().enumerate() {
+            if pinned.contains(&out) {
+                continue;
+            }
+            // Weight from `out` to the rest of the set.
+            let out_weight: f64 = current
+                .iter()
+                .filter(|&&u| u != out)
+                .map(|&u| graph.weight(out, u))
+                .sum();
+            for v in 0..n {
+                if in_set[v] {
+                    continue;
+                }
+                let in_weight: f64 = current
+                    .iter()
+                    .filter(|&&u| u != out)
+                    .map(|&u| graph.weight(v, u))
+                    .sum();
+                let gain = in_weight - out_weight;
+                if gain > best_gain {
+                    best_gain = gain;
+                    best_swap = Some((pos, v));
+                }
+            }
+        }
+        let Some((pos, v)) = best_swap else { break };
+        in_set[current[pos]] = false;
+        in_set[v] = true;
+        current[pos] = v;
+    }
+    current.sort_unstable();
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::{solve_exact, ExactOptions};
+    use crate::similarity::fixtures::figure4_graph;
+    use rand::prelude::*;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn peeling_respects_target_and_size() {
+        let g = figure4_graph();
+        for t in 0..6 {
+            for k in 1..=6 {
+                let sol = solve_peeling(&g, Some(t), k);
+                assert_eq!(sol.len(), k);
+                assert!(sol.contains(&t), "target {t} peeled at k {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn untargeted_peeling_finds_the_heavy_triangle() {
+        let g = figure4_graph();
+        let sol = solve_peeling(&g, None, 3);
+        // The dense triangle {1,4,5} dominates weighted degrees.
+        assert_eq!(sol, vec![1, 4, 5]);
+    }
+
+    #[test]
+    fn swaps_never_decrease_weight() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        for _ in 0..20 {
+            let n = rng.random_range(5..12);
+            let mut w = vec![0.0; n * n];
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    let v: f64 = rng.random_range(0.0..5.0);
+                    w[i * n + j] = v;
+                    w[j * n + i] = v;
+                }
+            }
+            let g = crate::similarity::SimilarityGraph::from_weights(n, w);
+            let k = rng.random_range(2..=n.min(5));
+            let start = solve_peeling(&g, Some(0), k);
+            let improved = improve_by_swaps(&g, &start, &[0]);
+            assert!(improved.contains(&0));
+            assert_eq!(improved.len(), k);
+            assert!(
+                g.subgraph_weight(&improved) >= g.subgraph_weight(&start) - 1e-9,
+                "swap made things worse"
+            );
+        }
+    }
+
+    #[test]
+    fn peeling_plus_swaps_close_to_exact() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let mut total_ratio = 0.0;
+        let trials = 15;
+        for _ in 0..trials {
+            let n = 10;
+            let mut w = vec![0.0; n * n];
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    let v: f64 = rng.random_range(0.0..10.0);
+                    w[i * n + j] = v;
+                    w[j * n + i] = v;
+                }
+            }
+            let g = crate::similarity::SimilarityGraph::from_weights(n, w);
+            let exact = solve_exact(&g, 0, 4, ExactOptions::default());
+            let peel = improve_by_swaps(&g, &solve_peeling(&g, Some(0), 4), &[0]);
+            total_ratio += g.subgraph_weight(&peel) / exact.weight.max(1e-9);
+        }
+        let mean = total_ratio / trials as f64;
+        assert!(mean > 0.9, "peel+swap achieves only {mean:.3} of optimal");
+    }
+
+    #[test]
+    fn pinned_vertices_survive_swaps() {
+        let g = figure4_graph();
+        let improved = improve_by_swaps(&g, &[0, 2, 3], &[0, 2]);
+        assert!(improved.contains(&0));
+        assert!(improved.contains(&2));
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        let g = figure4_graph();
+        let _ = solve_peeling(&g, None, 0);
+    }
+}

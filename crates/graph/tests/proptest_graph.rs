@@ -1,0 +1,116 @@
+//! Property-based tests for the TargetHkS solvers.
+
+use comparesets_graph::{
+    solve_exact, solve_greedy, solve_random_k, solve_top_k_similarity, ExactOptions,
+    SimilarityGraph, SolveStatus,
+};
+use proptest::prelude::*;
+
+fn random_graph() -> impl Strategy<Value = SimilarityGraph> {
+    (3usize..=9).prop_flat_map(|n| {
+        proptest::collection::vec(0.0f64..10.0, n * (n - 1) / 2).prop_map(move |upper| {
+            let mut w = vec![0.0; n * n];
+            let mut it = upper.into_iter();
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    let v = it.next().unwrap();
+                    w[i * n + j] = v;
+                    w[j * n + i] = v;
+                }
+            }
+            SimilarityGraph::from_weights(n, w)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn exact_dominates_all_heuristics(g in random_graph(), k_raw in 2usize..=5, seed in 0u64..100) {
+        let n = g.len();
+        let k = k_raw.min(n);
+        let target = (seed as usize) % n;
+        let exact = solve_exact(&g, target, k, ExactOptions::default());
+        prop_assert_eq!(exact.status, SolveStatus::Optimal);
+        prop_assert!(exact.vertices.contains(&target));
+        prop_assert_eq!(exact.vertices.len(), k);
+
+        for sol in [
+            solve_greedy(&g, target, k),
+            solve_top_k_similarity(&g, target, k),
+            solve_random_k(&g, target, k, seed),
+        ] {
+            prop_assert!(sol.contains(&target));
+            prop_assert_eq!(sol.len(), k);
+            let w = g.subgraph_weight(&sol);
+            prop_assert!(exact.weight >= w - 1e-9,
+                "exact {} < heuristic {}", exact.weight, w);
+        }
+    }
+
+    #[test]
+    fn greedy_weight_monotone_in_k(g in random_graph(), target_seed in 0usize..100) {
+        let n = g.len();
+        let target = target_seed % n;
+        let mut prev = 0.0;
+        for k in 1..=n {
+            let sol = solve_greedy(&g, target, k);
+            let w = g.subgraph_weight(&sol);
+            prop_assert!(w >= prev - 1e-9, "k={k}: {w} < {prev}");
+            prev = w;
+        }
+    }
+
+    #[test]
+    fn peeling_and_swaps_are_feasible_and_bounded(
+        g in random_graph(),
+        k_raw in 2usize..=5,
+        t_seed in 0usize..100,
+    ) {
+        use comparesets_graph::{improve_by_swaps, solve_peeling};
+        let n = g.len();
+        let k = k_raw.min(n);
+        let target = t_seed % n;
+        let peel = solve_peeling(&g, Some(target), k);
+        prop_assert_eq!(peel.len(), k);
+        prop_assert!(peel.contains(&target));
+        let improved = improve_by_swaps(&g, &peel, &[target]);
+        prop_assert_eq!(improved.len(), k);
+        prop_assert!(improved.contains(&target));
+        prop_assert!(g.subgraph_weight(&improved) >= g.subgraph_weight(&peel) - 1e-9);
+        // Never beats the exact optimum.
+        let exact = solve_exact(&g, target, k, ExactOptions::default());
+        prop_assert!(exact.weight >= g.subgraph_weight(&improved) - 1e-9);
+    }
+
+    #[test]
+    fn weights_from_distances_are_valid(
+        n in 2usize..=6,
+        ds in proptest::collection::vec(0.0f64..100.0, 36),
+    ) {
+        let mut d = vec![0.0; n * n];
+        let mut it = ds.into_iter();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let v = it.next().unwrap();
+                d[i * n + j] = v;
+                d[j * n + i] = v;
+            }
+        }
+        let g = SimilarityGraph::from_distances(n, &d);
+        // All weights non-negative, diagonal zero, and at least one pair
+        // has weight exactly zero (the farthest pair).
+        let mut min_off = f64::INFINITY;
+        for i in 0..n {
+            prop_assert_eq!(g.weight(i, i), 0.0);
+            for j in 0..n {
+                if i != j {
+                    prop_assert!(g.weight(i, j) >= 0.0);
+                    min_off = min_off.min(g.weight(i, j));
+                }
+            }
+        }
+        prop_assert!(min_off.abs() < 1e-9);
+    }
+}

@@ -1,0 +1,96 @@
+//! Error type shared by the linear-algebra routines.
+
+use std::fmt;
+
+/// Errors produced by factorisations and solvers in this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// Operand shapes are incompatible (e.g. mat-vec with wrong length).
+    DimensionMismatch {
+        /// Human-readable description of the operation that failed.
+        context: &'static str,
+        /// Shape or length that was expected.
+        expected: usize,
+        /// Shape or length that was provided.
+        actual: usize,
+    },
+    /// The matrix is singular (or numerically indistinguishable from
+    /// singular) at the given pivot.
+    Singular {
+        /// Index of the offending pivot/column.
+        pivot: usize,
+    },
+    /// A matrix that must be positive definite is not.
+    NotPositiveDefinite {
+        /// Index of the pivot where positive definiteness failed.
+        pivot: usize,
+    },
+    /// An iterative routine failed to converge within its iteration budget.
+    NoConvergence {
+        /// Number of iterations performed before giving up.
+        iterations: usize,
+    },
+    /// An argument was structurally invalid (empty matrix, zero budget, ...).
+    InvalidArgument(&'static str),
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch {
+                context,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "dimension mismatch in {context}: expected {expected}, got {actual}"
+            ),
+            LinalgError::Singular { pivot } => {
+                write!(f, "matrix is singular at pivot {pivot}")
+            }
+            LinalgError::NotPositiveDefinite { pivot } => {
+                write!(f, "matrix is not positive definite at pivot {pivot}")
+            }
+            LinalgError::NoConvergence { iterations } => {
+                write!(f, "no convergence after {iterations} iterations")
+            }
+            LinalgError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = LinalgError::DimensionMismatch {
+            context: "matvec",
+            expected: 3,
+            actual: 4,
+        };
+        assert!(e.to_string().contains("matvec"));
+        assert!(e.to_string().contains('3'));
+        assert!(e.to_string().contains('4'));
+
+        assert!(LinalgError::Singular { pivot: 2 }.to_string().contains('2'));
+        assert!(LinalgError::NotPositiveDefinite { pivot: 1 }
+            .to_string()
+            .contains("positive definite"));
+        assert!(LinalgError::NoConvergence { iterations: 10 }
+            .to_string()
+            .contains("10"));
+        assert!(LinalgError::InvalidArgument("empty")
+            .to_string()
+            .contains("empty"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&LinalgError::Singular { pivot: 0 });
+    }
+}

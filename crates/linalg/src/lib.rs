@@ -1,0 +1,39 @@
+//! Dense linear-algebra substrate for the CompaReSetS reproduction.
+//!
+//! The Integer-Regression algorithm at the heart of CompaReSetS (Lappas et
+//! al.'s CRS generalised to multiple items) repeatedly solves small dense
+//! least-squares problems under a non-negativity constraint and a sparsity
+//! budget. This crate provides everything those solvers need, implemented
+//! from scratch so the reproduction has no opaque numerical dependencies:
+//!
+//! * [`Matrix`] — a row-major dense matrix with the handful of operations
+//!   the selection algorithms use (mat-vec, transpose-vec, column access).
+//! * [`qr`] — Householder QR factorisation and least-squares solve.
+//! * [`cholesky`] — Cholesky factorisation for normal-equation solves.
+//! * [`nnls`] — Lawson–Hanson non-negative least squares.
+//! * [`nomp`] — non-negative orthogonal matching pursuit, the continuous
+//!   relaxation solver referenced as `NOMP` in Algorithm 1 of the paper.
+//! * [`vector`] — free functions on `&[f64]` slices (dot products, norms,
+//!   the squared-Euclidean distance Δ of Equation 2, cosine similarity).
+//!
+//! All routines are deterministic and allocation-conscious: solvers accept
+//! externally owned scratch where it matters, and the matrix type exposes
+//! column views without copying.
+
+#![warn(missing_docs)]
+
+pub mod cholesky;
+pub mod error;
+pub mod matrix;
+pub mod nnls;
+pub mod nomp;
+pub mod qr;
+pub mod sparse;
+pub mod vector;
+
+pub use error::LinalgError;
+pub use matrix::Matrix;
+pub use nnls::nnls;
+pub use nomp::{nomp, NompOptions, NompResult};
+pub use qr::lstsq;
+pub use sparse::{CscMatrix, DesignMatrix};

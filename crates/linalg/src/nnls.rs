@@ -1,0 +1,201 @@
+//! Lawson–Hanson non-negative least squares.
+//!
+//! Integer-Regression's continuous relaxation constrains the selection
+//! indicator to be non-negative (a review cannot be "negatively selected").
+//! NOMP refits on its active set with this solver so intermediate solutions
+//! stay feasible.
+
+use crate::cholesky::solve_normal_equations;
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+use crate::vector;
+
+/// Solve `min ‖A x − b‖₂  s.t.  x ≥ 0` with the Lawson–Hanson active-set
+/// method.
+///
+/// Returns the solution vector (length `a.cols()`).
+///
+/// # Errors
+/// Shape errors propagate; [`LinalgError::NoConvergence`] if the active-set
+/// loop exceeds its iteration budget (3 × cols outer iterations, which in
+/// practice is never reached on the selection problems this crate serves).
+pub fn nnls(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    let m = a.rows();
+    let n = a.cols();
+    if b.len() != m {
+        return Err(LinalgError::DimensionMismatch {
+            context: "nnls",
+            expected: m,
+            actual: b.len(),
+        });
+    }
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+
+    let mut x = vec![0.0_f64; n];
+    let mut passive: Vec<bool> = vec![false; n];
+    // w = A^T (b - A x); with x = 0 initially, w = A^T b.
+    let mut residual = b.to_vec();
+    let mut w = a.tr_matvec(&residual)?;
+
+    let atb_norm = vector::norm2(&w).max(1.0);
+    let tol = 1e-10 * atb_norm;
+
+    let max_outer = 3 * n + 10;
+    let mut outer = 0;
+    loop {
+        outer += 1;
+        if outer > max_outer {
+            return Err(LinalgError::NoConvergence { iterations: outer });
+        }
+        // Pick the most violated dual coordinate among the active (zero) set.
+        let mut best_j = None;
+        let mut best_w = tol;
+        for j in 0..n {
+            if !passive[j] && w[j] > best_w {
+                best_w = w[j];
+                best_j = Some(j);
+            }
+        }
+        let Some(j_star) = best_j else {
+            // KKT satisfied: all duals ≤ tol.
+            return Ok(x);
+        };
+        passive[j_star] = true;
+
+        // Inner loop: solve unconstrained LS on the passive set, clip.
+        loop {
+            let passive_idx: Vec<usize> =
+                (0..n).filter(|&j| passive[j]).collect();
+            let sub = a.select_columns(&passive_idx);
+            let z_sub = solve_normal_equations(&sub, b)?;
+
+            if z_sub.iter().all(|&v| v > 0.0) {
+                // Accept.
+                x.iter_mut().for_each(|v| *v = 0.0);
+                for (zi, &j) in z_sub.iter().zip(passive_idx.iter()) {
+                    x[j] = *zi;
+                }
+                break;
+            }
+            // Step toward z as far as feasibility allows; move blockers out.
+            let mut alpha = f64::INFINITY;
+            for (zi, &j) in z_sub.iter().zip(passive_idx.iter()) {
+                if *zi <= 0.0 {
+                    let denom = x[j] - zi;
+                    if denom > 0.0 {
+                        alpha = alpha.min(x[j] / denom);
+                    }
+                }
+            }
+            if !alpha.is_finite() {
+                alpha = 0.0;
+            }
+            for (zi, &j) in z_sub.iter().zip(passive_idx.iter()) {
+                x[j] += alpha * (zi - x[j]);
+                if x[j] <= 1e-14 {
+                    x[j] = 0.0;
+                    passive[j] = false;
+                }
+            }
+            // Guarantee progress: if the entering column got clipped right
+            // back out, treat it as converged at the current x.
+            if !passive[j_star] && x[j_star] == 0.0 && alpha == 0.0 {
+                return Ok(x);
+            }
+        }
+
+        // Refresh the dual.
+        residual.copy_from_slice(b);
+        let ax = a.matvec(&x)?;
+        for (r, v) in residual.iter_mut().zip(ax.iter()) {
+            *r -= v;
+        }
+        w = a.tr_matvec(&residual)?;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unconstrained_optimum_already_nonnegative() {
+        let a = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0]]).unwrap();
+        let b = a.matvec(&[2.0, 3.0]).unwrap();
+        let x = nnls(&a, &b).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-8);
+        assert!((x[1] - 3.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn clips_negative_component() {
+        // Unconstrained LS solution of this system has a negative entry;
+        // NNLS must zero it and re-optimise the rest.
+        let a = Matrix::from_rows(&[vec![1.0, 1.0], vec![1.0, 2.0]]).unwrap();
+        let b = vec![1.0, 0.0]; // unconstrained x = (2, -1)
+        let x = nnls(&a, &b).unwrap();
+        assert!(x.iter().all(|&v| v >= 0.0), "x = {x:?}");
+        // With x2 forced to 0, best x1 minimises (x1-1)^2 + (x1-0)^2 → 0.5... actually
+        // columns are (1,1) and (1,2); with only col0 active: min ||c0*x - b||,
+        // x = c0·b/||c0||² = 1/2.
+        assert!((x[0] - 0.5).abs() < 1e-8);
+        assert_eq!(x[1], 0.0);
+    }
+
+    #[test]
+    fn zero_rhs_gives_zero_solution() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let x = nnls(&a, &[0.0, 0.0]).unwrap();
+        assert_eq!(x, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn empty_matrix_gives_empty_solution() {
+        let a = Matrix::zeros(2, 0);
+        let x = nnls(&a, &[1.0, 2.0]).unwrap();
+        assert!(x.is_empty());
+    }
+
+    #[test]
+    fn rejects_bad_rhs() {
+        let a = Matrix::identity(2);
+        assert!(nnls(&a, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn kkt_conditions_hold() {
+        // Random-ish fixed instance: verify x >= 0 and A^T(b - Ax) <= tol
+        // on the zero set, ≈ 0 on the positive set.
+        let a = Matrix::from_rows(&[
+            vec![0.5, 1.0, 0.0, 0.3],
+            vec![1.0, 0.0, 0.7, 0.3],
+            vec![0.0, 0.2, 1.0, 0.3],
+            vec![0.9, 0.9, 0.1, 0.3],
+        ])
+        .unwrap();
+        let b = vec![1.0, -0.5, 0.8, 0.2];
+        let x = nnls(&a, &b).unwrap();
+        assert!(x.iter().all(|&v| v >= 0.0));
+        let ax = a.matvec(&x).unwrap();
+        let r: Vec<f64> = b.iter().zip(ax.iter()).map(|(bi, yi)| bi - yi).collect();
+        let w = a.tr_matvec(&r).unwrap();
+        for (j, (&xj, &wj)) in x.iter().zip(w.iter()).enumerate() {
+            if xj > 0.0 {
+                assert!(wj.abs() < 1e-6, "dual not zero at positive coord {j}: {wj}");
+            } else {
+                assert!(wj < 1e-6, "dual positive at zero coord {j}: {wj}");
+            }
+        }
+    }
+
+    #[test]
+    fn handles_duplicate_columns() {
+        let a = Matrix::from_rows(&[vec![1.0, 1.0], vec![1.0, 1.0]]).unwrap();
+        let b = vec![2.0, 2.0];
+        let x = nnls(&a, &b).unwrap();
+        assert!(x.iter().all(|&v| v >= 0.0));
+        assert!((x[0] + x[1] - 2.0).abs() < 1e-4);
+    }
+}

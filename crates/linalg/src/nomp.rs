@@ -1,0 +1,276 @@
+//! Non-negative Orthogonal Matching Pursuit (NOMP).
+//!
+//! Algorithm 1 of the paper calls `NOMP(Ṽ, Υ)` to find a sparse,
+//! non-negative `x` with `‖x‖₀ ≤ ℓ` that makes `‖Ṽ x − Υ‖₂` small — the
+//! continuous relaxation of review selection, following the
+//! Integer-Regression strategy of Lappas, Crovella & Terzi (KDD'12).
+//!
+//! The implementation is the classic greedy pursuit: repeatedly add the
+//! column with the largest positive correlation to the current residual,
+//! refit on the active set with non-negative least squares
+//! ([`crate::nnls`]), prune any atom the refit zeroed out, and stop once
+//! `ℓ` atoms are active, no column correlates positively, or the residual
+//! stops improving.
+
+use crate::error::LinalgError;
+use crate::nnls::nnls;
+use crate::vector;
+
+/// Tuning knobs for [`nomp`].
+#[derive(Debug, Clone, Copy)]
+pub struct NompOptions {
+    /// Maximum number of active atoms (ℓ in Algorithm 1 line 7).
+    pub max_atoms: usize,
+    /// Stop when the squared residual improves by less than this factor of
+    /// the previous squared residual.
+    pub min_relative_improvement: f64,
+    /// Absolute squared-residual floor at which pursuit stops early.
+    pub residual_tolerance: f64,
+}
+
+impl NompOptions {
+    /// Options with a given atom budget and standard tolerances.
+    pub fn with_max_atoms(max_atoms: usize) -> Self {
+        NompOptions {
+            max_atoms,
+            min_relative_improvement: 1e-12,
+            residual_tolerance: 1e-18,
+        }
+    }
+}
+
+/// Outcome of a NOMP run.
+#[derive(Debug, Clone)]
+pub struct NompResult {
+    /// Dense solution vector (length = number of columns); entries off the
+    /// support are exactly zero.
+    pub x: Vec<f64>,
+    /// Active column indices in the order they were selected.
+    pub support: Vec<usize>,
+    /// Final squared residual ‖A x − b‖₂².
+    pub sq_residual: f64,
+}
+
+/// Run non-negative orthogonal matching pursuit.
+///
+/// # Errors
+/// [`LinalgError::DimensionMismatch`] when `b.len() != a.rows()`;
+/// [`LinalgError::InvalidArgument`] when `opts.max_atoms == 0`.
+pub fn nomp<M: crate::sparse::DesignMatrix>(
+    a: &M,
+    b: &[f64],
+    opts: NompOptions,
+) -> Result<NompResult, LinalgError> {
+    let m = a.rows();
+    let n = a.cols();
+    if b.len() != m {
+        return Err(LinalgError::DimensionMismatch {
+            context: "nomp",
+            expected: m,
+            actual: b.len(),
+        });
+    }
+    if opts.max_atoms == 0 {
+        return Err(LinalgError::InvalidArgument("nomp: max_atoms must be > 0"));
+    }
+
+    let mut support: Vec<usize> = Vec::with_capacity(opts.max_atoms.min(n));
+    let mut in_support = vec![false; n];
+    let mut x = vec![0.0_f64; n];
+    let mut residual = b.to_vec();
+    let mut sq_res = vector::dot(&residual, &residual);
+
+    // Column norms for correlation normalisation; zero columns are never
+    // selected.
+    let mut col_norms = vec![0.0_f64; n];
+    let mut col = vec![0.0_f64; m];
+    for (j, cn) in col_norms.iter_mut().enumerate() {
+        a.column_into(j, &mut col);
+        *cn = vector::norm2(&col);
+    }
+
+    while support.len() < opts.max_atoms.min(n) && sq_res > opts.residual_tolerance {
+        // Correlations of all columns with the residual.
+        let corr = a.tr_matvec(&residual)?;
+        let mut best_j = None;
+        let mut best_c = 0.0_f64;
+        for j in 0..n {
+            if in_support[j] || col_norms[j] == 0.0 {
+                continue;
+            }
+            let c = corr[j] / col_norms[j];
+            if c > best_c {
+                best_c = c;
+                best_j = Some(j);
+            }
+        }
+        let Some(j_star) = best_j else {
+            break; // No positively correlated column remains.
+        };
+        support.push(j_star);
+        in_support[j_star] = true;
+
+        // Refit on the active set with NNLS.
+        let sub = a.dense_columns(&support);
+        let x_sub = nnls(&sub, b)?;
+
+        // Prune zeroed atoms (keeps the support meaningful).
+        let mut kept: Vec<usize> = Vec::with_capacity(support.len());
+        for (v, &j) in x_sub.iter().zip(support.iter()) {
+            if *v > 0.0 {
+                kept.push(j);
+            } else {
+                in_support[j] = false;
+            }
+        }
+        // Write the dense solution.
+        x.iter_mut().for_each(|v| *v = 0.0);
+        for (v, &j) in x_sub.iter().zip(support.iter()) {
+            if *v > 0.0 {
+                x[j] = *v;
+            }
+        }
+        let pruned_entering = !kept.contains(&j_star);
+        support = kept;
+
+        // Update residual.
+        residual.copy_from_slice(b);
+        let ax = a.matvec(&x)?;
+        for (r, v) in residual.iter_mut().zip(ax.iter()) {
+            *r -= v;
+        }
+        let new_sq = vector::dot(&residual, &residual);
+        let improved = sq_res - new_sq > opts.min_relative_improvement * sq_res.max(1e-30);
+        sq_res = new_sq;
+        if pruned_entering || !improved {
+            break; // No progress possible.
+        }
+    }
+
+    Ok(NompResult {
+        x,
+        support,
+        sq_residual: sq_res,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+
+    fn opts(l: usize) -> NompOptions {
+        NompOptions::with_max_atoms(l)
+    }
+
+    #[test]
+    fn recovers_single_atom() {
+        // b is exactly 2 × column 1.
+        let a = Matrix::from_rows(&[vec![1.0, 0.0, 1.0], vec![0.0, 1.0, 1.0]]).unwrap();
+        let b = vec![0.0, 2.0];
+        let r = nomp(&a, &b, opts(1)).unwrap();
+        assert_eq!(r.support, vec![1]);
+        assert!((r.x[1] - 2.0).abs() < 1e-10);
+        assert!(r.sq_residual < 1e-16);
+    }
+
+    #[test]
+    fn recovers_two_atoms() {
+        let a = Matrix::from_rows(&[
+            vec![1.0, 0.0, 0.5],
+            vec![0.0, 1.0, 0.5],
+            vec![0.0, 0.0, 0.5],
+        ])
+        .unwrap();
+        // b = 1*c0 + 3*c1
+        let b = vec![1.0, 3.0, 0.0];
+        let r = nomp(&a, &b, opts(2)).unwrap();
+        let mut s = r.support.clone();
+        s.sort_unstable();
+        assert_eq!(s, vec![0, 1]);
+        assert!((r.x[0] - 1.0).abs() < 1e-8);
+        assert!((r.x[1] - 3.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn respects_atom_budget() {
+        let a = Matrix::from_rows(&[
+            vec![1.0, 0.0, 0.0],
+            vec![0.0, 1.0, 0.0],
+            vec![0.0, 0.0, 1.0],
+        ])
+        .unwrap();
+        let b = vec![1.0, 1.0, 1.0];
+        let r = nomp(&a, &b, opts(2)).unwrap();
+        assert!(r.support.len() <= 2);
+        assert!(r.sq_residual > 0.9); // one coordinate must remain unexplained
+    }
+
+    #[test]
+    fn solution_is_nonnegative() {
+        let a = Matrix::from_rows(&[vec![1.0, -1.0], vec![1.0, 1.0]]).unwrap();
+        let b = vec![2.0, 0.0];
+        let r = nomp(&a, &b, opts(2)).unwrap();
+        assert!(r.x.iter().all(|&v| v >= 0.0), "x = {:?}", r.x);
+    }
+
+    #[test]
+    fn zero_budget_is_an_error() {
+        let a = Matrix::identity(2);
+        assert!(matches!(
+            nomp(&a, &[1.0, 1.0], opts(0)),
+            Err(LinalgError::InvalidArgument(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_rhs() {
+        let a = Matrix::identity(2);
+        assert!(nomp(&a, &[1.0], opts(1)).is_err());
+    }
+
+    #[test]
+    fn anticorrelated_target_selects_nothing() {
+        // Every column is the negative of b's direction: no positive
+        // correlation, so the support stays empty and x = 0.
+        let a = Matrix::from_rows(&[vec![-1.0, -2.0], vec![-1.0, -2.0]]).unwrap();
+        let b = vec![1.0, 1.0];
+        let r = nomp(&a, &b, opts(2)).unwrap();
+        assert!(r.support.is_empty());
+        assert!(r.x.iter().all(|&v| v == 0.0));
+        assert!((r.sq_residual - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_columns_are_skipped() {
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![0.0, 1.0]]).unwrap();
+        let b = vec![1.0, 1.0];
+        let r = nomp(&a, &b, opts(2)).unwrap();
+        assert_eq!(r.support, vec![1]);
+    }
+
+    #[test]
+    fn duplicate_columns_pick_one() {
+        let a = Matrix::from_rows(&[vec![1.0, 1.0], vec![1.0, 1.0]]).unwrap();
+        let b = vec![3.0, 3.0];
+        let r = nomp(&a, &b, opts(2)).unwrap();
+        // Either column alone explains b.
+        assert!(r.sq_residual < 1e-10);
+    }
+
+    #[test]
+    fn residual_decreases_with_budget() {
+        let a = Matrix::from_rows(&[
+            vec![1.0, 0.0, 0.0, 0.3],
+            vec![0.0, 1.0, 0.0, 0.3],
+            vec![0.0, 0.0, 1.0, 0.3],
+        ])
+        .unwrap();
+        let b = vec![1.0, 0.8, 0.6];
+        let r1 = nomp(&a, &b, opts(1)).unwrap();
+        let r2 = nomp(&a, &b, opts(2)).unwrap();
+        let r3 = nomp(&a, &b, opts(3)).unwrap();
+        assert!(r2.sq_residual <= r1.sq_residual + 1e-12);
+        assert!(r3.sq_residual <= r2.sq_residual + 1e-12);
+    }
+}

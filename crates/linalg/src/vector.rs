@@ -1,0 +1,197 @@
+//! Free functions on `&[f64]` slices.
+//!
+//! The paper's distance Δ(x, y) (Equation 2) is the *squared* Euclidean
+//! distance; [`sq_distance`] implements it verbatim. Cosine similarity
+//! (Equation 9, used for the Figure 11b information-loss measurement) is
+//! [`cosine_similarity`].
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+/// Panics in debug builds if the lengths differ; in release builds the
+/// shorter length is used (standard zip semantics), so callers should
+/// validate shapes at API boundaries.
+#[inline]
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    debug_assert_eq!(x.len(), y.len(), "dot: length mismatch");
+    x.iter().zip(y.iter()).map(|(a, b)| a * b).sum()
+}
+
+/// Squared Euclidean distance Δ(x, y) = Σ (xᵢ − yᵢ)² (Equation 2).
+#[inline]
+pub fn sq_distance(x: &[f64], y: &[f64]) -> f64 {
+    debug_assert_eq!(x.len(), y.len(), "sq_distance: length mismatch");
+    x.iter()
+        .zip(y.iter())
+        .map(|(a, b)| {
+            let d = a - b;
+            d * d
+        })
+        .sum()
+}
+
+/// Euclidean (L2) norm.
+#[inline]
+pub fn norm2(x: &[f64]) -> f64 {
+    dot(x, x).sqrt()
+}
+
+/// L1 norm (sum of absolute values).
+#[inline]
+pub fn norm1(x: &[f64]) -> f64 {
+    x.iter().map(|v| v.abs()).sum()
+}
+
+/// L1 distance ‖x − y‖₁, used by the integer-rounding step of
+/// Integer-Regression (Algorithm 1, line 8).
+#[inline]
+pub fn l1_distance(x: &[f64], y: &[f64]) -> f64 {
+    debug_assert_eq!(x.len(), y.len(), "l1_distance: length mismatch");
+    x.iter().zip(y.iter()).map(|(a, b)| (a - b).abs()).sum()
+}
+
+/// Cosine similarity (Equation 9). Returns 0 when either vector is zero,
+/// matching the convention used for empty review selections.
+#[inline]
+pub fn cosine_similarity(x: &[f64], y: &[f64]) -> f64 {
+    let nx = norm2(x);
+    let ny = norm2(y);
+    if nx == 0.0 || ny == 0.0 {
+        return 0.0;
+    }
+    (dot(x, y) / (nx * ny)).clamp(-1.0, 1.0)
+}
+
+/// `y += alpha * x` (BLAS axpy).
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x.iter()) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Scale a vector in place: `x *= alpha`.
+#[inline]
+pub fn scale(x: &mut [f64], alpha: f64) {
+    for v in x.iter_mut() {
+        *v *= alpha;
+    }
+}
+
+/// Normalise a vector to unit L1 mass, returning the original mass.
+/// Vectors with zero mass are left untouched.
+pub fn normalize_l1(x: &mut [f64]) -> f64 {
+    let mass = norm1(x);
+    if mass > 0.0 {
+        scale(x, 1.0 / mass);
+    }
+    mass
+}
+
+/// Maximum element of the slice; 0.0 for an empty slice.
+#[inline]
+pub fn max_element(x: &[f64]) -> f64 {
+    if x.is_empty() {
+        return 0.0;
+    }
+    x.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+}
+
+/// Index of the maximum element, breaking ties toward the lowest index.
+/// Returns `None` for an empty slice.
+pub fn argmax(x: &[f64]) -> Option<usize> {
+    if x.is_empty() {
+        return None;
+    }
+    let mut best = 0;
+    for (i, v) in x.iter().enumerate().skip(1) {
+        if *v > x[best] {
+            best = i;
+        }
+    }
+    Some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_basic() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn sq_distance_matches_paper_definition() {
+        // Δ((1,2),(4,6)) = 9 + 16 = 25
+        assert_eq!(sq_distance(&[1.0, 2.0], &[4.0, 6.0]), 25.0);
+        assert_eq!(sq_distance(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn norms() {
+        assert_eq!(norm2(&[3.0, 4.0]), 5.0);
+        assert_eq!(norm1(&[-3.0, 4.0]), 7.0);
+        assert_eq!(l1_distance(&[1.0, -1.0], &[0.0, 1.0]), 3.0);
+    }
+
+    #[test]
+    fn cosine_identical_is_one() {
+        let x = [0.2, 0.4, 0.0, 0.1];
+        assert!((cosine_similarity(&x, &x) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_orthogonal_is_zero() {
+        assert_eq!(cosine_similarity(&[1.0, 0.0], &[0.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn cosine_zero_vector_is_zero() {
+        assert_eq!(cosine_similarity(&[0.0, 0.0], &[1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn cosine_is_clamped() {
+        // Numerically parallel vectors must not exceed 1.
+        let x = [1e-8, 2e-8];
+        let y = [3e8, 6e8];
+        let c = cosine_similarity(&x, &y);
+        assert!(c <= 1.0 && c > 0.999);
+    }
+
+    #[test]
+    fn axpy_and_scale() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[1.0, 3.0], &mut y);
+        assert_eq!(y, vec![3.0, 7.0]);
+        scale(&mut y, 0.5);
+        assert_eq!(y, vec![1.5, 3.5]);
+    }
+
+    #[test]
+    fn normalize_l1_returns_mass() {
+        let mut x = vec![1.0, 3.0];
+        let mass = normalize_l1(&mut x);
+        assert_eq!(mass, 4.0);
+        assert_eq!(x, vec![0.25, 0.75]);
+
+        let mut z = vec![0.0, 0.0];
+        assert_eq!(normalize_l1(&mut z), 0.0);
+        assert_eq!(z, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn argmax_prefers_first_on_tie() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0]), Some(1));
+        assert_eq!(argmax(&[]), None);
+    }
+
+    #[test]
+    fn max_element_empty_is_zero() {
+        assert_eq!(max_element(&[]), 0.0);
+        assert_eq!(max_element(&[-1.0, -5.0]), -1.0);
+    }
+}

@@ -1,0 +1,128 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use comparesets_linalg::{lstsq, nnls, nomp, CscMatrix, DesignMatrix, Matrix, NompOptions};
+use proptest::prelude::*;
+
+fn small_f64() -> impl Strategy<Value = f64> {
+    (-100i32..=100).prop_map(|v| v as f64 / 10.0)
+}
+
+fn matrix_and_rhs() -> impl Strategy<Value = (Matrix, Vec<f64>)> {
+    (2usize..=6, 1usize..=5).prop_flat_map(|(m, n)| {
+        let n = n.min(m); // keep rows >= cols for QR
+        (
+            proptest::collection::vec(small_f64(), m * n),
+            proptest::collection::vec(small_f64(), m),
+        )
+            .prop_map(move |(data, b)| (Matrix::from_vec(m, n, data).unwrap(), b))
+    })
+}
+
+proptest! {
+    #[test]
+    fn sq_distance_is_symmetric_nonnegative(
+        x in proptest::collection::vec(small_f64(), 1..10),
+        y in proptest::collection::vec(small_f64(), 1..10),
+    ) {
+        let n = x.len().min(y.len());
+        let (x, y) = (&x[..n], &y[..n]);
+        let d1 = comparesets_linalg::vector::sq_distance(x, y);
+        let d2 = comparesets_linalg::vector::sq_distance(y, x);
+        prop_assert!(d1 >= 0.0);
+        prop_assert!((d1 - d2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cosine_similarity_bounded(
+        x in proptest::collection::vec(small_f64(), 1..10),
+        y in proptest::collection::vec(small_f64(), 1..10),
+    ) {
+        let n = x.len().min(y.len());
+        let c = comparesets_linalg::vector::cosine_similarity(&x[..n], &y[..n]);
+        prop_assert!((-1.0..=1.0).contains(&c));
+    }
+
+    #[test]
+    fn nnls_solution_is_nonnegative_and_feasible((a, b) in matrix_and_rhs()) {
+        let x = nnls(&a, &b).unwrap();
+        prop_assert_eq!(x.len(), a.cols());
+        prop_assert!(x.iter().all(|&v| v >= 0.0));
+        // NNLS residual can never beat the unconstrained optimum but must
+        // never exceed the zero-solution residual.
+        let ax = a.matvec(&x).unwrap();
+        let res: f64 = b.iter().zip(ax.iter()).map(|(bi, yi)| (bi - yi).powi(2)).sum();
+        let zero_res: f64 = b.iter().map(|v| v * v).sum();
+        prop_assert!(res <= zero_res + 1e-8, "res {} > zero_res {}", res, zero_res);
+    }
+
+    #[test]
+    fn nomp_respects_budget_and_nonnegativity(
+        (a, b) in matrix_and_rhs(),
+        budget in 1usize..=4,
+    ) {
+        let r = nomp(&a, &b, NompOptions::with_max_atoms(budget)).unwrap();
+        prop_assert!(r.support.len() <= budget);
+        prop_assert!(r.x.iter().all(|&v| v >= 0.0));
+        let nnz = r.x.iter().filter(|&&v| v > 0.0).count();
+        prop_assert!(nnz <= budget);
+        // Reported residual matches the recomputed one.
+        let ax = a.matvec(&r.x).unwrap();
+        let res: f64 = b.iter().zip(ax.iter()).map(|(bi, yi)| (bi - yi).powi(2)).sum();
+        prop_assert!((res - r.sq_residual).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lstsq_residual_orthogonality((a, b) in matrix_and_rhs()) {
+        // Skip (numerically) rank-deficient draws: lstsq signals Singular.
+        if let Ok(x) = lstsq(&a, &b) {
+            let ax = a.matvec(&x).unwrap();
+            let r: Vec<f64> = b.iter().zip(ax.iter()).map(|(bi, yi)| bi - yi).collect();
+            let atr = a.tr_matvec(&r).unwrap();
+            let scale = a.frobenius_norm().max(1.0) * comparesets_linalg::vector::norm2(&b).max(1.0);
+            for v in atr {
+                prop_assert!(v.abs() <= 1e-6 * scale, "A^T r component {} too large", v);
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_and_dense_nomp_agree((a, b) in matrix_and_rhs(), budget in 1usize..=4) {
+        let sparse = CscMatrix::from_dense(&a);
+        let rd = nomp(&a, &b, NompOptions::with_max_atoms(budget)).unwrap();
+        let rs = nomp(&sparse, &b, NompOptions::with_max_atoms(budget)).unwrap();
+        prop_assert_eq!(&rd.support, &rs.support);
+        for (x, y) in rd.x.iter().zip(rs.x.iter()) {
+            prop_assert!((x - y).abs() < 1e-9);
+        }
+        prop_assert!((rd.sq_residual - rs.sq_residual).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sparse_ops_match_dense((a, b) in matrix_and_rhs()) {
+        let s = CscMatrix::from_dense(&a);
+        prop_assert_eq!(s.to_dense(), a.clone());
+        let x: Vec<f64> = (0..a.cols()).map(|j| j as f64 - 1.0).collect();
+        let dm = DesignMatrix::matvec(&a, &x).unwrap();
+        let sm = DesignMatrix::matvec(&s, &x).unwrap();
+        for (p, q) in dm.iter().zip(sm.iter()) {
+            prop_assert!((p - q).abs() < 1e-12);
+        }
+        let dt = DesignMatrix::tr_matvec(&a, &b).unwrap();
+        let st = DesignMatrix::tr_matvec(&s, &b).unwrap();
+        for (p, q) in dt.iter().zip(st.iter()) {
+            prop_assert!((p - q).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn matvec_linearity((a, b) in matrix_and_rhs(), alpha in small_f64()) {
+        let x: Vec<f64> = (0..a.cols()).map(|j| (j as f64 + 1.0) / 3.0).collect();
+        let ax = a.matvec(&x).unwrap();
+        let scaled: Vec<f64> = x.iter().map(|v| alpha * v).collect();
+        let a_scaled = a.matvec(&scaled).unwrap();
+        for (l, r) in a_scaled.iter().zip(ax.iter()) {
+            prop_assert!((l - alpha * r).abs() < 1e-7);
+        }
+        let _ = b;
+    }
+}

@@ -1,0 +1,188 @@
+//! Percentile bootstrap confidence intervals.
+//!
+//! Used by the harness to quantify the sampling noise of per-instance
+//! ROUGE means (EXPERIMENTS.md reports several near-ties; the CI makes
+//! "indistinguishable at this scale" a measurable statement). Seeded with
+//! a splitmix64-style generator so results are reproducible without
+//! pulling `rand` into this dependency-free crate.
+
+/// A two-sided confidence interval for a statistic of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Lower bound.
+    pub low: f64,
+    /// Point estimate (statistic of the original sample).
+    pub estimate: f64,
+    /// Upper bound.
+    pub high: f64,
+}
+
+impl ConfidenceInterval {
+    /// Whether the interval contains a value.
+    pub fn contains(&self, v: f64) -> bool {
+        self.low <= v && v <= self.high
+    }
+
+    /// Whether two intervals overlap.
+    pub fn overlaps(&self, other: &ConfidenceInterval) -> bool {
+        self.low <= other.high && other.low <= self.high
+    }
+}
+
+/// Minimal splitmix64 PRNG (public-domain algorithm).
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform index in `0..n`.
+    fn index(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// Percentile bootstrap CI of the mean at the given confidence level
+/// (e.g. 0.95). Returns `None` for empty samples or nonsensical levels.
+pub fn bootstrap_mean_ci(
+    sample: &[f64],
+    confidence: f64,
+    resamples: usize,
+    seed: u64,
+) -> Option<ConfidenceInterval> {
+    bootstrap_ci(sample, confidence, resamples, seed, |xs| {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    })
+}
+
+/// Percentile bootstrap CI of an arbitrary statistic.
+pub fn bootstrap_ci<F>(
+    sample: &[f64],
+    confidence: f64,
+    resamples: usize,
+    seed: u64,
+    statistic: F,
+) -> Option<ConfidenceInterval>
+where
+    F: Fn(&[f64]) -> f64,
+{
+    if sample.is_empty() || !(0.0..1.0).contains(&confidence) || resamples == 0 {
+        return None;
+    }
+    let estimate = statistic(sample);
+    let mut rng = SplitMix64(seed ^ 0xD1B5_4A32_D192_ED03);
+    let mut stats = Vec::with_capacity(resamples);
+    let mut scratch = vec![0.0; sample.len()];
+    for _ in 0..resamples {
+        for slot in scratch.iter_mut() {
+            *slot = sample[rng.index(sample.len())];
+        }
+        stats.push(statistic(&scratch));
+    }
+    stats.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let alpha = (1.0 - confidence) / 2.0;
+    let lo_idx = ((stats.len() as f64) * alpha).floor() as usize;
+    let hi_idx = (((stats.len() as f64) * (1.0 - alpha)).ceil() as usize)
+        .saturating_sub(1)
+        .min(stats.len() - 1);
+    Some(ConfidenceInterval {
+        low: stats[lo_idx],
+        estimate,
+        high: stats[hi_idx],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ci_brackets_the_mean() {
+        let sample: Vec<f64> = (0..200).map(|i| (i % 10) as f64).collect();
+        let ci = bootstrap_mean_ci(&sample, 0.95, 2000, 42).unwrap();
+        assert!((ci.estimate - 4.5).abs() < 1e-12);
+        assert!(ci.contains(4.5));
+        assert!(ci.low < ci.estimate && ci.estimate < ci.high);
+        // For this tight sample the CI is narrow.
+        assert!(ci.high - ci.low < 1.0, "{ci:?}");
+    }
+
+    #[test]
+    fn wider_confidence_means_wider_interval() {
+        let sample: Vec<f64> = (0..100).map(|i| ((i * 37) % 17) as f64).collect();
+        let ci90 = bootstrap_mean_ci(&sample, 0.90, 2000, 7).unwrap();
+        let ci99 = bootstrap_mean_ci(&sample, 0.99, 2000, 7).unwrap();
+        assert!(ci99.high - ci99.low >= ci90.high - ci90.low);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let sample = [1.0, 5.0, 2.0, 8.0, 3.0, 9.0, 4.0];
+        let a = bootstrap_mean_ci(&sample, 0.95, 500, 1).unwrap();
+        let b = bootstrap_mean_ci(&sample, 0.95, 500, 1).unwrap();
+        assert_eq!(a, b);
+        let c = bootstrap_mean_ci(&sample, 0.95, 500, 2).unwrap();
+        assert!(a != c || a.estimate == c.estimate); // bounds differ, estimate same
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(bootstrap_mean_ci(&[], 0.95, 100, 0).is_none());
+        assert!(bootstrap_mean_ci(&[1.0], 1.5, 100, 0).is_none());
+        assert!(bootstrap_mean_ci(&[1.0], 0.95, 0, 0).is_none());
+        // Single-element sample: CI collapses to the point.
+        let ci = bootstrap_mean_ci(&[3.0], 0.95, 100, 0).unwrap();
+        assert_eq!(ci.low, 3.0);
+        assert_eq!(ci.high, 3.0);
+    }
+
+    #[test]
+    fn custom_statistic_median() {
+        let sample: Vec<f64> = vec![1.0, 2.0, 3.0, 4.0, 100.0];
+        let ci = bootstrap_ci(&sample, 0.9, 1000, 3, |xs| {
+            let mut v = xs.to_vec();
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            v[v.len() / 2]
+        })
+        .unwrap();
+        // Median is robust to the outlier; CI should sit in the low range.
+        assert!(ci.estimate <= 4.0);
+        assert!(ci.high <= 100.0);
+    }
+
+    #[test]
+    fn overlap_logic() {
+        let a = ConfidenceInterval {
+            low: 0.0,
+            estimate: 1.0,
+            high: 2.0,
+        };
+        let b = ConfidenceInterval {
+            low: 1.5,
+            estimate: 2.0,
+            high: 3.0,
+        };
+        let c = ConfidenceInterval {
+            low: 2.5,
+            estimate: 3.0,
+            high: 4.0,
+        };
+        assert!(a.overlaps(&b));
+        assert!(b.overlaps(&a));
+        assert!(!a.overlaps(&c));
+    }
+
+    #[test]
+    fn separated_populations_have_disjoint_cis() {
+        let low: Vec<f64> = (0..80).map(|i| 1.0 + (i % 5) as f64 * 0.1).collect();
+        let high: Vec<f64> = (0..80).map(|i| 3.0 + (i % 5) as f64 * 0.1).collect();
+        let ci_low = bootstrap_mean_ci(&low, 0.95, 1000, 9).unwrap();
+        let ci_high = bootstrap_mean_ci(&high, 0.95, 1000, 9).unwrap();
+        assert!(!ci_low.overlaps(&ci_high));
+    }
+}

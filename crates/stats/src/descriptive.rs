@@ -1,0 +1,77 @@
+//! Descriptive statistics.
+
+/// Arithmetic mean; 0.0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Unbiased (n−1) sample standard deviation; 0.0 for fewer than two
+/// observations.
+pub fn sample_std(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64;
+    var.sqrt()
+}
+
+/// Standard error of the mean; 0.0 for fewer than two observations.
+pub fn sem(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    sample_std(xs) / (xs.len() as f64).sqrt()
+}
+
+/// Population variance (divide by n); 0.0 for an empty slice.
+pub fn population_variance(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn std_known_value() {
+        // {2, 4, 4, 4, 5, 5, 7, 9}: sample std = sqrt(32/7).
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((sample_std(&xs) - (32.0_f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!(sample_std(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn sem_scales_with_sqrt_n() {
+        let xs = [1.0, 3.0, 5.0, 7.0];
+        assert!((sem(&xs) - sample_std(&xs) / 2.0).abs() < 1e-12);
+        assert_eq!(sem(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn population_variance_known() {
+        assert!((population_variance(&[1.0, 2.0, 3.0]) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(population_variance(&[]), 0.0);
+    }
+
+    #[test]
+    fn constant_series_have_negligible_spread() {
+        // Floating-point mean of a constant series can carry ~1e-16 noise.
+        let xs = [4.2; 10];
+        assert!(sample_std(&xs) < 1e-12);
+        assert!(population_variance(&xs) < 1e-12);
+    }
+}

@@ -1,0 +1,221 @@
+//! Krippendorff's alpha-reliability (Krippendorff 2011), used in Table 7
+//! to assess agreement among user-study annotators.
+//!
+//! Implemented via the coincidence-matrix formulation with support for
+//! nominal, ordinal, and interval difference metrics; missing ratings are
+//! allowed (units rated by fewer than two annotators are skipped).
+
+use std::collections::BTreeMap;
+
+/// Difference metric δ²(c, k) between two rating values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// 0 when equal, 1 otherwise.
+    Nominal,
+    /// Squared difference of ranks weighted by value frequencies.
+    Ordinal,
+    /// Squared numeric difference (appropriate for Likert scales treated
+    /// as interval data; the default in most user-study analyses).
+    Interval,
+}
+
+/// Compute Krippendorff's α over a units × annotators table; `None`
+/// entries are missing ratings.
+///
+/// Returns `None` when fewer than two paired ratings exist or when the
+/// expected disagreement is zero (all ratings identical — α is undefined;
+/// by convention many packages return 1.0, but surfacing `None` keeps the
+/// degenerate case explicit).
+pub fn krippendorff_alpha(data: &[Vec<Option<f64>>], metric: Metric) -> Option<f64> {
+    // Quantise values to stable keys (ratings are small integers/floats).
+    let key = |v: f64| -> i64 { (v * 1_000_000.0).round() as i64 };
+
+    // Coincidence matrix over observed values.
+    let mut coincidence: BTreeMap<(i64, i64), f64> = BTreeMap::new();
+    let mut totals: BTreeMap<i64, f64> = BTreeMap::new();
+    let mut n_total = 0.0_f64;
+
+    for unit in data {
+        let ratings: Vec<f64> = unit.iter().flatten().copied().collect();
+        let m = ratings.len();
+        if m < 2 {
+            continue;
+        }
+        let weight = 1.0 / (m as f64 - 1.0);
+        for (i, &a) in ratings.iter().enumerate() {
+            for (j, &b) in ratings.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                *coincidence.entry((key(a), key(b))).or_insert(0.0) += weight;
+            }
+        }
+        for &a in &ratings {
+            *totals.entry(key(a)).or_insert(0.0) += 1.0;
+        }
+        n_total += m as f64;
+    }
+    if n_total <= 1.0 {
+        return None;
+    }
+
+    // Value list in ascending order with frequencies (for ordinal ranks).
+    let values: Vec<(i64, f64)> = totals.iter().map(|(&k, &n)| (k, n)).collect();
+    let numeric: BTreeMap<i64, f64> = values
+        .iter()
+        .map(|&(k, _)| (k, k as f64 / 1_000_000.0))
+        .collect();
+
+    // Ordinal δ² needs cumulative frequencies between the two values.
+    let delta_sq = |c: i64, k: i64| -> f64 {
+        if c == k {
+            return 0.0;
+        }
+        match metric {
+            Metric::Nominal => 1.0,
+            Metric::Interval => {
+                let d = numeric[&c] - numeric[&k];
+                d * d
+            }
+            Metric::Ordinal => {
+                let (lo, hi) = if c < k { (c, k) } else { (k, c) };
+                let mut acc = 0.0;
+                for &(v, n) in &values {
+                    if v >= lo && v <= hi {
+                        acc += n;
+                    }
+                }
+                let d = acc - (totals[&c] + totals[&k]) / 2.0;
+                d * d
+            }
+        }
+    };
+
+    let mut d_observed = 0.0;
+    for (&(c, k), &o) in &coincidence {
+        d_observed += o * delta_sq(c, k);
+    }
+    d_observed /= n_total;
+
+    let mut d_expected = 0.0;
+    for &(c, nc) in &values {
+        for &(k, nk) in &values {
+            d_expected += nc * nk * delta_sq(c, k);
+        }
+    }
+    d_expected /= n_total * (n_total - 1.0);
+
+    if d_expected == 0.0 {
+        return None;
+    }
+    Some(1.0 - d_observed / d_expected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(rows: &[&[Option<f64>]]) -> Vec<Vec<Option<f64>>> {
+        rows.iter().map(|r| r.to_vec()).collect()
+    }
+
+    #[test]
+    fn perfect_agreement_with_varied_values_is_one() {
+        let data = table(&[
+            &[Some(1.0), Some(1.0), Some(1.0)],
+            &[Some(2.0), Some(2.0), Some(2.0)],
+            &[Some(3.0), Some(3.0), Some(3.0)],
+        ]);
+        for m in [Metric::Nominal, Metric::Interval, Metric::Ordinal] {
+            let a = krippendorff_alpha(&data, m).unwrap();
+            assert!((a - 1.0).abs() < 1e-12, "{m:?}: {a}");
+        }
+    }
+
+    #[test]
+    fn constant_ratings_are_undefined() {
+        let data = table(&[
+            &[Some(3.0), Some(3.0)],
+            &[Some(3.0), Some(3.0)],
+        ]);
+        assert!(krippendorff_alpha(&data, Metric::Interval).is_none());
+    }
+
+    #[test]
+    fn hand_computed_nominal_example() {
+        // 2 observers, 3 units: (a,a), (b,b), (a,b) with a=0, b=1.
+        // Coincidences: o_aa = 2, o_bb = 2, o_ab = o_ba = 1; n_a = n_b = 3.
+        // D_o = 2/6 = 1/3; D_e = 2·3·3/(6·5) = 0.6; α = 1 − (1/3)/0.6 = 4/9.
+        let data = table(&[
+            &[Some(0.0), Some(0.0)],
+            &[Some(1.0), Some(1.0)],
+            &[Some(0.0), Some(1.0)],
+        ]);
+        let alpha = krippendorff_alpha(&data, Metric::Nominal).unwrap();
+        assert!((alpha - 4.0 / 9.0).abs() < 1e-12, "alpha {alpha}");
+    }
+
+    #[test]
+    fn near_random_ratings_are_near_zero_or_negative() {
+        // Systematic disagreement should push α at or below 0.
+        let data = table(&[
+            &[Some(1.0), Some(5.0)],
+            &[Some(5.0), Some(1.0)],
+            &[Some(1.0), Some(5.0)],
+            &[Some(5.0), Some(1.0)],
+        ]);
+        let a = krippendorff_alpha(&data, Metric::Interval).unwrap();
+        assert!(a < 0.0, "alpha {a}");
+    }
+
+    #[test]
+    fn missing_values_are_skipped() {
+        let data = table(&[
+            &[Some(1.0), Some(1.0), None],
+            &[Some(2.0), None, Some(2.0)],
+            &[None, None, Some(4.0)], // under-rated unit: ignored
+        ]);
+        let a = krippendorff_alpha(&data, Metric::Interval).unwrap();
+        assert!((a - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_or_singleton_data_is_none() {
+        assert!(krippendorff_alpha(&[], Metric::Interval).is_none());
+        let one = table(&[&[Some(1.0), None]]);
+        assert!(krippendorff_alpha(&one, Metric::Interval).is_none());
+    }
+
+    #[test]
+    fn interval_punishes_far_disagreement_more_than_near() {
+        let near = table(&[
+            &[Some(3.0), Some(4.0)],
+            &[Some(4.0), Some(3.0)],
+            &[Some(2.0), Some(2.0)],
+            &[Some(5.0), Some(5.0)],
+        ]);
+        let far = table(&[
+            &[Some(1.0), Some(5.0)],
+            &[Some(5.0), Some(1.0)],
+            &[Some(2.0), Some(2.0)],
+            &[Some(5.0), Some(5.0)],
+        ]);
+        let a_near = krippendorff_alpha(&near, Metric::Interval).unwrap();
+        let a_far = krippendorff_alpha(&far, Metric::Interval).unwrap();
+        assert!(a_near > a_far);
+    }
+
+    #[test]
+    fn ordinal_differs_from_interval_on_skewed_scales() {
+        let data = table(&[
+            &[Some(1.0), Some(2.0)],
+            &[Some(2.0), Some(2.0)],
+            &[Some(2.0), Some(5.0)],
+            &[Some(5.0), Some(5.0)],
+            &[Some(1.0), Some(1.0)],
+        ]);
+        let a_int = krippendorff_alpha(&data, Metric::Interval).unwrap();
+        let a_ord = krippendorff_alpha(&data, Metric::Ordinal).unwrap();
+        assert!((a_int - a_ord).abs() > 1e-6);
+    }
+}

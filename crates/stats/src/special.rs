@@ -1,0 +1,169 @@
+//! Special functions: log-gamma and the regularised incomplete beta
+//! function, which give the Student t CDF needed for p-values.
+
+/// Natural log of the gamma function (Lanczos approximation, g = 7).
+pub fn ln_gamma(x: f64) -> f64 {
+    // Coefficients for g = 7, n = 9.
+    const COEFFS: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEFFS[0];
+    let t = x + 7.5;
+    for (i, &c) in COEFFS.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// Regularised incomplete beta function I_x(a, b), via the Lentz
+/// continued-fraction algorithm (Numerical Recipes style).
+///
+/// Returns values clamped to [0, 1]; `x` outside [0, 1] is clamped.
+pub fn incomplete_beta(a: f64, b: f64, x: f64) -> f64 {
+    let x = x.clamp(0.0, 1.0);
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x == 1.0 {
+        return 1.0;
+    }
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let front = ln_front.exp();
+    // Use the symmetry relation to keep the continued fraction convergent.
+    if x < (a + 1.0) / (a + b + 2.0) {
+        (front * beta_cf(a, b, x) / a).clamp(0.0, 1.0)
+    } else {
+        (1.0 - front * beta_cf(b, a, 1.0 - x) / b).clamp(0.0, 1.0)
+    }
+}
+
+/// Continued fraction for the incomplete beta (modified Lentz).
+fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 300;
+    const EPS: f64 = 1e-15;
+    const TINY: f64 = 1e-30;
+
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < TINY {
+        d = TINY;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// CDF of the Student t distribution with `df` degrees of freedom.
+pub fn student_t_cdf(t: f64, df: f64) -> f64 {
+    debug_assert!(df > 0.0);
+    let x = df / (df + t * t);
+    let p = 0.5 * incomplete_beta(0.5 * df, 0.5, x);
+    if t >= 0.0 {
+        1.0 - p
+    } else {
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_factorials() {
+        // Γ(n) = (n-1)!
+        assert!((ln_gamma(1.0)).abs() < 1e-12);
+        assert!((ln_gamma(5.0) - 24.0_f64.ln()).abs() < 1e-10);
+        assert!((ln_gamma(10.0) - 362_880.0_f64.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ln_gamma_half() {
+        // Γ(1/2) = sqrt(pi).
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn incomplete_beta_bounds() {
+        assert_eq!(incomplete_beta(2.0, 3.0, 0.0), 0.0);
+        assert_eq!(incomplete_beta(2.0, 3.0, 1.0), 1.0);
+        let mid = incomplete_beta(2.0, 2.0, 0.5);
+        assert!((mid - 0.5).abs() < 1e-12); // symmetric case
+    }
+
+    #[test]
+    fn incomplete_beta_uniform_case() {
+        // I_x(1,1) = x.
+        for &x in &[0.1, 0.37, 0.62, 0.95] {
+            assert!((incomplete_beta(1.0, 1.0, x) - x).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn t_cdf_symmetry_and_known_points() {
+        assert!((student_t_cdf(0.0, 10.0) - 0.5).abs() < 1e-12);
+        // t_{0.975, 10} ≈ 2.228: CDF(2.228, 10) ≈ 0.975.
+        assert!((student_t_cdf(2.228, 10.0) - 0.975).abs() < 1e-3);
+        // Symmetry.
+        let df = 7.0;
+        for &t in &[0.5, 1.3, 2.9] {
+            let s = student_t_cdf(t, df) + student_t_cdf(-t, df);
+            assert!((s - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn t_cdf_approaches_normal_for_large_df() {
+        // Φ(1.96) ≈ 0.975.
+        assert!((student_t_cdf(1.96, 100_000.0) - 0.975).abs() < 2e-3);
+    }
+}

@@ -1,0 +1,122 @@
+//! Paired two-sided Student t-test.
+//!
+//! Table 3's stars mark "statistically significant improvements over the
+//! second best approach (p-value < 0.05)": per problem instance we have
+//! paired scores (best method vs. runner-up), and the test is run on the
+//! per-instance differences.
+
+use crate::special::student_t_cdf;
+
+/// Outcome of a paired t-test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TTestResult {
+    /// The t statistic (mean difference / SEM of differences).
+    pub t: f64,
+    /// Degrees of freedom (n − 1).
+    pub df: f64,
+    /// Two-sided p-value.
+    pub p_value: f64,
+    /// Mean of the pairwise differences (a − b).
+    pub mean_difference: f64,
+}
+
+impl TTestResult {
+    /// Whether the difference is significant at the given level (e.g.
+    /// 0.05) *and* favours the first sample (mean difference > 0) — the
+    /// one-directional reading the paper's stars use.
+    pub fn significant_improvement(&self, alpha: f64) -> bool {
+        self.p_value < alpha && self.mean_difference > 0.0
+    }
+}
+
+/// Run a paired, two-sided t-test on equal-length samples.
+///
+/// Returns `None` when fewer than two pairs exist or when all differences
+/// are exactly zero (the statistic is undefined; the paper's star would
+/// simply not be awarded).
+///
+/// # Panics
+/// Panics when the samples have different lengths.
+pub fn paired_t_test(a: &[f64], b: &[f64]) -> Option<TTestResult> {
+    assert_eq!(a.len(), b.len(), "paired samples must align");
+    let n = a.len();
+    if n < 2 {
+        return None;
+    }
+    let diffs: Vec<f64> = a.iter().zip(b.iter()).map(|(x, y)| x - y).collect();
+    let mean_d = crate::descriptive::mean(&diffs);
+    let sd = crate::descriptive::sample_std(&diffs);
+    if sd == 0.0 {
+        return None;
+    }
+    let se = sd / (n as f64).sqrt();
+    let t = mean_d / se;
+    let df = (n - 1) as f64;
+    let p_value = 2.0 * (1.0 - student_t_cdf(t.abs(), df));
+    Some(TTestResult {
+        t,
+        df,
+        p_value: p_value.clamp(0.0, 1.0),
+        mean_difference: mean_d,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn obvious_improvement_is_significant() {
+        // Differences hover around +1 with small variation.
+        let a: Vec<f64> = (0..30).map(|i| 10.0 + (i % 3) as f64 * 0.1).collect();
+        let b: Vec<f64> = (0..30).map(|i| 9.0 + (i % 2) as f64 * 0.05).collect();
+        let r = paired_t_test(&a, &b).unwrap();
+        assert!(r.p_value < 1e-6);
+        assert!(r.significant_improvement(0.05));
+        assert!(r.mean_difference > 0.9);
+    }
+
+    #[test]
+    fn noise_is_not_significant() {
+        // Alternating ±1 differences with zero mean.
+        let a: Vec<f64> = (0..40).map(|i| if i % 2 == 0 { 1.0 } else { 0.0 }).collect();
+        let b: Vec<f64> = (0..40).map(|i| if i % 2 == 0 { 0.0 } else { 1.0 }).collect();
+        let r = paired_t_test(&a, &b).unwrap();
+        assert!(r.p_value > 0.5, "p = {}", r.p_value);
+        assert!(!r.significant_improvement(0.05));
+    }
+
+    #[test]
+    fn known_t_statistic() {
+        // Differences: [1, 2, 3] → mean 2, sd 1, se = 1/sqrt(3), t = 2*sqrt(3).
+        let a = [2.0, 4.0, 6.0];
+        let b = [1.0, 2.0, 3.0];
+        let r = paired_t_test(&a, &b).unwrap();
+        assert!((r.t - 2.0 * 3.0_f64.sqrt()).abs() < 1e-12);
+        assert_eq!(r.df, 2.0);
+    }
+
+    #[test]
+    fn degenerate_cases_yield_none() {
+        assert!(paired_t_test(&[1.0], &[0.5]).is_none());
+        assert!(paired_t_test(&[1.0, 1.0], &[1.0, 1.0]).is_none());
+        assert!(paired_t_test(&[], &[]).is_none());
+    }
+
+    #[test]
+    fn significance_requires_correct_direction() {
+        // b dominates a: significant difference, but not an *improvement*
+        // of a over b.
+        let a: Vec<f64> = (0..20).map(|i| 1.0 + (i % 2) as f64 * 0.01).collect();
+        let b: Vec<f64> = (0..20).map(|i| 2.0 + (i % 2) as f64 * 0.01).collect();
+        let r = paired_t_test(&a, &b).unwrap();
+        assert!(r.p_value < 0.05);
+        assert!(!r.significant_improvement(0.05));
+    }
+
+    #[test]
+    #[should_panic(expected = "align")]
+    fn unequal_lengths_panic() {
+        let _ = paired_t_test(&[1.0, 2.0], &[1.0]);
+    }
+}

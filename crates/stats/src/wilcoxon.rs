@@ -1,0 +1,184 @@
+//! Wilcoxon signed-rank test — a non-parametric alternative to the paired
+//! t-test used for Table 3's significance stars. ROUGE differences are
+//! bounded and often skewed, so the rank test is the robustness check a
+//! careful reproduction should offer alongside the parametric one.
+//!
+//! Uses the normal approximation with tie correction and continuity
+//! correction, appropriate for n ≥ 10 pairs (the evaluation operates on
+//! dozens-to-thousands of instances).
+
+/// Outcome of a Wilcoxon signed-rank test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WilcoxonResult {
+    /// Sum of ranks of positive differences (the W⁺ statistic).
+    pub w_plus: f64,
+    /// Number of non-zero pairs used.
+    pub n_used: usize,
+    /// Standard-normal z statistic.
+    pub z: f64,
+    /// Two-sided p-value (normal approximation).
+    pub p_value: f64,
+    /// Median-direction indicator: positive when `a` tends to exceed `b`.
+    pub effect_direction: f64,
+}
+
+impl WilcoxonResult {
+    /// Significant improvement of `a` over `b` at level `alpha`.
+    pub fn significant_improvement(&self, alpha: f64) -> bool {
+        self.p_value < alpha && self.effect_direction > 0.0
+    }
+}
+
+/// Standard normal CDF via erf-free Abramowitz–Stegun 7.1.26 polynomial.
+fn normal_cdf(z: f64) -> f64 {
+    let x = z / std::f64::consts::SQRT_2;
+    // erf approximation (|error| < 1.5e-7).
+    let t = 1.0 / (1.0 + 0.327_591_1 * x.abs());
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    let erf = 1.0 - poly * (-x * x).exp();
+    let erf = if x >= 0.0 { erf } else { -erf };
+    0.5 * (1.0 + erf)
+}
+
+/// Run the two-sided Wilcoxon signed-rank test on paired samples.
+/// Returns `None` when fewer than 5 non-zero differences remain (the
+/// normal approximation would be meaningless).
+///
+/// # Panics
+/// Panics when the samples have different lengths.
+pub fn wilcoxon_signed_rank(a: &[f64], b: &[f64]) -> Option<WilcoxonResult> {
+    assert_eq!(a.len(), b.len(), "paired samples must align");
+    // Non-zero differences with their absolute values.
+    let mut diffs: Vec<f64> = a
+        .iter()
+        .zip(b.iter())
+        .map(|(x, y)| x - y)
+        .filter(|d| *d != 0.0)
+        .collect();
+    let n = diffs.len();
+    if n < 5 {
+        return None;
+    }
+    diffs.sort_by(|x, y| x.abs().partial_cmp(&y.abs()).unwrap());
+
+    // Average ranks over ties; accumulate tie correction Σ(t³ − t).
+    let mut w_plus = 0.0;
+    let mut tie_correction = 0.0;
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j < n && diffs[j].abs() == diffs[i].abs() {
+            j += 1;
+        }
+        let tie_len = (j - i) as f64;
+        // Ranks are 1-based: ranks i+1 ..= j, averaged.
+        let avg_rank = (i + 1 + j) as f64 / 2.0;
+        for d in &diffs[i..j] {
+            if *d > 0.0 {
+                w_plus += avg_rank;
+            }
+        }
+        if tie_len > 1.0 {
+            tie_correction += tie_len * tie_len * tie_len - tie_len;
+        }
+        i = j;
+    }
+
+    let nf = n as f64;
+    let mean = nf * (nf + 1.0) / 4.0;
+    let var = nf * (nf + 1.0) * (2.0 * nf + 1.0) / 24.0 - tie_correction / 48.0;
+    if var <= 0.0 {
+        return None;
+    }
+    // Continuity correction toward the mean.
+    let delta = w_plus - mean;
+    let corrected = delta - 0.5 * delta.signum();
+    let z = corrected / var.sqrt();
+    let p_value = (2.0 * (1.0 - normal_cdf(z.abs()))).clamp(0.0, 1.0);
+    Some(WilcoxonResult {
+        w_plus,
+        n_used: n,
+        z,
+        p_value,
+        effect_direction: delta,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clear_improvement_is_significant() {
+        let a: Vec<f64> = (0..30).map(|i| 10.0 + (i % 5) as f64 * 0.1).collect();
+        let b: Vec<f64> = (0..30).map(|i| 9.0 + (i % 7) as f64 * 0.05).collect();
+        let r = wilcoxon_signed_rank(&a, &b).unwrap();
+        assert!(r.p_value < 1e-4, "p = {}", r.p_value);
+        assert!(r.significant_improvement(0.05));
+    }
+
+    #[test]
+    fn symmetric_noise_is_not_significant() {
+        let a: Vec<f64> = (0..40).map(|i| if i % 2 == 0 { 1.0 } else { 0.0 }).collect();
+        let b: Vec<f64> = (0..40).map(|i| if i % 2 == 0 { 0.0 } else { 1.0 }).collect();
+        let r = wilcoxon_signed_rank(&a, &b).unwrap();
+        assert!(r.p_value > 0.5, "p = {}", r.p_value);
+        assert!(!r.significant_improvement(0.05));
+    }
+
+    #[test]
+    fn zero_differences_are_dropped() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 7.0];
+        let b = [1.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0];
+        let r = wilcoxon_signed_rank(&a, &b).unwrap();
+        assert_eq!(r.n_used, 6); // two exact ties removed
+        assert!(r.effect_direction > 0.0);
+    }
+
+    #[test]
+    fn too_few_pairs_yields_none() {
+        assert!(wilcoxon_signed_rank(&[1.0, 2.0], &[0.0, 1.0]).is_none());
+        let same = [3.0; 10];
+        assert!(wilcoxon_signed_rank(&same, &same).is_none());
+    }
+
+    #[test]
+    fn direction_matters() {
+        let a: Vec<f64> = (0..20).map(|i| 1.0 + (i % 3) as f64 * 0.01).collect();
+        let b: Vec<f64> = (0..20).map(|i| 2.0 + (i % 4) as f64 * 0.01).collect();
+        let r = wilcoxon_signed_rank(&a, &b).unwrap();
+        assert!(r.p_value < 0.05);
+        assert!(!r.significant_improvement(0.05), "b dominates, not a");
+    }
+
+    #[test]
+    fn normal_cdf_sanity() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((normal_cdf(1.96) - 0.975).abs() < 1e-3);
+        assert!((normal_cdf(-1.96) - 0.025).abs() < 1e-3);
+    }
+
+    #[test]
+    fn agrees_with_t_test_on_well_behaved_data() {
+        // Both tests should call the same clear-cut cases (differences
+        // positive but varying, so the t statistic is well defined).
+        let a: Vec<f64> = (0..25)
+            .map(|i| 5.0 + (i as f64 * 0.618).sin() * 0.2 + 0.5 + (i % 3) as f64 * 0.05)
+            .collect();
+        let b: Vec<f64> = (0..25).map(|i| 5.0 + (i as f64 * 0.618).sin() * 0.2).collect();
+        let w = wilcoxon_signed_rank(&a, &b).unwrap();
+        let t = crate::ttest::paired_t_test(&a, &b).unwrap();
+        assert_eq!(
+            w.significant_improvement(0.05),
+            t.significant_improvement(0.05)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "align")]
+    fn unequal_lengths_panic() {
+        let _ = wilcoxon_signed_rank(&[1.0], &[1.0, 2.0]);
+    }
+}

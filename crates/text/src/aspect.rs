@@ -1,0 +1,279 @@
+//! Frequency-based aspect and opinion extraction.
+//!
+//! §4.1.1 of the paper: aspects are extracted with "a frequency-based
+//! approach that follows Gao et al." — the top frequent concept terms are
+//! retained as aspects, and each review mention is paired with a sentiment
+//! polarity. The paper treats those annotations as *given*; this module is
+//! the self-contained substitute that makes the pipeline runnable on raw
+//! text:
+//!
+//! 1. **Vocabulary discovery** ([`AspectExtractor::discover`]): count
+//!    non-sentiment, non-stopword token frequencies across a corpus and
+//!    keep the top `max_aspects` terms as the aspect vocabulary (the
+//!    paper keeps the top-500 of 2000 candidate concepts).
+//! 2. **Mention extraction** ([`AspectExtractor::extract`]): for every
+//!    aspect term occurring in a sentence, attach the polarity of the
+//!    nearest sentiment word within the same sentence (window-bounded),
+//!    honouring simple negation ("not good" → negative).
+
+use crate::lexicon::{Lexicon, Sentiment};
+use crate::tokenize::{sentences, tokenize};
+use std::collections::HashMap;
+
+/// Common English stopwords excluded from aspect discovery.
+const STOPWORDS: &[&str] = &[
+    "the", "a", "an", "and", "or", "but", "if", "then", "this", "that", "these", "those", "is",
+    "are", "was", "were", "be", "been", "being", "am", "it", "its", "i", "me", "my", "we", "our",
+    "you", "your", "he", "she", "they", "them", "their", "of", "to", "in", "on", "for", "with",
+    "as", "at", "by", "from", "up", "about", "into", "over", "after", "so", "very", "just",
+    "too", "also", "have", "has", "had", "do", "does", "did", "will", "would", "can", "could",
+    "should", "may", "might", "one", "two", "all", "some", "any", "more", "most", "other", "than",
+    "when", "while", "because", "out", "off", "only", "own", "same", "s", "t", "get", "got",
+    "really", "much", "even", "well", "back", "still", "there", "here", "what", "which", "who",
+];
+
+/// One extracted aspect mention with its polarity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExtractedOpinion {
+    /// The aspect term (lowercased).
+    pub aspect: String,
+    /// Polarity associated with the mention. `None` when no sentiment word
+    /// appears within the window (a bare mention).
+    pub sentiment: Option<Sentiment>,
+}
+
+/// Frequency-based aspect extractor.
+#[derive(Debug, Clone)]
+pub struct AspectExtractor {
+    vocabulary: Vec<String>,
+    vocab_index: HashMap<String, usize>,
+    lexicon: Lexicon,
+    /// Maximum token distance between an aspect mention and its sentiment
+    /// word inside one sentence.
+    window: usize,
+}
+
+impl AspectExtractor {
+    /// Build an extractor over a fixed aspect vocabulary.
+    pub fn with_vocabulary<I>(vocab: I, lexicon: Lexicon) -> Self
+    where
+        I: IntoIterator,
+        I::Item: AsRef<str>,
+    {
+        let vocabulary: Vec<String> = vocab
+            .into_iter()
+            .map(|s| s.as_ref().to_lowercase())
+            .collect();
+        let vocab_index = vocabulary
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.clone(), i))
+            .collect();
+        AspectExtractor {
+            vocabulary,
+            vocab_index,
+            lexicon,
+            window: 5,
+        }
+    }
+
+    /// Discover an aspect vocabulary from a corpus: the `max_aspects` most
+    /// frequent tokens that are neither stopwords nor sentiment words and
+    /// appear in at least `min_count` documents.
+    pub fn discover<'a, I>(corpus: I, max_aspects: usize, min_count: usize) -> Self
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        let lexicon = Lexicon::builtin();
+        let stop: std::collections::HashSet<&str> = STOPWORDS.iter().copied().collect();
+        let mut doc_freq: HashMap<String, usize> = HashMap::new();
+        for doc in corpus {
+            let mut seen = std::collections::HashSet::new();
+            for tok in tokenize(doc) {
+                if stop.contains(tok.as_str())
+                    || lexicon.polarity(&tok).is_some()
+                    || lexicon.is_negation(&tok)
+                    || tok.len() < 3
+                {
+                    continue;
+                }
+                seen.insert(tok);
+            }
+            for tok in seen {
+                *doc_freq.entry(tok).or_insert(0) += 1;
+            }
+        }
+        let mut ranked: Vec<(String, usize)> = doc_freq
+            .into_iter()
+            .filter(|(_, c)| *c >= min_count)
+            .collect();
+        // Sort by frequency desc, then lexicographically for determinism.
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        ranked.truncate(max_aspects);
+        AspectExtractor::with_vocabulary(ranked.into_iter().map(|(w, _)| w), lexicon)
+    }
+
+    /// The aspect vocabulary, in rank order.
+    pub fn vocabulary(&self) -> &[String] {
+        &self.vocabulary
+    }
+
+    /// Index of an aspect term in the vocabulary.
+    pub fn aspect_index(&self, aspect: &str) -> Option<usize> {
+        self.vocab_index.get(aspect).copied()
+    }
+
+    /// Set the sentiment association window (token distance).
+    pub fn with_window(mut self, window: usize) -> Self {
+        self.window = window;
+        self
+    }
+
+    /// Extract aspect mentions with polarities from one review text.
+    ///
+    /// Every occurrence of a vocabulary term yields one
+    /// [`ExtractedOpinion`]; the polarity comes from the closest sentiment
+    /// word within `window` tokens in the same sentence, with a preceding
+    /// negation marker flipping it.
+    pub fn extract(&self, text: &str) -> Vec<ExtractedOpinion> {
+        let mut out = Vec::new();
+        for sentence in sentences(text) {
+            let tokens = tokenize(&sentence);
+            // Precompute sentiment positions with negation applied.
+            let mut sentiments: Vec<(usize, Sentiment)> = Vec::new();
+            for (i, tok) in tokens.iter().enumerate() {
+                if let Some(mut pol) = self.lexicon.polarity(tok) {
+                    // A negation within the two preceding tokens flips it.
+                    let lo = i.saturating_sub(2);
+                    if tokens[lo..i].iter().any(|t| self.lexicon.is_negation(t)) {
+                        pol = pol.negated();
+                    }
+                    sentiments.push((i, pol));
+                }
+            }
+            for (i, tok) in tokens.iter().enumerate() {
+                if !self.vocab_index.contains_key(tok) {
+                    continue;
+                }
+                // Nearest sentiment within the window.
+                let best = sentiments
+                    .iter()
+                    .map(|&(j, pol)| (i.abs_diff(j), pol))
+                    .filter(|&(d, _)| d <= self.window)
+                    .min_by_key(|&(d, _)| d)
+                    .map(|(_, pol)| pol);
+                out.push(ExtractedOpinion {
+                    aspect: tok.clone(),
+                    sentiment: best,
+                });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn extractor(vocab: &[&str]) -> AspectExtractor {
+        AspectExtractor::with_vocabulary(vocab.iter().copied(), Lexicon::builtin())
+    }
+
+    #[test]
+    fn extracts_positive_mention() {
+        let ex = extractor(&["battery", "lens"]);
+        let ops = ex.extract("The battery is great.");
+        assert_eq!(ops.len(), 1);
+        assert_eq!(ops[0].aspect, "battery");
+        assert_eq!(ops[0].sentiment, Some(Sentiment::Positive));
+    }
+
+    #[test]
+    fn extracts_negative_mention() {
+        let ex = extractor(&["battery"]);
+        let ops = ex.extract("Terrible battery that died fast.");
+        assert_eq!(ops[0].sentiment, Some(Sentiment::Negative));
+    }
+
+    #[test]
+    fn negation_flips_polarity() {
+        let ex = extractor(&["battery"]);
+        let ops = ex.extract("The battery is not good.");
+        assert_eq!(ops[0].sentiment, Some(Sentiment::Negative));
+    }
+
+    #[test]
+    fn bare_mention_has_no_sentiment() {
+        let ex = extractor(&["battery"]);
+        let ops = ex.extract("It comes with a battery.");
+        assert_eq!(ops[0].sentiment, None);
+    }
+
+    #[test]
+    fn sentiment_does_not_cross_sentences() {
+        let ex = extractor(&["battery"]);
+        let ops = ex.extract("Great. The battery lasts a while maybe.");
+        assert_eq!(ops[0].sentiment, None);
+    }
+
+    #[test]
+    fn window_bounds_association() {
+        let ex = extractor(&["battery"]).with_window(1);
+        // "great" is 3 tokens from "battery": outside window 1.
+        let ops = ex.extract("great and very long battery");
+        assert_eq!(ops[0].sentiment, None);
+    }
+
+    #[test]
+    fn nearest_sentiment_wins() {
+        let ex = extractor(&["lens"]);
+        // "bad" is closer to lens than "great".
+        let ops = ex.extract("great camera but bad lens");
+        assert_eq!(ops[0].sentiment, Some(Sentiment::Negative));
+    }
+
+    #[test]
+    fn multiple_mentions_yield_multiple_opinions() {
+        let ex = extractor(&["battery", "lens"]);
+        let ops = ex.extract("Great battery. Blurry lens.");
+        assert_eq!(ops.len(), 2);
+        assert_eq!(ops[0].aspect, "battery");
+        assert_eq!(ops[0].sentiment, Some(Sentiment::Positive));
+        assert_eq!(ops[1].aspect, "lens");
+        assert_eq!(ops[1].sentiment, Some(Sentiment::Negative));
+    }
+
+    #[test]
+    fn discover_ranks_frequent_nouns() {
+        let corpus = [
+            "the battery is great and the battery lasts",
+            "battery life is good, lens is sharp",
+            "lens looks nice, battery charges fast",
+            "the screen is dim but the battery is fine",
+        ];
+        let ex = AspectExtractor::discover(corpus.iter().copied(), 2, 2);
+        assert_eq!(ex.vocabulary()[0], "battery");
+        assert!(ex.vocabulary().len() <= 2);
+        assert!(ex.aspect_index("battery").is_some());
+    }
+
+    #[test]
+    fn discover_excludes_sentiment_and_stopwords() {
+        let corpus = ["the the great great lens lens", "great lens the"];
+        let ex = AspectExtractor::discover(corpus.iter().copied(), 10, 1);
+        assert!(ex.vocabulary().contains(&"lens".to_string()));
+        assert!(!ex.vocabulary().contains(&"great".to_string()));
+        assert!(!ex.vocabulary().contains(&"the".to_string()));
+    }
+
+    #[test]
+    fn discover_is_deterministic_on_ties() {
+        let corpus = ["zebra apple", "zebra apple"];
+        let ex1 = AspectExtractor::discover(corpus.iter().copied(), 2, 1);
+        let ex2 = AspectExtractor::discover(corpus.iter().copied(), 2, 1);
+        assert_eq!(ex1.vocabulary(), ex2.vocabulary());
+        // Lexicographic tiebreak: apple before zebra.
+        assert_eq!(ex1.vocabulary()[0], "apple");
+    }
+}

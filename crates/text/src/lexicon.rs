@@ -1,0 +1,173 @@
+//! Built-in sentiment lexicon.
+//!
+//! The paper's annotation pipeline attaches a positive or negative opinion
+//! to each aspect mention. Our frequency-based extractor needs a sentiment
+//! word list; this is a compact, hand-curated subset in the style of the
+//! Hu & Liu opinion lexicon, sufficient for the synthetic corpus and for
+//! small real-world texts.
+
+/// Polarity of a sentiment-bearing word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sentiment {
+    /// Positive polarity (e.g. "great").
+    Positive,
+    /// Negative polarity (e.g. "broken").
+    Negative,
+}
+
+impl Sentiment {
+    /// +1.0 for positive, −1.0 for negative; used by the unary-scale
+    /// opinion aggregation (§4.2.3).
+    pub fn signum(self) -> f64 {
+        match self {
+            Sentiment::Positive => 1.0,
+            Sentiment::Negative => -1.0,
+        }
+    }
+
+    /// Flip polarity (used for negation handling).
+    pub fn negated(self) -> Self {
+        match self {
+            Sentiment::Positive => Sentiment::Negative,
+            Sentiment::Negative => Sentiment::Positive,
+        }
+    }
+}
+
+/// Positive opinion words recognised by the default lexicon.
+pub const POSITIVE_WORDS: &[&str] = &[
+    "good", "great", "excellent", "amazing", "awesome", "fantastic", "love", "loved", "loves",
+    "perfect", "wonderful", "best", "nice", "solid", "sturdy", "durable", "fast", "quick",
+    "reliable", "comfortable", "comfy", "beautiful", "gorgeous", "crisp", "sharp", "bright",
+    "responsive", "smooth", "easy", "impressive", "outstanding", "superb", "happy", "pleased",
+    "satisfied", "recommend", "recommended", "worth", "quality", "premium", "accurate",
+    "lightweight", "stylish", "cute", "fun", "enjoyable", "delightful", "crystal", "vivid",
+    "generous", "snug", "flattering", "breathable", "soft", "stunning", "terrific", "superior",
+];
+
+/// Negative opinion words recognised by the default lexicon.
+pub const NEGATIVE_WORDS: &[&str] = &[
+    "bad", "poor", "terrible", "awful", "horrible", "hate", "hated", "hates", "worst",
+    "disappointing", "disappointed", "broken", "broke", "breaks", "flimsy", "cheap", "cheaply",
+    "slow", "sluggish", "unreliable", "uncomfortable", "ugly", "blurry", "dim", "laggy",
+    "unresponsive", "rough", "difficult", "defective", "faulty", "useless", "waste", "regret",
+    "overpriced", "inaccurate", "heavy", "bulky", "boring", "frustrating", "annoying", "weak",
+    "loose", "tight", "scratchy", "stiff", "dull", "mediocre", "refund", "returned", "return",
+    "stopped", "failed", "fails", "dead", "crooked", "misleading",
+];
+
+/// Negation tokens that flip the polarity of the following sentiment word.
+pub const NEGATIONS: &[&str] = &["not", "no", "never", "dont", "didnt", "doesnt", "isnt", "wasnt", "wont", "cant"];
+
+/// A sentiment lexicon with O(1) polarity lookup.
+#[derive(Debug, Clone)]
+pub struct Lexicon {
+    positive: std::collections::HashSet<String>,
+    negative: std::collections::HashSet<String>,
+    negations: std::collections::HashSet<String>,
+}
+
+impl Default for Lexicon {
+    fn default() -> Self {
+        Lexicon::builtin()
+    }
+}
+
+impl Lexicon {
+    /// The built-in lexicon ([`POSITIVE_WORDS`] / [`NEGATIVE_WORDS`]).
+    pub fn builtin() -> Self {
+        Lexicon {
+            positive: POSITIVE_WORDS.iter().map(|s| s.to_string()).collect(),
+            negative: NEGATIVE_WORDS.iter().map(|s| s.to_string()).collect(),
+            negations: NEGATIONS.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    /// Build a custom lexicon from word lists (words are lowercased).
+    pub fn from_words<I, J>(positive: I, negative: J) -> Self
+    where
+        I: IntoIterator,
+        I::Item: AsRef<str>,
+        J: IntoIterator,
+        J::Item: AsRef<str>,
+    {
+        Lexicon {
+            positive: positive
+                .into_iter()
+                .map(|s| s.as_ref().to_lowercase())
+                .collect(),
+            negative: negative
+                .into_iter()
+                .map(|s| s.as_ref().to_lowercase())
+                .collect(),
+            negations: NEGATIONS.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    /// Polarity of a (lowercased) token, if it is sentiment-bearing.
+    pub fn polarity(&self, token: &str) -> Option<Sentiment> {
+        if self.positive.contains(token) {
+            Some(Sentiment::Positive)
+        } else if self.negative.contains(token) {
+            Some(Sentiment::Negative)
+        } else {
+            None
+        }
+    }
+
+    /// Whether the token is a negation marker.
+    pub fn is_negation(&self, token: &str) -> bool {
+        self.negations.contains(token)
+    }
+
+    /// Number of sentiment words in the lexicon.
+    pub fn len(&self) -> usize {
+        self.positive.len() + self.negative.len()
+    }
+
+    /// True when the lexicon contains no sentiment words.
+    pub fn is_empty(&self) -> bool {
+        self.positive.is_empty() && self.negative.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_lookups() {
+        let lex = Lexicon::builtin();
+        assert_eq!(lex.polarity("great"), Some(Sentiment::Positive));
+        assert_eq!(lex.polarity("broken"), Some(Sentiment::Negative));
+        assert_eq!(lex.polarity("table"), None);
+        assert!(lex.is_negation("not"));
+        assert!(!lex.is_negation("very"));
+        assert!(!lex.is_empty());
+        assert_eq!(lex.len(), POSITIVE_WORDS.len() + NEGATIVE_WORDS.len());
+    }
+
+    #[test]
+    fn no_word_is_both_positive_and_negative() {
+        let pos: std::collections::HashSet<_> = POSITIVE_WORDS.iter().collect();
+        for w in NEGATIVE_WORDS {
+            assert!(!pos.contains(w), "{w} appears in both lists");
+        }
+    }
+
+    #[test]
+    fn custom_lexicon_lowercases() {
+        let lex = Lexicon::from_words(["GOOD"], ["BAD"]);
+        assert_eq!(lex.polarity("good"), Some(Sentiment::Positive));
+        assert_eq!(lex.polarity("bad"), Some(Sentiment::Negative));
+        assert_eq!(lex.len(), 2);
+    }
+
+    #[test]
+    fn sentiment_helpers() {
+        assert_eq!(Sentiment::Positive.signum(), 1.0);
+        assert_eq!(Sentiment::Negative.signum(), -1.0);
+        assert_eq!(Sentiment::Positive.negated(), Sentiment::Negative);
+        assert_eq!(Sentiment::Negative.negated(), Sentiment::Positive);
+    }
+}

@@ -1,0 +1,138 @@
+//! N-gram multiset counting.
+//!
+//! ROUGE-N is defined over n-gram *multisets* with clipped matching: each
+//! reference n-gram occurrence can be matched at most once. [`NgramCounts`]
+//! stores occurrence counts and implements the clipped overlap.
+
+use std::collections::HashMap;
+
+/// Occurrence counts of the n-grams of a token sequence.
+///
+/// N-grams are represented as joined strings (tokens are guaranteed free of
+/// the `\u{1f}` separator because the tokenizer emits ASCII alphanumerics).
+#[derive(Debug, Clone, Default)]
+pub struct NgramCounts {
+    counts: HashMap<String, usize>,
+    total: usize,
+}
+
+const SEP: char = '\u{1f}';
+
+impl NgramCounts {
+    /// Count the `n`-grams of `tokens`. `n` must be ≥ 1; sequences shorter
+    /// than `n` produce an empty count set.
+    pub fn from_tokens(tokens: &[String], n: usize) -> Self {
+        assert!(n >= 1, "n-gram order must be >= 1");
+        let mut counts = HashMap::new();
+        let mut total = 0;
+        if tokens.len() >= n {
+            for window in tokens.windows(n) {
+                let mut key = String::with_capacity(window.iter().map(|t| t.len() + 1).sum());
+                for (i, t) in window.iter().enumerate() {
+                    if i > 0 {
+                        key.push(SEP);
+                    }
+                    key.push_str(t);
+                }
+                *counts.entry(key).or_insert(0) += 1;
+                total += 1;
+            }
+        }
+        NgramCounts { counts, total }
+    }
+
+    /// Total number of n-gram occurrences (with multiplicity).
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Number of distinct n-grams.
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Clipped overlap with another count set:
+    /// Σ over shared n-grams of `min(count_self, count_other)`.
+    pub fn clipped_overlap(&self, other: &NgramCounts) -> usize {
+        // Iterate over the smaller map.
+        let (small, large) = if self.counts.len() <= other.counts.len() {
+            (&self.counts, &other.counts)
+        } else {
+            (&other.counts, &self.counts)
+        };
+        small
+            .iter()
+            .map(|(k, &c)| large.get(k).map_or(0, |&o| c.min(o)))
+            .sum()
+    }
+
+    /// Count of one specific n-gram (joined with the internal separator is
+    /// not required; pass the tokens).
+    pub fn count_of(&self, tokens: &[&str]) -> usize {
+        let key = tokens.join(&SEP.to_string());
+        self.counts.get(&key).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        crate::tokenize::tokenize(s)
+    }
+
+    #[test]
+    fn unigram_counts() {
+        let c = NgramCounts::from_tokens(&toks("a b a c"), 1);
+        assert_eq!(c.total(), 4);
+        assert_eq!(c.distinct(), 3);
+        assert_eq!(c.count_of(&["a"]), 2);
+        assert_eq!(c.count_of(&["z"]), 0);
+    }
+
+    #[test]
+    fn bigram_counts() {
+        let c = NgramCounts::from_tokens(&toks("the cat sat the cat"), 2);
+        assert_eq!(c.total(), 4);
+        assert_eq!(c.count_of(&["the", "cat"]), 2);
+        assert_eq!(c.count_of(&["cat", "sat"]), 1);
+    }
+
+    #[test]
+    fn short_sequence_yields_empty() {
+        let c = NgramCounts::from_tokens(&toks("one"), 2);
+        assert_eq!(c.total(), 0);
+        assert_eq!(c.distinct(), 0);
+    }
+
+    #[test]
+    fn clipped_overlap_respects_multiplicity() {
+        let a = NgramCounts::from_tokens(&toks("a a a b"), 1);
+        let b = NgramCounts::from_tokens(&toks("a a c"), 1);
+        // 'a' clipped at min(3, 2) = 2; 'b'/'c' contribute 0.
+        assert_eq!(a.clipped_overlap(&b), 2);
+        assert_eq!(b.clipped_overlap(&a), 2);
+    }
+
+    #[test]
+    fn overlap_of_disjoint_sets_is_zero() {
+        let a = NgramCounts::from_tokens(&toks("x y"), 1);
+        let b = NgramCounts::from_tokens(&toks("p q"), 1);
+        assert_eq!(a.clipped_overlap(&b), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "n-gram order")]
+    fn zero_order_panics() {
+        let _ = NgramCounts::from_tokens(&toks("a"), 0);
+    }
+
+    #[test]
+    fn multitoken_ngrams_do_not_collide() {
+        // "ab c" vs "a bc" must be distinct bigram keys.
+        let a = NgramCounts::from_tokens(&["ab".into(), "c".into()], 2);
+        let b = NgramCounts::from_tokens(&["a".into(), "bc".into()], 2);
+        assert_eq!(a.clipped_overlap(&b), 0);
+    }
+}

@@ -1,0 +1,360 @@
+//! Porter stemmer (M. F. Porter, 1980, "An algorithm for suffix
+//! stripping").
+//!
+//! ROUGE implementations conventionally offer a stemmed mode (the
+//! `rouge-score` reference applies Porter stemming before matching);
+//! [`crate::rouge`] exposes it through the `*_stemmed` variants. This is
+//! a faithful implementation of the original five-step algorithm over
+//! lowercase ASCII words.
+
+/// Stem one lowercase ASCII word. Words shorter than 3 characters are
+/// returned unchanged (per the original algorithm's guard).
+pub fn stem(word: &str) -> String {
+    let mut w: Vec<u8> = word.bytes().collect();
+    if w.len() <= 2 || !w.iter().all(u8::is_ascii_lowercase) {
+        return word.to_string();
+    }
+    step1a(&mut w);
+    step1b(&mut w);
+    step1c(&mut w);
+    step2(&mut w);
+    step3(&mut w);
+    step4(&mut w);
+    step5a(&mut w);
+    step5b(&mut w);
+    String::from_utf8(w).expect("ascii in, ascii out")
+}
+
+/// Stem every token in place.
+pub fn stem_tokens(tokens: &[String]) -> Vec<String> {
+    tokens.iter().map(|t| stem(t)).collect()
+}
+
+fn is_consonant(w: &[u8], i: usize) -> bool {
+    match w[i] {
+        b'a' | b'e' | b'i' | b'o' | b'u' => false,
+        b'y' => i == 0 || !is_consonant(w, i - 1),
+        _ => true,
+    }
+}
+
+/// The measure m of the stem w[0..len]: number of VC sequences.
+fn measure(w: &[u8], len: usize) -> usize {
+    let mut m = 0;
+    let mut i = 0;
+    // Skip initial consonants.
+    while i < len && is_consonant(w, i) {
+        i += 1;
+    }
+    loop {
+        // Skip vowels.
+        while i < len && !is_consonant(w, i) {
+            i += 1;
+        }
+        if i >= len {
+            return m;
+        }
+        // Skip consonants → one VC.
+        while i < len && is_consonant(w, i) {
+            i += 1;
+        }
+        m += 1;
+    }
+}
+
+fn has_vowel(w: &[u8], len: usize) -> bool {
+    (0..len).any(|i| !is_consonant(w, i))
+}
+
+fn ends_double_consonant(w: &[u8]) -> bool {
+    let n = w.len();
+    n >= 2 && w[n - 1] == w[n - 2] && is_consonant(w, n - 1)
+}
+
+/// *o: stem ends cvc where the final c is not w, x, or y.
+fn ends_cvc(w: &[u8], len: usize) -> bool {
+    if len < 3 {
+        return false;
+    }
+    let (a, b, c) = (len - 3, len - 2, len - 1);
+    is_consonant(w, a)
+        && !is_consonant(w, b)
+        && is_consonant(w, c)
+        && !matches!(w[c], b'w' | b'x' | b'y')
+}
+
+fn ends_with(w: &[u8], suffix: &str) -> bool {
+    w.len() >= suffix.len() && &w[w.len() - suffix.len()..] == suffix.as_bytes()
+}
+
+/// Replace `suffix` by `repl` when the remaining stem has measure > `min_m`.
+fn replace_if_m(w: &mut Vec<u8>, suffix: &str, repl: &str, min_m: usize) -> bool {
+    if !ends_with(w, suffix) {
+        return false;
+    }
+    let stem_len = w.len() - suffix.len();
+    if measure(w, stem_len) > min_m {
+        w.truncate(stem_len);
+        w.extend_from_slice(repl.as_bytes());
+        true
+    } else {
+        false
+    }
+}
+
+fn step1a(w: &mut Vec<u8>) {
+    if ends_with(w, "sses") || ends_with(w, "ies") {
+        w.truncate(w.len() - 2);
+    } else if ends_with(w, "ss") {
+        // keep
+    } else if ends_with(w, "s") {
+        w.truncate(w.len() - 1);
+    }
+}
+
+fn step1b(w: &mut Vec<u8>) {
+    let mut cleanup = false;
+    if ends_with(w, "eed") {
+        if measure(w, w.len() - 3) > 0 {
+            w.truncate(w.len() - 1);
+        }
+    } else if ends_with(w, "ed") && has_vowel(w, w.len() - 2) {
+        w.truncate(w.len() - 2);
+        cleanup = true;
+    } else if ends_with(w, "ing") && has_vowel(w, w.len() - 3) {
+        w.truncate(w.len() - 3);
+        cleanup = true;
+    }
+    if cleanup {
+        if ends_with(w, "at") || ends_with(w, "bl") || ends_with(w, "iz") {
+            w.push(b'e');
+        } else if ends_double_consonant(w) && !matches!(w[w.len() - 1], b'l' | b's' | b'z') {
+            w.truncate(w.len() - 1);
+        } else if measure(w, w.len()) == 1 && ends_cvc(w, w.len()) {
+            w.push(b'e');
+        }
+    }
+}
+
+fn step1c(w: &mut [u8]) {
+    if ends_with(w, "y") && has_vowel(w, w.len() - 1) {
+        let n = w.len();
+        w[n - 1] = b'i';
+    }
+}
+
+fn step2(w: &mut Vec<u8>) {
+    const RULES: &[(&str, &str)] = &[
+        ("ational", "ate"),
+        ("tional", "tion"),
+        ("enci", "ence"),
+        ("anci", "ance"),
+        ("izer", "ize"),
+        ("abli", "able"),
+        ("alli", "al"),
+        ("entli", "ent"),
+        ("eli", "e"),
+        ("ousli", "ous"),
+        ("ization", "ize"),
+        ("ation", "ate"),
+        ("ator", "ate"),
+        ("alism", "al"),
+        ("iveness", "ive"),
+        ("fulness", "ful"),
+        ("ousness", "ous"),
+        ("aliti", "al"),
+        ("iviti", "ive"),
+        ("biliti", "ble"),
+    ];
+    for (suffix, repl) in RULES {
+        if ends_with(w, suffix) {
+            replace_if_m(w, suffix, repl, 0);
+            return;
+        }
+    }
+}
+
+fn step3(w: &mut Vec<u8>) {
+    const RULES: &[(&str, &str)] = &[
+        ("icate", "ic"),
+        ("ative", ""),
+        ("alize", "al"),
+        ("iciti", "ic"),
+        ("ical", "ic"),
+        ("ful", ""),
+        ("ness", ""),
+    ];
+    for (suffix, repl) in RULES {
+        if ends_with(w, suffix) {
+            replace_if_m(w, suffix, repl, 0);
+            return;
+        }
+    }
+}
+
+fn step4(w: &mut Vec<u8>) {
+    const SUFFIXES: &[&str] = &[
+        "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement", "ment", "ent", "ou",
+        "ism", "ate", "iti", "ous", "ive", "ize",
+    ];
+    // "ion" only after s or t.
+    if ends_with(w, "ion") {
+        let stem_len = w.len() - 3;
+        if stem_len >= 1
+            && matches!(w[stem_len - 1], b's' | b't')
+            && measure(w, stem_len) > 1
+        {
+            w.truncate(stem_len);
+        }
+        return;
+    }
+    for suffix in SUFFIXES {
+        if ends_with(w, suffix) {
+            let stem_len = w.len() - suffix.len();
+            if measure(w, stem_len) > 1 {
+                w.truncate(stem_len);
+            }
+            return;
+        }
+    }
+}
+
+fn step5a(w: &mut Vec<u8>) {
+    if ends_with(w, "e") {
+        let stem_len = w.len() - 1;
+        let m = measure(w, stem_len);
+        if m > 1 || (m == 1 && !ends_cvc(w, stem_len)) {
+            w.truncate(stem_len);
+        }
+    }
+}
+
+fn step5b(w: &mut Vec<u8>) {
+    if measure(w, w.len()) > 1 && ends_double_consonant(w) && w[w.len() - 1] == b'l' {
+        w.truncate(w.len() - 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Classic vectors from Porter's paper and the reference vocabulary.
+    #[test]
+    fn canonical_examples() {
+        let cases = [
+            ("caresses", "caress"),
+            ("ponies", "poni"),
+            ("ties", "ti"),
+            ("caress", "caress"),
+            ("cats", "cat"),
+            ("feed", "feed"),
+            ("agreed", "agre"),
+            ("plastered", "plaster"),
+            ("bled", "bled"),
+            ("motoring", "motor"),
+            ("sing", "sing"),
+            ("conflated", "conflat"),
+            ("troubled", "troubl"),
+            ("sized", "size"),
+            ("hopping", "hop"),
+            ("tanned", "tan"),
+            ("falling", "fall"),
+            ("hissing", "hiss"),
+            ("fizzed", "fizz"),
+            ("failing", "fail"),
+            ("filing", "file"),
+            ("happy", "happi"),
+            ("sky", "sky"),
+            ("relational", "relat"),
+            ("conditional", "condit"),
+            ("rational", "ration"),
+            ("valenci", "valenc"),
+            ("digitizer", "digit"),
+            ("conformabli", "conform"),
+            ("radicalli", "radic"),
+            ("differentli", "differ"),
+            ("vileli", "vile"),
+            ("analogousli", "analog"),
+            ("vietnamization", "vietnam"),
+            ("predication", "predic"),
+            ("operator", "oper"),
+            ("feudalism", "feudal"),
+            ("decisiveness", "decis"),
+            ("hopefulness", "hope"),
+            ("callousness", "callous"),
+            ("formaliti", "formal"),
+            ("sensitiviti", "sensit"),
+            ("sensibiliti", "sensibl"),
+            ("triplicate", "triplic"),
+            ("formative", "form"),
+            ("formalize", "formal"),
+            ("electriciti", "electr"),
+            ("electrical", "electr"),
+            ("hopeful", "hope"),
+            ("goodness", "good"),
+            ("revival", "reviv"),
+            ("allowance", "allow"),
+            ("inference", "infer"),
+            ("airliner", "airlin"),
+            ("gyroscopic", "gyroscop"),
+            ("adjustable", "adjust"),
+            ("defensible", "defens"),
+            ("irritant", "irrit"),
+            ("replacement", "replac"),
+            ("adjustment", "adjust"),
+            ("dependent", "depend"),
+            ("adoption", "adopt"),
+            ("homologou", "homolog"),
+            ("communism", "commun"),
+            ("activate", "activ"),
+            ("angulariti", "angular"),
+            ("homologous", "homolog"),
+            ("effective", "effect"),
+            ("bowdlerize", "bowdler"),
+            ("probate", "probat"),
+            ("rate", "rate"),
+            ("cease", "ceas"),
+            ("controll", "control"),
+            ("roll", "roll"),
+        ];
+        for (input, expected) in cases {
+            assert_eq!(stem(input), expected, "stem({input})");
+        }
+    }
+
+    #[test]
+    fn short_words_unchanged() {
+        assert_eq!(stem("at"), "at");
+        assert_eq!(stem("by"), "by");
+        assert_eq!(stem(""), "");
+    }
+
+    #[test]
+    fn non_lowercase_unchanged() {
+        assert_eq!(stem("USB"), "USB");
+        assert_eq!(stem("1080p"), "1080p");
+    }
+
+    #[test]
+    fn stemming_unifies_inflections() {
+        // The property ROUGE relies on: morphological variants collapse.
+        assert_eq!(stem("charging"), stem("charged"));
+        assert_eq!(stem("batteries"), stem("batteri")); // both → batteri
+        assert_eq!(stem("connection"), stem("connections"));
+        assert_eq!(stem("recommended"), stem("recommend"));
+    }
+
+    #[test]
+    fn stem_tokens_maps_elementwise() {
+        let toks: Vec<String> = ["running", "shoes"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(stem_tokens(&toks), vec!["run".to_string(), "shoe".to_string()]);
+    }
+
+    #[test]
+    fn idempotent_on_common_words() {
+        for w in ["charger", "batteri", "run", "shoe", "connect"] {
+            assert_eq!(stem(&stem(w)), stem(w), "{w}");
+        }
+    }
+}

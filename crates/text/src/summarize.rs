@@ -1,0 +1,210 @@
+//! Centroid-based extractive summarization.
+//!
+//! §4.6.1 of the paper: "Increasing m reduces the amount of information
+//! loss, but it can overwhelm the end user … this can be further
+//! addressed using text summarization methods, we leave it for future
+//! exploration." This module explores it with a classic, dependency-free
+//! extractive method:
+//!
+//! 1. tokenize the corpus of sentences and build TF vectors;
+//! 2. score each sentence by cosine similarity to the corpus centroid
+//!    (Radev et al.'s centroid summarization), with a mild brevity prior;
+//! 3. pick sentences greedily under a token budget, applying a maximal-
+//!    marginal-relevance (MMR) penalty against already-picked sentences
+//!    so the summary stays diverse.
+
+use crate::tokenize::{sentences, tokenize};
+use std::collections::HashMap;
+
+/// Configuration for [`summarize`].
+#[derive(Debug, Clone, Copy)]
+pub struct SummaryConfig {
+    /// Maximum number of sentences in the summary.
+    pub max_sentences: usize,
+    /// Trade-off between centroid relevance and redundancy penalty
+    /// (λ in MMR; 1.0 = pure relevance, 0.0 = pure diversity).
+    pub mmr_lambda: f64,
+}
+
+impl Default for SummaryConfig {
+    fn default() -> Self {
+        SummaryConfig {
+            max_sentences: 2,
+            mmr_lambda: 0.7,
+        }
+    }
+}
+
+type Tf = HashMap<String, f64>;
+
+fn tf_vector(tokens: &[String]) -> Tf {
+    let mut tf = Tf::new();
+    for t in tokens {
+        *tf.entry(t.clone()).or_insert(0.0) += 1.0;
+    }
+    tf
+}
+
+fn cosine(a: &Tf, b: &Tf) -> f64 {
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let dot: f64 = small
+        .iter()
+        .map(|(k, v)| v * large.get(k).copied().unwrap_or(0.0))
+        .sum();
+    let na: f64 = a.values().map(|v| v * v).sum::<f64>().sqrt();
+    let nb: f64 = b.values().map(|v| v * v).sum::<f64>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+/// Extractively summarize a set of texts (e.g. the selected reviews of
+/// one item). Returns up to `config.max_sentences` original sentences in
+/// their selection order.
+pub fn summarize(texts: &[&str], config: SummaryConfig) -> Vec<String> {
+    if config.max_sentences == 0 {
+        return Vec::new();
+    }
+    // Gather candidate sentences (with at least 3 tokens — fragments make
+    // poor summary material).
+    let mut candidates: Vec<(String, Vec<String>)> = Vec::new();
+    for text in texts {
+        for s in sentences(text) {
+            let toks = tokenize(&s);
+            if toks.len() >= 3 {
+                candidates.push((s, toks));
+            }
+        }
+    }
+    if candidates.is_empty() {
+        return Vec::new();
+    }
+
+    // Corpus centroid.
+    let mut centroid = Tf::new();
+    for (_, toks) in &candidates {
+        for t in toks {
+            *centroid.entry(t.clone()).or_insert(0.0) += 1.0;
+        }
+    }
+    let tfs: Vec<Tf> = candidates.iter().map(|(_, t)| tf_vector(t)).collect();
+    let relevance: Vec<f64> = tfs
+        .iter()
+        .zip(candidates.iter())
+        .map(|(tf, (_, toks))| {
+            // Mild brevity prior: overly long sentences are discounted.
+            let brevity = 1.0 / (1.0 + (toks.len() as f64 / 40.0));
+            cosine(tf, &centroid) * (0.7 + 0.3 * brevity)
+        })
+        .collect();
+
+    // Greedy MMR selection.
+    let mut picked: Vec<usize> = Vec::new();
+    while picked.len() < config.max_sentences.min(candidates.len()) {
+        let mut best: Option<(f64, usize)> = None;
+        for i in 0..candidates.len() {
+            if picked.contains(&i) {
+                continue;
+            }
+            let redundancy = picked
+                .iter()
+                .map(|&j| cosine(&tfs[i], &tfs[j]))
+                .fold(0.0_f64, f64::max);
+            let score =
+                config.mmr_lambda * relevance[i] - (1.0 - config.mmr_lambda) * redundancy;
+            if best.is_none_or(|(b, _)| score > b) {
+                best = Some((score, i));
+            }
+        }
+        match best {
+            Some((_, i)) => picked.push(i),
+            None => break,
+        }
+    }
+    picked
+        .into_iter()
+        .map(|i| candidates[i].0.clone())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reviews() -> Vec<&'static str> {
+        vec![
+            "The battery is great. The battery lasts two full days of heavy use.",
+            "Battery life is great and charging is quick. The case scratched on day one.",
+            "Great battery, mediocre speaker. I mostly care about the battery anyway.",
+            "The speaker crackles at high volume.",
+        ]
+    }
+
+    #[test]
+    fn picks_central_sentences() {
+        let texts = reviews();
+        let summary = summarize(&texts, SummaryConfig::default());
+        assert_eq!(summary.len(), 2);
+        // The corpus is dominated by battery talk; the first pick must
+        // mention it.
+        assert!(
+            summary[0].to_lowercase().contains("battery"),
+            "{summary:?}"
+        );
+    }
+
+    #[test]
+    fn mmr_avoids_redundant_picks() {
+        let texts = vec![
+            "the battery is great and strong",
+            "the battery is great and strong",
+            "the speaker is weak but usable",
+        ];
+        let summary = summarize(
+            &texts,
+            SummaryConfig {
+                max_sentences: 2,
+                mmr_lambda: 0.5,
+            },
+        );
+        assert_eq!(summary.len(), 2);
+        assert_ne!(summary[0], summary[1], "duplicate sentence picked");
+    }
+
+    #[test]
+    fn respects_sentence_budget() {
+        let texts = reviews();
+        for k in 0..5 {
+            let summary = summarize(
+                &texts,
+                SummaryConfig {
+                    max_sentences: k,
+                    mmr_lambda: 0.7,
+                },
+            );
+            assert!(summary.len() <= k);
+        }
+    }
+
+    #[test]
+    fn empty_and_fragment_inputs() {
+        assert!(summarize(&[], SummaryConfig::default()).is_empty());
+        assert!(summarize(&["ok.", "no!"], SummaryConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn sentences_are_returned_verbatim() {
+        let texts = vec!["The zipper broke after one wash. Soft fabric though."];
+        let summary = summarize(
+            &texts,
+            SummaryConfig {
+                max_sentences: 1,
+                mmr_lambda: 1.0,
+            },
+        );
+        assert_eq!(summary.len(), 1);
+        assert!(texts[0].contains(&summary[0]));
+    }
+}

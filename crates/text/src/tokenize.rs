@@ -1,0 +1,93 @@
+//! Word tokenization and sentence splitting.
+//!
+//! ROUGE implementations conventionally lowercase and strip punctuation;
+//! we follow the common `rouge-score` convention: a token is a maximal run
+//! of ASCII alphanumeric characters, lowercased. Sentence splitting (used
+//! by the aspect extractor to bound opinion windows) breaks on `.`, `!`,
+//! `?`, and newline.
+
+/// Tokenize text into lowercase alphanumeric words.
+///
+/// ```
+/// use comparesets_text::tokenize;
+/// assert_eq!(tokenize("The battery-life is GREAT!"),
+///            vec!["the", "battery", "life", "is", "great"]);
+/// ```
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    for ch in text.chars() {
+        if ch.is_ascii_alphanumeric() {
+            current.extend(ch.to_lowercase());
+        } else if !current.is_empty() {
+            tokens.push(std::mem::take(&mut current));
+        }
+    }
+    if !current.is_empty() {
+        tokens.push(current);
+    }
+    tokens
+}
+
+/// Split text into sentences on `.`, `!`, `?`, and newlines; empty
+/// fragments are dropped and whitespace trimmed.
+///
+/// ```
+/// use comparesets_text::sentences;
+/// assert_eq!(sentences("Great lens. Bad battery!"),
+///            vec!["Great lens", "Bad battery"]);
+/// ```
+pub fn sentences(text: &str) -> Vec<String> {
+    text.split(['.', '!', '?', '\n'])
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_owned)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_tokenization() {
+        assert_eq!(tokenize("Hello, world"), vec!["hello", "world"]);
+    }
+
+    #[test]
+    fn hyphens_and_apostrophes_split() {
+        assert_eq!(
+            tokenize("it's battery-powered"),
+            vec!["it", "s", "battery", "powered"]
+        );
+    }
+
+    #[test]
+    fn numbers_are_kept() {
+        assert_eq!(tokenize("1080p video at 30fps"), vec!["1080p", "video", "at", "30fps"]);
+    }
+
+    #[test]
+    fn empty_and_punctuation_only() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("!!! ... ---").is_empty());
+    }
+
+    #[test]
+    fn unicode_is_dropped_not_crashed() {
+        // Non-ASCII letters are treated as separators (ASCII-only tokens).
+        assert_eq!(tokenize("café oké"), vec!["caf", "ok"]);
+    }
+
+    #[test]
+    fn sentence_splitting() {
+        let s = sentences("First one. Second!  Third?\nFourth");
+        assert_eq!(s, vec!["First one", "Second", "Third", "Fourth"]);
+    }
+
+    #[test]
+    fn sentences_of_empty_text() {
+        assert!(sentences("").is_empty());
+        assert!(sentences("...").is_empty());
+    }
+}
