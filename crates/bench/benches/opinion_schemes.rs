@@ -1,8 +1,6 @@
 //! Table 4 workload: CompaReSetS under the three opinion definitions.
 
-use comparesets_core::{
-    solve_comparesets, InstanceContext, OpinionScheme, SelectParams,
-};
+use comparesets_core::{solve_comparesets, InstanceContext, OpinionScheme, SelectParams};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 

@@ -17,11 +17,9 @@ fn bench_scaling(c: &mut Criterion) {
             Algorithm::CompareSetsPlus,
         ] {
             let params = SelectParams::default();
-            g.bench_with_input(
-                BenchmarkId::new(alg.name(), n_comp),
-                &ctx,
-                |b, ctx| b.iter(|| black_box(solve(ctx, alg, &params, 1))),
-            );
+            g.bench_with_input(BenchmarkId::new(alg.name(), n_comp), &ctx, |b, ctx| {
+                b.iter(|| black_box(solve(ctx, alg, &params, 1)))
+            });
         }
     }
     g.finish();

@@ -9,10 +9,8 @@ use std::hint::black_box;
 
 fn prepared() -> PreparedInstance {
     let cfg = EvalConfig::tiny();
-    let dataset = comparesets_eval::pipeline::dataset_for(
-        comparesets_data::CategoryPreset::Cellphone,
-        &cfg,
-    );
+    let dataset =
+        comparesets_eval::pipeline::dataset_for(comparesets_data::CategoryPreset::Cellphone, &cfg);
     comparesets_eval::pipeline::prepare_instances(&dataset, &cfg)
         .into_iter()
         .next()

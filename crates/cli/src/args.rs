@@ -24,11 +24,7 @@ pub fn parse(argv: &[String]) -> Result<Args, String> {
             if value.starts_with("--") {
                 return Err(format!("flag --{key} is missing a value"));
             }
-            if args
-                .flags
-                .insert(key.to_string(), value.clone())
-                .is_some()
-            {
+            if args.flags.insert(key.to_string(), value.clone()).is_some() {
                 return Err(format!("flag --{key} given twice"));
             }
             i += 2;
@@ -81,7 +77,10 @@ mod tests {
     #[test]
     fn parses_flags_and_positionals() {
         let a = parse(&argv(&["stats", "--seed", "42", "file.json"])).unwrap();
-        assert_eq!(a.positional(), &["stats".to_string(), "file.json".to_string()]);
+        assert_eq!(
+            a.positional(),
+            &["stats".to_string(), "file.json".to_string()]
+        );
         assert_eq!(a.require("seed").unwrap(), "42");
         assert_eq!(a.get_or::<u64>("seed", 0).unwrap(), 42);
         assert_eq!(a.get_or::<u64>("missing", 7).unwrap(), 7);

@@ -3,15 +3,15 @@
 
 use crate::args::{parse, Args};
 use comparesets_core::{
-    solve, Algorithm, InstanceContext, OpinionScheme, SelectParams,
+    solve_with, Algorithm, InstanceContext, OpinionScheme, SelectParams, SolveOptions,
 };
 use comparesets_data::{
     io as corpus_io, AmazonLoader, CategoryPreset, ComparisonInstance, Dataset, DatasetStats,
     ProductId,
 };
 use comparesets_graph::{
-    improve_by_swaps, solve_exact, solve_greedy as graph_greedy, solve_peeling,
-    solve_random_k, solve_top_k_similarity, ExactOptions, SimilarityGraph,
+    improve_by_swaps, solve_exact, solve_greedy as graph_greedy, solve_peeling, solve_random_k,
+    solve_top_k_similarity, ExactOptions, SimilarityGraph,
 };
 use std::io::BufReader;
 use std::path::Path;
@@ -27,8 +27,10 @@ commands:
   select          --corpus FILE --target ID [--m N] [--lambda X] [--mu X]
                   [--algorithm random|crs|greedy|comparesets|comparesets+]
                   [--max-comparatives N] [--scheme binary|3-polarity|unary-scale] [--seed S]
+                  [--parallel true] [--threads N]
   narrow          --corpus FILE --target ID [--k N] [--method exact|greedy|topk|random|peel]
-                  [--m N] [--lambda X] [--mu X] [--time-limit-ms N] [--seed S]";
+                  [--m N] [--lambda X] [--mu X] [--time-limit-ms N] [--seed S]
+                  [--parallel true] [--threads N]";
 
 /// Dispatch a raw argv to the matching command.
 pub fn dispatch(argv: &[String]) -> Result<String, String> {
@@ -111,7 +113,10 @@ fn instance_for(
     let mut items = vec![pid];
     items.extend(comps);
     let inst = ComparisonInstance { items }.truncated(max_comparatives);
-    Ok((inst.clone(), InstanceContext::build(dataset, &inst, OpinionScheme::Binary)))
+    Ok((
+        inst.clone(),
+        InstanceContext::build(dataset, &inst, OpinionScheme::Binary),
+    ))
 }
 
 fn cmd_generate(args: &Args) -> Result<String, String> {
@@ -149,10 +154,9 @@ fn cmd_convert_amazon(args: &Args) -> Result<String, String> {
         min_aspect_count: args.get_or("min-aspect-count", 3)?,
         min_reviews_per_product: args.get_or("min-reviews", 1)?,
     };
-    let reviews = std::fs::File::open(reviews_path)
-        .map_err(|e| format!("opening {reviews_path}: {e}"))?;
-    let meta =
-        std::fs::File::open(meta_path).map_err(|e| format!("opening {meta_path}: {e}"))?;
+    let reviews =
+        std::fs::File::open(reviews_path).map_err(|e| format!("opening {reviews_path}: {e}"))?;
+    let meta = std::fs::File::open(meta_path).map_err(|e| format!("opening {meta_path}: {e}"))?;
     let dataset = loader
         .load(BufReader::new(reviews), BufReader::new(meta))
         .map_err(|e| format!("converting: {e}"))?;
@@ -174,6 +178,17 @@ fn select_params(args: &Args) -> Result<SelectParams, String> {
     })
 }
 
+/// Parse `--parallel true` / `--threads N` into [`SolveOptions`]. A thread
+/// count implies parallelism; the selections are identical either way.
+fn solve_options(args: &Args) -> Result<SolveOptions, String> {
+    let parallel: bool = args.get_or("parallel", false)?;
+    let threads: usize = args.get_or("threads", 0)?;
+    Ok(SolveOptions {
+        parallel: parallel || threads > 0,
+        threads: (threads > 0).then_some(threads),
+    })
+}
+
 fn cmd_select(args: &Args) -> Result<String, String> {
     let dataset = load_corpus(args.require("corpus")?)?;
     let target: u32 = args.get_or("target", u32::MAX)?;
@@ -185,10 +200,11 @@ fn cmd_select(args: &Args) -> Result<String, String> {
     let scheme = parse_scheme(args.get("scheme").unwrap_or("binary"))?;
     let params = select_params(args)?;
     let seed: u64 = args.get_or("seed", 42)?;
+    let opts = solve_options(args)?;
 
     let (inst, _) = instance_for(&dataset, target, max_comp)?;
     let ctx = InstanceContext::build(&dataset, &inst, scheme);
-    let selections = solve(&ctx, algorithm, &params, seed);
+    let selections = solve_with(&ctx, algorithm, &params, seed, &opts);
 
     let mut out = format!(
         "algorithm: {} | m = {} | lambda = {} | mu = {}\n",
@@ -228,10 +244,10 @@ fn cmd_narrow(args: &Args) -> Result<String, String> {
     let params = select_params(args)?;
     let seed: u64 = args.get_or("seed", 42)?;
     let time_limit: u64 = args.get_or("time-limit-ms", 60_000)?;
+    let opts = solve_options(args)?;
 
     let (_, ctx) = instance_for(&dataset, target, max_comp)?;
-    let selections =
-        comparesets_core::solve_comparesets_plus(&ctx, &params);
+    let selections = comparesets_core::solve_comparesets_plus_with(&ctx, &params, &opts);
     let graph = SimilarityGraph::from_selections(&ctx, &selections, params.lambda, params.mu);
     let vertices = match method.as_str() {
         "exact" | "ilp" => {
@@ -248,9 +264,7 @@ fn cmd_narrow(args: &Args) -> Result<String, String> {
         "greedy" => graph_greedy(&graph, 0, k),
         "topk" | "top-k" => solve_top_k_similarity(&graph, 0, k),
         "random" => solve_random_k(&graph, 0, k, seed),
-        "peel" | "peeling" => {
-            improve_by_swaps(&graph, &solve_peeling(&graph, Some(0), k), &[0])
-        }
+        "peel" | "peeling" => improve_by_swaps(&graph, &solve_peeling(&graph, Some(0), k), &[0]),
         other => return Err(format!("unknown narrowing method {other:?}")),
     };
 
@@ -291,7 +305,15 @@ mod tests {
     fn generate_then_stats_then_select_then_narrow() {
         let path = temp_corpus();
         let g = run(&[
-            "generate", "--category", "toy", "--products", "80", "--seed", "5", "--out", &path,
+            "generate",
+            "--category",
+            "toy",
+            "--products",
+            "80",
+            "--seed",
+            "5",
+            "--out",
+            &path,
         ])
         .unwrap();
         assert!(g.contains("80 products"));
@@ -353,7 +375,15 @@ mod tests {
     fn select_requires_target() {
         let path = temp_corpus();
         run(&[
-            "generate", "--category", "toy", "--products", "20", "--seed", "1", "--out", &path,
+            "generate",
+            "--category",
+            "toy",
+            "--products",
+            "20",
+            "--seed",
+            "1",
+            "--out",
+            &path,
         ])
         .unwrap();
         let e = run(&["select", "--corpus", &path]).unwrap_err();
@@ -365,11 +395,56 @@ mod tests {
     fn out_of_range_target_fails() {
         let path = temp_corpus();
         run(&[
-            "generate", "--category", "toy", "--products", "20", "--seed", "1", "--out", &path,
+            "generate",
+            "--category",
+            "toy",
+            "--products",
+            "20",
+            "--seed",
+            "1",
+            "--out",
+            &path,
         ])
         .unwrap();
         let e = run(&["select", "--corpus", &path, "--target", "9999"]).unwrap_err();
         assert!(e.contains("out of range"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn parallel_flags_do_not_change_output() {
+        let path = temp_corpus();
+        run(&[
+            "generate",
+            "--category",
+            "toy",
+            "--products",
+            "60",
+            "--seed",
+            "9",
+            "--out",
+            &path,
+        ])
+        .unwrap();
+        let dataset = load_corpus(&path).unwrap();
+        let target = dataset
+            .instances()
+            .first()
+            .map(|i| i.target().0)
+            .expect("corpus has instances")
+            .to_string();
+        let base = [
+            "select",
+            "--corpus",
+            path.as_str(),
+            "--target",
+            target.as_str(),
+        ];
+        let sequential = run(&base).unwrap();
+        let parallel = run(&[&base[..], &["--parallel", "true"]].concat()).unwrap();
+        let pinned = run(&[&base[..], &["--threads", "2"]].concat()).unwrap();
+        assert_eq!(sequential, parallel);
+        assert_eq!(sequential, pinned);
         std::fs::remove_file(&path).ok();
     }
 

@@ -89,9 +89,7 @@ mod tests {
             assert!(!s.is_empty());
             assert!(s.len() <= 3);
             let empty = Selection::default();
-            assert!(
-                item_objective(&c, i, s, 1.0) <= item_objective(&c, i, &empty, 1.0) + 1e-12
-            );
+            assert!(item_objective(&c, i, s, 1.0) <= item_objective(&c, i, &empty, 1.0) + 1e-12);
         }
     }
 

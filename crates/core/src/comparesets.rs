@@ -7,33 +7,83 @@
 //!   with the extended target `Υ = [τᵢ; λΓ; μφ(S₁); …; μφ(Sₙ)]` (other
 //!   items' current selections) and accept the re-selection only when it
 //!   lowers the per-item synchronized objective (lines 10–12).
+//!
+//! ## Parallel execution
+//!
+//! The per-item regressions of CompaReSetS are independent, so the
+//! `_with` variants fan them out over rayon when
+//! [`SolveOptions::parallel`] is set. Results are collected **in item
+//! order**, never completion order, so parallel and sequential runs
+//! return identical selections. The alternating sweeps of CompaReSetS+
+//! are Gauss–Seidel — item `i` reads the other items' *current*
+//! selections — and therefore stay sequential by construction; the
+//! parallel knob accelerates their CompaReSetS seed (and each per-item
+//! step reuses one solver workspace across the whole sweep phase).
 
 use comparesets_linalg::vector::sq_distance;
+use comparesets_linalg::NompWorkspace;
+use rayon::prelude::*;
 
 use crate::instance::{InstanceContext, Selection};
-use crate::integer_regression::{integer_regression, RegressionTask};
-use crate::SelectParams;
+use crate::integer_regression::{integer_regression_with, RegressionTask};
+use crate::{SelectParams, SolveOptions};
 
 /// Solve CompaReSetS (Problem 1): independent Integer-Regression per item
 /// with target `[τᵢ; λΓ]`.
 pub fn solve_comparesets(ctx: &InstanceContext, params: &SelectParams) -> Vec<Selection> {
+    solve_comparesets_with(ctx, params, &SolveOptions::default())
+}
+
+/// [`solve_comparesets`] with execution options: when
+/// [`SolveOptions::parallel`] is set the per-item regressions run on
+/// rayon's pool (collected in item order — results are identical to the
+/// sequential path).
+pub fn solve_comparesets_with(
+    ctx: &InstanceContext,
+    params: &SelectParams,
+    opts: &SolveOptions,
+) -> Vec<Selection> {
     let lambda = params.lambda;
-    (0..ctx.num_items())
-        .map(|i| {
-            let item = ctx.item(i);
-            let tau = ctx.tau(i);
-            let gamma = ctx.gamma();
-            let task = RegressionTask::build(ctx.space(), item, tau, &[(gamma, lambda)]);
-            integer_regression(&task, params.m, |sel| {
-                crate::objective::item_objective(ctx, i, sel, lambda)
-            })
+    let solve_item = |i: usize, ws: &mut NompWorkspace| {
+        let item = ctx.item(i);
+        let tau = ctx.tau(i);
+        let gamma = ctx.gamma();
+        let task = RegressionTask::build(ctx.space(), item, tau, &[(gamma, lambda)]);
+        integer_regression_with(
+            &task,
+            params.m,
+            |sel| crate::objective::item_objective(ctx, i, sel, lambda),
+            ws,
+        )
+    };
+    if opts.parallel {
+        crate::run_on_pool(opts, || {
+            (0..ctx.num_items())
+                .into_par_iter()
+                .map(|i| solve_item(i, &mut NompWorkspace::new()))
+                .collect()
         })
-        .collect()
+    } else {
+        let mut ws = NompWorkspace::new();
+        (0..ctx.num_items())
+            .map(|i| solve_item(i, &mut ws))
+            .collect()
+    }
 }
 
 /// Solve CompaReSetS+ (Problem 2) with one alternating sweep (Algorithm 1).
 pub fn solve_comparesets_plus(ctx: &InstanceContext, params: &SelectParams) -> Vec<Selection> {
     solve_comparesets_plus_sweeps(ctx, params, 1)
+}
+
+/// [`solve_comparesets_plus`] with execution options (see
+/// [`solve_comparesets_plus_sweeps_with`]).
+pub fn solve_comparesets_plus_with(
+    ctx: &InstanceContext,
+    params: &SelectParams,
+    opts: &SolveOptions,
+) -> Vec<Selection> {
+    solve_comparesets_plus_sweeps_with(ctx, params, 1, opts)
 }
 
 /// Solve CompaReSetS+ with a configurable number of alternating sweeps.
@@ -44,15 +94,30 @@ pub fn solve_comparesets_plus_sweeps(
     params: &SelectParams,
     sweeps: usize,
 ) -> Vec<Selection> {
+    solve_comparesets_plus_sweeps_with(ctx, params, sweeps, &SolveOptions::default())
+}
+
+/// [`solve_comparesets_plus_sweeps`] with execution options. Parallelism
+/// applies to the CompaReSetS seed; the Gauss–Seidel sweeps themselves are
+/// inherently sequential (each item reads the others' current selections)
+/// and run identically regardless of the options.
+pub fn solve_comparesets_plus_sweeps_with(
+    ctx: &InstanceContext,
+    params: &SelectParams,
+    sweeps: usize,
+    opts: &SolveOptions,
+) -> Vec<Selection> {
     let (lambda, mu) = (params.lambda, params.mu);
     // Algorithm 1 input: solutions of CompaReSetS.
-    let mut selections = solve_comparesets(ctx, params);
+    let mut selections = solve_comparesets_with(ctx, params, opts);
     let n = ctx.num_items();
     if n <= 1 || mu == 0.0 {
         // Coupling vanishes; CompaReSetS is already optimal for Eq. 5.
         return selections;
     }
 
+    // One pursuit workspace serves every per-item step of every sweep.
+    let mut ws = NompWorkspace::new();
     for _ in 0..sweeps {
         for i in 0..n {
             // φ(Sⱼ) of every other item, under its *current* selection.
@@ -66,25 +131,20 @@ pub fn solve_comparesets_plus_sweeps(
             let item_plus_cost = |sel: &Selection| {
                 let base = crate::objective::item_objective(ctx, i, sel, lambda);
                 let phi = ctx.space().phi(ctx.item(i), &sel.indices);
-                let coupling: f64 = other_phis
-                    .iter()
-                    .map(|p| sq_distance(&phi, p))
-                    .sum();
+                let coupling: f64 = other_phis.iter().map(|p| sq_distance(&phi, p)).sum();
                 base + mu * mu * coupling
             };
 
             let current_cost = item_plus_cost(&selections[i]);
 
             // Υ blocks: Γ with weight λ, then each φ(Sⱼ) with weight μ.
-            let mut aspect_targets: Vec<(&[f64], f64)> =
-                Vec::with_capacity(1 + other_phis.len());
+            let mut aspect_targets: Vec<(&[f64], f64)> = Vec::with_capacity(1 + other_phis.len());
             aspect_targets.push((ctx.gamma(), lambda));
             for p in &other_phis {
                 aspect_targets.push((p.as_slice(), mu));
             }
-            let task =
-                RegressionTask::build(ctx.space(), ctx.item(i), ctx.tau(i), &aspect_targets);
-            let candidate = integer_regression(&task, params.m, item_plus_cost);
+            let task = RegressionTask::build(ctx.space(), ctx.item(i), ctx.tau(i), &aspect_targets);
+            let candidate = integer_regression_with(&task, params.m, item_plus_cost, &mut ws);
 
             if item_plus_cost(&candidate) < current_cost {
                 selections[i] = candidate;
@@ -122,7 +182,10 @@ mod tests {
                 (ReviewId(10), vec![(0, Negative)]),
                 (ReviewId(15), vec![(0, Positive), (2, Positive)]),
                 (ReviewId(16), vec![(0, Negative), (2, Negative)]),
-                (ReviewId(17), vec![(0, Negative), (1, Positive), (2, Positive)]),
+                (
+                    ReviewId(17),
+                    vec![(0, Negative), (1, Positive), (2, Positive)],
+                ),
             ],
         );
         // p3: r20, r21 discuss quality (+ price).
@@ -130,7 +193,10 @@ mod tests {
             ProductId(2),
             vec![
                 (ReviewId(20), vec![(0, Positive), (2, Positive)]),
-                (ReviewId(21), vec![(0, Negative), (2, Negative), (3, Negative)]),
+                (
+                    ReviewId(21),
+                    vec![(0, Negative), (2, Negative), (3, Negative)],
+                ),
             ],
         );
         InstanceContext::from_items(5, vec![p1, p2, p3], OpinionScheme::Binary)

@@ -69,11 +69,7 @@ impl ComparisonTable {
     ///
     /// # Panics
     /// Panics when `selections` does not align with the instance.
-    pub fn build(
-        ctx: &InstanceContext,
-        selections: &[Selection],
-        items: Option<&[usize]>,
-    ) -> Self {
+    pub fn build(ctx: &InstanceContext, selections: &[Selection], items: Option<&[usize]>) -> Self {
         assert_eq!(selections.len(), ctx.num_items(), "one selection per item");
         let all: Vec<usize> = (0..ctx.num_items()).collect();
         let items = items.unwrap_or(&all);

@@ -8,21 +8,45 @@
 //! machinery but regresses on the opinion block only.
 
 use crate::instance::{InstanceContext, Selection};
-use crate::integer_regression::{integer_regression, RegressionTask};
+use crate::integer_regression::{integer_regression_with, RegressionTask};
+use crate::SolveOptions;
 use comparesets_linalg::vector::sq_distance;
+use comparesets_linalg::NompWorkspace;
+use rayon::prelude::*;
 
 /// Run CRS on every item of the instance independently.
 pub fn solve_crs(ctx: &InstanceContext, m: usize) -> Vec<Selection> {
-    (0..ctx.num_items())
-        .map(|i| {
-            let item = ctx.item(i);
-            let tau = ctx.tau(i);
-            let task = RegressionTask::build(ctx.space(), item, tau, &[]);
-            integer_regression(&task, m, |sel| {
-                sq_distance(tau, &ctx.space().pi(item, &sel.indices))
-            })
+    solve_crs_with(ctx, m, &SolveOptions::default())
+}
+
+/// [`solve_crs`] with execution options: the per-item regressions are
+/// independent and fan out over rayon when [`SolveOptions::parallel`] is
+/// set, collected in item order (identical results either way).
+pub fn solve_crs_with(ctx: &InstanceContext, m: usize, opts: &SolveOptions) -> Vec<Selection> {
+    let solve_item = |i: usize, ws: &mut NompWorkspace| {
+        let item = ctx.item(i);
+        let tau = ctx.tau(i);
+        let task = RegressionTask::build(ctx.space(), item, tau, &[]);
+        integer_regression_with(
+            &task,
+            m,
+            |sel| sq_distance(tau, &ctx.space().pi(item, &sel.indices)),
+            ws,
+        )
+    };
+    if opts.parallel {
+        crate::run_on_pool(opts, || {
+            (0..ctx.num_items())
+                .into_par_iter()
+                .map(|i| solve_item(i, &mut NompWorkspace::new()))
+                .collect()
         })
-        .collect()
+    } else {
+        let mut ws = NompWorkspace::new();
+        (0..ctx.num_items())
+            .map(|i| solve_item(i, &mut ws))
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -67,7 +91,10 @@ mod tests {
             vec![
                 (ReviewId(0), vec![(0, Polarity::Positive)]),
                 (ReviewId(1), vec![(1, Polarity::Negative)]),
-                (ReviewId(2), vec![(0, Polarity::Positive), (1, Polarity::Negative)]),
+                (
+                    ReviewId(2),
+                    vec![(0, Polarity::Positive), (1, Polarity::Negative)],
+                ),
             ],
         );
         let ctx = InstanceContext::from_items(2, vec![item], OpinionScheme::Binary);

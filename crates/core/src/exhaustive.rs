@@ -149,10 +149,7 @@ mod tests {
             for i in 0..ctx.num_items() {
                 let oc = item_objective(&ctx, i, &oracle[i], p.lambda);
                 let ac = item_objective(&ctx, i, &approx[i], p.lambda);
-                assert!(
-                    ac >= oc - 1e-9,
-                    "approx {ac} below oracle {oc} on item {i}"
-                );
+                assert!(ac >= oc - 1e-9, "approx {ac} below oracle {oc} on item {i}");
                 checked += 1;
             }
         }
@@ -166,11 +163,7 @@ mod tests {
         let inst = d
             .instances()
             .into_iter()
-            .find(|i| {
-                i.items
-                    .iter()
-                    .any(|&p| d.reviews_of(p).len() >= 40)
-            });
+            .find(|i| i.items.iter().any(|&p| d.reviews_of(p).len() >= 40));
         if let Some(inst) = inst {
             let ctx = InstanceContext::build(&d, &inst.truncated(1), OpinionScheme::Binary);
             let big = SelectParams {

@@ -17,32 +17,44 @@
 //! drift so callers can trigger [`IncrementalSession::refresh`] on a
 //! budget.
 
-use crate::comparesets::solve_comparesets_plus;
+use crate::comparesets::solve_comparesets_plus_with;
 use crate::instance::{InstanceContext, ReviewFeature, Selection};
-use crate::integer_regression::{integer_regression, RegressionTask};
+use crate::integer_regression::{integer_regression_with, RegressionTask};
 use crate::objective::comparesets_plus_objective;
-use crate::SelectParams;
+use crate::{SelectParams, SolveOptions};
 use comparesets_data::ReviewId;
 use comparesets_linalg::vector::sq_distance;
+use comparesets_linalg::NompWorkspace;
 
 /// A live selection over one comparison instance.
 #[derive(Debug, Clone)]
 pub struct IncrementalSession {
     ctx: InstanceContext,
     params: SelectParams,
+    opts: SolveOptions,
     selections: Vec<Selection>,
     updates_since_refresh: usize,
+    /// Pursuit scratch reused by every per-review update and refresh.
+    workspace: NompWorkspace,
 }
 
 impl IncrementalSession {
     /// Solve the instance from scratch and start a session.
     pub fn new(ctx: InstanceContext, params: SelectParams) -> Self {
-        let selections = solve_comparesets_plus(&ctx, &params);
+        IncrementalSession::with_options(ctx, params, SolveOptions::default())
+    }
+
+    /// [`IncrementalSession::new`] with execution options; the options
+    /// apply to the initial solve and every [`IncrementalSession::refresh`].
+    pub fn with_options(ctx: InstanceContext, params: SelectParams, opts: SolveOptions) -> Self {
+        let selections = solve_comparesets_plus_with(&ctx, &params, &opts);
         IncrementalSession {
             ctx,
             params,
+            opts,
             selections,
             updates_since_refresh: 0,
+            workspace: NompWorkspace::new(),
         }
     }
 
@@ -110,7 +122,7 @@ impl IncrementalSession {
             aspect_targets.push((p.as_slice(), mu));
         }
         let task = RegressionTask::build(ctx.space(), ctx.item(i), ctx.tau(i), &aspect_targets);
-        let candidate = integer_regression(&task, self.params.m, cost);
+        let candidate = integer_regression_with(&task, self.params.m, cost, &mut self.workspace);
         if cost(&candidate) < cost(&self.selections[i]) {
             self.selections[i] = candidate;
         }
@@ -120,14 +132,10 @@ impl IncrementalSession {
     /// result only when it improves the Equation-5 objective, and resets
     /// the drift counter either way.
     pub fn refresh(&mut self) {
-        let fresh = solve_comparesets_plus(&self.ctx, &self.params);
+        let fresh = solve_comparesets_plus_with(&self.ctx, &self.params, &self.opts);
         let current = self.objective();
-        let candidate = comparesets_plus_objective(
-            &self.ctx,
-            &fresh,
-            self.params.lambda,
-            self.params.mu,
-        );
+        let candidate =
+            comparesets_plus_objective(&self.ctx, &fresh, self.params.lambda, self.params.mu);
         if candidate < current {
             self.selections = fresh;
         }
@@ -151,6 +159,7 @@ impl InstanceContext {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::comparesets::solve_comparesets_plus;
     use crate::space::OpinionScheme;
     use comparesets_data::{CategoryPreset, Polarity};
 
@@ -191,7 +200,11 @@ mod tests {
             .find(|&a| s.context().gamma()[a] == 0.0)
             .expect("some absent aspect");
         for k in 0..7 {
-            s.add_review(0, ReviewId(900_100 + k), feature(absent, Polarity::Positive));
+            s.add_review(
+                0,
+                ReviewId(900_100 + k),
+                feature(absent, Polarity::Positive),
+            );
         }
         assert!(
             s.context().gamma()[absent] > 0.0,

@@ -117,11 +117,7 @@ pub struct InstanceContext {
 impl InstanceContext {
     /// Prepare an instance from a dataset. `instance.items[0]` is the
     /// target item; all items must have at least one review.
-    pub fn build(
-        dataset: &Dataset,
-        instance: &ComparisonInstance,
-        scheme: OpinionScheme,
-    ) -> Self {
+    pub fn build(dataset: &Dataset, instance: &ComparisonInstance, scheme: OpinionScheme) -> Self {
         let items: Vec<Item> = instance
             .items
             .iter()
@@ -236,12 +232,7 @@ impl InstanceContext {
 
     /// Append a review and refresh the derived targets (used by the
     /// incremental-session API in [`crate::incremental`]).
-    pub(crate) fn push_review_internal(
-        &mut self,
-        i: usize,
-        id: ReviewId,
-        feature: ReviewFeature,
-    ) {
+    pub(crate) fn push_review_internal(&mut self, i: usize, id: ReviewId, feature: ReviewFeature) {
         self.items[i].review_ids.push(id);
         self.items[i].features.push(feature);
         let all: Vec<usize> = (0..self.items[i].num_reviews()).collect();

@@ -1,21 +1,58 @@
 //! The Integer-Regression machinery (§2.2, Algorithm 1).
 //!
-//! Strategy, following Lappas et al. (KDD'12) as generalised by the paper:
+//! Strategy, following Lappas et al. (KDD'12) as generalised by the paper.
+//! Each numbered step names the Algorithm 1 lines it implements and the
+//! knob that controls it:
 //!
 //! 1. Build a design matrix `V` with one column per candidate review —
 //!    an opinion-indicator block stacked on weighted aspect-indicator
 //!    blocks (λ for the Γ block, μ for every other item's φ(Sⱼ) block).
-//! 2. Deduplicate identical columns (Algorithm 1 line 5); `cᵢ` caps how
-//!    many copies of a deduplicated column may be selected.
-//! 3. For every sparsity budget ℓ = 1…m, solve the continuous relaxation
-//!    with NOMP (line 7), then round the normalised solution to the
-//!    closest integer selection `ν` with `νᵢ ≤ cᵢ`, `‖ν‖₁ ≤ m` (line 8)
-//!    using largest-remainder rounding over every total mass `s ≤ m`.
+//!    [`RegressionTask::build`] takes the blocks as `(vector, weight)`
+//!    pairs, so the same builder serves CRS (no aspect blocks),
+//!    CompaReSetS (`[(Γ, λ)]`, Equation 4) and CompaReSetS+
+//!    (`[(Γ, λ), (φ(Sⱼ), μ), …]`).
+//! 2. Deduplicate identical columns (line 5, [`DedupColumns`]); `cᵢ` caps
+//!    how many copies of a deduplicated column may be selected.
+//! 3. For every sparsity budget ℓ = 1…m (line 7, the `m` argument of
+//!    [`integer_regression`]), solve the continuous relaxation with NOMP —
+//!    realised as **one** shared pursuit whose per-ℓ snapshots are
+//!    bit-identical to standalone runs (`comparesets_linalg::nomp_path`) —
+//!    then round the normalised solution to the closest integer selection
+//!    `ν` with `νᵢ ≤ cᵢ`, `‖ν‖₁ ≤ m` (line 8) using largest-remainder
+//!    rounding over every total mass `s ≤ m`.
 //! 4. Keep the candidate minimising the *true* objective (lines 10–12),
 //!    evaluated by a caller-supplied closure so CRS, CompaReSetS, and
 //!    CompaReSetS+ can share this machinery with their own objectives.
+//!
+//! ```
+//! use comparesets_core::{integer_regression, RegressionTask};
+//! use comparesets_core::instance::Item;
+//! use comparesets_core::space::{OpinionScheme, VectorSpace};
+//! use comparesets_data::{Polarity, ProductId, ReviewId};
+//! use comparesets_linalg::vector::sq_distance;
+//!
+//! // Three reviews over two aspects; τ/Γ are the full-set profiles.
+//! let item = Item::from_mentions(
+//!     ProductId(0),
+//!     vec![
+//!         (ReviewId(0), vec![(0, Polarity::Positive)]),
+//!         (ReviewId(1), vec![(1, Polarity::Negative)]),
+//!         (ReviewId(2), vec![(0, Polarity::Positive), (1, Polarity::Negative)]),
+//!     ],
+//! );
+//! let space = VectorSpace::new(2, OpinionScheme::Binary);
+//! let all: Vec<usize> = (0..3).collect();
+//! let (tau, gamma) = (space.pi(&item, &all), space.phi(&item, &all));
+//!
+//! let task = RegressionTask::build(&space, &item, &tau, &[(&gamma, 1.0)]);
+//! let sel = integer_regression(&task, 2, |s| {
+//!     sq_distance(&tau, &space.pi(&item, &s.indices))
+//!         + sq_distance(&gamma, &space.phi(&item, &s.indices))
+//! });
+//! assert!(!sel.is_empty() && sel.len() <= 2);
+//! ```
 
-use comparesets_linalg::{nomp, CscMatrix, NompOptions};
+use comparesets_linalg::{nomp_path_with, CscMatrix, NompOptions, NompWorkspace};
 
 use crate::instance::{Item, Selection};
 use crate::space::VectorSpace;
@@ -211,10 +248,29 @@ fn round_with_caps(x_hat: &[f64], s: usize, caps: &[usize]) -> Option<Vec<usize>
 /// returned. When no non-trivial candidate emerges (e.g. the item's
 /// reviews are entirely uncorrelated with the target), falls back to
 /// selecting the single review minimising `evaluate`.
-pub fn integer_regression<F>(
+///
+/// The ℓ-sweep of Algorithm 1 line 7 runs as **one** shared NOMP pursuit
+/// ([`nomp_path_with`]): the pursuit's state evolution is independent of
+/// the budget, so the per-ℓ relaxations are snapshots of a single run
+/// instead of `m` runs — identical solutions, ~`m×` less solver work.
+pub fn integer_regression<F>(task: &RegressionTask, m: usize, evaluate: F) -> Selection
+where
+    F: FnMut(&Selection) -> f64,
+{
+    integer_regression_with(task, m, evaluate, &mut NompWorkspace::new())
+}
+
+/// [`integer_regression`] with caller-provided solver scratch.
+///
+/// Alternating solvers (CompaReSetS+ sweeps, incremental maintenance)
+/// re-run Integer-Regression many times on same-shaped tasks; passing one
+/// [`NompWorkspace`] through avoids re-allocating the pursuit buffers on
+/// every call.
+pub fn integer_regression_with<F>(
     task: &RegressionTask,
     m: usize,
     mut evaluate: F,
+    workspace: &mut NompWorkspace,
 ) -> Selection
 where
     F: FnMut(&Selection) -> f64,
@@ -233,21 +289,26 @@ where
     };
 
     if q > 0 {
-        for l in 1..=m {
-            let Ok(res) = nomp(
-                &task.matrix,
-                &task.target,
-                NompOptions::with_max_atoms(l.min(q)),
-            ) else {
-                continue;
-            };
-            if res.support.is_empty() {
-                continue;
-            }
-            for s in 1..=m {
-                if let Some(nu) = round_with_caps(&res.x, s, &caps) {
-                    let sel = task.dedup.expand(&nu);
-                    consider(sel, &mut evaluate, &mut best);
+        // Budgets ℓ > q stop exactly where ℓ = q does (the support can
+        // never exceed the q distinct columns), so the path only needs the
+        // distinct budgets 1..=min(m, q); duplicates would re-evaluate the
+        // same candidates and lose every strict-< comparison anyway.
+        let l_max = m.min(q);
+        if let Ok(path) = nomp_path_with(
+            &task.matrix,
+            &task.target,
+            NompOptions::with_max_atoms(l_max),
+            workspace,
+        ) {
+            for res in &path {
+                if res.support.is_empty() {
+                    continue;
+                }
+                for s in 1..=m {
+                    if let Some(nu) = round_with_caps(&res.x, s, &caps) {
+                        let sel = task.dedup.expand(&nu);
+                        consider(sel, &mut evaluate, &mut best);
+                    }
                 }
             }
         }
@@ -333,12 +394,7 @@ mod tests {
         let tau = vec![0.5, 0.0, 0.0, 0.5];
         let gamma = vec![1.0, 1.0];
         let phi_other = vec![1.0, 0.0];
-        let task = RegressionTask::build(
-            &space,
-            &item,
-            &tau,
-            &[(&gamma, 2.0), (&phi_other, 0.5)],
-        );
+        let task = RegressionTask::build(&space, &item, &tau, &[(&gamma, 2.0), (&phi_other, 0.5)]);
         // rows = 4 (opinion) + 2 + 2.
         assert_eq!(task.matrix.rows(), 8);
         assert_eq!(task.matrix.cols(), 2);
@@ -369,7 +425,10 @@ mod tests {
         assert!(sel.len() <= 3);
         let pi = space.pi(&item, &sel.indices);
         let phi = space.phi(&item, &sel.indices);
-        assert!(sq_distance(&tau, &pi) < 1e-12, "pi {pi:?} tau {tau:?} sel {sel:?}");
+        assert!(
+            sq_distance(&tau, &pi) < 1e-12,
+            "pi {pi:?} tau {tau:?} sel {sel:?}"
+        );
         assert!(sq_distance(&gamma, &phi) < 1e-12, "phi {phi:?}");
     }
 

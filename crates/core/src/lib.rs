@@ -47,14 +47,19 @@ pub mod objective;
 pub mod space;
 
 pub use baselines::{solve_greedy, solve_random};
+pub use comparesets::{
+    solve_comparesets, solve_comparesets_plus, solve_comparesets_plus_sweeps,
+    solve_comparesets_plus_sweeps_with, solve_comparesets_plus_with, solve_comparesets_with,
+};
 pub use comparison_table::{AspectRow, CellCounts, ComparisonTable};
+pub use crs::{solve_crs, solve_crs_with};
 pub use exhaustive::{solve_exhaustive, solve_exhaustive_item};
-pub use comparesets::{solve_comparesets, solve_comparesets_plus, solve_comparesets_plus_sweeps};
-pub use crs::solve_crs;
 pub use incremental::IncrementalSession;
 pub use instance::{InstanceContext, Item, ReviewFeature, Selection};
-pub use integer_regression::{integer_regression, RegressionTask};
-pub use objective::{comparesets_objective, comparesets_plus_objective, item_objective, pair_distance};
+pub use integer_regression::{integer_regression, integer_regression_with, RegressionTask};
+pub use objective::{
+    comparesets_objective, comparesets_plus_objective, item_objective, pair_distance,
+};
 pub use space::{OpinionScheme, VectorSpace};
 
 /// Shared knobs for the selection solvers.
@@ -76,6 +81,59 @@ impl Default for SelectParams {
             lambda: 1.0,
             mu: 0.1,
         }
+    }
+}
+
+/// Execution knobs orthogonal to the model parameters: how to run a
+/// solver, never what it computes.
+///
+/// **Determinism guarantee:** for any fixed inputs, every solver returns
+/// the same selections and objectives under every `SolveOptions` value.
+/// Parallel runs fan independent per-item regressions over rayon and
+/// collect the results in item order (never completion order), so turning
+/// parallelism on is purely a wall-clock decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SolveOptions {
+    /// Fan independent per-item regression tasks out over rayon's pool.
+    pub parallel: bool,
+    /// Worker count for parallel runs; `None` uses rayon's global default
+    /// (all cores). Ignored when `parallel` is false.
+    pub threads: Option<usize>,
+}
+
+impl SolveOptions {
+    /// Sequential execution (the default).
+    pub fn sequential() -> Self {
+        SolveOptions::default()
+    }
+
+    /// Parallel execution on rayon's global pool.
+    pub fn parallel() -> Self {
+        SolveOptions {
+            parallel: true,
+            threads: None,
+        }
+    }
+
+    /// Parallel execution on a dedicated pool of `n` workers.
+    pub fn with_threads(n: usize) -> Self {
+        SolveOptions {
+            parallel: true,
+            threads: Some(n),
+        }
+    }
+}
+
+/// Run `f` on the pool the options ask for: a dedicated pool when a thread
+/// count is pinned, rayon's global pool otherwise. Falls back to the
+/// calling thread if the dedicated pool cannot be built.
+pub(crate) fn run_on_pool<R: Send>(opts: &SolveOptions, f: impl FnOnce() -> R + Send) -> R {
+    match opts.threads {
+        Some(n) => match rayon::ThreadPoolBuilder::new().num_threads(n).build() {
+            Ok(pool) => pool.install(f),
+            Err(_) => f(),
+        },
+        None => f(),
     }
 }
 
@@ -126,12 +184,26 @@ pub fn solve(
     params: &SelectParams,
     seed: u64,
 ) -> Vec<Selection> {
+    solve_with(ctx, algorithm, params, seed, &SolveOptions::default())
+}
+
+/// [`solve`] with execution options. The regression-based solvers (CRS,
+/// CompaReSetS, CompaReSetS+) honour [`SolveOptions::parallel`]; the
+/// random and greedy baselines are cheap enough that they always run
+/// sequentially. Selections are identical for every options value.
+pub fn solve_with(
+    ctx: &InstanceContext,
+    algorithm: Algorithm,
+    params: &SelectParams,
+    seed: u64,
+    opts: &SolveOptions,
+) -> Vec<Selection> {
     match algorithm {
         Algorithm::Random => solve_random(ctx, params.m, seed),
-        Algorithm::Crs => solve_crs(ctx, params.m),
+        Algorithm::Crs => solve_crs_with(ctx, params.m, opts),
         Algorithm::CompareSetsGreedy => solve_greedy(ctx, params),
-        Algorithm::CompareSets => solve_comparesets(ctx, params),
-        Algorithm::CompareSetsPlus => solve_comparesets_plus(ctx, params),
+        Algorithm::CompareSets => solve_comparesets_with(ctx, params, opts),
+        Algorithm::CompareSetsPlus => solve_comparesets_plus_with(ctx, params, opts),
     }
 }
 

@@ -6,12 +6,7 @@ use crate::instance::{InstanceContext, Selection};
 
 /// Per-item CompaReSetS cost (Equation 3):
 /// `Δ(τᵢ, π(Sᵢ)) + λ² Δ(Γ, φ(Sᵢ))`.
-pub fn item_objective(
-    ctx: &InstanceContext,
-    i: usize,
-    selection: &Selection,
-    lambda: f64,
-) -> f64 {
+pub fn item_objective(ctx: &InstanceContext, i: usize, selection: &Selection, lambda: f64) -> f64 {
     let item = ctx.item(i);
     let pi = ctx.space().pi(item, &selection.indices);
     let phi = ctx.space().phi(item, &selection.indices);
@@ -19,11 +14,7 @@ pub fn item_objective(
 }
 
 /// Full CompaReSetS objective (Equation 1): the sum of per-item costs.
-pub fn comparesets_objective(
-    ctx: &InstanceContext,
-    selections: &[Selection],
-    lambda: f64,
-) -> f64 {
+pub fn comparesets_objective(ctx: &InstanceContext, selections: &[Selection], lambda: f64) -> f64 {
     assert_eq!(selections.len(), ctx.num_items());
     (0..ctx.num_items())
         .map(|i| item_objective(ctx, i, &selections[i], lambda))

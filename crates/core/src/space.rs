@@ -237,13 +237,13 @@ pub(crate) mod fixtures {
         // reproduce τ₁ and Γ exactly, as the paper's Working Example 2
         // requires.
         let reviews = vec![
-            vec![(0, Positive), (1, Positive)],                 // r1
-            vec![(0, Negative), (1, Negative)],                 // r2
-            vec![(0, Negative), (2, Positive)],                 // r3
-            vec![(2, Negative)],                                // r4
-            vec![(0, Positive), (1, Positive), (2, Positive)],  // r5
-            vec![(0, Negative), (1, Negative)],                 // r6
-            vec![(0, Negative), (2, Negative)],                 // r7
+            vec![(0, Positive), (1, Positive)],                // r1
+            vec![(0, Negative), (1, Negative)],                // r2
+            vec![(0, Negative), (2, Positive)],                // r3
+            vec![(2, Negative)],                               // r4
+            vec![(0, Positive), (1, Positive), (2, Positive)], // r5
+            vec![(0, Negative), (1, Negative)],                // r6
+            vec![(0, Negative), (2, Negative)],                // r7
         ];
         Item::from_mentions(
             ProductId(0),
@@ -357,7 +357,10 @@ mod tests {
             ProductId(0),
             vec![
                 (ReviewId(0), vec![(0, Polarity::Positive)]),
-                (ReviewId(1), vec![(0, Polarity::Positive), (1, Polarity::Negative)]),
+                (
+                    ReviewId(1),
+                    vec![(0, Polarity::Positive), (1, Polarity::Negative)],
+                ),
             ],
         );
         let space = VectorSpace::new(2, OpinionScheme::UnaryScale);

@@ -1,0 +1,104 @@
+//! Parallel execution must be a pure wall-clock decision: for every
+//! solver and every [`SolveOptions`] value, the selections and objectives
+//! are bit-identical to the sequential run. These tests pin that
+//! guarantee on generated instances of all three categories.
+
+use comparesets_core::{
+    comparesets_objective, comparesets_plus_objective, solve_comparesets_plus_with,
+    solve_comparesets_with, solve_crs_with, solve_with, Algorithm, InstanceContext, OpinionScheme,
+    SelectParams, Selection, SolveOptions,
+};
+use comparesets_data::CategoryPreset;
+
+fn contexts() -> Vec<InstanceContext> {
+    [
+        (CategoryPreset::Cellphone, 11u64),
+        (CategoryPreset::Toy, 22),
+        (CategoryPreset::Clothing, 33),
+    ]
+    .into_iter()
+    .flat_map(|(preset, seed)| {
+        let d = preset.config(60, seed).generate();
+        d.instances()
+            .into_iter()
+            .take(2)
+            .map(|inst| InstanceContext::build(&d, &inst.truncated(5), OpinionScheme::Binary))
+            .collect::<Vec<_>>()
+    })
+    .collect()
+}
+
+fn option_grid() -> [SolveOptions; 3] {
+    [
+        SolveOptions::parallel(),
+        SolveOptions::with_threads(2),
+        SolveOptions::with_threads(4),
+    ]
+}
+
+/// Selections compare exactly: same review indices per item.
+fn assert_identical(seq: &[Selection], par: &[Selection], what: &str) {
+    assert_eq!(seq.len(), par.len(), "{what}: item count");
+    for (i, (s, p)) in seq.iter().zip(par.iter()).enumerate() {
+        assert_eq!(s.indices, p.indices, "{what}: item {i} indices");
+    }
+}
+
+#[test]
+fn crs_parallel_matches_sequential() {
+    let seq_opts = SolveOptions::sequential();
+    for (c, ctx) in contexts().iter().enumerate() {
+        for m in [1, 3] {
+            let seq = solve_crs_with(ctx, m, &seq_opts);
+            for opts in option_grid() {
+                let par = solve_crs_with(ctx, m, &opts);
+                assert_identical(&seq, &par, &format!("crs ctx {c} m {m} {opts:?}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn comparesets_parallel_matches_sequential() {
+    let params = SelectParams::default();
+    let seq_opts = SolveOptions::sequential();
+    for (c, ctx) in contexts().iter().enumerate() {
+        let seq = solve_comparesets_with(ctx, &params, &seq_opts);
+        let seq_obj = comparesets_objective(ctx, &seq, params.lambda);
+        for opts in option_grid() {
+            let par = solve_comparesets_with(ctx, &params, &opts);
+            assert_identical(&seq, &par, &format!("comparesets ctx {c} {opts:?}"));
+            let par_obj = comparesets_objective(ctx, &par, params.lambda);
+            assert_eq!(seq_obj.to_bits(), par_obj.to_bits());
+        }
+    }
+}
+
+#[test]
+fn comparesets_plus_parallel_matches_sequential() {
+    let params = SelectParams::default();
+    let seq_opts = SolveOptions::sequential();
+    for (c, ctx) in contexts().iter().enumerate() {
+        let seq = solve_comparesets_plus_with(ctx, &params, &seq_opts);
+        let seq_obj = comparesets_plus_objective(ctx, &seq, params.lambda, params.mu);
+        for opts in option_grid() {
+            let par = solve_comparesets_plus_with(ctx, &params, &opts);
+            assert_identical(&seq, &par, &format!("comparesets+ ctx {c} {opts:?}"));
+            let par_obj = comparesets_plus_objective(ctx, &par, params.lambda, params.mu);
+            assert_eq!(seq_obj.to_bits(), par_obj.to_bits());
+        }
+    }
+}
+
+#[test]
+fn solve_with_honours_options_for_every_algorithm() {
+    let params = SelectParams::default();
+    let ctx = &contexts()[0];
+    for alg in Algorithm::ALL {
+        let seq = solve_with(ctx, alg, &params, 7, &SolveOptions::sequential());
+        for opts in option_grid() {
+            let par = solve_with(ctx, alg, &params, 7, &opts);
+            assert_identical(&seq, &par, &format!("{alg:?} {opts:?}"));
+        }
+    }
+}

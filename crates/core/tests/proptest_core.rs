@@ -10,11 +10,14 @@ use proptest::prelude::*;
 /// Random instance generator: 2–4 items, each with 2–8 reviews over
 /// z = 4 aspects with random polarities.
 fn instance() -> impl Strategy<Value = InstanceContext> {
-    let mention = (0usize..4, prop_oneof![
-        Just(Polarity::Positive),
-        Just(Polarity::Negative),
-        Just(Polarity::Neutral),
-    ]);
+    let mention = (
+        0usize..4,
+        prop_oneof![
+            Just(Polarity::Positive),
+            Just(Polarity::Negative),
+            Just(Polarity::Neutral),
+        ],
+    );
     let review = proptest::collection::vec(mention, 1..4);
     let item_reviews = proptest::collection::vec(review, 2..8);
     proptest::collection::vec(item_reviews, 2..5).prop_map(|items| {

@@ -257,13 +257,9 @@ impl AmazonLoader {
         // Drop under-reviewed products from comparison lists (5-core-like
         // filtering); the products themselves stay for index stability.
         let min = self.min_reviews_per_product;
-        let reviewed_enough: Vec<bool> = products
-            .iter()
-            .map(|p| p.reviews.len() >= min)
-            .collect();
+        let reviewed_enough: Vec<bool> = products.iter().map(|p| p.reviews.len() >= min).collect();
         for p in &mut products {
-            p.also_bought
-                .retain(|ab| reviewed_enough[ab.0 as usize]);
+            p.also_bought.retain(|ab| reviewed_enough[ab.0 as usize]);
         }
 
         Ok(Dataset {
@@ -283,11 +279,9 @@ fn read_reviews<R: BufRead>(reader: R) -> Result<Vec<RawReview>, AmazonError> {
         if line.trim().is_empty() {
             continue;
         }
-        let raw: RawReview = serde_json::from_str(&line).map_err(|source| {
-            AmazonError::Parse {
-                line: idx + 1,
-                source,
-            }
+        let raw: RawReview = serde_json::from_str(&line).map_err(|source| AmazonError::Parse {
+            line: idx + 1,
+            source,
         })?;
         out.push(raw);
     }
@@ -301,11 +295,9 @@ fn read_metadata<R: BufRead>(reader: R) -> Result<Vec<RawMeta>, AmazonError> {
         if line.trim().is_empty() {
             continue;
         }
-        let raw: RawMeta = serde_json::from_str(&line).map_err(|source| {
-            AmazonError::Parse {
-                line: idx + 1,
-                source,
-            }
+        let raw: RawMeta = serde_json::from_str(&line).map_err(|source| AmazonError::Parse {
+            line: idx + 1,
+            source,
         })?;
         out.push(raw);
     }
@@ -350,10 +342,7 @@ mod tests {
         // Titles come from metadata.
         assert_eq!(ds.products[0].title, "Acme Charger");
         // also_bought resolves known asins and drops B999.
-        assert_eq!(
-            ds.products[0].also_bought,
-            vec![ProductId(1), ProductId(2)]
-        );
+        assert_eq!(ds.products[0].also_bought, vec![ProductId(1), ProductId(2)]);
         // Aspects discovered from text.
         assert!(ds.aspects.iter().any(|a| a == "battery"));
         assert!(ds.aspects.iter().any(|a| a == "case"));
@@ -404,10 +393,8 @@ mod tests {
 
     #[test]
     fn fixed_vocabulary_is_respected() {
-        let extractor = AspectExtractor::with_vocabulary(
-            ["battery"],
-            comparesets_text::Lexicon::builtin(),
-        );
+        let extractor =
+            AspectExtractor::with_vocabulary(["battery"], comparesets_text::Lexicon::builtin());
         let ds = loader()
             .load_with_vocabulary(Cursor::new(REVIEWS), Cursor::new(META), &extractor)
             .unwrap();

@@ -26,9 +26,12 @@ impl std::fmt::Display for IoError {
             IoError::Io(e) => write!(f, "io error: {e}"),
             IoError::Json(e) => write!(f, "json error: {e}"),
             IoError::InvalidDataset(problems) => {
-                write!(f, "invalid dataset: {} problems, first: {}",
+                write!(
+                    f,
+                    "invalid dataset: {} problems, first: {}",
                     problems.len(),
-                    problems.first().map(String::as_str).unwrap_or(""))
+                    problems.first().map(String::as_str).unwrap_or("")
+                )
             }
         }
     }
@@ -137,10 +140,7 @@ mod tests {
         // Corrupt: dangling review reference.
         d.products[0].reviews.push(crate::model::ReviewId(9999));
         let json = serde_json::to_string(&d).unwrap();
-        assert!(matches!(
-            from_json(&json),
-            Err(IoError::InvalidDataset(_))
-        ));
+        assert!(matches!(from_json(&json), Err(IoError::InvalidDataset(_))));
     }
 
     #[test]

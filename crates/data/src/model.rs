@@ -8,23 +8,17 @@
 use serde::{Deserialize, Serialize};
 
 /// Index of an aspect in the dataset's aspect vocabulary.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct AspectId(pub u32);
 
 /// Index of a product within a dataset.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct ProductId(pub u32);
 
 /// Index of a review within a dataset.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct ReviewId(pub u32);
 
@@ -167,7 +161,10 @@ impl Dataset {
             }
             for r in &p.reviews {
                 if r.0 >= nr {
-                    problems.push(format!("product {} references review {:?} out of bounds", i, r));
+                    problems.push(format!(
+                        "product {} references review {:?} out of bounds",
+                        i, r
+                    ));
                 } else if self.reviews[r.0 as usize].product != p.id {
                     problems.push(format!("review {:?} not back-linked to product {}", r, i));
                 }
@@ -186,14 +183,20 @@ impl Dataset {
                 problems.push(format!("review {} has id {:?}", i, r.id));
             }
             if r.product.0 >= np {
-                problems.push(format!("review {} references product {:?} out of bounds", i, r.product));
+                problems.push(format!(
+                    "review {} references product {:?} out of bounds",
+                    i, r.product
+                ));
             }
             if !(1..=5).contains(&r.rating) {
                 problems.push(format!("review {} has rating {}", i, r.rating));
             }
             for m in &r.mentions {
                 if m.aspect.0 >= z {
-                    problems.push(format!("review {} mentions aspect {:?} out of bounds", i, m.aspect));
+                    problems.push(format!(
+                        "review {} mentions aspect {:?} out of bounds",
+                        i, m.aspect
+                    ));
                 }
             }
         }

@@ -70,7 +70,11 @@ impl std::fmt::Display for DatasetStats {
         writeln!(f, "  #Product                  {}", self.num_products)?;
         writeln!(f, "  #Reviewer                 {}", self.num_reviewers)?;
         writeln!(f, "  #Review                   {}", self.num_reviews)?;
-        writeln!(f, "  #Target Product           {}", self.num_target_products)?;
+        writeln!(
+            f,
+            "  #Target Product           {}",
+            self.num_target_products
+        )?;
         writeln!(
             f,
             "  Avg. #Comparison Product  {:.2}",

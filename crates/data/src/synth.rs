@@ -91,22 +91,100 @@ impl CategoryPreset {
     pub fn aspects(self) -> Vec<String> {
         let terms: &[&str] = match self {
             CategoryPreset::Cellphone => &[
-                "battery", "screen", "charger", "cable", "case", "camera", "speaker", "button",
-                "signal", "storage", "price", "design", "grip", "port", "bluetooth", "durability",
-                "weight", "display", "microphone", "adapter", "mount", "holder", "protector",
-                "warranty", "packaging", "instructions", "fit", "texture", "brightness", "latency",
+                "battery",
+                "screen",
+                "charger",
+                "cable",
+                "case",
+                "camera",
+                "speaker",
+                "button",
+                "signal",
+                "storage",
+                "price",
+                "design",
+                "grip",
+                "port",
+                "bluetooth",
+                "durability",
+                "weight",
+                "display",
+                "microphone",
+                "adapter",
+                "mount",
+                "holder",
+                "protector",
+                "warranty",
+                "packaging",
+                "instructions",
+                "fit",
+                "texture",
+                "brightness",
+                "latency",
             ],
             CategoryPreset::Toy => &[
-                "pieces", "colors", "instructions", "assembly", "box", "plastic", "paint",
-                "batteries", "sound", "lights", "wheels", "figure", "puzzle", "cards", "board",
-                "dice", "stickers", "magnets", "blocks", "durability", "size", "price", "theme",
-                "artwork", "rules", "storage", "edges", "safety", "motor", "remote",
+                "pieces",
+                "colors",
+                "instructions",
+                "assembly",
+                "box",
+                "plastic",
+                "paint",
+                "batteries",
+                "sound",
+                "lights",
+                "wheels",
+                "figure",
+                "puzzle",
+                "cards",
+                "board",
+                "dice",
+                "stickers",
+                "magnets",
+                "blocks",
+                "durability",
+                "size",
+                "price",
+                "theme",
+                "artwork",
+                "rules",
+                "storage",
+                "edges",
+                "safety",
+                "motor",
+                "remote",
             ],
             CategoryPreset::Clothing => &[
-                "fabric", "size", "color", "stitching", "zipper", "buttons", "pockets", "sleeves",
-                "collar", "waist", "length", "lining", "elastic", "strap", "sole", "heel",
-                "material", "print", "fit", "seam", "hood", "cuff", "belt", "laces", "padding",
-                "breathability", "warmth", "price", "style", "washing",
+                "fabric",
+                "size",
+                "color",
+                "stitching",
+                "zipper",
+                "buttons",
+                "pockets",
+                "sleeves",
+                "collar",
+                "waist",
+                "length",
+                "lining",
+                "elastic",
+                "strap",
+                "sole",
+                "heel",
+                "material",
+                "print",
+                "fit",
+                "seam",
+                "hood",
+                "cuff",
+                "belt",
+                "laces",
+                "padding",
+                "breathability",
+                "warmth",
+                "price",
+                "style",
+                "washing",
             ],
         };
         terms.iter().map(|s| s.to_string()).collect()
@@ -178,9 +256,7 @@ impl SynthConfig {
                 .map(|(rank, &a)| (a, 1.0 / (rank as f64 + 1.0)))
                 .collect();
             let quality: Vec<f64> = (0..k_aspects)
-                .map(|_| {
-                    (self.positive_ratio + rng.random_range(-0.25..0.25)).clamp(0.05, 0.95)
-                })
+                .map(|_| (self.positive_ratio + rng.random_range(-0.25..0.25)).clamp(0.05, 0.95))
                 .collect();
             clusters.push(Cluster {
                 aspect_weights,
@@ -225,11 +301,8 @@ impl SynthConfig {
             }
             let mut w: Vec<(usize, f64)> = Vec::with_capacity(n_cluster);
             let mut q: Vec<f64> = Vec::with_capacity(n_cluster);
-            for (rank, (&(a, base_w), &base_q)) in cl
-                .aspect_weights
-                .iter()
-                .zip(cl.quality.iter())
-                .enumerate()
+            for (rank, (&(a, base_w), &base_q)) in
+                cl.aspect_weights.iter().zip(cl.quality.iter()).enumerate()
             {
                 if !keep[rank] {
                     continue; // this product simply lacks the aspect
@@ -418,10 +491,7 @@ mod tests {
         let b = small(CategoryPreset::Toy);
         assert_eq!(a.reviews.len(), b.reviews.len());
         assert_eq!(a.reviews[0].text, b.reviews[0].text);
-        assert_eq!(
-            a.products[5].also_bought,
-            b.products[5].also_bought
-        );
+        assert_eq!(a.products[5].also_bought, b.products[5].also_bought);
     }
 
     #[test]

@@ -12,14 +12,34 @@ use crate::model::Polarity;
 
 /// Positive adjectives (a subset of the lexicon's positive words).
 pub const POSITIVE_ADJECTIVES: &[&str] = &[
-    "great", "excellent", "amazing", "fantastic", "solid", "reliable", "impressive", "superb",
-    "wonderful", "outstanding", "perfect", "nice",
+    "great",
+    "excellent",
+    "amazing",
+    "fantastic",
+    "solid",
+    "reliable",
+    "impressive",
+    "superb",
+    "wonderful",
+    "outstanding",
+    "perfect",
+    "nice",
 ];
 
 /// Negative adjectives (a subset of the lexicon's negative words).
 pub const NEGATIVE_ADJECTIVES: &[&str] = &[
-    "bad", "poor", "terrible", "disappointing", "flimsy", "awful", "horrible", "mediocre",
-    "frustrating", "weak", "defective", "unreliable",
+    "bad",
+    "poor",
+    "terrible",
+    "disappointing",
+    "flimsy",
+    "awful",
+    "horrible",
+    "mediocre",
+    "frustrating",
+    "weak",
+    "defective",
+    "unreliable",
 ];
 
 /// Neutral descriptors for bare mentions.

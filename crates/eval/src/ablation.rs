@@ -105,20 +105,13 @@ pub fn run(cfg: &EvalConfig) -> Ablation {
     };
 
     // --- 2. sweep count -----------------------------------------------------
-    let sweep_params = SelectParams {
-        mu: 1.0,
-        ..params
-    };
+    let sweep_params = SelectParams { mu: 1.0, ..params };
     let mut sweep_objectives = [0.0f64; 3];
     for inst in &instances {
         for (si, sweeps) in [1usize, 2, 3].into_iter().enumerate() {
             let sels = solve_comparesets_plus_sweeps(&inst.ctx, &sweep_params, sweeps);
-            sweep_objectives[si] += comparesets_plus_objective(
-                &inst.ctx,
-                &sels,
-                sweep_params.lambda,
-                sweep_params.mu,
-            );
+            sweep_objectives[si] +=
+                comparesets_plus_objective(&inst.ctx, &sels, sweep_params.lambda, sweep_params.mu);
         }
     }
     for v in &mut sweep_objectives {
@@ -138,12 +131,13 @@ pub fn run(cfg: &EvalConfig) -> Ablation {
                     selection_coherence(inst, sels, &items)
                 })
                 .collect();
-            let ci = bootstrap_mean_ci(&values, 0.95, 1000, cfg.seed)
-                .unwrap_or(comparesets_stats::ConfidenceInterval {
+            let ci = bootstrap_mean_ci(&values, 0.95, 1000, cfg.seed).unwrap_or(
+                comparesets_stats::ConfidenceInterval {
                     low: 0.0,
                     estimate: 0.0,
                     high: 0.0,
-                });
+                },
+            );
             (alg, ci.estimate, (ci.high - ci.low) / 2.0)
         })
         .collect();
@@ -241,17 +235,22 @@ mod tests {
         let a = run(&EvalConfig::tiny());
         // 1. IR is near-optimal per item.
         assert!(a.optimality.items_checked > 0);
-        assert!(a.optimality.mean_gap < 0.25, "gap {}", a.optimality.mean_gap);
-        assert!(a.optimality.exact_share > 0.4, "share {}", a.optimality.exact_share);
+        assert!(
+            a.optimality.mean_gap < 0.25,
+            "gap {}",
+            a.optimality.mean_gap
+        );
+        assert!(
+            a.optimality.exact_share > 0.4,
+            "share {}",
+            a.optimality.exact_share
+        );
         // 2. More sweeps never hurt the Eq. 5 objective.
         assert!(a.sweep_objectives[1] <= a.sweep_objectives[0] + 1e-9);
         assert!(a.sweep_objectives[2] <= a.sweep_objectives[1] + 1e-9);
         // 3. CompaReSetS+ is the most coherent method; Random the least.
-        let coh: std::collections::HashMap<_, _> = a
-            .coherence
-            .iter()
-            .map(|(alg, m, _)| (*alg, *m))
-            .collect();
+        let coh: std::collections::HashMap<_, _> =
+            a.coherence.iter().map(|(alg, m, _)| (*alg, *m)).collect();
         assert!(coh[&Algorithm::CompareSetsPlus] > coh[&Algorithm::Random]);
         assert!(coh[&Algorithm::CompareSetsPlus] >= coh[&Algorithm::Crs] - 0.02);
         // 4. Both heuristics are within a few percent of exact.

@@ -38,7 +38,13 @@ fn main() {
                 let items: Vec<usize> = (0..inst.ctx.num_items().min(3)).collect();
                 coh += comparesets_eval::userstudy::selection_coherence(inst, sels, &items);
             }
-            println!("{:<20} tv={:.2} among={:.2} coherence={:.3}", alg.name(), tv / n, am / n, coh / n);
+            println!(
+                "{:<20} tv={:.2} among={:.2} coherence={:.3}",
+                alg.name(),
+                tv / n,
+                am / n,
+                coh / n
+            );
         }
     }
 }

@@ -94,7 +94,8 @@ fn case_for(dataset: &Dataset, name: &str, cfg: &EvalConfig) -> Option<CaseStudy
 
 /// Render all case studies as readable text.
 pub fn render(cases: &[CaseStudy]) -> String {
-    let mut out = String::from("Case studies (Figures 8-10): top-3 core items and their selected reviews\n");
+    let mut out =
+        String::from("Case studies (Figures 8-10): top-3 core items and their selected reviews\n");
     for c in cases {
         out.push_str(&format!(
             "\n=== {} (core 3 of {} candidate comparisons) ===\n",

@@ -79,13 +79,7 @@ impl Fig7 {
             for (ai, alg) in TIMED_ALGORITHMS.iter().enumerate() {
                 for (ci, &n) in ITEM_COUNTS.iter().enumerate() {
                     if let Some(ms) = s.millis[ai][ci] {
-                        out.push_str(&format!(
-                            "{},{},{},{:.4}\n",
-                            s.m,
-                            field(alg.name()),
-                            n,
-                            ms
-                        ));
+                        out.push_str(&format!("{},{},{},{:.4}\n", s.m, field(alg.name()), n, ms));
                     }
                 }
             }
@@ -151,10 +145,7 @@ mod tests {
     fn fig6_and_fig7_csv_parse() {
         let cfg = EvalConfig::tiny();
         let f6 = crate::fig6::run(&cfg);
-        let rows6 = lines_and_header(
-            &f6.to_csv(),
-            "panel,bucket,instances,series,rouge_l_gap",
-        );
+        let rows6 = lines_and_header(&f6.to_csv(), "panel,bucket,instances,series,rouge_l_gap");
         assert!(rows6 > 0);
         let f7 = crate::fig7::run(&cfg);
         let rows7 = lines_and_header(&f7.to_csv(), "m,algorithm,n_comparatives,mean_millis");

@@ -127,29 +127,16 @@ mod tests {
         let s = &f11.series;
         let mean_t: f64 = s.loss_target.iter().sum::<f64>() / s.loss_target.len() as f64;
         let mean_a: f64 = s.loss_all.iter().sum::<f64>() / s.loss_all.len() as f64;
-        assert!(
-            mean_a >= mean_t * 0.5,
-            "all {mean_a} vs target {mean_t}"
-        );
+        assert!(mean_a >= mean_t * 0.5, "all {mean_a} vs target {mean_t}");
     }
 
     #[test]
     fn values_are_in_range() {
         let f11 = run(&EvalConfig::tiny());
-        for v in f11
-            .series
-            .cos_target
-            .iter()
-            .chain(&f11.series.cos_all)
-        {
+        for v in f11.series.cos_target.iter().chain(&f11.series.cos_all) {
             assert!((0.0..=1.0 + 1e-9).contains(v));
         }
-        for v in f11
-            .series
-            .loss_target
-            .iter()
-            .chain(&f11.series.loss_all)
-        {
+        for v in f11.series.loss_target.iter().chain(&f11.series.loss_all) {
             assert!(*v >= 0.0);
         }
         assert!(f11.render().contains("Figure 11"));

@@ -122,7 +122,12 @@ impl Fig6 {
     /// Render both panels.
     pub fn render(&self) -> String {
         let render_panel = |title: &str, s: &GapSeries| {
-            let mut t = Table::new(["#Reviews bucket", "#Instances", "CompaReSetS+ - Random", "Crs - Random"]);
+            let mut t = Table::new([
+                "#Reviews bucket",
+                "#Instances",
+                "CompaReSetS+ - Random",
+                "Crs - Random",
+            ]);
             for (bi, &(lo, hi)) in BUCKETS.iter().enumerate() {
                 let label = if hi == usize::MAX {
                     format!("{lo}+")
@@ -194,6 +199,10 @@ mod tests {
             }
         }
         assert!(n > 0);
-        assert!(weighted / n as f64 > -0.5, "pooled gap {}", weighted / n as f64);
+        assert!(
+            weighted / n as f64 > -0.5,
+            "pooled gap {}",
+            weighted / n as f64
+        );
     }
 }

@@ -69,8 +69,7 @@ pub fn run(cfg: &EvalConfig) -> Fig7 {
                                 .take(cfg.max_instances.min(12))
                             {
                                 let truncated = inst.truncated(n_comp);
-                                let ctx =
-                                    InstanceContext::build(&dataset, &truncated, cfg.scheme);
+                                let ctx = InstanceContext::build(&dataset, &truncated, cfg.scheme);
                                 let start = Instant::now();
                                 let _ = solve(&ctx, alg, &params, cfg.seed);
                                 total += start.elapsed().as_secs_f64() * 1000.0;
@@ -98,7 +97,8 @@ fn dataset_for_runtime(cfg: &EvalConfig) -> comparesets_data::Dataset {
 impl Fig7 {
     /// Render one table per m.
     pub fn render(&self) -> String {
-        let mut out = String::from("Figure 7: Average runtime (ms) vs #comparative items (Cellphone)\n");
+        let mut out =
+            String::from("Figure 7: Average runtime (ms) vs #comparative items (Cellphone)\n");
         for s in &self.series {
             let mut header = vec!["Algorithm".to_string()];
             header.extend(ITEM_COUNTS.iter().map(|c| format!("n={c}")));
@@ -151,7 +151,11 @@ mod tests {
         let s = &f7.series[0];
         for c in 0..ITEM_COUNTS.len() {
             if let (Some(rand), Some(plus)) = (s.millis[0][c], s.millis[4][c]) {
-                assert!(plus >= rand * 0.5, "n={}: plus {plus} vs random {rand}", ITEM_COUNTS[c]);
+                assert!(
+                    plus >= rand * 0.5,
+                    "n={}: plus {plus} vs random {rand}",
+                    ITEM_COUNTS[c]
+                );
             }
         }
     }

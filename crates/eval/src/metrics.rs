@@ -210,9 +210,7 @@ mod tests {
             if inst.ctx.item(i).num_reviews() > 2 {
                 let sel = Selection::new(vec![0]);
                 let full = Selection::new((0..inst.ctx.item(i).num_reviews()).collect());
-                assert!(
-                    information_loss(&inst, i, &sel) >= information_loss(&inst, i, &full)
-                );
+                assert!(information_loss(&inst, i, &sel) >= information_loss(&inst, i, &full));
                 return;
             }
         }
@@ -221,8 +219,16 @@ mod tests {
     #[test]
     fn triple_mean() {
         let m = RougeTriple::mean(&[
-            RougeTriple { r1: 10.0, r2: 2.0, rl: 6.0 },
-            RougeTriple { r1: 20.0, r2: 4.0, rl: 10.0 },
+            RougeTriple {
+                r1: 10.0,
+                r2: 2.0,
+                rl: 6.0,
+            },
+            RougeTriple {
+                r1: 20.0,
+                r2: 4.0,
+                rl: 10.0,
+            },
         ]);
         assert_eq!(m.r1, 15.0);
         assert_eq!(m.r2, 3.0);

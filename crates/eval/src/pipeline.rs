@@ -1,7 +1,7 @@
 //! Instance preparation and algorithm execution shared by all experiments.
 
 use comparesets_core::{
-    solve, Algorithm, InstanceContext, SelectParams, Selection,
+    solve_with, Algorithm, InstanceContext, SelectParams, Selection, SolveOptions,
 };
 use comparesets_data::{CategoryPreset, Dataset};
 use comparesets_text::tokenize;
@@ -27,7 +27,10 @@ pub fn dataset_for(preset: CategoryPreset, cfg: &EvalConfig) -> Dataset {
         CategoryPreset::Clothing => 3,
     };
     preset
-        .config(cfg.products_per_category, cfg.seed.wrapping_add(seed_offset))
+        .config(
+            cfg.products_per_category,
+            cfg.seed.wrapping_add(seed_offset),
+        )
         .generate()
 }
 
@@ -66,15 +69,32 @@ pub fn run_algorithm(
     params: &SelectParams,
     seed: u64,
 ) -> Vec<Vec<Selection>> {
+    // Instances already fan out over the pool here, so each per-instance
+    // solve stays sequential — one level of parallelism, no oversubscription.
+    run_algorithm_opts(instances, algorithm, params, seed, &SolveOptions::default())
+}
+
+/// [`run_algorithm`] with solver execution options. Instance-level fan-out
+/// always runs on rayon; `opts` additionally controls the within-instance
+/// per-item parallelism of the regression solvers. Results are identical
+/// for every options value (both fan-outs collect in input order).
+pub fn run_algorithm_opts(
+    instances: &[PreparedInstance],
+    algorithm: Algorithm,
+    params: &SelectParams,
+    seed: u64,
+    opts: &SolveOptions,
+) -> Vec<Vec<Selection>> {
     instances
         .par_iter()
         .enumerate()
         .map(|(idx, inst)| {
-            solve(
+            solve_with(
                 &inst.ctx,
                 algorithm,
                 params,
                 seed.wrapping_add(idx as u64),
+                opts,
             )
         })
         .collect()

@@ -10,9 +10,7 @@ use comparesets_data::CategoryPreset;
 use comparesets_stats::paired_t_test;
 
 use crate::config::EvalConfig;
-use crate::metrics::{
-    alignment_among_items, alignment_target_vs_comparatives, RougeTriple,
-};
+use crate::metrics::{alignment_among_items, alignment_target_vs_comparatives, RougeTriple};
 use crate::pipeline::{dataset_for, prepare_instances, run_algorithm};
 use crate::report::{f2_star, Table};
 

@@ -81,8 +81,7 @@ pub fn run(cfg: &EvalConfig) -> Table5 {
                 .map(|(idx, graph)| {
                     let exact = solve_exact(graph, 0, k, options);
                     let greedy = solve_greedy(graph, 0, k);
-                    let random =
-                        solve_random_k(graph, 0, k, cfg.seed.wrapping_add(*idx as u64));
+                    let random = solve_random_k(graph, 0, k, cfg.seed.wrapping_add(*idx as u64));
                     (
                         exact.weight,
                         graph.subgraph_weight(&greedy),

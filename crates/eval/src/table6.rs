@@ -13,9 +13,7 @@ use comparesets_graph::{
 use std::time::Duration;
 
 use crate::config::EvalConfig;
-use crate::metrics::{
-    alignment_among_items, alignment_target_vs_comparatives, RougeTriple,
-};
+use crate::metrics::{alignment_among_items, alignment_target_vs_comparatives, RougeTriple};
 use crate::pipeline::{dataset_for, prepare_instances, run_algorithm};
 use crate::report::{f2, Table};
 
@@ -105,8 +103,7 @@ pub fn run(cfg: &EvalConfig) -> Table6 {
                 if inst.ctx.num_items() <= k {
                     continue;
                 }
-                let graph =
-                    SimilarityGraph::from_selections(&inst.ctx, sels, cfg.lambda, cfg.mu);
+                let graph = SimilarityGraph::from_selections(&inst.ctx, sels, cfg.lambda, cfg.mu);
                 for (mi, &method) in CoreListMethod::ALL.iter().enumerate() {
                     let subset: Vec<usize> = match method {
                         CoreListMethod::Random => {
@@ -116,9 +113,7 @@ pub fn run(cfg: &EvalConfig) -> Table6 {
                         CoreListMethod::Greedy => solve_greedy(&graph, 0, k),
                         CoreListMethod::Exact => solve_exact(&graph, 0, k, options).vertices,
                     };
-                    if let Some(t) =
-                        alignment_target_vs_comparatives(inst, sels, Some(&subset))
-                    {
+                    if let Some(t) = alignment_target_vs_comparatives(inst, sels, Some(&subset)) {
                         per_method[mi].0.push(t);
                     }
                     if let Some(t) = alignment_among_items(inst, sels, Some(&subset)) {
@@ -163,7 +158,11 @@ impl Table6 {
             let mut t = Table::new(["Dataset", "k=m", "Method", "R-1", "R-2", "R-L"]);
             for b in &self.blocks {
                 for ma in &b.methods {
-                    let triple = if half == 0 { ma.target_vs_comp } else { ma.among };
+                    let triple = if half == 0 {
+                        ma.target_vs_comp
+                    } else {
+                        ma.among
+                    };
                     t.row([
                         b.dataset.clone(),
                         b.k.to_string(),
@@ -193,20 +192,17 @@ mod tests {
         let t6 = run(&EvalConfig::tiny());
         assert!(!t6.blocks.is_empty());
         let mean_of = |mi: usize| -> f64 {
-            t6.blocks.iter().map(|b| b.methods[mi].among.rl).sum::<f64>()
+            t6.blocks
+                .iter()
+                .map(|b| b.methods[mi].among.rl)
+                .sum::<f64>()
                 / t6.blocks.len() as f64
         };
         let random = mean_of(0);
         let greedy = mean_of(2);
         let exact = mean_of(3);
-        assert!(
-            exact >= random - 1.0,
-            "exact {exact} vs random {random}"
-        );
-        assert!(
-            greedy >= random - 1.0,
-            "greedy {greedy} vs random {random}"
-        );
+        assert!(exact >= random - 1.0, "exact {exact} vs random {random}");
+        assert!(greedy >= random - 1.0, "greedy {greedy} vs random {random}");
         for b in &t6.blocks {
             assert_eq!(b.methods.len(), 4);
         }

@@ -74,8 +74,7 @@ pub fn run(cfg: &EvalConfig) -> Table7 {
                 continue;
             }
             // Core list from the exact solver over CompaReSetS+ selections.
-            let graph =
-                SimilarityGraph::from_selections(&inst.ctx, &plus[idx], cfg.lambda, cfg.mu);
+            let graph = SimilarityGraph::from_selections(&inst.ctx, &plus[idx], cfg.lambda, cfg.mu);
             let core = solve_exact(&graph, 0, k, options).vertices;
             let utilities = [
                 latent_utility(inst, &random[idx], &core),
@@ -155,7 +154,9 @@ impl Table7 {
                 f2(r.means[0]),
                 f2(r.means[1]),
                 f2(r.means[2]),
-                r.alpha.map(|a| format!("{a:.3}")).unwrap_or_else(|| "-".into()),
+                r.alpha
+                    .map(|a| format!("{a:.3}"))
+                    .unwrap_or_else(|| "-".into()),
             ]);
         }
         format!(

@@ -75,7 +75,12 @@ pub fn selection_coherence(
         selections[i]
             .indices
             .iter()
-            .flat_map(|&r| inst.ctx.item(i).features[r].mentions.iter().map(|&(a, _)| a))
+            .flat_map(|&r| {
+                inst.ctx.item(i).features[r]
+                    .mentions
+                    .iter()
+                    .map(|&(a, _)| a)
+            })
             .collect()
     };
     let sets: Vec<_> = items.iter().map(|&i| aspect_set(i)).collect();
@@ -177,8 +182,7 @@ pub fn rate_example(utility: LatentUtility, example_idx: usize, seed: u64) -> Ex
     // uniformly good an algorithm's examples happen to be.
     let appeal = normal(&mut rng, 0.45);
 
-    let mut ratings: [Vec<Option<f64>>; 3] =
-        std::array::from_fn(|_| vec![None; NUM_ANNOTATORS]);
+    let mut ratings: [Vec<Option<f64>>; 3] = std::array::from_fn(|_| vec![None; NUM_ANNOTATORS]);
     for slot in 0..ANNOTATORS_PER_EXAMPLE {
         let annotator = (example_idx * ANNOTATORS_PER_EXAMPLE + slot) % NUM_ANNOTATORS;
         for (qi, latent) in [utility.q1, utility.q2, utility.q3].into_iter().enumerate() {

@@ -164,7 +164,11 @@ pub fn solve_exact(
 
     // Trivial cases (§3.2: k ∈ {1, 2, n} are easy).
     if k == 1 || k == n {
-        let mut vertices: Vec<usize> = if k == 1 { vec![target] } else { (0..n).collect() };
+        let mut vertices: Vec<usize> = if k == 1 {
+            vec![target]
+        } else {
+            (0..n).collect()
+        };
         vertices.sort_unstable();
         let weight = graph.subgraph_weight(&vertices);
         return ExactResult {
@@ -305,7 +309,11 @@ mod tests {
                 }
             }
             let r = solve_exact(&g, target, k, opts());
-            assert!((r.weight - best).abs() < 1e-9, "exact {} vs brute {best}", r.weight);
+            assert!(
+                (r.weight - best).abs() < 1e-9,
+                "exact {} vs brute {best}",
+                r.weight
+            );
         }
     }
 

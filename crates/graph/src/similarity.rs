@@ -243,8 +243,7 @@ mod tests {
             }
         }
         // At least one strictly positive weight (the farthest pair is 0).
-        let any_pos = (0..g.len())
-            .any(|i| (0..g.len()).any(|j| i != j && g.weight(i, j) > 0.0));
+        let any_pos = (0..g.len()).any(|i| (0..g.len()).any(|j| i != j && g.weight(i, j) > 0.0));
         assert!(any_pos);
     }
 }

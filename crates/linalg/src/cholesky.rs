@@ -117,22 +117,37 @@ pub fn solve_normal_equations(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgE
             actual: b.len(),
         });
     }
-    let mut g = a.gram();
+    let g = a.gram();
     let atb = a.tr_matvec(b)?;
-    match Cholesky::factor(&g) {
-        Ok(ch) => ch.solve(&atb),
+    solve_gram_system(&g, &atb)
+}
+
+/// Solve `G x = rhs` for a Gram matrix `G = AᵀA` already in hand, with the
+/// same ridge fallback as [`solve_normal_equations`].
+///
+/// This is the normal-equation back end shared by [`solve_normal_equations`]
+/// and the Gram-cached NNLS refit ([`crate::nnls::nnls_gram`]): callers that
+/// maintain `G` incrementally skip the `O(rows · cols²)` Gram rebuild
+/// entirely and solve in `O(cols³)` on the (small) active set.
+///
+/// # Errors
+/// Propagates shape errors; never fails on rank deficiency.
+pub fn solve_gram_system(g: &Matrix, rhs: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    match Cholesky::factor(g) {
+        Ok(ch) => ch.solve(rhs),
         Err(LinalgError::NotPositiveDefinite { .. }) => {
-            // Ridge fallback: A^T A + eps I.
+            // Ridge fallback: G + eps I.
             let n = g.rows();
+            let mut ridged = g.clone();
             let mut max_diag = 0.0_f64;
             for i in 0..n {
-                max_diag = max_diag.max(g[(i, i)]);
+                max_diag = max_diag.max(ridged[(i, i)]);
             }
             let eps = (max_diag.max(1.0)) * 1e-10;
             for i in 0..n {
-                g[(i, i)] += eps;
+                ridged[(i, i)] += eps;
             }
-            Cholesky::factor(&g)?.solve(&atb)
+            Cholesky::factor(&ridged)?.solve(rhs)
         }
         Err(e) => Err(e),
     }
@@ -182,12 +197,7 @@ mod tests {
     #[test]
     fn normal_equations_recover_exact_solution() {
         // Overdetermined consistent system.
-        let a = Matrix::from_rows(&[
-            vec![1.0, 0.0],
-            vec![0.0, 1.0],
-            vec![1.0, 1.0],
-        ])
-        .unwrap();
+        let a = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0]]).unwrap();
         let x_true = [2.0, -1.0];
         let b = a.matvec(&x_true).unwrap();
         let x = solve_normal_equations(&a, &b).unwrap();
@@ -202,6 +212,25 @@ mod tests {
         let b = vec![2.0, 2.0, 0.0];
         let x = solve_normal_equations(&a, &b).unwrap();
         // Any split with x0 + x1 ≈ 2 is acceptable; ridge gives the symmetric one.
+        assert!((x[0] + x[1] - 2.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn gram_system_matches_normal_equations() {
+        let a = Matrix::from_rows(&[vec![1.0, 0.5], vec![0.0, 1.0], vec![1.0, 1.0]]).unwrap();
+        let b = vec![1.0, 2.0, 3.0];
+        let via_a = solve_normal_equations(&a, &b).unwrap();
+        let g = a.gram();
+        let atb = a.tr_matvec(&b).unwrap();
+        let via_g = solve_gram_system(&g, &atb).unwrap();
+        assert_eq!(via_a, via_g);
+    }
+
+    #[test]
+    fn gram_system_rank_deficient_uses_ridge() {
+        // Singular Gram (duplicate columns): ridge must keep it solvable.
+        let g = Matrix::from_rows(&[vec![2.0, 2.0], vec![2.0, 2.0]]).unwrap();
+        let x = solve_gram_system(&g, &[4.0, 4.0]).unwrap();
         assert!((x[0] + x[1] - 2.0).abs() < 1e-4);
     }
 

@@ -9,16 +9,22 @@
 //! * [`Matrix`] — a row-major dense matrix with the handful of operations
 //!   the selection algorithms use (mat-vec, transpose-vec, column access).
 //! * [`qr`] — Householder QR factorisation and least-squares solve.
-//! * [`cholesky`] — Cholesky factorisation for normal-equation solves.
-//! * [`nnls`] — Lawson–Hanson non-negative least squares.
+//! * [`cholesky`] — Cholesky factorisation for normal-equation solves,
+//!   including [`cholesky::solve_gram_system`] for callers that maintain
+//!   the Gram matrix themselves.
+//! * [`nnls`] — Lawson–Hanson non-negative least squares, in design space
+//!   ([`nnls::nnls`]) and in normal-equation space ([`nnls::nnls_gram`]).
 //! * [`nomp`] — non-negative orthogonal matching pursuit, the continuous
 //!   relaxation solver referenced as `NOMP` in Algorithm 1 of the paper.
+//!   The engine caches the active-set Gram matrix incrementally and can
+//!   return the whole budget path ℓ = 1…m from a single pursuit
+//!   ([`nomp::nomp_path`]).
 //! * [`vector`] — free functions on `&[f64]` slices (dot products, norms,
 //!   the squared-Euclidean distance Δ of Equation 2, cosine similarity).
 //!
 //! All routines are deterministic and allocation-conscious: solvers accept
-//! externally owned scratch where it matters, and the matrix type exposes
-//! column views without copying.
+//! externally owned scratch where it matters ([`NompWorkspace`]), and the
+//! matrix type exposes column views without copying.
 
 #![warn(missing_docs)]
 
@@ -31,9 +37,13 @@ pub mod qr;
 pub mod sparse;
 pub mod vector;
 
+pub use cholesky::solve_gram_system;
 pub use error::LinalgError;
 pub use matrix::Matrix;
-pub use nnls::nnls;
-pub use nomp::{nomp, NompOptions, NompResult};
+pub use nnls::{nnls, nnls_gram};
+pub use nomp::{
+    nomp, nomp_path, nomp_path_with, nomp_reference, nomp_with, NompOptions, NompResult,
+    NompWorkspace,
+};
 pub use qr::lstsq;
 pub use sparse::{CscMatrix, DesignMatrix};

@@ -4,8 +4,37 @@
 //! indicator to be non-negative (a review cannot be "negatively selected").
 //! NOMP refits on its active set with this solver so intermediate solutions
 //! stay feasible.
+//!
+//! Two entry points share the active-set logic:
+//!
+//! * [`nnls`] works in design space: `min ‖A x − b‖₂, x ≥ 0`, solving each
+//!   passive-set refit through the normal equations of the sub-matrix.
+//! * [`nnls_gram`] works in normal-equation space: it takes the Gram
+//!   matrix `G = AᵀA` and `Aᵀb` directly, which is what the Gram-caching
+//!   NOMP engine maintains incrementally — the refit never has to touch
+//!   the (tall) design matrix again.
+//!
+//! Both return the same minimiser up to floating-point reassociation:
+//!
+//! ```
+//! use comparesets_linalg::{nnls, nnls_gram, DesignMatrix, Matrix};
+//!
+//! let a = Matrix::from_vec(3, 2, vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0]).unwrap();
+//! let b = [2.0, 1.0, 1.5];
+//!
+//! let x_design = nnls(&a, &b).unwrap();
+//!
+//! // Hand nnls_gram the same system in normal-equation form.
+//! let g = Matrix::from_vec(2, 2, vec![2.0, 1.0, 1.0, 2.0]).unwrap(); // AᵀA
+//! let atb = DesignMatrix::tr_matvec(&a, &b).unwrap(); // Aᵀb
+//! let x_gram = nnls_gram(&g, &atb).unwrap();
+//!
+//! for (d, g) in x_design.iter().zip(x_gram.iter()) {
+//!     assert!((d - g).abs() < 1e-10);
+//! }
+//! ```
 
-use crate::cholesky::solve_normal_equations;
+use crate::cholesky::{solve_gram_system, solve_normal_equations};
 use crate::error::LinalgError;
 use crate::matrix::Matrix;
 use crate::vector;
@@ -66,8 +95,7 @@ pub fn nnls(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
 
         // Inner loop: solve unconstrained LS on the passive set, clip.
         loop {
-            let passive_idx: Vec<usize> =
-                (0..n).filter(|&j| passive[j]).collect();
+            let passive_idx: Vec<usize> = (0..n).filter(|&j| passive[j]).collect();
             let sub = a.select_columns(&passive_idx);
             let z_sub = solve_normal_equations(&sub, b)?;
 
@@ -116,9 +144,137 @@ pub fn nnls(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
     }
 }
 
+/// Solve `min ‖A x − b‖₂  s.t.  x ≥ 0` given only the Gram matrix
+/// `g = AᵀA` and the correlation vector `atb = Aᵀb`.
+///
+/// This is [`nnls`] transported into normal-equation space: the dual is
+/// `w = Aᵀ(b − A x) = atb − G x`, and the passive-set refits solve
+/// principal subsystems of `G` directly, so no operation ever touches the
+/// (potentially very tall) design matrix. NOMP maintains `G` and `atb`
+/// incrementally across pursuit iterations and calls this for every refit;
+/// see [`crate::nomp`].
+///
+/// The returned minimiser is the same as `nnls(A, b)` up to floating-point
+/// reassociation (the normal equations are formed once here instead of per
+/// inner iteration).
+///
+/// # Errors
+/// [`LinalgError::DimensionMismatch`] when `g` is not square or `atb` has
+/// the wrong length; [`LinalgError::NoConvergence`] if the active-set loop
+/// exceeds its `3 × cols` iteration budget.
+pub fn nnls_gram(g: &Matrix, atb: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    let n = g.rows();
+    if g.cols() != n {
+        return Err(LinalgError::DimensionMismatch {
+            context: "nnls_gram (square)",
+            expected: n,
+            actual: g.cols(),
+        });
+    }
+    if atb.len() != n {
+        return Err(LinalgError::DimensionMismatch {
+            context: "nnls_gram",
+            expected: n,
+            actual: atb.len(),
+        });
+    }
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+
+    let mut x = vec![0.0_f64; n];
+    let mut passive: Vec<bool> = vec![false; n];
+    // w = Aᵀ(b − A x); with x = 0 initially, w = Aᵀb.
+    let mut w = atb.to_vec();
+
+    let atb_norm = vector::norm2(&w).max(1.0);
+    let tol = 1e-10 * atb_norm;
+
+    let max_outer = 3 * n + 10;
+    let mut outer = 0;
+    loop {
+        outer += 1;
+        if outer > max_outer {
+            return Err(LinalgError::NoConvergence { iterations: outer });
+        }
+        // Pick the most violated dual coordinate among the active (zero) set.
+        let mut best_j = None;
+        let mut best_w = tol;
+        for j in 0..n {
+            if !passive[j] && w[j] > best_w {
+                best_w = w[j];
+                best_j = Some(j);
+            }
+        }
+        let Some(j_star) = best_j else {
+            // KKT satisfied: all duals ≤ tol.
+            return Ok(x);
+        };
+        passive[j_star] = true;
+
+        // Inner loop: solve the principal subsystem on the passive set, clip.
+        loop {
+            let passive_idx: Vec<usize> = (0..n).filter(|&j| passive[j]).collect();
+            let p = passive_idx.len();
+            let mut g_sub = Matrix::zeros(p, p);
+            for (ri, &i) in passive_idx.iter().enumerate() {
+                for (ci, &j) in passive_idx.iter().enumerate() {
+                    g_sub[(ri, ci)] = g[(i, j)];
+                }
+            }
+            let rhs: Vec<f64> = passive_idx.iter().map(|&j| atb[j]).collect();
+            let z_sub = solve_gram_system(&g_sub, &rhs)?;
+
+            if z_sub.iter().all(|&v| v > 0.0) {
+                // Accept.
+                x.iter_mut().for_each(|v| *v = 0.0);
+                for (zi, &j) in z_sub.iter().zip(passive_idx.iter()) {
+                    x[j] = *zi;
+                }
+                break;
+            }
+            // Step toward z as far as feasibility allows; move blockers out.
+            let mut alpha = f64::INFINITY;
+            for (zi, &j) in z_sub.iter().zip(passive_idx.iter()) {
+                if *zi <= 0.0 {
+                    let denom = x[j] - zi;
+                    if denom > 0.0 {
+                        alpha = alpha.min(x[j] / denom);
+                    }
+                }
+            }
+            if !alpha.is_finite() {
+                alpha = 0.0;
+            }
+            for (zi, &j) in z_sub.iter().zip(passive_idx.iter()) {
+                x[j] += alpha * (zi - x[j]);
+                if x[j] <= 1e-14 {
+                    x[j] = 0.0;
+                    passive[j] = false;
+                }
+            }
+            // Guarantee progress: if the entering column got clipped right
+            // back out, treat it as converged at the current x.
+            if !passive[j_star] && x[j_star] == 0.0 && alpha == 0.0 {
+                return Ok(x);
+            }
+        }
+
+        // Refresh the dual: w = atb − G x.
+        let gx = g.matvec(&x)?;
+        for (wi, (&ai, &gi)) in w.iter_mut().zip(atb.iter().zip(gx.iter())) {
+            *wi = ai - gi;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn gram_of(a: &Matrix, b: &[f64]) -> (Matrix, Vec<f64>) {
+        (a.gram(), a.tr_matvec(b).unwrap())
+    }
 
     #[test]
     fn unconstrained_optimum_already_nonnegative() {
@@ -197,5 +353,74 @@ mod tests {
         let x = nnls(&a, &b).unwrap();
         assert!(x.iter().all(|&v| v >= 0.0));
         assert!((x[0] + x[1] - 2.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn gram_variant_matches_design_variant() {
+        let a = Matrix::from_rows(&[
+            vec![0.5, 1.0, 0.0, 0.3],
+            vec![1.0, 0.0, 0.7, 0.3],
+            vec![0.0, 0.2, 1.0, 0.3],
+            vec![0.9, 0.9, 0.1, 0.3],
+        ])
+        .unwrap();
+        let b = vec![1.0, -0.5, 0.8, 0.2];
+        let x_design = nnls(&a, &b).unwrap();
+        let (g, atb) = gram_of(&a, &b);
+        let x_gram = nnls_gram(&g, &atb).unwrap();
+        for (d, g) in x_design.iter().zip(x_gram.iter()) {
+            assert!(
+                (d - g).abs() < 1e-8,
+                "design {x_design:?} vs gram {x_gram:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn gram_variant_clips_negative_component() {
+        let a = Matrix::from_rows(&[vec![1.0, 1.0], vec![1.0, 2.0]]).unwrap();
+        let b = vec![1.0, 0.0];
+        let (g, atb) = gram_of(&a, &b);
+        let x = nnls_gram(&g, &atb).unwrap();
+        assert!((x[0] - 0.5).abs() < 1e-8);
+        assert_eq!(x[1], 0.0);
+    }
+
+    #[test]
+    fn gram_variant_satisfies_kkt() {
+        let a = Matrix::from_rows(&[
+            vec![0.5, 1.0, 0.0, 0.3],
+            vec![1.0, 0.0, 0.7, 0.3],
+            vec![0.0, 0.2, 1.0, 0.3],
+            vec![0.9, 0.9, 0.1, 0.3],
+        ])
+        .unwrap();
+        let b = vec![1.0, -0.5, 0.8, 0.2];
+        let (g, atb) = gram_of(&a, &b);
+        let x = nnls_gram(&g, &atb).unwrap();
+        assert!(x.iter().all(|&v| v >= 0.0));
+        let gx = g.matvec(&x).unwrap();
+        for (j, ((&xj, &aj), &gj)) in x.iter().zip(atb.iter()).zip(gx.iter()).enumerate() {
+            let wj = aj - gj;
+            if xj > 0.0 {
+                assert!(wj.abs() < 1e-6, "dual not zero at positive coord {j}: {wj}");
+            } else {
+                assert!(wj < 1e-6, "dual positive at zero coord {j}: {wj}");
+            }
+        }
+    }
+
+    #[test]
+    fn gram_variant_rejects_bad_shapes() {
+        let g = Matrix::identity(2);
+        assert!(nnls_gram(&g, &[1.0]).is_err());
+        let rect = Matrix::zeros(2, 3);
+        assert!(nnls_gram(&rect, &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn gram_variant_empty_system() {
+        let g = Matrix::zeros(0, 0);
+        assert!(nnls_gram(&g, &[]).unwrap().is_empty());
     }
 }

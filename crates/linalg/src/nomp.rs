@@ -1,25 +1,68 @@
-//! Non-negative Orthogonal Matching Pursuit (NOMP).
+//! Non-negative Orthogonal Matching Pursuit (NOMP) with budget-path
+//! sharing and Gram caching.
 //!
 //! Algorithm 1 of the paper calls `NOMP(Ṽ, Υ)` to find a sparse,
 //! non-negative `x` with `‖x‖₀ ≤ ℓ` that makes `‖Ṽ x − Υ‖₂` small — the
 //! continuous relaxation of review selection, following the
 //! Integer-Regression strategy of Lappas, Crovella & Terzi (KDD'12).
 //!
-//! The implementation is the classic greedy pursuit: repeatedly add the
-//! column with the largest positive correlation to the current residual,
-//! refit on the active set with non-negative least squares
-//! ([`crate::nnls`]), prune any atom the refit zeroed out, and stop once
-//! `ℓ` atoms are active, no column correlates positively, or the residual
-//! stops improving.
+//! The pursuit is the classic greedy loop: repeatedly add the column with
+//! the largest positive correlation to the current residual, refit on the
+//! active set with non-negative least squares, prune any atom the refit
+//! zeroed out, and stop once `ℓ` atoms are active, no column correlates
+//! positively, or the residual stops improving. Two structural
+//! optimisations make it fast without changing a single selected atom:
+//!
+//! * **Budget-path sharing** ([`nomp_path`]). Integer-Regression sweeps
+//!   ℓ = 1…m (Algorithm 1 line 7), but the pursuit's loop body never reads
+//!   the budget — only the loop *condition* does. One pursuit to the
+//!   largest budget therefore passes through the exact state every smaller
+//!   budget would have stopped at; [`nomp_path`] snapshots those states and
+//!   returns all m results for the cost of one run.
+//! * **Gram caching**. Each refit needs the active-set normal equations
+//!   `G = AₛᵀAₛ`, `Aₛᵀb`. Instead of re-materialising the active submatrix
+//!   and re-multiplying it every iteration (`O(rows·s²)` per refit), the
+//!   engine maintains `G` and `Aₛᵀb` incrementally — an entering atom costs
+//!   `s` column dot products ([`DesignMatrix::column_dot`]), a pruned atom
+//!   deletes its row/column — and refits entirely in `s × s` space with
+//!   [`crate::nnls::nnls_gram`].
+//!
+//! Scratch buffers (residual, correlations, the cached Gram) live in a
+//! reusable [`NompWorkspace`] so solvers that run many pursuits (one per
+//! item per sweep in CompaReSetS+) allocate once per task.
+//!
+//! ```
+//! use comparesets_linalg::{nomp, nomp_path, Matrix, NompOptions};
+//!
+//! let a = Matrix::from_rows(&[
+//!     vec![1.0, 0.0, 0.6],
+//!     vec![0.0, 1.0, 0.8],
+//! ])
+//! .unwrap();
+//! let b = vec![1.0, 2.0];
+//!
+//! // One pursuit, every budget ℓ = 1..=2: path[l-1] is the budget-ℓ result.
+//! let path = nomp_path(&a, &b, NompOptions::with_max_atoms(2)).unwrap();
+//! assert_eq!(path.len(), 2);
+//! assert!(path[1].sq_residual <= path[0].sq_residual + 1e-12);
+//!
+//! // Identical to solving each budget separately.
+//! let single = nomp(&a, &b, NompOptions::with_max_atoms(1)).unwrap();
+//! assert_eq!(single.support, path[0].support);
+//! assert_eq!(single.x, path[0].x);
+//! ```
 
 use crate::error::LinalgError;
-use crate::nnls::nnls;
+use crate::matrix::Matrix;
+use crate::nnls::{nnls, nnls_gram};
+use crate::sparse::DesignMatrix;
 use crate::vector;
 
 /// Tuning knobs for [`nomp`].
 #[derive(Debug, Clone, Copy)]
 pub struct NompOptions {
-    /// Maximum number of active atoms (ℓ in Algorithm 1 line 7).
+    /// Maximum number of active atoms (ℓ in Algorithm 1 line 7). For
+    /// [`nomp_path`] this is the largest budget; the path has this length.
     pub max_atoms: usize,
     /// Stop when the squared residual improves by less than this factor of
     /// the previous squared residual.
@@ -51,12 +94,290 @@ pub struct NompResult {
     pub sq_residual: f64,
 }
 
-/// Run non-negative orthogonal matching pursuit.
+/// Reusable scratch for the pursuit engine: residual and correlation
+/// buffers sized to the design matrix, plus the incrementally maintained
+/// active-set Gram matrix and `Aᵀb` restriction.
+///
+/// A workspace carries no results between runs — every pursuit resets it —
+/// but reusing one across the many pursuits of an alternating solve
+/// (CompaReSetS+ re-solves each item every sweep) avoids re-allocating the
+/// `O(rows + cols)` buffers each time.
+#[derive(Debug, Clone, Default)]
+pub struct NompWorkspace {
+    col_norms: Vec<f64>,
+    col_buf: Vec<f64>,
+    residual: Vec<f64>,
+    x: Vec<f64>,
+    in_support: Vec<bool>,
+    support: Vec<usize>,
+    /// Active-set Gram matrix `AₛᵀAₛ`, row per support atom (in support
+    /// order), maintained incrementally as atoms enter and leave.
+    gram_rows: Vec<Vec<f64>>,
+    /// `Aₛᵀb` restricted to the support, same order as `gram_rows`.
+    atb: Vec<f64>,
+}
+
+impl NompWorkspace {
+    /// An empty workspace; buffers grow to fit on first use.
+    pub fn new() -> Self {
+        NompWorkspace::default()
+    }
+
+    fn reset(&mut self, rows: usize, cols: usize) {
+        self.col_norms.clear();
+        self.col_norms.resize(cols, 0.0);
+        self.col_buf.clear();
+        self.col_buf.resize(rows, 0.0);
+        self.residual.clear();
+        self.residual.resize(rows, 0.0);
+        self.x.clear();
+        self.x.resize(cols, 0.0);
+        self.in_support.clear();
+        self.in_support.resize(cols, false);
+        self.support.clear();
+        self.gram_rows.clear();
+        self.atb.clear();
+    }
+
+    fn snapshot(&self, sq_residual: f64) -> NompResult {
+        NompResult {
+            x: self.x.clone(),
+            support: self.support.clone(),
+            sq_residual,
+        }
+    }
+}
+
+/// Run non-negative orthogonal matching pursuit for a single budget.
 ///
 /// # Errors
 /// [`LinalgError::DimensionMismatch`] when `b.len() != a.rows()`;
 /// [`LinalgError::InvalidArgument`] when `opts.max_atoms == 0`.
-pub fn nomp<M: crate::sparse::DesignMatrix>(
+pub fn nomp<M: DesignMatrix>(
+    a: &M,
+    b: &[f64],
+    opts: NompOptions,
+) -> Result<NompResult, LinalgError> {
+    let mut ws = NompWorkspace::new();
+    nomp_with(a, b, opts, &mut ws)
+}
+
+/// [`nomp`] with caller-provided scratch (see [`NompWorkspace`]).
+///
+/// # Errors
+/// As [`nomp`].
+pub fn nomp_with<M: DesignMatrix>(
+    a: &M,
+    b: &[f64],
+    opts: NompOptions,
+    ws: &mut NompWorkspace,
+) -> Result<NompResult, LinalgError> {
+    let mut results = pursuit(a, b, opts, ws, false)?;
+    Ok(results.pop().expect("pursuit returns a final state"))
+}
+
+/// Run one shared pursuit and return the results for **every** budget
+/// `ℓ = 1..=opts.max_atoms` (`path[l-1]` is the budget-`l` result).
+///
+/// Each entry is identical — same support, same coefficients, same
+/// residual — to what `nomp(a, b, opts with max_atoms = l)` would return,
+/// because the pursuit's state evolution does not depend on the budget;
+/// only the stopping point does. Integer-Regression's ℓ-sweep thus costs
+/// one pursuit instead of m.
+///
+/// # Errors
+/// As [`nomp`].
+pub fn nomp_path<M: DesignMatrix>(
+    a: &M,
+    b: &[f64],
+    opts: NompOptions,
+) -> Result<Vec<NompResult>, LinalgError> {
+    let mut ws = NompWorkspace::new();
+    nomp_path_with(a, b, opts, &mut ws)
+}
+
+/// [`nomp_path`] with caller-provided scratch (see [`NompWorkspace`]).
+///
+/// # Errors
+/// As [`nomp`].
+pub fn nomp_path_with<M: DesignMatrix>(
+    a: &M,
+    b: &[f64],
+    opts: NompOptions,
+    ws: &mut NompWorkspace,
+) -> Result<Vec<NompResult>, LinalgError> {
+    pursuit(a, b, opts, ws, true)
+}
+
+/// The shared pursuit engine behind [`nomp`] and [`nomp_path`].
+///
+/// With `record_path` set, a snapshot for budget `l` is taken at the first
+/// loop-condition check where that budget's stopping condition holds —
+/// `support.len() ≥ min(l, cols)` or the residual floor is reached. This is
+/// exactly where a standalone budget-`l` run exits its loop. Pruning may
+/// later shrink the support below `l` again; the snapshot stays, matching
+/// the standalone run. When the pursuit breaks out of the loop body (no
+/// positive correlation, the entering atom was pruned straight back out, or
+/// the residual stopped improving), every still-pending budget receives the
+/// current state — a standalone run at any such budget would have executed
+/// the identical step and broken identically.
+fn pursuit<M: DesignMatrix>(
+    a: &M,
+    b: &[f64],
+    opts: NompOptions,
+    ws: &mut NompWorkspace,
+    record_path: bool,
+) -> Result<Vec<NompResult>, LinalgError> {
+    let m = a.rows();
+    let n = a.cols();
+    if b.len() != m {
+        return Err(LinalgError::DimensionMismatch {
+            context: "nomp",
+            expected: m,
+            actual: b.len(),
+        });
+    }
+    if opts.max_atoms == 0 {
+        return Err(LinalgError::InvalidArgument("nomp: max_atoms must be > 0"));
+    }
+
+    ws.reset(m, n);
+
+    // Column norms for correlation normalisation; zero columns are never
+    // selected.
+    for j in 0..n {
+        a.column_into(j, &mut ws.col_buf);
+        ws.col_norms[j] = vector::norm2(&ws.col_buf);
+    }
+
+    ws.residual.copy_from_slice(b);
+    let mut sq_res = vector::dot(&ws.residual, &ws.residual);
+
+    let mut results: Vec<NompResult> =
+        Vec::with_capacity(if record_path { opts.max_atoms } else { 1 });
+
+    loop {
+        // Budget checkpoints: every budget whose stopping condition first
+        // holds here gets the current state.
+        if record_path {
+            while results.len() < opts.max_atoms {
+                let l = results.len() + 1;
+                if ws.support.len() >= l.min(n) || sq_res <= opts.residual_tolerance {
+                    results.push(ws.snapshot(sq_res));
+                } else {
+                    break;
+                }
+            }
+            if results.len() == opts.max_atoms {
+                break;
+            }
+        } else if ws.support.len() >= opts.max_atoms.min(n) || sq_res <= opts.residual_tolerance {
+            break;
+        }
+
+        // Correlations of all columns with the residual.
+        let corr = a.tr_matvec(&ws.residual)?;
+        let mut best_j = None;
+        let mut best_c = 0.0_f64;
+        for (j, &cj) in corr.iter().enumerate() {
+            if ws.in_support[j] || ws.col_norms[j] == 0.0 {
+                continue;
+            }
+            let c = cj / ws.col_norms[j];
+            if c > best_c {
+                best_c = c;
+                best_j = Some(j);
+            }
+        }
+        let Some(j_star) = best_j else {
+            break; // No positively correlated column remains.
+        };
+
+        // Enter j_star: extend the cached Gram and Aᵀb by one atom.
+        let entering_dots: Vec<f64> = ws
+            .support
+            .iter()
+            .map(|&k| a.column_dot(k, j_star))
+            .collect();
+        for (row, &g) in ws.gram_rows.iter_mut().zip(entering_dots.iter()) {
+            row.push(g);
+        }
+        let mut new_row = entering_dots;
+        new_row.push(a.column_dot(j_star, j_star));
+        ws.gram_rows.push(new_row);
+        ws.atb.push(a.column_dot_vec(j_star, b));
+        ws.support.push(j_star);
+        ws.in_support[j_star] = true;
+
+        // Refit on the active set entirely in Gram space.
+        let g = Matrix::from_rows(&ws.gram_rows)?;
+        let x_sub = nnls_gram(&g, &ws.atb)?;
+
+        // Prune zeroed atoms (keeps the support meaningful) and compact the
+        // cached normal equations accordingly.
+        let entering_pos = ws.support.len() - 1;
+        let pruned_entering = x_sub[entering_pos] <= 0.0;
+        let mut kept_pos: Vec<usize> = Vec::with_capacity(ws.support.len());
+        for (pos, v) in x_sub.iter().enumerate() {
+            if *v > 0.0 {
+                kept_pos.push(pos);
+            } else {
+                ws.in_support[ws.support[pos]] = false;
+            }
+        }
+        // Write the dense solution.
+        ws.x.iter_mut().for_each(|v| *v = 0.0);
+        for (v, &j) in x_sub.iter().zip(ws.support.iter()) {
+            if *v > 0.0 {
+                ws.x[j] = *v;
+            }
+        }
+        if kept_pos.len() < ws.support.len() {
+            ws.support = kept_pos.iter().map(|&p| ws.support[p]).collect();
+            ws.atb = kept_pos.iter().map(|&p| ws.atb[p]).collect();
+            ws.gram_rows = kept_pos
+                .iter()
+                .map(|&p| kept_pos.iter().map(|&q| ws.gram_rows[p][q]).collect())
+                .collect();
+        }
+
+        // Update residual.
+        ws.residual.copy_from_slice(b);
+        let ax = a.matvec(&ws.x)?;
+        for (r, v) in ws.residual.iter_mut().zip(ax.iter()) {
+            *r -= v;
+        }
+        let new_sq = vector::dot(&ws.residual, &ws.residual);
+        let improved = sq_res - new_sq > opts.min_relative_improvement * sq_res.max(1e-30);
+        sq_res = new_sq;
+        if pruned_entering || !improved {
+            break; // No progress possible.
+        }
+    }
+
+    // A break above ends every budget not yet recorded at the current
+    // state; the single-budget variant records its only result here too.
+    if record_path {
+        while results.len() < opts.max_atoms {
+            results.push(ws.snapshot(sq_res));
+        }
+    } else {
+        results.push(ws.snapshot(sq_res));
+    }
+    Ok(results)
+}
+
+/// The straightforward NOMP implementation this crate shipped before the
+/// Gram-cached engine: per iteration it re-materialises the active
+/// submatrix and refits with design-space [`nnls`].
+///
+/// Kept as the oracle for equivalence tests (the optimised engine must
+/// match it to tight tolerance on random instances) and as readable
+/// reference code for the pursuit itself.
+///
+/// # Errors
+/// As [`nomp`].
+pub fn nomp_reference<M: DesignMatrix>(
     a: &M,
     b: &[f64],
     opts: NompOptions,
@@ -80,8 +401,6 @@ pub fn nomp<M: crate::sparse::DesignMatrix>(
     let mut residual = b.to_vec();
     let mut sq_res = vector::dot(&residual, &residual);
 
-    // Column norms for correlation normalisation; zero columns are never
-    // selected.
     let mut col_norms = vec![0.0_f64; n];
     let mut col = vec![0.0_f64; m];
     for (j, cn) in col_norms.iter_mut().enumerate() {
@@ -90,7 +409,6 @@ pub fn nomp<M: crate::sparse::DesignMatrix>(
     }
 
     while support.len() < opts.max_atoms.min(n) && sq_res > opts.residual_tolerance {
-        // Correlations of all columns with the residual.
         let corr = a.tr_matvec(&residual)?;
         let mut best_j = None;
         let mut best_c = 0.0_f64;
@@ -105,16 +423,14 @@ pub fn nomp<M: crate::sparse::DesignMatrix>(
             }
         }
         let Some(j_star) = best_j else {
-            break; // No positively correlated column remains.
+            break;
         };
         support.push(j_star);
         in_support[j_star] = true;
 
-        // Refit on the active set with NNLS.
         let sub = a.dense_columns(&support);
         let x_sub = nnls(&sub, b)?;
 
-        // Prune zeroed atoms (keeps the support meaningful).
         let mut kept: Vec<usize> = Vec::with_capacity(support.len());
         for (v, &j) in x_sub.iter().zip(support.iter()) {
             if *v > 0.0 {
@@ -123,7 +439,6 @@ pub fn nomp<M: crate::sparse::DesignMatrix>(
                 in_support[j] = false;
             }
         }
-        // Write the dense solution.
         x.iter_mut().for_each(|v| *v = 0.0);
         for (v, &j) in x_sub.iter().zip(support.iter()) {
             if *v > 0.0 {
@@ -133,7 +448,6 @@ pub fn nomp<M: crate::sparse::DesignMatrix>(
         let pruned_entering = !kept.contains(&j_star);
         support = kept;
 
-        // Update residual.
         residual.copy_from_slice(b);
         let ax = a.matvec(&x)?;
         for (r, v) in residual.iter_mut().zip(ax.iter()) {
@@ -143,7 +457,7 @@ pub fn nomp<M: crate::sparse::DesignMatrix>(
         let improved = sq_res - new_sq > opts.min_relative_improvement * sq_res.max(1e-30);
         sq_res = new_sq;
         if pruned_entering || !improved {
-            break; // No progress possible.
+            break;
         }
     }
 
@@ -158,6 +472,7 @@ pub fn nomp<M: crate::sparse::DesignMatrix>(
 mod tests {
     use super::*;
     use crate::matrix::Matrix;
+    use crate::sparse::CscMatrix;
 
     fn opts(l: usize) -> NompOptions {
         NompOptions::with_max_atoms(l)
@@ -221,12 +536,14 @@ mod tests {
             nomp(&a, &[1.0, 1.0], opts(0)),
             Err(LinalgError::InvalidArgument(_))
         ));
+        assert!(nomp_path(&a, &[1.0, 1.0], opts(0)).is_err());
     }
 
     #[test]
     fn rejects_bad_rhs() {
         let a = Matrix::identity(2);
         assert!(nomp(&a, &[1.0], opts(1)).is_err());
+        assert!(nomp_path(&a, &[1.0], opts(1)).is_err());
     }
 
     #[test]
@@ -272,5 +589,111 @@ mod tests {
         let r3 = nomp(&a, &b, opts(3)).unwrap();
         assert!(r2.sq_residual <= r1.sq_residual + 1e-12);
         assert!(r3.sq_residual <= r2.sq_residual + 1e-12);
+    }
+
+    /// A deterministic pseudo-random dense instance (xorshift-mixed).
+    fn random_instance(rows: usize, cols: usize, seed: u64) -> (Matrix, Vec<f64>) {
+        let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            // Map to [-1, 1).
+            (state >> 11) as f64 / (1u64 << 52) as f64 - 1.0
+        };
+        let mut m = Matrix::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                // Sparse-ish, mixed-sign entries.
+                let v = next();
+                m[(i, j)] = if v.abs() < 0.4 { 0.0 } else { v };
+            }
+        }
+        let b: Vec<f64> = (0..rows).map(|_| next()).collect();
+        (m, b)
+    }
+
+    #[test]
+    fn path_entries_match_standalone_runs_exactly() {
+        // The core shared-path guarantee: path[l-1] is bit-identical to a
+        // standalone budget-l pursuit on the same engine.
+        for seed in 1..=8u64 {
+            let (a, b) = random_instance(12, 9, seed);
+            let lmax = 6;
+            let path = nomp_path(&a, &b, opts(lmax)).unwrap();
+            assert_eq!(path.len(), lmax);
+            for l in 1..=lmax {
+                let single = nomp(&a, &b, opts(l)).unwrap();
+                assert_eq!(single.support, path[l - 1].support, "seed {seed} l {l}");
+                assert_eq!(single.x, path[l - 1].x, "seed {seed} l {l}");
+                assert_eq!(
+                    single.sq_residual.to_bits(),
+                    path[l - 1].sq_residual.to_bits(),
+                    "seed {seed} l {l}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn path_is_identical_on_sparse_and_dense() {
+        for seed in 1..=4u64 {
+            let (a, b) = random_instance(15, 10, seed);
+            let sp = CscMatrix::from_dense(&a);
+            let dense_path = nomp_path(&a, &b, opts(5)).unwrap();
+            let sparse_path = nomp_path(&sp, &b, opts(5)).unwrap();
+            for (d, s) in dense_path.iter().zip(sparse_path.iter()) {
+                assert_eq!(d.support, s.support);
+                assert_eq!(d.x, s.x);
+            }
+        }
+    }
+
+    #[test]
+    fn engine_matches_reference_implementation() {
+        // Same supports, and coefficients within numerical reassociation
+        // noise of the design-space reference.
+        for seed in 1..=10u64 {
+            let (a, b) = random_instance(14, 11, seed);
+            for l in [1, 3, 5] {
+                let fast = nomp(&a, &b, opts(l)).unwrap();
+                let slow = nomp_reference(&a, &b, opts(l)).unwrap();
+                assert_eq!(fast.support, slow.support, "seed {seed} l {l}");
+                for (xf, xs) in fast.x.iter().zip(slow.x.iter()) {
+                    assert!((xf - xs).abs() < 1e-10, "seed {seed} l {l}: {xf} vs {xs}");
+                }
+                assert!((fast.sq_residual - slow.sq_residual).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_is_stateless() {
+        let mut ws = NompWorkspace::new();
+        let (a1, b1) = random_instance(10, 8, 3);
+        let (a2, b2) = random_instance(6, 12, 4);
+        let fresh1 = nomp(&a1, &b1, opts(4)).unwrap();
+        let fresh2 = nomp(&a2, &b2, opts(4)).unwrap();
+        // Interleave differently shaped problems through one workspace.
+        let reused1 = nomp_with(&a1, &b1, opts(4), &mut ws).unwrap();
+        let reused2 = nomp_with(&a2, &b2, opts(4), &mut ws).unwrap();
+        let reused1_again = nomp_with(&a1, &b1, opts(4), &mut ws).unwrap();
+        assert_eq!(fresh1.x, reused1.x);
+        assert_eq!(fresh2.x, reused2.x);
+        assert_eq!(fresh1.x, reused1_again.x);
+        assert_eq!(fresh1.support, reused1_again.support);
+    }
+
+    #[test]
+    fn path_budgets_beyond_column_count_saturate() {
+        let a = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0]]).unwrap();
+        let b = vec![1.0, 1.0];
+        let path = nomp_path(&a, &b, opts(5)).unwrap();
+        assert_eq!(path.len(), 5);
+        // Budgets 2..=5 all saturate at the full 2-column support.
+        for l in 2..=5 {
+            assert_eq!(path[l - 1].support, path[1].support);
+            assert_eq!(path[l - 1].x, path[1].x);
+        }
     }
 }

@@ -33,6 +33,28 @@ pub trait DesignMatrix {
     /// Materialise the listed columns as a dense matrix (for the NNLS
     /// refit on the small active set).
     fn dense_columns(&self, indices: &[usize]) -> Matrix;
+    /// Inner product of columns `i` and `j`, `⟨aᵢ, aⱼ⟩`.
+    ///
+    /// This is the primitive behind the incremental Gram cache in
+    /// [`crate::nomp`]: when an atom enters the active set only its dot
+    /// products against the current support are computed, instead of
+    /// re-materialising and re-multiplying the whole active submatrix.
+    fn column_dot(&self, i: usize, j: usize) -> f64 {
+        let mut ci = vec![0.0; self.rows()];
+        let mut cj = vec![0.0; self.rows()];
+        self.column_into(i, &mut ci);
+        self.column_into(j, &mut cj);
+        ci.iter().zip(cj.iter()).map(|(x, y)| x * y).sum()
+    }
+    /// Inner product of column `j` with an arbitrary vector, `⟨aⱼ, v⟩`
+    /// (`v.len()` must equal `rows`). Used to extend the cached `Aᵀb`
+    /// restriction when an atom enters the support.
+    fn column_dot_vec(&self, j: usize, v: &[f64]) -> f64 {
+        debug_assert_eq!(v.len(), self.rows());
+        let mut cj = vec![0.0; self.rows()];
+        self.column_into(j, &mut cj);
+        cj.iter().zip(v.iter()).map(|(x, y)| x * y).sum()
+    }
 }
 
 impl DesignMatrix for Matrix {
@@ -53,6 +75,17 @@ impl DesignMatrix for Matrix {
     }
     fn dense_columns(&self, indices: &[usize]) -> Matrix {
         self.select_columns(indices)
+    }
+    fn column_dot(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < Matrix::cols(self) && j < Matrix::cols(self));
+        (0..Matrix::rows(self))
+            .map(|r| self[(r, i)] * self[(r, j)])
+            .sum()
+    }
+    fn column_dot_vec(&self, j: usize, v: &[f64]) -> f64 {
+        debug_assert!(j < Matrix::cols(self));
+        debug_assert_eq!(v.len(), Matrix::rows(self));
+        v.iter().enumerate().map(|(r, &vr)| self[(r, j)] * vr).sum()
     }
 }
 
@@ -220,6 +253,33 @@ impl DesignMatrix for CscMatrix {
         }
         m
     }
+    fn column_dot(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.cols && j < self.cols);
+        // Merge-join over the two sorted row-index runs: O(nnz(i) + nnz(j)).
+        let mut ki = self.col_ptr[i];
+        let mut kj = self.col_ptr[j];
+        let (end_i, end_j) = (self.col_ptr[i + 1], self.col_ptr[j + 1]);
+        let mut acc = 0.0;
+        while ki < end_i && kj < end_j {
+            match self.row_idx[ki].cmp(&self.row_idx[kj]) {
+                std::cmp::Ordering::Less => ki += 1,
+                std::cmp::Ordering::Greater => kj += 1,
+                std::cmp::Ordering::Equal => {
+                    acc += self.values[ki] * self.values[kj];
+                    ki += 1;
+                    kj += 1;
+                }
+            }
+        }
+        acc
+    }
+    fn column_dot_vec(&self, j: usize, v: &[f64]) -> f64 {
+        debug_assert!(j < self.cols);
+        debug_assert_eq!(v.len(), self.rows);
+        (self.col_ptr[j]..self.col_ptr[j + 1])
+            .map(|k| self.values[k] * v[self.row_idx[k]])
+            .sum()
+    }
 }
 
 #[cfg(test)]
@@ -297,6 +357,23 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn out_of_range_row_panics() {
         let _ = CscMatrix::from_columns(2, &[vec![(5, 1.0)]]);
+    }
+
+    #[test]
+    fn column_dots_agree_across_representations() {
+        let d = sample_dense();
+        let s = CscMatrix::from_dense(&d);
+        let v = vec![0.5, -1.0, 2.0];
+        for i in 0..3 {
+            for j in 0..3 {
+                let expect: f64 = (0..3).map(|r| d[(r, i)] * d[(r, j)]).sum();
+                assert_eq!(DesignMatrix::column_dot(&d, i, j), expect);
+                assert_eq!(DesignMatrix::column_dot(&s, i, j), expect);
+            }
+            let expect: f64 = (0..3).map(|r| d[(r, i)] * v[r]).sum();
+            assert_eq!(DesignMatrix::column_dot_vec(&d, i, &v), expect);
+            assert_eq!(DesignMatrix::column_dot_vec(&s, i, &v), expect);
+        }
     }
 
     #[test]

@@ -1,6 +1,8 @@
 //! Property-based tests for the linear-algebra substrate.
 
-use comparesets_linalg::{lstsq, nnls, nomp, CscMatrix, DesignMatrix, Matrix, NompOptions};
+use comparesets_linalg::{
+    lstsq, nnls, nomp, nomp_path, nomp_reference, CscMatrix, DesignMatrix, Matrix, NompOptions,
+};
 use proptest::prelude::*;
 
 fn small_f64() -> impl Strategy<Value = f64> {
@@ -111,6 +113,37 @@ proptest! {
         let st = DesignMatrix::tr_matvec(&s, &b).unwrap();
         for (p, q) in dt.iter().zip(st.iter()) {
             prop_assert!((p - q).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn gram_cached_nomp_matches_reference((a, b) in matrix_and_rhs(), budget in 1usize..=4) {
+        // The Gram-cached engine must track the naive recompute-everything
+        // reference implementation to within numerical noise: identical
+        // support sets, coefficients and residuals within 1e-10.
+        let fast = nomp(&a, &b, NompOptions::with_max_atoms(budget)).unwrap();
+        let slow = nomp_reference(&a, &b, NompOptions::with_max_atoms(budget)).unwrap();
+        prop_assert_eq!(&fast.support, &slow.support);
+        for (x, y) in fast.x.iter().zip(slow.x.iter()) {
+            prop_assert!((x - y).abs() < 1e-10, "coef {} vs {}", x, y);
+        }
+        prop_assert!(
+            (fast.sq_residual - slow.sq_residual).abs() < 1e-10,
+            "residual {} vs {}", fast.sq_residual, slow.sq_residual
+        );
+    }
+
+    #[test]
+    fn shared_path_matches_standalone_pursuits((a, b) in matrix_and_rhs(), l_max in 1usize..=4) {
+        // One shared pursuit to l_max must reproduce every standalone
+        // budget-l run bit for bit (the tentpole's path-sharing claim).
+        let path = nomp_path(&a, &b, NompOptions::with_max_atoms(l_max)).unwrap();
+        prop_assert_eq!(path.len(), l_max);
+        for (l, shared) in path.iter().enumerate() {
+            let solo = nomp(&a, &b, NompOptions::with_max_atoms(l + 1)).unwrap();
+            prop_assert_eq!(&shared.support, &solo.support);
+            prop_assert_eq!(&shared.x, &solo.x);
+            prop_assert_eq!(shared.sq_residual.to_bits(), solo.sq_residual.to_bits());
         }
     }
 

@@ -134,10 +134,7 @@ mod tests {
 
     #[test]
     fn constant_ratings_are_undefined() {
-        let data = table(&[
-            &[Some(3.0), Some(3.0)],
-            &[Some(3.0), Some(3.0)],
-        ]);
+        let data = table(&[&[Some(3.0), Some(3.0)], &[Some(3.0), Some(3.0)]]);
         assert!(krippendorff_alpha(&data, Metric::Interval).is_none());
     }
 

@@ -79,8 +79,12 @@ mod tests {
     #[test]
     fn noise_is_not_significant() {
         // Alternating ±1 differences with zero mean.
-        let a: Vec<f64> = (0..40).map(|i| if i % 2 == 0 { 1.0 } else { 0.0 }).collect();
-        let b: Vec<f64> = (0..40).map(|i| if i % 2 == 0 { 0.0 } else { 1.0 }).collect();
+        let a: Vec<f64> = (0..40)
+            .map(|i| if i % 2 == 0 { 1.0 } else { 0.0 })
+            .collect();
+        let b: Vec<f64> = (0..40)
+            .map(|i| if i % 2 == 0 { 0.0 } else { 1.0 })
+            .collect();
         let r = paired_t_test(&a, &b).unwrap();
         assert!(r.p_value > 0.5, "p = {}", r.p_value);
         assert!(!r.significant_improvement(0.05));

@@ -36,7 +36,8 @@ fn normal_cdf(z: f64) -> f64 {
     let t = 1.0 / (1.0 + 0.327_591_1 * x.abs());
     let poly = t
         * (0.254_829_592
-            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
     let erf = 1.0 - poly * (-x * x).exp();
     let erf = if x >= 0.0 { erf } else { -erf };
     0.5 * (1.0 + erf)
@@ -121,8 +122,12 @@ mod tests {
 
     #[test]
     fn symmetric_noise_is_not_significant() {
-        let a: Vec<f64> = (0..40).map(|i| if i % 2 == 0 { 1.0 } else { 0.0 }).collect();
-        let b: Vec<f64> = (0..40).map(|i| if i % 2 == 0 { 0.0 } else { 1.0 }).collect();
+        let a: Vec<f64> = (0..40)
+            .map(|i| if i % 2 == 0 { 1.0 } else { 0.0 })
+            .collect();
+        let b: Vec<f64> = (0..40)
+            .map(|i| if i % 2 == 0 { 0.0 } else { 1.0 })
+            .collect();
         let r = wilcoxon_signed_rank(&a, &b).unwrap();
         assert!(r.p_value > 0.5, "p = {}", r.p_value);
         assert!(!r.significant_improvement(0.05));
@@ -167,7 +172,9 @@ mod tests {
         let a: Vec<f64> = (0..25)
             .map(|i| 5.0 + (i as f64 * 0.618).sin() * 0.2 + 0.5 + (i % 3) as f64 * 0.05)
             .collect();
-        let b: Vec<f64> = (0..25).map(|i| 5.0 + (i as f64 * 0.618).sin() * 0.2).collect();
+        let b: Vec<f64> = (0..25)
+            .map(|i| 5.0 + (i as f64 * 0.618).sin() * 0.2)
+            .collect();
         let w = wilcoxon_signed_rank(&a, &b).unwrap();
         let t = crate::ttest::paired_t_test(&a, &b).unwrap();
         assert_eq!(

@@ -25,11 +25,11 @@ const STOPWORDS: &[&str] = &[
     "the", "a", "an", "and", "or", "but", "if", "then", "this", "that", "these", "those", "is",
     "are", "was", "were", "be", "been", "being", "am", "it", "its", "i", "me", "my", "we", "our",
     "you", "your", "he", "she", "they", "them", "their", "of", "to", "in", "on", "for", "with",
-    "as", "at", "by", "from", "up", "about", "into", "over", "after", "so", "very", "just",
-    "too", "also", "have", "has", "had", "do", "does", "did", "will", "would", "can", "could",
-    "should", "may", "might", "one", "two", "all", "some", "any", "more", "most", "other", "than",
-    "when", "while", "because", "out", "off", "only", "own", "same", "s", "t", "get", "got",
-    "really", "much", "even", "well", "back", "still", "there", "here", "what", "which", "who",
+    "as", "at", "by", "from", "up", "about", "into", "over", "after", "so", "very", "just", "too",
+    "also", "have", "has", "had", "do", "does", "did", "will", "would", "can", "could", "should",
+    "may", "might", "one", "two", "all", "some", "any", "more", "most", "other", "than", "when",
+    "while", "because", "out", "off", "only", "own", "same", "s", "t", "get", "got", "really",
+    "much", "even", "well", "back", "still", "there", "here", "what", "which", "who",
 ];
 
 /// One extracted aspect mention with its polarity.

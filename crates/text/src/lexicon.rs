@@ -36,28 +36,129 @@ impl Sentiment {
 
 /// Positive opinion words recognised by the default lexicon.
 pub const POSITIVE_WORDS: &[&str] = &[
-    "good", "great", "excellent", "amazing", "awesome", "fantastic", "love", "loved", "loves",
-    "perfect", "wonderful", "best", "nice", "solid", "sturdy", "durable", "fast", "quick",
-    "reliable", "comfortable", "comfy", "beautiful", "gorgeous", "crisp", "sharp", "bright",
-    "responsive", "smooth", "easy", "impressive", "outstanding", "superb", "happy", "pleased",
-    "satisfied", "recommend", "recommended", "worth", "quality", "premium", "accurate",
-    "lightweight", "stylish", "cute", "fun", "enjoyable", "delightful", "crystal", "vivid",
-    "generous", "snug", "flattering", "breathable", "soft", "stunning", "terrific", "superior",
+    "good",
+    "great",
+    "excellent",
+    "amazing",
+    "awesome",
+    "fantastic",
+    "love",
+    "loved",
+    "loves",
+    "perfect",
+    "wonderful",
+    "best",
+    "nice",
+    "solid",
+    "sturdy",
+    "durable",
+    "fast",
+    "quick",
+    "reliable",
+    "comfortable",
+    "comfy",
+    "beautiful",
+    "gorgeous",
+    "crisp",
+    "sharp",
+    "bright",
+    "responsive",
+    "smooth",
+    "easy",
+    "impressive",
+    "outstanding",
+    "superb",
+    "happy",
+    "pleased",
+    "satisfied",
+    "recommend",
+    "recommended",
+    "worth",
+    "quality",
+    "premium",
+    "accurate",
+    "lightweight",
+    "stylish",
+    "cute",
+    "fun",
+    "enjoyable",
+    "delightful",
+    "crystal",
+    "vivid",
+    "generous",
+    "snug",
+    "flattering",
+    "breathable",
+    "soft",
+    "stunning",
+    "terrific",
+    "superior",
 ];
 
 /// Negative opinion words recognised by the default lexicon.
 pub const NEGATIVE_WORDS: &[&str] = &[
-    "bad", "poor", "terrible", "awful", "horrible", "hate", "hated", "hates", "worst",
-    "disappointing", "disappointed", "broken", "broke", "breaks", "flimsy", "cheap", "cheaply",
-    "slow", "sluggish", "unreliable", "uncomfortable", "ugly", "blurry", "dim", "laggy",
-    "unresponsive", "rough", "difficult", "defective", "faulty", "useless", "waste", "regret",
-    "overpriced", "inaccurate", "heavy", "bulky", "boring", "frustrating", "annoying", "weak",
-    "loose", "tight", "scratchy", "stiff", "dull", "mediocre", "refund", "returned", "return",
-    "stopped", "failed", "fails", "dead", "crooked", "misleading",
+    "bad",
+    "poor",
+    "terrible",
+    "awful",
+    "horrible",
+    "hate",
+    "hated",
+    "hates",
+    "worst",
+    "disappointing",
+    "disappointed",
+    "broken",
+    "broke",
+    "breaks",
+    "flimsy",
+    "cheap",
+    "cheaply",
+    "slow",
+    "sluggish",
+    "unreliable",
+    "uncomfortable",
+    "ugly",
+    "blurry",
+    "dim",
+    "laggy",
+    "unresponsive",
+    "rough",
+    "difficult",
+    "defective",
+    "faulty",
+    "useless",
+    "waste",
+    "regret",
+    "overpriced",
+    "inaccurate",
+    "heavy",
+    "bulky",
+    "boring",
+    "frustrating",
+    "annoying",
+    "weak",
+    "loose",
+    "tight",
+    "scratchy",
+    "stiff",
+    "dull",
+    "mediocre",
+    "refund",
+    "returned",
+    "return",
+    "stopped",
+    "failed",
+    "fails",
+    "dead",
+    "crooked",
+    "misleading",
 ];
 
 /// Negation tokens that flip the polarity of the following sentiment word.
-pub const NEGATIONS: &[&str] = &["not", "no", "never", "dont", "didnt", "doesnt", "isnt", "wasnt", "wont", "cant"];
+pub const NEGATIONS: &[&str] = &[
+    "not", "no", "never", "dont", "didnt", "doesnt", "isnt", "wasnt", "wont", "cant",
+];
 
 /// A sentiment lexicon with O(1) polarity lookup.
 #[derive(Debug, Clone)]

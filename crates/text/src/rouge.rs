@@ -154,7 +154,10 @@ mod tests {
         // cand: police killed the gunman (4 tokens)
         // ref:  the gunman was killed by police (6 tokens)
         // overlap unigrams: police, killed, the, gunman → 4
-        let s = rouge_1("police killed the gunman", "the gunman was killed by police");
+        let s = rouge_1(
+            "police killed the gunman",
+            "the gunman was killed by police",
+        );
         assert!((s.precision - 1.0).abs() < 1e-12);
         assert!((s.recall - 4.0 / 6.0).abs() < 1e-12);
         let f1 = 2.0 * 1.0 * (4.0 / 6.0) / (1.0 + 4.0 / 6.0);
@@ -166,7 +169,10 @@ mod tests {
         // cand bigrams: (police killed)(killed the)(the gunman)
         // ref bigrams:  (the gunman)(gunman was)(was killed)(killed by)(by police)
         // overlap: (the gunman) → 1
-        let s = rouge_2("police killed the gunman", "the gunman was killed by police");
+        let s = rouge_2(
+            "police killed the gunman",
+            "the gunman was killed by police",
+        );
         assert!((s.precision - 1.0 / 3.0).abs() < 1e-12);
         assert!((s.recall - 1.0 / 5.0).abs() < 1e-12);
     }
@@ -185,7 +191,10 @@ mod tests {
 
     #[test]
     fn lcs_respects_order_not_contiguity() {
-        let a: Vec<String> = ["a", "x", "b", "y", "c"].iter().map(|s| s.to_string()).collect();
+        let a: Vec<String> = ["a", "x", "b", "y", "c"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let b: Vec<String> = ["a", "b", "c"].iter().map(|s| s.to_string()).collect();
         assert_eq!(lcs_length(&a, &b), 3);
         assert_eq!(lcs_length(&b, &a), 3);

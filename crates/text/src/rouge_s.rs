@@ -134,7 +134,11 @@ mod tests {
         // cand "police kill the gunman": unlimited skip-bigrams of 4-token
         // sequences = C(4,2) = 6 each; matching pairs: (police,the),
         // (police,gunman), (the,gunman) → 3. ROUGE-S = 3/6 = 0.5.
-        let s = rouge_s("police kill the gunman", "police killed the gunman", usize::MAX);
+        let s = rouge_s(
+            "police kill the gunman",
+            "police killed the gunman",
+            usize::MAX,
+        );
         assert!((s.precision - 0.5).abs() < 1e-12);
         assert!((s.recall - 0.5).abs() < 1e-12);
         assert!((s.f1 - 0.5).abs() < 1e-12);
@@ -144,9 +148,17 @@ mod tests {
     fn word_order_matters_for_s_but_not_su_unigrams() {
         // "the gunman kill police" vs ref: shares unigrams but only 1
         // ordered pair ("the gunman").
-        let s = rouge_s("the gunman kill police", "police killed the gunman", usize::MAX);
+        let s = rouge_s(
+            "the gunman kill police",
+            "police killed the gunman",
+            usize::MAX,
+        );
         assert!((s.precision - 1.0 / 6.0).abs() < 1e-12);
-        let su = rouge_su("the gunman kill police", "police killed the gunman", usize::MAX);
+        let su = rouge_su(
+            "the gunman kill police",
+            "police killed the gunman",
+            usize::MAX,
+        );
         assert!(su.f1 > s.f1, "SU {} should exceed S {}", su.f1, s.f1);
     }
 

@@ -200,10 +200,7 @@ fn step4(w: &mut Vec<u8>) {
     // "ion" only after s or t.
     if ends_with(w, "ion") {
         let stem_len = w.len() - 3;
-        if stem_len >= 1
-            && matches!(w[stem_len - 1], b's' | b't')
-            && measure(w, stem_len) > 1
-        {
+        if stem_len >= 1 && matches!(w[stem_len - 1], b's' | b't') && measure(w, stem_len) > 1 {
             w.truncate(stem_len);
         }
         return;
@@ -348,7 +345,10 @@ mod tests {
     #[test]
     fn stem_tokens_maps_elementwise() {
         let toks: Vec<String> = ["running", "shoes"].iter().map(|s| s.to_string()).collect();
-        assert_eq!(stem_tokens(&toks), vec!["run".to_string(), "shoe".to_string()]);
+        assert_eq!(
+            stem_tokens(&toks),
+            vec!["run".to_string(), "shoe".to_string()]
+        );
     }
 
     #[test]

@@ -112,8 +112,7 @@ pub fn summarize(texts: &[&str], config: SummaryConfig) -> Vec<String> {
                 .iter()
                 .map(|&j| cosine(&tfs[i], &tfs[j]))
                 .fold(0.0_f64, f64::max);
-            let score =
-                config.mmr_lambda * relevance[i] - (1.0 - config.mmr_lambda) * redundancy;
+            let score = config.mmr_lambda * relevance[i] - (1.0 - config.mmr_lambda) * redundancy;
             if best.is_none_or(|(b, _)| score > b) {
                 best = Some((score, i));
             }
@@ -149,10 +148,7 @@ mod tests {
         assert_eq!(summary.len(), 2);
         // The corpus is dominated by battery talk; the first pick must
         // mention it.
-        assert!(
-            summary[0].to_lowercase().contains("battery"),
-            "{summary:?}"
-        );
+        assert!(summary[0].to_lowercase().contains("battery"), "{summary:?}");
     }
 
     #[test]

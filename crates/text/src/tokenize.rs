@@ -64,7 +64,10 @@ mod tests {
 
     #[test]
     fn numbers_are_kept() {
-        assert_eq!(tokenize("1080p video at 30fps"), vec!["1080p", "video", "at", "30fps"]);
+        assert_eq!(
+            tokenize("1080p video at 30fps"),
+            vec!["1080p", "video", "at", "30fps"]
+        );
     }
 
     #[test]

@@ -49,7 +49,10 @@ fn main() {
     let catalog = products();
 
     // 1. Discover the aspect vocabulary from the whole corpus.
-    let corpus: Vec<&str> = catalog.iter().flat_map(|(_, rs)| rs.iter().copied()).collect();
+    let corpus: Vec<&str> = catalog
+        .iter()
+        .flat_map(|(_, rs)| rs.iter().copied())
+        .collect();
     let extractor = AspectExtractor::discover(corpus.iter().copied(), 6, 2);
     println!("discovered aspects: {:?}\n", extractor.vocabulary());
 
@@ -86,11 +89,8 @@ fn main() {
         .collect();
 
     // 3. Solve CompaReSetS+ with m = 2 over the extracted annotations.
-    let ctx = InstanceContext::from_items(
-        extractor.vocabulary().len(),
-        items,
-        OpinionScheme::Binary,
-    );
+    let ctx =
+        InstanceContext::from_items(extractor.vocabulary().len(), items, OpinionScheme::Binary);
     let params = SelectParams {
         m: 2,
         lambda: 1.0,

@@ -64,7 +64,10 @@ fn main() {
         }
     }
     let (_, winner) = best.unwrap();
-    println!("\nMost comparable review sets on average: {}", winner.name());
+    println!(
+        "\nMost comparable review sets on average: {}",
+        winner.name()
+    );
 
     // Show the winner's picks on the busiest product page.
     let ctx = pages
@@ -78,10 +81,7 @@ fn main() {
     );
     let selections = solve(ctx, winner, &params, 99);
     for i in [0usize, 1] {
-        println!(
-            "\n{}:",
-            dataset.product(ctx.item(i).product).title
-        );
+        println!("\n{}:", dataset.product(ctx.item(i).product).title);
         for &r in &selections[i].indices {
             let review = dataset.review(ctx.item(i).review_ids[r]);
             println!("  {}* {}", review.rating, review.text);

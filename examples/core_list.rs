@@ -88,10 +88,7 @@ fn corpus_demo() {
     let greedy = solve_greedy(&graph, 0, k);
     let topk = solve_top_k_similarity(&graph, 0, k);
     let random = solve_random_k(&graph, 0, k, 5);
-    println!(
-        "{:<18} {:>10}  items",
-        "method", "weight"
-    );
+    println!("{:<18} {:>10}  items", "method", "weight");
     for (name, sol) in [
         ("TargetHkS exact", exact.vertices.clone()),
         ("TargetHkS greedy", greedy),

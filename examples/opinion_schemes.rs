@@ -6,9 +6,7 @@
 //! cargo run --release --example opinion_schemes
 //! ```
 
-use comparesets::core::{
-    solve_comparesets, InstanceContext, OpinionScheme, SelectParams,
-};
+use comparesets::core::{solve_comparesets, InstanceContext, OpinionScheme, SelectParams};
 use comparesets::data::CategoryPreset;
 
 fn main() {

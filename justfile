@@ -1,0 +1,27 @@
+# Local equivalents of the CI gates (.github/workflows/ci.yml).
+
+# Run every CI gate in order.
+ci: fmt-check clippy build test doctest
+
+fmt:
+    cargo fmt
+
+fmt-check:
+    cargo fmt --check
+
+clippy:
+    cargo clippy --workspace --all-targets -- -D warnings
+
+build:
+    cargo build --workspace --release
+
+test:
+    cargo test --workspace -q
+
+doctest:
+    cargo test --workspace --doc -q
+
+# Refresh the performance baseline (updates BENCH_parallel_solver.json,
+# see PERFORMANCE.md).
+bench-baseline:
+    cargo bench -p comparesets-bench --bench parallel_solver

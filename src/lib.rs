@@ -47,17 +47,17 @@
 
 /// The paper's core algorithms (re-export of `comparesets-core`).
 pub use comparesets_core as core;
-/// TargetHkS graph algorithms (re-export of `comparesets-graph`).
-pub use comparesets_graph as graph;
 /// Corpus model and synthetic generator (re-export of `comparesets-data`).
 pub use comparesets_data as data;
-/// Text metrics and aspect extraction (re-export of `comparesets-text`).
-pub use comparesets_text as text;
-/// Linear-algebra substrate (re-export of `comparesets-linalg`).
-pub use comparesets_linalg as linalg;
-/// Statistics substrate (re-export of `comparesets-stats`).
-pub use comparesets_stats as stats;
 /// EFM-lite learned aspect preferences (re-export of `comparesets-efm`).
 pub use comparesets_efm as efm;
 /// Experiment harness (re-export of `comparesets-eval`).
 pub use comparesets_eval as eval;
+/// TargetHkS graph algorithms (re-export of `comparesets-graph`).
+pub use comparesets_graph as graph;
+/// Linear-algebra substrate (re-export of `comparesets-linalg`).
+pub use comparesets_linalg as linalg;
+/// Statistics substrate (re-export of `comparesets-stats`).
+pub use comparesets_stats as stats;
+/// Text metrics and aspect extraction (re-export of `comparesets-text`).
+pub use comparesets_text as text;

@@ -56,7 +56,10 @@ fn synchronized_objective_ordering_holds() {
     let plus = solve_comparesets_plus(&ctx, &params);
     let ob = comparesets_plus_objective(&ctx, &base, params.lambda, params.mu);
     let op = comparesets_plus_objective(&ctx, &plus, params.lambda, params.mu);
-    assert!(op <= ob + 1e-9, "CompaReSetS+ {op} must not exceed CompaReSetS {ob} on Eq. 5");
+    assert!(
+        op <= ob + 1e-9,
+        "CompaReSetS+ {op} must not exceed CompaReSetS {ob} on Eq. 5"
+    );
 }
 
 #[test]
@@ -99,7 +102,11 @@ fn selected_reviews_share_vocabulary_across_items() {
         }
     }
     assert!(count > 0);
-    assert!(total / count as f64 > 0.02, "mean ROUGE-L {}", total / count as f64);
+    assert!(
+        total / count as f64 > 0.02,
+        "mean ROUGE-L {}",
+        total / count as f64
+    );
 }
 
 #[test]
@@ -112,5 +119,9 @@ fn greedy_core_list_matches_exact_on_small_instances() {
     let greedy = solve_greedy(&graph, 0, 3);
     let gw = graph.subgraph_weight(&greedy);
     // Greedy is near-optimal on these small graphs (Table 5's finding).
-    assert!(gw >= exact.weight * 0.9, "greedy {gw} vs exact {}", exact.weight);
+    assert!(
+        gw >= exact.weight * 0.9,
+        "greedy {gw} vs exact {}",
+        exact.weight
+    );
 }

@@ -58,8 +58,7 @@ fn efm_targets_drive_selection_end_to_end() {
         // The achieved cost is no worse than selecting nothing.
         let empty = comparesets::core::Selection::default();
         assert!(
-            item_objective(&learned, i, s, 1.0)
-                <= item_objective(&learned, i, &empty, 1.0) + 1e-9
+            item_objective(&learned, i, s, 1.0) <= item_objective(&learned, i, &empty, 1.0) + 1e-9
         );
     }
 }

@@ -26,7 +26,10 @@ fn full_pipeline_to_comparison_table_and_summaries() {
     // Comparison table over the core list.
     let table = ComparisonTable::build(&ctx, &selections, Some(&core));
     assert_eq!(table.products.len(), 3);
-    assert!(!table.rows.is_empty(), "selected reviews must mention aspects");
+    assert!(
+        !table.rows.is_empty(),
+        "selected reviews must mention aspects"
+    );
     // Row coverage is within bounds and sorted descending.
     let mut prev = usize::MAX;
     for row in &table.rows {
@@ -54,7 +57,10 @@ fn full_pipeline_to_comparison_table_and_summaries() {
             .map(|&r| dataset.review(item.review_ids[r]).text.as_str())
             .collect();
         let summary = summarize(&texts, SummaryConfig::default());
-        assert!(!summary.is_empty(), "non-empty reviews summarise to something");
+        assert!(
+            !summary.is_empty(),
+            "non-empty reviews summarise to something"
+        );
         assert!(summary.len() <= 2);
         // Extractive: every summary sentence appears in some source text.
         for s in &summary {

@@ -1,9 +1,7 @@
 //! Corpus serialisation: results must be identical whether an experiment
 //! runs on the in-memory corpus or on a JSON round-tripped copy.
 
-use comparesets::core::{
-    solve_comparesets_plus, InstanceContext, OpinionScheme, SelectParams,
-};
+use comparesets::core::{solve_comparesets_plus, InstanceContext, OpinionScheme, SelectParams};
 use comparesets::data::io::{from_json, to_json};
 use comparesets::data::CategoryPreset;
 
@@ -13,8 +11,18 @@ fn selection_is_invariant_under_json_round_trip() {
     let json = to_json(&original).expect("serialise");
     let restored = from_json(&json).expect("deserialise");
 
-    let inst_a = original.instances().into_iter().next().unwrap().truncated(4);
-    let inst_b = restored.instances().into_iter().next().unwrap().truncated(4);
+    let inst_a = original
+        .instances()
+        .into_iter()
+        .next()
+        .unwrap()
+        .truncated(4);
+    let inst_b = restored
+        .instances()
+        .into_iter()
+        .next()
+        .unwrap()
+        .truncated(4);
     assert_eq!(inst_a, inst_b);
 
     let ctx_a = InstanceContext::build(&original, &inst_a, OpinionScheme::Binary);

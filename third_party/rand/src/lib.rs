@@ -1,0 +1,310 @@
+//! Offline stand-in for the `rand` crate (see `third_party/README.md`).
+//!
+//! This workspace vendors the *API subset it actually uses* so the build
+//! needs no network access: [`RngCore`]/[`SeedableRng`] plumbing, the
+//! [`Rng`] extension trait with `random_range` / `random_bool`, and
+//! Fisher–Yates [`SliceRandom::shuffle`]. Distributions follow the
+//! standard constructions (Lemire-style rejection sampling for integers,
+//! 53-bit mantissa scaling for floats) and are fully deterministic for a
+//! given seed, which is all the reproduction relies on.
+
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core random-number generation: uniform raw words.
+pub trait RngCore {
+    /// Next uniform 32-bit word.
+    fn next_u32(&mut self) -> u32;
+    /// Next uniform 64-bit word.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with uniform bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A generator that can be constructed from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    /// Raw seed type (a byte array).
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Build from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Build from a `u64`, expanding it with SplitMix64 (the same
+    /// construction `rand_core` documents for its default impl).
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// A type that can be sampled uniformly from a range by an [`Rng`].
+pub trait SampleUniform: Sized + Copy {
+    /// Uniform draw from `[low, high)`; `high_inclusive` widens to
+    /// `[low, high]`.
+    fn sample_range<R: RngCore + ?Sized>(
+        rng: &mut R,
+        low: Self,
+        high: Self,
+        high_inclusive: bool,
+    ) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty => $wide:ty, $raw:ident),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: Self,
+                high: Self,
+                high_inclusive: bool,
+            ) -> Self {
+                assert!(
+                    if high_inclusive { low <= high } else { low < high },
+                    "empty sample range"
+                );
+                let span = (high as $wide).wrapping_sub(low as $wide) as $wide;
+                let span = if high_inclusive { span + 1 } else { span };
+                if span == 0 {
+                    // Inclusive full-width range: any raw word works.
+                    return rng.$raw() as $t;
+                }
+                // Lemire rejection sampling: unbiased and branch-light.
+                let zone = <$wide>::MAX - (<$wide>::MAX - span + 1) % span;
+                loop {
+                    let v = rng.$raw() as $wide;
+                    if v <= zone {
+                        return low.wrapping_add((v % span) as $t);
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(
+    u8 => u64, next_u64,
+    u16 => u64, next_u64,
+    u32 => u64, next_u64,
+    u64 => u64, next_u64,
+    usize => u64, next_u64,
+    i8 => u64, next_u64,
+    i16 => u64, next_u64,
+    i32 => u64, next_u64,
+    i64 => u64, next_u64,
+    isize => u64, next_u64,
+);
+
+impl SampleUniform for f64 {
+    fn sample_range<R: RngCore + ?Sized>(
+        rng: &mut R,
+        low: Self,
+        high: Self,
+        high_inclusive: bool,
+    ) -> Self {
+        assert!(
+            low < high || (high_inclusive && low <= high),
+            "empty sample range"
+        );
+        // 53 uniform mantissa bits in [0, 1).
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let v = low + unit * (high - low);
+        if v >= high && !high_inclusive {
+            // Guard against rounding up to the open bound.
+            f64::from_bits(high.to_bits() - 1)
+        } else {
+            v
+        }
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_range<R: RngCore + ?Sized>(
+        rng: &mut R,
+        low: Self,
+        high: Self,
+        high_inclusive: bool,
+    ) -> Self {
+        f64::sample_range(rng, low as f64, high as f64, high_inclusive) as f32
+    }
+}
+
+/// Ranges acceptable to [`Rng::random_range`].
+pub trait SampleRange<T> {
+    /// Draw a uniform sample from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_range(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_range(rng, *self.start(), *self.end(), true)
+    }
+}
+
+/// User-facing convenience methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from a range, e.g. `rng.random_range(0..10)`.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli draw: `true` with probability `p` (clamped to [0, 1]).
+    fn random_bool(&mut self, p: f64) -> bool {
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Shuffling and random selection on slices.
+pub trait SliceRandom {
+    /// Element type.
+    type Item;
+
+    /// Fisher–Yates shuffle in place.
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+    /// A uniformly random element, `None` when empty.
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = usize::sample_range(rng, 0, i, true);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[usize::sample_range(rng, 0, self.len(), false)])
+        }
+    }
+}
+
+/// The traits most callers want in scope.
+pub mod prelude {
+    pub use crate::{Rng, RngCore, SampleUniform, SeedableRng, SliceRandom};
+}
+
+/// Re-export path compatibility with `rand::rngs`.
+pub mod rngs {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            // A crude LCG: enough to exercise the distribution helpers.
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            self.0
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Counter(7);
+        for _ in 0..1000 {
+            let v: usize = rng.random_range(3..17);
+            assert!((3..17).contains(&v));
+            let w: i32 = rng.random_range(-5..=5);
+            assert!((-5..=5).contains(&w));
+            let f: f64 = rng.random_range(0.25..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn bool_probability_extremes() {
+        let mut rng = Counter(1);
+        assert!(!(0..100).any(|_| rng.random_bool(0.0)));
+        assert!((0..100).all(|_| rng.random_bool(1.0)));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Counter(3);
+        let mut v: Vec<usize> = (0..20).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn seed_from_u64_is_deterministic() {
+        struct Echo([u8; 16]);
+        impl RngCore for Echo {
+            fn next_u32(&mut self) -> u32 {
+                0
+            }
+            fn next_u64(&mut self) -> u64 {
+                u64::from_le_bytes(self.0[..8].try_into().unwrap())
+            }
+        }
+        impl SeedableRng for Echo {
+            type Seed = [u8; 16];
+            fn from_seed(seed: Self::Seed) -> Self {
+                Echo(seed)
+            }
+        }
+        let a = Echo::seed_from_u64(42).0;
+        let b = Echo::seed_from_u64(42).0;
+        let c = Echo::seed_from_u64(43).0;
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,202 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! Provides the parallel-iterator *API surface* this workspace uses, but
+//! executes everything sequentially on the calling thread. `par_iter()`
+//! and `into_par_iter()` simply hand back the corresponding standard
+//! iterators, so every adapter (`map`, `enumerate`, `filter`, `collect`,
+//! `for_each`, ...) is inherited from `std::iter::Iterator` with
+//! identical, deterministic semantics.
+//!
+//! That makes the stand-in honest about this container (a single-CPU
+//! box: real work-stealing would add overhead, not speed) while keeping
+//! the code it compiles byte-for-byte source-compatible with real rayon,
+//! so swapping the path dependency back to the registry crate re-enables
+//! true parallelism with no code changes.
+
+#![warn(missing_docs)]
+
+/// Sequential stand-ins for rayon's prelude traits.
+pub mod prelude {
+    /// `.par_iter()` on shared slices/collections.
+    pub trait IntoParallelRefIterator<'data> {
+        /// The borrowed iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+        /// The element type.
+        type Item: 'data;
+        /// Sequential "parallel" iterator over `&self`.
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    /// `.par_iter_mut()` on mutable slices/collections.
+    pub trait IntoParallelRefMutIterator<'data> {
+        /// The borrowed iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+        /// The element type.
+        type Item: 'data;
+        /// Sequential "parallel" iterator over `&mut self`.
+        fn par_iter_mut(&'data mut self) -> Self::Iter;
+    }
+
+    /// `.into_par_iter()` on owned collections and ranges.
+    pub trait IntoParallelIterator {
+        /// The owning iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+        /// The element type.
+        type Item;
+        /// Sequential "parallel" iterator consuming `self`.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<'data, T: 'data> IntoParallelRefIterator<'data> for [T] {
+        type Iter = std::slice::Iter<'data, T>;
+        type Item = &'data T;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'data, T: 'data> IntoParallelRefIterator<'data> for Vec<T> {
+        type Iter = std::slice::Iter<'data, T>;
+        type Item = &'data T;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'data, T: 'data> IntoParallelRefMutIterator<'data> for [T] {
+        type Iter = std::slice::IterMut<'data, T>;
+        type Item = &'data mut T;
+        fn par_iter_mut(&'data mut self) -> Self::Iter {
+            self.iter_mut()
+        }
+    }
+
+    impl<'data, T: 'data> IntoParallelRefMutIterator<'data> for Vec<T> {
+        type Iter = std::slice::IterMut<'data, T>;
+        type Item = &'data mut T;
+        fn par_iter_mut(&'data mut self) -> Self::Iter {
+            self.iter_mut()
+        }
+    }
+
+    impl<T> IntoParallelIterator for Vec<T> {
+        type Iter = std::vec::IntoIter<T>;
+        type Item = T;
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    impl IntoParallelIterator for std::ops::Range<usize> {
+        type Iter = std::ops::Range<usize>;
+        type Item = usize;
+        fn into_par_iter(self) -> Self::Iter {
+            self
+        }
+    }
+}
+
+/// Run two closures "in parallel" (sequentially here) and return both
+/// results, mirroring `rayon::join`.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// Number of threads the "pool" uses — always 1 in this stand-in.
+pub fn current_num_threads() -> usize {
+    1
+}
+
+/// A configured thread pool. Sequential stand-in: `install` just runs the
+/// closure on the calling thread.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `op` "inside" the pool.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R,
+    {
+        op()
+    }
+
+    /// The pool's configured thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads.max(1)
+    }
+}
+
+/// Error from building a thread pool (never produced by the stand-in).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Start a builder with default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request a thread count (recorded, but execution stays sequential).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Build the pool.
+    ///
+    /// # Errors
+    /// Never fails in the stand-in; fallible for API compatibility.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_iter() {
+        let xs = vec![3, 1, 4, 1, 5];
+        let doubled: Vec<i32> = xs.par_iter().map(|v| v * 2).collect();
+        assert_eq!(doubled, vec![6, 2, 8, 2, 10]);
+        let indexed: Vec<(usize, i32)> = xs.par_iter().enumerate().map(|(i, &v)| (i, v)).collect();
+        assert_eq!(indexed[4], (4, 5));
+    }
+
+    #[test]
+    fn pool_installs_and_joins() {
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        assert_eq!(pool.current_num_threads(), 4);
+        let v = pool.install(|| 7);
+        assert_eq!(v, 7);
+        let (a, b) = super::join(|| 1, || 2);
+        assert_eq!((a, b), (1, 2));
+    }
+}

@@ -1,0 +1,345 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` against
+//! the value-tree `serde` stand-in, parsing the item's `TokenStream`
+//! directly (no `syn`/`quote` — those aren't vendored). Supported shapes
+//! are exactly what this workspace uses:
+//!
+//! * structs with named fields, honouring `#[serde(rename = "...")]` and
+//!   `#[serde(default)]` on fields;
+//! * single-field tuple structs (newtypes), with or without
+//!   `#[serde(transparent)]` — both serialise as the inner value, which
+//!   matches upstream serde's newtype behaviour;
+//! * fieldless enums, serialised as the variant name string.
+//!
+//! Anything else (generics, multi-field tuple structs, data-carrying
+//! enums) panics with a clear message at expansion time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed field of a named-field struct.
+struct Field {
+    /// Rust-side field name.
+    ident: String,
+    /// Wire key (`rename` attr or the field name).
+    key: String,
+    /// Whether `#[serde(default)]` was present.
+    default: bool,
+}
+
+/// The shapes of item we can derive for.
+enum Item {
+    NamedStruct { name: String, fields: Vec<Field> },
+    NewtypeStruct { name: String },
+    UnitEnum { name: String, variants: Vec<String> },
+}
+
+/// serde attributes collected while scanning an attribute list.
+#[derive(Default)]
+struct SerdeAttrs {
+    rename: Option<String>,
+    default: bool,
+}
+
+/// Parse the `(...)` group of a `#[serde(...)]` attribute.
+fn parse_serde_attr(group: &proc_macro::Group, out: &mut SerdeAttrs) {
+    let mut iter = group.stream().into_iter().peekable();
+    while let Some(tree) = iter.next() {
+        match tree {
+            TokenTree::Ident(ident) => {
+                let word = ident.to_string();
+                let has_eq = matches!(
+                    iter.peek(),
+                    Some(TokenTree::Punct(p)) if p.as_char() == '='
+                );
+                if has_eq {
+                    iter.next(); // consume '='
+                    let lit = match iter.next() {
+                        Some(TokenTree::Literal(lit)) => lit.to_string(),
+                        other => {
+                            panic!("serde attribute `{word}` expects a literal, got {other:?}")
+                        }
+                    };
+                    let text = lit.trim_matches('"').to_string();
+                    if word == "rename" {
+                        out.rename = Some(text);
+                    }
+                    // Other `key = value` attrs (rename_all, ...) are not
+                    // needed by this workspace; ignore them.
+                } else if word == "default" {
+                    out.default = true;
+                }
+                // `transparent` is handled by shape (newtype), so a bare
+                // word we don't know is simply ignored.
+            }
+            TokenTree::Punct(_) => {} // commas
+            other => panic!("unexpected token in #[serde(...)]: {other:?}"),
+        }
+    }
+}
+
+/// Consume attributes (`# [ ... ]`) at the front of `iter`, collecting
+/// serde directives and skipping everything else (doc comments, other
+/// derives' helpers).
+fn take_attrs(iter: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) -> SerdeAttrs {
+    let mut attrs = SerdeAttrs::default();
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                let group = match iter.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+                    other => panic!("expected [...] after #, got {other:?}"),
+                };
+                let mut inner = group.stream().into_iter();
+                if let Some(TokenTree::Ident(name)) = inner.next() {
+                    if name.to_string() == "serde" {
+                        if let Some(TokenTree::Group(args)) = inner.next() {
+                            parse_serde_attr(&args, &mut attrs);
+                        }
+                    }
+                }
+            }
+            _ => return attrs,
+        }
+    }
+}
+
+/// Skip a visibility modifier (`pub`, `pub(crate)`, ...) if present.
+fn skip_visibility(iter: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    if matches!(iter.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        iter.next();
+        if matches!(iter.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            iter.next();
+        }
+    }
+}
+
+/// Parse named-struct fields from the `{...}` body.
+fn parse_named_fields(body: proc_macro::Group) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut iter = body.stream().into_iter().peekable();
+    loop {
+        let attrs = take_attrs(&mut iter);
+        skip_visibility(&mut iter);
+        let ident = match iter.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            other => panic!("expected field name, got {other:?}"),
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{ident}`, got {other:?}"),
+        }
+        // Skip the type: everything up to a comma at angle-bracket depth 0.
+        let mut angle_depth = 0i32;
+        while let Some(tree) = iter.peek() {
+            match tree {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    iter.next();
+                    break;
+                }
+                _ => {}
+            }
+            iter.next();
+        }
+        fields.push(Field {
+            key: attrs.rename.clone().unwrap_or_else(|| ident.clone()),
+            default: attrs.default,
+            ident,
+        });
+    }
+    fields
+}
+
+/// Parse fieldless enum variants from the `{...}` body.
+fn parse_unit_variants(body: proc_macro::Group) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut iter = body.stream().into_iter().peekable();
+    loop {
+        let _attrs = take_attrs(&mut iter);
+        match iter.next() {
+            Some(TokenTree::Ident(i)) => variants.push(i.to_string()),
+            None => break,
+            other => panic!("expected enum variant, got {other:?}"),
+        }
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            None => break,
+            Some(other) => panic!("only fieldless enums are supported, got {other:?}"),
+        }
+    }
+    variants
+}
+
+/// Parse the derive input into one of the supported item shapes.
+fn parse_item(input: TokenStream) -> Item {
+    let mut iter = input.into_iter().peekable();
+    let _container_attrs = take_attrs(&mut iter);
+    skip_visibility(&mut iter);
+    let keyword = match iter.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("expected item name, got {other:?}"),
+    };
+    match iter.next() {
+        Some(TokenTree::Group(body)) if body.delimiter() == Delimiter::Brace => {
+            if keyword == "struct" {
+                Item::NamedStruct {
+                    name,
+                    fields: parse_named_fields(body),
+                }
+            } else {
+                Item::UnitEnum {
+                    name,
+                    variants: parse_unit_variants(body),
+                }
+            }
+        }
+        Some(TokenTree::Group(body)) if body.delimiter() == Delimiter::Parenthesis => {
+            // Tuple struct: only single-field newtypes are supported.
+            let field_count = 1 + body
+                .stream()
+                .into_iter()
+                .filter(
+                    |t| matches!(t, TokenTree::Punct(p) if p.as_char() == ',' && p.spacing() == proc_macro::Spacing::Alone),
+                )
+                .count()
+                .saturating_sub(
+                    // Trailing comma doesn't add a field.
+                    usize::from(body.stream().into_iter().last().is_some_and(
+                        |t| matches!(t, TokenTree::Punct(ref p) if p.as_char() == ','),
+                    )),
+                );
+            assert!(
+                field_count == 1,
+                "derive on `{name}`: only single-field tuple structs are supported"
+            );
+            Item::NewtypeStruct { name }
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            panic!(
+                "derive on `{name}`: generic types are not supported by the offline serde stand-in"
+            )
+        }
+        other => panic!("unsupported item shape after `{name}`: {other:?}"),
+    }
+}
+
+/// `#[derive(Serialize)]`: emit an `impl serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let code = match parse_item(input) {
+        Item::NamedStruct { name, fields } => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(\"{key}\".to_string(), ::serde::Serialize::serialize(&self.{ident})),",
+                        key = f.key,
+                        ident = f.ident
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(vec![{pushes}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::NewtypeStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize(&self) -> ::serde::Value {{\n\
+                     ::serde::Serialize::serialize(&self.0)\n\
+                 }}\n\
+             }}"
+        ),
+        Item::UnitEnum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => \"{v}\","))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Str(match self {{ {arms} }}.to_string())\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse()
+        .expect("serde_derive generated invalid Serialize impl")
+}
+
+/// `#[derive(Deserialize)]`: emit an `impl serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let code = match parse_item(input) {
+        Item::NamedStruct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    let missing = if f.default {
+                        "::core::default::Default::default()".to_string()
+                    } else {
+                        format!("return Err(::serde::Error::missing_field(\"{}\"))", f.key)
+                    };
+                    format!(
+                        "{ident}: match value.get(\"{key}\") {{\n\
+                             Some(v) => ::serde::Deserialize::deserialize(v)?,\n\
+                             None => {missing},\n\
+                         }},",
+                        ident = f.ident,
+                        key = f.key
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize(value: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                         if value.as_object().is_none() {{\n\
+                             return Err(::serde::Error::invalid_type(\"object\", value));\n\
+                         }}\n\
+                         Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::NewtypeStruct { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn deserialize(value: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                     Ok({name}(::serde::Deserialize::deserialize(value)?))\n\
+                 }}\n\
+             }}"
+        ),
+        Item::UnitEnum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("Some(\"{v}\") => Ok({name}::{v}),"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize(value: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                         match value.as_str() {{\n\
+                             {arms}\n\
+                             Some(other) => Err(::serde::Error::custom(\n\
+                                 format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                             None => Err(::serde::Error::invalid_type(\"string\", value)),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse()
+        .expect("serde_derive generated invalid Deserialize impl")
+}

@@ -1,0 +1,472 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Renders and parses the `serde` stand-in's `Value` tree. The writer is
+//! compact (no whitespace) and emits object keys in insertion order, so
+//! derived structs serialise their fields in declaration order — tests
+//! rely on that stability. The parser is a plain recursive-descent JSON
+//! reader with the usual escapes (including `\uXXXX` with surrogate
+//! pairs).
+
+#![warn(missing_docs)]
+
+use serde::{Deserialize, Serialize, Value};
+use std::io::{Read, Write};
+
+/// Error type for JSON (de)serialisation, wrapping the serde error.
+#[derive(Debug)]
+pub struct Error {
+    inner: serde::Error,
+}
+
+impl Error {
+    fn new(message: impl Into<String>) -> Self {
+        Error {
+            inner: serde::Error::custom(message),
+        }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(inner: serde::Error) -> Self {
+        Error { inner }
+    }
+}
+
+/// Serialise a value to a compact JSON string.
+///
+/// # Errors
+/// Never fails for the supported value types; kept fallible for API
+/// compatibility with upstream `serde_json`.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.serialize(), &mut out);
+    Ok(out)
+}
+
+/// Serialise a value as compact JSON into a writer.
+///
+/// # Errors
+/// Propagates IO failures from the writer.
+pub fn to_writer<W: Write, T: Serialize + ?Sized>(mut writer: W, value: &T) -> Result<(), Error> {
+    let s = to_string(value)?;
+    writer
+        .write_all(s.as_bytes())
+        .map_err(|e| Error::new(format!("io error: {e}")))
+}
+
+/// Parse a value from a JSON string.
+///
+/// # Errors
+/// On malformed JSON or a shape mismatch with `T`.
+pub fn from_str<T: Deserialize>(json: &str) -> Result<T, Error> {
+    let value = parse(json)?;
+    Ok(T::deserialize(&value)?)
+}
+
+/// Parse a value from a reader.
+///
+/// # Errors
+/// On IO failure, malformed JSON, or a shape mismatch with `T`.
+pub fn from_reader<R: Read, T: Deserialize>(mut reader: R) -> Result<T, Error> {
+    let mut buf = String::new();
+    reader
+        .read_to_string(&mut buf)
+        .map_err(|e| Error::new(format!("io error: {e}")))?;
+    from_str(&buf)
+}
+
+// ---------------------------------------------------------------- writer
+
+fn write_value(value: &Value, out: &mut String) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(f) => write_f64(*f, out),
+        Value::Str(s) => write_string(s, out),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(item, out);
+            }
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            out.push('{');
+            for (i, (key, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(key, out);
+                out.push(':');
+                write_value(item, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_f64(f: f64, out: &mut String) {
+    if f.is_finite() {
+        if f == f.trunc() && f.abs() < 1e15 {
+            // Match serde_json: integral floats get a ".0" suffix.
+            out.push_str(&format!("{f:.1}"));
+        } else {
+            out.push_str(&f.to_string());
+        }
+    } else {
+        // serde_json errors on non-finite; emitting null is the lenient
+        // fallback (none of our data contains NaN/inf).
+        out.push_str("null");
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------- parser
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+/// Parse a JSON document into a [`Value`].
+///
+/// # Errors
+/// On malformed JSON or trailing non-whitespace input.
+pub fn parse(input: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::new(format!(
+            "trailing characters at offset {}",
+            p.pos
+        )));
+    }
+    Ok(value)
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, Error> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| Error::new("unexpected end of input"))
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek()? == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected `{}` at offset {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Value::Str(self.string()?)),
+            b't' => self.literal("true", Value::Bool(true)),
+            b'f' => self.literal("false", Value::Bool(false)),
+            b'n' => self.literal("null", Value::Null),
+            b'-' | b'0'..=b'9' => self.number(),
+            other => Err(Error::new(format!(
+                "unexpected character `{}` at offset {}",
+                other as char, self.pos
+            ))),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Value) -> Result<Value, Error> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(Error::new(format!(
+                "invalid literal at offset {}",
+                self.pos
+            )))
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            let value = self.value()?;
+            entries.push((key, value));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                other => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `}}`, found `{}` at offset {}",
+                        other as char, self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                other => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `]`, found `{}` at offset {}",
+                        other as char, self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = *self
+                .bytes
+                .get(self.pos)
+                .ok_or_else(|| Error::new("unterminated string"))?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or_else(|| Error::new("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: expect \uXXXX low half.
+                                if self.bytes.get(self.pos) == Some(&b'\\')
+                                    && self.bytes.get(self.pos + 1) == Some(&b'u')
+                                {
+                                    self.pos += 2;
+                                    let lo = self.hex4()?;
+                                    0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                                } else {
+                                    return Err(Error::new("lone high surrogate"));
+                                }
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::new("invalid unicode escape"))?,
+                            );
+                        }
+                        other => {
+                            return Err(Error::new(format!("invalid escape `\\{}`", other as char)))
+                        }
+                    }
+                }
+                _ => {
+                    // Re-decode UTF-8 starting at the byte we consumed.
+                    let start = self.pos - 1;
+                    let s = std::str::from_utf8(&self.bytes[start..])
+                        .map_err(|_| Error::new("invalid utf-8 in string"))?;
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    self.pos = start + c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        let chunk = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| Error::new("truncated \\u escape"))?;
+        self.pos += 4;
+        let s = std::str::from_utf8(chunk).map_err(|_| Error::new("bad \\u escape"))?;
+        u32::from_str_radix(s, 16).map_err(|_| Error::new("bad \\u escape"))
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| Error::new(format!("invalid number `{text}`")))
+        } else if let Some(stripped) = text.strip_prefix('-') {
+            stripped
+                .parse::<u64>()
+                .map_err(|_| Error::new(format!("invalid number `{text}`")))
+                .and_then(|_| {
+                    text.parse::<i64>()
+                        .map(Value::Int)
+                        .map_err(|_| Error::new(format!("number `{text}` out of range")))
+                })
+        } else {
+            text.parse::<u64>()
+                .map(|u| {
+                    if let Ok(i) = i64::try_from(u) {
+                        Value::Int(i)
+                    } else {
+                        Value::UInt(u)
+                    }
+                })
+                .map_err(|_| Error::new(format!("invalid number `{text}`")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_is_compact_and_ordered() {
+        let v = Value::Object(vec![
+            ("b".into(), Value::Int(2)),
+            ("a".into(), Value::Array(vec![Value::Int(1), Value::Null])),
+        ]);
+        let mut out = String::new();
+        write_value(&v, &mut out);
+        assert_eq!(out, r#"{"b":2,"a":[1,null]}"#);
+    }
+
+    #[test]
+    fn floats_match_serde_json_style() {
+        let mut out = String::new();
+        write_f64(3.0, &mut out);
+        assert_eq!(out, "3.0");
+        out.clear();
+        write_f64(2.5, &mut out);
+        assert_eq!(out, "2.5");
+    }
+
+    #[test]
+    fn parse_round_trip() {
+        let text = r#"{"name":"hi \"you\"","n":-3,"x":1.5,"ok":true,"xs":[1,2],"none":null}"#;
+        let v = parse(text).unwrap();
+        let mut out = String::new();
+        write_value(&v, &mut out);
+        assert_eq!(out, text);
+    }
+
+    #[test]
+    fn unicode_escapes() {
+        let v = parse(r#""aéb😀c""#).unwrap();
+        assert_eq!(v, Value::Str("aéb😀c".into()));
+    }
+
+    #[test]
+    fn malformed_inputs_error() {
+        assert!(parse("{not json").is_err());
+        assert!(parse("[1,2").is_err());
+        assert!(parse("\"open").is_err());
+        assert!(parse("12 34").is_err());
+        assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn numbers_classify() {
+        assert_eq!(parse("42").unwrap(), Value::Int(42));
+        assert_eq!(parse("-8").unwrap(), Value::Int(-8));
+        assert_eq!(parse("1e3").unwrap(), Value::Float(1000.0));
+        assert_eq!(
+            parse("18446744073709551615").unwrap(),
+            Value::UInt(u64::MAX)
+        );
+    }
+}
