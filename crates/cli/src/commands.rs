@@ -1,13 +1,17 @@
 //! Subcommand implementations. Every command returns its output as a
-//! `String` so the logic is unit-testable without capturing stdout.
+//! `String` so the logic is unit-testable without capturing stdout, and
+//! fails with a classified [`CliError`] so `main` can map the failure to
+//! its exit code.
 
 use crate::args::{parse, Args};
+use crate::error::CliError;
 use comparesets_core::{
-    solve_with, Algorithm, InstanceContext, OpinionScheme, SelectParams, SolveOptions,
+    solve_checked, solve_with, Algorithm, CoreError, InstanceContext, OpinionScheme, SelectParams,
+    Selection, SolveOptions,
 };
 use comparesets_data::{
-    io as corpus_io, AmazonLoader, CategoryPreset, ComparisonInstance, Dataset, DatasetStats,
-    ProductId,
+    io as corpus_io, AmazonError, AmazonLoader, CategoryPreset, ComparisonInstance, Dataset,
+    DatasetStats, ProductId,
 };
 use comparesets_graph::{
     improve_by_swaps, solve_exact, solve_greedy as graph_greedy, solve_peeling, solve_random_k,
@@ -16,7 +20,7 @@ use comparesets_graph::{
 use std::io::BufReader;
 use std::path::Path;
 
-/// Usage text printed on errors.
+/// Usage text printed on errors and by `help` / `--help`.
 pub const USAGE: &str = "\
 usage: comparesets <command> [flags]
 
@@ -24,28 +28,50 @@ commands:
   generate        --category <cellphone|toy|clothing> [--products N] [--seed S] --out FILE
   stats           <corpus.json>
   convert-amazon  --reviews FILE --meta FILE --out FILE [--name NAME] [--max-aspects N] [--min-aspect-count N]
+                  [--error-budget N]   tolerate up to N malformed JSON-lines (default 0)
   select          --corpus FILE --target ID [--m N] [--lambda X] [--mu X]
                   [--algorithm random|crs|greedy|comparesets|comparesets+]
                   [--max-comparatives N] [--scheme binary|3-polarity|unary-scale] [--seed S]
                   [--parallel true] [--threads N]
+                  [--strict true]      fail (exit 5) instead of degrading on numerical faults
   narrow          --corpus FILE --target ID [--k N] [--method exact|greedy|topk|random|peel]
                   [--m N] [--lambda X] [--mu X] [--time-limit-ms N] [--seed S]
-                  [--parallel true] [--threads N]";
+                  [--parallel true] [--threads N]
+  help            print this text
+
+exit codes:
+  0  success
+  1  internal error
+  2  usage error (bad flags, unknown command, out-of-range arguments)
+  3  io error (file could not be opened, read, or written)
+  4  data error (input parsed but is corrupt or unusable)
+  5  solver error (numerical failure on the solve path)";
+
+/// Arg-parser and flag-validation strings are usage errors by definition.
+impl From<String> for CliError {
+    fn from(message: String) -> Self {
+        CliError::usage(message)
+    }
+}
 
 /// Dispatch a raw argv to the matching command.
-pub fn dispatch(argv: &[String]) -> Result<String, String> {
+pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
+    if argv.iter().any(|a| a == "--help" || a == "-h") || argv.first().is_some_and(|c| c == "help")
+    {
+        return Ok(USAGE.to_string());
+    }
     let args = parse(argv)?;
     let command = args
         .positional()
         .first()
-        .ok_or_else(|| "no command given".to_string())?;
+        .ok_or_else(|| CliError::usage("no command given"))?;
     match command.as_str() {
         "generate" => cmd_generate(&args),
         "stats" => cmd_stats(&args),
         "convert-amazon" => cmd_convert_amazon(&args),
         "select" => cmd_select(&args),
         "narrow" => cmd_narrow(&args),
-        other => Err(format!("unknown command {other:?}")),
+        other => Err(CliError::usage(format!("unknown command {other:?}"))),
     }
 }
 
@@ -78,8 +104,19 @@ fn parse_scheme(name: &str) -> Result<OpinionScheme, String> {
     }
 }
 
-fn load_corpus(path: &str) -> Result<Dataset, String> {
-    corpus_io::load(Path::new(path)).map_err(|e| format!("loading {path}: {e}"))
+/// Load a corpus, classifying the failure: filesystem problems are IO
+/// errors, everything past open-and-read (malformed JSON, inconsistent
+/// dataset) is a data error.
+fn load_corpus(path: &str) -> Result<Dataset, CliError> {
+    corpus_io::load(Path::new(path)).map_err(|e| {
+        let message = format!("loading {path}: {e}");
+        match e {
+            corpus_io::IoError::Io(_) => CliError::io(message),
+            corpus_io::IoError::Json(_) | corpus_io::IoError::InvalidDataset(_) => {
+                CliError::data(message)
+            }
+        }
+    })
 }
 
 /// Build the comparison instance anchored at a target product.
@@ -87,16 +124,16 @@ fn instance_for(
     dataset: &Dataset,
     target: u32,
     max_comparatives: usize,
-) -> Result<(ComparisonInstance, InstanceContext), String> {
+) -> Result<(ComparisonInstance, InstanceContext), CliError> {
     if target as usize >= dataset.products.len() {
-        return Err(format!(
+        return Err(CliError::usage(format!(
             "target {target} out of range (corpus has {} products)",
             dataset.products.len()
-        ));
+        )));
     }
     let pid = ProductId(target);
     if dataset.reviews_of(pid).is_empty() {
-        return Err(format!("product {target} has no reviews"));
+        return Err(CliError::data(format!("product {target} has no reviews")));
     }
     let comps: Vec<ProductId> = dataset
         .product(pid)
@@ -106,9 +143,9 @@ fn instance_for(
         .filter(|c| !dataset.reviews_of(*c).is_empty())
         .collect();
     if comps.is_empty() {
-        return Err(format!(
+        return Err(CliError::data(format!(
             "product {target} has no reviewed comparison products"
-        ));
+        )));
     }
     let mut items = vec![pid];
     items.extend(comps);
@@ -119,13 +156,14 @@ fn instance_for(
     ))
 }
 
-fn cmd_generate(args: &Args) -> Result<String, String> {
+fn cmd_generate(args: &Args) -> Result<String, CliError> {
     let category = parse_category(args.require("category")?)?;
     let products: usize = args.get_or("products", 240)?;
     let seed: u64 = args.get_or("seed", 42)?;
     let out = args.require("out")?;
     let dataset = category.config(products, seed).generate();
-    corpus_io::save(&dataset, Path::new(out)).map_err(|e| format!("writing {out}: {e}"))?;
+    corpus_io::save(&dataset, Path::new(out))
+        .map_err(|e| CliError::io(format!("writing {out}: {e}")))?;
     Ok(format!(
         "wrote {} ({} products, {} reviews, {} aspects)",
         out,
@@ -135,16 +173,16 @@ fn cmd_generate(args: &Args) -> Result<String, String> {
     ))
 }
 
-fn cmd_stats(args: &Args) -> Result<String, String> {
+fn cmd_stats(args: &Args) -> Result<String, CliError> {
     let path = args
         .positional()
         .get(1)
-        .ok_or_else(|| "stats needs a corpus file".to_string())?;
+        .ok_or_else(|| CliError::usage("stats needs a corpus file"))?;
     let dataset = load_corpus(path)?;
     Ok(DatasetStats::compute(&dataset).to_string())
 }
 
-fn cmd_convert_amazon(args: &Args) -> Result<String, String> {
+fn cmd_convert_amazon(args: &Args) -> Result<String, CliError> {
     let reviews_path = args.require("reviews")?;
     let meta_path = args.require("meta")?;
     let out = args.require("out")?;
@@ -153,21 +191,40 @@ fn cmd_convert_amazon(args: &Args) -> Result<String, String> {
         max_aspects: args.get_or("max-aspects", 500)?,
         min_aspect_count: args.get_or("min-aspect-count", 3)?,
         min_reviews_per_product: args.get_or("min-reviews", 1)?,
+        error_budget: args.get_or("error-budget", 0)?,
     };
-    let reviews =
-        std::fs::File::open(reviews_path).map_err(|e| format!("opening {reviews_path}: {e}"))?;
-    let meta = std::fs::File::open(meta_path).map_err(|e| format!("opening {meta_path}: {e}"))?;
-    let dataset = loader
-        .load(BufReader::new(reviews), BufReader::new(meta))
-        .map_err(|e| format!("converting: {e}"))?;
-    corpus_io::save(&dataset, Path::new(out)).map_err(|e| format!("writing {out}: {e}"))?;
-    Ok(format!(
+    let reviews = std::fs::File::open(reviews_path)
+        .map_err(|e| CliError::io(format!("opening {reviews_path}: {e}")))?;
+    let meta = std::fs::File::open(meta_path)
+        .map_err(|e| CliError::io(format!("opening {meta_path}: {e}")))?;
+    let (dataset, skipped) = loader
+        .load_with_report(BufReader::new(reviews), BufReader::new(meta))
+        .map_err(|e| {
+            let message = format!("converting: {e}");
+            match e {
+                AmazonError::Io(_) => CliError::io(message),
+                AmazonError::Parse { .. } | AmazonError::Empty => CliError::data(message),
+            }
+        })?;
+    corpus_io::save(&dataset, Path::new(out))
+        .map_err(|e| CliError::io(format!("writing {out}: {e}")))?;
+    let mut summary = format!(
         "wrote {} ({} products, {} usable reviews, {} aspects)",
         out,
         dataset.products.len(),
         dataset.reviews.len(),
         dataset.num_aspects()
-    ))
+    );
+    if skipped.total() > 0 {
+        summary.push_str(&format!(
+            "\nskipped {} malformed line(s) ({} reviews, {} metadata); first: {}",
+            skipped.total(),
+            skipped.reviews,
+            skipped.metadata,
+            skipped.first_error.as_deref().unwrap_or("unknown"),
+        ));
+    }
+    Ok(summary)
 }
 
 fn select_params(args: &Args) -> Result<SelectParams, String> {
@@ -189,11 +246,30 @@ fn solve_options(args: &Args) -> Result<SolveOptions, String> {
     })
 }
 
-fn cmd_select(args: &Args) -> Result<String, String> {
+/// Run the solve in strict mode: any per-item numerical failure aborts
+/// the command with the full error chain instead of degrading silently.
+fn solve_strict(
+    ctx: &InstanceContext,
+    algorithm: Algorithm,
+    params: &SelectParams,
+    seed: u64,
+    opts: &SolveOptions,
+) -> Result<Vec<Selection>, CliError> {
+    let slots = solve_checked(ctx, algorithm, params, seed, opts).map_err(|e| match e {
+        CoreError::InvalidParams(_) => CliError::usage(e.to_string()),
+        _ => CliError::solver(e.to_string()),
+    })?;
+    slots
+        .into_iter()
+        .map(|slot| slot.map_err(|e| CliError::solver(e.to_string())))
+        .collect()
+}
+
+fn cmd_select(args: &Args) -> Result<String, CliError> {
     let dataset = load_corpus(args.require("corpus")?)?;
     let target: u32 = args.get_or("target", u32::MAX)?;
     if target == u32::MAX {
-        return Err("missing required flag --target".into());
+        return Err(CliError::usage("missing required flag --target"));
     }
     let max_comp: usize = args.get_or("max-comparatives", 12)?;
     let algorithm = parse_algorithm(args.get("algorithm").unwrap_or("comparesets+"))?;
@@ -201,10 +277,15 @@ fn cmd_select(args: &Args) -> Result<String, String> {
     let params = select_params(args)?;
     let seed: u64 = args.get_or("seed", 42)?;
     let opts = solve_options(args)?;
+    let strict: bool = args.get_or("strict", false)?;
 
     let (inst, _) = instance_for(&dataset, target, max_comp)?;
     let ctx = InstanceContext::build(&dataset, &inst, scheme);
-    let selections = solve_with(&ctx, algorithm, &params, seed, &opts);
+    let selections = if strict {
+        solve_strict(&ctx, algorithm, &params, seed, &opts)?
+    } else {
+        solve_with(&ctx, algorithm, &params, seed, &opts)
+    };
 
     let mut out = format!(
         "algorithm: {} | m = {} | lambda = {} | mu = {}\n",
@@ -232,11 +313,11 @@ fn cmd_select(args: &Args) -> Result<String, String> {
     Ok(out)
 }
 
-fn cmd_narrow(args: &Args) -> Result<String, String> {
+fn cmd_narrow(args: &Args) -> Result<String, CliError> {
     let dataset = load_corpus(args.require("corpus")?)?;
     let target: u32 = args.get_or("target", u32::MAX)?;
     if target == u32::MAX {
-        return Err("missing required flag --target".into());
+        return Err(CliError::usage("missing required flag --target"));
     }
     let k: usize = args.get_or("k", 3)?;
     let method = args.get("method").unwrap_or("exact").to_lowercase();
@@ -265,7 +346,11 @@ fn cmd_narrow(args: &Args) -> Result<String, String> {
         "topk" | "top-k" => solve_top_k_similarity(&graph, 0, k),
         "random" => solve_random_k(&graph, 0, k, seed),
         "peel" | "peeling" => improve_by_swaps(&graph, &solve_peeling(&graph, Some(0), k), &[0]),
-        other => return Err(format!("unknown narrowing method {other:?}")),
+        other => {
+            return Err(CliError::usage(format!(
+                "unknown narrowing method {other:?}"
+            )))
+        }
     };
 
     let mut out = format!(
@@ -289,7 +374,9 @@ fn cmd_narrow(args: &Args) -> Result<String, String> {
 mod tests {
     use super::*;
 
-    fn run(argv: &[&str]) -> Result<String, String> {
+    use crate::error::ErrorKind;
+
+    fn run(argv: &[&str]) -> Result<String, CliError> {
         let v: Vec<String> = argv.iter().map(|s| s.to_string()).collect();
         dispatch(&v)
     }
@@ -361,14 +448,46 @@ mod tests {
 
     #[test]
     fn unknown_command_fails() {
-        assert!(run(&["frobnicate"]).is_err());
+        let e = run(&["frobnicate"]).unwrap_err();
+        assert_eq!(e.kind, ErrorKind::Usage);
+        assert_eq!(e.exit_code(), 2);
         assert!(run(&[]).is_err());
+    }
+
+    #[test]
+    fn help_prints_usage_with_exit_codes() {
+        for argv in [&["help"][..], &["--help"], &["select", "--help"]] {
+            let out = run(argv).unwrap();
+            assert!(out.contains("exit codes:"), "{argv:?}");
+            assert!(out.contains("5  solver error"), "{argv:?}");
+        }
     }
 
     #[test]
     fn bad_category_fails() {
         let e = run(&["generate", "--category", "laptop", "--out", "/tmp/x.json"]).unwrap_err();
-        assert!(e.contains("laptop"));
+        assert!(e.to_string().contains("laptop"));
+        assert_eq!(e.kind, ErrorKind::Usage);
+    }
+
+    #[test]
+    fn missing_corpus_file_is_an_io_error() {
+        let e = run(&["stats", "/nonexistent/zz.json"]).unwrap_err();
+        assert_eq!(e.kind, ErrorKind::Io);
+        assert_eq!(e.exit_code(), 3);
+    }
+
+    #[test]
+    fn corrupt_corpus_file_is_a_data_error() {
+        let dir = std::env::temp_dir().join("comparesets_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("corrupt_{}.json", std::process::id()));
+        std::fs::write(&path, "{\"name\": \"broken\"").unwrap();
+        let e = run(&["stats", path.to_str().unwrap()]).unwrap_err();
+        assert_eq!(e.kind, ErrorKind::Data);
+        assert_eq!(e.exit_code(), 4);
+        assert!(e.to_string().contains("loading"), "{e}");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]
@@ -387,7 +506,8 @@ mod tests {
         ])
         .unwrap();
         let e = run(&["select", "--corpus", &path]).unwrap_err();
-        assert!(e.contains("target"));
+        assert!(e.to_string().contains("target"));
+        assert_eq!(e.kind, ErrorKind::Usage);
         std::fs::remove_file(&path).ok();
     }
 
@@ -407,7 +527,43 @@ mod tests {
         ])
         .unwrap();
         let e = run(&["select", "--corpus", &path, "--target", "9999"]).unwrap_err();
-        assert!(e.contains("out of range"));
+        assert!(e.to_string().contains("out of range"));
+        assert_eq!(e.kind, ErrorKind::Usage);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn strict_select_matches_default_on_well_posed_corpus() {
+        let path = temp_corpus();
+        run(&[
+            "generate",
+            "--category",
+            "toy",
+            "--products",
+            "60",
+            "--seed",
+            "13",
+            "--out",
+            &path,
+        ])
+        .unwrap();
+        let dataset = load_corpus(&path).unwrap();
+        let target = dataset
+            .instances()
+            .first()
+            .map(|i| i.target().0)
+            .expect("corpus has instances")
+            .to_string();
+        let base = [
+            "select",
+            "--corpus",
+            path.as_str(),
+            "--target",
+            target.as_str(),
+        ];
+        let lenient = run(&base).unwrap();
+        let strict = run(&[&base[..], &["--strict", "true"]].concat()).unwrap();
+        assert_eq!(lenient, strict);
         std::fs::remove_file(&path).ok();
     }
 

@@ -1,0 +1,125 @@
+//! Typed CLI errors with a stable exit-code contract.
+//!
+//! Scripts driving `comparesets` can branch on the exit code without
+//! parsing stderr:
+//!
+//! | code | class    | meaning                                            |
+//! |------|----------|----------------------------------------------------|
+//! | 0    | success  | command completed                                  |
+//! | 1    | internal | unexpected failure inside the tool                 |
+//! | 2    | usage    | bad flags, unknown command, out-of-range arguments |
+//! | 3    | io       | file could not be opened, read, or written         |
+//! | 4    | data     | input parsed but is corrupt or unusable            |
+//! | 5    | solver   | numerical failure on the solve path                |
+//!
+//! Every error prints as `error: <readable cause chain>` on stderr; usage
+//! errors additionally print the usage text.
+
+/// Classification of a CLI failure, one exit code per class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// Unexpected internal failure (exit 1).
+    Internal,
+    /// Command-line usage problem (exit 2).
+    Usage,
+    /// Filesystem failure (exit 3).
+    Io,
+    /// Corrupt or unusable input data (exit 4).
+    Data,
+    /// Numerical failure in the solver stack (exit 5).
+    Solver,
+}
+
+/// A classified CLI error: what failed plus a readable cause.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError {
+    /// Failure class, mapped 1:1 to the process exit code.
+    pub kind: ErrorKind,
+    message: String,
+}
+
+impl CliError {
+    /// A usage error (exit 2).
+    pub fn usage(message: impl Into<String>) -> Self {
+        CliError {
+            kind: ErrorKind::Usage,
+            message: message.into(),
+        }
+    }
+
+    /// An IO error (exit 3).
+    pub fn io(message: impl Into<String>) -> Self {
+        CliError {
+            kind: ErrorKind::Io,
+            message: message.into(),
+        }
+    }
+
+    /// A corrupt-data error (exit 4).
+    pub fn data(message: impl Into<String>) -> Self {
+        CliError {
+            kind: ErrorKind::Data,
+            message: message.into(),
+        }
+    }
+
+    /// A solver error (exit 5).
+    pub fn solver(message: impl Into<String>) -> Self {
+        CliError {
+            kind: ErrorKind::Solver,
+            message: message.into(),
+        }
+    }
+
+    /// An internal error (exit 1).
+    pub fn internal(message: impl Into<String>) -> Self {
+        CliError {
+            kind: ErrorKind::Internal,
+            message: message.into(),
+        }
+    }
+
+    /// The process exit code for this error class.
+    pub fn exit_code(&self) -> u8 {
+        match self.kind {
+            ErrorKind::Internal => 1,
+            ErrorKind::Usage => 2,
+            ErrorKind::Io => 3,
+            ErrorKind::Data => 4,
+            ErrorKind::Solver => 5,
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_codes_are_distinct_and_stable() {
+        let errors = [
+            CliError::internal("x"),
+            CliError::usage("x"),
+            CliError::io("x"),
+            CliError::data("x"),
+            CliError::solver("x"),
+        ];
+        let codes: Vec<u8> = errors.iter().map(CliError::exit_code).collect();
+        assert_eq!(codes, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn display_is_the_plain_message() {
+        let e = CliError::data("loading x.json: invalid dataset");
+        assert_eq!(e.to_string(), "loading x.json: invalid dataset");
+        assert_eq!(e.kind, ErrorKind::Data);
+    }
+}

@@ -7,24 +7,46 @@
 //! comparesets select --corpus corpus.json --target 0 --m 3 --algorithm comparesets+
 //! comparesets narrow --corpus corpus.json --target 0 --k 3 --method exact
 //! ```
+//!
+//! Failures exit with a classified code (see `comparesets help` or
+//! [`error`]): 1 internal, 2 usage, 3 io, 4 data, 5 solver.
 
 mod args;
 mod commands;
+mod error;
 
+use error::ErrorKind;
+use std::io::Write;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    match commands::dispatch(&argv) {
+    // Last-resort boundary: a panic that escapes the command layer becomes
+    // an internal error (exit 1) instead of an abort trace.
+    let result = std::panic::catch_unwind(|| commands::dispatch(&argv)).unwrap_or_else(|payload| {
+        let cause = payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "unexpected panic".to_string());
+        Err(error::CliError::internal(format!(
+            "internal error: {cause}"
+        )))
+    });
+    match result {
         Ok(output) => {
-            println!("{output}");
+            // A closed stdout (e.g. piped into `head`) is not a failure of
+            // the command — swallow the write error instead of panicking.
+            let _ = writeln!(std::io::stdout(), "{output}");
             ExitCode::SUCCESS
         }
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!();
-            eprintln!("{}", commands::USAGE);
-            ExitCode::FAILURE
+            if e.kind == ErrorKind::Usage {
+                eprintln!();
+                eprintln!("{}", commands::USAGE);
+            }
+            ExitCode::from(e.exit_code())
         }
     }
 }

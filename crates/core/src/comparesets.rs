@@ -24,8 +24,11 @@ use comparesets_linalg::vector::sq_distance;
 use comparesets_linalg::NompWorkspace;
 use rayon::prelude::*;
 
+use crate::error::{validate_params, CoreError};
 use crate::instance::{InstanceContext, Selection};
-use crate::integer_regression::{integer_regression_with, RegressionTask};
+use crate::integer_regression::{
+    integer_regression_with, try_integer_regression_with, RegressionTask,
+};
 use crate::{SelectParams, SolveOptions};
 
 /// Solve CompaReSetS (Problem 1): independent Integer-Regression per item
@@ -69,6 +72,55 @@ pub fn solve_comparesets_with(
             .map(|i| solve_item(i, &mut ws))
             .collect()
     }
+}
+
+/// Checked variant of [`solve_comparesets_with`]: validates the parameters
+/// up front and isolates numerical failures per item.
+///
+/// The outer `Err` reports structurally invalid parameters (m = 0,
+/// non-finite λ/μ) before any item is touched. The inner vector has one
+/// slot per item, in item order: a degenerate item (e.g. NaN-contaminated
+/// features) yields `Err(CoreError::Solver { item, .. })` in its slot
+/// while every other item still solves — the rayon fan-out is
+/// failure-isolated, one bad item never poisons the batch. On well-posed
+/// inputs every slot is `Ok` and bit-identical to the unchecked solver.
+///
+/// # Errors
+/// [`CoreError::InvalidParams`] on bad parameters (outer); per-item
+/// [`CoreError::Solver`] in the slots (inner).
+pub fn solve_comparesets_checked(
+    ctx: &InstanceContext,
+    params: &SelectParams,
+    opts: &SolveOptions,
+) -> Result<Vec<Result<Selection, CoreError>>, CoreError> {
+    validate_params(params)?;
+    let lambda = params.lambda;
+    let solve_item = |i: usize, ws: &mut NompWorkspace| -> Result<Selection, CoreError> {
+        let item = ctx.item(i);
+        let tau = ctx.tau(i);
+        let gamma = ctx.gamma();
+        let task = RegressionTask::try_build(ctx.space(), item, tau, &[(gamma, lambda)])?;
+        try_integer_regression_with(
+            &task,
+            params.m,
+            |sel| crate::objective::item_objective(ctx, i, sel, lambda),
+            ws,
+        )
+        .map_err(|source| CoreError::Solver { item: i, source })
+    };
+    Ok(if opts.parallel {
+        crate::run_on_pool(opts, || {
+            (0..ctx.num_items())
+                .into_par_iter()
+                .map(|i| solve_item(i, &mut NompWorkspace::new()))
+                .collect()
+        })
+    } else {
+        let mut ws = NompWorkspace::new();
+        (0..ctx.num_items())
+            .map(|i| solve_item(i, &mut ws))
+            .collect()
+    })
 }
 
 /// Solve CompaReSetS+ (Problem 2) with one alternating sweep (Algorithm 1).
@@ -152,6 +204,92 @@ pub fn solve_comparesets_plus_sweeps_with(
         }
     }
     selections
+}
+
+/// Checked variant of [`solve_comparesets_plus_sweeps_with`].
+///
+/// The CompaReSetS seed runs through [`solve_comparesets_checked`], so a
+/// degenerate item lands as `Err` in its slot and is **excluded from the
+/// coupling**: healthy items synchronise among themselves as if the failed
+/// item were absent, and the failed slots keep their per-item error. A
+/// sweep-step failure on an otherwise-seeded item degrades gracefully —
+/// the item keeps its current (valid) selection rather than erroring,
+/// matching the accept-only-if-better contract of Algorithm 1.
+///
+/// On well-posed inputs every slot is `Ok` and bit-identical to the
+/// unchecked solver: same seed, same sweeps, same accept decisions.
+///
+/// # Errors
+/// [`CoreError::InvalidParams`] on bad parameters (outer); per-item
+/// [`CoreError::Solver`] in the slots (inner).
+pub fn solve_comparesets_plus_checked(
+    ctx: &InstanceContext,
+    params: &SelectParams,
+    sweeps: usize,
+    opts: &SolveOptions,
+) -> Result<Vec<Result<Selection, CoreError>>, CoreError> {
+    let (lambda, mu) = (params.lambda, params.mu);
+    let mut slots = solve_comparesets_checked(ctx, params, opts)?;
+    let n = ctx.num_items();
+    if n <= 1 || mu == 0.0 {
+        return Ok(slots);
+    }
+
+    let mut ws = NompWorkspace::new();
+    for _ in 0..sweeps {
+        for i in 0..n {
+            if slots[i].is_err() {
+                continue;
+            }
+            // φ(Sⱼ) of every other *healthy* item under its current
+            // selection; failed items contribute no coupling.
+            let other_phis: Vec<Vec<f64>> = (0..n)
+                .filter(|&j| j != i)
+                .filter_map(|j| {
+                    slots[j]
+                        .as_ref()
+                        .ok()
+                        .map(|sel| ctx.space().phi(ctx.item(j), &sel.indices))
+                })
+                .collect();
+
+            let item_plus_cost = |sel: &Selection| {
+                let base = crate::objective::item_objective(ctx, i, sel, lambda);
+                let phi = ctx.space().phi(ctx.item(i), &sel.indices);
+                let coupling: f64 = other_phis.iter().map(|p| sq_distance(&phi, p)).sum();
+                base + mu * mu * coupling
+            };
+
+            let current = match &slots[i] {
+                Ok(sel) => sel.clone(),
+                Err(_) => continue,
+            };
+            let current_cost = item_plus_cost(&current);
+
+            let mut aspect_targets: Vec<(&[f64], f64)> = Vec::with_capacity(1 + other_phis.len());
+            aspect_targets.push((ctx.gamma(), lambda));
+            for p in &other_phis {
+                aspect_targets.push((p.as_slice(), mu));
+            }
+            let task = match RegressionTask::try_build(
+                ctx.space(),
+                ctx.item(i),
+                ctx.tau(i),
+                &aspect_targets,
+            ) {
+                Ok(t) => t,
+                Err(_) => continue, // keep the current valid selection
+            };
+            if let Ok(candidate) =
+                try_integer_regression_with(&task, params.m, item_plus_cost, &mut ws)
+            {
+                if item_plus_cost(&candidate) < current_cost {
+                    slots[i] = Ok(candidate);
+                }
+            }
+        }
+    }
+    Ok(slots)
 }
 
 #[cfg(test)]
@@ -301,5 +439,44 @@ mod tests {
             solve_comparesets_plus(&ctx, &p),
             solve_comparesets(&ctx, &p)
         );
+    }
+
+    #[test]
+    fn checked_solver_matches_unchecked_on_well_posed_input() {
+        let ctx = figure2_ctx();
+        let p = params(3, 1.0, 0.5);
+        let opts = SolveOptions::default();
+        let legacy = solve_comparesets(&ctx, &p);
+        let checked: Vec<Selection> = solve_comparesets_checked(&ctx, &p, &opts)
+            .unwrap()
+            .into_iter()
+            .map(|r| r.unwrap())
+            .collect();
+        assert_eq!(legacy, checked);
+
+        let legacy_plus = solve_comparesets_plus_sweeps(&ctx, &p, 2);
+        let checked_plus: Vec<Selection> = solve_comparesets_plus_checked(&ctx, &p, 2, &opts)
+            .unwrap()
+            .into_iter()
+            .map(|r| r.unwrap())
+            .collect();
+        assert_eq!(legacy_plus, checked_plus);
+    }
+
+    #[test]
+    fn checked_solver_rejects_invalid_params_up_front() {
+        let ctx = figure2_ctx();
+        let opts = SolveOptions::default();
+        for bad in [
+            params(0, 1.0, 0.1),
+            params(3, f64::NAN, 0.1),
+            params(3, 1.0, f64::INFINITY),
+        ] {
+            assert!(matches!(
+                solve_comparesets_checked(&ctx, &bad, &opts),
+                Err(CoreError::InvalidParams(_))
+            ));
+            assert!(solve_comparesets_plus_checked(&ctx, &bad, 1, &opts).is_err());
+        }
     }
 }

@@ -7,8 +7,11 @@
 //! with a single item and λ = 0. It shares the Integer-Regression
 //! machinery but regresses on the opinion block only.
 
+use crate::error::CoreError;
 use crate::instance::{InstanceContext, Selection};
-use crate::integer_regression::{integer_regression_with, RegressionTask};
+use crate::integer_regression::{
+    integer_regression_with, try_integer_regression_with, RegressionTask,
+};
 use crate::SolveOptions;
 use comparesets_linalg::vector::sq_distance;
 use comparesets_linalg::NompWorkspace;
@@ -47,6 +50,48 @@ pub fn solve_crs_with(ctx: &InstanceContext, m: usize, opts: &SolveOptions) -> V
             .map(|i| solve_item(i, &mut ws))
             .collect()
     }
+}
+
+/// Checked variant of [`solve_crs_with`]: per-item failure isolation with
+/// the same slot contract as
+/// [`crate::comparesets::solve_comparesets_checked`].
+///
+/// # Errors
+/// [`CoreError::InvalidParams`] when `m == 0` (outer); per-item
+/// [`CoreError::Solver`] in the slots (inner).
+pub fn solve_crs_checked(
+    ctx: &InstanceContext,
+    m: usize,
+    opts: &SolveOptions,
+) -> Result<Vec<Result<Selection, CoreError>>, CoreError> {
+    if m == 0 {
+        return Err(CoreError::InvalidParams("m must be at least 1"));
+    }
+    let solve_item = |i: usize, ws: &mut NompWorkspace| -> Result<Selection, CoreError> {
+        let item = ctx.item(i);
+        let tau = ctx.tau(i);
+        let task = RegressionTask::try_build(ctx.space(), item, tau, &[])?;
+        try_integer_regression_with(
+            &task,
+            m,
+            |sel| sq_distance(tau, &ctx.space().pi(item, &sel.indices)),
+            ws,
+        )
+        .map_err(|source| CoreError::Solver { item: i, source })
+    };
+    Ok(if opts.parallel {
+        crate::run_on_pool(opts, || {
+            (0..ctx.num_items())
+                .into_par_iter()
+                .map(|i| solve_item(i, &mut NompWorkspace::new()))
+                .collect()
+        })
+    } else {
+        let mut ws = NompWorkspace::new();
+        (0..ctx.num_items())
+            .map(|i| solve_item(i, &mut ws))
+            .collect()
+    })
 }
 
 #[cfg(test)]
@@ -104,5 +149,23 @@ mod tests {
             let single = sq_distance(ctx.tau(0), &ctx.space().pi(ctx.item(0), &[r]));
             assert!(cost <= single + 1e-12);
         }
+    }
+
+    #[test]
+    fn checked_crs_matches_unchecked_and_validates_m() {
+        let item = crate::space::fixtures::working_example_item();
+        let ctx = InstanceContext::from_items(5, vec![item], OpinionScheme::Binary);
+        let opts = SolveOptions::default();
+        let legacy = solve_crs(&ctx, 3);
+        let checked: Vec<_> = solve_crs_checked(&ctx, 3, &opts)
+            .unwrap()
+            .into_iter()
+            .map(|r| r.unwrap())
+            .collect();
+        assert_eq!(legacy, checked);
+        assert!(matches!(
+            solve_crs_checked(&ctx, 0, &opts),
+            Err(CoreError::InvalidParams(_))
+        ));
     }
 }

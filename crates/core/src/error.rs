@@ -1,0 +1,126 @@
+//! Typed errors for the core solve path.
+//!
+//! The checked solver entry points (`solve_checked`, `solve_crs_checked`,
+//! `solve_comparesets_checked`, `solve_comparesets_plus_checked`) report
+//! failures through [`CoreError`] instead of panicking. Batch solvers
+//! isolate failures per item: a degenerate item yields an `Err` in its
+//! slot of the result vector while every other item still solves — one
+//! bad item never poisons the batch. See ARCHITECTURE.md ("Error handling
+//! & degradation policy").
+
+use std::fmt;
+
+use comparesets_linalg::SolveError;
+
+/// Errors produced by the core selection solvers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A solver parameter was structurally invalid (m = 0, NaN weights, …).
+    InvalidParams(&'static str),
+    /// Operand shapes are incompatible (target/block dimension mismatch).
+    DimensionMismatch {
+        /// Human-readable description of the check that failed.
+        context: &'static str,
+        /// Expected dimension.
+        expected: usize,
+        /// Provided dimension.
+        actual: usize,
+    },
+    /// The numerical solver failed on one item's regression.
+    Solver {
+        /// Index of the item whose regression failed.
+        item: usize,
+        /// The underlying classified linear-algebra error.
+        source: SolveError,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidParams(msg) => write!(f, "invalid solver parameters: {msg}"),
+            CoreError::DimensionMismatch {
+                context,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "dimension mismatch in {context}: expected {expected}, got {actual}"
+            ),
+            CoreError::Solver { item, source } => {
+                write!(f, "solver failed on item {item}: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Solver { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// Validate the shared solver parameters; every checked entry point calls
+/// this before touching item data.
+pub(crate) fn validate_params(params: &crate::SelectParams) -> Result<(), CoreError> {
+    if params.m == 0 {
+        return Err(CoreError::InvalidParams("m must be at least 1"));
+    }
+    if !params.lambda.is_finite() {
+        return Err(CoreError::InvalidParams("lambda must be finite"));
+    }
+    if !params.mu.is_finite() {
+        return Err(CoreError::InvalidParams("mu must be finite"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_item_and_cause() {
+        let e = CoreError::Solver {
+            item: 7,
+            source: SolveError::NonFinite {
+                context: "nomp rhs",
+            },
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("item 7"));
+        assert!(msg.contains("nomp rhs"));
+    }
+
+    #[test]
+    fn source_chains_to_linalg() {
+        use std::error::Error;
+        let e = CoreError::Solver {
+            item: 0,
+            source: SolveError::Singular { pivot: 1 },
+        };
+        assert!(e.source().is_some());
+        assert!(CoreError::InvalidParams("m").source().is_none());
+    }
+
+    #[test]
+    fn validate_params_classifies_bad_values() {
+        let ok = crate::SelectParams::default();
+        assert!(validate_params(&ok).is_ok());
+        let mut bad = ok;
+        bad.m = 0;
+        assert!(matches!(
+            validate_params(&bad),
+            Err(CoreError::InvalidParams(_))
+        ));
+        let mut bad = ok;
+        bad.lambda = f64::NAN;
+        assert!(validate_params(&bad).is_err());
+        let mut bad = ok;
+        bad.mu = f64::INFINITY;
+        assert!(validate_params(&bad).is_err());
+    }
+}

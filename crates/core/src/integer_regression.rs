@@ -52,8 +52,9 @@
 //! assert!(!sel.is_empty() && sel.len() <= 2);
 //! ```
 
-use comparesets_linalg::{nomp_path_with, CscMatrix, NompOptions, NompWorkspace};
+use comparesets_linalg::{nomp_path_with, CscMatrix, NompOptions, NompWorkspace, SolveError};
 
+use crate::error::CoreError;
 use crate::instance::{Item, Selection};
 use crate::space::VectorSpace;
 
@@ -140,18 +141,49 @@ impl RegressionTask {
     /// one `weight × aspect-indicator` block per aspect target.
     ///
     /// # Panics
-    /// Panics when blocks have wrong dimensions.
+    /// Panics when blocks have wrong dimensions. Use
+    /// [`RegressionTask::try_build`] for a fallible variant.
     pub fn build(
         space: &VectorSpace,
         item: &Item,
         opinion_target: &[f64],
         aspect_targets: &[(&[f64], f64)],
     ) -> Self {
+        match Self::try_build(space, item, opinion_target, aspect_targets) {
+            Ok(task) => task,
+            Err(e) => panic!("RegressionTask::build: {e}"),
+        }
+    }
+
+    /// Fallible variant of [`RegressionTask::build`].
+    ///
+    /// # Errors
+    /// [`CoreError::DimensionMismatch`] when the opinion target does not
+    /// have the space's opinion dimension or an aspect target does not
+    /// have the aspect dimension.
+    pub fn try_build(
+        space: &VectorSpace,
+        item: &Item,
+        opinion_target: &[f64],
+        aspect_targets: &[(&[f64], f64)],
+    ) -> Result<Self, CoreError> {
         let z = space.num_aspects();
         let od = space.opinion_dim();
-        assert_eq!(opinion_target.len(), od, "opinion target dimension");
+        if opinion_target.len() != od {
+            return Err(CoreError::DimensionMismatch {
+                context: "RegressionTask opinion target",
+                expected: od,
+                actual: opinion_target.len(),
+            });
+        }
         for (t, _) in aspect_targets {
-            assert_eq!(t.len(), z, "aspect target dimension");
+            if t.len() != z {
+                return Err(CoreError::DimensionMismatch {
+                    context: "RegressionTask aspect target",
+                    expected: z,
+                    actual: t.len(),
+                });
+            }
         }
         let dedup = DedupColumns::build(item);
         let rows = od + z * aspect_targets.len();
@@ -179,17 +211,29 @@ impl RegressionTask {
                 entries
             })
             .collect();
-        let matrix = CscMatrix::from_columns(rows, &columns);
+        let matrix = CscMatrix::try_from_columns(rows, &columns).map_err(|e| match e {
+            SolveError::DimensionMismatch {
+                expected, actual, ..
+            } => CoreError::DimensionMismatch {
+                context: "RegressionTask design matrix rows",
+                expected,
+                actual,
+            },
+            other => CoreError::Solver {
+                item: 0,
+                source: other,
+            },
+        })?;
         let mut target = Vec::with_capacity(rows);
         target.extend_from_slice(opinion_target);
         for &(t, w) in aspect_targets {
             target.extend(t.iter().map(|v| w * v));
         }
-        RegressionTask {
+        Ok(RegressionTask {
             matrix,
             target,
             dedup,
-        }
+        })
     }
 }
 
@@ -275,6 +319,63 @@ pub fn integer_regression_with<F>(
 where
     F: FnMut(&Selection) -> f64,
 {
+    // Non-strict mode never returns Err (a failed relaxation falls back to
+    // the single-review sweep), so the default branch is unreachable.
+    integer_regression_impl(task, m, &mut evaluate, workspace, false).unwrap_or_default()
+}
+
+/// [`integer_regression`] that propagates solver failures instead of
+/// silently degrading to the single-review fallback.
+///
+/// On well-posed inputs this returns exactly what [`integer_regression`]
+/// returns; the two differ only when the continuous relaxation itself
+/// fails (non-finite targets, injected faults), where the strict variant
+/// reports the classified [`SolveError`] so batch drivers can isolate the
+/// offending item.
+///
+/// # Errors
+/// The [`SolveError`] the NOMP relaxation reported.
+pub fn try_integer_regression<F>(
+    task: &RegressionTask,
+    m: usize,
+    mut evaluate: F,
+) -> Result<Selection, SolveError>
+where
+    F: FnMut(&Selection) -> f64,
+{
+    integer_regression_impl(task, m, &mut evaluate, &mut NompWorkspace::new(), true)
+}
+
+/// [`try_integer_regression`] with caller-provided solver scratch.
+///
+/// # Errors
+/// As [`try_integer_regression`].
+pub fn try_integer_regression_with<F>(
+    task: &RegressionTask,
+    m: usize,
+    mut evaluate: F,
+    workspace: &mut NompWorkspace,
+) -> Result<Selection, SolveError>
+where
+    F: FnMut(&Selection) -> f64,
+{
+    integer_regression_impl(task, m, &mut evaluate, workspace, true)
+}
+
+/// Shared engine behind the strict and non-strict entry points. `strict`
+/// decides what a failed relaxation does: propagate the classified error
+/// (checked solvers) or continue into the single-review fallback (legacy
+/// behaviour, kept bit-for-bit for well-posed inputs).
+fn integer_regression_impl<F>(
+    task: &RegressionTask,
+    m: usize,
+    evaluate: &mut F,
+    workspace: &mut NompWorkspace,
+    strict: bool,
+) -> Result<Selection, SolveError>
+where
+    F: FnMut(&Selection) -> f64,
+{
     let caps = task.dedup.caps();
     let q = task.dedup.len();
     let mut best: Option<(f64, Selection)> = None;
@@ -288,29 +389,33 @@ where
         }
     };
 
-    if q > 0 {
+    if q > 0 && m > 0 {
         // Budgets ℓ > q stop exactly where ℓ = q does (the support can
         // never exceed the q distinct columns), so the path only needs the
         // distinct budgets 1..=min(m, q); duplicates would re-evaluate the
         // same candidates and lose every strict-< comparison anyway.
         let l_max = m.min(q);
-        if let Ok(path) = nomp_path_with(
+        match nomp_path_with(
             &task.matrix,
             &task.target,
             NompOptions::with_max_atoms(l_max),
             workspace,
         ) {
-            for res in &path {
-                if res.support.is_empty() {
-                    continue;
-                }
-                for s in 1..=m {
-                    if let Some(nu) = round_with_caps(&res.x, s, &caps) {
-                        let sel = task.dedup.expand(&nu);
-                        consider(sel, &mut evaluate, &mut best);
+            Ok(path) => {
+                for res in &path {
+                    if res.support.is_empty() {
+                        continue;
+                    }
+                    for s in 1..=m {
+                        if let Some(nu) = round_with_caps(&res.x, s, &caps) {
+                            let sel = task.dedup.expand(&nu);
+                            consider(sel, evaluate, &mut best);
+                        }
                     }
                 }
             }
+            Err(e) if strict => return Err(e),
+            Err(_) => {}
         }
     }
 
@@ -320,11 +425,11 @@ where
             let mut nu = vec![0usize; q];
             nu[g] = 1;
             let sel = task.dedup.expand(&nu);
-            consider(sel, &mut evaluate, &mut best);
+            consider(sel, evaluate, &mut best);
         }
     }
 
-    best.map(|(_, s)| s).unwrap_or_default()
+    Ok(best.map(|(_, s)| s).unwrap_or_default())
 }
 
 #[cfg(test)]
@@ -487,6 +592,57 @@ mod tests {
         let sel = integer_regression(&task, 3, |s| {
             sq_distance(&tau, &space.pi(&item, &s.indices))
         });
+        assert_eq!(sel.indices, vec![0]);
+    }
+
+    #[test]
+    fn try_build_classifies_dimension_mismatches() {
+        let item = item_with(vec![vec![(0, Polarity::Positive)]]);
+        let space = VectorSpace::new(2, OpinionScheme::Binary);
+        let short_tau = vec![1.0]; // opinion_dim is 4 for Binary over 2 aspects
+        let r = RegressionTask::try_build(&space, &item, &short_tau, &[]);
+        assert!(matches!(
+            r,
+            Err(crate::error::CoreError::DimensionMismatch { .. })
+        ));
+        let tau = vec![0.0; space.opinion_dim()];
+        let short_gamma = vec![1.0];
+        let r = RegressionTask::try_build(&space, &item, &tau, &[(&short_gamma, 1.0)]);
+        assert!(matches!(
+            r,
+            Err(crate::error::CoreError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn strict_variant_matches_legacy_on_well_posed_input() {
+        let item = crate::space::fixtures::working_example_item();
+        let space = VectorSpace::new(5, OpinionScheme::Binary);
+        let all: Vec<usize> = (0..7).collect();
+        let tau = space.pi(&item, &all);
+        let gamma = space.phi(&item, &all);
+        let task = RegressionTask::build(&space, &item, &tau, &[(&gamma, 1.0)]);
+        let eval = |s: &Selection| {
+            sq_distance(&tau, &space.pi(&item, &s.indices))
+                + sq_distance(&gamma, &space.phi(&item, &s.indices))
+        };
+        let legacy = integer_regression(&task, 3, eval);
+        let strict = try_integer_regression(&task, 3, eval).unwrap();
+        assert_eq!(legacy, strict);
+    }
+
+    #[test]
+    fn strict_variant_propagates_non_finite_targets() {
+        let item = item_with(vec![vec![(0, Polarity::Positive)]]);
+        let space = VectorSpace::new(1, OpinionScheme::Binary);
+        let tau = vec![1.0, 0.0];
+        let mut task = RegressionTask::build(&space, &item, &tau, &[]);
+        task.target[0] = f64::NAN;
+        let r = try_integer_regression(&task, 2, |_| 0.0);
+        assert!(matches!(r, Err(SolveError::NonFinite { .. })));
+        // The legacy entry point degrades to the single-review fallback
+        // instead of failing.
+        let sel = integer_regression(&task, 2, |_| 0.0);
         assert_eq!(sel.indices, vec![0]);
     }
 }

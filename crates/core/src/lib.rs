@@ -34,11 +34,13 @@
 //! ```
 
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod baselines;
 pub mod comparesets;
 pub mod comparison_table;
 pub mod crs;
+pub mod error;
 pub mod exhaustive;
 pub mod incremental;
 pub mod instance;
@@ -48,15 +50,20 @@ pub mod space;
 
 pub use baselines::{solve_greedy, solve_random};
 pub use comparesets::{
-    solve_comparesets, solve_comparesets_plus, solve_comparesets_plus_sweeps,
+    solve_comparesets, solve_comparesets_checked, solve_comparesets_plus,
+    solve_comparesets_plus_checked, solve_comparesets_plus_sweeps,
     solve_comparesets_plus_sweeps_with, solve_comparesets_plus_with, solve_comparesets_with,
 };
 pub use comparison_table::{AspectRow, CellCounts, ComparisonTable};
-pub use crs::{solve_crs, solve_crs_with};
+pub use crs::{solve_crs, solve_crs_checked, solve_crs_with};
+pub use error::CoreError;
 pub use exhaustive::{solve_exhaustive, solve_exhaustive_item};
 pub use incremental::IncrementalSession;
 pub use instance::{InstanceContext, Item, ReviewFeature, Selection};
-pub use integer_regression::{integer_regression, integer_regression_with, RegressionTask};
+pub use integer_regression::{
+    integer_regression, integer_regression_with, try_integer_regression,
+    try_integer_regression_with, RegressionTask,
+};
 pub use objective::{
     comparesets_objective, comparesets_plus_objective, item_objective, pair_distance,
 };
@@ -204,6 +211,40 @@ pub fn solve_with(
         Algorithm::CompareSetsGreedy => solve_greedy(ctx, params),
         Algorithm::CompareSets => solve_comparesets_with(ctx, params, opts),
         Algorithm::CompareSetsPlus => solve_comparesets_plus_with(ctx, params, opts),
+    }
+}
+
+/// Checked variant of [`solve_with`]: validates parameters up front and
+/// isolates per-item solver failures instead of panicking or silently
+/// degrading.
+///
+/// The regression-based algorithms (CRS, CompaReSetS, CompaReSetS+) route
+/// through their `_checked` solvers, so a degenerate item lands as
+/// `Err(CoreError::Solver { item, .. })` in its slot while the rest of the
+/// batch completes. The random and greedy baselines cannot fail
+/// numerically; their selections are wrapped in `Ok` unconditionally. On
+/// well-posed inputs every slot is `Ok` and bit-identical to
+/// [`solve_with`].
+///
+/// # Errors
+/// [`CoreError::InvalidParams`] on structurally invalid parameters.
+pub fn solve_checked(
+    ctx: &InstanceContext,
+    algorithm: Algorithm,
+    params: &SelectParams,
+    seed: u64,
+    opts: &SolveOptions,
+) -> Result<Vec<Result<Selection, CoreError>>, CoreError> {
+    error::validate_params(params)?;
+    match algorithm {
+        Algorithm::Random => Ok(solve_random(ctx, params.m, seed)
+            .into_iter()
+            .map(Ok)
+            .collect()),
+        Algorithm::Crs => solve_crs_checked(ctx, params.m, opts),
+        Algorithm::CompareSetsGreedy => Ok(solve_greedy(ctx, params).into_iter().map(Ok).collect()),
+        Algorithm::CompareSets => solve_comparesets_checked(ctx, params, opts),
+        Algorithm::CompareSetsPlus => solve_comparesets_plus_checked(ctx, params, 1, opts),
     }
 }
 

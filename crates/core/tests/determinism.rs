@@ -3,8 +3,10 @@
 //! are bit-identical to the sequential run. These tests pin that
 //! guarantee on generated instances of all three categories.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use comparesets_core::{
-    comparesets_objective, comparesets_plus_objective, solve_comparesets_plus_with,
+    comparesets_objective, comparesets_plus_objective, solve_checked, solve_comparesets_plus_with,
     solve_comparesets_with, solve_crs_with, solve_with, Algorithm, InstanceContext, OpinionScheme,
     SelectParams, Selection, SolveOptions,
 };
@@ -99,6 +101,39 @@ fn solve_with_honours_options_for_every_algorithm() {
         for opts in option_grid() {
             let par = solve_with(ctx, alg, &params, 7, &opts);
             assert_identical(&seq, &par, &format!("{alg:?} {opts:?}"));
+        }
+    }
+}
+
+/// The fault-tolerant (`_checked`) solve path must not perturb well-posed
+/// solves: for every algorithm, every slot is `Ok` and the selections are
+/// bit-identical to the legacy entry point, sequentially and in parallel.
+#[test]
+fn checked_path_is_bit_identical_to_legacy_on_well_posed_inputs() {
+    let params = SelectParams::default();
+    for (c, ctx) in contexts().iter().enumerate() {
+        for alg in Algorithm::ALL {
+            let legacy = solve_with(ctx, alg, &params, 7, &SolveOptions::sequential());
+            let checked: Vec<Selection> =
+                solve_checked(ctx, alg, &params, 7, &SolveOptions::sequential())
+                    .expect("valid params")
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, r)| r.unwrap_or_else(|e| panic!("ctx {c} {alg:?} item {i}: {e}")))
+                    .collect();
+            assert_identical(&legacy, &checked, &format!("checked ctx {c} {alg:?}"));
+            for opts in option_grid() {
+                let par: Vec<Selection> = solve_checked(ctx, alg, &params, 7, &opts)
+                    .expect("valid params")
+                    .into_iter()
+                    .map(|r| r.expect("well-posed item"))
+                    .collect();
+                assert_identical(
+                    &legacy,
+                    &par,
+                    &format!("checked-par ctx {c} {alg:?} {opts:?}"),
+                );
+            }
         }
     }
 }

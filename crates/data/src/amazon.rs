@@ -92,6 +92,37 @@ impl From<std::io::Error> for AmazonError {
     }
 }
 
+/// Malformed-line accounting for one load: how many JSON-lines were
+/// skipped under the loader's error budget, and what the first failure
+/// looked like (real-world dumps are routinely a few lines short of
+/// clean).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SkippedLines {
+    /// Malformed lines skipped in the reviews file.
+    pub reviews: usize,
+    /// Malformed lines skipped in the metadata file.
+    pub metadata: usize,
+    /// The first skipped line, rendered as `"<file> line <n>: <cause>"`.
+    pub first_error: Option<String>,
+}
+
+impl SkippedLines {
+    /// Total lines skipped across both files.
+    pub fn total(&self) -> usize {
+        self.reviews + self.metadata
+    }
+
+    fn record(&mut self, file: &str, line: usize, source: &serde_json::Error) {
+        if self.first_error.is_none() {
+            self.first_error = Some(format!("{file} line {line}: {source}"));
+        }
+        match file {
+            "reviews" => self.reviews += 1,
+            _ => self.metadata += 1,
+        }
+    }
+}
+
 /// Configuration of the loader.
 #[derive(Debug, Clone)]
 pub struct AmazonLoader {
@@ -105,6 +136,12 @@ pub struct AmazonLoader {
     /// Drop products with fewer reviews than this (the paper's 5-core
     /// data guarantees ≥ 5).
     pub min_reviews_per_product: usize,
+    /// Number of malformed JSON-lines tolerated (summed over both input
+    /// files) before the load fails. 0 — the default — keeps the strict
+    /// behaviour: the first bad line is an error. Skips are counted in
+    /// [`SkippedLines`]; use [`AmazonLoader::load_with_report`] to see
+    /// them.
+    pub error_budget: usize,
 }
 
 impl Default for AmazonLoader {
@@ -114,6 +151,7 @@ impl Default for AmazonLoader {
             max_aspects: 500,
             min_aspect_count: 3,
             min_reviews_per_product: 1,
+            error_budget: 0,
         }
     }
 }
@@ -130,7 +168,23 @@ impl AmazonLoader {
         reviews: R1,
         metadata: R2,
     ) -> Result<Dataset, AmazonError> {
-        let raw_reviews = read_reviews(reviews)?;
+        self.load_with_report(reviews, metadata).map(|(ds, _)| ds)
+    }
+
+    /// [`AmazonLoader::load`] plus malformed-line accounting: the returned
+    /// [`SkippedLines`] says how many lines were skipped under
+    /// [`AmazonLoader::error_budget`] and quotes the first failure.
+    ///
+    /// # Errors
+    /// As for [`AmazonLoader::load`]; a parse error surfaces only once the
+    /// budget is exhausted.
+    pub fn load_with_report<R1: BufRead, R2: BufRead>(
+        &self,
+        reviews: R1,
+        metadata: R2,
+    ) -> Result<(Dataset, SkippedLines), AmazonError> {
+        let mut skipped = SkippedLines::default();
+        let raw_reviews = read_reviews(reviews, self.error_budget, &mut skipped)?;
         if raw_reviews.is_empty() {
             return Err(AmazonError::Empty);
         }
@@ -139,7 +193,8 @@ impl AmazonLoader {
             self.max_aspects,
             self.min_aspect_count,
         );
-        self.load_with_extractor(raw_reviews, metadata, &extractor)
+        let ds = self.load_with_extractor(raw_reviews, metadata, &extractor, &mut skipped)?;
+        Ok((ds, skipped))
     }
 
     /// Load with a caller-supplied aspect extractor (fixed vocabulary).
@@ -152,11 +207,12 @@ impl AmazonLoader {
         metadata: R2,
         extractor: &AspectExtractor,
     ) -> Result<Dataset, AmazonError> {
-        let raw_reviews = read_reviews(reviews)?;
+        let mut skipped = SkippedLines::default();
+        let raw_reviews = read_reviews(reviews, self.error_budget, &mut skipped)?;
         if raw_reviews.is_empty() {
             return Err(AmazonError::Empty);
         }
-        self.load_with_extractor(raw_reviews, metadata, extractor)
+        self.load_with_extractor(raw_reviews, metadata, extractor, &mut skipped)
     }
 
     fn load_with_extractor<R2: BufRead>(
@@ -164,8 +220,9 @@ impl AmazonLoader {
         raw_reviews: Vec<RawReview>,
         metadata: R2,
         extractor: &AspectExtractor,
+        skipped: &mut SkippedLines,
     ) -> Result<Dataset, AmazonError> {
-        let metas = read_metadata(metadata)?;
+        let metas = read_metadata(metadata, self.error_budget, skipped)?;
 
         // Assign product ids to every asin seen in reviews (metadata may
         // cover a superset; products without reviews are retained only if
@@ -272,34 +329,52 @@ impl AmazonLoader {
     }
 }
 
-fn read_reviews<R: BufRead>(reader: R) -> Result<Vec<RawReview>, AmazonError> {
+fn read_reviews<R: BufRead>(
+    reader: R,
+    budget: usize,
+    skipped: &mut SkippedLines,
+) -> Result<Vec<RawReview>, AmazonError> {
     let mut out = Vec::new();
     for (idx, line) in reader.lines().enumerate() {
         let line = line?;
         if line.trim().is_empty() {
             continue;
         }
-        let raw: RawReview = serde_json::from_str(&line).map_err(|source| AmazonError::Parse {
-            line: idx + 1,
-            source,
-        })?;
-        out.push(raw);
+        match serde_json::from_str::<RawReview>(&line) {
+            Ok(raw) => out.push(raw),
+            Err(source) if skipped.total() < budget => skipped.record("reviews", idx + 1, &source),
+            Err(source) => {
+                return Err(AmazonError::Parse {
+                    line: idx + 1,
+                    source,
+                })
+            }
+        }
     }
     Ok(out)
 }
 
-fn read_metadata<R: BufRead>(reader: R) -> Result<Vec<RawMeta>, AmazonError> {
+fn read_metadata<R: BufRead>(
+    reader: R,
+    budget: usize,
+    skipped: &mut SkippedLines,
+) -> Result<Vec<RawMeta>, AmazonError> {
     let mut out = Vec::new();
     for (idx, line) in reader.lines().enumerate() {
         let line = line?;
         if line.trim().is_empty() {
             continue;
         }
-        let raw: RawMeta = serde_json::from_str(&line).map_err(|source| AmazonError::Parse {
-            line: idx + 1,
-            source,
-        })?;
-        out.push(raw);
+        match serde_json::from_str::<RawMeta>(&line) {
+            Ok(raw) => out.push(raw),
+            Err(source) if skipped.total() < budget => skipped.record("metadata", idx + 1, &source),
+            Err(source) => {
+                return Err(AmazonError::Parse {
+                    line: idx + 1,
+                    source,
+                })
+            }
+        }
     }
     Ok(out)
 }
@@ -327,6 +402,7 @@ mod tests {
             max_aspects: 10,
             min_aspect_count: 1,
             min_reviews_per_product: 1,
+            error_budget: 0,
         }
     }
 
@@ -430,6 +506,47 @@ mod tests {
             .load(Cursor::new(no_aspects), Cursor::new(""))
             .unwrap_err();
         assert!(matches!(err2, AmazonError::Empty));
+    }
+
+    #[test]
+    fn error_budget_skips_corrupted_lines_and_reports_them() {
+        // A real-world-shaped corrupted dump: truncated JSON, a stray
+        // non-JSON line, and a bad metadata line among healthy records.
+        let corrupt_reviews = r#"{"reviewerID":"A1","asin":"B001","reviewText":"The battery is great.","overall":5.0}
+{"reviewerID":"A2","asin":"B001","reviewText":"Terrible batt
+not json at all
+{"reviewerID":"A3","asin":"B002","reviewText":"Battery works, case is good.","overall":4.0}
+"#;
+        let corrupt_meta = "{\"asin\":\"B001\",\"title\":\"Acme Charger\"}\n{broken\n";
+
+        // Strict default: the first malformed line is a hard error.
+        let strict_err = loader()
+            .load(Cursor::new(corrupt_reviews), Cursor::new(corrupt_meta))
+            .unwrap_err();
+        assert!(matches!(strict_err, AmazonError::Parse { line: 2, .. }));
+
+        // With a sufficient budget the healthy lines load and the skips
+        // are accounted for, first failure quoted.
+        let mut l = loader();
+        l.error_budget = 3;
+        let (ds, skipped) = l
+            .load_with_report(Cursor::new(corrupt_reviews), Cursor::new(corrupt_meta))
+            .unwrap();
+        assert_eq!(ds.reviews.len(), 2);
+        assert_eq!(skipped.reviews, 2);
+        assert_eq!(skipped.metadata, 1);
+        assert_eq!(skipped.total(), 3);
+        let first = skipped.first_error.as_deref().unwrap();
+        assert!(first.starts_with("reviews line 2:"), "{first}");
+
+        // A budget smaller than the number of bad lines still fails, on
+        // the first line past the budget.
+        let mut tight = loader();
+        tight.error_budget = 2;
+        let err = tight
+            .load(Cursor::new(corrupt_reviews), Cursor::new(corrupt_meta))
+            .unwrap_err();
+        assert!(matches!(err, AmazonError::Parse { line: 2, .. }), "{err:?}");
     }
 
     #[test]

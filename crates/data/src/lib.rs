@@ -28,7 +28,7 @@ pub mod stats;
 pub mod synth;
 pub mod templates;
 
-pub use amazon::{AmazonError, AmazonLoader};
+pub use amazon::{AmazonError, AmazonLoader, SkippedLines};
 pub use model::{
     AspectId, AspectMention, ComparisonInstance, Dataset, Polarity, Product, ProductId, Review,
     ReviewId,

@@ -1,16 +1,19 @@
 //! Run every experiment in sequence (the full reproduction pass).
-fn main() {
+//!
+//! Experiments run behind the fault-tolerant harness: a panic in one
+//! experiment is recorded in the summary block while the rest of the
+//! suite still runs. Exits nonzero when any experiment failed.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
     let cfg = comparesets_eval::EvalConfig::from_env();
-    println!("{}\n", comparesets_eval::table2::run(&cfg).render());
-    println!("{}\n", comparesets_eval::table3::run(&cfg).render());
-    println!("{}\n", comparesets_eval::table4::run(&cfg).render());
-    println!("{}\n", comparesets_eval::table5::run(&cfg).render());
-    println!("{}\n", comparesets_eval::table6::run(&cfg).render());
-    println!("{}\n", comparesets_eval::table7::run(&cfg).render());
-    println!("{}\n", comparesets_eval::fig5::run(&cfg).render());
-    println!("{}\n", comparesets_eval::fig6::run(&cfg).render());
-    println!("{}\n", comparesets_eval::fig7::run(&cfg).render());
-    println!("{}\n", comparesets_eval::fig11::run(&cfg).render());
-    let cases = comparesets_eval::casestudy::run(&cfg);
-    println!("{}", comparesets_eval::casestudy::render(&cases));
+    let suite = comparesets_eval::standard_suite();
+    let report = comparesets_eval::run_suite(&suite, &cfg);
+    print!("{}", report.render());
+    if report.all_completed() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }

@@ -1,0 +1,232 @@
+//! Fault-tolerant experiment runner.
+//!
+//! A full reproduction pass runs eleven independent experiments; one
+//! degenerate experiment (a panic deep in a solver, a poisoned dataset)
+//! must not take the other ten down with it. [`run_suite`] executes each
+//! experiment behind a panic boundary, records the outcome, and returns a
+//! [`SuiteReport`] that renders every successful table/figure plus a
+//! failure summary — the pipeline always completes.
+//!
+//! See the "Error handling & degradation policy" section of
+//! ARCHITECTURE.md for where this layer sits in the overall ladder.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use crate::EvalConfig;
+
+/// One experiment of the reproduction pass: a display name plus a runner
+/// producing the rendered table/figure text.
+pub struct Experiment {
+    /// Name as shown in the report (e.g. `"table3"`).
+    pub name: &'static str,
+    /// What the experiment reproduces (e.g. `"Table 3 — review alignment"`).
+    pub title: &'static str,
+    runner: Box<dyn Fn(&EvalConfig) -> String + Send>,
+}
+
+impl Experiment {
+    /// Wrap a rendering closure as a named experiment.
+    pub fn new(
+        name: &'static str,
+        title: &'static str,
+        runner: impl Fn(&EvalConfig) -> String + Send + 'static,
+    ) -> Self {
+        Experiment {
+            name,
+            title,
+            runner: Box::new(runner),
+        }
+    }
+}
+
+impl std::fmt::Debug for Experiment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Experiment")
+            .field("name", &self.name)
+            .field("title", &self.title)
+            .finish_non_exhaustive()
+    }
+}
+
+/// What happened when one experiment ran.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExperimentOutcome {
+    /// The experiment completed; the rendered output is attached.
+    Completed(String),
+    /// The experiment panicked; the payload (downcast to text when
+    /// possible) is attached.
+    Failed(String),
+}
+
+impl ExperimentOutcome {
+    /// True for [`ExperimentOutcome::Completed`].
+    pub fn is_completed(&self) -> bool {
+        matches!(self, ExperimentOutcome::Completed(_))
+    }
+}
+
+/// The result of a full suite run: per-experiment outcomes in run order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SuiteReport {
+    /// `(experiment name, outcome)` pairs, one per experiment, in order.
+    pub outcomes: Vec<(&'static str, ExperimentOutcome)>,
+}
+
+impl SuiteReport {
+    /// Number of experiments that completed.
+    pub fn completed(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|(_, o)| o.is_completed())
+            .count()
+    }
+
+    /// Names and messages of the experiments that failed, in run order.
+    pub fn failures(&self) -> Vec<(&'static str, &str)> {
+        self.outcomes
+            .iter()
+            .filter_map(|(name, o)| match o {
+                ExperimentOutcome::Failed(msg) => Some((*name, msg.as_str())),
+                ExperimentOutcome::Completed(_) => None,
+            })
+            .collect()
+    }
+
+    /// True when every experiment completed.
+    pub fn all_completed(&self) -> bool {
+        self.completed() == self.outcomes.len()
+    }
+
+    /// Render the full report: each successful experiment's output in run
+    /// order, then a summary block listing any failures.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (_, outcome) in &self.outcomes {
+            if let ExperimentOutcome::Completed(text) = outcome {
+                out.push_str(text);
+                out.push_str("\n\n");
+            }
+        }
+        out.push_str(&self.render_summary());
+        out
+    }
+
+    /// Render only the summary block.
+    pub fn render_summary(&self) -> String {
+        let mut out = format!(
+            "== suite summary: {}/{} experiments completed ==\n",
+            self.completed(),
+            self.outcomes.len()
+        );
+        for (name, msg) in self.failures() {
+            out.push_str(&format!("FAILED {name}: {msg}\n"));
+        }
+        out
+    }
+}
+
+/// Turn a panic payload into readable text.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Run every experiment, isolating panics per experiment. The returned
+/// report always covers all experiments; a failure in one never aborts the
+/// suite.
+pub fn run_suite(experiments: &[Experiment], cfg: &EvalConfig) -> SuiteReport {
+    let outcomes = experiments
+        .iter()
+        .map(|exp| {
+            let outcome = match catch_unwind(AssertUnwindSafe(|| (exp.runner)(cfg))) {
+                Ok(text) => ExperimentOutcome::Completed(text),
+                Err(payload) => ExperimentOutcome::Failed(panic_message(payload)),
+            };
+            (exp.name, outcome)
+        })
+        .collect();
+    SuiteReport { outcomes }
+}
+
+/// The paper's full reproduction pass: every table and figure of §4, in
+/// the order the paper presents them.
+pub fn standard_suite() -> Vec<Experiment> {
+    vec![
+        Experiment::new("table2", "Table 2 — data statistics", |cfg| {
+            crate::table2::run(cfg).render()
+        }),
+        Experiment::new("table3", "Table 3 — review alignment", |cfg| {
+            crate::table3::run(cfg).render()
+        }),
+        Experiment::new("table4", "Table 4 — opinion definitions", |cfg| {
+            crate::table4::run(cfg).render()
+        }),
+        Experiment::new("table5", "Table 5 — TargetHkS optimality", |cfg| {
+            crate::table5::run(cfg).render()
+        }),
+        Experiment::new("table6", "Table 6 — core-list narrowing", |cfg| {
+            crate::table6::run(cfg).render()
+        }),
+        Experiment::new("table7", "Table 7 — simulated user study", |cfg| {
+            crate::table7::run(cfg).render()
+        }),
+        Experiment::new("fig5", "Figure 5 — λ and μ sweeps", |cfg| {
+            crate::fig5::run(cfg).render()
+        }),
+        Experiment::new("fig6", "Figure 6 — gap vs. review count", |cfg| {
+            crate::fig6::run(cfg).render()
+        }),
+        Experiment::new("fig7", "Figure 7 — runtime scaling", |cfg| {
+            crate::fig7::run(cfg).render()
+        }),
+        Experiment::new("fig11", "Figure 11 — information loss", |cfg| {
+            crate::fig11::run(cfg).render()
+        }),
+        Experiment::new("casestudy", "Figures 8–10 — case study", |cfg| {
+            let cases = crate::casestudy::run(cfg);
+            crate::casestudy::render(&cases)
+        }),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_records_panics_without_aborting() {
+        let experiments = vec![
+            Experiment::new("ok", "fine", |_| "output".to_string()),
+            Experiment::new("boom", "panics", |_| panic!("injected failure")),
+            Experiment::new("after", "still runs", |_| "later".to_string()),
+        ];
+        let report = run_suite(&experiments, &EvalConfig::tiny());
+        assert_eq!(report.outcomes.len(), 3);
+        assert_eq!(report.completed(), 2);
+        assert!(!report.all_completed());
+        let failures = report.failures();
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].0, "boom");
+        assert!(failures[0].1.contains("injected failure"));
+        let rendered = report.render();
+        assert!(rendered.contains("output"));
+        assert!(rendered.contains("later"));
+        assert!(rendered.contains("2/3 experiments completed"));
+        assert!(rendered.contains("FAILED boom: injected failure"));
+    }
+
+    #[test]
+    fn standard_suite_lists_every_experiment_once() {
+        let suite = standard_suite();
+        assert_eq!(suite.len(), 11);
+        let mut names: Vec<_> = suite.iter().map(|e| e.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 11, "duplicate experiment names");
+    }
+}

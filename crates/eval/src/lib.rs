@@ -31,6 +31,7 @@ pub mod fig11;
 pub mod fig5;
 pub mod fig6;
 pub mod fig7;
+pub mod harness;
 pub mod metrics;
 pub mod pipeline;
 pub mod report;
@@ -44,5 +45,6 @@ pub mod table7;
 pub mod userstudy;
 
 pub use config::EvalConfig;
+pub use harness::{run_suite, standard_suite, Experiment, ExperimentOutcome, SuiteReport};
 pub use metrics::RougeTriple;
 pub use pipeline::PreparedInstance;

@@ -22,7 +22,8 @@ impl Cholesky {
     ///
     /// # Errors
     /// [`LinalgError::NotPositiveDefinite`] when a pivot is ≤ `eps`-scaled
-    /// tolerance, [`LinalgError::DimensionMismatch`] for non-square input.
+    /// tolerance, [`LinalgError::DimensionMismatch`] for non-square input,
+    /// [`LinalgError::NonFinite`] when the matrix contains NaN or ±Inf.
     pub fn factor(a: &Matrix) -> Result<Self, LinalgError> {
         let n = a.rows();
         if a.cols() != n {
@@ -30,6 +31,11 @@ impl Cholesky {
                 context: "Cholesky::factor (square)",
                 expected: n,
                 actual: a.cols(),
+            });
+        }
+        if !a.is_finite() {
+            return Err(LinalgError::NonFinite {
+                context: "Cholesky::factor matrix",
             });
         }
         // Scale-aware tolerance: relative to the largest diagonal entry.
@@ -64,7 +70,8 @@ impl Cholesky {
     /// Solve `A x = b` given the factorisation.
     ///
     /// # Errors
-    /// [`LinalgError::DimensionMismatch`] when `b` has the wrong length.
+    /// [`LinalgError::DimensionMismatch`] when `b` has the wrong length;
+    /// [`LinalgError::NonFinite`] when `b` contains NaN or ±Inf.
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
         let n = self.l.rows();
         if b.len() != n {
@@ -72,6 +79,11 @@ impl Cholesky {
                 context: "Cholesky::solve",
                 expected: n,
                 actual: b.len(),
+            });
+        }
+        if !crate::vector::all_finite(b) {
+            return Err(LinalgError::NonFinite {
+                context: "Cholesky::solve rhs",
             });
         }
         // Forward substitution L y = b.
@@ -122,32 +134,55 @@ pub fn solve_normal_equations(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgE
     solve_gram_system(&g, &atb)
 }
 
-/// Solve `G x = rhs` for a Gram matrix `G = AᵀA` already in hand, with the
-/// same ridge fallback as [`solve_normal_equations`].
+/// Solve `G x = rhs` for a Gram matrix `G = AᵀA` already in hand, with a
+/// two-stage numerical-degradation fallback.
 ///
 /// This is the normal-equation back end shared by [`solve_normal_equations`]
 /// and the Gram-cached NNLS refit ([`crate::nnls::nnls_gram`]): callers that
 /// maintain `G` incrementally skip the `O(rows · cols²)` Gram rebuild
 /// entirely and solve in `O(cols³)` on the (small) active set.
 ///
+/// Degradation ladder (see ARCHITECTURE.md "Error handling & degradation
+/// policy"):
+///
+/// 1. **Cholesky** — the fast path; succeeds on every well-posed Gram, so
+///    well-posed solves are bit-identical to the pre-fallback engine.
+/// 2. **Householder QR** — engaged only when Cholesky reports
+///    [`LinalgError::NotPositiveDefinite`]: the Gram is square, so QR
+///    solves near-singular systems Cholesky's pivot tolerance rejects.
+/// 3. **Ridge** (`G + eps·I`, `eps = max_diag·1e-10`) — the last resort
+///    when QR finds the system exactly singular; it keeps rank-deficient
+///    refits well-posed without visibly perturbing the rounded solution.
+///
 /// # Errors
-/// Propagates shape errors; never fails on rank deficiency.
+/// Propagates shape and [`LinalgError::NonFinite`] errors; never fails on
+/// rank deficiency.
 pub fn solve_gram_system(g: &Matrix, rhs: &[f64]) -> Result<Vec<f64>, LinalgError> {
     match Cholesky::factor(g) {
         Ok(ch) => ch.solve(rhs),
         Err(LinalgError::NotPositiveDefinite { .. }) => {
-            // Ridge fallback: G + eps I.
-            let n = g.rows();
-            let mut ridged = g.clone();
-            let mut max_diag = 0.0_f64;
-            for i in 0..n {
-                max_diag = max_diag.max(ridged[(i, i)]);
+            match crate::qr::Qr::factor(g).and_then(|qr| qr.solve(rhs)) {
+                Ok(x) => Ok(x),
+                Err(
+                    LinalgError::Singular { .. }
+                    | LinalgError::NotPositiveDefinite { .. }
+                    | LinalgError::InvalidArgument(_),
+                ) => {
+                    // Ridge fallback: G + eps I.
+                    let n = g.rows();
+                    let mut ridged = g.clone();
+                    let mut max_diag = 0.0_f64;
+                    for i in 0..n {
+                        max_diag = max_diag.max(ridged[(i, i)]);
+                    }
+                    let eps = (max_diag.max(1.0)) * 1e-10;
+                    for i in 0..n {
+                        ridged[(i, i)] += eps;
+                    }
+                    Cholesky::factor(&ridged)?.solve(rhs)
+                }
+                Err(e) => Err(e),
             }
-            let eps = (max_diag.max(1.0)) * 1e-10;
-            for i in 0..n {
-                ridged[(i, i)] += eps;
-            }
-            Cholesky::factor(&ridged)?.solve(rhs)
         }
         Err(e) => Err(e),
     }

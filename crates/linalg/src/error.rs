@@ -1,10 +1,25 @@
 //! Error type shared by the linear-algebra routines.
+//!
+//! Every fallible entry point of this crate returns a classified
+//! [`SolveError`] instead of panicking, so callers on the solve path
+//! (Integer-Regression, the evaluation harness, the CLI) can isolate a
+//! degenerate item rather than abort the whole batch. The taxonomy covers
+//! the failure modes the fault-injection suite exercises: non-finite
+//! input, dimension mismatch, rank deficiency (`Singular`), loss of
+//! positive definiteness, and iteration-cap exhaustion.
 
 use std::fmt;
 
 /// Errors produced by factorisations and solvers in this crate.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum LinalgError {
+    /// The input contained NaN or ±Inf. All entry points reject
+    /// non-finite data up front so downstream code never has to reason
+    /// about NaN propagation.
+    NonFinite {
+        /// Human-readable description of the operand that failed the scan.
+        context: &'static str,
+    },
     /// Operand shapes are incompatible (e.g. mat-vec with wrong length).
     DimensionMismatch {
         /// Human-readable description of the operation that failed.
@@ -34,9 +49,18 @@ pub enum LinalgError {
     InvalidArgument(&'static str),
 }
 
+/// The name the fault-tolerance layer uses for the solver error taxonomy.
+///
+/// Alias of [`LinalgError`]; both names refer to the same type, so existing
+/// code keeps compiling while new code can use the solve-path vocabulary.
+pub type SolveError = LinalgError;
+
 impl fmt::Display for LinalgError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            LinalgError::NonFinite { context } => {
+                write!(f, "non-finite value (NaN or Inf) in {context}")
+            }
             LinalgError::DimensionMismatch {
                 context,
                 expected,
@@ -86,6 +110,17 @@ mod tests {
         assert!(LinalgError::InvalidArgument("empty")
             .to_string()
             .contains("empty"));
+        assert!(LinalgError::NonFinite {
+            context: "nnls rhs"
+        }
+        .to_string()
+        .contains("nnls rhs"));
+    }
+
+    #[test]
+    fn solve_error_is_the_same_type() {
+        let e: SolveError = LinalgError::NonFinite { context: "b" };
+        assert_eq!(e, LinalgError::NonFinite { context: "b" });
     }
 
     #[test]

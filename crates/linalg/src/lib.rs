@@ -25,8 +25,14 @@
 //! All routines are deterministic and allocation-conscious: solvers accept
 //! externally owned scratch where it matters ([`NompWorkspace`]), and the
 //! matrix type exposes column views without copying.
+//!
+//! Every fallible entry point returns a classified [`SolveError`] (an alias
+//! of [`LinalgError`]) instead of panicking; see `error` for the taxonomy
+//! and ARCHITECTURE.md ("Error handling & degradation policy") for the
+//! degradation ladder the solvers apply before reporting failure.
 
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod cholesky;
 pub mod error;
@@ -38,9 +44,9 @@ pub mod sparse;
 pub mod vector;
 
 pub use cholesky::solve_gram_system;
-pub use error::LinalgError;
+pub use error::{LinalgError, SolveError};
 pub use matrix::Matrix;
-pub use nnls::{nnls, nnls_gram};
+pub use nnls::{nnls, nnls_capped, nnls_gram, nnls_gram_capped, NnlsDiagnostics};
 pub use nomp::{
     nomp, nomp_path, nomp_path_with, nomp_reference, nomp_with, NompOptions, NompResult,
     NompWorkspace,

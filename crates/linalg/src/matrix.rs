@@ -219,6 +219,13 @@ impl Matrix {
     pub fn frobenius_norm(&self) -> f64 {
         crate::vector::dot(&self.data, &self.data).sqrt()
     }
+
+    /// Whether every entry is finite (no NaN, no ±Inf). Solver entry
+    /// points use this to reject non-finite operands up front.
+    #[inline]
+    pub fn is_finite(&self) -> bool {
+        crate::vector::all_finite(&self.data)
+    }
 }
 
 impl std::ops::Index<(usize, usize)> for Matrix {
@@ -315,6 +322,16 @@ mod tests {
         let i = Matrix::identity(3);
         let x = vec![7.0, -2.0, 0.5];
         assert_eq!(i.matvec(&x).unwrap(), x);
+    }
+
+    #[test]
+    fn is_finite_flags_bad_entries() {
+        let mut m = sample();
+        assert!(m.is_finite());
+        m[(0, 1)] = f64::NAN;
+        assert!(!m.is_finite());
+        m[(0, 1)] = f64::INFINITY;
+        assert!(!m.is_finite());
     }
 
     #[test]

@@ -39,16 +39,52 @@ use crate::error::LinalgError;
 use crate::matrix::Matrix;
 use crate::vector;
 
+/// Convergence diagnostic returned by the capped NNLS entry points.
+///
+/// The active-set loop has a hard iteration budget (`3 × cols + 10` outer
+/// iterations). The capped variants never fail on exhaustion — they return
+/// the best feasible iterate reached so far together with this record, so
+/// callers on the solve path (the NOMP refit in particular) can degrade
+/// gracefully instead of aborting an item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NnlsDiagnostics {
+    /// Whether the KKT conditions were met within the iteration budget.
+    pub converged: bool,
+    /// Outer iterations performed.
+    pub iterations: usize,
+}
+
 /// Solve `min ‖A x − b‖₂  s.t.  x ≥ 0` with the Lawson–Hanson active-set
 /// method.
 ///
 /// Returns the solution vector (length `a.cols()`).
 ///
 /// # Errors
-/// Shape errors propagate; [`LinalgError::NoConvergence`] if the active-set
-/// loop exceeds its iteration budget (3 × cols outer iterations, which in
-/// practice is never reached on the selection problems this crate serves).
+/// Shape errors propagate; [`LinalgError::NonFinite`] on NaN/Inf input;
+/// [`LinalgError::NoConvergence`] if the active-set loop exceeds its
+/// iteration budget (3 × cols outer iterations, which in practice is never
+/// reached on the selection problems this crate serves). Use
+/// [`nnls_capped`] to receive the best feasible iterate instead of the
+/// convergence error.
 pub fn nnls(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    let (x, diag) = nnls_capped(a, b)?;
+    if diag.converged {
+        Ok(x)
+    } else {
+        Err(LinalgError::NoConvergence {
+            iterations: diag.iterations,
+        })
+    }
+}
+
+/// [`nnls`] with a hard iteration cap instead of a convergence failure:
+/// when the budget is exhausted the current (always feasible, `x ≥ 0`)
+/// iterate is returned together with a [`NnlsDiagnostics`] record.
+///
+/// # Errors
+/// Shape errors and [`LinalgError::NonFinite`] on NaN/Inf input; never
+/// [`LinalgError::NoConvergence`].
+pub fn nnls_capped(a: &Matrix, b: &[f64]) -> Result<(Vec<f64>, NnlsDiagnostics), LinalgError> {
     let m = a.rows();
     let n = a.cols();
     if b.len() != m {
@@ -58,8 +94,24 @@ pub fn nnls(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
             actual: b.len(),
         });
     }
+    if !a.is_finite() {
+        return Err(LinalgError::NonFinite {
+            context: "nnls design matrix",
+        });
+    }
+    if !vector::all_finite(b) {
+        return Err(LinalgError::NonFinite {
+            context: "nnls rhs",
+        });
+    }
     if n == 0 {
-        return Ok(Vec::new());
+        return Ok((
+            Vec::new(),
+            NnlsDiagnostics {
+                converged: true,
+                iterations: 0,
+            },
+        ));
     }
 
     let mut x = vec![0.0_f64; n];
@@ -76,7 +128,15 @@ pub fn nnls(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
     loop {
         outer += 1;
         if outer > max_outer {
-            return Err(LinalgError::NoConvergence { iterations: outer });
+            // Iteration budget exhausted: x is feasible (every accepted
+            // step kept x ≥ 0), so hand it back with the diagnostic.
+            return Ok((
+                x,
+                NnlsDiagnostics {
+                    converged: false,
+                    iterations: outer,
+                },
+            ));
         }
         // Pick the most violated dual coordinate among the active (zero) set.
         let mut best_j = None;
@@ -89,7 +149,13 @@ pub fn nnls(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
         }
         let Some(j_star) = best_j else {
             // KKT satisfied: all duals ≤ tol.
-            return Ok(x);
+            return Ok((
+                x,
+                NnlsDiagnostics {
+                    converged: true,
+                    iterations: outer,
+                },
+            ));
         };
         passive[j_star] = true;
 
@@ -130,7 +196,13 @@ pub fn nnls(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
             // Guarantee progress: if the entering column got clipped right
             // back out, treat it as converged at the current x.
             if !passive[j_star] && x[j_star] == 0.0 && alpha == 0.0 {
-                return Ok(x);
+                return Ok((
+                    x,
+                    NnlsDiagnostics {
+                        converged: true,
+                        iterations: outer,
+                    },
+                ));
             }
         }
 
@@ -160,9 +232,35 @@ pub fn nnls(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
 ///
 /// # Errors
 /// [`LinalgError::DimensionMismatch`] when `g` is not square or `atb` has
-/// the wrong length; [`LinalgError::NoConvergence`] if the active-set loop
-/// exceeds its `3 × cols` iteration budget.
+/// the wrong length; [`LinalgError::NonFinite`] on NaN/Inf input;
+/// [`LinalgError::NoConvergence`] if the active-set loop exceeds its
+/// `3 × cols` iteration budget. Use [`nnls_gram_capped`] to receive the
+/// best feasible iterate instead of the convergence error.
 pub fn nnls_gram(g: &Matrix, atb: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    let (x, diag) = nnls_gram_capped(g, atb)?;
+    if diag.converged {
+        Ok(x)
+    } else {
+        Err(LinalgError::NoConvergence {
+            iterations: diag.iterations,
+        })
+    }
+}
+
+/// [`nnls_gram`] with a hard iteration cap instead of a convergence
+/// failure: when the budget is exhausted the current (always feasible,
+/// `x ≥ 0`) iterate is returned together with a [`NnlsDiagnostics`]
+/// record. The NOMP refit uses this so a slow-to-converge active set
+/// degrades the fit quality of one pursuit step instead of aborting the
+/// whole item.
+///
+/// # Errors
+/// Shape errors and [`LinalgError::NonFinite`] on NaN/Inf input; never
+/// [`LinalgError::NoConvergence`].
+pub fn nnls_gram_capped(
+    g: &Matrix,
+    atb: &[f64],
+) -> Result<(Vec<f64>, NnlsDiagnostics), LinalgError> {
     let n = g.rows();
     if g.cols() != n {
         return Err(LinalgError::DimensionMismatch {
@@ -178,8 +276,24 @@ pub fn nnls_gram(g: &Matrix, atb: &[f64]) -> Result<Vec<f64>, LinalgError> {
             actual: atb.len(),
         });
     }
+    if !g.is_finite() {
+        return Err(LinalgError::NonFinite {
+            context: "nnls_gram matrix",
+        });
+    }
+    if !vector::all_finite(atb) {
+        return Err(LinalgError::NonFinite {
+            context: "nnls_gram rhs",
+        });
+    }
     if n == 0 {
-        return Ok(Vec::new());
+        return Ok((
+            Vec::new(),
+            NnlsDiagnostics {
+                converged: true,
+                iterations: 0,
+            },
+        ));
     }
 
     let mut x = vec![0.0_f64; n];
@@ -195,7 +309,15 @@ pub fn nnls_gram(g: &Matrix, atb: &[f64]) -> Result<Vec<f64>, LinalgError> {
     loop {
         outer += 1;
         if outer > max_outer {
-            return Err(LinalgError::NoConvergence { iterations: outer });
+            // Iteration budget exhausted: x is feasible (every accepted
+            // step kept x ≥ 0), so hand it back with the diagnostic.
+            return Ok((
+                x,
+                NnlsDiagnostics {
+                    converged: false,
+                    iterations: outer,
+                },
+            ));
         }
         // Pick the most violated dual coordinate among the active (zero) set.
         let mut best_j = None;
@@ -208,7 +330,13 @@ pub fn nnls_gram(g: &Matrix, atb: &[f64]) -> Result<Vec<f64>, LinalgError> {
         }
         let Some(j_star) = best_j else {
             // KKT satisfied: all duals ≤ tol.
-            return Ok(x);
+            return Ok((
+                x,
+                NnlsDiagnostics {
+                    converged: true,
+                    iterations: outer,
+                },
+            ));
         };
         passive[j_star] = true;
 
@@ -256,7 +384,13 @@ pub fn nnls_gram(g: &Matrix, atb: &[f64]) -> Result<Vec<f64>, LinalgError> {
             // Guarantee progress: if the entering column got clipped right
             // back out, treat it as converged at the current x.
             if !passive[j_star] && x[j_star] == 0.0 && alpha == 0.0 {
-                return Ok(x);
+                return Ok((
+                    x,
+                    NnlsDiagnostics {
+                        converged: true,
+                        iterations: outer,
+                    },
+                ));
             }
         }
 
@@ -422,5 +556,46 @@ mod tests {
     fn gram_variant_empty_system() {
         let g = Matrix::zeros(0, 0);
         assert!(nnls_gram(&g, &[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn rejects_non_finite_input() {
+        let mut a = Matrix::identity(2);
+        a[(0, 1)] = f64::NAN;
+        assert!(matches!(
+            nnls(&a, &[1.0, 1.0]),
+            Err(LinalgError::NonFinite { .. })
+        ));
+        let a = Matrix::identity(2);
+        assert!(matches!(
+            nnls(&a, &[1.0, f64::INFINITY]),
+            Err(LinalgError::NonFinite { .. })
+        ));
+        let mut g = Matrix::identity(2);
+        g[(1, 1)] = f64::NEG_INFINITY;
+        assert!(matches!(
+            nnls_gram(&g, &[1.0, 1.0]),
+            Err(LinalgError::NonFinite { .. })
+        ));
+        let g = Matrix::identity(2);
+        assert!(matches!(
+            nnls_gram(&g, &[f64::NAN, 1.0]),
+            Err(LinalgError::NonFinite { .. })
+        ));
+    }
+
+    #[test]
+    fn capped_variant_reports_convergence_on_easy_instance() {
+        let a = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0]]).unwrap();
+        let b = a.matvec(&[2.0, 3.0]).unwrap();
+        let (x, diag) = nnls_capped(&a, &b).unwrap();
+        assert!(diag.converged);
+        assert!(diag.iterations >= 1);
+        assert_eq!(x, nnls(&a, &b).unwrap());
+
+        let (g, atb) = gram_of(&a, &b);
+        let (xg, diag_g) = nnls_gram_capped(&g, &atb).unwrap();
+        assert!(diag_g.converged);
+        assert_eq!(xg, nnls_gram(&g, &atb).unwrap());
     }
 }

@@ -54,7 +54,7 @@
 
 use crate::error::LinalgError;
 use crate::matrix::Matrix;
-use crate::nnls::{nnls, nnls_gram};
+use crate::nnls::{nnls_capped, nnls_gram_capped};
 use crate::sparse::DesignMatrix;
 use crate::vector;
 
@@ -173,7 +173,9 @@ pub fn nomp_with<M: DesignMatrix>(
     ws: &mut NompWorkspace,
 ) -> Result<NompResult, LinalgError> {
     let mut results = pursuit(a, b, opts, ws, false)?;
-    Ok(results.pop().expect("pursuit returns a final state"))
+    results.pop().ok_or(LinalgError::InvalidArgument(
+        "nomp: pursuit produced no state",
+    ))
 }
 
 /// Run one shared pursuit and return the results for **every** budget
@@ -241,13 +243,26 @@ fn pursuit<M: DesignMatrix>(
         return Err(LinalgError::InvalidArgument("nomp: max_atoms must be > 0"));
     }
 
+    if !vector::all_finite(b) {
+        return Err(LinalgError::NonFinite {
+            context: "nomp rhs",
+        });
+    }
+
     ws.reset(m, n);
 
     // Column norms for correlation normalisation; zero columns are never
-    // selected.
+    // selected. A NaN/Inf anywhere in a column makes its norm non-finite,
+    // so this pass doubles as the up-front finiteness scan of the design
+    // matrix (which may be sparse — scanning norms avoids densifying it).
     for j in 0..n {
         a.column_into(j, &mut ws.col_buf);
         ws.col_norms[j] = vector::norm2(&ws.col_buf);
+    }
+    if !vector::all_finite(&ws.col_norms) {
+        return Err(LinalgError::NonFinite {
+            context: "nomp design matrix",
+        });
     }
 
     ws.residual.copy_from_slice(b);
@@ -309,9 +324,13 @@ fn pursuit<M: DesignMatrix>(
         ws.support.push(j_star);
         ws.in_support[j_star] = true;
 
-        // Refit on the active set entirely in Gram space.
+        // Refit on the active set entirely in Gram space. The capped NNLS
+        // never fails on iteration exhaustion: a slow-to-converge refit
+        // degrades this step's fit (best feasible iterate) instead of
+        // aborting the item — the improvement check below then decides
+        // whether pursuit can continue.
         let g = Matrix::from_rows(&ws.gram_rows)?;
-        let x_sub = nnls_gram(&g, &ws.atb)?;
+        let (x_sub, _refit_diag) = nnls_gram_capped(&g, &ws.atb)?;
 
         // Prune zeroed atoms (keeps the support meaningful) and compact the
         // cached normal equations accordingly.
@@ -394,6 +413,11 @@ pub fn nomp_reference<M: DesignMatrix>(
     if opts.max_atoms == 0 {
         return Err(LinalgError::InvalidArgument("nomp: max_atoms must be > 0"));
     }
+    if !vector::all_finite(b) {
+        return Err(LinalgError::NonFinite {
+            context: "nomp rhs",
+        });
+    }
 
     let mut support: Vec<usize> = Vec::with_capacity(opts.max_atoms.min(n));
     let mut in_support = vec![false; n];
@@ -406,6 +430,11 @@ pub fn nomp_reference<M: DesignMatrix>(
     for (j, cn) in col_norms.iter_mut().enumerate() {
         a.column_into(j, &mut col);
         *cn = vector::norm2(&col);
+    }
+    if !vector::all_finite(&col_norms) {
+        return Err(LinalgError::NonFinite {
+            context: "nomp design matrix",
+        });
     }
 
     while support.len() < opts.max_atoms.min(n) && sq_res > opts.residual_tolerance {
@@ -429,7 +458,7 @@ pub fn nomp_reference<M: DesignMatrix>(
         in_support[j_star] = true;
 
         let sub = a.dense_columns(&support);
-        let x_sub = nnls(&sub, b)?;
+        let (x_sub, _refit_diag) = nnls_capped(&sub, b)?;
 
         let mut kept: Vec<usize> = Vec::with_capacity(support.len());
         for (v, &j) in x_sub.iter().zip(support.iter()) {
@@ -544,6 +573,32 @@ mod tests {
         let a = Matrix::identity(2);
         assert!(nomp(&a, &[1.0], opts(1)).is_err());
         assert!(nomp_path(&a, &[1.0], opts(1)).is_err());
+    }
+
+    #[test]
+    fn rejects_non_finite_input() {
+        let mut a = Matrix::identity(2);
+        a[(0, 0)] = f64::NAN;
+        for r in [
+            nomp(&a, &[1.0, 1.0], opts(1)).map(|r| r.x),
+            nomp_path(&a, &[1.0, 1.0], opts(1)).map(|p| p[0].x.clone()),
+            nomp_reference(&a, &[1.0, 1.0], opts(1)).map(|r| r.x),
+        ] {
+            assert!(matches!(r, Err(LinalgError::NonFinite { .. })));
+        }
+        let a = Matrix::identity(2);
+        for r in [
+            nomp(&a, &[1.0, f64::NAN], opts(1)).map(|r| r.x),
+            nomp_reference(&a, &[f64::INFINITY, 1.0], opts(1)).map(|r| r.x),
+        ] {
+            assert!(matches!(r, Err(LinalgError::NonFinite { .. })));
+        }
+        // Sparse design matrices are scanned through the same norm pass.
+        let bad = CscMatrix::from_columns(2, &[vec![(0, f64::INFINITY)], vec![(1, 1.0)]]);
+        assert!(matches!(
+            nomp(&bad, &[1.0, 1.0], opts(1)),
+            Err(LinalgError::NonFinite { .. })
+        ));
     }
 
     #[test]

@@ -20,7 +20,8 @@ impl Qr {
     /// Factor `a` (requires `rows ≥ cols`).
     ///
     /// # Errors
-    /// [`LinalgError::InvalidArgument`] for underdetermined or empty input.
+    /// [`LinalgError::InvalidArgument`] for underdetermined or empty input;
+    /// [`LinalgError::NonFinite`] when the matrix contains NaN or ±Inf.
     pub fn factor(a: &Matrix) -> Result<Self, LinalgError> {
         let m = a.rows();
         let n = a.cols();
@@ -31,6 +32,11 @@ impl Qr {
             return Err(LinalgError::InvalidArgument(
                 "Qr::factor requires rows >= cols",
             ));
+        }
+        if !a.is_finite() {
+            return Err(LinalgError::NonFinite {
+                context: "Qr::factor matrix",
+            });
         }
         let mut r = a.clone();
         let mut betas = vec![0.0; n];
@@ -106,6 +112,7 @@ impl Qr {
     ///
     /// # Errors
     /// [`LinalgError::DimensionMismatch`] on a bad right-hand side;
+    /// [`LinalgError::NonFinite`] when `b` contains NaN or ±Inf;
     /// [`LinalgError::Singular`] when `R` has a (near-)zero diagonal.
     #[allow(clippy::needless_range_loop)] // index loops read clearest here
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
@@ -116,6 +123,11 @@ impl Qr {
                 context: "Qr::solve",
                 expected: m,
                 actual: b.len(),
+            });
+        }
+        if !crate::vector::all_finite(b) {
+            return Err(LinalgError::NonFinite {
+                context: "Qr::solve rhs",
             });
         }
         let mut qtb = b.to_vec();
@@ -217,6 +229,18 @@ mod tests {
         let a = Matrix::identity(2);
         let qr = Qr::factor(&a).unwrap();
         assert!(qr.solve(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn rejects_non_finite_input() {
+        let mut a = Matrix::identity(2);
+        a[(1, 0)] = f64::NAN;
+        assert!(matches!(Qr::factor(&a), Err(LinalgError::NonFinite { .. })));
+        let qr = Qr::factor(&Matrix::identity(2)).unwrap();
+        assert!(matches!(
+            qr.solve(&[1.0, f64::INFINITY]),
+            Err(LinalgError::NonFinite { .. })
+        ));
     }
 
     #[test]

@@ -104,24 +104,48 @@ impl CscMatrix {
     /// column may be unordered; duplicate rows are summed.
     ///
     /// # Panics
-    /// Panics on out-of-range row indices.
+    /// Panics on out-of-range row indices. Use [`CscMatrix::try_from_columns`]
+    /// for a fallible variant.
     pub fn from_columns(rows: usize, columns: &[Vec<(usize, f64)>]) -> Self {
+        match Self::try_from_columns(rows, columns) {
+            Ok(m) => m,
+            Err(e) => panic!("CscMatrix::from_columns: row index out of range: {e}"),
+        }
+    }
+
+    /// Fallible variant of [`CscMatrix::from_columns`].
+    ///
+    /// # Errors
+    /// [`LinalgError::DimensionMismatch`] when an entry's row index is out
+    /// of range for the declared row count.
+    pub fn try_from_columns(
+        rows: usize,
+        columns: &[Vec<(usize, f64)>],
+    ) -> Result<Self, LinalgError> {
         let cols = columns.len();
         let mut col_ptr = Vec::with_capacity(cols + 1);
-        let mut row_idx = Vec::new();
-        let mut values = Vec::new();
+        let mut row_idx: Vec<usize> = Vec::new();
+        let mut values: Vec<f64> = Vec::new();
         col_ptr.push(0);
         for entries in columns {
             let mut sorted: Vec<(usize, f64)> = entries.clone();
             sorted.sort_by_key(|&(r, _)| r);
             let mut last_row = usize::MAX;
             for &(r, v) in &sorted {
-                assert!(r < rows, "row index {r} out of range ({rows} rows)");
+                if r >= rows {
+                    return Err(LinalgError::DimensionMismatch {
+                        context: "CscMatrix::try_from_columns (row index out of range)",
+                        expected: rows,
+                        actual: r,
+                    });
+                }
                 if v == 0.0 {
                     continue;
                 }
                 if r == last_row {
-                    *values.last_mut().expect("entry exists") += v;
+                    if let Some(last) = values.last_mut() {
+                        *last += v;
+                    }
                 } else {
                     row_idx.push(r);
                     values.push(v);
@@ -130,13 +154,13 @@ impl CscMatrix {
             }
             col_ptr.push(row_idx.len());
         }
-        CscMatrix {
+        Ok(CscMatrix {
             rows,
             cols,
             col_ptr,
             row_idx,
             values,
-        }
+        })
     }
 
     /// Convert a dense matrix (zeros are dropped).
@@ -157,6 +181,13 @@ impl CscMatrix {
     /// Number of stored non-zeros.
     pub fn nnz(&self) -> usize {
         self.values.len()
+    }
+
+    /// Whether every stored value is finite (no NaN, no ±Inf). Solver
+    /// entry points use this to reject non-finite operands up front.
+    #[inline]
+    pub fn is_finite(&self) -> bool {
+        crate::vector::all_finite(&self.values)
     }
 
     /// Number of rows.
@@ -357,6 +388,22 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn out_of_range_row_panics() {
         let _ = CscMatrix::from_columns(2, &[vec![(5, 1.0)]]);
+    }
+
+    #[test]
+    fn try_from_columns_classifies_out_of_range() {
+        let r = CscMatrix::try_from_columns(2, &[vec![(5, 1.0)]]);
+        assert!(matches!(r, Err(LinalgError::DimensionMismatch { .. })));
+        let ok = CscMatrix::try_from_columns(2, &[vec![(1, 1.0)]]).unwrap();
+        assert_eq!(ok.nnz(), 1);
+    }
+
+    #[test]
+    fn is_finite_flags_stored_values() {
+        let s = CscMatrix::from_columns(2, &[vec![(0, 1.0)]]);
+        assert!(s.is_finite());
+        let bad = CscMatrix::from_columns(2, &[vec![(0, f64::NAN)]]);
+        assert!(!bad.is_finite());
     }
 
     #[test]

@@ -89,6 +89,16 @@ pub fn normalize_l1(x: &mut [f64]) -> f64 {
     mass
 }
 
+/// Whether every entry of the slice is finite (no NaN, no ±Inf).
+///
+/// Solver entry points use this to reject non-finite input up front with a
+/// classified [`crate::LinalgError::NonFinite`] instead of letting NaN
+/// propagate through the factorisations.
+#[inline]
+pub fn all_finite(x: &[f64]) -> bool {
+    x.iter().all(|v| v.is_finite())
+}
+
 /// Maximum element of the slice; 0.0 for an empty slice.
 #[inline]
 pub fn max_element(x: &[f64]) -> f64 {
@@ -187,6 +197,15 @@ mod tests {
     fn argmax_prefers_first_on_tie() {
         assert_eq!(argmax(&[1.0, 3.0, 3.0]), Some(1));
         assert_eq!(argmax(&[]), None);
+    }
+
+    #[test]
+    fn all_finite_flags_nan_and_inf() {
+        assert!(all_finite(&[]));
+        assert!(all_finite(&[0.0, -1.5, 1e300]));
+        assert!(!all_finite(&[0.0, f64::NAN]));
+        assert!(!all_finite(&[f64::INFINITY]));
+        assert!(!all_finite(&[f64::NEG_INFINITY, 1.0]));
     }
 
     #[test]

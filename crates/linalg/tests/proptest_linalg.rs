@@ -1,12 +1,63 @@
 //! Property-based tests for the linear-algebra substrate.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use comparesets_linalg::{
-    lstsq, nnls, nomp, nomp_path, nomp_reference, CscMatrix, DesignMatrix, Matrix, NompOptions,
+    lstsq, nnls, nnls_capped, nnls_gram, nomp, nomp_path, nomp_reference, CscMatrix, DesignMatrix,
+    LinalgError, Matrix, NompOptions,
 };
 use proptest::prelude::*;
 
 fn small_f64() -> impl Strategy<Value = f64> {
     (-100i32..=100).prop_map(|v| v as f64 / 10.0)
+}
+
+/// A value that is either an ordinary small float or one of the non-finite
+/// specials the fault-injection suite cares about.
+fn maybe_non_finite_f64() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        small_f64().boxed(),
+        small_f64().boxed(),
+        small_f64().boxed(),
+        small_f64().boxed(),
+        Just(f64::NAN).boxed(),
+        Just(f64::INFINITY).boxed(),
+        Just(f64::NEG_INFINITY).boxed(),
+    ]
+}
+
+/// A matrix/rhs pair whose entries may contain NaN or ±Inf anywhere.
+fn possibly_non_finite_instance() -> impl Strategy<Value = (Matrix, Vec<f64>)> {
+    (2usize..=6, 1usize..=5).prop_flat_map(|(m, n)| {
+        let n = n.min(m);
+        (
+            proptest::collection::vec(maybe_non_finite_f64(), m * n),
+            proptest::collection::vec(maybe_non_finite_f64(), m),
+        )
+            .prop_map(move |(data, b)| (Matrix::from_vec(m, n, data).unwrap(), b))
+    })
+}
+
+/// A rank-deficient matrix: every column is a non-negative multiple of one
+/// shared base column, so the Gram matrix is (numerically) singular for
+/// any column count above one.
+fn rank_deficient_instance() -> impl Strategy<Value = (Matrix, Vec<f64>)> {
+    (2usize..=6, 2usize..=4).prop_flat_map(|(m, n)| {
+        (
+            proptest::collection::vec(small_f64(), m),
+            proptest::collection::vec(0i32..=5, n),
+            proptest::collection::vec(small_f64(), m),
+        )
+            .prop_map(move |(base, scales, b)| {
+                let mut a = Matrix::zeros(m, n);
+                for (j, &s) in scales.iter().enumerate() {
+                    for i in 0..m {
+                        a[(i, j)] = base[i] * s as f64;
+                    }
+                }
+                (a, b)
+            })
+    })
 }
 
 fn matrix_and_rhs() -> impl Strategy<Value = (Matrix, Vec<f64>)> {
@@ -145,6 +196,56 @@ proptest! {
             prop_assert_eq!(&shared.x, &solo.x);
             prop_assert_eq!(shared.sq_residual.to_bits(), solo.sq_residual.to_bits());
         }
+    }
+
+    #[test]
+    fn non_finite_input_errors_instead_of_panicking(
+        (a, b) in possibly_non_finite_instance(),
+        budget in 1usize..=3,
+    ) {
+        // Whatever the entries are, no public entry point may panic; and
+        // when the instance actually contains NaN/Inf every solver must
+        // classify it as NonFinite.
+        let has_bad = !a.is_finite() || b.iter().any(|v| !v.is_finite());
+        let opts = NompOptions::with_max_atoms(budget);
+        let results = [
+            nnls(&a, &b).map(|_| ()),
+            nnls_gram(&a.gram(), &a.tr_matvec(&b).unwrap_or_else(|_| vec![0.0; a.cols()]))
+                .map(|_| ()),
+            nomp(&a, &b, opts).map(|_| ()),
+            nomp_path(&a, &b, opts).map(|_| ()),
+            nomp_reference(&a, &b, opts).map(|_| ()),
+            lstsq(&a, &b).map(|_| ()),
+        ];
+        if has_bad {
+            // Gram products of non-finite data stay non-finite (NaN is
+            // absorbing; Inf·0 = NaN), so every path must reject.
+            for r in results {
+                prop_assert!(
+                    matches!(r, Err(LinalgError::NonFinite { .. })),
+                    "expected NonFinite, got {:?}", r
+                );
+            }
+        } else {
+            for r in results {
+                prop_assert!(!matches!(r, Err(LinalgError::NonFinite { .. })));
+            }
+        }
+    }
+
+    #[test]
+    fn rank_deficient_instances_never_panic(
+        (a, b) in rank_deficient_instance(),
+        budget in 1usize..=3,
+    ) {
+        // Exactly-collinear columns drive the Cholesky → QR → ridge ladder;
+        // the solvers must come back with a feasible answer, never a panic.
+        let (x, diag) = nnls_capped(&a, &b).unwrap();
+        prop_assert!(x.iter().all(|&v| v >= 0.0));
+        prop_assert!(diag.iterations >= 1);
+        let r = nomp(&a, &b, NompOptions::with_max_atoms(budget)).unwrap();
+        prop_assert!(r.x.iter().all(|&v| v >= 0.0));
+        prop_assert!(r.sq_residual.is_finite());
     }
 
     #[test]

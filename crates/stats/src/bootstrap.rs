@@ -84,7 +84,9 @@ where
         }
         stats.push(statistic(&scratch));
     }
-    stats.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    // total_cmp keeps the sort total even if the statistic produces NaN on
+    // some resample (NaNs sort to the top instead of aborting the run).
+    stats.sort_by(f64::total_cmp);
     let alpha = (1.0 - confidence) / 2.0;
     let lo_idx = ((stats.len() as f64) * alpha).floor() as usize;
     let hi_idx = (((stats.len() as f64) * (1.0 - alpha)).ceil() as usize)

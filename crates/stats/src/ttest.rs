@@ -31,19 +31,22 @@ impl TTestResult {
 
 /// Run a paired, two-sided t-test on equal-length samples.
 ///
-/// Returns `None` when fewer than two pairs exist or when all differences
-/// are exactly zero (the statistic is undefined; the paper's star would
-/// simply not be awarded).
-///
-/// # Panics
-/// Panics when the samples have different lengths.
+/// Returns `None` whenever the statistic is undefined — misaligned sample
+/// lengths, fewer than two pairs, non-finite values in either sample, or
+/// all differences exactly zero (the paper's star would simply not be
+/// awarded). Degenerate inputs never panic.
 pub fn paired_t_test(a: &[f64], b: &[f64]) -> Option<TTestResult> {
-    assert_eq!(a.len(), b.len(), "paired samples must align");
+    if a.len() != b.len() {
+        return None;
+    }
     let n = a.len();
     if n < 2 {
         return None;
     }
     let diffs: Vec<f64> = a.iter().zip(b.iter()).map(|(x, y)| x - y).collect();
+    if diffs.iter().any(|d| !d.is_finite()) {
+        return None;
+    }
     let mean_d = crate::descriptive::mean(&diffs);
     let sd = crate::descriptive::sample_std(&diffs);
     if sd == 0.0 {
@@ -119,8 +122,13 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "align")]
-    fn unequal_lengths_panic() {
-        let _ = paired_t_test(&[1.0, 2.0], &[1.0]);
+    fn unequal_lengths_yield_none() {
+        assert!(paired_t_test(&[1.0, 2.0], &[1.0]).is_none());
+    }
+
+    #[test]
+    fn non_finite_samples_yield_none() {
+        assert!(paired_t_test(&[1.0, f64::NAN, 3.0], &[0.0, 1.0, 2.0]).is_none());
+        assert!(paired_t_test(&[1.0, f64::INFINITY], &[0.0, 1.0]).is_none());
     }
 }

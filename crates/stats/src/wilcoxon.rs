@@ -44,25 +44,26 @@ fn normal_cdf(z: f64) -> f64 {
 }
 
 /// Run the two-sided Wilcoxon signed-rank test on paired samples.
-/// Returns `None` when fewer than 5 non-zero differences remain (the
-/// normal approximation would be meaningless).
-///
-/// # Panics
-/// Panics when the samples have different lengths.
+/// Returns `None` when the samples are misaligned or fewer than 5 finite
+/// non-zero differences remain (the normal approximation would be
+/// meaningless). Non-finite pairs are dropped like exact ties; degenerate
+/// inputs never panic.
 pub fn wilcoxon_signed_rank(a: &[f64], b: &[f64]) -> Option<WilcoxonResult> {
-    assert_eq!(a.len(), b.len(), "paired samples must align");
-    // Non-zero differences with their absolute values.
+    if a.len() != b.len() {
+        return None;
+    }
+    // Finite, non-zero differences with their absolute values.
     let mut diffs: Vec<f64> = a
         .iter()
         .zip(b.iter())
         .map(|(x, y)| x - y)
-        .filter(|d| *d != 0.0)
+        .filter(|d| d.is_finite() && *d != 0.0)
         .collect();
     let n = diffs.len();
     if n < 5 {
         return None;
     }
-    diffs.sort_by(|x, y| x.abs().partial_cmp(&y.abs()).unwrap());
+    diffs.sort_by(|x, y| x.abs().total_cmp(&y.abs()));
 
     // Average ranks over ties; accumulate tie correction Σ(t³ − t).
     let mut w_plus = 0.0;
@@ -184,8 +185,21 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "align")]
-    fn unequal_lengths_panic() {
-        let _ = wilcoxon_signed_rank(&[1.0], &[1.0, 2.0]);
+    fn unequal_lengths_yield_none() {
+        assert!(wilcoxon_signed_rank(&[1.0], &[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn non_finite_pairs_are_dropped_not_fatal() {
+        // Enough finite signal on either side of a NaN-poisoned pair.
+        let mut a: Vec<f64> = (0..12).map(|i| 10.0 + (i % 5) as f64 * 0.1).collect();
+        let b: Vec<f64> = (0..12).map(|i| 9.0 + (i % 7) as f64 * 0.05).collect();
+        a[3] = f64::NAN;
+        let r = wilcoxon_signed_rank(&a, &b).unwrap();
+        assert_eq!(r.n_used, 11);
+        // Too few finite pairs → None instead of a poisoned sort.
+        let nan = [f64::NAN; 6];
+        let zero = [0.0; 6];
+        assert!(wilcoxon_signed_rank(&nan, &zero).is_none());
     }
 }

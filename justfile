@@ -9,6 +9,9 @@ fmt:
 fmt-check:
     cargo fmt --check
 
+# -D warnings also enforces the workspace lints (clippy::unwrap_used /
+# expect_used) that linalg and core opt into: library code on the solve
+# path must return typed errors, never unwrap.
 clippy:
     cargo clippy --workspace --all-targets -- -D warnings
 
