@@ -7,12 +7,12 @@
 //! times (minimum over samples, seconds) so PERFORMANCE.md numbers are
 //! reproducible from a single `cargo bench --bench parallel_solver`.
 
+use comparesets_bench::{BenchReport, Measurement};
 use comparesets_core::{solve_comparesets_plus_with, solve_crs_with, SelectParams, SolveOptions};
 use comparesets_linalg::{nomp_path, nomp_reference, CscMatrix, Matrix, NompOptions};
 use criterion::{criterion_group, BenchmarkId, Criterion};
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
-use serde::Serialize;
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -102,20 +102,6 @@ criterion_group!(benches, bench_engine, bench_solvers);
 // JSON report
 // ---------------------------------------------------------------------
 
-#[derive(Serialize)]
-struct Measurement {
-    name: String,
-    seconds_min: f64,
-    samples: usize,
-}
-
-#[derive(Serialize)]
-struct Report {
-    bench: String,
-    threads_available: usize,
-    measurements: Vec<Measurement>,
-}
-
 /// Minimum wall-clock of `samples` runs of `f`.
 fn time_min(samples: usize, mut f: impl FnMut()) -> f64 {
     let mut best = f64::INFINITY;
@@ -169,13 +155,14 @@ fn emit_json() {
         });
     }
 
-    let report = Report {
+    let report = BenchReport {
         bench: "parallel_solver".to_string(),
         threads_available: std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1),
         measurements,
     };
+    report.validate().expect("emitted report is well-formed");
     // CARGO_MANIFEST_DIR = crates/bench; the report lives at the workspace
     // root next to PERFORMANCE.md.
     let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))

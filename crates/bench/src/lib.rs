@@ -2,6 +2,10 @@
 //! `benches/` corresponds to one table or figure of the paper (see
 //! DESIGN.md's per-experiment index).
 
+pub mod schema;
+
+pub use schema::{BenchReport, Measurement};
+
 use comparesets_core::{InstanceContext, OpinionScheme};
 use comparesets_data::{CategoryPreset, Dataset};
 

@@ -1,0 +1,121 @@
+//! Serde schema for the machine-readable bench report.
+//!
+//! `benches/parallel_solver.rs` writes `BENCH_parallel_solver.json` at the
+//! workspace root through these types, and the schema tests deserialize
+//! the *committed* report back through the same types — so a drive-by
+//! field rename breaks `cargo test` instead of silently orphaning the
+//! baseline PERFORMANCE.md quotes.
+
+use serde::{Deserialize, Serialize};
+
+/// One timed workload of a bench run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Measurement {
+    /// Workload path, e.g. `"solver_parallel/crs/sequential"`.
+    pub name: String,
+    /// Minimum wall-clock over all samples, in seconds.
+    pub seconds_min: f64,
+    /// Number of samples the minimum was taken over.
+    pub samples: usize,
+}
+
+/// The machine-readable report a bench target emits next to its criterion
+/// console output.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Bench target name (e.g. `"parallel_solver"`).
+    pub bench: String,
+    /// `std::thread::available_parallelism()` on the measuring machine.
+    pub threads_available: usize,
+    /// All measurements, in emission order.
+    pub measurements: Vec<Measurement>,
+}
+
+impl BenchReport {
+    /// Structural validation: non-empty identity, at least one
+    /// measurement, unique workload names, and strictly positive finite
+    /// timings.
+    ///
+    /// # Errors
+    /// A readable description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.bench.is_empty() {
+            return Err("bench name is empty".to_string());
+        }
+        if self.threads_available == 0 {
+            return Err("threads_available must be at least 1".to_string());
+        }
+        if self.measurements.is_empty() {
+            return Err("report has no measurements".to_string());
+        }
+        let mut seen = std::collections::HashSet::new();
+        for m in &self.measurements {
+            if m.name.is_empty() {
+                return Err("a measurement has an empty name".to_string());
+            }
+            if !seen.insert(m.name.as_str()) {
+                return Err(format!("duplicate measurement name {:?}", m.name));
+            }
+            if !(m.seconds_min.is_finite() && m.seconds_min > 0.0) {
+                return Err(format!(
+                    "{}: seconds_min {} is not a positive finite time",
+                    m.name, m.seconds_min
+                ));
+            }
+            if m.samples == 0 {
+                return Err(format!("{}: zero samples", m.name));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> BenchReport {
+        BenchReport {
+            bench: "parallel_solver".to_string(),
+            threads_available: 4,
+            measurements: vec![Measurement {
+                name: "solver_parallel/crs/sequential".to_string(),
+                seconds_min: 0.001,
+                samples: 5,
+            }],
+        }
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let report = sample_report();
+        let json = serde_json::to_string(&report).unwrap();
+        let back: BenchReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+        assert!(back.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_malformed_reports() {
+        let mut r = sample_report();
+        r.bench.clear();
+        assert!(r.validate().is_err());
+
+        let mut r = sample_report();
+        r.measurements.clear();
+        assert!(r.validate().is_err());
+
+        let mut r = sample_report();
+        r.measurements[0].seconds_min = -1.0;
+        assert!(r.validate().is_err());
+
+        let mut r = sample_report();
+        r.measurements[0].seconds_min = f64::NAN;
+        assert!(r.validate().is_err());
+
+        let mut r = sample_report();
+        let dup = r.measurements[0].clone();
+        r.measurements.push(dup);
+        assert!(r.validate().is_err());
+    }
+}

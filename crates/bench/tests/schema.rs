@@ -1,0 +1,62 @@
+//! Schema tests for the committed machine-readable reports: the bench
+//! baseline at the workspace root must deserialize through the shared
+//! [`comparesets_bench::BenchReport`] types and pass structural
+//! validation, and the solver-metrics report format used by the CLI's
+//! `--metrics-json` must round-trip under its schema tag.
+
+use comparesets_bench::BenchReport;
+use comparesets_core::{MetricsReport, SolverMetrics};
+use std::path::Path;
+
+fn workspace_root() -> &'static Path {
+    // CARGO_MANIFEST_DIR = crates/bench; the reports live two levels up.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("bench crate lives two levels under the workspace root")
+}
+
+#[test]
+fn committed_bench_baseline_matches_schema() {
+    let path = workspace_root().join("BENCH_parallel_solver.json");
+    let raw = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("reading {}: {e}", path.display()));
+    let report: BenchReport = serde_json::from_str(&raw)
+        .unwrap_or_else(|e| panic!("{} does not match the schema: {e}", path.display()));
+    report
+        .validate()
+        .unwrap_or_else(|e| panic!("{} is malformed: {e}", path.display()));
+    assert_eq!(report.bench, "parallel_solver");
+    // The baseline must cover both headline workload families.
+    let names: Vec<&str> = report
+        .measurements
+        .iter()
+        .map(|m| m.name.as_str())
+        .collect();
+    assert!(
+        names.iter().any(|n| n.starts_with("regression_engine/")),
+        "missing regression_engine workloads: {names:?}"
+    );
+    assert!(
+        names.iter().any(|n| n.starts_with("solver_parallel/")),
+        "missing solver_parallel workloads: {names:?}"
+    );
+    // Re-serializing the parsed report loses no fields.
+    let round_tripped: BenchReport =
+        serde_json::from_str(&serde_json::to_string(&report).unwrap()).unwrap();
+    assert_eq!(round_tripped, report);
+}
+
+#[test]
+fn metrics_report_format_round_trips_under_its_schema_tag() {
+    let collector = SolverMetrics::new();
+    SolverMetrics::add(&collector.nomp_pursuits, 3);
+    SolverMetrics::add(&collector.integer_regressions, 3);
+    let report = MetricsReport::new("select", std::time::Duration::from_millis(12), &collector);
+    assert!(report.schema_matches());
+    let json = serde_json::to_string(&report).unwrap();
+    let back: MetricsReport = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, report);
+    assert!(back.schema_matches());
+    assert_eq!(back.metrics.nomp_pursuits, 3);
+}

@@ -6,8 +6,8 @@
 use crate::args::{parse, Args};
 use crate::error::CliError;
 use comparesets_core::{
-    solve_checked, solve_with, Algorithm, CoreError, InstanceContext, OpinionScheme, SelectParams,
-    Selection, SolveOptions,
+    solve_checked, solve_with, Algorithm, CoreError, InstanceContext, MetricsReport, OpinionScheme,
+    SelectParams, Selection, SolveOptions, SolverMetrics,
 };
 use comparesets_data::{
     io as corpus_io, AmazonError, AmazonLoader, CategoryPreset, ComparisonInstance, Dataset,
@@ -19,6 +19,7 @@ use comparesets_graph::{
 };
 use std::io::BufReader;
 use std::path::Path;
+use std::sync::Arc;
 
 /// Usage text printed on errors and by `help` / `--help`.
 pub const USAGE: &str = "\
@@ -38,6 +39,10 @@ commands:
                   [--m N] [--lambda X] [--mu X] [--time-limit-ms N] [--seed S]
                   [--parallel true] [--threads N]
   help            print this text
+
+observability flags (any command):
+  --trace LEVEL        human-readable tracing on stderr (error|warn|info|debug|trace)
+  --metrics-json FILE  write a machine-readable solver-metrics report after the run
 
 exit codes:
   0  success
@@ -65,14 +70,51 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
         .positional()
         .first()
         .ok_or_else(|| CliError::usage("no command given"))?;
-    match command.as_str() {
+    init_tracing(&args)?;
+    let metrics = args
+        .get("metrics-json")
+        .map(|_| Arc::new(SolverMetrics::new()));
+    let started = std::time::Instant::now();
+    let result = match command.as_str() {
         "generate" => cmd_generate(&args),
         "stats" => cmd_stats(&args),
         "convert-amazon" => cmd_convert_amazon(&args),
-        "select" => cmd_select(&args),
-        "narrow" => cmd_narrow(&args),
+        "select" => cmd_select(&args, metrics.clone()),
+        "narrow" => cmd_narrow(&args, metrics.clone()),
         other => Err(CliError::usage(format!("unknown command {other:?}"))),
+    };
+    if result.is_ok() {
+        if let (Some(path), Some(collector)) = (args.get("metrics-json"), &metrics) {
+            write_metrics_report(path, command, started.elapsed(), collector)?;
+        }
     }
+    result
+}
+
+/// Activate `--trace LEVEL` stderr tracing before the command runs.
+fn init_tracing(args: &Args) -> Result<(), CliError> {
+    if let Some(spec) = args.get("trace") {
+        let level: tracing::Level = spec
+            .parse()
+            .map_err(|e| CliError::usage(format!("--trace: {e}")))?;
+        comparesets_obs::init_stderr_tracing(level);
+        tracing::info!("tracing enabled at level {level}");
+    }
+    Ok(())
+}
+
+/// Serialise the run's collector into the `--metrics-json` report file.
+fn write_metrics_report(
+    path: &str,
+    command: &str,
+    wall: std::time::Duration,
+    metrics: &SolverMetrics,
+) -> Result<(), CliError> {
+    let report = MetricsReport::new(command, wall, metrics);
+    let json = serde_json::to_string(&report)
+        .map_err(|e| CliError::internal(format!("encoding metrics report: {e}")))?;
+    std::fs::write(path, json + "\n")
+        .map_err(|e| CliError::io(format!("writing metrics report {path}: {e}")))
 }
 
 fn parse_category(name: &str) -> Result<CategoryPreset, String> {
@@ -236,13 +278,15 @@ fn select_params(args: &Args) -> Result<SelectParams, String> {
 }
 
 /// Parse `--parallel true` / `--threads N` into [`SolveOptions`]. A thread
-/// count implies parallelism; the selections are identical either way.
-fn solve_options(args: &Args) -> Result<SolveOptions, String> {
+/// count implies parallelism; the selections are identical either way, and
+/// the optional `--metrics-json` collector only observes, never steers.
+fn solve_options(args: &Args, metrics: Option<Arc<SolverMetrics>>) -> Result<SolveOptions, String> {
     let parallel: bool = args.get_or("parallel", false)?;
     let threads: usize = args.get_or("threads", 0)?;
     Ok(SolveOptions {
         parallel: parallel || threads > 0,
         threads: (threads > 0).then_some(threads),
+        metrics,
     })
 }
 
@@ -265,7 +309,7 @@ fn solve_strict(
         .collect()
 }
 
-fn cmd_select(args: &Args) -> Result<String, CliError> {
+fn cmd_select(args: &Args, metrics: Option<Arc<SolverMetrics>>) -> Result<String, CliError> {
     let dataset = load_corpus(args.require("corpus")?)?;
     let target: u32 = args.get_or("target", u32::MAX)?;
     if target == u32::MAX {
@@ -276,7 +320,7 @@ fn cmd_select(args: &Args) -> Result<String, CliError> {
     let scheme = parse_scheme(args.get("scheme").unwrap_or("binary"))?;
     let params = select_params(args)?;
     let seed: u64 = args.get_or("seed", 42)?;
-    let opts = solve_options(args)?;
+    let opts = solve_options(args, metrics)?;
     let strict: bool = args.get_or("strict", false)?;
 
     let (inst, _) = instance_for(&dataset, target, max_comp)?;
@@ -313,7 +357,7 @@ fn cmd_select(args: &Args) -> Result<String, CliError> {
     Ok(out)
 }
 
-fn cmd_narrow(args: &Args) -> Result<String, CliError> {
+fn cmd_narrow(args: &Args, metrics: Option<Arc<SolverMetrics>>) -> Result<String, CliError> {
     let dataset = load_corpus(args.require("corpus")?)?;
     let target: u32 = args.get_or("target", u32::MAX)?;
     if target == u32::MAX {
@@ -325,7 +369,7 @@ fn cmd_narrow(args: &Args) -> Result<String, CliError> {
     let params = select_params(args)?;
     let seed: u64 = args.get_or("seed", 42)?;
     let time_limit: u64 = args.get_or("time-limit-ms", 60_000)?;
-    let opts = solve_options(args)?;
+    let opts = solve_options(args, metrics)?;
 
     let (_, ctx) = instance_for(&dataset, target, max_comp)?;
     let selections = comparesets_core::solve_comparesets_plus_with(&ctx, &params, &opts);
@@ -602,6 +646,98 @@ mod tests {
         assert_eq!(sequential, parallel);
         assert_eq!(sequential, pinned);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn metrics_json_writes_a_valid_report() {
+        let path = temp_corpus();
+        run(&[
+            "generate",
+            "--category",
+            "toy",
+            "--products",
+            "60",
+            "--seed",
+            "21",
+            "--out",
+            &path,
+        ])
+        .unwrap();
+        let dataset = load_corpus(&path).unwrap();
+        let target = dataset
+            .instances()
+            .first()
+            .map(|i| i.target().0)
+            .expect("corpus has instances")
+            .to_string();
+        let report_path = path.replace(".json", ".metrics.json");
+        run(&[
+            "select",
+            "--corpus",
+            &path,
+            "--target",
+            &target,
+            "--metrics-json",
+            &report_path,
+        ])
+        .unwrap();
+        let raw = std::fs::read_to_string(&report_path).unwrap();
+        let report: MetricsReport = serde_json::from_str(&raw).unwrap();
+        assert!(report.schema_matches(), "schema tag: {}", report.schema);
+        assert_eq!(report.command, "select");
+        assert!(report.wall_ms > 0.0);
+        // The default algorithm (CompaReSetS+) runs real regressions, so
+        // the solver counters must have fired.
+        assert!(!report.metrics.is_empty());
+        assert!(report.metrics.nomp_pursuits > 0);
+        assert!(report.metrics.integer_regressions > 0);
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&report_path).ok();
+    }
+
+    #[test]
+    fn metrics_collection_does_not_change_output() {
+        let path = temp_corpus();
+        run(&[
+            "generate",
+            "--category",
+            "toy",
+            "--products",
+            "60",
+            "--seed",
+            "23",
+            "--out",
+            &path,
+        ])
+        .unwrap();
+        let dataset = load_corpus(&path).unwrap();
+        let target = dataset
+            .instances()
+            .first()
+            .map(|i| i.target().0)
+            .expect("corpus has instances")
+            .to_string();
+        let report_path = path.replace(".json", ".metrics2.json");
+        let base = [
+            "select",
+            "--corpus",
+            path.as_str(),
+            "--target",
+            target.as_str(),
+        ];
+        let plain = run(&base).unwrap();
+        let metered =
+            run(&[&base[..], &["--metrics-json", report_path.as_str()]].concat()).unwrap();
+        assert_eq!(plain, metered);
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&report_path).ok();
+    }
+
+    #[test]
+    fn bad_trace_level_is_a_usage_error() {
+        let e = run(&["stats", "/tmp/whatever.json", "--trace", "loud"]).unwrap_err();
+        assert_eq!(e.kind, ErrorKind::Usage);
+        assert!(e.to_string().contains("--trace"), "{e}");
     }
 
     #[test]

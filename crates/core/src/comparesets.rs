@@ -27,9 +27,9 @@ use rayon::prelude::*;
 use crate::error::{validate_params, CoreError};
 use crate::instance::{InstanceContext, Selection};
 use crate::integer_regression::{
-    integer_regression_with, try_integer_regression_with, RegressionTask,
+    integer_regression_metered, try_integer_regression_metered, RegressionTask,
 };
-use crate::{SelectParams, SolveOptions};
+use crate::{SelectParams, SolveOptions, SolverMetrics};
 
 /// Solve CompaReSetS (Problem 1): independent Integer-Regression per item
 /// with target `[τᵢ; λΓ]`.
@@ -47,16 +47,18 @@ pub fn solve_comparesets_with(
     opts: &SolveOptions,
 ) -> Vec<Selection> {
     let lambda = params.lambda;
+    let metrics = opts.metrics_ref();
     let solve_item = |i: usize, ws: &mut NompWorkspace| {
         let item = ctx.item(i);
         let tau = ctx.tau(i);
         let gamma = ctx.gamma();
         let task = RegressionTask::build(ctx.space(), item, tau, &[(gamma, lambda)]);
-        integer_regression_with(
+        integer_regression_metered(
             &task,
             params.m,
             |sel| crate::objective::item_objective(ctx, i, sel, lambda),
             ws,
+            metrics,
         )
     };
     if opts.parallel {
@@ -95,16 +97,18 @@ pub fn solve_comparesets_checked(
 ) -> Result<Vec<Result<Selection, CoreError>>, CoreError> {
     validate_params(params)?;
     let lambda = params.lambda;
+    let metrics = opts.metrics_ref();
     let solve_item = |i: usize, ws: &mut NompWorkspace| -> Result<Selection, CoreError> {
         let item = ctx.item(i);
         let tau = ctx.tau(i);
         let gamma = ctx.gamma();
         let task = RegressionTask::try_build(ctx.space(), item, tau, &[(gamma, lambda)])?;
-        try_integer_regression_with(
+        try_integer_regression_metered(
             &task,
             params.m,
             |sel| crate::objective::item_objective(ctx, i, sel, lambda),
             ws,
+            metrics,
         )
         .map_err(|source| CoreError::Solver { item: i, source })
     };
@@ -169,9 +173,15 @@ pub fn solve_comparesets_plus_sweeps_with(
     }
 
     // One pursuit workspace serves every per-item step of every sweep.
+    let metrics = opts.metrics_ref();
+    let span = tracing::debug_span!("comparesets_plus_alternation", items = n, sweeps = sweeps);
+    let _span_guard = span.enter();
     let mut ws = NompWorkspace::new();
     for _ in 0..sweeps {
         for i in 0..n {
+            if let Some(mm) = metrics {
+                SolverMetrics::incr(&mm.alternation_rounds);
+            }
             // φ(Sⱼ) of every other item, under its *current* selection.
             let other_phis: Vec<Vec<f64>> = (0..n)
                 .filter(|&j| j != i)
@@ -196,9 +206,14 @@ pub fn solve_comparesets_plus_sweeps_with(
                 aspect_targets.push((p.as_slice(), mu));
             }
             let task = RegressionTask::build(ctx.space(), ctx.item(i), ctx.tau(i), &aspect_targets);
-            let candidate = integer_regression_with(&task, params.m, item_plus_cost, &mut ws);
+            let candidate =
+                integer_regression_metered(&task, params.m, item_plus_cost, &mut ws, metrics);
 
             if item_plus_cost(&candidate) < current_cost {
+                if let Some(mm) = metrics {
+                    SolverMetrics::incr(&mm.alternation_accepts);
+                }
+                tracing::trace!("alternation step accepted a better selection for item {i}");
                 selections[i] = candidate;
             }
         }
@@ -235,11 +250,15 @@ pub fn solve_comparesets_plus_checked(
         return Ok(slots);
     }
 
+    let metrics = opts.metrics_ref();
     let mut ws = NompWorkspace::new();
     for _ in 0..sweeps {
         for i in 0..n {
             if slots[i].is_err() {
                 continue;
+            }
+            if let Some(mm) = metrics {
+                SolverMetrics::incr(&mm.alternation_rounds);
             }
             // φ(Sⱼ) of every other *healthy* item under its current
             // selection; failed items contribute no coupling.
@@ -281,9 +300,12 @@ pub fn solve_comparesets_plus_checked(
                 Err(_) => continue, // keep the current valid selection
             };
             if let Ok(candidate) =
-                try_integer_regression_with(&task, params.m, item_plus_cost, &mut ws)
+                try_integer_regression_metered(&task, params.m, item_plus_cost, &mut ws, metrics)
             {
                 if item_plus_cost(&candidate) < current_cost {
+                    if let Some(mm) = metrics {
+                        SolverMetrics::incr(&mm.alternation_accepts);
+                    }
                     slots[i] = Ok(candidate);
                 }
             }

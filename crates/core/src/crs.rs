@@ -10,7 +10,7 @@
 use crate::error::CoreError;
 use crate::instance::{InstanceContext, Selection};
 use crate::integer_regression::{
-    integer_regression_with, try_integer_regression_with, RegressionTask,
+    integer_regression_metered, try_integer_regression_metered, RegressionTask,
 };
 use crate::SolveOptions;
 use comparesets_linalg::vector::sq_distance;
@@ -26,15 +26,17 @@ pub fn solve_crs(ctx: &InstanceContext, m: usize) -> Vec<Selection> {
 /// independent and fan out over rayon when [`SolveOptions::parallel`] is
 /// set, collected in item order (identical results either way).
 pub fn solve_crs_with(ctx: &InstanceContext, m: usize, opts: &SolveOptions) -> Vec<Selection> {
+    let metrics = opts.metrics_ref();
     let solve_item = |i: usize, ws: &mut NompWorkspace| {
         let item = ctx.item(i);
         let tau = ctx.tau(i);
         let task = RegressionTask::build(ctx.space(), item, tau, &[]);
-        integer_regression_with(
+        integer_regression_metered(
             &task,
             m,
             |sel| sq_distance(tau, &ctx.space().pi(item, &sel.indices)),
             ws,
+            metrics,
         )
     };
     if opts.parallel {
@@ -67,15 +69,17 @@ pub fn solve_crs_checked(
     if m == 0 {
         return Err(CoreError::InvalidParams("m must be at least 1"));
     }
+    let metrics = opts.metrics_ref();
     let solve_item = |i: usize, ws: &mut NompWorkspace| -> Result<Selection, CoreError> {
         let item = ctx.item(i);
         let tau = ctx.tau(i);
         let task = RegressionTask::try_build(ctx.space(), item, tau, &[])?;
-        try_integer_regression_with(
+        try_integer_regression_metered(
             &task,
             m,
             |sel| sq_distance(tau, &ctx.space().pi(item, &sel.indices)),
             ws,
+            metrics,
         )
         .map_err(|source| CoreError::Solver { item: i, source })
     };

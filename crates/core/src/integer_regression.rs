@@ -52,7 +52,8 @@
 //! assert!(!sel.is_empty() && sel.len() <= 2);
 //! ```
 
-use comparesets_linalg::{nomp_path_with, CscMatrix, NompOptions, NompWorkspace, SolveError};
+use comparesets_linalg::{nomp_path_metered, CscMatrix, NompOptions, NompWorkspace, SolveError};
+use comparesets_obs::SolverMetrics;
 
 use crate::error::CoreError;
 use crate::instance::{Item, Selection};
@@ -321,7 +322,23 @@ where
 {
     // Non-strict mode never returns Err (a failed relaxation falls back to
     // the single-review sweep), so the default branch is unreachable.
-    integer_regression_impl(task, m, &mut evaluate, workspace, false).unwrap_or_default()
+    integer_regression_impl(task, m, &mut evaluate, workspace, false, None).unwrap_or_default()
+}
+
+/// [`integer_regression_with`] with an optional metrics collector: counts
+/// the regression itself and everything its NOMP relaxation does. With
+/// `None` this is exactly the unmetered path.
+pub fn integer_regression_metered<F>(
+    task: &RegressionTask,
+    m: usize,
+    mut evaluate: F,
+    workspace: &mut NompWorkspace,
+    metrics: Option<&SolverMetrics>,
+) -> Selection
+where
+    F: FnMut(&Selection) -> f64,
+{
+    integer_regression_impl(task, m, &mut evaluate, workspace, false, metrics).unwrap_or_default()
 }
 
 /// [`integer_regression`] that propagates solver failures instead of
@@ -343,7 +360,14 @@ pub fn try_integer_regression<F>(
 where
     F: FnMut(&Selection) -> f64,
 {
-    integer_regression_impl(task, m, &mut evaluate, &mut NompWorkspace::new(), true)
+    integer_regression_impl(
+        task,
+        m,
+        &mut evaluate,
+        &mut NompWorkspace::new(),
+        true,
+        None,
+    )
 }
 
 /// [`try_integer_regression`] with caller-provided solver scratch.
@@ -359,7 +383,24 @@ pub fn try_integer_regression_with<F>(
 where
     F: FnMut(&Selection) -> f64,
 {
-    integer_regression_impl(task, m, &mut evaluate, workspace, true)
+    integer_regression_impl(task, m, &mut evaluate, workspace, true, None)
+}
+
+/// [`try_integer_regression_with`] with an optional metrics collector.
+///
+/// # Errors
+/// As [`try_integer_regression`].
+pub fn try_integer_regression_metered<F>(
+    task: &RegressionTask,
+    m: usize,
+    mut evaluate: F,
+    workspace: &mut NompWorkspace,
+    metrics: Option<&SolverMetrics>,
+) -> Result<Selection, SolveError>
+where
+    F: FnMut(&Selection) -> f64,
+{
+    integer_regression_impl(task, m, &mut evaluate, workspace, true, metrics)
 }
 
 /// Shared engine behind the strict and non-strict entry points. `strict`
@@ -372,12 +413,18 @@ fn integer_regression_impl<F>(
     evaluate: &mut F,
     workspace: &mut NompWorkspace,
     strict: bool,
+    metrics: Option<&SolverMetrics>,
 ) -> Result<Selection, SolveError>
 where
     F: FnMut(&Selection) -> f64,
 {
     let caps = task.dedup.caps();
     let q = task.dedup.len();
+    if let Some(mm) = metrics {
+        SolverMetrics::incr(&mm.integer_regressions);
+    }
+    let span = tracing::debug_span!("integer_regression", m = m, q = q);
+    let _span_guard = span.enter();
     let mut best: Option<(f64, Selection)> = None;
     let consider = |sel: Selection, evaluate: &mut F, best: &mut Option<(f64, Selection)>| {
         if sel.len() > m {
@@ -395,11 +442,12 @@ where
         // distinct budgets 1..=min(m, q); duplicates would re-evaluate the
         // same candidates and lose every strict-< comparison anyway.
         let l_max = m.min(q);
-        match nomp_path_with(
+        match nomp_path_metered(
             &task.matrix,
             &task.target,
             NompOptions::with_max_atoms(l_max),
             workspace,
+            metrics,
         ) {
             Ok(path) => {
                 for res in &path {

@@ -61,13 +61,17 @@ pub use exhaustive::{solve_exhaustive, solve_exhaustive_item};
 pub use incremental::IncrementalSession;
 pub use instance::{InstanceContext, Item, ReviewFeature, Selection};
 pub use integer_regression::{
-    integer_regression, integer_regression_with, try_integer_regression,
-    try_integer_regression_with, RegressionTask,
+    integer_regression, integer_regression_metered, integer_regression_with,
+    try_integer_regression, try_integer_regression_metered, try_integer_regression_with,
+    RegressionTask,
 };
 pub use objective::{
     comparesets_objective, comparesets_plus_objective, item_objective, pair_distance,
 };
 pub use space::{OpinionScheme, VectorSpace};
+
+pub use comparesets_obs::{MetricsReport, MetricsSnapshot, SolverMetrics};
+use std::sync::Arc;
 
 /// Shared knobs for the selection solvers.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -99,13 +103,23 @@ impl Default for SelectParams {
 /// Parallel runs fan independent per-item regressions over rayon and
 /// collect the results in item order (never completion order), so turning
 /// parallelism on is purely a wall-clock decision.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+///
+/// The optional `metrics` collector is likewise observation-only: solvers
+/// count pursuit iterations, refits, and fallback activations into it
+/// (see ARCHITECTURE.md §7) without ever reading it back, and with the
+/// default `None` no counter or clock is touched at all. Because the
+/// per-item work is identical under parallel and sequential execution,
+/// the aggregate counters are too.
+#[derive(Debug, Clone, Default)]
 pub struct SolveOptions {
     /// Fan independent per-item regression tasks out over rayon's pool.
     pub parallel: bool,
     /// Worker count for parallel runs; `None` uses rayon's global default
     /// (all cores). Ignored when `parallel` is false.
     pub threads: Option<usize>,
+    /// Optional solver-metrics collector shared by every regression the
+    /// solve performs; `None` (the default) disables all counting.
+    pub metrics: Option<Arc<SolverMetrics>>,
 }
 
 impl SolveOptions {
@@ -118,7 +132,7 @@ impl SolveOptions {
     pub fn parallel() -> Self {
         SolveOptions {
             parallel: true,
-            threads: None,
+            ..SolveOptions::default()
         }
     }
 
@@ -127,7 +141,20 @@ impl SolveOptions {
         SolveOptions {
             parallel: true,
             threads: Some(n),
+            ..SolveOptions::default()
         }
+    }
+
+    /// This options value with a metrics collector attached.
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: Arc<SolverMetrics>) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// Borrow the collector in the form the linalg layer consumes.
+    pub(crate) fn metrics_ref(&self) -> Option<&SolverMetrics> {
+        self.metrics.as_deref()
     }
 }
 

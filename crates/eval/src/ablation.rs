@@ -25,7 +25,7 @@ use comparesets_stats::bootstrap_mean_ci;
 use std::time::Duration;
 
 use crate::config::EvalConfig;
-use crate::pipeline::{dataset_for, prepare_instances, run_algorithm};
+use crate::pipeline::{dataset_for, prepare_instances, run_algorithm_cfg};
 use crate::report::Table;
 use crate::userstudy::selection_coherence;
 
@@ -122,7 +122,7 @@ pub fn run(cfg: &EvalConfig) -> Ablation {
     let coherence = Algorithm::ALL
         .iter()
         .map(|&alg| {
-            let sols = run_algorithm(&instances, alg, &params, cfg.seed);
+            let sols = run_algorithm_cfg(&instances, alg, &params, cfg);
             let values: Vec<f64> = instances
                 .iter()
                 .zip(sols.iter())
@@ -147,7 +147,7 @@ pub fn run(cfg: &EvalConfig) -> Ablation {
     let options = ExactOptions {
         time_limit: Duration::from_millis(cfg.exact_time_limit_ms),
     };
-    let plus = run_algorithm(&instances, Algorithm::CompareSetsPlus, &params, cfg.seed);
+    let plus = run_algorithm_cfg(&instances, Algorithm::CompareSetsPlus, &params, cfg);
     let mut omega_exact = 0.0;
     let mut omega_peel = 0.0;
     let mut omega_greedy = 0.0;

@@ -5,7 +5,7 @@
 use comparesets_core::{Algorithm, SelectParams};
 use comparesets_data::CategoryPreset;
 use comparesets_eval::metrics::{alignment_among_items, alignment_target_vs_comparatives};
-use comparesets_eval::pipeline::{dataset_for, prepare_instances, run_algorithm};
+use comparesets_eval::pipeline::{dataset_for, prepare_instances, run_algorithm_cfg};
 use comparesets_eval::EvalConfig;
 
 fn main() {
@@ -20,7 +20,7 @@ fn main() {
             mu: cfg.mu,
         };
         for alg in Algorithm::ALL {
-            let sols = run_algorithm(&instances, alg, &params, cfg.seed);
+            let sols = run_algorithm_cfg(&instances, alg, &params, &cfg);
             let mut tv = 0.0;
             let mut am = 0.0;
             let mut n = 0.0;

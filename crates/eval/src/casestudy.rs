@@ -9,7 +9,7 @@ use comparesets_graph::{solve_exact, ExactOptions, SimilarityGraph};
 use std::time::Duration;
 
 use crate::config::EvalConfig;
-use crate::pipeline::{dataset_for, prepare_instances, run_algorithm};
+use crate::pipeline::{dataset_for, prepare_instances, run_algorithm_cfg};
 
 /// One product's display block.
 #[derive(Debug, Clone)]
@@ -50,7 +50,7 @@ fn case_for(dataset: &Dataset, name: &str, cfg: &EvalConfig) -> Option<CaseStudy
         mu: cfg.mu,
     };
     let instances = prepare_instances(dataset, cfg);
-    let sols = run_algorithm(&instances, Algorithm::CompareSetsPlus, &params, cfg.seed);
+    let sols = run_algorithm_cfg(&instances, Algorithm::CompareSetsPlus, &params, cfg);
     let options = ExactOptions {
         time_limit: Duration::from_millis(cfg.exact_time_limit_ms),
     };

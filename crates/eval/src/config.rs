@@ -8,7 +8,7 @@
 //! `COMPARESETS_SCALE` environment variable (1 = default, 10 ≈ paper-scale
 //! instance counts).
 
-use comparesets_core::OpinionScheme;
+use comparesets_core::{OpinionScheme, SolveOptions};
 
 /// Knobs shared by all experiments.
 #[derive(Debug, Clone)]
@@ -33,6 +33,11 @@ pub struct EvalConfig {
     pub scheme: OpinionScheme,
     /// Exact-solver time limit in milliseconds (paper: 60 000).
     pub exact_time_limit_ms: u64,
+    /// Solver execution options shared by every experiment solve:
+    /// within-instance parallelism plus the optional metrics collector
+    /// (`run_suite` installs a fresh collector per experiment). Results
+    /// are identical for every value — see `SolveOptions`.
+    pub solve_options: SolveOptions,
 }
 
 impl Default for EvalConfig {
@@ -47,6 +52,7 @@ impl Default for EvalConfig {
             mu: 0.1,
             scheme: OpinionScheme::Binary,
             exact_time_limit_ms: 60_000,
+            solve_options: SolveOptions::default(),
         }
     }
 }

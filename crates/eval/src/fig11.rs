@@ -8,7 +8,7 @@ use comparesets_data::CategoryPreset;
 
 use crate::config::EvalConfig;
 use crate::metrics::{information_cosine, information_loss};
-use crate::pipeline::{dataset_for, prepare_instances, run_algorithm};
+use crate::pipeline::{dataset_for, prepare_instances, run_algorithm_cfg};
 use crate::report::Table;
 
 /// Review budgets swept on the x-axis.
@@ -51,7 +51,7 @@ pub fn run(cfg: &EvalConfig) -> Fig11 {
             lambda: cfg.lambda,
             mu: cfg.mu,
         };
-        let sols = run_algorithm(&instances, Algorithm::CompareSetsPlus, &params, cfg.seed);
+        let sols = run_algorithm_cfg(&instances, Algorithm::CompareSetsPlus, &params, cfg);
         let mut lt = Vec::new();
         let mut la = Vec::new();
         let mut ct = Vec::new();

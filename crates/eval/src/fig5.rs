@@ -6,7 +6,7 @@ use comparesets_core::{Algorithm, SelectParams};
 use comparesets_data::CategoryPreset;
 
 use crate::config::EvalConfig;
-use crate::pipeline::{dataset_for, prepare_instances, run_algorithm};
+use crate::pipeline::{dataset_for, prepare_instances, run_algorithm_cfg};
 use crate::report::{f2, Table};
 
 /// The sweep grid the paper tunes over.
@@ -53,7 +53,7 @@ fn sweep(cfg: &EvalConfig, algorithm: Algorithm, vary_mu: bool) -> Vec<SweepSeri
                             mu: 0.0,
                         }
                     };
-                    let sols = run_algorithm(&instances, algorithm, &params, cfg.seed);
+                    let sols = run_algorithm_cfg(&instances, algorithm, &params, cfg);
                     let scores: Vec<f64> = instances
                         .iter()
                         .zip(sols.iter())

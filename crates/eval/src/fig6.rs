@@ -11,7 +11,7 @@ use comparesets_data::CategoryPreset;
 
 use crate::config::EvalConfig;
 use crate::metrics::{alignment_among_items, alignment_target_vs_comparatives};
-use crate::pipeline::{dataset_for, prepare_instances, run_algorithm, PreparedInstance};
+use crate::pipeline::{dataset_for, prepare_instances, run_algorithm_cfg, PreparedInstance};
 use crate::report::{f2, Table};
 
 /// Review-count buckets (by average reviews per item in the instance).
@@ -76,9 +76,9 @@ pub fn run(cfg: &EvalConfig) -> Fig6 {
     for &preset in &CategoryPreset::ALL {
         let dataset = dataset_for(preset, cfg);
         let instances = prepare_instances(&dataset, cfg);
-        let plus = run_algorithm(&instances, Algorithm::CompareSetsPlus, &params, cfg.seed);
-        let crs = run_algorithm(&instances, Algorithm::Crs, &params, cfg.seed);
-        let random = run_algorithm(&instances, Algorithm::Random, &params, cfg.seed);
+        let plus = run_algorithm_cfg(&instances, Algorithm::CompareSetsPlus, &params, cfg);
+        let crs = run_algorithm_cfg(&instances, Algorithm::Crs, &params, cfg);
+        let random = run_algorithm_cfg(&instances, Algorithm::Random, &params, cfg);
         for (idx, inst) in instances.iter().enumerate() {
             let b = bucket_of(avg_reviews(inst));
             counts[b] += 1;

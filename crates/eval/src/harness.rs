@@ -11,6 +11,10 @@
 //! ARCHITECTURE.md for where this layer sits in the overall ladder.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use comparesets_core::{MetricsReport, MetricsSnapshot, SolverMetrics};
 
 use crate::EvalConfig;
 
@@ -65,11 +69,45 @@ impl ExperimentOutcome {
     }
 }
 
+/// Wall time and solver counters recorded for one experiment run, whether
+/// it completed or failed. `run_suite` installs a fresh collector into the
+/// experiment's `EvalConfig::solve_options` so the counters cover exactly
+/// that experiment's solves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExperimentTiming {
+    /// Experiment name (matches the corresponding outcome entry).
+    pub name: &'static str,
+    /// End-to-end wall nanoseconds for the experiment.
+    pub wall_nanos: u64,
+    /// Frozen solver counters for the experiment's solves.
+    pub metrics: MetricsSnapshot,
+}
+
+impl ExperimentTiming {
+    /// Wall time in milliseconds.
+    pub fn wall_ms(&self) -> f64 {
+        self.wall_nanos as f64 / 1e6
+    }
+
+    /// This timing as a standalone machine-readable report (same shape as
+    /// the CLI's `--metrics-json` output).
+    pub fn report(&self) -> MetricsReport {
+        MetricsReport::from_snapshot(
+            self.name,
+            Duration::from_nanos(self.wall_nanos),
+            self.metrics.clone(),
+        )
+    }
+}
+
 /// The result of a full suite run: per-experiment outcomes in run order.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SuiteReport {
     /// `(experiment name, outcome)` pairs, one per experiment, in order.
     pub outcomes: Vec<(&'static str, ExperimentOutcome)>,
+    /// Per-experiment wall time and solver counters, parallel to
+    /// `outcomes` — the suite's performance trail.
+    pub timings: Vec<ExperimentTiming>,
 }
 
 impl SuiteReport {
@@ -111,7 +149,8 @@ impl SuiteReport {
         out
     }
 
-    /// Render only the summary block.
+    /// Render only the summary block: completion counts, failures, then
+    /// the per-experiment performance trail.
     pub fn render_summary(&self) -> String {
         let mut out = format!(
             "== suite summary: {}/{} experiments completed ==\n",
@@ -120,6 +159,17 @@ impl SuiteReport {
         );
         for (name, msg) in self.failures() {
             out.push_str(&format!("FAILED {name}: {msg}\n"));
+        }
+        for t in &self.timings {
+            out.push_str(&format!(
+                "{:<10} {:>9.1} ms | pursuits {:>6} | regressions {:>5} | fallbacks {} | cap hits {}\n",
+                t.name,
+                t.wall_ms(),
+                t.metrics.nomp_pursuits,
+                t.metrics.integer_regressions,
+                t.metrics.fallback_qr + t.metrics.fallback_ridge,
+                t.metrics.nnls_cap_hits,
+            ));
         }
         out
     }
@@ -139,18 +189,39 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 /// Run every experiment, isolating panics per experiment. The returned
 /// report always covers all experiments; a failure in one never aborts the
 /// suite.
+///
+/// Each experiment runs against a copy of `cfg` with a fresh
+/// [`SolverMetrics`] collector installed, so [`SuiteReport::timings`]
+/// attributes wall time and solver counters per experiment (a collector
+/// the caller pre-installed in `cfg.solve_options` is shadowed).
 pub fn run_suite(experiments: &[Experiment], cfg: &EvalConfig) -> SuiteReport {
-    let outcomes = experiments
-        .iter()
-        .map(|exp| {
-            let outcome = match catch_unwind(AssertUnwindSafe(|| (exp.runner)(cfg))) {
-                Ok(text) => ExperimentOutcome::Completed(text),
-                Err(payload) => ExperimentOutcome::Failed(panic_message(payload)),
-            };
-            (exp.name, outcome)
-        })
-        .collect();
-    SuiteReport { outcomes }
+    let mut outcomes = Vec::with_capacity(experiments.len());
+    let mut timings = Vec::with_capacity(experiments.len());
+    for exp in experiments {
+        let collector = Arc::new(SolverMetrics::new());
+        let mut exp_cfg = cfg.clone();
+        exp_cfg.solve_options.metrics = Some(Arc::clone(&collector));
+        let span = tracing::info_span!("experiment", name = exp.name);
+        let span_guard = span.enter();
+        let started = Instant::now();
+        let outcome = match catch_unwind(AssertUnwindSafe(|| (exp.runner)(&exp_cfg))) {
+            Ok(text) => ExperimentOutcome::Completed(text),
+            Err(payload) => {
+                let msg = panic_message(payload);
+                tracing::error!("experiment {} failed: {msg}", exp.name);
+                ExperimentOutcome::Failed(msg)
+            }
+        };
+        let wall = started.elapsed();
+        drop(span_guard);
+        timings.push(ExperimentTiming {
+            name: exp.name,
+            wall_nanos: u64::try_from(wall.as_nanos()).unwrap_or(u64::MAX),
+            metrics: collector.snapshot(),
+        });
+        outcomes.push((exp.name, outcome));
+    }
+    SuiteReport { outcomes, timings }
 }
 
 /// The paper's full reproduction pass: every table and figure of §4, in
@@ -218,6 +289,41 @@ mod tests {
         assert!(rendered.contains("later"));
         assert!(rendered.contains("2/3 experiments completed"));
         assert!(rendered.contains("FAILED boom: injected failure"));
+    }
+
+    #[test]
+    fn suite_records_per_experiment_timings_and_metrics() {
+        let experiments = vec![
+            Experiment::new("solve", "runs real regressions", |cfg| {
+                let ds = crate::pipeline::dataset_for(comparesets_data::CategoryPreset::Toy, cfg);
+                let instances = crate::pipeline::prepare_instances(&ds, cfg);
+                let sols = crate::pipeline::run_algorithm_cfg(
+                    &instances[..1],
+                    comparesets_core::Algorithm::CompareSets,
+                    &comparesets_core::SelectParams::default(),
+                    cfg,
+                );
+                format!("{} instances", sols.len())
+            }),
+            Experiment::new("idle", "no solver work", |_| "idle".to_string()),
+        ];
+        let report = run_suite(&experiments, &EvalConfig::tiny());
+        assert!(report.all_completed());
+        assert_eq!(report.timings.len(), 2);
+        assert_eq!(report.timings[0].name, "solve");
+        // The solving experiment exercised the instrumented hot path...
+        assert!(report.timings[0].metrics.nomp_pursuits > 0);
+        assert!(report.timings[0].metrics.integer_regressions > 0);
+        assert!(report.timings[0].wall_nanos > 0);
+        // ...while the idle one recorded wall time but no solver work.
+        assert!(report.timings[1].metrics.is_empty());
+        // Each timing converts into a valid standalone report.
+        let standalone = report.timings[0].report();
+        assert!(standalone.schema_matches());
+        assert_eq!(standalone.command, "solve");
+        // The rendered summary carries the performance trail.
+        let summary = report.render_summary();
+        assert!(summary.contains("pursuits"), "{summary}");
     }
 
     #[test]

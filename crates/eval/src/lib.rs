@@ -45,6 +45,8 @@ pub mod table7;
 pub mod userstudy;
 
 pub use config::EvalConfig;
-pub use harness::{run_suite, standard_suite, Experiment, ExperimentOutcome, SuiteReport};
+pub use harness::{
+    run_suite, standard_suite, Experiment, ExperimentOutcome, ExperimentTiming, SuiteReport,
+};
 pub use metrics::RougeTriple;
 pub use pipeline::PreparedInstance;

@@ -74,6 +74,18 @@ pub fn run_algorithm(
     run_algorithm_opts(instances, algorithm, params, seed, &SolveOptions::default())
 }
 
+/// [`run_algorithm`] under a config: seed and [`SolveOptions`] (including
+/// the per-experiment metrics collector installed by `run_suite`) come
+/// from `cfg`. All experiments route their solves through here.
+pub fn run_algorithm_cfg(
+    instances: &[PreparedInstance],
+    algorithm: Algorithm,
+    params: &SelectParams,
+    cfg: &EvalConfig,
+) -> Vec<Vec<Selection>> {
+    run_algorithm_opts(instances, algorithm, params, cfg.seed, &cfg.solve_options)
+}
+
 /// [`run_algorithm`] with solver execution options. Instance-level fan-out
 /// always runs on rayon; `opts` additionally controls the within-instance
 /// per-item parallelism of the regression solvers. Results are identical

@@ -11,7 +11,7 @@ use comparesets_stats::paired_t_test;
 
 use crate::config::EvalConfig;
 use crate::metrics::{alignment_among_items, alignment_target_vs_comparatives, RougeTriple};
-use crate::pipeline::{dataset_for, prepare_instances, run_algorithm};
+use crate::pipeline::{dataset_for, prepare_instances, run_algorithm_cfg};
 use crate::report::{f2_star, Table};
 
 /// Per-instance alignment scores of one algorithm at one m.
@@ -89,7 +89,7 @@ pub fn run(cfg: &EvalConfig) -> Table3 {
                     let algos = Algorithm::ALL
                         .iter()
                         .map(|&alg| {
-                            let sols = run_algorithm(&instances, alg, &params, cfg.seed);
+                            let sols = run_algorithm_cfg(&instances, alg, &params, cfg);
                             let mut target_vs_comp = Vec::with_capacity(instances.len());
                             let mut among = Vec::with_capacity(instances.len());
                             for (inst, sels) in instances.iter().zip(sols.iter()) {

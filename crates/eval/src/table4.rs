@@ -7,7 +7,7 @@ use comparesets_core::{Algorithm, OpinionScheme, SelectParams};
 use comparesets_data::CategoryPreset;
 
 use crate::config::EvalConfig;
-use crate::pipeline::{dataset_for, prepare_instances, run_algorithm};
+use crate::pipeline::{dataset_for, prepare_instances, run_algorithm_cfg};
 use crate::report::{f2, Table};
 
 /// Algorithms shown in Table 4 (Random is the reference mentioned in the
@@ -50,7 +50,7 @@ pub fn run(cfg: &EvalConfig) -> Table4 {
             TABLE4_ALGORITHMS
                 .iter()
                 .map(|&alg| {
-                    let sols = run_algorithm(&instances, alg, &params, cfg.seed);
+                    let sols = run_algorithm_cfg(&instances, alg, &params, cfg);
                     let scores: Vec<f64> = instances
                         .iter()
                         .zip(sols.iter())

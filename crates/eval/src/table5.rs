@@ -16,7 +16,7 @@ use rayon::prelude::*;
 use std::time::Duration;
 
 use crate::config::EvalConfig;
-use crate::pipeline::{dataset_for, prepare_instances, run_algorithm};
+use crate::pipeline::{dataset_for, prepare_instances, run_algorithm_cfg};
 use crate::report::Table;
 
 /// One row of Table 5.
@@ -56,7 +56,7 @@ pub fn run(cfg: &EvalConfig) -> Table5 {
                 lambda: cfg.lambda,
                 mu: cfg.mu,
             };
-            let sols = run_algorithm(&instances, Algorithm::CompareSetsPlus, &params, cfg.seed);
+            let sols = run_algorithm_cfg(&instances, Algorithm::CompareSetsPlus, &params, cfg);
             // Only instances with more than k items pose a real choice.
             let work: Vec<(usize, SimilarityGraph)> = instances
                 .iter()

@@ -14,7 +14,7 @@ use std::time::Duration;
 
 use crate::config::EvalConfig;
 use crate::metrics::{alignment_among_items, alignment_target_vs_comparatives, RougeTriple};
-use crate::pipeline::{dataset_for, prepare_instances, run_algorithm};
+use crate::pipeline::{dataset_for, prepare_instances, run_algorithm_cfg};
 use crate::report::{f2, Table};
 
 /// The four core-list methods, in the paper's row order.
@@ -94,7 +94,7 @@ pub fn run(cfg: &EvalConfig) -> Table6 {
                 lambda: cfg.lambda,
                 mu: cfg.mu,
             };
-            let sols = run_algorithm(&instances, Algorithm::CompareSetsPlus, &params, cfg.seed);
+            let sols = run_algorithm_cfg(&instances, Algorithm::CompareSetsPlus, &params, cfg);
             let mut per_method: Vec<(Vec<RougeTriple>, Vec<RougeTriple>)> =
                 vec![(Vec::new(), Vec::new()); CoreListMethod::ALL.len()];
             for (idx, (inst, sels)) in instances.iter().zip(sols.iter()).enumerate() {

@@ -13,7 +13,7 @@ use comparesets_stats::{krippendorff_alpha, Metric};
 use std::time::Duration;
 
 use crate::config::EvalConfig;
-use crate::pipeline::{dataset_for, prepare_instances, run_algorithm};
+use crate::pipeline::{dataset_for, prepare_instances, run_algorithm_cfg};
 use crate::report::{f2, Table};
 use crate::userstudy::{latent_utility, rate_example, NUM_ANNOTATORS};
 
@@ -62,9 +62,9 @@ pub fn run(cfg: &EvalConfig) -> Table7 {
     for &preset in &CategoryPreset::ALL {
         let dataset = dataset_for(preset, cfg);
         let instances = prepare_instances(&dataset, cfg);
-        let plus = run_algorithm(&instances, Algorithm::CompareSetsPlus, &params, cfg.seed);
-        let crs = run_algorithm(&instances, Algorithm::Crs, &params, cfg.seed);
-        let random = run_algorithm(&instances, Algorithm::Random, &params, cfg.seed);
+        let plus = run_algorithm_cfg(&instances, Algorithm::CompareSetsPlus, &params, cfg);
+        let crs = run_algorithm_cfg(&instances, Algorithm::Crs, &params, cfg);
+        let random = run_algorithm_cfg(&instances, Algorithm::Random, &params, cfg);
         let mut taken = 0;
         for (idx, inst) in instances.iter().enumerate() {
             if taken >= 3 {

@@ -8,6 +8,7 @@
 
 use crate::error::LinalgError;
 use crate::matrix::Matrix;
+use comparesets_obs::SolverMetrics;
 
 /// Lower-triangular Cholesky factor of a symmetric positive-definite matrix.
 #[derive(Debug, Clone)]
@@ -158,9 +159,29 @@ pub fn solve_normal_equations(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgE
 /// Propagates shape and [`LinalgError::NonFinite`] errors; never fails on
 /// rank deficiency.
 pub fn solve_gram_system(g: &Matrix, rhs: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    solve_gram_system_with(g, rhs, None)
+}
+
+/// [`solve_gram_system`] with an optional metrics collector: each rung of
+/// the degradation ladder that engages increments the matching fallback
+/// counter (`fallback_qr`, `fallback_ridge`). With `None` this is exactly
+/// the unmetered path — no atomic is touched.
+///
+/// # Errors
+/// Propagates shape and [`LinalgError::NonFinite`] errors; never fails on
+/// rank deficiency.
+pub fn solve_gram_system_with(
+    g: &Matrix,
+    rhs: &[f64],
+    metrics: Option<&SolverMetrics>,
+) -> Result<Vec<f64>, LinalgError> {
     match Cholesky::factor(g) {
         Ok(ch) => ch.solve(rhs),
-        Err(LinalgError::NotPositiveDefinite { .. }) => {
+        Err(LinalgError::NotPositiveDefinite { pivot }) => {
+            if let Some(m) = metrics {
+                SolverMetrics::incr(&m.fallback_qr);
+            }
+            tracing::debug!("gram solve: cholesky pivot {pivot} failed, falling back to QR");
             match crate::qr::Qr::factor(g).and_then(|qr| qr.solve(rhs)) {
                 Ok(x) => Ok(x),
                 Err(
@@ -168,6 +189,10 @@ pub fn solve_gram_system(g: &Matrix, rhs: &[f64]) -> Result<Vec<f64>, LinalgErro
                     | LinalgError::NotPositiveDefinite { .. }
                     | LinalgError::InvalidArgument(_),
                 ) => {
+                    if let Some(m) = metrics {
+                        SolverMetrics::incr(&m.fallback_ridge);
+                    }
+                    tracing::debug!("gram solve: QR singular, falling back to ridge");
                     // Ridge fallback: G + eps I.
                     let n = g.rows();
                     let mut ridged = g.clone();

@@ -34,10 +34,11 @@
 //! }
 //! ```
 
-use crate::cholesky::{solve_gram_system, solve_normal_equations};
+use crate::cholesky::{solve_gram_system_with, solve_normal_equations};
 use crate::error::LinalgError;
 use crate::matrix::Matrix;
 use crate::vector;
+use comparesets_obs::SolverMetrics;
 
 /// Convergence diagnostic returned by the capped NNLS entry points.
 ///
@@ -261,6 +262,22 @@ pub fn nnls_gram_capped(
     g: &Matrix,
     atb: &[f64],
 ) -> Result<(Vec<f64>, NnlsDiagnostics), LinalgError> {
+    nnls_gram_capped_with(g, atb, None)
+}
+
+/// [`nnls_gram_capped`] with an optional metrics collector: passive-set
+/// refits route through the metered Gram solver so degradation-ladder
+/// activations inside NNLS are attributed to the run. With `None` this is
+/// exactly the unmetered path.
+///
+/// # Errors
+/// Shape errors and [`LinalgError::NonFinite`] on NaN/Inf input; never
+/// [`LinalgError::NoConvergence`].
+pub fn nnls_gram_capped_with(
+    g: &Matrix,
+    atb: &[f64],
+    metrics: Option<&SolverMetrics>,
+) -> Result<(Vec<f64>, NnlsDiagnostics), LinalgError> {
     let n = g.rows();
     if g.cols() != n {
         return Err(LinalgError::DimensionMismatch {
@@ -351,7 +368,7 @@ pub fn nnls_gram_capped(
                 }
             }
             let rhs: Vec<f64> = passive_idx.iter().map(|&j| atb[j]).collect();
-            let z_sub = solve_gram_system(&g_sub, &rhs)?;
+            let z_sub = solve_gram_system_with(&g_sub, &rhs, metrics)?;
 
             if z_sub.iter().all(|&v| v > 0.0) {
                 // Accept.

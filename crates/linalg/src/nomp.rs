@@ -54,9 +54,10 @@
 
 use crate::error::LinalgError;
 use crate::matrix::Matrix;
-use crate::nnls::{nnls_capped, nnls_gram_capped};
+use crate::nnls::{nnls_capped, nnls_gram_capped_with};
 use crate::sparse::DesignMatrix;
 use crate::vector;
+use comparesets_obs::SolverMetrics;
 
 /// Tuning knobs for [`nomp`].
 #[derive(Debug, Clone, Copy)]
@@ -172,7 +173,7 @@ pub fn nomp_with<M: DesignMatrix>(
     opts: NompOptions,
     ws: &mut NompWorkspace,
 ) -> Result<NompResult, LinalgError> {
-    let mut results = pursuit(a, b, opts, ws, false)?;
+    let mut results = pursuit(a, b, opts, ws, false, None)?;
     results.pop().ok_or(LinalgError::InvalidArgument(
         "nomp: pursuit produced no state",
     ))
@@ -208,7 +209,24 @@ pub fn nomp_path_with<M: DesignMatrix>(
     opts: NompOptions,
     ws: &mut NompWorkspace,
 ) -> Result<Vec<NompResult>, LinalgError> {
-    pursuit(a, b, opts, ws, true)
+    pursuit(a, b, opts, ws, true, None)
+}
+
+/// [`nomp_path_with`] with an optional metrics collector: the pursuit
+/// counts its iterations, refits, Gram-cache hits, budget snapshots, and
+/// wall time into `metrics`. With `None` this is exactly the unmetered
+/// path — no atomic is touched and no clock is read.
+///
+/// # Errors
+/// As [`nomp`].
+pub fn nomp_path_metered<M: DesignMatrix>(
+    a: &M,
+    b: &[f64],
+    opts: NompOptions,
+    ws: &mut NompWorkspace,
+    metrics: Option<&SolverMetrics>,
+) -> Result<Vec<NompResult>, LinalgError> {
+    pursuit(a, b, opts, ws, true, metrics)
 }
 
 /// The shared pursuit engine behind [`nomp`] and [`nomp_path`].
@@ -229,6 +247,7 @@ fn pursuit<M: DesignMatrix>(
     opts: NompOptions,
     ws: &mut NompWorkspace,
     record_path: bool,
+    metrics: Option<&SolverMetrics>,
 ) -> Result<Vec<NompResult>, LinalgError> {
     let m = a.rows();
     let n = a.cols();
@@ -248,6 +267,16 @@ fn pursuit<M: DesignMatrix>(
             context: "nomp rhs",
         });
     }
+
+    // Observability seam: with `metrics` absent (the default) neither an
+    // atomic nor a clock is ever touched on this path, and the disabled
+    // span below costs one relaxed load.
+    if let Some(mm) = metrics {
+        SolverMetrics::incr(&mm.nomp_pursuits);
+    }
+    let pursuit_start = metrics.map(|_| std::time::Instant::now());
+    let span = tracing::trace_span!("nomp_pursuit", rows = m, cols = n, l_max = opts.max_atoms);
+    let _span_guard = span.enter();
 
     ws.reset(m, n);
 
@@ -278,6 +307,9 @@ fn pursuit<M: DesignMatrix>(
             while results.len() < opts.max_atoms {
                 let l = results.len() + 1;
                 if ws.support.len() >= l.min(n) || sq_res <= opts.residual_tolerance {
+                    if let Some(mm) = metrics {
+                        SolverMetrics::incr(&mm.path_snapshots);
+                    }
                     results.push(ws.snapshot(sq_res));
                 } else {
                     break;
@@ -307,6 +339,15 @@ fn pursuit<M: DesignMatrix>(
         let Some(j_star) = best_j else {
             break; // No positively correlated column remains.
         };
+        if let Some(mm) = metrics {
+            SolverMetrics::incr(&mm.nomp_iterations);
+            // Every refit after the first reuses the incrementally
+            // maintained Gram instead of rebuilding it from the design
+            // matrix — that reuse is what the cache counter measures.
+            if !ws.support.is_empty() {
+                SolverMetrics::incr(&mm.gram_cache_hits);
+            }
+        }
 
         // Enter j_star: extend the cached Gram and Aᵀb by one atom.
         let entering_dots: Vec<f64> = ws
@@ -330,7 +371,22 @@ fn pursuit<M: DesignMatrix>(
         // aborting the item — the improvement check below then decides
         // whether pursuit can continue.
         let g = Matrix::from_rows(&ws.gram_rows)?;
-        let (x_sub, _refit_diag) = nnls_gram_capped(&g, &ws.atb)?;
+        let refit_start = metrics.map(|_| std::time::Instant::now());
+        let (x_sub, refit_diag) = nnls_gram_capped_with(&g, &ws.atb, metrics)?;
+        if let Some(mm) = metrics {
+            if let Some(t) = refit_start {
+                SolverMetrics::add_time(&mm.refit_nanos, t.elapsed());
+            }
+            SolverMetrics::incr(&mm.nnls_refits);
+            SolverMetrics::add(&mm.nnls_iterations, refit_diag.iterations as u64);
+            if !refit_diag.converged {
+                SolverMetrics::incr(&mm.nnls_cap_hits);
+                tracing::warn!(
+                    "nnls refit hit its iteration cap after {} outer iterations",
+                    refit_diag.iterations
+                );
+            }
+        }
 
         // Prune zeroed atoms (keeps the support meaningful) and compact the
         // cached normal equations accordingly.
@@ -378,10 +434,16 @@ fn pursuit<M: DesignMatrix>(
     // state; the single-budget variant records its only result here too.
     if record_path {
         while results.len() < opts.max_atoms {
+            if let Some(mm) = metrics {
+                SolverMetrics::incr(&mm.path_snapshots);
+            }
             results.push(ws.snapshot(sq_res));
         }
     } else {
         results.push(ws.snapshot(sq_res));
+    }
+    if let (Some(mm), Some(t)) = (metrics, pursuit_start) {
+        SolverMetrics::add_time(&mm.pursuit_nanos, t.elapsed());
     }
     Ok(results)
 }

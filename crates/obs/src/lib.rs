@@ -1,0 +1,245 @@
+//! Observability layer shared by the solver stack.
+//!
+//! Two independent channels (ARCHITECTURE.md §7):
+//!
+//! * **Tracing** — human-readable, levelled text on stderr. Enabled with
+//!   [`init_stderr_tracing`]; spans and events come from the `tracing`
+//!   macros sprinkled through `crates/linalg`, `crates/core`,
+//!   `crates/eval`, and `crates/cli`. Off by default; a disabled callsite
+//!   costs one relaxed atomic load.
+//! * **Metrics** — machine-readable counters in [`SolverMetrics`],
+//!   threaded through `SolveOptions` as an `Option<Arc<SolverMetrics>>`.
+//!   `None` (the default) skips every counter update and clock read; the
+//!   solver hot paths never touch an atomic or an `Instant` unless a
+//!   collector was installed. [`SolverMetrics::snapshot`] freezes the
+//!   counters into a serialisable [`MetricsSnapshot`]; [`MetricsReport`]
+//!   wraps a snapshot with run identity for `--metrics-json`.
+//!
+//! Counters are relaxed atomics: increments from rayon workers interleave
+//! freely, but because the solvers do identical work in parallel and
+//! sequential mode (item-order reduction), the *aggregate* totals are
+//! identical either way — pinned by `crates/core/tests/metrics.rs`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+/// Schema tag embedded in every [`MetricsReport`]; bump on breaking
+/// layout changes so downstream tooling can detect drift.
+pub const METRICS_SCHEMA: &str = "comparesets-metrics/v1";
+
+/// Shared counter block for one logical run (a CLI command, an eval
+/// experiment, a test solve). Cheap to share via `Arc`; all updates are
+/// relaxed atomic adds.
+#[derive(Debug, Default)]
+pub struct SolverMetrics {
+    /// NOMP pursuits started (one per `nomp_path`/`nomp` call).
+    pub nomp_pursuits: AtomicU64,
+    /// Greedy atom-selection iterations across all pursuits.
+    pub nomp_iterations: AtomicU64,
+    /// Budget snapshots recorded by path-mode pursuits (one per ℓ).
+    pub path_snapshots: AtomicU64,
+    /// Refits served from the incrementally maintained Gram cache
+    /// (every refit after the first within a pursuit).
+    pub gram_cache_hits: AtomicU64,
+    /// NNLS refits performed (one per accepted atom).
+    pub nnls_refits: AtomicU64,
+    /// Outer Lawson–Hanson iterations summed over all refits.
+    pub nnls_iterations: AtomicU64,
+    /// Refits that hit the 3n+10 outer-iteration cap without converging.
+    pub nnls_cap_hits: AtomicU64,
+    /// Gram solves that fell back from Cholesky to Householder QR.
+    pub fallback_qr: AtomicU64,
+    /// Gram solves that fell through QR to the ridge-regularised retry.
+    pub fallback_ridge: AtomicU64,
+    /// Per-item integer regressions solved (Algorithm 1 inner problem).
+    pub integer_regressions: AtomicU64,
+    /// Per-item Gauss–Seidel steps in the CompaReSetS+ alternation.
+    pub alternation_rounds: AtomicU64,
+    /// Alternation steps whose candidate improved the coupled cost.
+    pub alternation_accepts: AtomicU64,
+    /// Wall nanoseconds inside NOMP pursuits (greedy loop + refits).
+    pub pursuit_nanos: AtomicU64,
+    /// Wall nanoseconds inside NNLS refits (subset of `pursuit_nanos`).
+    pub refit_nanos: AtomicU64,
+}
+
+impl SolverMetrics {
+    /// A fresh collector with every counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `n` to a counter (relaxed; aggregate order does not matter).
+    #[inline]
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add one to a counter.
+    #[inline]
+    pub fn incr(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add a wall-time duration to a nanosecond counter (saturating).
+    #[inline]
+    pub fn add_time(counter: &AtomicU64, elapsed: Duration) {
+        let nanos = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        counter.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Freeze the counters into a plain-data snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            nomp_pursuits: self.nomp_pursuits.load(Ordering::Relaxed),
+            nomp_iterations: self.nomp_iterations.load(Ordering::Relaxed),
+            path_snapshots: self.path_snapshots.load(Ordering::Relaxed),
+            gram_cache_hits: self.gram_cache_hits.load(Ordering::Relaxed),
+            nnls_refits: self.nnls_refits.load(Ordering::Relaxed),
+            nnls_iterations: self.nnls_iterations.load(Ordering::Relaxed),
+            nnls_cap_hits: self.nnls_cap_hits.load(Ordering::Relaxed),
+            fallback_qr: self.fallback_qr.load(Ordering::Relaxed),
+            fallback_ridge: self.fallback_ridge.load(Ordering::Relaxed),
+            integer_regressions: self.integer_regressions.load(Ordering::Relaxed),
+            alternation_rounds: self.alternation_rounds.load(Ordering::Relaxed),
+            alternation_accepts: self.alternation_accepts.load(Ordering::Relaxed),
+            pursuit_nanos: self.pursuit_nanos.load(Ordering::Relaxed),
+            refit_nanos: self.refit_nanos.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Frozen [`SolverMetrics`] counters — plain data, serialisable, and
+/// comparable (the parallel-equals-sequential metrics test relies on
+/// `PartialEq`). Field meanings match the `SolverMetrics` docs.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub struct MetricsSnapshot {
+    pub nomp_pursuits: u64,
+    pub nomp_iterations: u64,
+    pub path_snapshots: u64,
+    pub gram_cache_hits: u64,
+    pub nnls_refits: u64,
+    pub nnls_iterations: u64,
+    pub nnls_cap_hits: u64,
+    pub fallback_qr: u64,
+    pub fallback_ridge: u64,
+    pub integer_regressions: u64,
+    pub alternation_rounds: u64,
+    pub alternation_accepts: u64,
+    pub pursuit_nanos: u64,
+    pub refit_nanos: u64,
+}
+
+impl MetricsSnapshot {
+    /// True when no counter ever fired (e.g. a non-solving CLI command).
+    pub fn is_empty(&self) -> bool {
+        *self == MetricsSnapshot::default()
+    }
+}
+
+/// Machine-readable per-run report written by `--metrics-json` and
+/// embedded per experiment in the eval suite report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsReport {
+    /// Always [`METRICS_SCHEMA`]; validated by the schema tests.
+    pub schema: String,
+    /// What ran: a CLI command name or an eval experiment name.
+    pub command: String,
+    /// End-to-end wall time of the run in milliseconds.
+    pub wall_ms: f64,
+    /// The frozen solver counters for the run.
+    pub metrics: MetricsSnapshot,
+}
+
+impl MetricsReport {
+    /// Assemble a report for `command` from a live collector.
+    pub fn new(command: &str, wall: Duration, metrics: &SolverMetrics) -> Self {
+        Self::from_snapshot(command, wall, metrics.snapshot())
+    }
+
+    /// Assemble a report from an already-frozen snapshot.
+    pub fn from_snapshot(command: &str, wall: Duration, metrics: MetricsSnapshot) -> Self {
+        MetricsReport {
+            schema: METRICS_SCHEMA.to_string(),
+            command: command.to_string(),
+            wall_ms: wall.as_secs_f64() * 1e3,
+            metrics,
+        }
+    }
+
+    /// Check the embedded schema tag.
+    pub fn schema_matches(&self) -> bool {
+        self.schema == METRICS_SCHEMA
+    }
+}
+
+/// Stderr subscriber behind [`init_stderr_tracing`]: one line per event,
+/// one line per closed span (with busy time in microseconds).
+struct StderrSubscriber;
+
+impl tracing::Subscriber for StderrSubscriber {
+    fn event(&self, level: tracing::Level, target: &str, message: &str) {
+        eprintln!("{level:>5} {target}: {message}");
+    }
+
+    fn span_close(
+        &self,
+        level: tracing::Level,
+        target: &str,
+        name: &str,
+        fields: &str,
+        busy: Duration,
+    ) {
+        eprintln!(
+            "{level:>5} {target}: close {name}{fields} busy={:.1}us",
+            busy.as_secs_f64() * 1e6
+        );
+    }
+}
+
+/// Enable human-readable tracing on stderr at `level` and above.
+///
+/// Idempotent: installing the subscriber twice is harmless (the first
+/// install wins), and the max level is always updated — so the CLI and
+/// tests may call this freely.
+pub fn init_stderr_tracing(level: tracing::Level) {
+    let _ = tracing::subscriber::set_global_default(StderrSubscriber);
+    tracing::set_max_level(Some(level));
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let m = SolverMetrics::new();
+        SolverMetrics::incr(&m.nomp_pursuits);
+        SolverMetrics::add(&m.nomp_iterations, 7);
+        SolverMetrics::add_time(&m.pursuit_nanos, Duration::from_micros(3));
+        let snap = m.snapshot();
+        assert_eq!(snap.nomp_pursuits, 1);
+        assert_eq!(snap.nomp_iterations, 7);
+        assert_eq!(snap.pursuit_nanos, 3_000);
+        assert!(!snap.is_empty());
+        assert!(SolverMetrics::new().snapshot().is_empty());
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let m = SolverMetrics::new();
+        SolverMetrics::add(&m.integer_regressions, 12);
+        let report = MetricsReport::new("select", Duration::from_millis(8), &m);
+        assert!(report.schema_matches());
+        let json = serde_json::to_string(&report).unwrap();
+        let back: MetricsReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+        assert_eq!(back.metrics.integer_regressions, 12);
+        assert!((back.wall_ms - 8.0).abs() < 1e-9);
+    }
+}

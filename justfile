@@ -1,7 +1,7 @@
 # Local equivalents of the CI gates (.github/workflows/ci.yml).
 
 # Run every CI gate in order.
-ci: fmt-check clippy build test doctest
+ci: fmt-check clippy build test doctest smoke
 
 fmt:
     cargo fmt
@@ -23,6 +23,24 @@ test:
 
 doctest:
     cargo test --workspace --doc -q
+
+# End-to-end observability smoke: generate a small corpus, solve it with
+# --trace debug, and require a valid non-empty --metrics-json report
+# (mirrors the "Observability smoke" CI step).
+smoke:
+    #!/usr/bin/env bash
+    set -euo pipefail
+    tmp=$(mktemp -d)
+    trap 'rm -rf "$tmp"' EXIT
+    cargo run --release -p comparesets-cli -- generate \
+        --category cellphone --products 40 --seed 7 --out "$tmp/corpus.json"
+    cargo run --release -p comparesets-cli -- select \
+        --corpus "$tmp/corpus.json" --target 0 --m 3 \
+        --trace debug --metrics-json "$tmp/metrics.json"
+    test -s "$tmp/metrics.json"
+    grep -q 'comparesets-metrics/v1' "$tmp/metrics.json"
+    grep -q '"nomp_pursuits":' "$tmp/metrics.json"
+    echo "smoke ok: $(cat "$tmp/metrics.json")"
 
 # Refresh the performance baseline (updates BENCH_parallel_solver.json,
 # see PERFORMANCE.md).

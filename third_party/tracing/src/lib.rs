@@ -1,0 +1,477 @@
+//! Offline stand-in for `tracing`.
+//!
+//! Implements the API subset this workspace uses for its observability
+//! layer: levelled event macros (`trace!` … `error!`, format-string form),
+//! timed spans (`span!` with `key = value` fields, entered via an RAII
+//! guard), and a single global [`Subscriber`] that receives formatted
+//! events and span-close records.
+//!
+//! The upstream crate's dispatch machinery (per-callsite interest caches,
+//! thread-local span stacks, `tracing-subscriber` layering) is replaced by
+//! **one atomic max-level gate**: every macro first performs a single
+//! relaxed load and an integer compare, and only formats its payload when
+//! the level is enabled. With the gate at its default ([`Level`] `None`,
+//! i.e. off) instrumented code pays one predictable branch per callsite —
+//! nothing allocates, nothing formats, no clock is read. That is the
+//! "zero-cost when disabled" guarantee ARCHITECTURE.md §7 leans on.
+//!
+//! Deviations from upstream (documented per third_party rules):
+//!
+//! * Filtering is controlled by [`set_max_level`] here rather than by the
+//!   subscriber (upstream derives it from `tracing_subscriber` layers,
+//!   which are not vendored). Swapping back to registry crates replaces
+//!   the `comparesets-obs` init helper with `tracing_subscriber::fmt()`,
+//!   not any solver code.
+//! * Event macros accept the format-string form (`debug!("x = {x}")`)
+//!   only; span macros accept `key = value` fields and render them with
+//!   `{:?}`. This is the subset first-party code uses.
+//! * Spans do not nest contextually — a span records its own busy time on
+//!   guard drop and reports it to the subscriber, nothing more.
+
+use std::fmt;
+use std::str::FromStr;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+/// Verbosity level of an event or span.
+///
+/// Ordering matches upstream `tracing`: `ERROR` is the least verbose
+/// (smallest), `TRACE` the most verbose (largest), so `level <= max`
+/// decides whether a callsite fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Level {
+    /// Unrecoverable or surprising failures.
+    Error = 1,
+    /// Recoverable degradations (fallback ladders, cap hits).
+    Warn = 2,
+    /// Coarse progress (one line per experiment / command).
+    Info = 3,
+    /// Per-solve structure (one line per item regression).
+    Debug = 4,
+    /// Hot-path detail (pursuit iterations, refits).
+    Trace = 5,
+}
+
+impl Level {
+    /// Upstream-compatible associated constants.
+    pub const ERROR: Level = Level::Error;
+    /// See [`Level::ERROR`].
+    pub const WARN: Level = Level::Warn;
+    /// See [`Level::ERROR`].
+    pub const INFO: Level = Level::Info;
+    /// See [`Level::ERROR`].
+    pub const DEBUG: Level = Level::Debug;
+    /// See [`Level::ERROR`].
+    pub const TRACE: Level = Level::Trace;
+
+    /// Name as upstream renders it (upper case).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Level::Error => "ERROR",
+            Level::Warn => "WARN",
+            Level::Info => "INFO",
+            Level::Debug => "DEBUG",
+            Level::Trace => "TRACE",
+        }
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Error returned when parsing a [`Level`] from text fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseLevelError {
+    input: String,
+}
+
+impl fmt::Display for ParseLevelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid level {:?} (expected trace, debug, info, warn, error, or 1-5)",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ParseLevelError {}
+
+impl FromStr for Level {
+    type Err = ParseLevelError;
+
+    /// Accepts the level names case-insensitively and the numeric forms
+    /// `1` (error) … `5` (trace), mirroring upstream.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "trace" | "5" => Ok(Level::Trace),
+            "debug" | "4" => Ok(Level::Debug),
+            "info" | "3" => Ok(Level::Info),
+            "warn" | "warning" | "2" => Ok(Level::Warn),
+            "error" | "1" => Ok(Level::Error),
+            _ => Err(ParseLevelError {
+                input: s.to_string(),
+            }),
+        }
+    }
+}
+
+/// The global gate: 0 = everything off, else the enabled `Level as usize`.
+static MAX_LEVEL: AtomicUsize = AtomicUsize::new(0);
+
+/// Set the global max level; `None` disables all instrumentation (the
+/// default). Takes effect immediately on every thread.
+pub fn set_max_level(level: Option<Level>) {
+    MAX_LEVEL.store(level.map_or(0, |l| l as usize), Ordering::Relaxed);
+}
+
+/// The current global max level (`None` when instrumentation is off).
+pub fn max_level() -> Option<Level> {
+    match MAX_LEVEL.load(Ordering::Relaxed) {
+        1 => Some(Level::Error),
+        2 => Some(Level::Warn),
+        3 => Some(Level::Info),
+        4 => Some(Level::Debug),
+        5 => Some(Level::Trace),
+        _ => None,
+    }
+}
+
+/// One relaxed load + compare: the only cost a disabled callsite pays.
+#[inline]
+pub fn level_enabled(level: Level) -> bool {
+    (level as usize) <= MAX_LEVEL.load(Ordering::Relaxed)
+}
+
+/// Receiver of formatted events and span-close records.
+///
+/// Simplified from upstream (no callsite registration, no span ids): the
+/// stand-in formats at the callsite and hands finished text over.
+pub trait Subscriber: Send + Sync {
+    /// An event fired at `level` from `target` (the callsite's module path).
+    fn event(&self, level: Level, target: &str, message: &str);
+
+    /// A span guard dropped after being entered for `busy` wall time.
+    /// `fields` is the pre-rendered ` key=value` list (possibly empty).
+    fn span_close(&self, level: Level, target: &str, name: &str, fields: &str, busy: Duration);
+}
+
+static SUBSCRIBER: OnceLock<Box<dyn Subscriber>> = OnceLock::new();
+
+/// Error returned by [`subscriber::set_global_default`] when a subscriber
+/// was already installed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SetGlobalDefaultError;
+
+impl fmt::Display for SetGlobalDefaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("a global default subscriber has already been set")
+    }
+}
+
+impl std::error::Error for SetGlobalDefaultError {}
+
+/// Global-subscriber installation, namespaced as upstream does.
+pub mod subscriber {
+    pub use super::SetGlobalDefaultError;
+
+    /// Install the process-wide subscriber. Fails (harmlessly) when one is
+    /// already installed — init helpers may be called repeatedly.
+    ///
+    /// # Errors
+    /// [`SetGlobalDefaultError`] when a subscriber was already set.
+    pub fn set_global_default(
+        subscriber: impl super::Subscriber + 'static,
+    ) -> Result<(), SetGlobalDefaultError> {
+        super::SUBSCRIBER
+            .set(Box::new(subscriber))
+            .map_err(|_| SetGlobalDefaultError)
+    }
+}
+
+/// Macro back end: format and deliver an event (callsite already checked
+/// the gate, but re-checking keeps direct callers honest).
+#[doc(hidden)]
+pub fn dispatch_event(level: Level, target: &str, args: fmt::Arguments<'_>) {
+    if let Some(sub) = SUBSCRIBER.get() {
+        sub.event(level, target, &args.to_string());
+    }
+}
+
+/// Macro back end: deliver a span-close record.
+#[doc(hidden)]
+pub fn dispatch_span_close(level: Level, target: &str, name: &str, fields: &str, busy: Duration) {
+    if let Some(sub) = SUBSCRIBER.get() {
+        sub.span_close(level, target, name, fields, busy);
+    }
+}
+
+/// A (possibly disabled) span. Created by [`span!`]; enter with
+/// [`Span::enter`] to time a region — the guard reports the busy time to
+/// the subscriber when dropped. A disabled span is a unit value: entering
+/// and dropping it does nothing and reads no clock.
+#[derive(Debug)]
+pub struct Span {
+    data: Option<SpanData>,
+}
+
+#[derive(Debug)]
+struct SpanData {
+    level: Level,
+    target: &'static str,
+    name: &'static str,
+    fields: String,
+}
+
+impl Span {
+    /// An enabled span (the gate was already checked by the macro).
+    #[doc(hidden)]
+    pub fn new_enabled(
+        level: Level,
+        target: &'static str,
+        name: &'static str,
+        fields: String,
+    ) -> Self {
+        Span {
+            data: Some(SpanData {
+                level,
+                target,
+                name,
+                fields,
+            }),
+        }
+    }
+
+    /// A span that records nothing.
+    pub fn disabled() -> Self {
+        Span { data: None }
+    }
+
+    /// Upstream-compatible alias for [`Span::disabled`].
+    pub fn none() -> Self {
+        Span::disabled()
+    }
+
+    /// True when this span will not record anything.
+    pub fn is_disabled(&self) -> bool {
+        self.data.is_none()
+    }
+
+    /// Enter the span: the returned guard reports wall time on drop.
+    pub fn enter(&self) -> Entered<'_> {
+        Entered {
+            span: self,
+            start: self.data.as_ref().map(|_| Instant::now()),
+        }
+    }
+}
+
+/// RAII guard returned by [`Span::enter`].
+pub struct Entered<'a> {
+    span: &'a Span,
+    start: Option<Instant>,
+}
+
+impl Drop for Entered<'_> {
+    fn drop(&mut self) {
+        if let (Some(data), Some(start)) = (self.span.data.as_ref(), self.start) {
+            dispatch_span_close(
+                data.level,
+                data.target,
+                data.name,
+                &data.fields,
+                start.elapsed(),
+            );
+        }
+    }
+}
+
+/// Fire an event at an explicit level: `event!(Level::DEBUG, "m = {m}")`.
+#[macro_export]
+macro_rules! event {
+    ($lvl:expr, $($arg:tt)+) => {{
+        let __lvl: $crate::Level = $lvl;
+        if $crate::level_enabled(__lvl) {
+            $crate::dispatch_event(__lvl, ::core::module_path!(), ::core::format_args!($($arg)+));
+        }
+    }};
+}
+
+/// `event!` at [`Level::TRACE`].
+#[macro_export]
+macro_rules! trace {
+    ($($arg:tt)+) => { $crate::event!($crate::Level::TRACE, $($arg)+) };
+}
+
+/// `event!` at [`Level::DEBUG`].
+#[macro_export]
+macro_rules! debug {
+    ($($arg:tt)+) => { $crate::event!($crate::Level::DEBUG, $($arg)+) };
+}
+
+/// `event!` at [`Level::INFO`].
+#[macro_export]
+macro_rules! info {
+    ($($arg:tt)+) => { $crate::event!($crate::Level::INFO, $($arg)+) };
+}
+
+/// `event!` at [`Level::WARN`].
+#[macro_export]
+macro_rules! warn {
+    ($($arg:tt)+) => { $crate::event!($crate::Level::WARN, $($arg)+) };
+}
+
+/// `event!` at [`Level::ERROR`].
+#[macro_export]
+macro_rules! error {
+    ($($arg:tt)+) => { $crate::event!($crate::Level::ERROR, $($arg)+) };
+}
+
+/// Create a [`Span`]: `span!(Level::DEBUG, "nomp_pursuit", rows = m)`.
+/// Field values are rendered with `{:?}` and only evaluated when the
+/// level is enabled.
+#[macro_export]
+macro_rules! span {
+    ($lvl:expr, $name:expr $(, $key:ident = $value:expr)* $(,)?) => {{
+        let __lvl: $crate::Level = $lvl;
+        if $crate::level_enabled(__lvl) {
+            #[allow(unused_mut)]
+            let mut __fields = ::std::string::String::new();
+            $(
+                {
+                    use ::core::fmt::Write as _;
+                    let _ = ::core::write!(
+                        __fields,
+                        " {}={:?}",
+                        ::core::stringify!($key),
+                        $value
+                    );
+                }
+            )*
+            $crate::Span::new_enabled(__lvl, ::core::module_path!(), $name, __fields)
+        } else {
+            $crate::Span::disabled()
+        }
+    }};
+}
+
+/// `span!` at [`Level::TRACE`].
+#[macro_export]
+macro_rules! trace_span {
+    ($($arg:tt)+) => { $crate::span!($crate::Level::TRACE, $($arg)+) };
+}
+
+/// `span!` at [`Level::DEBUG`].
+#[macro_export]
+macro_rules! debug_span {
+    ($($arg:tt)+) => { $crate::span!($crate::Level::DEBUG, $($arg)+) };
+}
+
+/// `span!` at [`Level::INFO`].
+#[macro_export]
+macro_rules! info_span {
+    ($($arg:tt)+) => { $crate::span!($crate::Level::INFO, $($arg)+) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    #[derive(Default)]
+    struct Capture {
+        events: Mutex<Vec<(Level, String, String)>>,
+        closes: Mutex<Vec<(Level, String, String)>>,
+    }
+
+    impl Subscriber for &'static Capture {
+        fn event(&self, level: Level, target: &str, message: &str) {
+            self.events
+                .lock()
+                .unwrap()
+                .push((level, target.to_string(), message.to_string()));
+        }
+
+        fn span_close(
+            &self,
+            level: Level,
+            _target: &str,
+            name: &str,
+            fields: &str,
+            _busy: Duration,
+        ) {
+            self.closes
+                .lock()
+                .unwrap()
+                .push((level, name.to_string(), fields.to_string()));
+        }
+    }
+
+    #[test]
+    fn level_parsing_ordering_and_display() {
+        assert_eq!("debug".parse::<Level>().unwrap(), Level::DEBUG);
+        assert_eq!("TRACE".parse::<Level>().unwrap(), Level::TRACE);
+        assert_eq!("Warning".parse::<Level>().unwrap(), Level::WARN);
+        assert_eq!("1".parse::<Level>().unwrap(), Level::ERROR);
+        assert!("verbose".parse::<Level>().is_err());
+        assert!(Level::ERROR < Level::TRACE);
+        assert_eq!(Level::INFO.to_string(), "INFO");
+    }
+
+    /// The global gate and subscriber are process-wide, so every dispatch
+    /// assertion lives in this single test to keep ordering deterministic.
+    #[test]
+    fn gate_controls_dispatch_and_spans_report_fields() {
+        static CAPTURE: Capture = Capture {
+            events: Mutex::new(Vec::new()),
+            closes: Mutex::new(Vec::new()),
+        };
+        subscriber::set_global_default(&CAPTURE).unwrap();
+        // A second install fails harmlessly.
+        assert!(subscriber::set_global_default(&CAPTURE).is_err());
+
+        // Default: everything off — nothing recorded, spans disabled.
+        assert_eq!(max_level(), None);
+        error!("dropped {}", 1);
+        {
+            let span = span!(Level::INFO, "off");
+            assert!(span.is_disabled());
+            let _g = span.enter();
+        }
+        assert!(CAPTURE.events.lock().unwrap().is_empty());
+        assert!(CAPTURE.closes.lock().unwrap().is_empty());
+
+        // Debug on: debug fires, trace stays gated.
+        set_max_level(Some(Level::DEBUG));
+        assert_eq!(max_level(), Some(Level::DEBUG));
+        assert!(level_enabled(Level::ERROR));
+        assert!(!level_enabled(Level::TRACE));
+        debug!("m = {}", 3);
+        trace!("gated {}", 4);
+        {
+            let span = span!(Level::DEBUG, "solve", items = 2, m = 3usize);
+            assert!(!span.is_disabled());
+            let _g = span.enter();
+        }
+        {
+            let gated = span!(Level::TRACE, "gated_span");
+            let _g = gated.enter();
+        }
+
+        let events = CAPTURE.events.lock().unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].0, Level::DEBUG);
+        assert!(events[0].1.contains("tracing"));
+        assert_eq!(events[0].2, "m = 3");
+        let closes = CAPTURE.closes.lock().unwrap();
+        assert_eq!(closes.len(), 1);
+        assert_eq!(closes[0].1, "solve");
+        assert_eq!(closes[0].2, " items=2 m=3");
+
+        set_max_level(None);
+    }
+}
