@@ -60,3 +60,35 @@ fn metrics_report_format_round_trips_under_its_schema_tag() {
     assert!(back.schema_matches());
     assert_eq!(back.metrics.nomp_pursuits, 3);
 }
+
+#[test]
+fn metrics_schema_v2_carries_the_preemption_counters() {
+    // The schema tag was bumped to v2 when the preemption/ingestion
+    // counters landed; the serialized report must carry all three so
+    // consumers can rely on the tag to know the fields exist.
+    assert_eq!(comparesets_core::METRICS_SCHEMA, "comparesets-metrics/v2");
+    let collector = SolverMetrics::new();
+    SolverMetrics::add(&collector.cancellation_checks, 7);
+    SolverMetrics::incr(&collector.deadline_expirations);
+    SolverMetrics::add(&collector.io_retries, 2);
+    let report = MetricsReport::new("eval", std::time::Duration::from_millis(5), &collector);
+    let json = serde_json::to_string(&report).unwrap();
+    for field in [
+        ",\"cancellation_checks\":7",
+        ",\"deadline_expirations\":1",
+        ",\"io_retries\":2",
+    ] {
+        assert!(json.contains(field), "{field} missing from {json}");
+    }
+    // A v1 report (no preemption counters) still parses: the fields
+    // default to zero rather than failing deserialization.
+    let v1 = json
+        .replace(",\"cancellation_checks\":7", "")
+        .replace(",\"deadline_expirations\":1", "")
+        .replace(",\"io_retries\":2", "")
+        .replace("comparesets-metrics/v2", "comparesets-metrics/v1");
+    let back: MetricsReport = serde_json::from_str(&v1).unwrap();
+    assert!(!back.schema_matches());
+    assert_eq!(back.metrics.cancellation_checks, 0);
+    assert_eq!(back.metrics.io_retries, 0);
+}

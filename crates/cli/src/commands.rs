@@ -6,8 +6,8 @@
 use crate::args::{parse, Args};
 use crate::error::CliError;
 use comparesets_core::{
-    solve_checked, solve_with, Algorithm, CoreError, InstanceContext, MetricsReport, OpinionScheme,
-    SelectParams, Selection, SolveOptions, SolverMetrics,
+    solve_checked, solve_with, Algorithm, CancelToken, CoreError, InstanceContext, MetricsReport,
+    OpinionScheme, SelectParams, Selection, SolveOptions, SolverMetrics,
 };
 use comparesets_data::{
     io as corpus_io, AmazonError, AmazonLoader, CategoryPreset, ComparisonInstance, Dataset,
@@ -38,7 +38,18 @@ commands:
   narrow          --corpus FILE --target ID [--k N] [--method exact|greedy|topk|random|peel]
                   [--m N] [--lambda X] [--mu X] [--time-limit-ms N] [--seed S]
                   [--parallel true] [--threads N]
+  eval            [--out FILE] [--scale N] [--config tiny|default] [--experiments a,b,...]
+                  [--checkpoint-dir DIR] [--resume true]
+                  run the reproduction suite; the deterministic report (no
+                  wall-clock lines) is written atomically to --out
   help            print this text
+
+long-run flags (select, narrow, eval):
+  --timeout SECS       cooperative deadline: iterative solvers stop at the
+                       next check and return their best-so-far selections;
+                       the command exits 6
+  --resume true        (eval) resume from --checkpoint-dir, skipping
+                       experiments whose results are already checkpointed
 
 observability flags (any command):
   --trace LEVEL        human-readable tracing on stderr (error|warn|info|debug|trace)
@@ -50,7 +61,8 @@ exit codes:
   2  usage error (bad flags, unknown command, out-of-range arguments)
   3  io error (file could not be opened, read, or written)
   4  data error (input parsed but is corrupt or unusable)
-  5  solver error (numerical failure on the solve path)";
+  5  solver error (numerical failure on the solve path)
+  6  deadline exceeded (--timeout expired before the solve completed)";
 
 /// Arg-parser and flag-validation strings are usage errors by definition.
 impl From<String> for CliError {
@@ -81,6 +93,7 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
         "convert-amazon" => cmd_convert_amazon(&args),
         "select" => cmd_select(&args, metrics.clone()),
         "narrow" => cmd_narrow(&args, metrics.clone()),
+        "eval" => cmd_eval(&args, metrics.clone()),
         other => Err(CliError::usage(format!("unknown command {other:?}"))),
     };
     if result.is_ok() {
@@ -148,9 +161,17 @@ fn parse_scheme(name: &str) -> Result<OpinionScheme, String> {
 
 /// Load a corpus, classifying the failure: filesystem problems are IO
 /// errors, everything past open-and-read (malformed JSON, inconsistent
-/// dataset) is a data error.
-fn load_corpus(path: &str) -> Result<Dataset, CliError> {
-    corpus_io::load(Path::new(path)).map_err(|e| {
+/// dataset) is a data error. Reads go through a retrying reader, so
+/// transient failures (EINTR, network-filesystem timeouts) are absorbed
+/// with backoff — and counted into the `--metrics-json` report
+/// (`io_retries`) when a collector is active.
+fn load_corpus(path: &str, metrics: Option<&Arc<SolverMetrics>>) -> Result<Dataset, CliError> {
+    corpus_io::load_retrying(
+        Path::new(path),
+        &comparesets_data::RetryPolicy::default(),
+        metrics.cloned(),
+    )
+    .map_err(|e| {
         let message = format!("loading {path}: {e}");
         match e {
             corpus_io::IoError::Io(_) => CliError::io(message),
@@ -220,7 +241,7 @@ fn cmd_stats(args: &Args) -> Result<String, CliError> {
         .positional()
         .get(1)
         .ok_or_else(|| CliError::usage("stats needs a corpus file"))?;
-    let dataset = load_corpus(path)?;
+    let dataset = load_corpus(path, None)?;
     Ok(DatasetStats::compute(&dataset).to_string())
 }
 
@@ -277,9 +298,27 @@ fn select_params(args: &Args) -> Result<SelectParams, String> {
     })
 }
 
-/// Parse `--parallel true` / `--threads N` into [`SolveOptions`]. A thread
-/// count implies parallelism; the selections are identical either way, and
-/// the optional `--metrics-json` collector only observes, never steers.
+/// Parse `--timeout SECS` into a deadline-armed [`CancelToken`].
+fn timeout_token(args: &Args) -> Result<Option<Arc<CancelToken>>, String> {
+    let secs: f64 = args.get_or("timeout", f64::NAN)?;
+    if secs.is_nan() {
+        return Ok(None);
+    }
+    if !secs.is_finite() || secs < 0.0 {
+        return Err(format!(
+            "--timeout: must be a non-negative number, got {secs}"
+        ));
+    }
+    Ok(Some(Arc::new(CancelToken::with_timeout(
+        std::time::Duration::from_secs_f64(secs),
+    ))))
+}
+
+/// Parse `--parallel true` / `--threads N` / `--timeout SECS` into
+/// [`SolveOptions`]. A thread count implies parallelism; the selections
+/// are identical either way, and the optional `--metrics-json` collector
+/// only observes, never steers. A timeout arms a cooperative deadline:
+/// iterative solvers stop at their next cancellation check.
 fn solve_options(args: &Args, metrics: Option<Arc<SolverMetrics>>) -> Result<SolveOptions, String> {
     let parallel: bool = args.get_or("parallel", false)?;
     let threads: usize = args.get_or("threads", 0)?;
@@ -287,11 +326,13 @@ fn solve_options(args: &Args, metrics: Option<Arc<SolverMetrics>>) -> Result<Sol
         parallel: parallel || threads > 0,
         threads: (threads > 0).then_some(threads),
         metrics,
+        cancel: timeout_token(args)?,
     })
 }
 
 /// Run the solve in strict mode: any per-item numerical failure aborts
-/// the command with the full error chain instead of degrading silently.
+/// the command with the full error chain instead of degrading silently,
+/// and an expired `--timeout` deadline exits 6.
 fn solve_strict(
     ctx: &InstanceContext,
     algorithm: Algorithm,
@@ -301,6 +342,7 @@ fn solve_strict(
 ) -> Result<Vec<Selection>, CliError> {
     let slots = solve_checked(ctx, algorithm, params, seed, opts).map_err(|e| match e {
         CoreError::InvalidParams(_) => CliError::usage(e.to_string()),
+        CoreError::DeadlineExceeded { .. } => CliError::deadline(e.to_string()),
         _ => CliError::solver(e.to_string()),
     })?;
     slots
@@ -310,7 +352,8 @@ fn solve_strict(
 }
 
 fn cmd_select(args: &Args, metrics: Option<Arc<SolverMetrics>>) -> Result<String, CliError> {
-    let dataset = load_corpus(args.require("corpus")?)?;
+    // Validate every flag before touching the filesystem: a usage error
+    // must not depend on whether the corpus happens to be readable.
     let target: u32 = args.get_or("target", u32::MAX)?;
     if target == u32::MAX {
         return Err(CliError::usage("missing required flag --target"));
@@ -320,12 +363,16 @@ fn cmd_select(args: &Args, metrics: Option<Arc<SolverMetrics>>) -> Result<String
     let scheme = parse_scheme(args.get("scheme").unwrap_or("binary"))?;
     let params = select_params(args)?;
     let seed: u64 = args.get_or("seed", 42)?;
-    let opts = solve_options(args, metrics)?;
+    let opts = solve_options(args, metrics.clone())?;
     let strict: bool = args.get_or("strict", false)?;
+    let dataset = load_corpus(args.require("corpus")?, metrics.as_ref())?;
 
     let (inst, _) = instance_for(&dataset, target, max_comp)?;
     let ctx = InstanceContext::build(&dataset, &inst, scheme);
-    let selections = if strict {
+    // A timeout routes through the checked solvers even in lenient mode:
+    // an expired deadline must surface as exit 6, never as a silently
+    // degraded selection.
+    let selections = if strict || opts.cancel.is_some() {
         solve_strict(&ctx, algorithm, &params, seed, &opts)?
     } else {
         solve_with(&ctx, algorithm, &params, seed, &opts)
@@ -358,7 +405,7 @@ fn cmd_select(args: &Args, metrics: Option<Arc<SolverMetrics>>) -> Result<String
 }
 
 fn cmd_narrow(args: &Args, metrics: Option<Arc<SolverMetrics>>) -> Result<String, CliError> {
-    let dataset = load_corpus(args.require("corpus")?)?;
+    // Flags first, filesystem second (see cmd_select).
     let target: u32 = args.get_or("target", u32::MAX)?;
     if target == u32::MAX {
         return Err(CliError::usage("missing required flag --target"));
@@ -369,10 +416,18 @@ fn cmd_narrow(args: &Args, metrics: Option<Arc<SolverMetrics>>) -> Result<String
     let params = select_params(args)?;
     let seed: u64 = args.get_or("seed", 42)?;
     let time_limit: u64 = args.get_or("time-limit-ms", 60_000)?;
-    let opts = solve_options(args, metrics)?;
+    let opts = solve_options(args, metrics.clone())?;
+    let dataset = load_corpus(args.require("corpus")?, metrics.as_ref())?;
 
     let (_, ctx) = instance_for(&dataset, target, max_comp)?;
-    let selections = comparesets_core::solve_comparesets_plus_with(&ctx, &params, &opts);
+    // With a --timeout armed, the seeding solve goes through the checked
+    // path so an expired deadline exits 6 instead of silently narrowing
+    // from degraded selections.
+    let selections = if opts.cancel.is_some() {
+        solve_strict(&ctx, Algorithm::CompareSetsPlus, &params, seed, &opts)?
+    } else {
+        comparesets_core::solve_comparesets_plus_with(&ctx, &params, &opts)
+    };
     let graph = SimilarityGraph::from_selections(&ctx, &selections, params.lambda, params.mu);
     let vertices = match method.as_str() {
         "exact" | "ilp" => {
@@ -410,6 +465,67 @@ fn cmd_narrow(args: &Args, metrics: Option<Arc<SolverMetrics>>) -> Result<String
             item.product.0,
             dataset.product(item.product).title
         ));
+    }
+    Ok(out)
+}
+
+/// Run the reproduction suite (or a named subset) with optional
+/// crash-safe checkpointing, and write the deterministic report (no
+/// wall-clock lines, see `SuiteReport::render_stable`) atomically.
+fn cmd_eval(args: &Args, metrics: Option<Arc<SolverMetrics>>) -> Result<String, CliError> {
+    use comparesets_eval::{run_suite, run_suite_checkpointed, standard_suite, CheckpointStore};
+
+    let mut cfg = match args.get("config").unwrap_or("default") {
+        "tiny" => comparesets_eval::EvalConfig::tiny(),
+        "default" => comparesets_eval::EvalConfig::scaled(args.get_or("scale", 1)?),
+        other => {
+            return Err(CliError::usage(format!(
+                "unknown --config {other:?} (expected tiny or default)"
+            )))
+        }
+    };
+    cfg.solve_options = solve_options(args, metrics)?;
+    let token = cfg.solve_options.cancel.clone();
+
+    let mut suite = standard_suite();
+    if let Some(list) = args.get("experiments") {
+        let wanted: Vec<&str> = list.split(',').map(str::trim).collect();
+        for name in &wanted {
+            if !suite.iter().any(|e| e.name == *name) {
+                return Err(CliError::usage(format!("unknown experiment {name:?}")));
+            }
+        }
+        suite.retain(|e| wanted.contains(&e.name));
+    }
+
+    let resume: bool = args.get_or("resume", false)?;
+    let report = match args.get("checkpoint-dir") {
+        Some(dir) => {
+            let store = CheckpointStore::new(dir);
+            run_suite_checkpointed(&suite, &cfg, &store, resume)
+                .map_err(|e| CliError::io(format!("checkpointing in {dir}: {e}")))?
+        }
+        None if resume => {
+            return Err(CliError::usage("--resume needs --checkpoint-dir"));
+        }
+        None => run_suite(&suite, &cfg),
+    };
+
+    if let Some(out) = args.get("out") {
+        corpus_io::write_atomic(Path::new(out), report.render_stable().as_bytes())
+            .map_err(|e| CliError::io(format!("writing {out}: {e}")))?;
+    }
+    if token.is_some_and(|t| t.fired()) {
+        return Err(CliError::deadline(format!(
+            "--timeout expired mid-suite; {}/{} experiments completed (outputs may be \
+             best-so-far and were not checkpointed)",
+            report.completed(),
+            report.outcomes.len()
+        )));
+    }
+    let mut out = report.render_summary();
+    if let Some(path) = args.get("out") {
+        out.push_str(&format!("deterministic report written to {path}\n"));
     }
     Ok(out)
 }
@@ -453,7 +569,7 @@ mod tests {
         assert!(s.contains("#Target Product"));
 
         // Find a target with comparisons by trying product 0..n.
-        let dataset = load_corpus(&path).unwrap();
+        let dataset = load_corpus(&path, None).unwrap();
         let target = dataset
             .instances()
             .first()
@@ -591,7 +707,7 @@ mod tests {
             &path,
         ])
         .unwrap();
-        let dataset = load_corpus(&path).unwrap();
+        let dataset = load_corpus(&path, None).unwrap();
         let target = dataset
             .instances()
             .first()
@@ -626,7 +742,7 @@ mod tests {
             &path,
         ])
         .unwrap();
-        let dataset = load_corpus(&path).unwrap();
+        let dataset = load_corpus(&path, None).unwrap();
         let target = dataset
             .instances()
             .first()
@@ -663,7 +779,7 @@ mod tests {
             &path,
         ])
         .unwrap();
-        let dataset = load_corpus(&path).unwrap();
+        let dataset = load_corpus(&path, None).unwrap();
         let target = dataset
             .instances()
             .first()
@@ -710,7 +826,7 @@ mod tests {
             &path,
         ])
         .unwrap();
-        let dataset = load_corpus(&path).unwrap();
+        let dataset = load_corpus(&path, None).unwrap();
         let target = dataset
             .instances()
             .first()
@@ -731,6 +847,107 @@ mod tests {
         assert_eq!(plain, metered);
         std::fs::remove_file(&path).ok();
         std::fs::remove_file(&report_path).ok();
+    }
+
+    #[test]
+    fn expired_timeout_exits_deadline() {
+        let path = temp_corpus();
+        run(&[
+            "generate",
+            "--category",
+            "toy",
+            "--products",
+            "60",
+            "--seed",
+            "31",
+            "--out",
+            &path,
+        ])
+        .unwrap();
+        let dataset = load_corpus(&path, None).unwrap();
+        let target = dataset
+            .instances()
+            .first()
+            .map(|i| i.target().0)
+            .expect("corpus has instances")
+            .to_string();
+        for cmd in ["select", "narrow"] {
+            let e = run(&[
+                cmd,
+                "--corpus",
+                &path,
+                "--target",
+                &target,
+                "--timeout",
+                "0",
+            ])
+            .unwrap_err();
+            assert_eq!(e.kind, ErrorKind::Deadline, "{cmd}: {e}");
+            assert_eq!(e.exit_code(), 6, "{cmd}");
+            assert!(e.to_string().contains("deadline"), "{cmd}: {e}");
+        }
+        // A generous timeout changes nothing: output matches the plain run.
+        let base = [
+            "select",
+            "--corpus",
+            path.as_str(),
+            "--target",
+            target.as_str(),
+        ];
+        let plain = run(&base).unwrap();
+        let timed = run(&[&base[..], &["--timeout", "3600"]].concat()).unwrap();
+        assert_eq!(plain, timed);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_timeout_is_a_usage_error() {
+        let e = run(&[
+            "select",
+            "--corpus",
+            "x.json",
+            "--target",
+            "0",
+            "--timeout",
+            "-5",
+        ])
+        .unwrap_err();
+        assert_eq!(e.kind, ErrorKind::Usage);
+        assert!(e.to_string().contains("--timeout"), "{e}");
+    }
+
+    #[test]
+    fn eval_subset_writes_deterministic_report() {
+        let dir = std::env::temp_dir().join(format!("comparesets_cli_eval_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("report.txt");
+        let summary = run(&[
+            "eval",
+            "--config",
+            "tiny",
+            "--experiments",
+            "table2",
+            "--out",
+            out.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(summary.contains("1/1 experiments completed"), "{summary}");
+        let report = std::fs::read_to_string(&out).unwrap();
+        assert!(report.contains("1/1 experiments completed"), "{report}");
+        assert!(!report.contains(" ms |"), "wall clock leaked: {report}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn eval_flag_validation() {
+        let e = run(&["eval", "--experiments", "tablezzz"]).unwrap_err();
+        assert_eq!(e.kind, ErrorKind::Usage);
+        let e = run(&["eval", "--resume", "true"]).unwrap_err();
+        assert_eq!(e.kind, ErrorKind::Usage);
+        assert!(e.to_string().contains("--checkpoint-dir"), "{e}");
+        let e = run(&["eval", "--config", "huge"]).unwrap_err();
+        assert_eq!(e.kind, ErrorKind::Usage);
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! | 3    | io       | file could not be opened, read, or written         |
 //! | 4    | data     | input parsed but is corrupt or unusable            |
 //! | 5    | solver   | numerical failure on the solve path                |
+//! | 6    | deadline | `--timeout` expired before the solve completed     |
 //!
 //! Every error prints as `error: <readable cause chain>` on stderr; usage
 //! errors additionally print the usage text.
@@ -28,6 +29,8 @@ pub enum ErrorKind {
     Data,
     /// Numerical failure in the solver stack (exit 5).
     Solver,
+    /// A `--timeout` deadline expired before the work completed (exit 6).
+    Deadline,
 }
 
 /// A classified CLI error: what failed plus a readable cause.
@@ -79,6 +82,14 @@ impl CliError {
         }
     }
 
+    /// A deadline-expired error (exit 6).
+    pub fn deadline(message: impl Into<String>) -> Self {
+        CliError {
+            kind: ErrorKind::Deadline,
+            message: message.into(),
+        }
+    }
+
     /// The process exit code for this error class.
     pub fn exit_code(&self) -> u8 {
         match self.kind {
@@ -87,6 +98,7 @@ impl CliError {
             ErrorKind::Io => 3,
             ErrorKind::Data => 4,
             ErrorKind::Solver => 5,
+            ErrorKind::Deadline => 6,
         }
     }
 }
@@ -111,9 +123,10 @@ mod tests {
             CliError::io("x"),
             CliError::data("x"),
             CliError::solver("x"),
+            CliError::deadline("x"),
         ];
         let codes: Vec<u8> = errors.iter().map(CliError::exit_code).collect();
-        assert_eq!(codes, vec![1, 2, 3, 4, 5]);
+        assert_eq!(codes, vec![1, 2, 3, 4, 5, 6]);
     }
 
     #[test]

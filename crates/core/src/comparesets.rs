@@ -27,9 +27,30 @@ use rayon::prelude::*;
 use crate::error::{validate_params, CoreError};
 use crate::instance::{InstanceContext, Selection};
 use crate::integer_regression::{
-    integer_regression_metered, try_integer_regression_metered, RegressionTask,
+    integer_regression_ctl, try_integer_regression_ctl, RegressionTask,
 };
 use crate::{SelectParams, SolveOptions, SolverMetrics};
+
+/// Post-batch deadline classification shared by the checked solvers: when
+/// the options' token fired during the solve, the per-item results are
+/// suspect (items may have degraded to their fallback), so the batch is
+/// reported as [`CoreError::DeadlineExceeded`] carrying the feasible
+/// best-so-far selections (failed slots contribute an empty selection).
+pub(crate) fn classify_deadline(
+    slots: Vec<Result<Selection, CoreError>>,
+    opts: &SolveOptions,
+) -> Result<Vec<Result<Selection, CoreError>>, CoreError> {
+    if !opts.cancel_fired() {
+        return Ok(slots);
+    }
+    if let Some(mm) = opts.metrics_ref() {
+        SolverMetrics::incr(&mm.deadline_expirations);
+    }
+    tracing::warn!("solve observed a fired cancellation token; returning best-so-far selections");
+    Err(CoreError::DeadlineExceeded {
+        best_so_far: slots.into_iter().map(|r| r.unwrap_or_default()).collect(),
+    })
+}
 
 /// Solve CompaReSetS (Problem 1): independent Integer-Regression per item
 /// with target `[τᵢ; λΓ]`.
@@ -47,18 +68,18 @@ pub fn solve_comparesets_with(
     opts: &SolveOptions,
 ) -> Vec<Selection> {
     let lambda = params.lambda;
-    let metrics = opts.metrics_ref();
+    let ctl = opts.ctl();
     let solve_item = |i: usize, ws: &mut NompWorkspace| {
         let item = ctx.item(i);
         let tau = ctx.tau(i);
         let gamma = ctx.gamma();
         let task = RegressionTask::build(ctx.space(), item, tau, &[(gamma, lambda)]);
-        integer_regression_metered(
+        integer_regression_ctl(
             &task,
             params.m,
             |sel| crate::objective::item_objective(ctx, i, sel, lambda),
             ws,
-            metrics,
+            ctl,
         )
     };
     if opts.parallel {
@@ -89,7 +110,9 @@ pub fn solve_comparesets_with(
 ///
 /// # Errors
 /// [`CoreError::InvalidParams`] on bad parameters (outer); per-item
-/// [`CoreError::Solver`] in the slots (inner).
+/// [`CoreError::Solver`] in the slots (inner);
+/// [`CoreError::DeadlineExceeded`] with the feasible best-so-far
+/// selections when the options' cancellation token fired mid-solve.
 pub fn solve_comparesets_checked(
     ctx: &InstanceContext,
     params: &SelectParams,
@@ -97,22 +120,22 @@ pub fn solve_comparesets_checked(
 ) -> Result<Vec<Result<Selection, CoreError>>, CoreError> {
     validate_params(params)?;
     let lambda = params.lambda;
-    let metrics = opts.metrics_ref();
+    let ctl = opts.ctl();
     let solve_item = |i: usize, ws: &mut NompWorkspace| -> Result<Selection, CoreError> {
         let item = ctx.item(i);
         let tau = ctx.tau(i);
         let gamma = ctx.gamma();
         let task = RegressionTask::try_build(ctx.space(), item, tau, &[(gamma, lambda)])?;
-        try_integer_regression_metered(
+        try_integer_regression_ctl(
             &task,
             params.m,
             |sel| crate::objective::item_objective(ctx, i, sel, lambda),
             ws,
-            metrics,
+            ctl,
         )
         .map_err(|source| CoreError::Solver { item: i, source })
     };
-    Ok(if opts.parallel {
+    let slots = if opts.parallel {
         crate::run_on_pool(opts, || {
             (0..ctx.num_items())
                 .into_par_iter()
@@ -124,7 +147,8 @@ pub fn solve_comparesets_checked(
         (0..ctx.num_items())
             .map(|i| solve_item(i, &mut ws))
             .collect()
-    })
+    };
+    classify_deadline(slots, opts)
 }
 
 /// Solve CompaReSetS+ (Problem 2) with one alternating sweep (Algorithm 1).
@@ -174,11 +198,19 @@ pub fn solve_comparesets_plus_sweeps_with(
 
     // One pursuit workspace serves every per-item step of every sweep.
     let metrics = opts.metrics_ref();
+    let ctl = opts.ctl();
     let span = tracing::debug_span!("comparesets_plus_alternation", items = n, sweeps = sweeps);
     let _span_guard = span.enter();
     let mut ws = NompWorkspace::new();
-    for _ in 0..sweeps {
+    'sweeps: for _ in 0..sweeps {
         for i in 0..n {
+            // Cancellation granularity: one poll per alternation round.
+            // Stopping here keeps the current selections — each completed
+            // round only ever improved them (accept-only-if-better), so
+            // the early exit is the anytime iterate.
+            if ctl.is_cancelled() {
+                break 'sweeps;
+            }
             if let Some(mm) = metrics {
                 SolverMetrics::incr(&mm.alternation_rounds);
             }
@@ -206,8 +238,7 @@ pub fn solve_comparesets_plus_sweeps_with(
                 aspect_targets.push((p.as_slice(), mu));
             }
             let task = RegressionTask::build(ctx.space(), ctx.item(i), ctx.tau(i), &aspect_targets);
-            let candidate =
-                integer_regression_metered(&task, params.m, item_plus_cost, &mut ws, metrics);
+            let candidate = integer_regression_ctl(&task, params.m, item_plus_cost, &mut ws, ctl);
 
             if item_plus_cost(&candidate) < current_cost {
                 if let Some(mm) = metrics {
@@ -236,7 +267,9 @@ pub fn solve_comparesets_plus_sweeps_with(
 ///
 /// # Errors
 /// [`CoreError::InvalidParams`] on bad parameters (outer); per-item
-/// [`CoreError::Solver`] in the slots (inner).
+/// [`CoreError::Solver`] in the slots (inner);
+/// [`CoreError::DeadlineExceeded`] with the feasible best-so-far
+/// selections when the options' cancellation token fired mid-solve.
 pub fn solve_comparesets_plus_checked(
     ctx: &InstanceContext,
     params: &SelectParams,
@@ -247,13 +280,17 @@ pub fn solve_comparesets_plus_checked(
     let mut slots = solve_comparesets_checked(ctx, params, opts)?;
     let n = ctx.num_items();
     if n <= 1 || mu == 0.0 {
-        return Ok(slots);
+        return classify_deadline(slots, opts);
     }
 
     let metrics = opts.metrics_ref();
+    let ctl = opts.ctl();
     let mut ws = NompWorkspace::new();
-    for _ in 0..sweeps {
+    'sweeps: for _ in 0..sweeps {
         for i in 0..n {
+            if ctl.is_cancelled() {
+                break 'sweeps;
+            }
             if slots[i].is_err() {
                 continue;
             }
@@ -300,7 +337,7 @@ pub fn solve_comparesets_plus_checked(
                 Err(_) => continue, // keep the current valid selection
             };
             if let Ok(candidate) =
-                try_integer_regression_metered(&task, params.m, item_plus_cost, &mut ws, metrics)
+                try_integer_regression_ctl(&task, params.m, item_plus_cost, &mut ws, ctl)
             {
                 if item_plus_cost(&candidate) < current_cost {
                     if let Some(mm) = metrics {
@@ -311,7 +348,7 @@ pub fn solve_comparesets_plus_checked(
             }
         }
     }
-    Ok(slots)
+    classify_deadline(slots, opts)
 }
 
 #[cfg(test)]

@@ -7,10 +7,11 @@
 //! with a single item and λ = 0. It shares the Integer-Regression
 //! machinery but regresses on the opinion block only.
 
+use crate::comparesets::classify_deadline;
 use crate::error::CoreError;
 use crate::instance::{InstanceContext, Selection};
 use crate::integer_regression::{
-    integer_regression_metered, try_integer_regression_metered, RegressionTask,
+    integer_regression_ctl, try_integer_regression_ctl, RegressionTask,
 };
 use crate::SolveOptions;
 use comparesets_linalg::vector::sq_distance;
@@ -26,17 +27,17 @@ pub fn solve_crs(ctx: &InstanceContext, m: usize) -> Vec<Selection> {
 /// independent and fan out over rayon when [`SolveOptions::parallel`] is
 /// set, collected in item order (identical results either way).
 pub fn solve_crs_with(ctx: &InstanceContext, m: usize, opts: &SolveOptions) -> Vec<Selection> {
-    let metrics = opts.metrics_ref();
+    let ctl = opts.ctl();
     let solve_item = |i: usize, ws: &mut NompWorkspace| {
         let item = ctx.item(i);
         let tau = ctx.tau(i);
         let task = RegressionTask::build(ctx.space(), item, tau, &[]);
-        integer_regression_metered(
+        integer_regression_ctl(
             &task,
             m,
             |sel| sq_distance(tau, &ctx.space().pi(item, &sel.indices)),
             ws,
-            metrics,
+            ctl,
         )
     };
     if opts.parallel {
@@ -60,7 +61,9 @@ pub fn solve_crs_with(ctx: &InstanceContext, m: usize, opts: &SolveOptions) -> V
 ///
 /// # Errors
 /// [`CoreError::InvalidParams`] when `m == 0` (outer); per-item
-/// [`CoreError::Solver`] in the slots (inner).
+/// [`CoreError::Solver`] in the slots (inner);
+/// [`CoreError::DeadlineExceeded`] with the feasible best-so-far
+/// selections when the options' cancellation token fired mid-solve.
 pub fn solve_crs_checked(
     ctx: &InstanceContext,
     m: usize,
@@ -69,21 +72,21 @@ pub fn solve_crs_checked(
     if m == 0 {
         return Err(CoreError::InvalidParams("m must be at least 1"));
     }
-    let metrics = opts.metrics_ref();
+    let ctl = opts.ctl();
     let solve_item = |i: usize, ws: &mut NompWorkspace| -> Result<Selection, CoreError> {
         let item = ctx.item(i);
         let tau = ctx.tau(i);
         let task = RegressionTask::try_build(ctx.space(), item, tau, &[])?;
-        try_integer_regression_metered(
+        try_integer_regression_ctl(
             &task,
             m,
             |sel| sq_distance(tau, &ctx.space().pi(item, &sel.indices)),
             ws,
-            metrics,
+            ctl,
         )
         .map_err(|source| CoreError::Solver { item: i, source })
     };
-    Ok(if opts.parallel {
+    let slots = if opts.parallel {
         crate::run_on_pool(opts, || {
             (0..ctx.num_items())
                 .into_par_iter()
@@ -95,7 +98,8 @@ pub fn solve_crs_checked(
         (0..ctx.num_items())
             .map(|i| solve_item(i, &mut ws))
             .collect()
-    })
+    };
+    classify_deadline(slots, opts)
 }
 
 #[cfg(test)]

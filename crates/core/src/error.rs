@@ -12,6 +12,8 @@ use std::fmt;
 
 use comparesets_linalg::SolveError;
 
+use crate::instance::Selection;
+
 /// Errors produced by the core selection solvers.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CoreError {
@@ -33,6 +35,19 @@ pub enum CoreError {
         /// The underlying classified linear-algebra error.
         source: SolveError,
     },
+    /// The solve's cancellation token fired (explicit cancel or deadline
+    /// expiry) before the solver finished refining.
+    ///
+    /// This is a *soft* failure with anytime semantics: `best_so_far`
+    /// carries one feasible selection per item — the state the solve had
+    /// reached when it observed the fired token (items whose own
+    /// regression failed hard contribute an empty selection). The work is
+    /// never discarded; the caller decides whether a partially refined
+    /// answer is acceptable.
+    DeadlineExceeded {
+        /// Best feasible per-item selections at the moment of expiry.
+        best_so_far: Vec<Selection>,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -49,6 +64,13 @@ impl fmt::Display for CoreError {
             ),
             CoreError::Solver { item, source } => {
                 write!(f, "solver failed on item {item}: {source}")
+            }
+            CoreError::DeadlineExceeded { best_so_far } => {
+                write!(
+                    f,
+                    "deadline exceeded; best-so-far selections for {} items available",
+                    best_so_far.len()
+                )
             }
         }
     }

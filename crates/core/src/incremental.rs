@@ -19,7 +19,7 @@
 
 use crate::comparesets::solve_comparesets_plus_with;
 use crate::instance::{InstanceContext, ReviewFeature, Selection};
-use crate::integer_regression::{integer_regression_with, RegressionTask};
+use crate::integer_regression::{integer_regression_ctl, RegressionTask};
 use crate::objective::comparesets_plus_objective;
 use crate::{SelectParams, SolveOptions};
 use comparesets_data::ReviewId;
@@ -99,6 +99,12 @@ impl IncrementalSession {
     /// old selection's indices remain valid because reviews are only
     /// appended.)
     fn reselect_item(&mut self, i: usize) {
+        // A fired session token skips the re-selection entirely: the old
+        // selection stays valid (indices only ever grow) and is the
+        // anytime iterate.
+        if self.opts.ctl().is_cancelled() {
+            return;
+        }
         let (lambda, mu) = (self.params.lambda, self.params.mu);
         let n = self.ctx.num_items();
         let other_phis: Vec<Vec<f64>> = (0..n)
@@ -122,7 +128,13 @@ impl IncrementalSession {
             aspect_targets.push((p.as_slice(), mu));
         }
         let task = RegressionTask::build(ctx.space(), ctx.item(i), ctx.tau(i), &aspect_targets);
-        let candidate = integer_regression_with(&task, self.params.m, cost, &mut self.workspace);
+        let candidate = integer_regression_ctl(
+            &task,
+            self.params.m,
+            cost,
+            &mut self.workspace,
+            self.opts.ctl(),
+        );
         if cost(&candidate) < cost(&self.selections[i]) {
             self.selections[i] = candidate;
         }

@@ -52,8 +52,8 @@
 //! assert!(!sel.is_empty() && sel.len() <= 2);
 //! ```
 
-use comparesets_linalg::{nomp_path_metered, CscMatrix, NompOptions, NompWorkspace, SolveError};
-use comparesets_obs::SolverMetrics;
+use comparesets_linalg::{nomp_path_ctl, CscMatrix, NompOptions, NompWorkspace, SolveError};
+use comparesets_obs::{SolveCtl, SolverMetrics};
 
 use crate::error::CoreError;
 use crate::instance::{Item, Selection};
@@ -322,7 +322,15 @@ where
 {
     // Non-strict mode never returns Err (a failed relaxation falls back to
     // the single-review sweep), so the default branch is unreachable.
-    integer_regression_impl(task, m, &mut evaluate, workspace, false, None).unwrap_or_default()
+    integer_regression_impl(
+        task,
+        m,
+        &mut evaluate,
+        workspace,
+        false,
+        SolveCtl::default(),
+    )
+    .unwrap_or_default()
 }
 
 /// [`integer_regression_with`] with an optional metrics collector: counts
@@ -338,7 +346,34 @@ pub fn integer_regression_metered<F>(
 where
     F: FnMut(&Selection) -> f64,
 {
-    integer_regression_impl(task, m, &mut evaluate, workspace, false, metrics).unwrap_or_default()
+    integer_regression_impl(
+        task,
+        m,
+        &mut evaluate,
+        workspace,
+        false,
+        SolveCtl::metered(metrics),
+    )
+    .unwrap_or_default()
+}
+
+/// [`integer_regression_metered`] with a full [`SolveCtl`] handle: a
+/// cancellation token (if present) is polled inside the NOMP relaxation.
+/// A fired token collapses the relaxation to its entry state, so this
+/// returns the cheap single-review fallback — still feasible, still
+/// non-empty — instead of a refined selection. Without a token this is
+/// exactly [`integer_regression_metered`].
+pub fn integer_regression_ctl<F>(
+    task: &RegressionTask,
+    m: usize,
+    mut evaluate: F,
+    workspace: &mut NompWorkspace,
+    ctl: SolveCtl<'_>,
+) -> Selection
+where
+    F: FnMut(&Selection) -> f64,
+{
+    integer_regression_impl(task, m, &mut evaluate, workspace, false, ctl).unwrap_or_default()
 }
 
 /// [`integer_regression`] that propagates solver failures instead of
@@ -366,7 +401,7 @@ where
         &mut evaluate,
         &mut NompWorkspace::new(),
         true,
-        None,
+        SolveCtl::default(),
     )
 }
 
@@ -383,7 +418,7 @@ pub fn try_integer_regression_with<F>(
 where
     F: FnMut(&Selection) -> f64,
 {
-    integer_regression_impl(task, m, &mut evaluate, workspace, true, None)
+    integer_regression_impl(task, m, &mut evaluate, workspace, true, SolveCtl::default())
 }
 
 /// [`try_integer_regression_with`] with an optional metrics collector.
@@ -400,7 +435,32 @@ pub fn try_integer_regression_metered<F>(
 where
     F: FnMut(&Selection) -> f64,
 {
-    integer_regression_impl(task, m, &mut evaluate, workspace, true, metrics)
+    integer_regression_impl(
+        task,
+        m,
+        &mut evaluate,
+        workspace,
+        true,
+        SolveCtl::metered(metrics),
+    )
+}
+
+/// [`try_integer_regression_metered`] with a full [`SolveCtl`] handle; see
+/// [`integer_regression_ctl`] for the cancellation contract.
+///
+/// # Errors
+/// As [`try_integer_regression`].
+pub fn try_integer_regression_ctl<F>(
+    task: &RegressionTask,
+    m: usize,
+    mut evaluate: F,
+    workspace: &mut NompWorkspace,
+    ctl: SolveCtl<'_>,
+) -> Result<Selection, SolveError>
+where
+    F: FnMut(&Selection) -> f64,
+{
+    integer_regression_impl(task, m, &mut evaluate, workspace, true, ctl)
 }
 
 /// Shared engine behind the strict and non-strict entry points. `strict`
@@ -413,11 +473,12 @@ fn integer_regression_impl<F>(
     evaluate: &mut F,
     workspace: &mut NompWorkspace,
     strict: bool,
-    metrics: Option<&SolverMetrics>,
+    ctl: SolveCtl<'_>,
 ) -> Result<Selection, SolveError>
 where
     F: FnMut(&Selection) -> f64,
 {
+    let metrics = ctl.metrics;
     let caps = task.dedup.caps();
     let q = task.dedup.len();
     if let Some(mm) = metrics {
@@ -442,12 +503,12 @@ where
         // distinct budgets 1..=min(m, q); duplicates would re-evaluate the
         // same candidates and lose every strict-< comparison anyway.
         let l_max = m.min(q);
-        match nomp_path_metered(
+        match nomp_path_ctl(
             &task.matrix,
             &task.target,
             NompOptions::with_max_atoms(l_max),
             workspace,
-            metrics,
+            ctl,
         ) {
             Ok(path) => {
                 for res in &path {

@@ -61,17 +61,20 @@ pub use exhaustive::{solve_exhaustive, solve_exhaustive_item};
 pub use incremental::IncrementalSession;
 pub use instance::{InstanceContext, Item, ReviewFeature, Selection};
 pub use integer_regression::{
-    integer_regression, integer_regression_metered, integer_regression_with,
-    try_integer_regression, try_integer_regression_metered, try_integer_regression_with,
-    RegressionTask,
+    integer_regression, integer_regression_ctl, integer_regression_metered,
+    integer_regression_with, try_integer_regression, try_integer_regression_ctl,
+    try_integer_regression_metered, try_integer_regression_with, RegressionTask,
 };
 pub use objective::{
     comparesets_objective, comparesets_plus_objective, item_objective, pair_distance,
 };
 pub use space::{OpinionScheme, VectorSpace};
 
-pub use comparesets_obs::{MetricsReport, MetricsSnapshot, SolverMetrics};
+pub use comparesets_obs::{
+    CancelToken, MetricsReport, MetricsSnapshot, SolveCtl, SolverMetrics, METRICS_SCHEMA,
+};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Shared knobs for the selection solvers.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -110,6 +113,12 @@ impl Default for SelectParams {
 /// default `None` no counter or clock is touched at all. Because the
 /// per-item work is identical under parallel and sequential execution,
 /// the aggregate counters are too.
+///
+/// The optional `cancel` token is the one knob that *can* change results —
+/// by design: once the token fires (explicit cancel or deadline expiry)
+/// the solvers stop refining and return their best feasible iterate so
+/// far (anytime semantics, ARCHITECTURE.md §8). A token that never fires
+/// leaves every result bit-identical to running without one.
 #[derive(Debug, Clone, Default)]
 pub struct SolveOptions {
     /// Fan independent per-item regression tasks out over rayon's pool.
@@ -120,6 +129,10 @@ pub struct SolveOptions {
     /// Optional solver-metrics collector shared by every regression the
     /// solve performs; `None` (the default) disables all counting.
     pub metrics: Option<Arc<SolverMetrics>>,
+    /// Optional cancellation/deadline token polled by every iterative
+    /// kernel the solve enters; `None` (the default) costs one pointer
+    /// check per poll site and changes nothing.
+    pub cancel: Option<Arc<CancelToken>>,
 }
 
 impl SolveOptions {
@@ -152,9 +165,35 @@ impl SolveOptions {
         self
     }
 
+    /// This options value with a cancellation token attached.
+    #[must_use]
+    pub fn with_cancel(mut self, cancel: Arc<CancelToken>) -> Self {
+        self.cancel = Some(cancel);
+        self
+    }
+
+    /// This options value with a fresh deadline token firing `timeout`
+    /// from now. The clock starts here, not at the solve call.
+    #[must_use]
+    pub fn with_timeout(self, timeout: Duration) -> Self {
+        self.with_cancel(Arc::new(CancelToken::with_timeout(timeout)))
+    }
+
     /// Borrow the collector in the form the linalg layer consumes.
     pub(crate) fn metrics_ref(&self) -> Option<&SolverMetrics> {
         self.metrics.as_deref()
+    }
+
+    /// The control handle (metrics + token) the kernels consume.
+    pub(crate) fn ctl(&self) -> SolveCtl<'_> {
+        SolveCtl::new(self.metrics.as_deref(), self.cancel.as_deref())
+    }
+
+    /// Non-consuming peek: has this options value's token fired? Always
+    /// false without a token. Checked solvers call this after the batch
+    /// to decide whether to classify the result as deadline-expired.
+    pub(crate) fn cancel_fired(&self) -> bool {
+        self.cancel.as_deref().is_some_and(CancelToken::fired)
     }
 }
 

@@ -381,6 +381,8 @@ fn read_metadata<R: BufRead>(
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
     use std::io::Cursor;
 
@@ -404,6 +406,64 @@ mod tests {
             min_reviews_per_product: 1,
             error_budget: 0,
         }
+    }
+
+    #[test]
+    fn loader_survives_transient_faults_through_a_retry_reader() {
+        use crate::retry::{RetryPolicy, RetryReader};
+        use std::io::{BufReader, Read};
+
+        /// Injects a transient failure before every other read.
+        struct Flaky<'a> {
+            data: Cursor<&'a [u8]>,
+            reads: usize,
+            faults: usize,
+        }
+        impl Read for Flaky<'_> {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                self.reads += 1;
+                if self.reads % 2 == 1 && self.faults > 0 {
+                    self.faults -= 1;
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::Interrupted,
+                        "injected",
+                    ));
+                }
+                // One byte at a time maximises fault-injection sites.
+                let mut one = [0u8; 1];
+                let n = self.data.read(&mut one)?;
+                if n > 0 {
+                    buf[0] = one[0];
+                }
+                Ok(n)
+            }
+        }
+
+        let clean = loader()
+            .load(Cursor::new(REVIEWS), Cursor::new(META))
+            .unwrap();
+        let flaky_reviews = RetryReader::new(
+            Flaky {
+                data: Cursor::new(REVIEWS.as_bytes()),
+                reads: 0,
+                faults: 40,
+            },
+            RetryPolicy::immediate(2),
+        );
+        let flaky_meta = RetryReader::new(
+            Flaky {
+                data: Cursor::new(META.as_bytes()),
+                reads: 0,
+                faults: 40,
+            },
+            RetryPolicy::immediate(2),
+        );
+        let ds = loader()
+            .load(BufReader::new(flaky_reviews), BufReader::new(flaky_meta))
+            .unwrap();
+        assert_eq!(ds.products.len(), clean.products.len());
+        assert_eq!(ds.reviews.len(), clean.reviews.len());
+        assert_eq!(ds.aspects, clean.aspects);
     }
 
     #[test]

@@ -5,9 +5,12 @@
 //! public dataset download plays.
 
 use crate::model::Dataset;
-use std::fs::File;
-use std::io::{BufReader, BufWriter, Write};
+use crate::retry::{RetryPolicy, RetryReader};
+use comparesets_obs::SolverMetrics;
+use std::fs::{self, File};
+use std::io::{BufReader, Write};
 use std::path::Path;
+use std::sync::Arc;
 
 /// Errors from dataset IO.
 #[derive(Debug)]
@@ -74,14 +77,55 @@ pub fn from_json(json: &str) -> Result<Dataset, IoError> {
     }
 }
 
-/// Save a dataset to a file.
+/// Write `bytes` to `path` atomically: full contents to a temp file in
+/// the destination directory, `fsync`, `rename` over the target, then a
+/// best-effort directory `fsync`. Readers never observe a torn file; a
+/// crash mid-write leaves the previous contents (or nothing) in place.
+///
+/// # Errors
+/// Propagates filesystem errors from creating, writing, syncing, or
+/// renaming the temp file.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let dir = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    let file_name = path.file_name().ok_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::InvalidInput, "path has no file name")
+    })?;
+    let tmp = dir.join(format!(
+        ".{}.tmp.{}",
+        file_name.to_string_lossy(),
+        std::process::id()
+    ));
+    let result = (|| {
+        let mut f = File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        drop(f);
+        fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        // Leave no temp litter behind a failed write.
+        let _ = fs::remove_file(&tmp);
+        return result;
+    }
+    // Persist the rename itself. Directory fsync is Linux-reliable but not
+    // universally supported; the rename already happened, so best-effort.
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok(())
+}
+
+/// Save a dataset to a file atomically (see [`write_atomic`]): a crash
+/// mid-save never corrupts a previously pinned corpus.
 ///
 /// # Errors
 /// Filesystem and serialisation errors.
 pub fn save(dataset: &Dataset, path: &Path) -> Result<(), IoError> {
-    let mut w = BufWriter::new(File::create(path)?);
-    serde_json::to_writer(&mut w, dataset)?;
-    w.flush()?;
+    let json = serde_json::to_string(dataset)?;
+    write_atomic(path, json.as_bytes())?;
     Ok(())
 }
 
@@ -100,8 +144,37 @@ pub fn load(path: &Path) -> Result<Dataset, IoError> {
     }
 }
 
+/// [`load`] through a [`RetryReader`]: transient read failures
+/// (`Interrupted`, `WouldBlock`, `TimedOut`) are absorbed per `policy`,
+/// with retries counted into `metrics` when a collector is supplied
+/// ([`SolverMetrics::io_retries`]).
+///
+/// # Errors
+/// As for [`load`]; a transient error surfaces only once the retry
+/// budget is exhausted.
+pub fn load_retrying(
+    path: &Path,
+    policy: &RetryPolicy,
+    metrics: Option<Arc<SolverMetrics>>,
+) -> Result<Dataset, IoError> {
+    let mut reader = RetryReader::new(File::open(path)?, policy.clone());
+    if let Some(m) = metrics {
+        reader = reader.with_metrics(m);
+    }
+    let r = BufReader::new(reader);
+    let ds: Dataset = serde_json::from_reader(r)?;
+    let problems = ds.validate();
+    if problems.is_empty() {
+        Ok(ds)
+    } else {
+        Err(IoError::InvalidDataset(problems))
+    }
+}
+
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
     use crate::synth::CategoryPreset;
 
@@ -127,6 +200,43 @@ mod tests {
         let back = load(&path).unwrap();
         assert_eq!(back.reviews.len(), d.reviews.len());
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn retrying_load_round_trips_and_counts_nothing_on_a_healthy_file() {
+        let d = CategoryPreset::Toy.config(10, 9).generate();
+        let dir = std::env::temp_dir().join("comparesets_io_retry_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ds.json");
+        save(&d, &path).unwrap();
+        let metrics = Arc::new(SolverMetrics::new());
+        let back = load_retrying(
+            &path,
+            &RetryPolicy::immediate(3),
+            Some(Arc::clone(&metrics)),
+        )
+        .unwrap();
+        assert_eq!(back.reviews.len(), d.reviews.len());
+        assert_eq!(metrics.snapshot().io_retries, 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn atomic_save_leaves_no_temp_files() {
+        let d = CategoryPreset::Toy.config(5, 3).generate();
+        let dir = std::env::temp_dir().join("comparesets_io_atomic_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ds.json");
+        save(&d, &path).unwrap();
+        save(&d, &path).unwrap(); // overwrite path also atomic
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .filter(|n| n.to_string_lossy().contains(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "temp litter: {leftovers:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

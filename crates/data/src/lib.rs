@@ -24,6 +24,7 @@
 pub mod amazon;
 pub mod io;
 pub mod model;
+pub mod retry;
 pub mod stats;
 pub mod synth;
 pub mod templates;
@@ -33,5 +34,6 @@ pub use model::{
     AspectId, AspectMention, ComparisonInstance, Dataset, Polarity, Product, ProductId, Review,
     ReviewId,
 };
+pub use retry::{RetryPolicy, RetryReader};
 pub use stats::DatasetStats;
 pub use synth::{CategoryPreset, SynthConfig};

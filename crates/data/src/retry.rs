@@ -1,0 +1,306 @@
+//! Retrying reads for flaky ingestion sources.
+//!
+//! Corpus files often live on network filesystems or FUSE mounts where a
+//! read can fail *transiently* — `Interrupted`, `WouldBlock`, `TimedOut`
+//! — without the file being gone. [`RetryReader`] wraps any [`Read`] and
+//! absorbs such failures with capped exponential backoff and
+//! deterministic seeded jitter, so a multi-minute ingestion doesn't die
+//! on a single EINTR. Fatal errors (`NotFound`, `PermissionDenied`,
+//! corrupt-data, …) propagate immediately: retrying cannot fix them.
+//!
+//! Every retry is counted — on the reader itself, in an optional
+//! [`SolverMetrics::io_retries`] collector, and as a `tracing` event per
+//! attempt — so a run that limped through a flaky mount says so in its
+//! metrics report instead of silently being slow.
+
+use std::io::{self, Read};
+use std::sync::Arc;
+use std::time::Duration;
+
+use comparesets_obs::SolverMetrics;
+
+/// Retry schedule for transient read failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum consecutive retries for a single read before giving up
+    /// and surfacing the transient error.
+    pub max_retries: u32,
+    /// Backoff before retry `k` (0-based) is `base_delay * 2^k`, capped
+    /// at `max_delay`, plus jitter.
+    pub base_delay: Duration,
+    /// Upper bound on the exponential backoff (pre-jitter).
+    pub max_delay: Duration,
+    /// Seed for the jitter sequence. Same seed → same jitter schedule:
+    /// retry timing is reproducible like everything else in the pipeline.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    /// Four retries, 10 ms base, 500 ms cap: a ~1 s worst case per read.
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 4,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(500),
+            jitter_seed: 0x5eed_cafe,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that retries without sleeping (tests, in-memory readers).
+    pub fn immediate(max_retries: u32) -> Self {
+        RetryPolicy {
+            max_retries,
+            base_delay: Duration::ZERO,
+            max_delay: Duration::ZERO,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Is this error kind worth retrying? Only interruptions that can
+    /// resolve by themselves qualify; everything else is fatal.
+    pub fn is_transient(kind: io::ErrorKind) -> bool {
+        matches!(
+            kind,
+            io::ErrorKind::Interrupted | io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+        )
+    }
+
+    /// Backoff before 0-based retry `attempt`, advancing the jitter
+    /// state: exponential, capped, plus up to +50% deterministic jitter.
+    fn backoff(&self, attempt: u32, jitter_state: &mut u64) -> Duration {
+        let exp = self
+            .base_delay
+            .saturating_mul(1u32.checked_shl(attempt).unwrap_or(u32::MAX))
+            .min(self.max_delay);
+        if exp.is_zero() {
+            return Duration::ZERO;
+        }
+        // xorshift64*: tiny, seedable, good enough to decorrelate
+        // concurrent loaders hammering the same mount.
+        let mut x = *jitter_state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        *jitter_state = x;
+        let r = x.wrapping_mul(0x2545_F491_4F6C_DD1D);
+        // Scale the top 32 random bits into [0, exp/2] without overflow.
+        let half = u64::try_from(exp.as_nanos() / 2).unwrap_or(u64::MAX);
+        let jitter_nanos =
+            u64::try_from((u128::from(r >> 32) * u128::from(half)) >> 32).unwrap_or(u64::MAX);
+        exp + Duration::from_nanos(jitter_nanos)
+    }
+}
+
+/// A [`Read`] adapter that absorbs transient failures per
+/// [`RetryPolicy`]. Wrap it in a `BufReader` for line-oriented loading.
+#[derive(Debug)]
+pub struct RetryReader<R> {
+    inner: R,
+    policy: RetryPolicy,
+    jitter_state: u64,
+    retries: u64,
+    metrics: Option<Arc<SolverMetrics>>,
+}
+
+impl<R: Read> RetryReader<R> {
+    /// Wrap `inner` with the given policy.
+    pub fn new(inner: R, policy: RetryPolicy) -> Self {
+        let jitter_state = policy.jitter_seed | 1; // xorshift state must be nonzero
+        RetryReader {
+            inner,
+            policy,
+            jitter_state,
+            retries: 0,
+            metrics: None,
+        }
+    }
+
+    /// Also count retries into `metrics` ([`SolverMetrics::io_retries`]).
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: Arc<SolverMetrics>) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// Transient errors absorbed so far (across all reads).
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Unwrap the inner reader.
+    pub fn into_inner(self) -> R {
+        self.inner
+    }
+}
+
+impl<R: Read> Read for RetryReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let mut attempt: u32 = 0;
+        loop {
+            match self.inner.read(buf) {
+                Ok(n) => return Ok(n),
+                Err(e)
+                    if RetryPolicy::is_transient(e.kind()) && attempt < self.policy.max_retries =>
+                {
+                    let delay = self.policy.backoff(attempt, &mut self.jitter_state);
+                    attempt += 1;
+                    self.retries += 1;
+                    if let Some(m) = &self.metrics {
+                        SolverMetrics::incr(&m.io_retries);
+                    }
+                    tracing::debug!(
+                        "transient read error ({e}); retry {attempt}/{} after {delay:?}",
+                        self.policy.max_retries
+                    );
+                    if !delay.is_zero() {
+                        std::thread::sleep(delay);
+                    }
+                }
+                Err(e) => {
+                    if RetryPolicy::is_transient(e.kind()) {
+                        tracing::warn!(
+                            "transient read error persisted through {} retries: {e}",
+                            self.policy.max_retries
+                        );
+                    }
+                    return Err(e);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use super::*;
+
+    /// A reader that fails with `kind` the first `failures` reads (or on
+    /// a schedule), then serves `data`.
+    struct Flaky {
+        data: io::Cursor<Vec<u8>>,
+        failures_left: usize,
+        kind: io::ErrorKind,
+        /// When true, a failure precedes *every* successful read while
+        /// failures remain (interleaved), instead of only the first read.
+        interleave: bool,
+        served: usize,
+    }
+
+    impl Flaky {
+        fn new(data: &[u8], failures: usize, kind: io::ErrorKind) -> Self {
+            Flaky {
+                data: io::Cursor::new(data.to_vec()),
+                failures_left: failures,
+                kind,
+                interleave: false,
+                served: 0,
+            }
+        }
+    }
+
+    impl Read for Flaky {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            let should_fail =
+                self.failures_left > 0 && (!self.interleave || self.served.is_multiple_of(2));
+            if should_fail {
+                self.failures_left -= 1;
+                self.served += 1;
+                return Err(io::Error::new(self.kind, "injected"));
+            }
+            self.served += 1;
+            // Serve one byte at a time to force many read calls.
+            let mut one = [0u8; 1];
+            let n = self.data.read(&mut one)?;
+            if n > 0 {
+                buf[0] = one[0];
+            }
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn absorbs_transient_failures_and_counts_them() {
+        let flaky = Flaky::new(b"hello world", 3, io::ErrorKind::Interrupted);
+        let mut r = RetryReader::new(flaky, RetryPolicy::immediate(4));
+        let mut out = String::new();
+        r.read_to_string(&mut out).unwrap();
+        assert_eq!(out, "hello world");
+        assert_eq!(r.retries(), 3);
+    }
+
+    #[test]
+    fn interleaved_failures_reset_the_attempt_budget_per_read() {
+        let mut flaky = Flaky::new(b"abc", 3, io::ErrorKind::TimedOut);
+        flaky.interleave = true;
+        // Budget of 1 retry per read is enough when failures alternate
+        // with successes — the budget is per read call, not global.
+        let mut r = RetryReader::new(flaky, RetryPolicy::immediate(1));
+        let mut out = String::new();
+        r.read_to_string(&mut out).unwrap();
+        assert_eq!(out, "abc");
+        assert_eq!(r.retries(), 3);
+    }
+
+    #[test]
+    fn persistent_transient_failure_surfaces_after_budget() {
+        let flaky = Flaky::new(b"data", 100, io::ErrorKind::WouldBlock);
+        let mut r = RetryReader::new(flaky, RetryPolicy::immediate(2));
+        let mut out = Vec::new();
+        let err = r.read_to_end(&mut out).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::WouldBlock);
+        assert_eq!(r.retries(), 2, "exactly the budget was spent");
+    }
+
+    #[test]
+    fn fatal_errors_propagate_immediately() {
+        let flaky = Flaky::new(b"data", 1, io::ErrorKind::PermissionDenied);
+        let mut r = RetryReader::new(flaky, RetryPolicy::immediate(5));
+        let mut out = Vec::new();
+        let err = r.read_to_end(&mut out).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::PermissionDenied);
+        assert_eq!(r.retries(), 0, "no retry wasted on a fatal error");
+    }
+
+    #[test]
+    fn retries_feed_the_metrics_collector() {
+        let metrics = Arc::new(SolverMetrics::new());
+        let flaky = Flaky::new(b"x", 2, io::ErrorKind::Interrupted);
+        let mut r =
+            RetryReader::new(flaky, RetryPolicy::immediate(3)).with_metrics(Arc::clone(&metrics));
+        let mut out = Vec::new();
+        r.read_to_end(&mut out).unwrap();
+        assert_eq!(metrics.snapshot().io_retries, 2);
+    }
+
+    #[test]
+    fn backoff_is_exponential_capped_and_deterministic() {
+        let policy = RetryPolicy {
+            max_retries: 10,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(80),
+            jitter_seed: 42,
+        };
+        let mut s1 = policy.jitter_seed | 1;
+        let mut s2 = policy.jitter_seed | 1;
+        for attempt in 0..10 {
+            let d1 = policy.backoff(attempt, &mut s1);
+            let d2 = policy.backoff(attempt, &mut s2);
+            assert_eq!(d1, d2, "same seed, same schedule");
+            let exp = Duration::from_millis(10)
+                .saturating_mul(1u32.checked_shl(attempt).unwrap_or(u32::MAX))
+                .min(Duration::from_millis(80));
+            assert!(d1 >= exp, "jitter only adds: {d1:?} < {exp:?}");
+            assert!(
+                d1 <= exp + exp / 2 + Duration::from_nanos(1),
+                "jitter capped at +50%"
+            );
+        }
+        // Zero-delay policies never sleep.
+        let mut s = 1;
+        assert_eq!(RetryPolicy::immediate(3).backoff(5, &mut s), Duration::ZERO);
+    }
+}

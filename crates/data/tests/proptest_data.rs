@@ -1,5 +1,7 @@
 //! Property-based tests for the synthetic generator and serialisation.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use comparesets_data::io::{from_json, to_json};
 use comparesets_data::{CategoryPreset, SynthConfig};
 use proptest::prelude::*;

@@ -10,12 +10,17 @@
 //! See the "Error handling & degradation policy" section of
 //! ARCHITECTURE.md for where this layer sits in the overall ladder.
 
+use std::io;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use comparesets_core::{MetricsReport, MetricsSnapshot, SolverMetrics};
+use comparesets_core::{CancelToken, MetricsReport, MetricsSnapshot, SolverMetrics};
 
+use crate::checkpoint::{
+    code_fingerprint, config_fingerprint, CheckpointStore, ExperimentRecord, Resume,
+    SuiteCheckpoint,
+};
 use crate::EvalConfig;
 
 /// One experiment of the reproduction pass: a display name plus a runner
@@ -173,6 +178,42 @@ impl SuiteReport {
         }
         out
     }
+
+    /// Render the deterministic portion of the report: every experiment's
+    /// output plus a summary whose performance trail carries solver
+    /// counters but **no wall-clock columns**. Two runs over the same
+    /// configuration produce byte-identical output from this renderer
+    /// (provided the selected experiments do not themselves measure wall
+    /// time, as `fig7` does) — it is the artifact the kill-and-resume
+    /// end-to-end test compares.
+    pub fn render_stable(&self) -> String {
+        let mut out = String::new();
+        for (_, outcome) in &self.outcomes {
+            if let ExperimentOutcome::Completed(text) = outcome {
+                out.push_str(text);
+                out.push_str("\n\n");
+            }
+        }
+        out.push_str(&format!(
+            "== suite summary: {}/{} experiments completed ==\n",
+            self.completed(),
+            self.outcomes.len()
+        ));
+        for (name, msg) in self.failures() {
+            out.push_str(&format!("FAILED {name}: {msg}\n"));
+        }
+        for t in &self.timings {
+            out.push_str(&format!(
+                "{:<10} pursuits {:>6} | regressions {:>5} | fallbacks {} | cap hits {}\n",
+                t.name,
+                t.metrics.nomp_pursuits,
+                t.metrics.integer_regressions,
+                t.metrics.fallback_qr + t.metrics.fallback_ridge,
+                t.metrics.nnls_cap_hits,
+            ));
+        }
+        out
+    }
 }
 
 /// Turn a panic payload into readable text.
@@ -184,6 +225,43 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     } else {
         "non-string panic payload".to_string()
     }
+}
+
+/// Run one experiment behind the panic boundary with a fresh metrics
+/// collector, returning its outcome and timing.
+fn run_one(exp: &Experiment, cfg: &EvalConfig) -> (ExperimentOutcome, ExperimentTiming) {
+    let collector = Arc::new(SolverMetrics::new());
+    let mut exp_cfg = cfg.clone();
+    exp_cfg.solve_options.metrics = Some(Arc::clone(&collector));
+    let span = tracing::info_span!("experiment", name = exp.name);
+    let span_guard = span.enter();
+    let started = Instant::now();
+    let outcome = match catch_unwind(AssertUnwindSafe(|| (exp.runner)(&exp_cfg))) {
+        Ok(text) => ExperimentOutcome::Completed(text),
+        Err(payload) => {
+            let msg = panic_message(payload);
+            tracing::error!("experiment {} failed: {msg}", exp.name);
+            ExperimentOutcome::Failed(msg)
+        }
+    };
+    let wall = started.elapsed();
+    drop(span_guard);
+    let timing = ExperimentTiming {
+        name: exp.name,
+        wall_nanos: u64::try_from(wall.as_nanos()).unwrap_or(u64::MAX),
+        metrics: collector.snapshot(),
+    };
+    (outcome, timing)
+}
+
+/// True when the configuration carries a cancellation token that has
+/// fired — any experiment finishing under it may hold best-so-far
+/// (deadline-degraded) output.
+fn deadline_fired(cfg: &EvalConfig) -> bool {
+    cfg.solve_options
+        .cancel
+        .as_deref()
+        .is_some_and(CancelToken::fired)
 }
 
 /// Run every experiment, isolating panics per experiment. The returned
@@ -198,30 +276,104 @@ pub fn run_suite(experiments: &[Experiment], cfg: &EvalConfig) -> SuiteReport {
     let mut outcomes = Vec::with_capacity(experiments.len());
     let mut timings = Vec::with_capacity(experiments.len());
     for exp in experiments {
-        let collector = Arc::new(SolverMetrics::new());
-        let mut exp_cfg = cfg.clone();
-        exp_cfg.solve_options.metrics = Some(Arc::clone(&collector));
-        let span = tracing::info_span!("experiment", name = exp.name);
-        let span_guard = span.enter();
-        let started = Instant::now();
-        let outcome = match catch_unwind(AssertUnwindSafe(|| (exp.runner)(&exp_cfg))) {
-            Ok(text) => ExperimentOutcome::Completed(text),
-            Err(payload) => {
-                let msg = panic_message(payload);
-                tracing::error!("experiment {} failed: {msg}", exp.name);
-                ExperimentOutcome::Failed(msg)
-            }
-        };
-        let wall = started.elapsed();
-        drop(span_guard);
-        timings.push(ExperimentTiming {
-            name: exp.name,
-            wall_nanos: u64::try_from(wall.as_nanos()).unwrap_or(u64::MAX),
-            metrics: collector.snapshot(),
-        });
+        let (outcome, timing) = run_one(exp, cfg);
+        timings.push(timing);
         outcomes.push((exp.name, outcome));
     }
     SuiteReport { outcomes, timings }
+}
+
+/// [`run_suite`] with crash-safe checkpointing: after every experiment the
+/// suite state is atomically persisted to `store`, and with `resume = true`
+/// a matching checkpoint's experiments are restored (exact text, counters,
+/// and original wall time) instead of recomputed. A killed run resumed
+/// this way produces a report whose [`SuiteReport::render_stable`] output
+/// is byte-identical to an uninterrupted run's.
+///
+/// Two safety rules:
+///
+/// * A checkpoint taken under a different configuration or build is
+///   discarded with a warning — never stitched into the new run.
+/// * An experiment that finished while the configuration's cancellation
+///   token was fired is **not** persisted: its output is
+///   deadline-degraded, and a resume must recompute it at full quality.
+///
+/// # Errors
+/// Propagates filesystem errors from loading or saving the checkpoint.
+/// Experiment panics are still isolated per experiment, exactly as in
+/// [`run_suite`].
+pub fn run_suite_checkpointed(
+    experiments: &[Experiment],
+    cfg: &EvalConfig,
+    store: &CheckpointStore,
+    resume: bool,
+) -> io::Result<SuiteReport> {
+    let config_fp = config_fingerprint(cfg);
+    let code_fp = code_fingerprint();
+    let restored: SuiteCheckpoint = if resume {
+        match store.load(&config_fp, &code_fp)? {
+            Resume::Valid(ckpt) => {
+                tracing::info!(
+                    "resuming from checkpoint: {} experiment(s) already complete",
+                    ckpt.experiments.len()
+                );
+                ckpt
+            }
+            Resume::Stale { reason } => {
+                tracing::warn!("discarding stale checkpoint ({reason}); starting fresh");
+                SuiteCheckpoint::empty(config_fp.clone(), code_fp.clone())
+            }
+            Resume::Fresh => SuiteCheckpoint::empty(config_fp.clone(), code_fp.clone()),
+        }
+    } else {
+        SuiteCheckpoint::empty(config_fp.clone(), code_fp.clone())
+    };
+
+    let mut ckpt = SuiteCheckpoint::empty(config_fp, code_fp);
+    let by_name = restored.by_name();
+    let mut outcomes = Vec::with_capacity(experiments.len());
+    let mut timings = Vec::with_capacity(experiments.len());
+    for exp in experiments {
+        if let Some(rec) = by_name.get(exp.name) {
+            tracing::info!("experiment {} restored from checkpoint", exp.name);
+            let outcome = if rec.completed {
+                ExperimentOutcome::Completed(rec.text.clone())
+            } else {
+                ExperimentOutcome::Failed(rec.text.clone())
+            };
+            timings.push(ExperimentTiming {
+                name: exp.name,
+                wall_nanos: rec.wall_nanos,
+                metrics: rec.metrics.clone(),
+            });
+            outcomes.push((exp.name, outcome));
+            ckpt.experiments.push((*rec).clone());
+            continue;
+        }
+        let (outcome, timing) = run_one(exp, cfg);
+        if deadline_fired(cfg) {
+            tracing::warn!(
+                "experiment {} ran under a fired deadline; not checkpointing its output",
+                exp.name
+            );
+        } else {
+            let (completed, text) = match &outcome {
+                ExperimentOutcome::Completed(t) => (true, t.clone()),
+                ExperimentOutcome::Failed(t) => (false, t.clone()),
+            };
+            ckpt.experiments.push(ExperimentRecord {
+                name: exp.name.to_string(),
+                completed,
+                text,
+                wall_nanos: timing.wall_nanos,
+                metrics: timing.metrics.clone(),
+            });
+            store.save(&ckpt)?;
+        }
+        timings.push(timing);
+        outcomes.push((exp.name, outcome));
+    }
+    Ok(SuiteReport { outcomes, timings })
 }
 
 /// The paper's full reproduction pass: every table and figure of §4, in
@@ -267,6 +419,8 @@ pub fn standard_suite() -> Vec<Experiment> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
 
     #[test]
@@ -324,6 +478,93 @@ mod tests {
         // The rendered summary carries the performance trail.
         let summary = report.render_summary();
         assert!(summary.contains("pursuits"), "{summary}");
+    }
+
+    #[test]
+    fn checkpointed_resume_skips_completed_experiments_and_matches_stable_render() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        let dir =
+            std::env::temp_dir().join(format!("comparesets-harness-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = CheckpointStore::new(&dir);
+        let cfg = EvalConfig::tiny();
+
+        static RUNS_A: AtomicUsize = AtomicUsize::new(0);
+        static RUNS_B: AtomicUsize = AtomicUsize::new(0);
+        let experiments = || {
+            vec![
+                Experiment::new("first", "counts runs", |_| {
+                    RUNS_A.fetch_add(1, Ordering::SeqCst);
+                    "first output".to_string()
+                }),
+                Experiment::new("second", "counts runs", |_| {
+                    RUNS_B.fetch_add(1, Ordering::SeqCst);
+                    "second output".to_string()
+                }),
+            ]
+        };
+
+        // Uninterrupted run: both experiments execute, checkpoint persists.
+        let full = run_suite_checkpointed(&experiments(), &cfg, &store, false).unwrap();
+        assert!(full.all_completed());
+        assert_eq!(RUNS_A.load(Ordering::SeqCst), 1);
+        assert_eq!(RUNS_B.load(Ordering::SeqCst), 1);
+
+        // Resume against the complete checkpoint: nothing re-runs, and the
+        // deterministic render is byte-identical.
+        let resumed = run_suite_checkpointed(&experiments(), &cfg, &store, true).unwrap();
+        assert_eq!(RUNS_A.load(Ordering::SeqCst), 1, "first re-ran");
+        assert_eq!(RUNS_B.load(Ordering::SeqCst), 1, "second re-ran");
+        assert_eq!(full.render_stable(), resumed.render_stable());
+        // Restored timings carry the original wall time, so even the full
+        // render matches here.
+        assert_eq!(full.render(), resumed.render());
+
+        // Without --resume the checkpoint is ignored and overwritten.
+        let fresh = run_suite_checkpointed(&experiments(), &cfg, &store, false).unwrap();
+        assert_eq!(RUNS_A.load(Ordering::SeqCst), 2);
+        assert_eq!(RUNS_B.load(Ordering::SeqCst), 2);
+        assert_eq!(full.render_stable(), fresh.render_stable());
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpointed_run_skips_persisting_under_a_fired_deadline() {
+        let dir = std::env::temp_dir().join(format!(
+            "comparesets-harness-deadline-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = CheckpointStore::new(&dir);
+        let mut cfg = EvalConfig::tiny();
+        let token = Arc::new(CancelToken::new());
+        token.cancel();
+        cfg.solve_options.cancel = Some(Arc::clone(&token));
+
+        let experiments = vec![Experiment::new("degraded", "deadline", |_| {
+            "out".to_string()
+        })];
+        let report = run_suite_checkpointed(&experiments, &cfg, &store, false).unwrap();
+        // The run itself still reports the (degraded) outcome...
+        assert!(report.all_completed());
+        // ...but nothing was persisted: a resume must recompute it.
+        assert!(
+            !store.path().exists(),
+            "deadline-degraded output must not be checkpointed"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stable_render_drops_wall_clock_but_keeps_counters() {
+        let experiments = vec![Experiment::new("ok", "fine", |_| "output".to_string())];
+        let report = run_suite(&experiments, &EvalConfig::tiny());
+        let stable = report.render_stable();
+        assert!(stable.contains("output"));
+        assert!(stable.contains("pursuits"));
+        assert!(!stable.contains(" ms |"), "wall clock leaked: {stable}");
     }
 
     #[test]

@@ -25,6 +25,7 @@
 
 pub mod ablation;
 pub mod casestudy;
+pub mod checkpoint;
 pub mod config;
 pub mod export;
 pub mod fig11;
@@ -44,9 +45,11 @@ pub mod table6;
 pub mod table7;
 pub mod userstudy;
 
+pub use checkpoint::{CheckpointStore, Resume, SuiteCheckpoint};
 pub use config::EvalConfig;
 pub use harness::{
-    run_suite, standard_suite, Experiment, ExperimentOutcome, ExperimentTiming, SuiteReport,
+    run_suite, run_suite_checkpointed, standard_suite, Experiment, ExperimentOutcome,
+    ExperimentTiming, SuiteReport,
 };
 pub use metrics::RougeTriple;
 pub use pipeline::PreparedInstance;

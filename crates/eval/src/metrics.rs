@@ -136,6 +136,8 @@ pub fn information_cosine(inst: &PreparedInstance, i: usize, sel: &Selection) ->
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
     use crate::config::EvalConfig;
     use crate::pipeline::{dataset_for, prepare_instances};

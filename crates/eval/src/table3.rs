@@ -153,14 +153,14 @@ pub fn best_and_star(block: &MBlock, measure: Measure, metric: usize) -> (usize,
     let best = means
         .iter()
         .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .max_by(|a, b| a.1.total_cmp(b.1))
         .map(|(i, _)| i)
         .unwrap_or(0);
     let second = means
         .iter()
         .enumerate()
         .filter(|&(i, _)| i != best)
-        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .max_by(|a, b| a.1.total_cmp(b.1))
         .map(|(i, _)| i);
     let star = second
         .and_then(|s| {

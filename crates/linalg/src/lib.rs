@@ -47,11 +47,12 @@ pub use cholesky::{solve_gram_system, solve_gram_system_with};
 pub use error::{LinalgError, SolveError};
 pub use matrix::Matrix;
 pub use nnls::{
-    nnls, nnls_capped, nnls_gram, nnls_gram_capped, nnls_gram_capped_with, NnlsDiagnostics,
+    nnls, nnls_capped, nnls_gram, nnls_gram_capped, nnls_gram_capped_ctl, nnls_gram_capped_with,
+    NnlsDiagnostics,
 };
 pub use nomp::{
-    nomp, nomp_path, nomp_path_metered, nomp_path_with, nomp_reference, nomp_with, NompOptions,
-    NompResult, NompWorkspace,
+    nomp, nomp_path, nomp_path_ctl, nomp_path_metered, nomp_path_with, nomp_reference, nomp_with,
+    NompOptions, NompResult, NompWorkspace,
 };
 pub use qr::lstsq;
 pub use sparse::{CscMatrix, DesignMatrix};

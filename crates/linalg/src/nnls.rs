@@ -38,7 +38,7 @@ use crate::cholesky::{solve_gram_system_with, solve_normal_equations};
 use crate::error::LinalgError;
 use crate::matrix::Matrix;
 use crate::vector;
-use comparesets_obs::SolverMetrics;
+use comparesets_obs::{SolveCtl, SolverMetrics};
 
 /// Convergence diagnostic returned by the capped NNLS entry points.
 ///
@@ -278,6 +278,25 @@ pub fn nnls_gram_capped_with(
     atb: &[f64],
     metrics: Option<&SolverMetrics>,
 ) -> Result<(Vec<f64>, NnlsDiagnostics), LinalgError> {
+    nnls_gram_capped_ctl(g, atb, SolveCtl::metered(metrics))
+}
+
+/// [`nnls_gram_capped_with`] with a full [`SolveCtl`] handle: in addition
+/// to metrics attribution, a cancellation token (if present) is polled
+/// once per outer Lawson–Hanson iteration. A fired token takes the same
+/// exit as the iteration cap — the current feasible iterate is returned
+/// with `converged: false` — so cancellation degrades one refit instead of
+/// erroring. Without a token this is exactly [`nnls_gram_capped_with`].
+///
+/// # Errors
+/// Shape errors and [`LinalgError::NonFinite`] on NaN/Inf input; never
+/// [`LinalgError::NoConvergence`].
+pub fn nnls_gram_capped_ctl(
+    g: &Matrix,
+    atb: &[f64],
+    ctl: SolveCtl<'_>,
+) -> Result<(Vec<f64>, NnlsDiagnostics), LinalgError> {
+    let metrics = ctl.metrics;
     let n = g.rows();
     if g.cols() != n {
         return Err(LinalgError::DimensionMismatch {
@@ -324,6 +343,17 @@ pub fn nnls_gram_capped_with(
     let max_outer = 3 * n + 10;
     let mut outer = 0;
     loop {
+        if ctl.is_cancelled() {
+            // Cooperative stop: same contract as the iteration cap — the
+            // current x is feasible, hand it back unconverged.
+            return Ok((
+                x,
+                NnlsDiagnostics {
+                    converged: false,
+                    iterations: outer,
+                },
+            ));
+        }
         outer += 1;
         if outer > max_outer {
             // Iteration budget exhausted: x is feasible (every accepted

@@ -54,10 +54,10 @@
 
 use crate::error::LinalgError;
 use crate::matrix::Matrix;
-use crate::nnls::{nnls_capped, nnls_gram_capped_with};
+use crate::nnls::{nnls_capped, nnls_gram_capped_ctl};
 use crate::sparse::DesignMatrix;
 use crate::vector;
-use comparesets_obs::SolverMetrics;
+use comparesets_obs::{SolveCtl, SolverMetrics};
 
 /// Tuning knobs for [`nomp`].
 #[derive(Debug, Clone, Copy)]
@@ -173,7 +173,7 @@ pub fn nomp_with<M: DesignMatrix>(
     opts: NompOptions,
     ws: &mut NompWorkspace,
 ) -> Result<NompResult, LinalgError> {
-    let mut results = pursuit(a, b, opts, ws, false, None)?;
+    let mut results = pursuit(a, b, opts, ws, false, SolveCtl::default())?;
     results.pop().ok_or(LinalgError::InvalidArgument(
         "nomp: pursuit produced no state",
     ))
@@ -209,7 +209,7 @@ pub fn nomp_path_with<M: DesignMatrix>(
     opts: NompOptions,
     ws: &mut NompWorkspace,
 ) -> Result<Vec<NompResult>, LinalgError> {
-    pursuit(a, b, opts, ws, true, None)
+    pursuit(a, b, opts, ws, true, SolveCtl::default())
 }
 
 /// [`nomp_path_with`] with an optional metrics collector: the pursuit
@@ -226,7 +226,28 @@ pub fn nomp_path_metered<M: DesignMatrix>(
     ws: &mut NompWorkspace,
     metrics: Option<&SolverMetrics>,
 ) -> Result<Vec<NompResult>, LinalgError> {
-    pursuit(a, b, opts, ws, true, metrics)
+    pursuit(a, b, opts, ws, true, SolveCtl::metered(metrics))
+}
+
+/// [`nomp_path_metered`] with a full [`SolveCtl`] handle: a cancellation
+/// token (if present) is polled once per pursuit iteration and inside
+/// every NNLS refit. A fired token takes the same exit as the pursuit's
+/// "no progress" break — every still-pending budget receives the current
+/// (always feasible) state — so a cancelled pursuit returns `Ok` with its
+/// best-so-far path rather than an error; the caller decides whether that
+/// counts as a deadline failure. Without a token this is exactly
+/// [`nomp_path_metered`].
+///
+/// # Errors
+/// As [`nomp`].
+pub fn nomp_path_ctl<M: DesignMatrix>(
+    a: &M,
+    b: &[f64],
+    opts: NompOptions,
+    ws: &mut NompWorkspace,
+    ctl: SolveCtl<'_>,
+) -> Result<Vec<NompResult>, LinalgError> {
+    pursuit(a, b, opts, ws, true, ctl)
 }
 
 /// The shared pursuit engine behind [`nomp`] and [`nomp_path`].
@@ -247,8 +268,9 @@ fn pursuit<M: DesignMatrix>(
     opts: NompOptions,
     ws: &mut NompWorkspace,
     record_path: bool,
-    metrics: Option<&SolverMetrics>,
+    ctl: SolveCtl<'_>,
 ) -> Result<Vec<NompResult>, LinalgError> {
+    let metrics = ctl.metrics;
     let m = a.rows();
     let n = a.cols();
     if b.len() != m {
@@ -322,6 +344,14 @@ fn pursuit<M: DesignMatrix>(
             break;
         }
 
+        // Cooperative cancellation: polled once per pursuit iteration.
+        // A fired token takes the same exit as "no progress" below, so the
+        // post-loop fill hands every pending budget the current feasible
+        // state (anytime semantics).
+        if ctl.is_cancelled() {
+            break;
+        }
+
         // Correlations of all columns with the residual.
         let corr = a.tr_matvec(&ws.residual)?;
         let mut best_j = None;
@@ -372,7 +402,7 @@ fn pursuit<M: DesignMatrix>(
         // whether pursuit can continue.
         let g = Matrix::from_rows(&ws.gram_rows)?;
         let refit_start = metrics.map(|_| std::time::Instant::now());
-        let (x_sub, refit_diag) = nnls_gram_capped_with(&g, &ws.atb, metrics)?;
+        let (x_sub, refit_diag) = nnls_gram_capped_ctl(&g, &ws.atb, ctl)?;
         if let Some(mm) = metrics {
             if let Some(t) = refit_start {
                 SolverMetrics::add_time(&mm.refit_nanos, t.elapsed());

@@ -25,9 +25,16 @@ use std::time::Duration;
 
 use serde::{Deserialize, Serialize};
 
+mod cancel;
+
+pub use cancel::{CancelToken, SolveCtl};
+
 /// Schema tag embedded in every [`MetricsReport`]; bump on breaking
 /// layout changes so downstream tooling can detect drift.
-pub const METRICS_SCHEMA: &str = "comparesets-metrics/v1";
+///
+/// v2 added the preemption/ingestion counters `cancellation_checks`,
+/// `deadline_expirations`, and `io_retries`.
+pub const METRICS_SCHEMA: &str = "comparesets-metrics/v2";
 
 /// Shared counter block for one logical run (a CLI command, an eval
 /// experiment, a test solve). Cheap to share via `Arc`; all updates are
@@ -63,6 +70,14 @@ pub struct SolverMetrics {
     pub pursuit_nanos: AtomicU64,
     /// Wall nanoseconds inside NNLS refits (subset of `pursuit_nanos`).
     pub refit_nanos: AtomicU64,
+    /// Cancellation-token polls performed (counted only when a token is
+    /// installed; token-less solves never touch this).
+    pub cancellation_checks: AtomicU64,
+    /// Solves that observed a fired token/deadline and stopped early
+    /// with their best-so-far iterate.
+    pub deadline_expirations: AtomicU64,
+    /// Transient ingestion I/O errors absorbed by the retrying reader.
+    pub io_retries: AtomicU64,
 }
 
 impl SolverMetrics {
@@ -107,6 +122,9 @@ impl SolverMetrics {
             alternation_accepts: self.alternation_accepts.load(Ordering::Relaxed),
             pursuit_nanos: self.pursuit_nanos.load(Ordering::Relaxed),
             refit_nanos: self.refit_nanos.load(Ordering::Relaxed),
+            cancellation_checks: self.cancellation_checks.load(Ordering::Relaxed),
+            deadline_expirations: self.deadline_expirations.load(Ordering::Relaxed),
+            io_retries: self.io_retries.load(Ordering::Relaxed),
         }
     }
 }
@@ -131,6 +149,12 @@ pub struct MetricsSnapshot {
     pub alternation_accepts: u64,
     pub pursuit_nanos: u64,
     pub refit_nanos: u64,
+    #[serde(default)]
+    pub cancellation_checks: u64,
+    #[serde(default)]
+    pub deadline_expirations: u64,
+    #[serde(default)]
+    pub io_retries: u64,
 }
 
 impl MetricsSnapshot {

@@ -1,7 +1,7 @@
 # Local equivalents of the CI gates (.github/workflows/ci.yml).
 
 # Run every CI gate in order.
-ci: fmt-check clippy build test doctest smoke
+ci: fmt-check clippy build test doctest smoke resume-smoke
 
 fmt:
     cargo fmt
@@ -38,9 +38,33 @@ smoke:
         --corpus "$tmp/corpus.json" --target 0 --m 3 \
         --trace debug --metrics-json "$tmp/metrics.json"
     test -s "$tmp/metrics.json"
-    grep -q 'comparesets-metrics/v1' "$tmp/metrics.json"
+    grep -q 'comparesets-metrics/v2' "$tmp/metrics.json"
     grep -q '"nomp_pursuits":' "$tmp/metrics.json"
+    grep -q '"cancellation_checks":' "$tmp/metrics.json"
+    grep -q '"io_retries":' "$tmp/metrics.json"
     echo "smoke ok: $(cat "$tmp/metrics.json")"
+
+# Deadline + resume smoke: start the suite with an unmeetable --timeout,
+# require the classified deadline exit code (6) and a checkpoint on disk,
+# then resume to completion and diff against an uninterrupted run
+# (mirrors the "Resume smoke" CI step).
+resume-smoke:
+    #!/usr/bin/env bash
+    set -euo pipefail
+    tmp=$(mktemp -d)
+    trap 'rm -rf "$tmp"' EXIT
+    run() { cargo run --release -q -p comparesets-cli -- "$@"; }
+    rc=0
+    run eval --config tiny --experiments table2,table3 \
+        --checkpoint-dir "$tmp/ckpt" --timeout 0.2 \
+        --out "$tmp/partial.txt" || rc=$?
+    test "$rc" -eq 6
+    test -s "$tmp/ckpt/suite-checkpoint.json"
+    run eval --config tiny --experiments table2,table3 \
+        --checkpoint-dir "$tmp/ckpt" --resume true --out "$tmp/resumed.txt"
+    run eval --config tiny --experiments table2,table3 --out "$tmp/full.txt"
+    cmp "$tmp/resumed.txt" "$tmp/full.txt"
+    echo "resume smoke ok"
 
 # Refresh the performance baseline (updates BENCH_parallel_solver.json,
 # see PERFORMANCE.md).
