@@ -6,9 +6,21 @@
 //! `BENCH_parallel_solver.json` at the workspace root with the measured
 //! times (minimum over samples, seconds) so PERFORMANCE.md numbers are
 //! reproducible from a single `cargo bench --bench parallel_solver`.
+//!
+//! The `alternation/*` group pits warm-started multi-sweep alternation
+//! against the cold engine (`SolveOptions::warm_start = false`) at
+//! sweeps = 1..=4; the two are pinned to identical selections by
+//! `crates/core/tests/warm_start.rs`, so the delta is pure solver time.
+//!
+//! Setting `COMPARESETS_BENCH_SMOKE=1` (see `just bench-smoke`) runs one
+//! sample of one iteration per workload and skips the JSON report, so CI
+//! can exercise every bench body without touching the committed baseline.
 
 use comparesets_bench::{BenchReport, Measurement};
-use comparesets_core::{solve_comparesets_plus_with, solve_crs_with, SelectParams, SolveOptions};
+use comparesets_core::{
+    solve_comparesets_plus_sweeps_with, solve_comparesets_plus_with, solve_crs_with, SelectParams,
+    SolveOptions,
+};
 use comparesets_linalg::{nomp_path, nomp_reference, CscMatrix, Matrix, NompOptions};
 use criterion::{criterion_group, BenchmarkId, Criterion};
 use rand::prelude::*;
@@ -96,7 +108,32 @@ fn bench_solvers(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_engine, bench_solvers);
+/// Warm-started alternation against the cold engine: the same
+/// multi-sweep CompaReSetS+ solve with the per-item warm-start caches on
+/// (the default) and off. Sweep 1 measures pure warm-engine overhead;
+/// sweeps >= 2 measure the payoff once targets start repeating.
+fn bench_alternation(c: &mut Criterion) {
+    let dataset = comparesets_bench::corpus();
+    let ctx = comparesets_bench::instance(&dataset, 8);
+    let params = SelectParams::default();
+    let mut g = c.benchmark_group("alternation");
+    g.sample_size(10);
+    for sweeps in 1..=4usize {
+        for (label, warm) in [("cold", false), ("warm", true)] {
+            let opts = SolveOptions::sequential().with_warm_start(warm);
+            g.bench_function(format!("{label}/sweeps{sweeps}"), |bch| {
+                bch.iter(|| {
+                    black_box(solve_comparesets_plus_sweeps_with(
+                        &ctx, &params, sweeps, &opts,
+                    ))
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine, bench_solvers, bench_alternation);
 
 // ---------------------------------------------------------------------
 // JSON report
@@ -155,6 +192,21 @@ fn emit_json() {
         });
     }
 
+    for sweeps in 1..=4usize {
+        for (label, warm) in [("cold", false), ("warm", true)] {
+            let opts = SolveOptions::sequential().with_warm_start(warm);
+            measurements.push(Measurement {
+                name: format!("alternation/{label}/sweeps{sweeps}"),
+                seconds_min: time_min(SAMPLES, || {
+                    black_box(solve_comparesets_plus_sweeps_with(
+                        &ctx, &params, sweeps, &opts,
+                    ));
+                }),
+                samples: SAMPLES,
+            });
+        }
+    }
+
     let report = BenchReport {
         bench: "parallel_solver".to_string(),
         threads_available: std::thread::available_parallelism()
@@ -175,5 +227,9 @@ fn emit_json() {
 
 fn main() {
     benches();
-    emit_json();
+    // Smoke mode (CI) exercises every bench body once but must never
+    // rewrite the committed baseline with throwaway numbers.
+    if std::env::var_os("COMPARESETS_BENCH_SMOKE").is_none() {
+        emit_json();
+    }
 }

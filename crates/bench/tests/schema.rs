@@ -41,6 +41,21 @@ fn committed_bench_baseline_matches_schema() {
         names.iter().any(|n| n.starts_with("solver_parallel/")),
         "missing solver_parallel workloads: {names:?}"
     );
+    assert!(
+        names.iter().any(|n| n.starts_with("alternation/")),
+        "missing alternation (warm vs cold) workloads: {names:?}"
+    );
+    // The alternation family must cover both engines at every sweep depth
+    // so the warm-vs-cold speedup in PERFORMANCE.md stays reproducible.
+    for sweeps in 1..=4 {
+        for engine in ["cold", "warm"] {
+            let want = format!("alternation/{engine}/sweeps{sweeps}");
+            assert!(
+                names.iter().any(|n| *n == want),
+                "missing {want}: {names:?}"
+            );
+        }
+    }
     // Re-serializing the parsed report loses no fields.
     let round_tripped: BenchReport =
         serde_json::from_str(&serde_json::to_string(&report).unwrap()).unwrap();
@@ -63,10 +78,9 @@ fn metrics_report_format_round_trips_under_its_schema_tag() {
 
 #[test]
 fn metrics_schema_v2_carries_the_preemption_counters() {
-    // The schema tag was bumped to v2 when the preemption/ingestion
-    // counters landed; the serialized report must carry all three so
-    // consumers can rely on the tag to know the fields exist.
-    assert_eq!(comparesets_core::METRICS_SCHEMA, "comparesets-metrics/v2");
+    // v2 added the preemption/ingestion counters; the serialized report
+    // must still carry all three so consumers can rely on the tag family
+    // to know the fields exist.
     let collector = SolverMetrics::new();
     SolverMetrics::add(&collector.cancellation_checks, 7);
     SolverMetrics::incr(&collector.deadline_expirations);
@@ -86,9 +100,48 @@ fn metrics_schema_v2_carries_the_preemption_counters() {
         .replace(",\"cancellation_checks\":7", "")
         .replace(",\"deadline_expirations\":1", "")
         .replace(",\"io_retries\":2", "")
-        .replace("comparesets-metrics/v2", "comparesets-metrics/v1");
+        .replace(comparesets_core::METRICS_SCHEMA, "comparesets-metrics/v1");
     let back: MetricsReport = serde_json::from_str(&v1).unwrap();
     assert!(!back.schema_matches());
     assert_eq!(back.metrics.cancellation_checks, 0);
     assert_eq!(back.metrics.io_retries, 0);
+}
+
+#[test]
+fn metrics_schema_v3_carries_the_warm_start_counters() {
+    // The schema tag was bumped to v3 when the warm-start and
+    // incremental-correlation counters landed; serialized reports carry
+    // all four, and both older tag generations still parse with the new
+    // fields defaulting to zero.
+    assert_eq!(comparesets_core::METRICS_SCHEMA, "comparesets-metrics/v3");
+    let collector = SolverMetrics::new();
+    SolverMetrics::add(&collector.warm_start_hits, 11);
+    SolverMetrics::incr(&collector.warm_start_truncations);
+    SolverMetrics::add(&collector.corr_incremental_updates, 40);
+    SolverMetrics::add(&collector.corr_exact_recomputes, 5);
+    let report = MetricsReport::new("select", std::time::Duration::from_millis(3), &collector);
+    assert!(report.schema_matches());
+    let json = serde_json::to_string(&report).unwrap();
+    for field in [
+        ",\"warm_start_hits\":11",
+        ",\"warm_start_truncations\":1",
+        ",\"corr_incremental_updates\":40",
+        ",\"corr_exact_recomputes\":5",
+    ] {
+        assert!(json.contains(field), "{field} missing from {json}");
+    }
+    // v2 (and v1) reports predate the counters: stripping them and
+    // downgrading the tag must still deserialize, defaulting to zero.
+    let stripped = json
+        .replace(",\"warm_start_hits\":11", "")
+        .replace(",\"warm_start_truncations\":1", "")
+        .replace(",\"corr_incremental_updates\":40", "")
+        .replace(",\"corr_exact_recomputes\":5", "");
+    for old_tag in ["comparesets-metrics/v2", "comparesets-metrics/v1"] {
+        let old = stripped.replace("comparesets-metrics/v3", old_tag);
+        let back: MetricsReport = serde_json::from_str(&old).unwrap();
+        assert!(!back.schema_matches());
+        assert_eq!(back.metrics.warm_start_hits, 0);
+        assert_eq!(back.metrics.corr_exact_recomputes, 0);
+    }
 }

@@ -33,11 +33,11 @@ commands:
   select          --corpus FILE --target ID [--m N] [--lambda X] [--mu X]
                   [--algorithm random|crs|greedy|comparesets|comparesets+]
                   [--max-comparatives N] [--scheme binary|3-polarity|unary-scale] [--seed S]
-                  [--parallel true] [--threads N]
+                  [--parallel true] [--threads N] [--warm-start false]
                   [--strict true]      fail (exit 5) instead of degrading on numerical faults
   narrow          --corpus FILE --target ID [--k N] [--method exact|greedy|topk|random|peel]
                   [--m N] [--lambda X] [--mu X] [--time-limit-ms N] [--seed S]
-                  [--parallel true] [--threads N]
+                  [--parallel true] [--threads N] [--warm-start false]
   eval            [--out FILE] [--scale N] [--config tiny|default] [--experiments a,b,...]
                   [--checkpoint-dir DIR] [--resume true]
                   run the reproduction suite; the deterministic report (no
@@ -314,17 +314,22 @@ fn timeout_token(args: &Args) -> Result<Option<Arc<CancelToken>>, String> {
     ))))
 }
 
-/// Parse `--parallel true` / `--threads N` / `--timeout SECS` into
-/// [`SolveOptions`]. A thread count implies parallelism; the selections
-/// are identical either way, and the optional `--metrics-json` collector
-/// only observes, never steers. A timeout arms a cooperative deadline:
-/// iterative solvers stop at their next cancellation check.
+/// Parse `--parallel true` / `--threads N` / `--warm-start BOOL` /
+/// `--timeout SECS` into [`SolveOptions`]. A thread count implies
+/// parallelism; the selections are identical either way, and the optional
+/// `--metrics-json` collector only observes, never steers. Warm starts
+/// default on and are selection-invariant too — `--warm-start false`
+/// forces every alternating sweep to solve from scratch (the cold
+/// baseline the `alternation/*` benches compare against). A timeout arms
+/// a cooperative deadline: iterative solvers stop at their next
+/// cancellation check.
 fn solve_options(args: &Args, metrics: Option<Arc<SolverMetrics>>) -> Result<SolveOptions, String> {
     let parallel: bool = args.get_or("parallel", false)?;
     let threads: usize = args.get_or("threads", 0)?;
     Ok(SolveOptions {
         parallel: parallel || threads > 0,
         threads: (threads > 0).then_some(threads),
+        warm_start: args.get_or("warm-start", true)?,
         metrics,
         cancel: timeout_token(args)?,
     })
@@ -759,8 +764,10 @@ mod tests {
         let sequential = run(&base).unwrap();
         let parallel = run(&[&base[..], &["--parallel", "true"]].concat()).unwrap();
         let pinned = run(&[&base[..], &["--threads", "2"]].concat()).unwrap();
+        let cold = run(&[&base[..], &["--warm-start", "false"]].concat()).unwrap();
         assert_eq!(sequential, parallel);
         assert_eq!(sequential, pinned);
+        assert_eq!(sequential, cold);
         std::fs::remove_file(&path).ok();
     }
 

@@ -21,13 +21,14 @@
 //! step reuses one solver workspace across the whole sweep phase).
 
 use comparesets_linalg::vector::sq_distance;
-use comparesets_linalg::NompWorkspace;
+use comparesets_linalg::{with_pooled_workspace, NompWorkspace};
 use rayon::prelude::*;
 
 use crate::error::{validate_params, CoreError};
 use crate::instance::{InstanceContext, Selection};
 use crate::integer_regression::{
-    integer_regression_ctl, try_integer_regression_ctl, RegressionTask,
+    integer_regression_ctl, integer_regression_warm_ctl, try_integer_regression_ctl,
+    try_integer_regression_warm_ctl, DedupColumns, RegressionTask, RegressionWarm,
 };
 use crate::{SelectParams, SolveOptions, SolverMetrics};
 
@@ -86,7 +87,7 @@ pub fn solve_comparesets_with(
         crate::run_on_pool(opts, || {
             (0..ctx.num_items())
                 .into_par_iter()
-                .map(|i| solve_item(i, &mut NompWorkspace::new()))
+                .map(|i| with_pooled_workspace(|ws| solve_item(i, ws)))
                 .collect()
         })
     } else {
@@ -139,7 +140,7 @@ pub fn solve_comparesets_checked(
         crate::run_on_pool(opts, || {
             (0..ctx.num_items())
                 .into_par_iter()
-                .map(|i| solve_item(i, &mut NompWorkspace::new()))
+                .map(|i| with_pooled_workspace(|ws| solve_item(i, ws)))
                 .collect()
         })
     } else {
@@ -196,12 +197,29 @@ pub fn solve_comparesets_plus_sweeps_with(
         return selections;
     }
 
-    // One pursuit workspace serves every per-item step of every sweep.
+    // One pursuit workspace serves every per-item step of every sweep, and
+    // each item keeps a warm-start cache across sweeps: once the other
+    // items' selections stop changing, an item's extended target Υ repeats
+    // verbatim and the re-solve is served from cache (ARCHITECTURE.md §9).
     let metrics = opts.metrics_ref();
     let ctl = opts.ctl();
     let span = tracing::debug_span!("comparesets_plus_alternation", items = n, sweeps = sweeps);
     let _span_guard = span.enter();
     let mut ws = NompWorkspace::new();
+    let mut warm: Vec<RegressionWarm> = (0..n).map(|_| RegressionWarm::new()).collect();
+    // The items are immutable for the whole solve, so each one's column
+    // grouping is computed once and shared by every warm reuse probe.
+    let dedups: Vec<DedupColumns> = if opts.warm_start {
+        (0..n).map(|j| DedupColumns::build(ctx.item(j))).collect()
+    } else {
+        Vec::new()
+    };
+    // φ(Sⱼ) under each item's current selection, refreshed only when an
+    // accept changes the selection — φ is a pure function of the
+    // selection, so the cache is bit-identical to recomputing per round.
+    let mut phis: Vec<Vec<f64>> = (0..n)
+        .map(|j| ctx.space().phi(ctx.item(j), &selections[j].indices))
+        .collect();
     'sweeps: for _ in 0..sweeps {
         for i in 0..n {
             // Cancellation granularity: one poll per alternation round.
@@ -215,9 +233,9 @@ pub fn solve_comparesets_plus_sweeps_with(
                 SolverMetrics::incr(&mm.alternation_rounds);
             }
             // φ(Sⱼ) of every other item, under its *current* selection.
-            let other_phis: Vec<Vec<f64>> = (0..n)
+            let other_phis: Vec<&[f64]> = (0..n)
                 .filter(|&j| j != i)
-                .map(|j| ctx.space().phi(ctx.item(j), &selections[j].indices))
+                .map(|j| phis[j].as_slice())
                 .collect();
 
             // Per-item synchronized objective used for accept/reject
@@ -229,23 +247,54 @@ pub fn solve_comparesets_plus_sweeps_with(
                 base + mu * mu * coupling
             };
 
-            let current_cost = item_plus_cost(&selections[i]);
-
             // Υ blocks: Γ with weight λ, then each φ(Sⱼ) with weight μ.
             let mut aspect_targets: Vec<(&[f64], f64)> = Vec::with_capacity(1 + other_phis.len());
             aspect_targets.push((ctx.gamma(), lambda));
             for p in &other_phis {
-                aspect_targets.push((p.as_slice(), mu));
+                aspect_targets.push((p, mu));
             }
-            let task = RegressionTask::build(ctx.space(), ctx.item(i), ctx.tau(i), &aspect_targets);
-            let candidate = integer_regression_ctl(&task, params.m, item_plus_cost, &mut ws, ctl);
+            // Warm fast path: probe the cache against the stacked target
+            // before paying for the design-matrix build — on stabilised
+            // rounds the whole re-solve reduces to this comparison.
+            let reused = if opts.warm_start {
+                RegressionTask::try_stack_target(ctx.space(), ctx.tau(i), &aspect_targets)
+                    .ok()
+                    .and_then(|t| warm[i].probe_reuse(&dedups[i], &t, params.m, metrics))
+            } else {
+                None
+            };
+            let candidate = if let Some(sel) = reused {
+                sel
+            } else {
+                let task =
+                    RegressionTask::build(ctx.space(), ctx.item(i), ctx.tau(i), &aspect_targets);
+                if opts.warm_start {
+                    integer_regression_warm_ctl(
+                        &task,
+                        params.m,
+                        item_plus_cost,
+                        &mut ws,
+                        &mut warm[i],
+                        ctl,
+                    )
+                } else {
+                    integer_regression_ctl(&task, params.m, item_plus_cost, &mut ws, ctl)
+                }
+            };
 
-            if item_plus_cost(&candidate) < current_cost {
+            // A candidate equal to the current selection can never win the
+            // strict `<` accept test (the objective is a pure function of
+            // the selection), so the two cost evaluations are skipped —
+            // the accept decision is unchanged.
+            if candidate != selections[i]
+                && item_plus_cost(&candidate) < item_plus_cost(&selections[i])
+            {
                 if let Some(mm) = metrics {
                     SolverMetrics::incr(&mm.alternation_accepts);
                 }
                 tracing::trace!("alternation step accepted a better selection for item {i}");
                 selections[i] = candidate;
+                phis[i] = ctx.space().phi(ctx.item(i), &selections[i].indices);
             }
         }
     }
@@ -286,6 +335,22 @@ pub fn solve_comparesets_plus_checked(
     let metrics = opts.metrics_ref();
     let ctl = opts.ctl();
     let mut ws = NompWorkspace::new();
+    let mut warm: Vec<RegressionWarm> = (0..n).map(|_| RegressionWarm::new()).collect();
+    let dedups: Vec<DedupColumns> = if opts.warm_start {
+        (0..n).map(|j| DedupColumns::build(ctx.item(j))).collect()
+    } else {
+        Vec::new()
+    };
+    // φ(Sⱼ) per healthy slot (None for failed items), refreshed only when
+    // an accept changes the selection — bit-identical to recomputing.
+    let mut phis: Vec<Option<Vec<f64>>> = (0..n)
+        .map(|j| {
+            slots[j]
+                .as_ref()
+                .ok()
+                .map(|sel| ctx.space().phi(ctx.item(j), &sel.indices))
+        })
+        .collect();
     'sweeps: for _ in 0..sweeps {
         for i in 0..n {
             if ctl.is_cancelled() {
@@ -299,14 +364,9 @@ pub fn solve_comparesets_plus_checked(
             }
             // φ(Sⱼ) of every other *healthy* item under its current
             // selection; failed items contribute no coupling.
-            let other_phis: Vec<Vec<f64>> = (0..n)
+            let other_phis: Vec<&[f64]> = (0..n)
                 .filter(|&j| j != i)
-                .filter_map(|j| {
-                    slots[j]
-                        .as_ref()
-                        .ok()
-                        .map(|sel| ctx.space().phi(ctx.item(j), &sel.indices))
-                })
+                .filter_map(|j| phis[j].as_deref())
                 .collect();
 
             let item_plus_cost = |sel: &Selection| {
@@ -320,29 +380,52 @@ pub fn solve_comparesets_plus_checked(
                 Ok(sel) => sel.clone(),
                 Err(_) => continue,
             };
-            let current_cost = item_plus_cost(&current);
 
             let mut aspect_targets: Vec<(&[f64], f64)> = Vec::with_capacity(1 + other_phis.len());
             aspect_targets.push((ctx.gamma(), lambda));
             for p in &other_phis {
-                aspect_targets.push((p.as_slice(), mu));
+                aspect_targets.push((p, mu));
             }
-            let task = match RegressionTask::try_build(
-                ctx.space(),
-                ctx.item(i),
-                ctx.tau(i),
-                &aspect_targets,
-            ) {
-                Ok(t) => t,
-                Err(_) => continue, // keep the current valid selection
+            let reused = if opts.warm_start {
+                RegressionTask::try_stack_target(ctx.space(), ctx.tau(i), &aspect_targets)
+                    .ok()
+                    .and_then(|t| warm[i].probe_reuse(&dedups[i], &t, params.m, metrics))
+            } else {
+                None
             };
-            if let Ok(candidate) =
-                try_integer_regression_ctl(&task, params.m, item_plus_cost, &mut ws, ctl)
-            {
-                if item_plus_cost(&candidate) < current_cost {
+            let solved = if let Some(sel) = reused {
+                Ok(sel)
+            } else {
+                let task = match RegressionTask::try_build(
+                    ctx.space(),
+                    ctx.item(i),
+                    ctx.tau(i),
+                    &aspect_targets,
+                ) {
+                    Ok(t) => t,
+                    Err(_) => continue, // keep the current valid selection
+                };
+                if opts.warm_start {
+                    try_integer_regression_warm_ctl(
+                        &task,
+                        params.m,
+                        item_plus_cost,
+                        &mut ws,
+                        &mut warm[i],
+                        ctl,
+                    )
+                } else {
+                    try_integer_regression_ctl(&task, params.m, item_plus_cost, &mut ws, ctl)
+                }
+            };
+            if let Ok(candidate) = solved {
+                // Equal candidates can never win the strict `<` accept
+                // test; skip both cost evaluations (decision unchanged).
+                if candidate != current && item_plus_cost(&candidate) < item_plus_cost(&current) {
                     if let Some(mm) = metrics {
                         SolverMetrics::incr(&mm.alternation_accepts);
                     }
+                    phis[i] = Some(ctx.space().phi(ctx.item(i), &candidate.indices));
                     slots[i] = Ok(candidate);
                 }
             }

@@ -15,7 +15,7 @@ use crate::integer_regression::{
 };
 use crate::SolveOptions;
 use comparesets_linalg::vector::sq_distance;
-use comparesets_linalg::NompWorkspace;
+use comparesets_linalg::{with_pooled_workspace, NompWorkspace};
 use rayon::prelude::*;
 
 /// Run CRS on every item of the instance independently.
@@ -44,7 +44,7 @@ pub fn solve_crs_with(ctx: &InstanceContext, m: usize, opts: &SolveOptions) -> V
         crate::run_on_pool(opts, || {
             (0..ctx.num_items())
                 .into_par_iter()
-                .map(|i| solve_item(i, &mut NompWorkspace::new()))
+                .map(|i| with_pooled_workspace(|ws| solve_item(i, ws)))
                 .collect()
         })
     } else {
@@ -90,7 +90,7 @@ pub fn solve_crs_checked(
         crate::run_on_pool(opts, || {
             (0..ctx.num_items())
                 .into_par_iter()
-                .map(|i| solve_item(i, &mut NompWorkspace::new()))
+                .map(|i| with_pooled_workspace(|ws| solve_item(i, ws)))
                 .collect()
         })
     } else {

@@ -19,7 +19,10 @@
 
 use crate::comparesets::solve_comparesets_plus_with;
 use crate::instance::{InstanceContext, ReviewFeature, Selection};
-use crate::integer_regression::{integer_regression_ctl, RegressionTask};
+use crate::integer_regression::{
+    integer_regression_ctl, integer_regression_warm_ctl, DedupColumns, RegressionTask,
+    RegressionWarm,
+};
 use crate::objective::comparesets_plus_objective;
 use crate::{SelectParams, SolveOptions};
 use comparesets_data::ReviewId;
@@ -36,6 +39,11 @@ pub struct IncrementalSession {
     updates_since_refresh: usize,
     /// Pursuit scratch reused by every per-review update and refresh.
     workspace: NompWorkspace,
+    /// Per-item warm-start caches carried across re-selections; the
+    /// affected item's cache is invalidated on ingest (its candidate set
+    /// changed), the others keep theirs and are re-validated by the
+    /// engine against the new target (ARCHITECTURE.md §9).
+    warm: Vec<RegressionWarm>,
 }
 
 impl IncrementalSession {
@@ -48,6 +56,9 @@ impl IncrementalSession {
     /// apply to the initial solve and every [`IncrementalSession::refresh`].
     pub fn with_options(ctx: InstanceContext, params: SelectParams, opts: SolveOptions) -> Self {
         let selections = solve_comparesets_plus_with(&ctx, &params, &opts);
+        let warm = (0..ctx.num_items())
+            .map(|_| RegressionWarm::new())
+            .collect();
         IncrementalSession {
             ctx,
             params,
@@ -55,6 +66,7 @@ impl IncrementalSession {
             selections,
             updates_since_refresh: 0,
             workspace: NompWorkspace::new(),
+            warm,
         }
     }
 
@@ -90,6 +102,9 @@ impl IncrementalSession {
     pub fn add_review(&mut self, i: usize, id: ReviewId, feature: ReviewFeature) {
         assert!(i < self.ctx.num_items(), "item index out of range");
         self.ctx.push_review(i, id, feature);
+        // The appended review reshapes item i's candidate matrix; drop its
+        // warm trajectory rather than relying on engine-side validation.
+        self.warm[i].invalidate();
         self.reselect_item(i);
         self.updates_since_refresh += 1;
     }
@@ -127,14 +142,42 @@ impl IncrementalSession {
         for p in &other_phis {
             aspect_targets.push((p.as_slice(), mu));
         }
-        let task = RegressionTask::build(ctx.space(), ctx.item(i), ctx.tau(i), &aspect_targets);
-        let candidate = integer_regression_ctl(
-            &task,
-            self.params.m,
-            cost,
-            &mut self.workspace,
-            self.opts.ctl(),
-        );
+        // Warm fast path: an unchanged re-selection (e.g. a review arrived
+        // on another item without moving its selection) is served from the
+        // cache before the design matrix is rebuilt.
+        let reused = if self.opts.warm_start {
+            RegressionTask::try_stack_target(ctx.space(), ctx.tau(i), &aspect_targets)
+                .ok()
+                .and_then(|t| {
+                    let dedup = DedupColumns::build(ctx.item(i));
+                    self.warm[i].probe_reuse(&dedup, &t, self.params.m, self.opts.metrics_ref())
+                })
+        } else {
+            None
+        };
+        let candidate = if let Some(sel) = reused {
+            sel
+        } else {
+            let task = RegressionTask::build(ctx.space(), ctx.item(i), ctx.tau(i), &aspect_targets);
+            if self.opts.warm_start {
+                integer_regression_warm_ctl(
+                    &task,
+                    self.params.m,
+                    cost,
+                    &mut self.workspace,
+                    &mut self.warm[i],
+                    self.opts.ctl(),
+                )
+            } else {
+                integer_regression_ctl(
+                    &task,
+                    self.params.m,
+                    cost,
+                    &mut self.workspace,
+                    self.opts.ctl(),
+                )
+            }
+        };
         if cost(&candidate) < cost(&self.selections[i]) {
             self.selections[i] = candidate;
         }

@@ -52,7 +52,9 @@
 //! assert!(!sel.is_empty() && sel.len() <= 2);
 //! ```
 
-use comparesets_linalg::{nomp_path_ctl, CscMatrix, NompOptions, NompWorkspace, SolveError};
+use comparesets_linalg::{
+    nomp_path_ctl, nomp_path_warm, CscMatrix, NompOptions, NompWorkspace, SolveError, WarmState,
+};
 use comparesets_obs::{SolveCtl, SolverMetrics};
 
 use crate::error::CoreError;
@@ -236,6 +238,47 @@ impl RegressionTask {
             dedup,
         })
     }
+
+    /// Stack the pre-weighted target vector Υ without building the design
+    /// matrix — the cheap half of [`RegressionTask::try_build`] (the
+    /// matrix costs `O(q·(od + z·blocks))`, the target only
+    /// `O(od + z·blocks)`). Warm re-solve probes use this to test cache
+    /// validity before paying for the matrix; the vector is bit-identical
+    /// to the `target` field `try_build` would produce.
+    ///
+    /// # Errors
+    /// [`CoreError::DimensionMismatch`] exactly as
+    /// [`RegressionTask::try_build`] reports it for the target blocks.
+    pub fn try_stack_target(
+        space: &VectorSpace,
+        opinion_target: &[f64],
+        aspect_targets: &[(&[f64], f64)],
+    ) -> Result<Vec<f64>, CoreError> {
+        let z = space.num_aspects();
+        let od = space.opinion_dim();
+        if opinion_target.len() != od {
+            return Err(CoreError::DimensionMismatch {
+                context: "RegressionTask opinion target",
+                expected: od,
+                actual: opinion_target.len(),
+            });
+        }
+        for (t, _) in aspect_targets {
+            if t.len() != z {
+                return Err(CoreError::DimensionMismatch {
+                    context: "RegressionTask aspect target",
+                    expected: z,
+                    actual: t.len(),
+                });
+            }
+        }
+        let mut target = Vec::with_capacity(od + z * aspect_targets.len());
+        target.extend_from_slice(opinion_target);
+        for &(t, w) in aspect_targets {
+            target.extend(t.iter().map(|v| w * v));
+        }
+        Ok(target)
+    }
 }
 
 /// Largest-remainder rounding of `s · x̂` to integers under per-entry caps.
@@ -327,6 +370,7 @@ where
         m,
         &mut evaluate,
         workspace,
+        None,
         false,
         SolveCtl::default(),
     )
@@ -351,6 +395,7 @@ where
         m,
         &mut evaluate,
         workspace,
+        None,
         false,
         SolveCtl::metered(metrics),
     )
@@ -373,7 +418,7 @@ pub fn integer_regression_ctl<F>(
 where
     F: FnMut(&Selection) -> f64,
 {
-    integer_regression_impl(task, m, &mut evaluate, workspace, false, ctl).unwrap_or_default()
+    integer_regression_impl(task, m, &mut evaluate, workspace, None, false, ctl).unwrap_or_default()
 }
 
 /// [`integer_regression`] that propagates solver failures instead of
@@ -400,6 +445,7 @@ where
         m,
         &mut evaluate,
         &mut NompWorkspace::new(),
+        None,
         true,
         SolveCtl::default(),
     )
@@ -418,7 +464,15 @@ pub fn try_integer_regression_with<F>(
 where
     F: FnMut(&Selection) -> f64,
 {
-    integer_regression_impl(task, m, &mut evaluate, workspace, true, SolveCtl::default())
+    integer_regression_impl(
+        task,
+        m,
+        &mut evaluate,
+        workspace,
+        None,
+        true,
+        SolveCtl::default(),
+    )
 }
 
 /// [`try_integer_regression_with`] with an optional metrics collector.
@@ -440,6 +494,7 @@ where
         m,
         &mut evaluate,
         workspace,
+        None,
         true,
         SolveCtl::metered(metrics),
     )
@@ -460,7 +515,137 @@ pub fn try_integer_regression_ctl<F>(
 where
     F: FnMut(&Selection) -> f64,
 {
-    integer_regression_impl(task, m, &mut evaluate, workspace, true, ctl)
+    integer_regression_impl(task, m, &mut evaluate, workspace, None, true, ctl)
+}
+
+/// The final answer of a previous warm regression, with the inputs it was
+/// produced under. Valid only together with the warm state's own target
+/// key: the selection may be returned verbatim when the budget, the caps,
+/// *and* the relaxation's full trajectory all still apply.
+#[derive(Debug, Clone)]
+struct CachedSelection {
+    m: usize,
+    caps: Vec<usize>,
+    selection: Selection,
+}
+
+/// Cross-round cache for one item's repeated integer regressions.
+///
+/// Wraps the linalg [`WarmState`] (the relaxation's trajectory cache) with
+/// the rounding layer's answer, so a re-solve whose inputs are unchanged —
+/// same design matrix, bit-equal target, same budget `m` and dedup caps —
+/// skips not only the pursuit but the `O(m²)` rounding-and-evaluate sweep.
+/// Alternating solvers hold one per item across sweeps; the state
+/// revalidates itself against the matrix on every pursuit that actually
+/// runs, while the full-skip fast path relies on the caller re-solving the
+/// *same item* (the intended use — both CompaReSetS+ variants and the
+/// incremental session thread exactly that).
+#[derive(Debug, Clone, Default)]
+pub struct RegressionWarm {
+    state: WarmState,
+    cached: Option<CachedSelection>,
+}
+
+impl RegressionWarm {
+    /// An empty cache; fills on the first regression it is threaded into.
+    pub fn new() -> Self {
+        RegressionWarm::default()
+    }
+
+    /// Drop every cache (see [`WarmState::invalidate`]); call when the
+    /// item behind this cache changed.
+    pub fn invalidate(&mut self) {
+        self.state.invalidate();
+        self.cached = None;
+    }
+
+    /// Matrix-free full-skip probe: when this cache holds the answer of a
+    /// completed re-solve whose inputs are unchanged — bit-equal stacked
+    /// target (see [`RegressionTask::try_stack_target`]), same budget
+    /// `m`, same dedup caps — return it without building the design
+    /// matrix, running the pursuit, or rounding anything.
+    ///
+    /// `dedup` must be the item's current column grouping
+    /// ([`DedupColumns::build`]); callers solving the same immutable item
+    /// repeatedly (the alternating sweeps) build it once and reuse it.
+    ///
+    /// This is the same decision [`integer_regression_warm_ctl`] makes
+    /// internally, hoisted in front of the `O(q·rows)` matrix
+    /// construction so alternating solvers can skip task assembly on
+    /// stabilised rounds. Counters are recorded exactly as the in-engine
+    /// fast path records them, so the metrics identities hold whichever
+    /// path serves the reuse.
+    pub fn probe_reuse(
+        &self,
+        dedup: &DedupColumns,
+        target: &[f64],
+        m: usize,
+        metrics: Option<&SolverMetrics>,
+    ) -> Option<Selection> {
+        let cached = self.cached.as_ref()?;
+        if cached.m != m || m == 0 {
+            return None;
+        }
+        let q = dedup.len();
+        if q == 0
+            || cached.caps.len() != q
+            || !cached
+                .caps
+                .iter()
+                .zip(dedup.groups.iter())
+                .all(|(&c, g)| c == g.len())
+        {
+            return None;
+        }
+        let opts = NompOptions::with_max_atoms(m.min(q));
+        if !self.state.full_reuse_ready(target, opts) {
+            return None;
+        }
+        if let Some(mm) = metrics {
+            SolverMetrics::incr(&mm.integer_regressions);
+        }
+        self.state.record_full_reuse(metrics);
+        Some(cached.selection.clone())
+    }
+}
+
+/// [`integer_regression_ctl`] with a [`RegressionWarm`] cache carried
+/// across re-solves of the same item: the NOMP relaxation runs through
+/// [`nomp_path_warm`] (validated replay + incremental correlations), and
+/// an unchanged re-solve — bit-equal target, same budget and caps —
+/// returns the cached selection without rounding or evaluating anything.
+pub fn integer_regression_warm_ctl<F>(
+    task: &RegressionTask,
+    m: usize,
+    mut evaluate: F,
+    workspace: &mut NompWorkspace,
+    warm: &mut RegressionWarm,
+    ctl: SolveCtl<'_>,
+) -> Selection
+where
+    F: FnMut(&Selection) -> f64,
+{
+    integer_regression_impl(task, m, &mut evaluate, workspace, Some(warm), false, ctl)
+        .unwrap_or_default()
+}
+
+/// [`try_integer_regression_ctl`] with a [`RegressionWarm`] cache; see
+/// [`integer_regression_warm_ctl`].
+///
+/// # Errors
+/// As [`try_integer_regression`].
+pub fn try_integer_regression_warm_ctl<F>(
+    task: &RegressionTask,
+    m: usize,
+    mut evaluate: F,
+    workspace: &mut NompWorkspace,
+    warm: &mut RegressionWarm,
+    ctl: SolveCtl<'_>,
+) -> Result<Selection, SolveError>
+where
+    F: FnMut(&Selection) -> f64,
+{
+    integer_regression_impl(task, m, &mut evaluate, workspace, Some(warm), true, ctl)
 }
 
 /// Shared engine behind the strict and non-strict entry points. `strict`
@@ -472,6 +657,7 @@ fn integer_regression_impl<F>(
     m: usize,
     evaluate: &mut F,
     workspace: &mut NompWorkspace,
+    mut warm: Option<&mut RegressionWarm>,
     strict: bool,
     ctl: SolveCtl<'_>,
 ) -> Result<Selection, SolveError>
@@ -503,13 +689,34 @@ where
         // distinct budgets 1..=min(m, q); duplicates would re-evaluate the
         // same candidates and lose every strict-< comparison anyway.
         let l_max = m.min(q);
-        match nomp_path_ctl(
-            &task.matrix,
-            &task.target,
-            NompOptions::with_max_atoms(l_max),
-            workspace,
-            ctl,
-        ) {
+        let opts = NompOptions::with_max_atoms(l_max);
+
+        // Full skip: an unchanged re-solve (bit-equal target under the
+        // same options, same budget and caps) would reproduce the cached
+        // answer verbatim — the pursuit deterministically, the rounding
+        // and evaluation deterministically from it. Count the reuse as
+        // the engine's own fast path would.
+        if let Some(w) = warm.as_deref_mut() {
+            if let Some(c) = &w.cached {
+                if c.m == m && c.caps == caps && w.state.full_reuse_ready(&task.target, opts) {
+                    w.state.record_full_reuse(metrics);
+                    return Ok(c.selection.clone());
+                }
+            }
+        }
+
+        let solved = match warm.as_deref_mut() {
+            Some(w) => nomp_path_warm(
+                &task.matrix,
+                &task.target,
+                opts,
+                workspace,
+                &mut w.state,
+                ctl,
+            ),
+            None => nomp_path_ctl(&task.matrix, &task.target, opts, workspace, ctl),
+        };
+        match solved {
             Ok(path) => {
                 for res in &path {
                     if res.support.is_empty() {
@@ -538,7 +745,27 @@ where
         }
     }
 
-    Ok(best.map(|(_, s)| s).unwrap_or_default())
+    let selection = best.map(|(_, s)| s).unwrap_or_default();
+    // Pair the answer with the relaxation trajectory that produced it; the
+    // engine declines to store a trajectory for cancelled pursuits, and
+    // `full_reuse_ready` is false then, so a truncated anytime answer is
+    // never served as a completed one.
+    if q > 0 && m > 0 {
+        if let Some(w) = warm {
+            if w.state
+                .full_reuse_ready(&task.target, NompOptions::with_max_atoms(m.min(q)))
+            {
+                w.cached = Some(CachedSelection {
+                    m,
+                    caps,
+                    selection: selection.clone(),
+                });
+            } else {
+                w.cached = None;
+            }
+        }
+    }
+    Ok(selection)
 }
 
 #[cfg(test)]

@@ -62,8 +62,9 @@ pub use incremental::IncrementalSession;
 pub use instance::{InstanceContext, Item, ReviewFeature, Selection};
 pub use integer_regression::{
     integer_regression, integer_regression_ctl, integer_regression_metered,
-    integer_regression_with, try_integer_regression, try_integer_regression_ctl,
-    try_integer_regression_metered, try_integer_regression_with, RegressionTask,
+    integer_regression_warm_ctl, integer_regression_with, try_integer_regression,
+    try_integer_regression_ctl, try_integer_regression_metered, try_integer_regression_warm_ctl,
+    try_integer_regression_with, RegressionTask, RegressionWarm,
 };
 pub use objective::{
     comparesets_objective, comparesets_plus_objective, item_objective, pair_distance,
@@ -119,13 +120,25 @@ impl Default for SelectParams {
 /// the solvers stop refining and return their best feasible iterate so
 /// far (anytime semantics, ARCHITECTURE.md §8). A token that never fires
 /// leaves every result bit-identical to running without one.
-#[derive(Debug, Clone, Default)]
+///
+/// `warm_start` (on by default) lets the alternating solvers carry a
+/// per-item [`RegressionWarm`] cache across Gauss–Seidel sweeps and
+/// incremental re-solves: re-solves whose target is unchanged are served
+/// from cache, and changed targets replay the previous trajectory with
+/// validation (ARCHITECTURE.md §9). Selections are pinned equal to the
+/// cold path by `crates/core/tests/warm_start.rs`; set `warm_start` to
+/// `false` to force every sweep to solve from scratch (the cold baseline
+/// the `alternation/*` benches compare against).
+#[derive(Debug, Clone)]
 pub struct SolveOptions {
     /// Fan independent per-item regression tasks out over rayon's pool.
     pub parallel: bool,
     /// Worker count for parallel runs; `None` uses rayon's global default
     /// (all cores). Ignored when `parallel` is false.
     pub threads: Option<usize>,
+    /// Carry per-item warm-start caches across alternating sweeps and
+    /// incremental re-solves (on by default).
+    pub warm_start: bool,
     /// Optional solver-metrics collector shared by every regression the
     /// solve performs; `None` (the default) disables all counting.
     pub metrics: Option<Arc<SolverMetrics>>,
@@ -133,6 +146,18 @@ pub struct SolveOptions {
     /// kernel the solve enters; `None` (the default) costs one pointer
     /// check per poll site and changes nothing.
     pub cancel: Option<Arc<CancelToken>>,
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        SolveOptions {
+            parallel: false,
+            threads: None,
+            warm_start: true,
+            metrics: None,
+            cancel: None,
+        }
+    }
 }
 
 impl SolveOptions {
@@ -177,6 +202,13 @@ impl SolveOptions {
     #[must_use]
     pub fn with_timeout(self, timeout: Duration) -> Self {
         self.with_cancel(Arc::new(CancelToken::with_timeout(timeout)))
+    }
+
+    /// This options value with warm starts switched on or off.
+    #[must_use]
+    pub fn with_warm_start(mut self, warm_start: bool) -> Self {
+        self.warm_start = warm_start;
+        self
     }
 
     /// Borrow the collector in the form the linalg layer consumes.

@@ -1,0 +1,167 @@
+//! Warm-start pinning tests: carrying per-item warm-start caches across
+//! alternating sweeps and incremental re-solves must never change a
+//! selection. Every solver that threads [`RegressionWarm`] state is
+//! compared byte-for-byte against its cold-start twin, sequentially and
+//! in parallel, and the v3 warm-start counters are checked to actually
+//! fire on multi-sweep workloads.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::sync::Arc;
+
+use comparesets_core::{
+    solve_comparesets_plus_checked, solve_comparesets_plus_sweeps_with, solve_comparesets_with,
+    solve_crs_with, IncrementalSession, InstanceContext, OpinionScheme, ReviewFeature,
+    SelectParams, Selection, SolveOptions, SolverMetrics,
+};
+use comparesets_data::{CategoryPreset, Polarity, ReviewId};
+
+fn contexts() -> Vec<InstanceContext> {
+    let dataset = CategoryPreset::Cellphone.config(120, 29).generate();
+    dataset
+        .instances()
+        .into_iter()
+        .take(3)
+        .map(|inst| InstanceContext::build(&dataset, &inst.truncated(5), OpinionScheme::Binary))
+        .collect()
+}
+
+fn cold() -> SolveOptions {
+    SolveOptions::default().with_warm_start(false)
+}
+
+#[test]
+fn warm_start_defaults_on_and_the_builder_flips_it() {
+    assert!(SolveOptions::default().warm_start);
+    assert!(SolveOptions::parallel().warm_start);
+    assert!(!cold().warm_start);
+}
+
+#[test]
+fn warm_sweeps_select_identically_to_cold_sweeps() {
+    let params = SelectParams::default();
+    for ctx in &contexts() {
+        for sweeps in 1..=4 {
+            for opts in [SolveOptions::sequential(), SolveOptions::with_threads(2)] {
+                let warm = solve_comparesets_plus_sweeps_with(ctx, &params, sweeps, &opts);
+                let coldsel = solve_comparesets_plus_sweeps_with(
+                    ctx,
+                    &params,
+                    sweeps,
+                    &opts.clone().with_warm_start(false),
+                );
+                assert_eq!(warm, coldsel, "sweeps={sweeps} drifted under warm starts");
+            }
+        }
+    }
+}
+
+#[test]
+fn checked_warm_sweeps_select_identically_to_cold_sweeps() {
+    let params = SelectParams::default();
+    for ctx in &contexts() {
+        for sweeps in [1, 3] {
+            let warm: Vec<Selection> =
+                solve_comparesets_plus_checked(ctx, &params, sweeps, &SolveOptions::default())
+                    .unwrap()
+                    .into_iter()
+                    .map(|r| r.unwrap())
+                    .collect();
+            let coldsel: Vec<Selection> =
+                solve_comparesets_plus_checked(ctx, &params, sweeps, &cold())
+                    .unwrap()
+                    .into_iter()
+                    .map(|r| r.unwrap())
+                    .collect();
+            assert_eq!(warm, coldsel, "checked sweeps={sweeps} drifted");
+        }
+    }
+}
+
+#[test]
+fn pooled_parallel_fanout_matches_sequential_exactly() {
+    // The rayon fan-outs now borrow thread-local pooled workspaces; the
+    // pooling must be invisible in the results of every batch solver.
+    let params = SelectParams::default();
+    for ctx in &contexts() {
+        let seq = SolveOptions::sequential();
+        let par = SolveOptions::with_threads(2);
+        assert_eq!(
+            solve_comparesets_with(ctx, &params, &seq),
+            solve_comparesets_with(ctx, &params, &par),
+        );
+        assert_eq!(solve_crs_with(ctx, 3, &seq), solve_crs_with(ctx, 3, &par));
+    }
+}
+
+#[test]
+fn incremental_session_with_warm_starts_matches_cold_session() {
+    let ctx = contexts().into_iter().next().unwrap();
+    let params = SelectParams::default();
+    let mut warm = IncrementalSession::with_options(ctx.clone(), params, SolveOptions::default());
+    let mut coldsess = IncrementalSession::with_options(ctx, params, cold());
+    assert_eq!(warm.selections(), coldsess.selections());
+
+    for k in 0..6u32 {
+        let item = (k % 3) as usize;
+        let id = ReviewId(800_000 + k);
+        let pol = if k % 2 == 0 {
+            Polarity::Positive
+        } else {
+            Polarity::Negative
+        };
+        let feature = ReviewFeature::new(vec![((k % 4) as usize, pol)]);
+        warm.add_review(item, id, feature.clone());
+        coldsess.add_review(item, id, feature);
+        assert_eq!(
+            warm.selections(),
+            coldsess.selections(),
+            "selections drifted after ingest #{k}"
+        );
+    }
+
+    warm.refresh();
+    coldsess.refresh();
+    assert_eq!(warm.selections(), coldsess.selections());
+}
+
+#[test]
+fn warm_counters_fire_on_multi_sweep_solves_and_identities_hold() {
+    let params = SelectParams::default();
+    let metrics = Arc::new(SolverMetrics::new());
+    let opts = SolveOptions::default().with_metrics(Arc::clone(&metrics));
+    for ctx in &contexts() {
+        solve_comparesets_plus_sweeps_with(ctx, &params, 4, &opts);
+    }
+    let snap = metrics.snapshot();
+    assert!(
+        snap.warm_start_hits > 0,
+        "multi-sweep alternation never reused a warm trajectory"
+    );
+    assert!(
+        snap.corr_incremental_updates > 0,
+        "warm pursuits never downdated the correlation vector"
+    );
+    assert_eq!(
+        snap.nnls_refits,
+        snap.nomp_iterations - snap.warm_start_hits
+    );
+    assert_eq!(snap.nomp_pursuits, snap.integer_regressions);
+    assert!(snap.gram_cache_hits <= snap.nnls_refits);
+}
+
+#[test]
+fn cold_solves_never_touch_the_warm_counters() {
+    let params = SelectParams::default();
+    let metrics = Arc::new(SolverMetrics::new());
+    let opts = cold().with_metrics(Arc::clone(&metrics));
+    for ctx in &contexts() {
+        solve_comparesets_plus_sweeps_with(ctx, &params, 3, &opts);
+    }
+    let snap = metrics.snapshot();
+    assert_eq!(snap.warm_start_hits, 0);
+    assert_eq!(snap.warm_start_truncations, 0);
+    assert_eq!(snap.corr_incremental_updates, 0);
+    assert_eq!(snap.corr_exact_recomputes, 0);
+    assert_eq!(snap.nnls_refits, snap.nomp_iterations);
+}

@@ -29,7 +29,19 @@
 //!
 //! Scratch buffers (residual, correlations, the cached Gram) live in a
 //! reusable [`NompWorkspace`] so solvers that run many pursuits (one per
-//! item per sweep in CompaReSetS+) allocate once per task.
+//! item per sweep in CompaReSetS+) allocate once per task;
+//! [`with_pooled_workspace`] keeps one per rayon worker thread so parallel
+//! fan-outs stop allocating a fresh workspace per item.
+//!
+//! A third optimisation targets *re-solves of the same design matrix*
+//! (Algorithm 1's alternating sweeps change only the `μφ(S_j)` blocks of
+//! the target between rounds): [`nomp_path_warm`] carries a [`WarmState`]
+//! across calls, replaying the previous pursuit's trajectory atom-by-atom
+//! with validation — each cached atom must still be the argmax under the
+//! new target, and a cached refit is reused only when its inputs match
+//! bit-for-bit — and maintaining the correlation vector `Aᵀr` by Gram
+//! downdates (`c ← c − Δη·G[:,j]`) instead of a full matrix scan per
+//! iteration, with periodic exact recomputes bounding drift.
 //!
 //! ```
 //! use comparesets_linalg::{nomp, nomp_path, Matrix, NompOptions};
@@ -57,7 +69,7 @@ use crate::matrix::Matrix;
 use crate::nnls::{nnls_capped, nnls_gram_capped_ctl};
 use crate::sparse::DesignMatrix;
 use crate::vector;
-use comparesets_obs::{SolveCtl, SolverMetrics};
+use comparesets_obs::{CancelToken, SolveCtl, SolverMetrics};
 
 /// Tuning knobs for [`nomp`].
 #[derive(Debug, Clone, Copy)]
@@ -478,6 +490,581 @@ fn pursuit<M: DesignMatrix>(
     Ok(results)
 }
 
+/// Iterations between exact `Aᵀr` recomputes in the warm engine: the
+/// downdated correlations accumulate one rounding's worth of drift per
+/// refit, so a short period keeps them within a few ulps of exact.
+const CORR_RECOMPUTE_PERIOD: u64 = 8;
+
+/// Relative residual floor (vs `‖b‖²`) below which the warm engine always
+/// recomputes `Aᵀr` exactly: near a perfect fit the correlations are tiny
+/// differences of large downdates, where absolute drift dominates the
+/// signal and could mis-rank the argmax.
+const CORR_SAFETY_FLOOR: f64 = 1e-12;
+
+/// Cache key for the tolerances a cached trajectory was produced under.
+fn opts_key(opts: NompOptions) -> (usize, u64, u64) {
+    (
+        opts.max_atoms,
+        opts.min_relative_improvement.to_bits(),
+        opts.residual_tolerance.to_bits(),
+    )
+}
+
+/// One recorded iteration of a completed pursuit: which atom entered, the
+/// exact `Aᵀb` restriction its refit saw (support order, entering atom
+/// last), and the refit's output. Replay reuses `x_sub` only when a fresh
+/// run reproduces `atb` bit-for-bit — NNLS is deterministic, so identical
+/// inputs make the cached output exact, not approximate.
+#[derive(Debug, Clone)]
+struct WarmStep {
+    entered: usize,
+    atb: Vec<f64>,
+    x_sub: Vec<f64>,
+}
+
+/// Cross-call cache for [`nomp_path_warm`]: the previous completed
+/// pursuit's trajectory and path for one design matrix, plus lazily
+/// filled full Gram columns shared by replay validation and the
+/// incremental correlation downdates.
+///
+/// A state is self-validating against the matrix it is handed: every call
+/// recomputes the column norms (the same pass the cold engine makes) and
+/// a bitwise mismatch against the cached norms — or a shape change —
+/// conservatively drops every matrix-derived cache. Reusing one state
+/// across *different* matrices that collide on shape and column norms is
+/// a caller contract violation; the intended use is one state per item
+/// across the alternating sweeps of CompaReSetS+, where the design matrix
+/// is identical between rounds and only the target changes.
+#[derive(Debug, Clone, Default)]
+pub struct WarmState {
+    /// `(rows, cols)` the caches below describe; `None` = empty state.
+    shape: Option<(usize, usize)>,
+    /// [`opts_key`] of the cached trajectory.
+    opts: (usize, u64, u64),
+    /// Column norms of the cached matrix, compared bitwise each call.
+    col_norms: Vec<f64>,
+    /// Lazily cached full Gram columns `G[:,j] = AᵀA eⱼ`, filled the
+    /// first time atom `j` enters a pursuit and reused across calls.
+    gram_cols: Vec<Option<Box<[f64]>>>,
+    /// Target of the cached trajectory.
+    target: Vec<f64>,
+    /// Per-iteration trajectory of the cached (completed) pursuit.
+    steps: Vec<WarmStep>,
+    /// The cached full budget path.
+    path: Vec<NompResult>,
+    /// Whether `target`/`steps`/`path` describe a completed pursuit.
+    trajectory: bool,
+    /// Scratch: incrementally maintained correlations (within one call).
+    corr: Vec<f64>,
+    /// Scratch: previous dense `x`, for the `Δx` downdates.
+    x_prev: Vec<f64>,
+}
+
+impl WarmState {
+    /// An empty state; caches fill on first use.
+    pub fn new() -> Self {
+        WarmState::default()
+    }
+
+    /// Drop every cache. Call when the design matrix the state was warmed
+    /// on may have changed in ways the self-validation should not be
+    /// trusted to catch (e.g. an incremental session mutated the item).
+    pub fn invalidate(&mut self) {
+        self.shape = None;
+        self.col_norms.clear();
+        self.gram_cols.clear();
+        self.target.clear();
+        self.steps.clear();
+        self.path.clear();
+        self.trajectory = false;
+    }
+
+    /// Would [`nomp_path_warm`] on `(b, opts)` take the full-reuse fast
+    /// path? True when a completed trajectory is cached under the same
+    /// options and a bit-equal target. The caller asserts the design
+    /// matrix is unchanged — this query skips the norm validation the
+    /// engine itself performs, so higher layers can skip *their own*
+    /// recomputation (rounding, candidate evaluation) too.
+    pub fn full_reuse_ready(&self, b: &[f64], opts: NompOptions) -> bool {
+        self.trajectory && self.opts == opts_key(opts) && self.target == b
+    }
+
+    /// Count a full-reuse answered above the engine into `metrics`,
+    /// exactly as the engine's own fast path would: one pursuit, every
+    /// cached iteration as a warm-start hit, every path entry as a
+    /// snapshot, and no refits.
+    pub fn record_full_reuse(&self, metrics: Option<&SolverMetrics>) {
+        if let Some(mm) = metrics {
+            SolverMetrics::incr(&mm.nomp_pursuits);
+            SolverMetrics::add(&mm.nomp_iterations, self.steps.len() as u64);
+            SolverMetrics::add(&mm.warm_start_hits, self.steps.len() as u64);
+            SolverMetrics::add(&mm.path_snapshots, self.path.len() as u64);
+        }
+    }
+}
+
+/// [`nomp_path_ctl`] with a [`WarmState`] carried across calls against the
+/// same design matrix.
+///
+/// Three levels of reuse, each validated rather than assumed:
+///
+/// 1. **Full-target reuse.** If the cached trajectory was completed under
+///    the same options and a bit-equal target (and the matrix validates),
+///    the cached path *is* this call's answer — a deterministic engine
+///    re-run on identical inputs — and is returned without iterating.
+/// 2. **Validated replay.** Otherwise the pursuit runs, but each cached
+///    atom is checked against the live argmax; while they agree and the
+///    refit's `Aᵀb` inputs match the cached step bit-for-bit, the cached
+///    refit output is reused (NNLS on identical inputs is deterministic).
+///    The first mismatch truncates the replay — counted once in
+///    `warm_start_truncations` — and the pursuit continues cold.
+/// 3. **Incremental correlations.** Executed iterations maintain `Aᵀr`
+///    by Gram downdates (`c ← c − Δx_j·G[:,j]`) instead of a full
+///    `O(nnz)` scan. Downdated values drift from the exact `Aᵀr` in the
+///    low-order bits, so the engine carries a conservative absolute
+///    error bound alongside them: an argmax is only accepted when its
+///    winner beats both the runner-up and the zero stopping threshold
+///    by more than twice the bound (normalised by the smallest positive
+///    column norm) — otherwise the correlations collapse to an exact
+///    recompute and the scan reruns on cold-identical floats. Combined
+///    with the periodic refresh every [`CORR_RECOMPUTE_PERIOD`]
+///    iterations and the near-floor safety recompute, every atom choice
+///    is provably the cold engine's choice, not just probably
+///    (additionally pinned by `warm_engine_matches_cold_engine_exactly`
+///    and the full-scale eval regeneration).
+///
+/// A cancelled pursuit never populates the trajectory cache: its path is
+/// a truncated anytime state, not a completed answer.
+///
+/// # Errors
+/// As [`nomp`].
+pub fn nomp_path_warm<M: DesignMatrix>(
+    a: &M,
+    b: &[f64],
+    opts: NompOptions,
+    ws: &mut NompWorkspace,
+    warm: &mut WarmState,
+    ctl: SolveCtl<'_>,
+) -> Result<Vec<NompResult>, LinalgError> {
+    let metrics = ctl.metrics;
+    let m = a.rows();
+    let n = a.cols();
+    if b.len() != m {
+        return Err(LinalgError::DimensionMismatch {
+            context: "nomp",
+            expected: m,
+            actual: b.len(),
+        });
+    }
+    if opts.max_atoms == 0 {
+        return Err(LinalgError::InvalidArgument("nomp: max_atoms must be > 0"));
+    }
+    if !vector::all_finite(b) {
+        return Err(LinalgError::NonFinite {
+            context: "nomp rhs",
+        });
+    }
+
+    if let Some(mm) = metrics {
+        SolverMetrics::incr(&mm.nomp_pursuits);
+    }
+    let pursuit_start = metrics.map(|_| std::time::Instant::now());
+    let span = tracing::trace_span!("nomp_pursuit", rows = m, cols = n, l_max = opts.max_atoms);
+    let _span_guard = span.enter();
+
+    ws.reset(m, n);
+
+    // Same norm pass as the cold engine (doubles as the finiteness scan of
+    // the design matrix) — and the warm state's validation gate: a bitwise
+    // mismatch against the cached norms means the matrix changed, which
+    // conservatively drops every matrix-derived cache.
+    for j in 0..n {
+        a.column_into(j, &mut ws.col_buf);
+        ws.col_norms[j] = vector::norm2(&ws.col_buf);
+    }
+    if !vector::all_finite(&ws.col_norms) {
+        return Err(LinalgError::NonFinite {
+            context: "nomp design matrix",
+        });
+    }
+    if warm.shape != Some((m, n)) || warm.col_norms != ws.col_norms {
+        warm.shape = Some((m, n));
+        warm.col_norms.clear();
+        warm.col_norms.extend_from_slice(&ws.col_norms);
+        warm.gram_cols.clear();
+        warm.gram_cols.resize(n, None);
+        warm.trajectory = false;
+    }
+    if warm.opts != opts_key(opts) {
+        warm.opts = opts_key(opts);
+        warm.trajectory = false;
+    }
+
+    // Level 1: full-target reuse.
+    if warm.trajectory && warm.target == b {
+        if let Some(mm) = metrics {
+            SolverMetrics::add(&mm.nomp_iterations, warm.steps.len() as u64);
+            SolverMetrics::add(&mm.warm_start_hits, warm.steps.len() as u64);
+            SolverMetrics::add(&mm.path_snapshots, warm.path.len() as u64);
+        }
+        let out = warm.path.clone();
+        if let (Some(mm), Some(t)) = (metrics, pursuit_start) {
+            SolverMetrics::add_time(&mm.pursuit_nanos, t.elapsed());
+        }
+        return Ok(out);
+    }
+
+    ws.residual.copy_from_slice(b);
+    let mut sq_res = vector::dot(&ws.residual, &ws.residual);
+    let sq_b = sq_res;
+
+    // Exact correlations at pursuit start; downdated thereafter.
+    warm.corr = a.tr_matvec(&ws.residual)?;
+    warm.x_prev.clear();
+    warm.x_prev.resize(n, 0.0);
+
+    // Replay cursor into the cached trajectory; `None` once truncated (or
+    // when no trajectory is cached / the cached one is exhausted).
+    let mut replay: Option<usize> = warm.trajectory.then_some(0);
+    let mut new_steps: Vec<WarmStep> = Vec::new();
+    let mut cancelled = false;
+    let mut since_exact: u64 = 0;
+    // Absolute error bound on the downdated correlations versus the exact
+    // `Aᵀr`; zero right after any exact recompute. The argmax below only
+    // trusts the downdated values when the decision margin exceeds this
+    // bound — that is what pins warm atom choices bitwise to cold ones.
+    let mut corr_err: f64 = 0.0;
+    let norm_min = ws
+        .col_norms
+        .iter()
+        .copied()
+        .filter(|&v| v > 0.0)
+        .fold(f64::INFINITY, f64::min);
+    let norm_max = ws.col_norms.iter().copied().fold(0.0_f64, f64::max);
+
+    let mut results: Vec<NompResult> = Vec::with_capacity(opts.max_atoms);
+
+    loop {
+        // Budget checkpoints, identical to the cold engine.
+        while results.len() < opts.max_atoms {
+            let l = results.len() + 1;
+            if ws.support.len() >= l.min(n) || sq_res <= opts.residual_tolerance {
+                if let Some(mm) = metrics {
+                    SolverMetrics::incr(&mm.path_snapshots);
+                }
+                results.push(ws.snapshot(sq_res));
+            } else {
+                break;
+            }
+        }
+        if results.len() == opts.max_atoms {
+            break;
+        }
+
+        if ctl.is_cancelled() {
+            cancelled = true;
+            break;
+        }
+
+        // Argmax over the incrementally maintained correlations. The
+        // decision is accepted only when it is *provably* the cold
+        // engine's decision: each downdated entry is within `corr_err` of
+        // the exact `Aᵀr` entry, so a winner that clears the runner-up
+        // and the zero stopping threshold by more than `2·corr_err /
+        // norm_min` wins under the exact values too (the cold argmax
+        // breaks ties towards the lower index with a strict `>`, and a
+        // super-margin winner never ties). Anything closer collapses to
+        // an exact recompute and a rescan on cold-identical floats.
+        let mut best_j = None;
+        for _attempt in 0..2 {
+            best_j = None;
+            let mut best_c = 0.0_f64;
+            let mut runner_c = 0.0_f64;
+            for (j, &cj) in warm.corr.iter().enumerate() {
+                if ws.in_support[j] || ws.col_norms[j] == 0.0 {
+                    continue;
+                }
+                let c = cj / ws.col_norms[j];
+                if c > best_c {
+                    runner_c = best_c;
+                    best_c = c;
+                    best_j = Some(j);
+                } else if c > runner_c {
+                    runner_c = c;
+                }
+            }
+            let margin = 2.0 * corr_err / norm_min;
+            let decisive = corr_err == 0.0
+                || (best_j.is_some() && best_c - runner_c > margin && best_c > margin);
+            if decisive {
+                break;
+            }
+            warm.corr = a.tr_matvec(&ws.residual)?;
+            corr_err = 0.0;
+            since_exact = 0;
+            if let Some(mm) = metrics {
+                SolverMetrics::incr(&mm.corr_exact_recomputes);
+            }
+        }
+        let Some(j_star) = best_j else {
+            break;
+        };
+
+        // Replay validation: the cached atom must still be the argmax.
+        if let Some(k) = replay {
+            match warm.steps.get(k) {
+                Some(step) if step.entered == j_star => {}
+                Some(_) => {
+                    replay = None;
+                    if let Some(mm) = metrics {
+                        SolverMetrics::incr(&mm.warm_start_truncations);
+                    }
+                }
+                // Cached trajectory exhausted without disagreeing: the
+                // prefix fully matched, there is just nothing left to
+                // replay — not a truncation.
+                None => replay = None,
+            }
+        }
+
+        if let Some(mm) = metrics {
+            SolverMetrics::incr(&mm.nomp_iterations);
+        }
+
+        // Enter j_star. The full Gram column serves both the refit row
+        // extension and the later downdates; fill it once per atom and
+        // keep it across calls.
+        if warm.gram_cols[j_star].is_none() {
+            let g: Vec<f64> = (0..n).map(|k| a.column_dot(k, j_star)).collect();
+            warm.gram_cols[j_star] = Some(g.into_boxed_slice());
+        }
+        if let Some(gcol) = warm.gram_cols[j_star].as_deref() {
+            for (row, &k) in ws.gram_rows.iter_mut().zip(ws.support.iter()) {
+                row.push(gcol[k]);
+            }
+            let mut new_row: Vec<f64> = ws.support.iter().map(|&k| gcol[k]).collect();
+            new_row.push(gcol[j_star]);
+            ws.gram_rows.push(new_row);
+        }
+        ws.atb.push(a.column_dot_vec(j_star, b));
+        ws.support.push(j_star);
+        ws.in_support[j_star] = true;
+        // Snapshot the refit inputs before pruning compacts them — this is
+        // what the next call's replay compares against.
+        let step_atb = ws.atb.clone();
+
+        // Refit — memoized when the cached step's inputs match exactly.
+        let mut cached_x: Option<Vec<f64>> = None;
+        if let Some(k) = replay {
+            if let Some(step) = warm.steps.get(k) {
+                if step.atb == ws.atb {
+                    cached_x = Some(step.x_sub.clone());
+                } else {
+                    replay = None;
+                    if let Some(mm) = metrics {
+                        SolverMetrics::incr(&mm.warm_start_truncations);
+                    }
+                }
+            }
+        }
+        let x_sub = match cached_x {
+            Some(x) => {
+                if let Some(mm) = metrics {
+                    SolverMetrics::incr(&mm.warm_start_hits);
+                }
+                replay = replay.map(|k| k + 1);
+                x
+            }
+            None => {
+                if let Some(mm) = metrics {
+                    if ws.support.len() > 1 {
+                        SolverMetrics::incr(&mm.gram_cache_hits);
+                    }
+                }
+                let g = Matrix::from_rows(&ws.gram_rows)?;
+                let refit_start = metrics.map(|_| std::time::Instant::now());
+                let (x_sub, refit_diag) = nnls_gram_capped_ctl(&g, &ws.atb, ctl)?;
+                if let Some(mm) = metrics {
+                    if let Some(t) = refit_start {
+                        SolverMetrics::add_time(&mm.refit_nanos, t.elapsed());
+                    }
+                    SolverMetrics::incr(&mm.nnls_refits);
+                    SolverMetrics::add(&mm.nnls_iterations, refit_diag.iterations as u64);
+                    if !refit_diag.converged {
+                        SolverMetrics::incr(&mm.nnls_cap_hits);
+                        tracing::warn!(
+                            "nnls refit hit its iteration cap after {} outer iterations",
+                            refit_diag.iterations
+                        );
+                    }
+                }
+                x_sub
+            }
+        };
+
+        // Prune and compact, identical to the cold engine.
+        let entering_pos = ws.support.len() - 1;
+        let pruned_entering = x_sub[entering_pos] <= 0.0;
+        let mut kept_pos: Vec<usize> = Vec::with_capacity(ws.support.len());
+        for (pos, v) in x_sub.iter().enumerate() {
+            if *v > 0.0 {
+                kept_pos.push(pos);
+            } else {
+                ws.in_support[ws.support[pos]] = false;
+            }
+        }
+        ws.x.iter_mut().for_each(|v| *v = 0.0);
+        for (v, &j) in x_sub.iter().zip(ws.support.iter()) {
+            if *v > 0.0 {
+                ws.x[j] = *v;
+            }
+        }
+        if kept_pos.len() < ws.support.len() {
+            ws.support = kept_pos.iter().map(|&p| ws.support[p]).collect();
+            ws.atb = kept_pos.iter().map(|&p| ws.atb[p]).collect();
+            ws.gram_rows = kept_pos
+                .iter()
+                .map(|&p| kept_pos.iter().map(|&q| ws.gram_rows[p][q]).collect())
+                .collect();
+        }
+        new_steps.push(WarmStep {
+            entered: j_star,
+            atb: step_atb,
+            x_sub,
+        });
+
+        // Residual update, identical to the cold engine — the stopping
+        // decisions below see exactly the floats a cold run would.
+        ws.residual.copy_from_slice(b);
+        let ax = a.matvec(&ws.x)?;
+        for (r, v) in ws.residual.iter_mut().zip(ax.iter()) {
+            *r -= v;
+        }
+        let new_sq = vector::dot(&ws.residual, &ws.residual);
+
+        // Correlation maintenance: downdate `c ← c − Δx_j·G[:,j]` over the
+        // atoms whose coefficient changed, with exact recomputes bounding
+        // drift (periodic, plus the near-perfect-fit safety floor where
+        // the downdated values would be cancellation-dominated).
+        since_exact += 1;
+        let near_floor =
+            new_sq <= CORR_SAFETY_FLOOR * sq_b.max(1e-30) || new_sq <= opts.residual_tolerance;
+        if since_exact >= CORR_RECOMPUTE_PERIOD || near_floor {
+            warm.corr = a.tr_matvec(&ws.residual)?;
+            since_exact = 0;
+            corr_err = 0.0;
+            if let Some(mm) = metrics {
+                SolverMetrics::incr(&mm.corr_exact_recomputes);
+            }
+        } else {
+            let mut updates = 0u64;
+            for j in 0..n {
+                let dx = ws.x[j] - warm.x_prev[j];
+                if dx == 0.0 {
+                    continue;
+                }
+                // Every atom with a coefficient entered some pursuit on
+                // this matrix, so its Gram column is cached.
+                if let Some(gcol) = warm.gram_cols[j].as_deref() {
+                    let mut gmax = 0.0_f64;
+                    let mut cmax = 0.0_f64;
+                    for (cv, &g) in warm.corr.iter_mut().zip(gcol.iter()) {
+                        *cv -= dx * g;
+                        gmax = gmax.max(g.abs());
+                        cmax = cmax.max(cv.abs());
+                    }
+                    // Per-entry rounding of `fl(c − fl(dx·g))`: one ulp
+                    // of the product plus one of the difference, bounded
+                    // by `ε·(|dx|·max|G[:,j]| + max|c|)` with a 2×
+                    // safety factor. The downdate is also one exact
+                    // mathematical identity away from `Aᵀr`, so no model
+                    // error enters — only these roundings.
+                    corr_err += 2.0 * f64::EPSILON * (dx.abs() * gmax + cmax);
+                    updates += 1;
+                }
+            }
+            if let Some(mm) = metrics {
+                SolverMetrics::add(&mm.corr_incremental_updates, updates);
+            }
+            // The cold engine recomputes `Aᵀr` from a freshly rounded
+            // residual each iteration, so beyond the downdate roundings
+            // above the drift also covers (a) the two residual vectors'
+            // own rounding (`r = fl(b − fl(Ax))` at both ends of the
+            // downdate identity) projected through any column, and (b)
+            // the summation rounding of the exact-path dot products.
+            // All are `O(ε·m·‖col‖·‖r‖)`-sized; a generous multiple is
+            // added per iteration (over-conservatism only costs an extra
+            // exact recompute on a near-tie, never correctness).
+            corr_err += f64::EPSILON
+                * (m as f64)
+                * norm_max
+                * (2.0 * sq_b.sqrt() + 2.0 * sq_res.sqrt() + 3.0 * new_sq.sqrt());
+        }
+        warm.x_prev.copy_from_slice(&ws.x);
+
+        let improved = sq_res - new_sq > opts.min_relative_improvement * sq_res.max(1e-30);
+        sq_res = new_sq;
+        if pruned_entering || !improved {
+            break;
+        }
+    }
+
+    while results.len() < opts.max_atoms {
+        if let Some(mm) = metrics {
+            SolverMetrics::incr(&mm.path_snapshots);
+        }
+        results.push(ws.snapshot(sq_res));
+    }
+
+    // Store the new trajectory — but never from a cancelled pursuit, whose
+    // path is a truncated anytime state rather than a completed answer.
+    // The non-consuming peek also catches a token that fired *inside* an
+    // NNLS refit (degrading that refit's fit) without reaching the
+    // pursuit-level poll again before the loop ended.
+    let cancelled = cancelled || ctl.cancel.is_some_and(CancelToken::fired);
+    if cancelled {
+        warm.trajectory = false;
+        warm.target.clear();
+        warm.steps.clear();
+        warm.path.clear();
+    } else {
+        warm.trajectory = true;
+        warm.target.clear();
+        warm.target.extend_from_slice(b);
+        warm.steps = new_steps;
+        warm.path = results.clone();
+    }
+
+    if let (Some(mm), Some(t)) = (metrics, pursuit_start) {
+        SolverMetrics::add_time(&mm.pursuit_nanos, t.elapsed());
+    }
+    Ok(results)
+}
+
+thread_local! {
+    static WORKSPACE_POOL: std::cell::RefCell<Vec<NompWorkspace>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Run `f` with a [`NompWorkspace`] drawn from a thread-local pool.
+///
+/// Parallel solvers fan one closure out per item; a fresh workspace per
+/// item would re-allocate the `O(rows + cols)` buffers every time (the
+/// overhead PERFORMANCE.md used to document). The pool keeps one warm
+/// workspace per worker thread — taken on entry, returned on exit — so
+/// reuse is as cheap as the sequential shared-workspace path while
+/// staying data-race-free without locks. Re-entrant calls simply draw a
+/// second workspace; a panic in `f` drops the drawn workspace, which is
+/// safe because workspaces carry no results between runs.
+pub fn with_pooled_workspace<R>(f: impl FnOnce(&mut NompWorkspace) -> R) -> R {
+    let mut ws = WORKSPACE_POOL
+        .with(|p| p.borrow_mut().pop())
+        .unwrap_or_default();
+    let out = f(&mut ws);
+    WORKSPACE_POOL.with(|p| p.borrow_mut().push(ws));
+    out
+}
+
 /// The straightforward NOMP implementation this crate shipped before the
 /// Gram-cached engine: per iteration it re-materialises the active
 /// submatrix and refits with design-space [`nnls`].
@@ -842,5 +1429,212 @@ mod tests {
             assert_eq!(path[l - 1].support, path[1].support);
             assert_eq!(path[l - 1].x, path[1].x);
         }
+    }
+
+    fn warm_path(
+        a: &Matrix,
+        b: &[f64],
+        l: usize,
+        ws: &mut NompWorkspace,
+        warm: &mut WarmState,
+    ) -> Vec<NompResult> {
+        nomp_path_warm(a, b, opts(l), ws, warm, SolveCtl::default()).unwrap()
+    }
+
+    fn assert_paths_bit_equal(lhs: &[NompResult], rhs: &[NompResult], what: &str) {
+        assert_eq!(lhs.len(), rhs.len(), "{what}: path lengths");
+        for (l, r) in lhs.iter().zip(rhs.iter()) {
+            assert_eq!(l.support, r.support, "{what}: support");
+            assert_eq!(l.x, r.x, "{what}: coefficients");
+            assert_eq!(
+                l.sq_residual.to_bits(),
+                r.sq_residual.to_bits(),
+                "{what}: residual"
+            );
+        }
+    }
+
+    #[test]
+    fn warm_engine_matches_cold_engine_exactly() {
+        // A fresh warm state (nothing to replay) exercises the incremental
+        // correlation kernel against the cold engine's full scans: the
+        // selections, coefficients, and residuals must be bit-identical.
+        for seed in 1..=10u64 {
+            let (a, b) = random_instance(14, 11, seed);
+            for l in [1, 3, 6] {
+                let cold = nomp_path(&a, &b, opts(l)).unwrap();
+                let warm = warm_path(&a, &b, l, &mut NompWorkspace::new(), &mut WarmState::new());
+                assert_paths_bit_equal(&cold, &warm, &format!("seed {seed} l {l}"));
+            }
+        }
+    }
+
+    #[test]
+    fn warm_engine_matches_reference_implementation() {
+        // Same equal-selection oracle the cold engine is held to.
+        for seed in 1..=10u64 {
+            let (a, b) = random_instance(14, 11, seed);
+            let mut ws = NompWorkspace::new();
+            let mut warm = WarmState::new();
+            for l in [1, 3, 5] {
+                let path = warm_path(&a, &b, l, &mut ws, &mut warm);
+                let slow = nomp_reference(&a, &b, opts(l)).unwrap();
+                assert_eq!(path[l - 1].support, slow.support, "seed {seed} l {l}");
+                for (xf, xs) in path[l - 1].x.iter().zip(slow.x.iter()) {
+                    assert!((xf - xs).abs() < 1e-10, "seed {seed} l {l}: {xf} vs {xs}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn full_target_reuse_is_bit_identical_and_skips_refits() {
+        let metrics = SolverMetrics::new();
+        let ctl = SolveCtl::metered(Some(&metrics));
+        let (a, b) = random_instance(12, 9, 5);
+        let mut ws = NompWorkspace::new();
+        let mut warm = WarmState::new();
+        let first = nomp_path_warm(&a, &b, opts(5), &mut ws, &mut warm, ctl).unwrap();
+        let after_first = metrics.snapshot();
+        assert!(warm.full_reuse_ready(&b, opts(5)));
+        assert!(!warm.full_reuse_ready(&b, opts(4)), "options are keyed");
+        let second = nomp_path_warm(&a, &b, opts(5), &mut ws, &mut warm, ctl).unwrap();
+        let snap = metrics.snapshot();
+        assert_paths_bit_equal(&first, &second, "full reuse");
+        assert_eq!(snap.nnls_refits, after_first.nnls_refits, "no refit ran");
+        assert_eq!(
+            snap.nomp_iterations - after_first.nomp_iterations,
+            snap.warm_start_hits - after_first.warm_start_hits,
+            "every reused iteration is a warm-start hit"
+        );
+        assert!(snap.warm_start_hits > 0);
+        assert_eq!(snap.warm_start_truncations, 0);
+        assert_eq!(
+            snap.nnls_refits,
+            snap.nomp_iterations - snap.warm_start_hits,
+            "corrected refit identity"
+        );
+    }
+
+    #[test]
+    fn warm_replay_under_changed_target_matches_cold_start() {
+        // Perturb the target between calls: the replay must validate its
+        // way to exactly the cold answer, whether the prefix survives or
+        // the first atom already disagrees.
+        for seed in 1..=8u64 {
+            let (a, b) = random_instance(13, 10, seed);
+            let mut ws = NompWorkspace::new();
+            let mut warm = WarmState::new();
+            let _ = warm_path(&a, &b, 5, &mut ws, &mut warm);
+            for (scale, shift) in [(1.0, 0.05), (1.0, -0.4), (-1.0, 0.0), (0.5, 0.01)] {
+                let b2: Vec<f64> = b
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| scale * v + if i % 3 == 0 { shift } else { 0.0 })
+                    .collect();
+                let cold = nomp_path(&a, &b2, opts(5)).unwrap();
+                let replayed = warm_path(&a, &b2, 5, &mut ws, &mut warm);
+                assert_paths_bit_equal(
+                    &cold,
+                    &replayed,
+                    &format!("seed {seed} scale {scale} shift {shift}"),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn warm_state_detects_a_changed_matrix() {
+        // Same shape, different matrix: the norm validation must drop the
+        // caches instead of replaying a stale trajectory.
+        let (a1, b) = random_instance(12, 9, 2);
+        let (a2, _) = random_instance(12, 9, 7);
+        let metrics = SolverMetrics::new();
+        let ctl = SolveCtl::metered(Some(&metrics));
+        let mut ws = NompWorkspace::new();
+        let mut warm = WarmState::new();
+        let _ = nomp_path_warm(&a1, &b, opts(4), &mut ws, &mut warm, ctl).unwrap();
+        let cold = nomp_path(&a2, &b, opts(4)).unwrap();
+        let switched = nomp_path_warm(&a2, &b, opts(4), &mut ws, &mut warm, ctl).unwrap();
+        assert_paths_bit_equal(&cold, &switched, "matrix switch");
+        // The stale trajectory was invalidated, not truncated mid-replay.
+        assert_eq!(metrics.snapshot().warm_start_truncations, 0);
+        // And differently-shaped problems reuse the same state safely.
+        let (a3, b3) = random_instance(7, 12, 3);
+        let cold3 = nomp_path(&a3, &b3, opts(4)).unwrap();
+        let warm3 =
+            nomp_path_warm(&a3, &b3, opts(4), &mut ws, &mut warm, SolveCtl::default()).unwrap();
+        assert_paths_bit_equal(&cold3, &warm3, "shape switch");
+    }
+
+    #[test]
+    fn cancelled_pursuit_never_populates_the_trajectory_cache() {
+        use comparesets_obs::CancelToken;
+        let (a, b) = random_instance(12, 9, 4);
+        let mut ws = NompWorkspace::new();
+        let mut warm = WarmState::new();
+        // Fire after one poll: the pursuit stops with a truncated path.
+        let token = CancelToken::cancel_after(1);
+        let ctl = SolveCtl::new(None, Some(&token));
+        let truncated = nomp_path_warm(&a, &b, opts(5), &mut ws, &mut warm, ctl).unwrap();
+        assert!(!warm.full_reuse_ready(&b, opts(5)));
+        // The next (uncancelled) call must compute the real answer, not
+        // echo the truncated state.
+        let full = warm_path(&a, &b, 5, &mut ws, &mut warm);
+        let cold = nomp_path(&a, &b, opts(5)).unwrap();
+        assert_paths_bit_equal(&cold, &full, "after cancelled warm-up");
+        assert!(truncated[4].support.len() <= full[4].support.len());
+    }
+
+    #[test]
+    fn warm_engine_errors_match_cold_engine() {
+        let mut bad = Matrix::identity(2);
+        bad[(0, 0)] = f64::NAN;
+        let mut ws = NompWorkspace::new();
+        let mut warm = WarmState::new();
+        for (matrix, rhs, l) in [
+            (&bad, &[1.0, 1.0][..], 1),
+            (&Matrix::identity(2), &[1.0, f64::NAN][..], 1),
+        ] {
+            let r = nomp_path_warm(
+                matrix,
+                rhs,
+                opts(l),
+                &mut ws,
+                &mut warm,
+                SolveCtl::default(),
+            );
+            assert!(matches!(r, Err(LinalgError::NonFinite { .. })));
+        }
+        let a = Matrix::identity(2);
+        assert!(
+            nomp_path_warm(&a, &[1.0], opts(1), &mut ws, &mut warm, SolveCtl::default()).is_err()
+        );
+        assert!(nomp_path_warm(
+            &a,
+            &[1.0, 1.0],
+            opts(0),
+            &mut ws,
+            &mut warm,
+            SolveCtl::default()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn pooled_workspace_matches_fresh_and_nests() {
+        let (a, b) = random_instance(10, 8, 6);
+        let fresh = nomp_path(&a, &b, opts(4)).unwrap();
+        let pooled = with_pooled_workspace(|ws| {
+            // Re-entrant draw: the inner call gets its own workspace.
+            let inner = with_pooled_workspace(|ws2| nomp_path_with(&a, &b, opts(4), ws2).unwrap());
+            let outer = nomp_path_with(&a, &b, opts(4), ws).unwrap();
+            assert_paths_bit_equal(&inner, &outer, "nested pool draws");
+            outer
+        });
+        assert_paths_bit_equal(&fresh, &pooled, "pooled vs fresh");
+        // Second borrow from the (now warm) pool still resets state.
+        let again = with_pooled_workspace(|ws| nomp_path_with(&a, &b, opts(4), ws).unwrap());
+        assert_paths_bit_equal(&fresh, &again, "pool reuse");
     }
 }

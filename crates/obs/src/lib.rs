@@ -33,8 +33,11 @@ pub use cancel::{CancelToken, SolveCtl};
 /// layout changes so downstream tooling can detect drift.
 ///
 /// v2 added the preemption/ingestion counters `cancellation_checks`,
-/// `deadline_expirations`, and `io_retries`.
-pub const METRICS_SCHEMA: &str = "comparesets-metrics/v2";
+/// `deadline_expirations`, and `io_retries`. v3 added the warm-start and
+/// incremental-correlation counters `warm_start_hits`,
+/// `warm_start_truncations`, `corr_incremental_updates`, and
+/// `corr_exact_recomputes`.
+pub const METRICS_SCHEMA: &str = "comparesets-metrics/v3";
 
 /// Shared counter block for one logical run (a CLI command, an eval
 /// experiment, a test solve). Cheap to share via `Arc`; all updates are
@@ -78,6 +81,20 @@ pub struct SolverMetrics {
     pub deadline_expirations: AtomicU64,
     /// Transient ingestion I/O errors absorbed by the retrying reader.
     pub io_retries: AtomicU64,
+    /// Warm-start iterations served from a validated previous trajectory
+    /// (full-target reuse, or a replayed atom whose refit inputs matched
+    /// the cached refit bit-for-bit — no NNLS refit executed).
+    pub warm_start_hits: AtomicU64,
+    /// Warm-start replays abandoned at the first cached atom that was no
+    /// longer the argmax (or whose refit inputs changed); at most one per
+    /// pursuit — the pursuit continues cold from the truncation point.
+    pub warm_start_truncations: AtomicU64,
+    /// Correlation-vector columns updated by the Gram downdate
+    /// `c ← c − Δη·G[:,j]` instead of a full `Aᵀr` scan.
+    pub corr_incremental_updates: AtomicU64,
+    /// Exact `Aᵀr` recomputes bounding incremental-correlation drift
+    /// (periodic, plus a residual-floor safety trigger).
+    pub corr_exact_recomputes: AtomicU64,
 }
 
 impl SolverMetrics {
@@ -125,6 +142,10 @@ impl SolverMetrics {
             cancellation_checks: self.cancellation_checks.load(Ordering::Relaxed),
             deadline_expirations: self.deadline_expirations.load(Ordering::Relaxed),
             io_retries: self.io_retries.load(Ordering::Relaxed),
+            warm_start_hits: self.warm_start_hits.load(Ordering::Relaxed),
+            warm_start_truncations: self.warm_start_truncations.load(Ordering::Relaxed),
+            corr_incremental_updates: self.corr_incremental_updates.load(Ordering::Relaxed),
+            corr_exact_recomputes: self.corr_exact_recomputes.load(Ordering::Relaxed),
         }
     }
 }
@@ -155,6 +176,14 @@ pub struct MetricsSnapshot {
     pub deadline_expirations: u64,
     #[serde(default)]
     pub io_retries: u64,
+    #[serde(default)]
+    pub warm_start_hits: u64,
+    #[serde(default)]
+    pub warm_start_truncations: u64,
+    #[serde(default)]
+    pub corr_incremental_updates: u64,
+    #[serde(default)]
+    pub corr_exact_recomputes: u64,
 }
 
 impl MetricsSnapshot {

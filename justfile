@@ -1,7 +1,7 @@
 # Local equivalents of the CI gates (.github/workflows/ci.yml).
 
 # Run every CI gate in order.
-ci: fmt-check clippy build test doctest smoke resume-smoke
+ci: fmt-check clippy build test doctest smoke resume-smoke bench-smoke
 
 fmt:
     cargo fmt
@@ -38,10 +38,11 @@ smoke:
         --corpus "$tmp/corpus.json" --target 0 --m 3 \
         --trace debug --metrics-json "$tmp/metrics.json"
     test -s "$tmp/metrics.json"
-    grep -q 'comparesets-metrics/v2' "$tmp/metrics.json"
+    grep -q 'comparesets-metrics/v3' "$tmp/metrics.json"
     grep -q '"nomp_pursuits":' "$tmp/metrics.json"
     grep -q '"cancellation_checks":' "$tmp/metrics.json"
     grep -q '"io_retries":' "$tmp/metrics.json"
+    grep -q '"warm_start_hits":' "$tmp/metrics.json"
     echo "smoke ok: $(cat "$tmp/metrics.json")"
 
 # Deadline + resume smoke: start the suite with an unmeetable --timeout,
@@ -70,3 +71,10 @@ resume-smoke:
 # see PERFORMANCE.md).
 bench-baseline:
     cargo bench -p comparesets-bench --bench parallel_solver
+
+# One-sample, one-iteration run of every bench group: proves each bench
+# body executes end-to-end without paying measurement-grade runtimes.
+# COMPARESETS_BENCH_SMOKE also keeps the committed baseline
+# (BENCH_parallel_solver.json) untouched.
+bench-smoke:
+    COMPARESETS_BENCH_SMOKE=1 cargo bench -p comparesets-bench

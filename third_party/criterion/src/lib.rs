@@ -8,6 +8,11 @@
 //! pipeline: per sample it runs an adaptively chosen iteration count
 //! (targeting a few milliseconds), then reports the minimum, mean, and
 //! maximum per-iteration time across samples on stdout.
+//!
+//! When the `COMPARESETS_BENCH_SMOKE` environment variable is set, every
+//! benchmark runs exactly one sample of one iteration (no calibration
+//! pass): CI uses this to prove each bench body executes end-to-end
+//! without paying measurement-grade runtimes.
 
 #![warn(missing_docs)]
 
@@ -98,22 +103,28 @@ impl<'a> BenchmarkGroup<'a> {
     pub fn finish(&mut self) {}
 
     fn run(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) {
-        let mut per_iter: Vec<f64> = Vec::with_capacity(self.sample_size);
+        let smoke = std::env::var_os("COMPARESETS_BENCH_SMOKE").is_some();
+        let sample_size = if smoke { 1 } else { self.sample_size };
+        let mut per_iter: Vec<f64> = Vec::with_capacity(sample_size);
         let mut bencher = Bencher {
             iters: 1,
             elapsed: Duration::ZERO,
         };
-        // Calibration sample: find an iteration count that fills ~2 ms so
-        // short benchmarks aren't dominated by timer resolution.
-        f(&mut bencher);
-        let single = bencher.elapsed.as_secs_f64() / bencher.iters as f64;
-        let target = 2e-3;
-        let iters = if single > 0.0 {
-            ((target / single).ceil() as u64).clamp(1, 1_000_000)
+        let iters = if smoke {
+            1
         } else {
-            1_000_000
+            // Calibration sample: find an iteration count that fills ~2 ms
+            // so short benchmarks aren't dominated by timer resolution.
+            f(&mut bencher);
+            let single = bencher.elapsed.as_secs_f64() / bencher.iters as f64;
+            let target = 2e-3;
+            if single > 0.0 {
+                ((target / single).ceil() as u64).clamp(1, 1_000_000)
+            } else {
+                1_000_000
+            }
         };
-        for _ in 0..self.sample_size {
+        for _ in 0..sample_size {
             bencher.iters = iters;
             bencher.elapsed = Duration::ZERO;
             f(&mut bencher);
