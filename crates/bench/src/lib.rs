@@ -4,7 +4,7 @@
 
 pub mod schema;
 
-pub use schema::{BenchReport, Measurement};
+pub use schema::{BenchReport, Measurement, ServeBenchReport, ServeMeasurement};
 
 use comparesets_core::{InstanceContext, OpinionScheme};
 use comparesets_data::{CategoryPreset, Dataset};

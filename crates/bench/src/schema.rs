@@ -70,6 +70,77 @@ impl BenchReport {
     }
 }
 
+/// One serving workload: a client-concurrency level against a cold or
+/// warm server.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeMeasurement {
+    /// Workload path, e.g. `"serve/warm/clients8"`.
+    pub name: String,
+    /// Median request latency over all requests, in milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile request latency, in milliseconds.
+    pub p99_ms: f64,
+    /// Completed requests per second across all clients.
+    pub qps: f64,
+    /// Total requests the percentiles were computed over.
+    pub requests: usize,
+}
+
+/// The machine-readable report `benches/serve.rs` writes to
+/// `BENCH_serve.json` at the workspace root.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeBenchReport {
+    /// Bench target name (`"serve"`).
+    pub bench: String,
+    /// `std::thread::available_parallelism()` on the measuring machine.
+    pub threads_available: usize,
+    /// All measurements, in emission order.
+    pub measurements: Vec<ServeMeasurement>,
+}
+
+impl ServeBenchReport {
+    /// Structural validation: non-empty identity, unique workload names,
+    /// positive finite latencies with p50 <= p99, and positive QPS.
+    ///
+    /// # Errors
+    /// A readable description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.bench.is_empty() {
+            return Err("bench name is empty".to_string());
+        }
+        if self.threads_available == 0 {
+            return Err("threads_available must be at least 1".to_string());
+        }
+        if self.measurements.is_empty() {
+            return Err("report has no measurements".to_string());
+        }
+        let mut seen = std::collections::HashSet::new();
+        for m in &self.measurements {
+            if m.name.is_empty() {
+                return Err("a measurement has an empty name".to_string());
+            }
+            if !seen.insert(m.name.as_str()) {
+                return Err(format!("duplicate measurement name {:?}", m.name));
+            }
+            for (what, v) in [("p50_ms", m.p50_ms), ("p99_ms", m.p99_ms), ("qps", m.qps)] {
+                if !(v.is_finite() && v > 0.0) {
+                    return Err(format!("{}: {what} {v} is not positive and finite", m.name));
+                }
+            }
+            if m.p50_ms > m.p99_ms {
+                return Err(format!(
+                    "{}: p50 {} exceeds p99 {}",
+                    m.name, m.p50_ms, m.p99_ms
+                ));
+            }
+            if m.requests == 0 {
+                return Err(format!("{}: zero requests", m.name));
+            }
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -93,6 +164,58 @@ mod tests {
         let back: BenchReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back, report);
         assert!(back.validate().is_ok());
+    }
+
+    fn sample_serve_report() -> ServeBenchReport {
+        ServeBenchReport {
+            bench: "serve".to_string(),
+            threads_available: 4,
+            measurements: vec![ServeMeasurement {
+                name: "serve/warm/clients8".to_string(),
+                p50_ms: 0.4,
+                p99_ms: 2.1,
+                qps: 900.0,
+                requests: 256,
+            }],
+        }
+    }
+
+    #[test]
+    fn serve_report_round_trips_through_json() {
+        let report = sample_serve_report();
+        let json = serde_json::to_string(&report).unwrap();
+        let back: ServeBenchReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+        assert!(back.validate().is_ok());
+    }
+
+    #[test]
+    fn serve_validation_rejects_malformed_reports() {
+        let mut r = sample_serve_report();
+        r.measurements.clear();
+        assert!(r.validate().is_err());
+
+        let mut r = sample_serve_report();
+        r.measurements[0].p50_ms = 0.0;
+        assert!(r.validate().is_err());
+
+        let mut r = sample_serve_report();
+        r.measurements[0].p99_ms = f64::NAN;
+        assert!(r.validate().is_err());
+
+        // p50 above p99 is internally inconsistent.
+        let mut r = sample_serve_report();
+        r.measurements[0].p50_ms = 10.0;
+        assert!(r.validate().is_err());
+
+        let mut r = sample_serve_report();
+        r.measurements[0].requests = 0;
+        assert!(r.validate().is_err());
+
+        let mut r = sample_serve_report();
+        let dup = r.measurements[0].clone();
+        r.measurements.push(dup);
+        assert!(r.validate().is_err());
     }
 
     #[test]

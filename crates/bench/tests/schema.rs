@@ -4,7 +4,7 @@
 //! validation, and the solver-metrics report format used by the CLI's
 //! `--metrics-json` must round-trip under its schema tag.
 
-use comparesets_bench::BenchReport;
+use comparesets_bench::{BenchReport, ServeBenchReport};
 use comparesets_core::{MetricsReport, SolverMetrics};
 use std::path::Path;
 
@@ -63,6 +63,56 @@ fn committed_bench_baseline_matches_schema() {
 }
 
 #[test]
+fn committed_serve_baseline_matches_schema() {
+    let path = workspace_root().join("BENCH_serve.json");
+    let raw = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("reading {}: {e}", path.display()));
+    let report: ServeBenchReport = serde_json::from_str(&raw)
+        .unwrap_or_else(|e| panic!("{} does not match the schema: {e}", path.display()));
+    report
+        .validate()
+        .unwrap_or_else(|e| panic!("{} is malformed: {e}", path.display()));
+    assert_eq!(report.bench, "serve");
+    // Both server modes at every concurrency level the PR's acceptance
+    // criterion quotes.
+    let names: Vec<&str> = report
+        .measurements
+        .iter()
+        .map(|m| m.name.as_str())
+        .collect();
+    for mode in ["cold", "warm"] {
+        for clients in [1, 8, 64] {
+            let want = format!("serve/{mode}/clients{clients}");
+            assert!(
+                names.iter().any(|n| *n == want),
+                "missing {want}: {names:?}"
+            );
+        }
+    }
+    // The headline claim: the warm path is at least 5x faster than a cold
+    // solve at 8 concurrent clients. Guarded here so a regression in the
+    // session cache breaks the build instead of silently rotting the
+    // committed numbers.
+    let p50 = |name: &str| {
+        report
+            .measurements
+            .iter()
+            .find(|m| m.name == name)
+            .map(|m| m.p50_ms)
+            .unwrap_or_else(|| panic!("missing {name}"))
+    };
+    let cold = p50("serve/cold/clients8");
+    let warm = p50("serve/warm/clients8");
+    assert!(
+        warm * 5.0 <= cold,
+        "warm p50 {warm}ms is not >=5x faster than cold p50 {cold}ms"
+    );
+    let round_tripped: ServeBenchReport =
+        serde_json::from_str(&serde_json::to_string(&report).unwrap()).unwrap();
+    assert_eq!(round_tripped, report);
+}
+
+#[test]
 fn metrics_report_format_round_trips_under_its_schema_tag() {
     let collector = SolverMetrics::new();
     SolverMetrics::add(&collector.nomp_pursuits, 3);
@@ -109,11 +159,9 @@ fn metrics_schema_v2_carries_the_preemption_counters() {
 
 #[test]
 fn metrics_schema_v3_carries_the_warm_start_counters() {
-    // The schema tag was bumped to v3 when the warm-start and
-    // incremental-correlation counters landed; serialized reports carry
-    // all four, and both older tag generations still parse with the new
-    // fields defaulting to zero.
-    assert_eq!(comparesets_core::METRICS_SCHEMA, "comparesets-metrics/v3");
+    // The warm-start and incremental-correlation counters landed with the
+    // v3 tag; serialized reports carry all four, and older tag
+    // generations still parse with the new fields defaulting to zero.
     let collector = SolverMetrics::new();
     SolverMetrics::add(&collector.warm_start_hits, 11);
     SolverMetrics::incr(&collector.warm_start_truncations);
@@ -138,10 +186,50 @@ fn metrics_schema_v3_carries_the_warm_start_counters() {
         .replace(",\"corr_incremental_updates\":40", "")
         .replace(",\"corr_exact_recomputes\":5", "");
     for old_tag in ["comparesets-metrics/v2", "comparesets-metrics/v1"] {
-        let old = stripped.replace("comparesets-metrics/v3", old_tag);
+        let old = stripped.replace(comparesets_core::METRICS_SCHEMA, old_tag);
         let back: MetricsReport = serde_json::from_str(&old).unwrap();
         assert!(!back.schema_matches());
         assert_eq!(back.metrics.warm_start_hits, 0);
         assert_eq!(back.metrics.corr_exact_recomputes, 0);
     }
+}
+
+#[test]
+fn metrics_schema_v4_carries_the_serving_counters() {
+    // The serving daemon landed with the v4 tag; serialized reports carry
+    // the session-cache and admission counters, and v3-tagged reports
+    // (no serving fields) still parse with the fields defaulting to zero.
+    assert_eq!(comparesets_core::METRICS_SCHEMA, "comparesets-metrics/v4");
+    let collector = SolverMetrics::new();
+    SolverMetrics::add(&collector.serve_requests, 9);
+    SolverMetrics::add(&collector.serve_full_hits, 4);
+    SolverMetrics::add(&collector.serve_warm_hits, 3);
+    SolverMetrics::add(&collector.serve_cache_misses, 2);
+    SolverMetrics::incr(&collector.serve_cache_evictions);
+    SolverMetrics::incr(&collector.serve_degraded);
+    let report = MetricsReport::new("serve", std::time::Duration::from_millis(3), &collector);
+    assert!(report.schema_matches());
+    let json = serde_json::to_string(&report).unwrap();
+    for field in [
+        ",\"serve_requests\":9",
+        ",\"serve_full_hits\":4",
+        ",\"serve_warm_hits\":3",
+        ",\"serve_cache_misses\":2",
+        ",\"serve_cache_evictions\":1",
+        ",\"serve_degraded\":1",
+    ] {
+        assert!(json.contains(field), "{field} missing from {json}");
+    }
+    let stripped = json
+        .replace(",\"serve_requests\":9", "")
+        .replace(",\"serve_full_hits\":4", "")
+        .replace(",\"serve_warm_hits\":3", "")
+        .replace(",\"serve_cache_misses\":2", "")
+        .replace(",\"serve_cache_evictions\":1", "")
+        .replace(",\"serve_degraded\":1", "")
+        .replace(comparesets_core::METRICS_SCHEMA, "comparesets-metrics/v3");
+    let back: MetricsReport = serde_json::from_str(&stripped).unwrap();
+    assert!(!back.schema_matches());
+    assert_eq!(back.metrics.serve_requests, 0);
+    assert_eq!(back.metrics.serve_degraded, 0);
 }

@@ -42,6 +42,12 @@ commands:
                   [--checkpoint-dir DIR] [--resume true]
                   run the reproduction suite; the deterministic report (no
                   wall-clock lines) is written atomically to --out
+  serve           --corpus FILE[,FILE...] [--addr HOST:PORT] [--workers N]
+                  [--cache-capacity N] [--request-timeout SECS]
+                  [--overload-timeout-ms N] [--max-requests N]
+                  persistent solve server (shard name = corpus file stem);
+                  prints \"serving on HOST:PORT\" once bound, runs until a
+                  shutdown request (or --max-requests), then exits 0
   help            print this text
 
 long-run flags (select, narrow, eval):
@@ -94,6 +100,7 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
         "select" => cmd_select(&args, metrics.clone()),
         "narrow" => cmd_narrow(&args, metrics.clone()),
         "eval" => cmd_eval(&args, metrics.clone()),
+        "serve" => cmd_serve(&args, metrics.clone()),
         other => Err(CliError::usage(format!("unknown command {other:?}"))),
     };
     if result.is_ok() {
@@ -472,6 +479,67 @@ fn cmd_narrow(args: &Args, metrics: Option<Arc<SolverMetrics>>) -> Result<String
         ));
     }
     Ok(out)
+}
+
+/// Run the persistent solve server (ARCHITECTURE.md §10). Loads every
+/// `--corpus` file as a shard named after its file stem, binds, announces
+/// the resolved address on stdout (orchestration and the `serve-smoke`
+/// recipe parse that line to find an ephemeral port), and serves until a
+/// `shutdown` request or the `--max-requests` backstop.
+fn cmd_serve(args: &Args, metrics: Option<Arc<SolverMetrics>>) -> Result<String, CliError> {
+    use comparesets_serve::{Server, ServerConfig};
+
+    let corpora = args.require("corpus")?;
+    let addr = args.get("addr").unwrap_or("127.0.0.1:0");
+    let request_timeout: f64 = args.get_or("request-timeout", 30.0)?;
+    if !(request_timeout.is_finite() && request_timeout >= 0.0) {
+        return Err(CliError::usage(format!(
+            "--request-timeout: must be a non-negative number, got {request_timeout}"
+        )));
+    }
+    let max_requests: u64 = args.get_or("max-requests", 0)?;
+    let config = ServerConfig {
+        workers: args.get_or("workers", 4)?,
+        cache_capacity: args.get_or("cache-capacity", 64)?,
+        request_timeout: std::time::Duration::from_secs_f64(request_timeout),
+        overload_timeout: std::time::Duration::from_millis(
+            args.get_or("overload-timeout-ms", 250)?,
+        ),
+        max_requests: (max_requests > 0).then_some(max_requests),
+    };
+    if config.workers == 0 {
+        return Err(CliError::usage("--workers: must be at least 1"));
+    }
+
+    // The server always collects metrics (the `metrics` op serves them);
+    // with `--metrics-json` the same collector also feeds the report.
+    let metrics = metrics.unwrap_or_else(|| Arc::new(SolverMetrics::new()));
+    let mut shards = Vec::new();
+    for path in corpora.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+        let name = Path::new(path)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or(path)
+            .to_string();
+        shards.push((name, load_corpus(path, Some(&metrics))?));
+    }
+    if shards.is_empty() {
+        return Err(CliError::usage("--corpus names no files"));
+    }
+
+    let server = Server::bind(addr, shards, Arc::clone(&metrics), config)
+        .map_err(|e| CliError::io(format!("binding {addr}: {e}")))?;
+    println!("serving on {}", server.local_addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+
+    let summary = server
+        .run()
+        .map_err(|e| CliError::io(format!("serving: {e}")))?;
+    Ok(format!(
+        "served {} request(s), {} degraded",
+        summary.requests, summary.degraded
+    ))
 }
 
 /// Run the reproduction suite (or a named subset) with optional
@@ -955,6 +1023,90 @@ mod tests {
         assert!(e.to_string().contains("--checkpoint-dir"), "{e}");
         let e = run(&["eval", "--config", "huge"]).unwrap_err();
         assert_eq!(e.kind, ErrorKind::Usage);
+    }
+
+    #[test]
+    fn serve_round_trips_over_the_wire() {
+        use comparesets_serve::{Client, Request, Status};
+
+        let path = temp_corpus().replace(".json", "_serve.json");
+        run(&[
+            "generate",
+            "--category",
+            "toy",
+            "--products",
+            "60",
+            "--seed",
+            "13",
+            "--out",
+            &path,
+        ])
+        .unwrap();
+        let dataset = load_corpus(&path, None).unwrap();
+        let target = dataset
+            .instances()
+            .first()
+            .map(|i| i.target().0)
+            .expect("corpus has instances");
+
+        // Reserve an ephemeral port, free it, and hand it to the command:
+        // the test cannot read the "serving on ..." stdout line in-process.
+        let port = std::net::TcpListener::bind("127.0.0.1:0")
+            .unwrap()
+            .local_addr()
+            .unwrap()
+            .port();
+        let addr = format!("127.0.0.1:{port}");
+        let argv: Vec<String> = [
+            "serve",
+            "--corpus",
+            &path,
+            "--addr",
+            &addr,
+            "--workers",
+            "2",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let server = std::thread::spawn(move || dispatch(&argv));
+
+        // The listener comes up asynchronously; retry the connect briefly.
+        let mut client = None;
+        for _ in 0..100 {
+            match Client::connect(addr.as_str()) {
+                Ok(c) => {
+                    client = Some(c);
+                    break;
+                }
+                Err(_) => std::thread::sleep(std::time::Duration::from_millis(20)),
+            }
+        }
+        let mut client = client.expect("server did not come up");
+        assert_eq!(client.ping().unwrap().status, Status::Ok);
+        let solved = client.call(&Request::solve(target)).unwrap();
+        assert_eq!(solved.status, Status::Ok, "{solved:?}");
+        assert!(!solved.selections.is_empty());
+        client.shutdown().unwrap();
+
+        let summary = server.join().unwrap().unwrap();
+        assert!(summary.contains("served 3 request(s)"), "{summary}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn serve_flag_validation() {
+        let e = run(&["serve"]).unwrap_err();
+        assert_eq!(e.kind, ErrorKind::Usage);
+        assert!(e.to_string().contains("corpus"), "{e}");
+        let e = run(&["serve", "--corpus", "x.json", "--workers", "0"]).unwrap_err();
+        assert_eq!(e.kind, ErrorKind::Usage);
+        assert!(e.to_string().contains("--workers"), "{e}");
+        let e = run(&["serve", "--corpus", "x.json", "--request-timeout", "-1"]).unwrap_err();
+        assert_eq!(e.kind, ErrorKind::Usage);
+        assert!(e.to_string().contains("--request-timeout"), "{e}");
+        let e = run(&["serve", "--corpus", "/nonexistent/zz.json"]).unwrap_err();
+        assert_eq!(e.kind, ErrorKind::Io);
     }
 
     #[test]

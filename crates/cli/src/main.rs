@@ -6,10 +6,12 @@
 //! comparesets convert-amazon --reviews reviews.json --meta meta.json --out corpus.json
 //! comparesets select --corpus corpus.json --target 0 --m 3 --algorithm comparesets+
 //! comparesets narrow --corpus corpus.json --target 0 --k 3 --method exact
+//! comparesets eval --config tiny --out report.txt
+//! comparesets serve --corpus corpus.json --addr 127.0.0.1:0
 //! ```
 //!
 //! Failures exit with a classified code (see `comparesets help` or
-//! [`error`]): 1 internal, 2 usage, 3 io, 4 data, 5 solver.
+//! [`error`]): 1 internal, 2 usage, 3 io, 4 data, 5 solver, 6 deadline.
 
 mod args;
 mod commands;

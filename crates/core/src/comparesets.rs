@@ -188,6 +188,42 @@ pub fn solve_comparesets_plus_sweeps_with(
     sweeps: usize,
     opts: &SolveOptions,
 ) -> Vec<Selection> {
+    let mut warm: Vec<RegressionWarm> = (0..ctx.num_items())
+        .map(|_| RegressionWarm::new())
+        .collect();
+    solve_comparesets_plus_sweeps_warm_with(ctx, params, sweeps, opts, &mut warm)
+}
+
+/// [`solve_comparesets_plus_sweeps_with`] with caller-held warm states —
+/// the extraction/re-injection point for cross-call reuse (the serving
+/// session cache, ARCHITECTURE.md §10).
+///
+/// `warm` must hold one [`RegressionWarm`] per item, in item order. The
+/// states are read *and updated in place*: on return each slot carries the
+/// trajectory of its item's last re-solve, so a caller holding them across
+/// calls lets a repeat or near-repeat solve start from validated reuse
+/// instead of from scratch. Every level of reuse is validated against the
+/// live inputs (ARCHITECTURE.md §9), so selections are byte-identical to a
+/// cold solve whatever states are passed in — fresh states reproduce
+/// [`solve_comparesets_plus_sweeps_with`] exactly, and stale states from a
+/// different instance shape simply fail validation and solve cold. With
+/// [`SolveOptions::warm_start`] off the states are neither read nor
+/// written.
+///
+/// # Panics
+/// Panics when `warm.len() != ctx.num_items()`.
+pub fn solve_comparesets_plus_sweeps_warm_with(
+    ctx: &InstanceContext,
+    params: &SelectParams,
+    sweeps: usize,
+    opts: &SolveOptions,
+    warm: &mut [RegressionWarm],
+) -> Vec<Selection> {
+    assert_eq!(
+        warm.len(),
+        ctx.num_items(),
+        "one RegressionWarm per item required"
+    );
     let (lambda, mu) = (params.lambda, params.mu);
     // Algorithm 1 input: solutions of CompaReSetS.
     let mut selections = solve_comparesets_with(ctx, params, opts);
@@ -206,7 +242,6 @@ pub fn solve_comparesets_plus_sweeps_with(
     let span = tracing::debug_span!("comparesets_plus_alternation", items = n, sweeps = sweeps);
     let _span_guard = span.enter();
     let mut ws = NompWorkspace::new();
-    let mut warm: Vec<RegressionWarm> = (0..n).map(|_| RegressionWarm::new()).collect();
     // The items are immutable for the whole solve, so each one's column
     // grouping is computed once and shared by every warm reuse probe.
     let dedups: Vec<DedupColumns> = if opts.warm_start {

@@ -338,7 +338,7 @@ fn round_with_caps(x_hat: &[f64], s: usize, caps: &[usize]) -> Option<Vec<usize>
 /// selecting the single review minimising `evaluate`.
 ///
 /// The ℓ-sweep of Algorithm 1 line 7 runs as **one** shared NOMP pursuit
-/// ([`nomp_path_with`]): the pursuit's state evolution is independent of
+/// ([`comparesets_linalg::nomp_path_with`]): the pursuit's state evolution is independent of
 /// the budget, so the per-ℓ relaxations are snapshots of a single run
 /// instead of `m` runs — identical solutions, ~`m×` less solver work.
 pub fn integer_regression<F>(task: &RegressionTask, m: usize, evaluate: F) -> Selection

@@ -52,7 +52,8 @@ pub use baselines::{solve_greedy, solve_random};
 pub use comparesets::{
     solve_comparesets, solve_comparesets_checked, solve_comparesets_plus,
     solve_comparesets_plus_checked, solve_comparesets_plus_sweeps,
-    solve_comparesets_plus_sweeps_with, solve_comparesets_plus_with, solve_comparesets_with,
+    solve_comparesets_plus_sweeps_warm_with, solve_comparesets_plus_sweeps_with,
+    solve_comparesets_plus_with, solve_comparesets_with,
 };
 pub use comparison_table::{AspectRow, CellCounts, ComparisonTable};
 pub use crs::{solve_crs, solve_crs_checked, solve_crs_with};

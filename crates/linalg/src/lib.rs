@@ -12,9 +12,9 @@
 //! * [`cholesky`] — Cholesky factorisation for normal-equation solves,
 //!   including [`cholesky::solve_gram_system`] for callers that maintain
 //!   the Gram matrix themselves.
-//! * [`nnls`] — Lawson–Hanson non-negative least squares, in design space
+//! * [`mod@nnls`] — Lawson–Hanson non-negative least squares, in design space
 //!   ([`nnls::nnls`]) and in normal-equation space ([`nnls::nnls_gram`]).
-//! * [`nomp`] — non-negative orthogonal matching pursuit, the continuous
+//! * [`mod@nomp`] — non-negative orthogonal matching pursuit, the continuous
 //!   relaxation solver referenced as `NOMP` in Algorithm 1 of the paper.
 //!   The engine caches the active-set Gram matrix incrementally and can
 //!   return the whole budget path ℓ = 1…m from a single pursuit

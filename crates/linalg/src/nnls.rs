@@ -225,7 +225,7 @@ pub fn nnls_capped(a: &Matrix, b: &[f64]) -> Result<(Vec<f64>, NnlsDiagnostics),
 /// principal subsystems of `G` directly, so no operation ever touches the
 /// (potentially very tall) design matrix. NOMP maintains `G` and `atb`
 /// incrementally across pursuit iterations and calls this for every refit;
-/// see [`crate::nomp`].
+/// see [`mod@crate::nomp`].
 ///
 /// The returned minimiser is the same as `nnls(A, b)` up to floating-point
 /// reassociation (the normal equations are formed once here instead of per

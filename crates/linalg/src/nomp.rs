@@ -627,7 +627,7 @@ impl WarmState {
 ///    by more than twice the bound (normalised by the smallest positive
 ///    column norm) — otherwise the correlations collapse to an exact
 ///    recompute and the scan reruns on cold-identical floats. Combined
-///    with the periodic refresh every [`CORR_RECOMPUTE_PERIOD`]
+///    with the periodic refresh every `CORR_RECOMPUTE_PERIOD`
 ///    iterations and the near-floor safety recompute, every atom choice
 ///    is provably the cold engine's choice, not just probably
 ///    (additionally pinned by `warm_engine_matches_cold_engine_exactly`
@@ -1067,7 +1067,7 @@ pub fn with_pooled_workspace<R>(f: impl FnOnce(&mut NompWorkspace) -> R) -> R {
 
 /// The straightforward NOMP implementation this crate shipped before the
 /// Gram-cached engine: per iteration it re-materialises the active
-/// submatrix and refits with design-space [`nnls`].
+/// submatrix and refits with design-space [`crate::nnls::nnls`].
 ///
 /// Kept as the oracle for equivalence tests (the optimised engine must
 /// match it to tight tolerance on random instances) and as readable

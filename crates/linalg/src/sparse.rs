@@ -36,7 +36,7 @@ pub trait DesignMatrix {
     /// Inner product of columns `i` and `j`, `⟨aᵢ, aⱼ⟩`.
     ///
     /// This is the primitive behind the incremental Gram cache in
-    /// [`crate::nomp`]: when an atom enters the active set only its dot
+    /// [`mod@crate::nomp`]: when an atom enters the active set only its dot
     /// products against the current support are computed, instead of
     /// re-materialising and re-multiplying the whole active submatrix.
     fn column_dot(&self, i: usize, j: usize) -> f64 {

@@ -36,8 +36,10 @@ pub use cancel::{CancelToken, SolveCtl};
 /// `deadline_expirations`, and `io_retries`. v3 added the warm-start and
 /// incremental-correlation counters `warm_start_hits`,
 /// `warm_start_truncations`, `corr_incremental_updates`, and
-/// `corr_exact_recomputes`.
-pub const METRICS_SCHEMA: &str = "comparesets-metrics/v3";
+/// `corr_exact_recomputes`. v4 added the serving counters
+/// `serve_requests`, `serve_full_hits`, `serve_warm_hits`,
+/// `serve_cache_misses`, `serve_cache_evictions`, and `serve_degraded`.
+pub const METRICS_SCHEMA: &str = "comparesets-metrics/v4";
 
 /// Shared counter block for one logical run (a CLI command, an eval
 /// experiment, a test solve). Cheap to share via `Arc`; all updates are
@@ -95,6 +97,23 @@ pub struct SolverMetrics {
     /// Exact `Aᵀr` recomputes bounding incremental-correlation drift
     /// (periodic, plus a residual-floor safety trigger).
     pub corr_exact_recomputes: AtomicU64,
+    /// Solve requests admitted by the serving daemon (every request that
+    /// reached the session cache, whatever its outcome).
+    pub serve_requests: AtomicU64,
+    /// Requests answered verbatim from the session cache's result layer —
+    /// an exact repeat of a completed query; no solver work at all.
+    pub serve_full_hits: AtomicU64,
+    /// Requests that found per-item warm states in the session cache and
+    /// re-solved through validated reuse instead of from scratch.
+    pub serve_warm_hits: AtomicU64,
+    /// Requests that found nothing reusable and solved cold.
+    pub serve_cache_misses: AtomicU64,
+    /// Session-cache entries evicted by the LRU capacity bound (result,
+    /// context, and warm-state entries all count here).
+    pub serve_cache_evictions: AtomicU64,
+    /// Requests answered with a degraded best-so-far selection because
+    /// their admission deadline expired mid-solve.
+    pub serve_degraded: AtomicU64,
 }
 
 impl SolverMetrics {
@@ -146,6 +165,12 @@ impl SolverMetrics {
             warm_start_truncations: self.warm_start_truncations.load(Ordering::Relaxed),
             corr_incremental_updates: self.corr_incremental_updates.load(Ordering::Relaxed),
             corr_exact_recomputes: self.corr_exact_recomputes.load(Ordering::Relaxed),
+            serve_requests: self.serve_requests.load(Ordering::Relaxed),
+            serve_full_hits: self.serve_full_hits.load(Ordering::Relaxed),
+            serve_warm_hits: self.serve_warm_hits.load(Ordering::Relaxed),
+            serve_cache_misses: self.serve_cache_misses.load(Ordering::Relaxed),
+            serve_cache_evictions: self.serve_cache_evictions.load(Ordering::Relaxed),
+            serve_degraded: self.serve_degraded.load(Ordering::Relaxed),
         }
     }
 }
@@ -184,6 +209,18 @@ pub struct MetricsSnapshot {
     pub corr_incremental_updates: u64,
     #[serde(default)]
     pub corr_exact_recomputes: u64,
+    #[serde(default)]
+    pub serve_requests: u64,
+    #[serde(default)]
+    pub serve_full_hits: u64,
+    #[serde(default)]
+    pub serve_warm_hits: u64,
+    #[serde(default)]
+    pub serve_cache_misses: u64,
+    #[serde(default)]
+    pub serve_cache_evictions: u64,
+    #[serde(default)]
+    pub serve_degraded: u64,
 }
 
 impl MetricsSnapshot {

@@ -1,0 +1,59 @@
+//! Example client: exercise a running server end-to-end.
+//!
+//! ```text
+//! cargo run -p comparesets-serve --example client -- 127.0.0.1:PORT [TARGET]
+//! ```
+//!
+//! Pings, solves the given target twice (the repeat must hit the
+//! session cache), prints the server's metrics snapshot, and asks the
+//! server to shut down. Exits non-zero on any protocol failure or if
+//! the repeat answer diverges from the first — this doubles as the
+//! `just serve-smoke` driver.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use comparesets_serve::{Client, Request, Status};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let addr = args.next().expect("usage: client ADDR [TARGET]");
+    let target: u32 = args
+        .next()
+        .map(|t| t.parse().expect("TARGET must be a product id"))
+        .unwrap_or(0);
+
+    let mut client = Client::connect(&addr).expect("connecting to server");
+    let pong = client.ping().expect("ping");
+    assert_eq!(pong.status, Status::Ok, "ping failed: {pong:?}");
+    println!("ping: {}", pong.pong.as_deref().unwrap_or("?"));
+
+    let request = Request::solve(target);
+    let first = client.call(&request).expect("solve");
+    assert_eq!(first.status, Status::Ok, "solve failed: {first:?}");
+    println!(
+        "solve target {target}: {} items, objective {:?}, cache {}",
+        first.selections.len(),
+        first.objective,
+        first.cache.as_deref().unwrap_or("?")
+    );
+
+    let repeat = client.call(&request).expect("repeat solve");
+    assert_eq!(repeat.status, Status::Ok, "repeat failed: {repeat:?}");
+    assert_eq!(
+        repeat.cache.as_deref(),
+        Some("full"),
+        "repeat query must hit the full-result cache: {repeat:?}"
+    );
+    assert_eq!(
+        (&repeat.selections, repeat.objective.map(f64::to_bits)),
+        (&first.selections, first.objective.map(f64::to_bits)),
+        "cache hit diverged from the first solve"
+    );
+    println!("repeat: cache {}", repeat.cache.as_deref().unwrap_or("?"));
+
+    let metrics = client.call(&Request::bare("metrics")).expect("metrics");
+    println!("metrics: {}", metrics.info.as_deref().unwrap_or("{}"));
+
+    client.shutdown().expect("shutdown");
+    println!("client ok");
+}

@@ -1,0 +1,320 @@
+//! The bounded session cache behind the server's warm path.
+//!
+//! Three LRU layers, all under one lock, all keyed by canonical strings
+//! derived from the query (see [`CacheKeys`]):
+//!
+//! 1. **Full results** — exact-repeat queries (same shard, item set,
+//!    scheme, budget, λ, μ, *and* sweep count) return the memoized
+//!    selections without touching the solver. The solver is
+//!    deterministic, so this is byte-identical to re-solving.
+//! 2. **Warm states** — per query *shape* (same key minus λ/μ/sweeps),
+//!    a vector of validated [`RegressionWarm`] states, one per item,
+//!    carrying cached Gram columns and pursuit trajectories. A hit is
+//!    re-injected into the alternating solver, whose validation ladder
+//!    (ARCHITECTURE.md §9) guarantees the answer equals a cold solve
+//!    bit-for-bit — stale state can only cost time, never correctness.
+//! 3. **Instance contexts** — the assembled [`InstanceContext`] (design
+//!    matrices, dedup maps, targets) per (shard, items, scheme), shared
+//!    via `Arc` so concurrent requests on the same item set skip
+//!    context assembly.
+//!
+//! Warm states are *checked out*: a hit removes the entry, the solve
+//! mutates it in place, and the server re-inserts it afterwards. A
+//! concurrent request for the same shape simply misses and solves cold —
+//! slower, never wrong. Degraded (deadline-cut) solves never write back,
+//! so the cache only ever holds state from completed solves.
+//!
+//! Eviction is plain least-recently-used per layer with a per-layer
+//! capacity; every eviction is reported to the caller so the server can
+//! feed the `serve_cache_evictions` counter. Capacity 0 disables a layer
+//! (every lookup misses, every insert is dropped) — the serving bench
+//! uses that as its cold baseline.
+
+use comparesets_core::{InstanceContext, RegressionWarm};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use crate::protocol::ItemSelection;
+
+/// A small least-recently-used map: `HashMap` plus a monotone access
+/// stamp, evicting the minimum stamp when full. O(n) eviction scan —
+/// fine at session-cache capacities (tens to hundreds of entries).
+struct Lru<V> {
+    entries: HashMap<String, (u64, V)>,
+    capacity: usize,
+    tick: u64,
+}
+
+impl<V> Lru<V> {
+    fn new(capacity: usize) -> Self {
+        Lru {
+            entries: HashMap::new(),
+            capacity,
+            tick: 0,
+        }
+    }
+
+    fn touch(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    /// Look up and mark as most-recently used.
+    fn get(&mut self, key: &str) -> Option<&V> {
+        let stamp = self.touch();
+        match self.entries.get_mut(key) {
+            Some(slot) => {
+                slot.0 = stamp;
+                Some(&slot.1)
+            }
+            None => None,
+        }
+    }
+
+    /// Remove and return an entry (the warm-state checkout).
+    fn take(&mut self, key: &str) -> Option<V> {
+        self.entries.remove(key).map(|(_, v)| v)
+    }
+
+    /// Insert, evicting the least-recently-used entry when at capacity.
+    /// Returns how many entries were evicted (0 or 1; inserts into a
+    /// zero-capacity layer are dropped and evict nothing).
+    fn insert(&mut self, key: String, value: V) -> u64 {
+        if self.capacity == 0 {
+            return 0;
+        }
+        let stamp = self.touch();
+        let mut evicted = 0;
+        if !self.entries.contains_key(&key) && self.entries.len() >= self.capacity {
+            if let Some(oldest) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (stamp, _))| *stamp)
+                .map(|(k, _)| k.clone())
+            {
+                self.entries.remove(&oldest);
+                evicted = 1;
+            }
+        }
+        self.entries.insert(key, (stamp, value));
+        evicted
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+/// The canonical cache keys for one solve query. Derived once per
+/// request; all three layers key on strings so the layers can share one
+/// key-building pass and remain trivially hashable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheKeys {
+    /// Full-result key: shard, scheme, items, m, λ-bits, μ-bits, sweeps.
+    /// Exact repeats only.
+    pub full: String,
+    /// Warm-state key: shard, scheme, items, m — λ/μ/sweeps excluded, so
+    /// near-repeat queries (a λ tweak, a deeper sweep) still warm-hit.
+    /// Changed targets are caught by the engine's validation, which
+    /// replays or falls back cold; identity is never at risk.
+    pub warm: String,
+    /// Context key: shard, scheme, items — everything the design
+    /// matrices depend on, nothing they don't.
+    pub context: String,
+}
+
+impl CacheKeys {
+    /// Build the canonical keys for a query. λ and μ key on their IEEE-754
+    /// bit patterns, so `1.0` and `1.0 + ε` are distinct and NaN cannot
+    /// alias.
+    pub fn build(
+        shard: &str,
+        scheme: &str,
+        items: &[u32],
+        m: usize,
+        lambda: f64,
+        mu: f64,
+        sweeps: usize,
+    ) -> CacheKeys {
+        let mut base = format!("{shard}|{scheme}|");
+        for (i, id) in items.iter().enumerate() {
+            if i > 0 {
+                base.push(',');
+            }
+            base.push_str(&id.to_string());
+        }
+        let context = base.clone();
+        let warm = format!("{base}|m{m}");
+        let full = format!(
+            "{warm}|l{:016x}|u{:016x}|s{sweeps}",
+            lambda.to_bits(),
+            mu.to_bits()
+        );
+        CacheKeys {
+            full,
+            warm,
+            context,
+        }
+    }
+}
+
+/// A memoized solve answer, stored without its cache marker so a
+/// full-layer hit replays the original answer verbatim.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CachedAnswer {
+    /// Per-item selections exactly as first computed.
+    pub selections: Vec<ItemSelection>,
+    /// The objective of those selections.
+    pub objective: f64,
+}
+
+/// Entry counts per layer, for the `metrics` operation and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheSizes {
+    /// Entries in the full-result layer.
+    pub results: usize,
+    /// Entries in the warm-state layer.
+    pub warm: usize,
+    /// Entries in the context layer.
+    pub contexts: usize,
+}
+
+struct Layers {
+    results: Lru<CachedAnswer>,
+    warm: Lru<Vec<RegressionWarm>>,
+    contexts: Lru<Arc<InstanceContext>>,
+}
+
+/// The shared bounded session cache (see module docs for the layer
+/// semantics). All methods take `&self`; the interior lock is held only
+/// for map operations, never across a solve.
+pub struct SessionCache {
+    layers: Mutex<Layers>,
+}
+
+impl SessionCache {
+    /// A cache holding at most `capacity` entries *per layer*.
+    pub fn new(capacity: usize) -> SessionCache {
+        SessionCache {
+            layers: Mutex::new(Layers {
+                results: Lru::new(capacity),
+                warm: Lru::new(capacity),
+                contexts: Lru::new(capacity),
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Layers> {
+        // A panic while holding the lock can only leave fewer cache
+        // entries, never corrupt ones; keep serving.
+        self.layers.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Full-result lookup (layer 1).
+    pub fn full_hit(&self, keys: &CacheKeys) -> Option<CachedAnswer> {
+        self.lock().results.get(&keys.full).cloned()
+    }
+
+    /// Memoize a completed solve's answer. Returns evictions performed.
+    pub fn store_full(&self, keys: &CacheKeys, answer: CachedAnswer) -> u64 {
+        self.lock().results.insert(keys.full.clone(), answer)
+    }
+
+    /// Check a warm-state vector out of layer 2 (removing it; see module
+    /// docs). `None` is a miss.
+    pub fn take_warm(&self, keys: &CacheKeys) -> Option<Vec<RegressionWarm>> {
+        self.lock().warm.take(&keys.warm)
+    }
+
+    /// Return (or first-insert) a warm-state vector after a completed
+    /// solve. Returns evictions performed.
+    pub fn put_warm(&self, keys: &CacheKeys, states: Vec<RegressionWarm>) -> u64 {
+        self.lock().warm.insert(keys.warm.clone(), states)
+    }
+
+    /// Shared-context lookup (layer 3).
+    pub fn context(&self, keys: &CacheKeys) -> Option<Arc<InstanceContext>> {
+        self.lock().contexts.get(&keys.context).cloned()
+    }
+
+    /// Share a freshly built context. Returns evictions performed.
+    pub fn store_context(&self, keys: &CacheKeys, ctx: Arc<InstanceContext>) -> u64 {
+        self.lock().contexts.insert(keys.context.clone(), ctx)
+    }
+
+    /// Current entry counts per layer.
+    pub fn sizes(&self) -> CacheSizes {
+        let layers = self.lock();
+        CacheSizes {
+            results: layers.results.len(),
+            warm: layers.warm.len(),
+            contexts: layers.contexts.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use super::*;
+
+    fn keys(items: &[u32], m: usize, lambda: f64, sweeps: usize) -> CacheKeys {
+        CacheKeys::build("s", "binary", items, m, lambda, 0.1, sweeps)
+    }
+
+    #[test]
+    fn key_granularity_matches_layer_semantics() {
+        let a = keys(&[1, 2, 3], 3, 1.0, 1);
+        let deeper = keys(&[1, 2, 3], 3, 1.0, 2);
+        let tweaked = keys(&[1, 2, 3], 3, 0.5, 1);
+        let rebudgeted = keys(&[1, 2, 3], 4, 1.0, 1);
+        let other_items = keys(&[1, 2, 4], 3, 1.0, 1);
+        // Full keys: any parameter change is a different query.
+        assert_ne!(a.full, deeper.full);
+        assert_ne!(a.full, tweaked.full);
+        assert_ne!(a.full, rebudgeted.full);
+        // Warm keys: λ and sweeps excluded (near-repeat reuse)...
+        assert_eq!(a.warm, deeper.warm);
+        assert_eq!(a.warm, tweaked.warm);
+        // ...but budget and item set are not.
+        assert_ne!(a.warm, rebudgeted.warm);
+        assert_ne!(a.warm, other_items.warm);
+        // Context keys ignore everything but shard/scheme/items.
+        assert_eq!(a.context, rebudgeted.context);
+        assert_ne!(a.context, other_items.context);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut lru = Lru::new(2);
+        assert_eq!(lru.insert("a".into(), 1), 0);
+        assert_eq!(lru.insert("b".into(), 2), 0);
+        assert_eq!(lru.get("a"), Some(&1)); // refresh a; b is now oldest
+        assert_eq!(lru.insert("c".into(), 3), 1);
+        assert_eq!(lru.get("b"), None);
+        assert_eq!(lru.get("a"), Some(&1));
+        assert_eq!(lru.get("c"), Some(&3));
+        // Overwriting an existing key is not an eviction.
+        assert_eq!(lru.insert("c".into(), 4), 0);
+        assert_eq!(lru.len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_disables_the_layer() {
+        let mut lru = Lru::new(0);
+        assert_eq!(lru.insert("a".into(), 1), 0);
+        assert_eq!(lru.get("a"), None);
+        assert_eq!(lru.len(), 0);
+    }
+
+    #[test]
+    fn warm_checkout_removes_the_entry() {
+        let cache = SessionCache::new(4);
+        let k = keys(&[7, 8], 3, 1.0, 1);
+        cache.put_warm(&k, vec![RegressionWarm::new(), RegressionWarm::new()]);
+        assert!(cache.take_warm(&k).is_some());
+        assert!(cache.take_warm(&k).is_none(), "checkout must remove");
+        assert_eq!(cache.sizes().warm, 0);
+    }
+}

@@ -1,0 +1,52 @@
+//! A minimal blocking client for the serve protocol.
+//!
+//! One TCP connection, synchronous request/response pairs. Concurrency
+//! is the caller's business: open one [`Client`] per thread (the server
+//! handles each connection on its own thread).
+
+use crate::protocol::{read_message, write_message, ProtocolError, Request, Response};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A blocking connection to a running server.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connect to a server.
+    ///
+    /// # Errors
+    /// `std::io::Error` when the connection cannot be established.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
+    }
+
+    /// Send one request and wait for its response.
+    ///
+    /// # Errors
+    /// [`ProtocolError`] on transport failure, a malformed response, or
+    /// the server hanging up before answering
+    /// ([`ProtocolError::Truncated`]).
+    pub fn call(&mut self, request: &Request) -> Result<Response, ProtocolError> {
+        write_message(&mut self.stream, request)?;
+        read_message(&mut self.stream)?.ok_or(ProtocolError::Truncated)
+    }
+
+    /// Liveness check.
+    ///
+    /// # Errors
+    /// See [`Client::call`].
+    pub fn ping(&mut self) -> Result<Response, ProtocolError> {
+        self.call(&Request::bare("ping"))
+    }
+
+    /// Ask the server to stop accepting connections.
+    ///
+    /// # Errors
+    /// See [`Client::call`].
+    pub fn shutdown(&mut self) -> Result<Response, ProtocolError> {
+        self.call(&Request::bare("shutdown"))
+    }
+}

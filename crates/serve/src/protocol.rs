@@ -1,0 +1,343 @@
+//! The wire protocol: length-prefixed JSON frames.
+//!
+//! Every message — request or response — travels as one *frame*:
+//!
+//! ```text
+//! +----------------+---------------------------+
+//! | length: u32 BE | payload: `length` bytes   |
+//! +----------------+---------------------------+
+//! ```
+//!
+//! The payload is a UTF-8 JSON object ([`Request`] client→server,
+//! [`Response`] server→client). The length counts payload bytes only and
+//! is capped at [`MAX_FRAME_LEN`]; a peer announcing a larger frame is
+//! rejected before any payload is read, so a malformed or hostile length
+//! can never trigger an unbounded allocation.
+//!
+//! The request/response types are deliberately *flat* — a string `op`
+//! discriminant plus optional fields — rather than data-carrying enums,
+//! so they serialize through the vendored offline `serde` stand-in
+//! (which derives named-field structs and fieldless enums only). Unknown
+//! JSON fields are ignored on decode, which is the forward-compatibility
+//! escape hatch: a newer client can send extra fields to an older server.
+
+use serde::{Deserialize, Serialize};
+use std::io::{Read, Write};
+
+/// Hard cap on a frame's payload length, in bytes (4 MiB).
+///
+/// Solve responses carry at most a few selections per item, so real
+/// frames are kilobytes; the cap exists purely to bound the allocation an
+/// adversarial or corrupt length prefix can demand.
+pub const MAX_FRAME_LEN: u32 = 4 * 1024 * 1024;
+
+/// A protocol-level failure while reading or writing frames.
+#[derive(Debug)]
+pub enum ProtocolError {
+    /// The underlying transport failed.
+    Io(std::io::Error),
+    /// The peer announced a frame longer than [`MAX_FRAME_LEN`].
+    FrameTooLarge(u32),
+    /// The stream ended in the middle of a frame.
+    Truncated,
+    /// The payload was not valid UTF-8 JSON of the expected shape.
+    Malformed(String),
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::Io(e) => write!(f, "transport error: {e}"),
+            ProtocolError::FrameTooLarge(n) => {
+                write!(f, "frame of {n} bytes exceeds the {MAX_FRAME_LEN}-byte cap")
+            }
+            ProtocolError::Truncated => write!(f, "stream ended mid-frame"),
+            ProtocolError::Malformed(why) => write!(f, "malformed payload: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+impl From<std::io::Error> for ProtocolError {
+    fn from(e: std::io::Error) -> Self {
+        ProtocolError::Io(e)
+    }
+}
+
+/// Write one raw frame (length prefix + payload).
+///
+/// # Errors
+/// [`ProtocolError::FrameTooLarge`] when the payload exceeds
+/// [`MAX_FRAME_LEN`]; [`ProtocolError::Io`] on transport failure.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), ProtocolError> {
+    let len = u32::try_from(payload.len()).map_err(|_| ProtocolError::FrameTooLarge(u32::MAX))?;
+    if len > MAX_FRAME_LEN {
+        return Err(ProtocolError::FrameTooLarge(len));
+    }
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read one raw frame. Returns `Ok(None)` on a clean end-of-stream (the
+/// peer closed between frames); a close *inside* a frame is
+/// [`ProtocolError::Truncated`].
+///
+/// # Errors
+/// See [`ProtocolError`].
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, ProtocolError> {
+    let mut len_buf = [0u8; 4];
+    match read_exact_or_eof(r, &mut len_buf)? {
+        Fill::Eof => return Ok(None),
+        Fill::Partial => return Err(ProtocolError::Truncated),
+        Fill::Full => {}
+    }
+    let len = u32::from_be_bytes(len_buf);
+    if len > MAX_FRAME_LEN {
+        return Err(ProtocolError::FrameTooLarge(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    match read_exact_or_eof(r, &mut payload)? {
+        Fill::Full => Ok(Some(payload)),
+        Fill::Eof | Fill::Partial => Err(ProtocolError::Truncated),
+    }
+}
+
+/// How much of a fixed-size read completed before end-of-stream.
+enum Fill {
+    /// The whole buffer was filled.
+    Full,
+    /// The stream was already at end-of-file (zero bytes read).
+    Eof,
+    /// The stream ended after some, but not all, bytes.
+    Partial,
+}
+
+/// `read_exact` that distinguishes a clean EOF from a mid-buffer one.
+fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> Result<Fill, ProtocolError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Ok(if filled == 0 {
+                    Fill::Eof
+                } else {
+                    Fill::Partial
+                });
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(ProtocolError::Io(e)),
+        }
+    }
+    Ok(Fill::Full)
+}
+
+/// Encode a message and write it as one frame.
+///
+/// # Errors
+/// See [`ProtocolError`].
+pub fn write_message<T: Serialize>(w: &mut impl Write, message: &T) -> Result<(), ProtocolError> {
+    let json = serde_json::to_string(message)
+        .map_err(|e| ProtocolError::Malformed(format!("encoding: {e}")))?;
+    write_frame(w, json.as_bytes())
+}
+
+/// Read one frame and decode it. `Ok(None)` on clean end-of-stream.
+///
+/// # Errors
+/// See [`ProtocolError`].
+pub fn read_message<T: Deserialize>(r: &mut impl Read) -> Result<Option<T>, ProtocolError> {
+    let Some(payload) = read_frame(r)? else {
+        return Ok(None);
+    };
+    decode(&payload).map(Some)
+}
+
+/// Decode a frame payload into a message.
+///
+/// # Errors
+/// [`ProtocolError::Malformed`] on non-UTF-8 bytes or JSON that does not
+/// match the target shape.
+pub fn decode<T: Deserialize>(payload: &[u8]) -> Result<T, ProtocolError> {
+    let text = std::str::from_utf8(payload)
+        .map_err(|e| ProtocolError::Malformed(format!("payload is not UTF-8: {e}")))?;
+    serde_json::from_str(text).map_err(|e| ProtocolError::Malformed(e.to_string()))
+}
+
+// ---------------------------------------------------------------------
+// Message types
+// ---------------------------------------------------------------------
+
+/// A client request. `op` selects the operation; the remaining fields
+/// are per-operation parameters and default to "absent" so a `ping` is
+/// just `{"op":"ping"}` on the wire.
+///
+/// Operations:
+///
+/// | `op`       | effect                                                    |
+/// |------------|-----------------------------------------------------------|
+/// | `ping`     | liveness check; answers with `pong` set                   |
+/// | `solve`    | CompaReSetS+ selection for an item set under a budget     |
+/// | `metrics`  | snapshot of the server's solver/serving counters (`info`) |
+/// | `shutdown` | acknowledge, then stop accepting connections              |
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// Operation discriminant: `ping`, `solve`, `metrics`, or `shutdown`.
+    pub op: String,
+    /// Corpus shard to solve against; empty selects the server's first
+    /// (or only) shard.
+    #[serde(default)]
+    pub shard: String,
+    /// Target product id; the comparison set is derived from the corpus
+    /// (`also_bought`, reviewed products only). Ignored when `items` is
+    /// given.
+    #[serde(default)]
+    pub target: Option<u32>,
+    /// Explicit item set (product ids; first entry is the target).
+    /// Overrides `target`.
+    #[serde(default)]
+    pub items: Option<Vec<u32>>,
+    /// Cap on derived comparatives when resolving via `target`
+    /// (default 12).
+    #[serde(default)]
+    pub max_comparatives: Option<usize>,
+    /// Per-item selection budget m (default 3).
+    #[serde(default)]
+    pub m: Option<usize>,
+    /// Opinion/aspect trade-off λ (default 1.0).
+    #[serde(default)]
+    pub lambda: Option<f64>,
+    /// Cross-item coupling μ (default 0.1).
+    #[serde(default)]
+    pub mu: Option<f64>,
+    /// Alternating Gauss–Seidel sweeps (default 1).
+    #[serde(default)]
+    pub sweeps: Option<usize>,
+    /// Opinion scheme: `binary` (default), `3-polarity`, or
+    /// `unary-scale`.
+    #[serde(default)]
+    pub scheme: Option<String>,
+    /// Client-requested deadline in milliseconds; the server clamps it to
+    /// its own `--request-timeout` (and further under overload).
+    #[serde(default)]
+    pub timeout_ms: Option<u64>,
+}
+
+impl Request {
+    /// A request carrying only an operation name.
+    pub fn bare(op: &str) -> Request {
+        Request {
+            op: op.to_string(),
+            shard: String::new(),
+            target: None,
+            items: None,
+            max_comparatives: None,
+            m: None,
+            lambda: None,
+            mu: None,
+            sweeps: None,
+            scheme: None,
+            timeout_ms: None,
+        }
+    }
+
+    /// A solve request for `target` with everything else defaulted.
+    pub fn solve(target: u32) -> Request {
+        Request {
+            target: Some(target),
+            ..Request::bare("solve")
+        }
+    }
+
+    /// A solve request for an explicit item set (first entry = target).
+    pub fn solve_items(items: Vec<u32>) -> Request {
+        Request {
+            items: Some(items),
+            ..Request::bare("solve")
+        }
+    }
+}
+
+/// How a request concluded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Status {
+    /// The operation completed normally.
+    Ok,
+    /// Admission control cut the solve short: the selections are the
+    /// anytime best-so-far iterate, valid but possibly unconverged.
+    Degraded,
+    /// The request failed; see `error` and `code`.
+    Error,
+}
+
+/// One item's selected reviews in a solve response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ItemSelection {
+    /// The product this selection belongs to (first entry = target).
+    pub product: u32,
+    /// Selected review indices within the item (sorted).
+    pub indices: Vec<usize>,
+    /// The dataset review ids behind `indices`.
+    pub review_ids: Vec<u32>,
+}
+
+/// The server's answer to one [`Request`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Response {
+    /// Outcome classification.
+    pub status: Status,
+    /// Human-readable failure cause when `status` is `Error`.
+    #[serde(default)]
+    pub error: Option<String>,
+    /// Machine-readable failure class (`usage`, `data`, `internal`)
+    /// when `status` is `Error` — mirrors the CLI's exit-code taxonomy.
+    #[serde(default)]
+    pub code: Option<String>,
+    /// Per-item selections (solve responses; target first).
+    #[serde(default)]
+    pub selections: Vec<ItemSelection>,
+    /// CompaReSetS+ objective of `selections` (solve responses; absent
+    /// on degraded answers, whose iterate may be unconverged).
+    #[serde(default)]
+    pub objective: Option<f64>,
+    /// Which session-cache layer served a solve: `full`, `warm`, or
+    /// `cold`. Purely observational — the selections are byte-identical
+    /// across all three (see ARCHITECTURE.md §10).
+    #[serde(default)]
+    pub cache: Option<String>,
+    /// Echo payload for `ping`.
+    #[serde(default)]
+    pub pong: Option<String>,
+    /// Free-form payload for `metrics` (a `MetricsSnapshot` as JSON).
+    #[serde(default)]
+    pub info: Option<String>,
+}
+
+impl Response {
+    /// An empty `Ok` response.
+    pub fn ok() -> Response {
+        Response {
+            status: Status::Ok,
+            error: None,
+            code: None,
+            selections: Vec::new(),
+            objective: None,
+            cache: None,
+            pong: None,
+            info: None,
+        }
+    }
+
+    /// An error response with a failure class and cause.
+    pub fn error(code: &str, message: impl Into<String>) -> Response {
+        Response {
+            status: Status::Error,
+            error: Some(message.into()),
+            code: Some(code.to_string()),
+            ..Response::ok()
+        }
+    }
+}

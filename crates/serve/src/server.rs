@@ -1,0 +1,596 @@
+//! The serving daemon: a TCP listener, one handler thread per
+//! connection, a shared [`SessionCache`], and deadline-based admission
+//! control.
+//!
+//! ## Request lifecycle
+//!
+//! ```text
+//! frame in ──▶ decode ──▶ dispatch by op
+//!                          │
+//!                          ├─ ping / metrics / shutdown: answer inline
+//!                          │
+//!                          └─ solve:
+//!                              resolve shard + item set ── invalid ──▶ Error
+//!                              full-result hit? ───────────── yes ──▶ Ok (cache=full)
+//!                              admit (in_flight+1) ─ over cap? ─▶ clamp deadline
+//!                              context: cached Arc or build-and-share
+//!                              warm states: checkout or fresh
+//!                              alternating solve (warm-injected, token-polled)
+//!                              deadline fired? ── yes ──▶ Degraded (best-so-far,
+//!                              │                           nothing cached)
+//!                              └─ no ──▶ memoize answer + return warm states
+//!                                        ──▶ Ok (cache=warm|cold)
+//! ```
+//!
+//! ## Admission control
+//!
+//! The server never queues solves: every request is admitted
+//! immediately, but a request that finds more than `workers` solves
+//! already in flight has its deadline clamped to `overload_timeout`.
+//! The alternating solver's anytime semantics (ARCHITECTURE.md §8) turn
+//! that clamp into a degraded-but-valid answer — the best feasible
+//! iterate at the moment the token fired — instead of an error or an
+//! unbounded queue. Overload therefore degrades answer *quality*
+//! smoothly while latency stays bounded.
+//!
+//! Degraded answers are never written to the session cache: the cache
+//! holds only completed solves, so every cache hit replays a converged
+//! answer byte-identically.
+
+use crate::cache::{CacheKeys, CachedAnswer, SessionCache};
+use crate::protocol::{read_frame, write_message, ItemSelection, Request, Response, Status};
+use comparesets_core::{
+    comparesets_plus_objective, solve_comparesets_plus_sweeps_warm_with, CancelToken,
+    InstanceContext, OpinionScheme, RegressionWarm, SelectParams, Selection, SolveOptions,
+    SolverMetrics,
+};
+use comparesets_data::{ComparisonInstance, Dataset, ProductId};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Server tuning knobs. Everything here is operational — no setting
+/// changes what a completed (non-degraded) solve returns.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Soft cap on concurrently running solves; the request that pushes
+    /// the count past this gets the overload deadline instead of the
+    /// full one. Must be at least 1.
+    pub workers: usize,
+    /// Session-cache capacity per layer (0 disables caching).
+    pub cache_capacity: usize,
+    /// Default per-request deadline; a client `timeout_ms` can only
+    /// shorten it.
+    pub request_timeout: Duration,
+    /// Deadline applied to requests admitted over the `workers` cap.
+    pub overload_timeout: Duration,
+    /// Stop accepting after this many requests (`None` = run until a
+    /// `shutdown` request). A backstop for smoke tests and benches.
+    pub max_requests: Option<u64>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            cache_capacity: 64,
+            request_timeout: Duration::from_secs(30),
+            overload_timeout: Duration::from_millis(250),
+            max_requests: None,
+        }
+    }
+}
+
+/// What a finished [`Server::run`] reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Total requests answered (all operations).
+    pub requests: u64,
+    /// Requests answered with `Status::Degraded`.
+    pub degraded: u64,
+}
+
+/// Mutable serving state shared by the accept loop and every handler.
+struct ServeState {
+    shutdown: AtomicBool,
+    in_flight: AtomicUsize,
+    served: AtomicU64,
+    degraded: AtomicU64,
+}
+
+/// Everything a connection handler needs, behind one `Arc`.
+struct Shared {
+    shards: Vec<(String, Dataset)>,
+    cache: SessionCache,
+    metrics: Arc<SolverMetrics>,
+    config: ServerConfig,
+    state: ServeState,
+    addr: SocketAddr,
+}
+
+/// The serving daemon. Bind, then [`run`](Server::run) until a
+/// `shutdown` request (or the `max_requests` backstop) stops the accept
+/// loop.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Bind `addr` and prepare to serve `shards` (name → corpus; the
+    /// first shard is the default for requests that name none).
+    ///
+    /// # Errors
+    /// `std::io::Error` when the address cannot be bound, or
+    /// `InvalidInput` when `shards` is empty or `workers` is 0.
+    pub fn bind(
+        addr: &str,
+        shards: Vec<(String, Dataset)>,
+        metrics: Arc<SolverMetrics>,
+        config: ServerConfig,
+    ) -> std::io::Result<Server> {
+        if shards.is_empty() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "a server needs at least one corpus shard",
+            ));
+        }
+        if config.workers == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "workers must be at least 1",
+            ));
+        }
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let cache = SessionCache::new(config.cache_capacity);
+        Ok(Server {
+            listener,
+            shared: Arc::new(Shared {
+                shards,
+                cache,
+                metrics,
+                config,
+                state: ServeState {
+                    shutdown: AtomicBool::new(false),
+                    in_flight: AtomicUsize::new(0),
+                    served: AtomicU64::new(0),
+                    degraded: AtomicU64::new(0),
+                },
+                addr: local,
+            }),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Accept and serve connections until shut down. Each connection
+    /// gets its own thread and may carry any number of request frames.
+    ///
+    /// Shutdown stops the *accept loop*; handler threads finish the
+    /// request they are on and exit with their connection. A client that
+    /// wants every answer before shutdown sends `shutdown` last on its
+    /// own connection.
+    ///
+    /// # Errors
+    /// Only fatal listener errors; per-connection failures are logged
+    /// (`tracing::warn!`) and dropped.
+    pub fn run(self) -> std::io::Result<ServeSummary> {
+        tracing::info!(
+            "serving {} shard(s) on {} (workers {}, cache {})",
+            self.shared.shards.len(),
+            self.shared.addr,
+            self.shared.config.workers,
+            self.shared.config.cache_capacity
+        );
+        let mut handles = Vec::new();
+        for stream in self.listener.incoming() {
+            if self.shared.state.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            match stream {
+                Ok(stream) => {
+                    let shared = Arc::clone(&self.shared);
+                    handles.push(std::thread::spawn(move || {
+                        handle_connection(stream, &shared)
+                    }));
+                }
+                Err(e) => tracing::warn!("accept failed: {e}"),
+            }
+        }
+        // Handlers only block while a client keeps the connection open;
+        // by the shutdown contract above the orchestrating client has
+        // already finished, so this join is bounded in practice.
+        for handle in handles {
+            let _ = handle.join();
+        }
+        Ok(ServeSummary {
+            requests: self.shared.state.served.load(Ordering::Relaxed),
+            degraded: self.shared.state.degraded.load(Ordering::Relaxed),
+        })
+    }
+}
+
+/// Serve one connection: frames in, frames out, until EOF, a protocol
+/// error, or shutdown.
+fn handle_connection(mut stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_nodelay(true);
+    loop {
+        let payload = match read_frame(&mut stream) {
+            Ok(Some(payload)) => payload,
+            Ok(None) => return, // clean EOF between frames
+            Err(e) => {
+                // Answer in-band when the transport still works, so a
+                // buggy client sees *why* instead of a hangup.
+                tracing::warn!("connection error: {e}");
+                let resp = Response::error("usage", e.to_string());
+                let _ = write_message(&mut stream, &resp);
+                return;
+            }
+        };
+        let response = match crate::protocol::decode::<Request>(&payload) {
+            Ok(request) => handle_request(shared, &request),
+            Err(e) => Response::error("usage", e.to_string()),
+        };
+        let stop = shared.state.shutdown.load(Ordering::SeqCst);
+        if write_message(&mut stream, &response).is_err() || stop {
+            if stop {
+                wake_accept_loop(shared);
+            }
+            return;
+        }
+    }
+}
+
+/// Unblock the accept loop after the shutdown flag is set: `incoming()`
+/// only re-checks the flag per connection, so connect once to self.
+fn wake_accept_loop(shared: &Shared) {
+    let _ = TcpStream::connect_timeout(&shared.addr, Duration::from_secs(1));
+}
+
+/// Dispatch one decoded request. Infallible by construction: every
+/// failure becomes an `Error` response.
+fn handle_request(shared: &Shared, request: &Request) -> Response {
+    SolverMetrics::incr(&shared.metrics.serve_requests);
+    let served = shared.state.served.fetch_add(1, Ordering::Relaxed) + 1;
+    if shared
+        .config
+        .max_requests
+        .is_some_and(|limit| served >= limit)
+    {
+        shared.state.shutdown.store(true, Ordering::SeqCst);
+    }
+    let span = tracing::debug_span!("request", op = request.op.as_str());
+    let _guard = span.enter();
+    let response = match request.op.as_str() {
+        "ping" => Response {
+            pong: Some("pong".to_string()),
+            ..Response::ok()
+        },
+        "metrics" => match serde_json::to_string(&shared.metrics.snapshot()) {
+            Ok(json) => Response {
+                info: Some(json),
+                ..Response::ok()
+            },
+            Err(e) => Response::error("internal", format!("encoding metrics: {e}")),
+        },
+        "shutdown" => {
+            shared.state.shutdown.store(true, Ordering::SeqCst);
+            Response::ok()
+        }
+        "solve" => handle_solve(shared, request),
+        other => Response::error("usage", format!("unknown op {other:?}")),
+    };
+    if response.status == Status::Degraded {
+        shared.state.degraded.fetch_add(1, Ordering::Relaxed);
+    }
+    response
+}
+
+/// RAII slot in the in-flight gauge; `overloaded` reflects the count the
+/// moment this request was admitted.
+struct Admission<'a> {
+    gauge: &'a AtomicUsize,
+    overloaded: bool,
+}
+
+impl<'a> Admission<'a> {
+    fn enter(gauge: &'a AtomicUsize, cap: usize) -> Admission<'a> {
+        let running = gauge.fetch_add(1, Ordering::SeqCst) + 1;
+        Admission {
+            gauge,
+            overloaded: running > cap,
+        }
+    }
+}
+
+impl Drop for Admission<'_> {
+    fn drop(&mut self) {
+        self.gauge.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Solve parameters after defaulting and validation.
+struct SolveQuery {
+    items: Vec<u32>,
+    params: SelectParams,
+    sweeps: usize,
+    scheme: OpinionScheme,
+    scheme_name: &'static str,
+}
+
+fn handle_solve(shared: &Shared, request: &Request) -> Response {
+    let (shard_name, dataset) = match resolve_shard(shared, &request.shard) {
+        Ok(found) => found,
+        Err(resp) => return *resp,
+    };
+    let query = match resolve_query(dataset, request) {
+        Ok(q) => q,
+        Err(resp) => return *resp,
+    };
+    let keys = CacheKeys::build(
+        shard_name,
+        query.scheme_name,
+        &query.items,
+        query.params.m,
+        query.params.lambda,
+        query.params.mu,
+        query.sweeps,
+    );
+
+    // Layer 1: an exact repeat replays the memoized answer. The solver
+    // is deterministic, so this is byte-identical to re-solving.
+    if let Some(answer) = shared.cache.full_hit(&keys) {
+        SolverMetrics::incr(&shared.metrics.serve_full_hits);
+        return answer_response(answer, "full");
+    }
+
+    let admission = Admission::enter(&shared.state.in_flight, shared.config.workers);
+    let mut budget = shared.config.request_timeout;
+    if let Some(ms) = request.timeout_ms {
+        budget = budget.min(Duration::from_millis(ms));
+    }
+    if admission.overloaded {
+        budget = budget.min(shared.config.overload_timeout);
+    }
+    let token = Arc::new(CancelToken::with_timeout(budget));
+
+    let ctx = match shared.cache.context(&keys) {
+        Some(ctx) => ctx,
+        None => {
+            let instance = ComparisonInstance {
+                items: query.items.iter().map(|&id| ProductId(id)).collect(),
+            };
+            let built = Arc::new(InstanceContext::build(dataset, &instance, query.scheme));
+            let evicted = shared.cache.store_context(&keys, Arc::clone(&built));
+            SolverMetrics::add(&shared.metrics.serve_cache_evictions, evicted);
+            built
+        }
+    };
+
+    // Layer 2: check out warm states for this query shape, or start
+    // fresh. A shape mismatch (item count changed under the same key
+    // cannot happen — items are in the key — but guard anyway) solves
+    // cold.
+    let checked_out = shared
+        .cache
+        .take_warm(&keys)
+        .filter(|states| states.len() == ctx.num_items());
+    let warm_hit = checked_out.is_some();
+    let mut warm = checked_out.unwrap_or_else(|| {
+        (0..ctx.num_items())
+            .map(|_| RegressionWarm::new())
+            .collect()
+    });
+    if warm_hit {
+        SolverMetrics::incr(&shared.metrics.serve_warm_hits);
+    } else {
+        SolverMetrics::incr(&shared.metrics.serve_cache_misses);
+    }
+
+    let opts = SolveOptions::sequential()
+        .with_metrics(Arc::clone(&shared.metrics))
+        .with_cancel(Arc::clone(&token));
+    let selections = solve_comparesets_plus_sweeps_warm_with(
+        &ctx,
+        &query.params,
+        query.sweeps,
+        &opts,
+        &mut warm,
+    );
+    drop(admission);
+
+    if token.fired() {
+        // Anytime result: valid selections, possibly unconverged. Cache
+        // nothing — the session cache holds completed solves only — and
+        // drop the checked-out warm states with it.
+        SolverMetrics::incr(&shared.metrics.serve_degraded);
+        let mut response = answer_response(wire_answer(&ctx, &selections, f64::NAN), "cold");
+        response.status = Status::Degraded;
+        response.objective = None;
+        return response;
+    }
+
+    let objective =
+        comparesets_plus_objective(&ctx, &selections, query.params.lambda, query.params.mu);
+    let answer = wire_answer(&ctx, &selections, objective);
+    let mut evicted = shared.cache.store_full(&keys, answer.clone());
+    evicted += shared.cache.put_warm(&keys, warm);
+    SolverMetrics::add(&shared.metrics.serve_cache_evictions, evicted);
+    answer_response(answer, if warm_hit { "warm" } else { "cold" })
+}
+
+/// Find the requested shard (or default to the first).
+fn resolve_shard<'a>(
+    shared: &'a Shared,
+    name: &str,
+) -> Result<(&'a str, &'a Dataset), Box<Response>> {
+    if name.is_empty() {
+        let (name, dataset) = &shared.shards[0];
+        return Ok((name.as_str(), dataset));
+    }
+    shared
+        .shards
+        .iter()
+        .find(|(shard, _)| shard == name)
+        .map(|(shard, dataset)| (shard.as_str(), dataset))
+        .ok_or_else(|| {
+            let known: Vec<&str> = shared.shards.iter().map(|(n, _)| n.as_str()).collect();
+            Box::new(Response::error(
+                "usage",
+                format!("unknown shard {name:?} (have {known:?})"),
+            ))
+        })
+}
+
+/// Default, resolve, and validate a solve request against its shard.
+fn resolve_query(dataset: &Dataset, request: &Request) -> Result<SolveQuery, Box<Response>> {
+    let usage = |msg: String| Box::new(Response::error("usage", msg));
+    let params = SelectParams {
+        m: request.m.unwrap_or(3),
+        lambda: request.lambda.unwrap_or(1.0),
+        mu: request.mu.unwrap_or(0.1),
+    };
+    if params.m == 0 {
+        return Err(usage("m must be at least 1".to_string()));
+    }
+    if !(params.lambda.is_finite() && params.lambda >= 0.0) {
+        return Err(usage(format!(
+            "lambda must be finite and >= 0, got {}",
+            params.lambda
+        )));
+    }
+    if !(params.mu.is_finite() && params.mu >= 0.0) {
+        return Err(usage(format!(
+            "mu must be finite and >= 0, got {}",
+            params.mu
+        )));
+    }
+    let sweeps = request.sweeps.unwrap_or(1);
+    if sweeps == 0 {
+        return Err(usage("sweeps must be at least 1".to_string()));
+    }
+    let (scheme, scheme_name) = match request.scheme.as_deref().unwrap_or("binary") {
+        "binary" => (OpinionScheme::Binary, "binary"),
+        "3-polarity" | "three-polarity" | "ternary" => (OpinionScheme::ThreePolarity, "3-polarity"),
+        "unary-scale" | "unary" => (OpinionScheme::UnaryScale, "unary-scale"),
+        other => return Err(usage(format!("unknown opinion scheme {other:?}"))),
+    };
+
+    let items = match (&request.items, request.target) {
+        (Some(explicit), _) => {
+            if explicit.is_empty() {
+                return Err(usage("items must name at least a target".to_string()));
+            }
+            explicit.clone()
+        }
+        (None, Some(target)) => {
+            derive_items(dataset, target, request.max_comparatives.unwrap_or(12))?
+        }
+        (None, None) => {
+            return Err(usage("solve needs either target or items".to_string()));
+        }
+    };
+    for &id in &items {
+        if id as usize >= dataset.products.len() {
+            return Err(Box::new(Response::error(
+                "usage",
+                format!(
+                    "product {id} out of range (shard has {} products)",
+                    dataset.products.len()
+                ),
+            )));
+        }
+        if dataset.reviews_of(ProductId(id)).is_empty() {
+            return Err(Box::new(Response::error(
+                "data",
+                format!("product {id} has no reviews"),
+            )));
+        }
+    }
+
+    Ok(SolveQuery {
+        items,
+        params,
+        sweeps,
+        scheme,
+        scheme_name,
+    })
+}
+
+/// Derive the comparison set for a target from its shard, mirroring the
+/// CLI's `select` resolution: reviewed `also_bought` products, capped.
+fn derive_items(
+    dataset: &Dataset,
+    target: u32,
+    max_comparatives: usize,
+) -> Result<Vec<u32>, Box<Response>> {
+    if target as usize >= dataset.products.len() {
+        return Err(Box::new(Response::error(
+            "usage",
+            format!(
+                "target {target} out of range (shard has {} products)",
+                dataset.products.len()
+            ),
+        )));
+    }
+    let pid = ProductId(target);
+    if dataset.reviews_of(pid).is_empty() {
+        return Err(Box::new(Response::error(
+            "data",
+            format!("product {target} has no reviews"),
+        )));
+    }
+    let comps: Vec<u32> = dataset
+        .product(pid)
+        .also_bought
+        .iter()
+        .filter(|c| !dataset.reviews_of(**c).is_empty())
+        .take(max_comparatives)
+        .map(|c| c.0)
+        .collect();
+    if comps.is_empty() {
+        return Err(Box::new(Response::error(
+            "data",
+            format!("product {target} has no reviewed comparison products"),
+        )));
+    }
+    let mut items = vec![target];
+    items.extend(comps);
+    Ok(items)
+}
+
+/// Convert solver selections to the wire shape.
+fn wire_answer(ctx: &InstanceContext, selections: &[Selection], objective: f64) -> CachedAnswer {
+    let selections = selections
+        .iter()
+        .enumerate()
+        .map(|(i, sel)| {
+            let item = ctx.item(i);
+            ItemSelection {
+                product: item.product.0,
+                indices: sel.indices.clone(),
+                review_ids: sel.review_ids(item).iter().map(|r| r.0).collect(),
+            }
+        })
+        .collect();
+    CachedAnswer {
+        selections,
+        objective,
+    }
+}
+
+/// Wrap a cached/computed answer as an `Ok` response with its cache
+/// marker.
+fn answer_response(answer: CachedAnswer, cache: &str) -> Response {
+    Response {
+        selections: answer.selections,
+        objective: Some(answer.objective),
+        cache: Some(cache.to_string()),
+        ..Response::ok()
+    }
+}

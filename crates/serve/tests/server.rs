@@ -1,0 +1,468 @@
+//! End-to-end server tests over real sockets: session-cache identity
+//! properties (every hit class answers byte-identically to a cold
+//! solve; eviction never changes results), admission-control overload
+//! behaviour, and request validation.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use comparesets_core::{
+    comparesets_plus_objective, solve_comparesets_plus_sweeps_with, InstanceContext, OpinionScheme,
+    SelectParams, SolveOptions, SolverMetrics,
+};
+use comparesets_data::{CategoryPreset, ComparisonInstance, Dataset, ProductId};
+use comparesets_serve::{Client, ItemSelection, Request, Response, Server, ServerConfig, Status};
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn corpus() -> Dataset {
+    CategoryPreset::Toy.config(60, 13).generate()
+}
+
+/// Item sets (product ids, target first) taken from the corpus's own
+/// comparison instances, truncated to keep solves fast.
+fn item_sets(dataset: &Dataset) -> Vec<Vec<u32>> {
+    dataset
+        .instances()
+        .into_iter()
+        .take(4)
+        .map(|inst| {
+            inst.truncated(3)
+                .items
+                .iter()
+                .map(|p| p.0)
+                .collect::<Vec<u32>>()
+        })
+        .collect()
+}
+
+fn spawn(
+    dataset: Dataset,
+    config: ServerConfig,
+) -> (
+    SocketAddr,
+    std::thread::JoinHandle<comparesets_serve::ServeSummary>,
+    Arc<SolverMetrics>,
+) {
+    let metrics = Arc::new(SolverMetrics::new());
+    let server = Server::bind(
+        "127.0.0.1:0",
+        vec![("main".to_string(), dataset)],
+        Arc::clone(&metrics),
+        config,
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+    let handle = std::thread::spawn(move || server.run().expect("serve"));
+    (addr, handle, metrics)
+}
+
+/// The reference answer: a cold in-process solve, rendered to the wire
+/// shape exactly as the server renders it.
+fn cold_reference(
+    dataset: &Dataset,
+    items: &[u32],
+    params: &SelectParams,
+    sweeps: usize,
+) -> (Vec<ItemSelection>, f64) {
+    let instance = ComparisonInstance {
+        items: items.iter().map(|&id| ProductId(id)).collect(),
+    };
+    let ctx = InstanceContext::build(dataset, &instance, OpinionScheme::Binary);
+    let selections =
+        solve_comparesets_plus_sweeps_with(&ctx, params, sweeps, &SolveOptions::default());
+    let objective = comparesets_plus_objective(&ctx, &selections, params.lambda, params.mu);
+    let wire = selections
+        .iter()
+        .enumerate()
+        .map(|(i, sel)| {
+            let item = ctx.item(i);
+            ItemSelection {
+                product: item.product.0,
+                indices: sel.indices.clone(),
+                review_ids: sel.review_ids(item).iter().map(|r| r.0).collect(),
+            }
+        })
+        .collect();
+    (wire, objective)
+}
+
+fn assert_matches_reference(response: &Response, reference: &(Vec<ItemSelection>, f64)) {
+    assert_eq!(response.status, Status::Ok, "{response:?}");
+    assert_eq!(response.selections, reference.0, "selections diverged");
+    assert_eq!(
+        response.objective.map(f64::to_bits),
+        Some(reference.1.to_bits()),
+        "objective diverged"
+    );
+}
+
+#[test]
+fn every_hit_class_answers_byte_identically_to_a_cold_solve() {
+    let dataset = corpus();
+    let items = item_sets(&dataset).remove(0);
+    let (addr, handle, metrics) = spawn(dataset.clone(), ServerConfig::default());
+    let mut client = Client::connect(addr).unwrap();
+    let params = SelectParams::default();
+
+    // Cold miss.
+    let request = Request::solve_items(items.clone());
+    let cold = client.call(&request).unwrap();
+    assert_eq!(cold.cache.as_deref(), Some("cold"));
+    assert_matches_reference(&cold, &cold_reference(&dataset, &items, &params, 1));
+
+    // Full hit: exact repeat.
+    let full = client.call(&request).unwrap();
+    assert_eq!(full.cache.as_deref(), Some("full"));
+    assert_matches_reference(&full, &cold_reference(&dataset, &items, &params, 1));
+
+    // Warm hit: same shape, deeper sweeps — reuses checked-out warm
+    // states, still byte-identical to a cold 3-sweep solve.
+    let deeper = Request {
+        sweeps: Some(3),
+        ..request.clone()
+    };
+    let warm = client.call(&deeper).unwrap();
+    assert_eq!(warm.cache.as_deref(), Some("warm"));
+    assert_matches_reference(&warm, &cold_reference(&dataset, &items, &params, 3));
+
+    // Warm hit with a λ tweak — near-repeat, same guarantee.
+    let tweaked_params = SelectParams {
+        lambda: 0.5,
+        ..params
+    };
+    let tweaked = Request {
+        lambda: Some(0.5),
+        ..request.clone()
+    };
+    let warm2 = client.call(&tweaked).unwrap();
+    assert_eq!(warm2.cache.as_deref(), Some("warm"));
+    assert_matches_reference(
+        &warm2,
+        &cold_reference(&dataset, &items, &tweaked_params, 1),
+    );
+
+    let snapshot = metrics.snapshot();
+    assert_eq!(snapshot.serve_requests, 4);
+    assert_eq!(snapshot.serve_full_hits, 1);
+    assert_eq!(snapshot.serve_warm_hits, 2);
+    assert_eq!(snapshot.serve_cache_misses, 1);
+
+    // Close the querying connection before shutdown: the server joins its
+    // handler threads, which serve until their client hangs up.
+    drop(client);
+    Client::connect(addr).unwrap().shutdown().unwrap();
+    let summary = handle.join().unwrap();
+    assert_eq!(summary.requests, 5);
+    assert_eq!(summary.degraded, 0);
+}
+
+#[test]
+fn eviction_never_changes_results() {
+    // Capacity 2 with 4 query shapes cycling: every layer churns
+    // constantly, so most requests land on evicted keys. Every response
+    // must still match the cold reference bit-for-bit.
+    let dataset = corpus();
+    let sets = item_sets(&dataset);
+    assert!(sets.len() >= 3, "corpus too small for the eviction test");
+    let (addr, handle, metrics) = spawn(
+        dataset.clone(),
+        ServerConfig {
+            cache_capacity: 2,
+            ..ServerConfig::default()
+        },
+    );
+    let mut client = Client::connect(addr).unwrap();
+    let mut rng = ChaCha8Rng::seed_from_u64(42);
+    let mut references: HashMap<String, (Vec<ItemSelection>, f64)> = HashMap::new();
+
+    for _ in 0..40 {
+        let items = sets[rng.random_range(0..sets.len())].clone();
+        let m = rng.random_range(2..=3);
+        let sweeps = rng.random_range(1..=2);
+        let lambda = [1.0, 0.5][rng.random_range(0..2)];
+        let params = SelectParams { m, lambda, mu: 0.1 };
+        let request = Request {
+            m: Some(m),
+            sweeps: Some(sweeps),
+            lambda: Some(lambda),
+            ..Request::solve_items(items.clone())
+        };
+        let key = format!("{items:?}|{m}|{sweeps}|{lambda}");
+        let reference = references
+            .entry(key)
+            .or_insert_with(|| cold_reference(&dataset, &items, &params, sweeps));
+        let response = client.call(&request).unwrap();
+        assert_matches_reference(&response, reference);
+    }
+
+    let snapshot = metrics.snapshot();
+    assert!(
+        snapshot.serve_cache_evictions > 0,
+        "capacity 2 under 4 shapes must evict: {snapshot:?}"
+    );
+    assert!(snapshot.serve_full_hits + snapshot.serve_warm_hits > 0);
+
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn zero_capacity_disables_caching_but_not_correctness() {
+    let dataset = corpus();
+    let items = item_sets(&dataset).remove(0);
+    let (addr, handle, metrics) = spawn(
+        dataset.clone(),
+        ServerConfig {
+            cache_capacity: 0,
+            ..ServerConfig::default()
+        },
+    );
+    let mut client = Client::connect(addr).unwrap();
+    let request = Request::solve_items(items.clone());
+    let reference = cold_reference(&dataset, &items, &SelectParams::default(), 1);
+    for _ in 0..3 {
+        let response = client.call(&request).unwrap();
+        assert_eq!(response.cache.as_deref(), Some("cold"));
+        assert_matches_reference(&response, &reference);
+    }
+    let snapshot = metrics.snapshot();
+    assert_eq!(snapshot.serve_full_hits + snapshot.serve_warm_hits, 0);
+    assert_eq!(snapshot.serve_cache_misses, 3);
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn overload_degrades_to_valid_best_so_far_answers() {
+    // workers = 1 and a zero overload budget: any request that arrives
+    // while another solve runs is cut immediately and must come back
+    // Degraded yet structurally valid. Retry rounds de-flake the
+    // scheduling race; with 12 simultaneous clients a collision is
+    // near-certain per round.
+    let dataset = corpus();
+    let items = item_sets(&dataset).remove(0);
+    let m = 3usize;
+    let (addr, handle, _metrics) = spawn(
+        dataset.clone(),
+        ServerConfig {
+            workers: 1,
+            cache_capacity: 0, // keep every request on the solve path
+            overload_timeout: Duration::ZERO,
+            ..ServerConfig::default()
+        },
+    );
+
+    let mut saw_degraded = false;
+    for _round in 0..5 {
+        let barrier = Arc::new(std::sync::Barrier::new(12));
+        let workers: Vec<_> = (0..12)
+            .map(|_| {
+                let barrier = Arc::clone(&barrier);
+                let items = items.clone();
+                std::thread::spawn(move || {
+                    let mut client = Client::connect(addr).unwrap();
+                    let request = Request {
+                        sweeps: Some(3),
+                        ..Request::solve_items(items)
+                    };
+                    barrier.wait();
+                    client.call(&request).unwrap()
+                })
+            })
+            .collect();
+        for worker in workers {
+            let response = worker.join().unwrap();
+            match response.status {
+                Status::Ok => {
+                    assert!(response.objective.is_some());
+                }
+                Status::Degraded => {
+                    saw_degraded = true;
+                    // Degraded answers carry no (unconverged) objective
+                    // and are never cache hits...
+                    assert_eq!(response.objective, None);
+                    assert_eq!(response.cache.as_deref(), Some("cold"));
+                }
+                Status::Error => panic!("overload must degrade, not error: {response:?}"),
+            }
+            // ...but are always structurally valid selections.
+            assert_eq!(response.selections.len(), items.len());
+            for (sel, &product) in response.selections.iter().zip(&items) {
+                assert_eq!(sel.product, product);
+                assert!(sel.indices.len() <= m, "budget violated: {sel:?}");
+                assert_eq!(sel.indices.len(), sel.review_ids.len());
+            }
+        }
+        if saw_degraded {
+            break;
+        }
+    }
+    assert!(
+        saw_degraded,
+        "12 simultaneous clients never overloaded workers=1"
+    );
+
+    Client::connect(addr).unwrap().shutdown().unwrap();
+    let summary = handle.join().unwrap();
+    assert!(summary.degraded > 0);
+}
+
+#[test]
+fn request_validation_answers_classified_errors() {
+    let dataset = corpus();
+    let n_products = dataset.products.len() as u32;
+    let valid = item_sets(&dataset).remove(0);
+    let (addr, handle, _metrics) = spawn(dataset, ServerConfig::default());
+    let mut client = Client::connect(addr).unwrap();
+
+    let cases: Vec<(Request, &str, &str)> = vec![
+        (Request::bare("frobnicate"), "usage", "unknown op"),
+        (Request::bare("solve"), "usage", "target or items"),
+        (Request::solve(n_products + 7), "usage", "out of range"),
+        (Request::solve_items(vec![]), "usage", "at least a target"),
+        (
+            Request {
+                m: Some(0),
+                ..Request::solve_items(valid.clone())
+            },
+            "usage",
+            "m must be",
+        ),
+        (
+            Request {
+                lambda: Some(-1.0),
+                ..Request::solve_items(valid.clone())
+            },
+            "usage",
+            "lambda",
+        ),
+        (
+            Request {
+                sweeps: Some(0),
+                ..Request::solve_items(valid.clone())
+            },
+            "usage",
+            "sweeps",
+        ),
+        (
+            Request {
+                scheme: Some("hex".to_string()),
+                ..Request::solve_items(valid.clone())
+            },
+            "usage",
+            "scheme",
+        ),
+        (
+            Request {
+                shard: "nope".to_string(),
+                ..Request::solve_items(valid.clone())
+            },
+            "usage",
+            "unknown shard",
+        ),
+    ];
+    for (request, code, needle) in cases {
+        let response = client.call(&request).unwrap();
+        assert_eq!(
+            response.status,
+            Status::Error,
+            "{request:?} -> {response:?}"
+        );
+        assert_eq!(response.code.as_deref(), Some(code), "{request:?}");
+        assert!(
+            response.error.as_deref().unwrap_or("").contains(needle),
+            "{request:?} -> {response:?}"
+        );
+    }
+
+    // A malformed frame gets an in-band usage error before the hangup.
+    // (Raw socket: send garbage JSON as a well-formed frame.)
+    use std::io::Write;
+    let mut raw = std::net::TcpStream::connect(addr).unwrap();
+    let garbage = b"{\"op\":7}";
+    raw.write_all(&(garbage.len() as u32).to_be_bytes())
+        .unwrap();
+    raw.write_all(garbage).unwrap();
+    let answer: Response = comparesets_serve::protocol::read_message(&mut raw)
+        .unwrap()
+        .unwrap();
+    assert_eq!(answer.status, Status::Error);
+    assert_eq!(answer.code.as_deref(), Some("usage"));
+    // Close the raw connection before shutdown: the server joins its
+    // handler threads, which serve until their client hangs up.
+    drop(raw);
+
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn named_shards_route_and_ping_answers() {
+    let toys = CategoryPreset::Toy.config(40, 7).generate();
+    let phones = CategoryPreset::Cellphone.config(40, 7).generate();
+    let toy_items = item_sets(&toys).remove(0);
+    let metrics = Arc::new(SolverMetrics::new());
+    let server = Server::bind(
+        "127.0.0.1:0",
+        vec![
+            ("toys".to_string(), toys.clone()),
+            ("phones".to_string(), phones),
+        ],
+        metrics,
+        ServerConfig::default(),
+    )
+    .unwrap();
+    let addr = server.local_addr();
+    let handle = std::thread::spawn(move || server.run().unwrap());
+    let mut client = Client::connect(addr).unwrap();
+
+    let pong = client.ping().unwrap();
+    assert_eq!(pong.status, Status::Ok);
+    assert_eq!(pong.pong.as_deref(), Some("pong"));
+
+    // Explicit shard and default-to-first answer identically.
+    let explicit = client
+        .call(&Request {
+            shard: "toys".to_string(),
+            ..Request::solve_items(toy_items.clone())
+        })
+        .unwrap();
+    let default = client
+        .call(&Request::solve_items(toy_items.clone()))
+        .unwrap();
+    assert_eq!(explicit.selections, default.selections);
+    assert_matches_reference(
+        &explicit,
+        &cold_reference(&toys, &toy_items, &SelectParams::default(), 1),
+    );
+
+    // The metrics op returns a parsable snapshot.
+    let metrics_resp = client.call(&Request::bare("metrics")).unwrap();
+    let snapshot: comparesets_core::MetricsSnapshot =
+        serde_json::from_str(metrics_resp.info.as_deref().unwrap()).unwrap();
+    assert!(snapshot.serve_requests >= 3);
+
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn max_requests_backstop_stops_the_server() {
+    let dataset = corpus();
+    let (addr, handle, _metrics) = spawn(
+        dataset,
+        ServerConfig {
+            max_requests: Some(2),
+            ..ServerConfig::default()
+        },
+    );
+    let mut client = Client::connect(addr).unwrap();
+    client.ping().unwrap();
+    client.ping().unwrap(); // hits the limit; server begins shutdown
+    let summary = handle.join().unwrap();
+    assert_eq!(summary.requests, 2);
+}

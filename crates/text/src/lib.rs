@@ -7,7 +7,7 @@
 //! this crate supplies a faithful, self-contained substitute so the whole
 //! system runs end-to-end:
 //!
-//! * [`tokenize`] — lowercasing word tokenizer and sentence splitter.
+//! * [`mod@tokenize`] — lowercasing word tokenizer and sentence splitter.
 //! * [`ngram`] — n-gram multiset counting with clipping support.
 //! * [`rouge`] — ROUGE-1 / ROUGE-2 / ROUGE-L precision, recall and F1.
 //! * [`lexicon`] — a built-in sentiment lexicon (positive/negative terms).

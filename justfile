@@ -1,7 +1,7 @@
 # Local equivalents of the CI gates (.github/workflows/ci.yml).
 
 # Run every CI gate in order.
-ci: fmt-check clippy build test doctest smoke resume-smoke bench-smoke
+ci: fmt-check clippy build test doctest doc smoke resume-smoke serve-smoke bench-smoke
 
 fmt:
     cargo fmt
@@ -24,6 +24,11 @@ test:
 doctest:
     cargo test --workspace --doc -q
 
+# Rustdoc must build warnings-clean (broken intra-doc links, missing
+# docs on #![warn(missing_docs)] crates).
+doc:
+    RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
+
 # End-to-end observability smoke: generate a small corpus, solve it with
 # --trace debug, and require a valid non-empty --metrics-json report
 # (mirrors the "Observability smoke" CI step).
@@ -38,7 +43,7 @@ smoke:
         --corpus "$tmp/corpus.json" --target 0 --m 3 \
         --trace debug --metrics-json "$tmp/metrics.json"
     test -s "$tmp/metrics.json"
-    grep -q 'comparesets-metrics/v3' "$tmp/metrics.json"
+    grep -q 'comparesets-metrics/v4' "$tmp/metrics.json"
     grep -q '"nomp_pursuits":' "$tmp/metrics.json"
     grep -q '"cancellation_checks":' "$tmp/metrics.json"
     grep -q '"io_retries":' "$tmp/metrics.json"
@@ -67,10 +72,42 @@ resume-smoke:
     cmp "$tmp/resumed.txt" "$tmp/full.txt"
     echo "resume smoke ok"
 
-# Refresh the performance baseline (updates BENCH_parallel_solver.json,
-# see PERFORMANCE.md).
+# Serving smoke: generate a corpus, start `comparesets serve` on an
+# ephemeral port, parse the announced address, drive it with the example
+# client (ping, solve, cached repeat, metrics, shutdown), and require
+# the serving counters in the --metrics-json report the server writes on
+# exit (mirrors the "Serve smoke" CI step).
+serve-smoke:
+    #!/usr/bin/env bash
+    set -euo pipefail
+    tmp=$(mktemp -d)
+    trap 'rm -rf "$tmp"' EXIT
+    cargo run --release -p comparesets-cli -- generate \
+        --category cellphone --products 40 --seed 7 --out "$tmp/corpus.json"
+    cargo build --release -p comparesets-serve --example client
+    cargo run --release -p comparesets-cli -- serve \
+        --corpus "$tmp/corpus.json" --addr 127.0.0.1:0 \
+        --metrics-json "$tmp/metrics.json" > "$tmp/serve.out" &
+    server=$!
+    addr=""
+    for _ in $(seq 100); do
+        addr=$(sed -n 's/^serving on //p' "$tmp/serve.out")
+        [ -n "$addr" ] && break
+        sleep 0.1
+    done
+    test -n "$addr"
+    cargo run --release -p comparesets-serve --example client -- "$addr" 0
+    wait "$server"
+    grep -q 'served 5 request(s), 0 degraded' "$tmp/serve.out"
+    grep -q '"serve_requests":5' "$tmp/metrics.json"
+    grep -q '"serve_full_hits":1' "$tmp/metrics.json"
+    echo "serve smoke ok"
+
+# Refresh the performance baselines (updates BENCH_parallel_solver.json
+# and BENCH_serve.json, see PERFORMANCE.md).
 bench-baseline:
     cargo bench -p comparesets-bench --bench parallel_solver
+    cargo bench -p comparesets-bench --bench serve
 
 # One-sample, one-iteration run of every bench group: proves each bench
 # body executes end-to-end without paying measurement-grade runtimes.

@@ -307,7 +307,7 @@ pub mod collection {
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;
 
-    /// Acceptable length specifications for [`vec`].
+    /// Acceptable length specifications for [`fn@vec`].
     pub trait SizeRange {
         /// Inclusive (min, max) length bounds.
         fn bounds(&self) -> (usize, usize);
