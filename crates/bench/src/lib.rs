@@ -4,7 +4,10 @@
 
 pub mod schema;
 
-pub use schema::{BenchReport, Measurement, ServeBenchReport, ServeMeasurement};
+pub use schema::{
+    BenchReport, Measurement, ServeBenchReport, ServeMeasurement, StreamBenchReport,
+    StreamMeasurement,
+};
 
 use comparesets_core::{InstanceContext, OpinionScheme};
 use comparesets_data::{CategoryPreset, Dataset};

@@ -141,6 +141,78 @@ impl ServeBenchReport {
     }
 }
 
+/// One streaming workload: either sustained ingest throughput under a
+/// concurrent query load, or recovery time over a WAL tail.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamMeasurement {
+    /// Workload path, e.g. `"stream/ingest/queryclients8"` or
+    /// `"stream/recover/tail4000"`.
+    pub name: String,
+    /// Review events the workload processed (ingested or replayed).
+    pub events: usize,
+    /// Wall-clock the events took, in seconds.
+    pub seconds: f64,
+    /// `events / seconds` — sustained reviews/sec.
+    pub events_per_sec: f64,
+}
+
+/// The machine-readable report `benches/stream.rs` writes to
+/// `BENCH_stream.json` at the workspace root.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamBenchReport {
+    /// Bench target name (`"stream"`).
+    pub bench: String,
+    /// `std::thread::available_parallelism()` on the measuring machine.
+    pub threads_available: usize,
+    /// All measurements, in emission order.
+    pub measurements: Vec<StreamMeasurement>,
+}
+
+impl StreamBenchReport {
+    /// Structural validation: non-empty identity, unique workload names,
+    /// positive event counts, and positive finite timings whose rate is
+    /// consistent with `events / seconds`.
+    ///
+    /// # Errors
+    /// A readable description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.bench.is_empty() {
+            return Err("bench name is empty".to_string());
+        }
+        if self.threads_available == 0 {
+            return Err("threads_available must be at least 1".to_string());
+        }
+        if self.measurements.is_empty() {
+            return Err("report has no measurements".to_string());
+        }
+        let mut seen = std::collections::HashSet::new();
+        for m in &self.measurements {
+            if m.name.is_empty() {
+                return Err("a measurement has an empty name".to_string());
+            }
+            if !seen.insert(m.name.as_str()) {
+                return Err(format!("duplicate measurement name {:?}", m.name));
+            }
+            if m.events == 0 {
+                return Err(format!("{}: zero events", m.name));
+            }
+            for (what, v) in [("seconds", m.seconds), ("events_per_sec", m.events_per_sec)] {
+                if !(v.is_finite() && v > 0.0) {
+                    return Err(format!("{}: {what} {v} is not positive and finite", m.name));
+                }
+            }
+            let implied = m.events as f64 / m.seconds;
+            if (m.events_per_sec - implied).abs() > implied * 0.01 {
+                return Err(format!(
+                    "{}: events_per_sec {} inconsistent with {} events / {}s",
+                    m.name, m.events_per_sec, m.events, m.seconds
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -213,6 +285,54 @@ mod tests {
         assert!(r.validate().is_err());
 
         let mut r = sample_serve_report();
+        let dup = r.measurements[0].clone();
+        r.measurements.push(dup);
+        assert!(r.validate().is_err());
+    }
+
+    fn sample_stream_report() -> StreamBenchReport {
+        StreamBenchReport {
+            bench: "stream".to_string(),
+            threads_available: 4,
+            measurements: vec![StreamMeasurement {
+                name: "stream/ingest/queryclients8".to_string(),
+                events: 1000,
+                seconds: 2.0,
+                events_per_sec: 500.0,
+            }],
+        }
+    }
+
+    #[test]
+    fn stream_report_round_trips_through_json() {
+        let report = sample_stream_report();
+        let json = serde_json::to_string(&report).unwrap();
+        let back: StreamBenchReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+        assert!(back.validate().is_ok());
+    }
+
+    #[test]
+    fn stream_validation_rejects_malformed_reports() {
+        let mut r = sample_stream_report();
+        r.measurements.clear();
+        assert!(r.validate().is_err());
+
+        let mut r = sample_stream_report();
+        r.measurements[0].events = 0;
+        assert!(r.validate().is_err());
+
+        let mut r = sample_stream_report();
+        r.measurements[0].seconds = f64::NAN;
+        assert!(r.validate().is_err());
+
+        // A rate that disagrees with events/seconds is internally
+        // inconsistent.
+        let mut r = sample_stream_report();
+        r.measurements[0].events_per_sec = 10.0;
+        assert!(r.validate().is_err());
+
+        let mut r = sample_stream_report();
         let dup = r.measurements[0].clone();
         r.measurements.push(dup);
         assert!(r.validate().is_err());

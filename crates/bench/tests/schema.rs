@@ -4,7 +4,7 @@
 //! validation, and the solver-metrics report format used by the CLI's
 //! `--metrics-json` must round-trip under its schema tag.
 
-use comparesets_bench::{BenchReport, ServeBenchReport};
+use comparesets_bench::{BenchReport, ServeBenchReport, StreamBenchReport};
 use comparesets_core::{MetricsReport, SolverMetrics};
 use std::path::Path;
 
@@ -113,6 +113,43 @@ fn committed_serve_baseline_matches_schema() {
 }
 
 #[test]
+fn committed_stream_baseline_matches_schema() {
+    let path = workspace_root().join("BENCH_stream.json");
+    let raw = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("reading {}: {e}", path.display()));
+    let report: StreamBenchReport = serde_json::from_str(&raw)
+        .unwrap_or_else(|e| panic!("{} does not match the schema: {e}", path.display()));
+    report
+        .validate()
+        .unwrap_or_else(|e| panic!("{} is malformed: {e}", path.display()));
+    assert_eq!(report.bench, "stream");
+    let names: Vec<&str> = report
+        .measurements
+        .iter()
+        .map(|m| m.name.as_str())
+        .collect();
+    // Sustained ingest with the serve query mix at both client counts the
+    // PR quotes, and recovery time at every WAL-tail length.
+    for clients in [1, 8] {
+        let want = format!("stream/ingest/queryclients{clients}");
+        assert!(
+            names.iter().any(|n| *n == want),
+            "missing {want}: {names:?}"
+        );
+    }
+    for tail in [1000, 4000, 16000] {
+        let want = format!("stream/recover/tail{tail}");
+        assert!(
+            names.iter().any(|n| *n == want),
+            "missing {want}: {names:?}"
+        );
+    }
+    let round_tripped: StreamBenchReport =
+        serde_json::from_str(&serde_json::to_string(&report).unwrap()).unwrap();
+    assert_eq!(round_tripped, report);
+}
+
+#[test]
 fn metrics_report_format_round_trips_under_its_schema_tag() {
     let collector = SolverMetrics::new();
     SolverMetrics::add(&collector.nomp_pursuits, 3);
@@ -199,7 +236,6 @@ fn metrics_schema_v4_carries_the_serving_counters() {
     // The serving daemon landed with the v4 tag; serialized reports carry
     // the session-cache and admission counters, and v3-tagged reports
     // (no serving fields) still parse with the fields defaulting to zero.
-    assert_eq!(comparesets_core::METRICS_SCHEMA, "comparesets-metrics/v4");
     let collector = SolverMetrics::new();
     SolverMetrics::add(&collector.serve_requests, 9);
     SolverMetrics::add(&collector.serve_full_hits, 4);
@@ -232,4 +268,41 @@ fn metrics_schema_v4_carries_the_serving_counters() {
     assert!(!back.schema_matches());
     assert_eq!(back.metrics.serve_requests, 0);
     assert_eq!(back.metrics.serve_degraded, 0);
+}
+
+#[test]
+fn metrics_schema_v5_carries_the_streaming_counters() {
+    // The durable streaming store landed with the v5 tag; serialized
+    // reports carry the WAL/snapshot/recovery counters, and v4-tagged
+    // reports (no streaming fields) still parse defaulting to zero.
+    assert_eq!(comparesets_core::METRICS_SCHEMA, "comparesets-metrics/v5");
+    let collector = SolverMetrics::new();
+    SolverMetrics::add(&collector.wal_appends, 12);
+    SolverMetrics::add(&collector.wal_fsyncs, 7);
+    SolverMetrics::incr(&collector.snapshot_writes);
+    SolverMetrics::add(&collector.recovery_replayed_records, 5);
+    SolverMetrics::add(&collector.cache_invalidations, 3);
+    let report = MetricsReport::new("serve", std::time::Duration::from_millis(3), &collector);
+    assert!(report.schema_matches());
+    let json = serde_json::to_string(&report).unwrap();
+    for field in [
+        ",\"wal_appends\":12",
+        ",\"wal_fsyncs\":7",
+        ",\"snapshot_writes\":1",
+        ",\"recovery_replayed_records\":5",
+        ",\"cache_invalidations\":3",
+    ] {
+        assert!(json.contains(field), "{field} missing from {json}");
+    }
+    let stripped = json
+        .replace(",\"wal_appends\":12", "")
+        .replace(",\"wal_fsyncs\":7", "")
+        .replace(",\"snapshot_writes\":1", "")
+        .replace(",\"recovery_replayed_records\":5", "")
+        .replace(",\"cache_invalidations\":3", "")
+        .replace(comparesets_core::METRICS_SCHEMA, "comparesets-metrics/v4");
+    let back: MetricsReport = serde_json::from_str(&stripped).unwrap();
+    assert!(!back.schema_matches());
+    assert_eq!(back.metrics.wal_appends, 0);
+    assert_eq!(back.metrics.cache_invalidations, 0);
 }

@@ -45,9 +45,18 @@ commands:
   serve           --corpus FILE[,FILE...] [--addr HOST:PORT] [--workers N]
                   [--cache-capacity N] [--request-timeout SECS]
                   [--overload-timeout-ms N] [--max-requests N]
+                  [--data-dir DIR] [--snapshot-every N]
                   persistent solve server (shard name = corpus file stem);
                   prints \"serving on HOST:PORT\" once bound, runs until a
-                  shutdown request (or --max-requests), then exits 0
+                  shutdown request (or --max-requests), then exits 0.
+                  with --data-dir, ingest requests are WAL-backed under
+                  DIR/<shard> and acked only after fsync; restarting with
+                  the same DIR recovers every acknowledged event
+  recover         --data-dir DIR [--shard NAME] [--out FILE] [--compact true]
+                  inspect (and optionally re-snapshot) a durable corpus
+                  store offline: reports snapshot seq, replayed WAL
+                  events, and torn bytes dropped per shard; --out writes
+                  the recovered corpus of --shard as a plain corpus file
   help            print this text
 
 long-run flags (select, narrow, eval):
@@ -101,6 +110,7 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
         "narrow" => cmd_narrow(&args, metrics.clone()),
         "eval" => cmd_eval(&args, metrics.clone()),
         "serve" => cmd_serve(&args, metrics.clone()),
+        "recover" => cmd_recover(&args, metrics.clone()),
         other => Err(CliError::usage(format!("unknown command {other:?}"))),
     };
     if result.is_ok() {
@@ -506,6 +516,8 @@ fn cmd_serve(args: &Args, metrics: Option<Arc<SolverMetrics>>) -> Result<String,
             args.get_or("overload-timeout-ms", 250)?,
         ),
         max_requests: (max_requests > 0).then_some(max_requests),
+        data_dir: args.get("data-dir").map(std::path::PathBuf::from),
+        snapshot_every: args.get_or("snapshot-every", 256)?,
     };
     if config.workers == 0 {
         return Err(CliError::usage("--workers: must be at least 1"));
@@ -540,6 +552,100 @@ fn cmd_serve(args: &Args, metrics: Option<Arc<SolverMetrics>>) -> Result<String,
         "served {} request(s), {} degraded",
         summary.requests, summary.degraded
     ))
+}
+
+/// Inspect a durable corpus store offline (ARCHITECTURE.md §11): replay
+/// each shard's snapshot + WAL tail exactly as `serve --data-dir` does
+/// at bind, and report what a restart would recover. `--out` exports one
+/// shard's recovered corpus as a plain corpus file; `--compact true`
+/// folds each WAL tail into a fresh snapshot so the next open replays
+/// nothing.
+fn cmd_recover(args: &Args, metrics: Option<Arc<SolverMetrics>>) -> Result<String, CliError> {
+    use comparesets_data::wal::SNAPSHOT_FILE;
+    use comparesets_data::CorpusStore;
+
+    let root = Path::new(args.require("data-dir")?);
+    let only = args.get("shard");
+    let compact: bool = args.get_or("compact", false)?;
+    let out = args.get("out");
+
+    // A store root holds one subdirectory per shard; accept a bare shard
+    // directory (snapshot.json at top level) too, named by its stem.
+    let mut shard_dirs: Vec<(String, std::path::PathBuf)> = Vec::new();
+    if root.join(SNAPSHOT_FILE).exists() {
+        let name = root
+            .file_name()
+            .and_then(|s| s.to_str())
+            .unwrap_or("corpus")
+            .to_string();
+        shard_dirs.push((name, root.to_path_buf()));
+    } else {
+        let entries = std::fs::read_dir(root)
+            .map_err(|e| CliError::io(format!("reading {}: {e}", root.display())))?;
+        for entry in entries {
+            let entry =
+                entry.map_err(|e| CliError::io(format!("reading {}: {e}", root.display())))?;
+            let dir = entry.path();
+            if dir.join(SNAPSHOT_FILE).exists() {
+                let name = entry.file_name().to_string_lossy().into_owned();
+                shard_dirs.push((name, dir));
+            }
+        }
+        shard_dirs.sort();
+    }
+    if let Some(only) = only {
+        shard_dirs.retain(|(name, _)| name == only);
+        if shard_dirs.is_empty() {
+            return Err(CliError::usage(format!(
+                "shard {only:?} not found under {}",
+                root.display()
+            )));
+        }
+    }
+    if shard_dirs.is_empty() {
+        return Err(CliError::data(format!(
+            "no corpus store under {} (no {} found)",
+            root.display(),
+            SNAPSHOT_FILE
+        )));
+    }
+    if out.is_some() && shard_dirs.len() != 1 {
+        return Err(CliError::usage(
+            "--out needs exactly one shard (pass --shard NAME)",
+        ));
+    }
+
+    let mut report = String::new();
+    for (name, dir) in &shard_dirs {
+        let recovered = comparesets_data::wal::recover(dir, metrics.as_deref())
+            .map_err(|e| CliError::data(format!("recovering shard {name:?}: {e}")))?;
+        report.push_str(&format!(
+            "shard {name}: snapshot seq {}, replayed {} event(s), dropped {} torn byte(s), last seq {}, {} products, {} reviews\n",
+            recovered.snapshot_seq,
+            recovered.replayed,
+            recovered.truncated_bytes,
+            recovered.last_seq,
+            recovered.dataset.products.len(),
+            recovered.dataset.reviews.len(),
+        ));
+        if compact {
+            // Re-opening the store replays the same tail, then one
+            // explicit snapshot folds it in and truncates the WAL.
+            let (mut store, rec) = CorpusStore::open(dir, None, 0, metrics.clone())
+                .map_err(|e| CliError::data(format!("opening shard {name:?}: {e}")))?;
+            store
+                .snapshot(&rec.dataset)
+                .map_err(|e| CliError::io(format!("compacting shard {name:?}: {e}")))?;
+            report.push_str(&format!("shard {name}: compacted\n"));
+        }
+        if let Some(out) = out {
+            corpus_io::save(&recovered.dataset, Path::new(out))
+                .map_err(|e| CliError::io(format!("writing {out}: {e}")))?;
+            report.push_str(&format!("wrote {out}\n"));
+        }
+    }
+    report.push_str(&format!("{} shard(s) recovered", shard_dirs.len()));
+    Ok(report)
 }
 
 /// Run the reproduction suite (or a named subset) with optional
@@ -1107,6 +1213,70 @@ mod tests {
         assert!(e.to_string().contains("--request-timeout"), "{e}");
         let e = run(&["serve", "--corpus", "/nonexistent/zz.json"]).unwrap_err();
         assert_eq!(e.kind, ErrorKind::Io);
+    }
+
+    #[test]
+    fn recover_flag_validation_and_round_trip() {
+        use comparesets_data::wal::{EventKind, ReviewEvent};
+        use comparesets_data::{CorpusStore, ProductId, ReviewId};
+
+        let e = run(&["recover"]).unwrap_err();
+        assert_eq!(e.kind, ErrorKind::Usage);
+        assert!(e.to_string().contains("data-dir"), "{e}");
+        let e = run(&["recover", "--data-dir", "/nonexistent/zz"]).unwrap_err();
+        assert_eq!(e.kind, ErrorKind::Io);
+
+        // Build a store with one shard and one WAL event, then recover it.
+        let root =
+            std::env::temp_dir().join(format!("comparesets_cli_recover_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let shard = root.join("main");
+        let seed = CategoryPreset::Toy.config(8, 3).generate();
+        let (mut store, rec) = CorpusStore::open(&shard, Some(&seed), 0, None).unwrap();
+        let ev = ReviewEvent {
+            seq: store.next_seq(),
+            kind: EventKind::Add,
+            product: ProductId(0),
+            review: ReviewId(rec.dataset.reviews.len() as u32),
+            reviewer: rec.dataset.num_reviewers,
+            rating: 5,
+            text: "streamed".to_string(),
+            mentions: vec![],
+        };
+        store.append(std::slice::from_ref(&ev)).unwrap();
+        drop(store);
+
+        let e = run(&[
+            "recover",
+            "--data-dir",
+            root.to_str().unwrap(),
+            "--shard",
+            "nope",
+        ])
+        .unwrap_err();
+        assert_eq!(e.kind, ErrorKind::Usage);
+
+        let out = root.join("recovered.json");
+        let report = run(&[
+            "recover",
+            "--data-dir",
+            root.to_str().unwrap(),
+            "--out",
+            out.to_str().unwrap(),
+            "--compact",
+            "true",
+        ])
+        .unwrap();
+        assert!(report.contains("shard main"), "{report}");
+        assert!(report.contains("replayed 1 event(s)"), "{report}");
+        assert!(report.contains("compacted"), "{report}");
+        let exported = corpus_io::load(&out).unwrap();
+        assert_eq!(exported.reviews.len(), seed.reviews.len() + 1);
+
+        // After --compact the WAL tail is folded in: nothing replays.
+        let report = run(&["recover", "--data-dir", root.to_str().unwrap()]).unwrap();
+        assert!(report.contains("replayed 0 event(s)"), "{report}");
+        std::fs::remove_dir_all(&root).unwrap();
     }
 
     #[test]

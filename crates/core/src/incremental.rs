@@ -29,6 +29,38 @@ use comparesets_data::ReviewId;
 use comparesets_linalg::vector::sq_distance;
 use comparesets_linalg::NompWorkspace;
 
+/// One corpus mutation addressed to a session item — the in-memory twin
+/// of `comparesets_data::ReviewEvent`, carrying the already-extracted
+/// [`ReviewFeature`] instead of raw dataset annotations.
+#[derive(Debug, Clone)]
+pub enum SessionEvent {
+    /// Append a new review to item `item`.
+    Add {
+        /// Session item index (0 = target).
+        item: usize,
+        /// Dataset review id of the new review.
+        id: ReviewId,
+        /// Its extracted annotation feature.
+        feature: ReviewFeature,
+    },
+    /// Replace the feature of an existing review.
+    Edit {
+        /// Session item index (0 = target).
+        item: usize,
+        /// Dataset review id to edit.
+        id: ReviewId,
+        /// The replacement feature.
+        feature: ReviewFeature,
+    },
+    /// Remove a review from its item's candidate set.
+    Delete {
+        /// Session item index (0 = target).
+        item: usize,
+        /// Dataset review id to remove.
+        id: ReviewId,
+    },
+}
+
 /// A live selection over one comparison instance.
 #[derive(Debug, Clone)]
 pub struct IncrementalSession {
@@ -109,14 +141,105 @@ impl IncrementalSession {
         self.updates_since_refresh += 1;
     }
 
+    /// Replace review `id`'s annotations on item `i` and re-select that
+    /// item. Selection indices stay valid (positions are unchanged); the
+    /// item's targets and candidate matrix are rebuilt.
+    ///
+    /// # Panics
+    /// Panics when `i` is out of range or `id` is not one of item `i`'s
+    /// reviews.
+    pub fn edit_review(&mut self, i: usize, id: ReviewId, feature: ReviewFeature) {
+        assert!(i < self.ctx.num_items(), "item index out of range");
+        self.ctx.edit_review(i, id, feature);
+        self.warm[i].invalidate();
+        self.reselect_item(i);
+        self.updates_since_refresh += 1;
+    }
+
+    /// Remove review `id` from item `i` and re-select that item. The
+    /// current selection's indices are remapped first (the deleted
+    /// position drops out, later positions shift down), so the kept
+    /// selection stays a valid subset of the shrunken candidate set.
+    ///
+    /// # Panics
+    /// Panics when `i` is out of range, `id` is not one of item `i`'s
+    /// reviews, or the delete would leave the item with no reviews (a
+    /// solvable item needs at least one candidate).
+    pub fn delete_review(&mut self, i: usize, id: ReviewId) {
+        assert!(i < self.ctx.num_items(), "item index out of range");
+        assert!(
+            self.ctx.item(i).num_reviews() > 1,
+            "cannot delete the last review of an item"
+        );
+        let Some(pos) = self.ctx.position_of(i, id) else {
+            panic!("review {id:?} is not part of item {i}");
+        };
+        self.ctx.remove_review(i, id);
+        let old = std::mem::take(&mut self.selections[i].indices);
+        self.selections[i].indices = old
+            .into_iter()
+            .filter(|&r| r != pos)
+            .map(|r| if r > pos { r - 1 } else { r })
+            .collect();
+        if self.selections[i].is_empty() {
+            // The whole selection was deleted; seed a valid placeholder
+            // so the better-of-old-new comparison below has a feasible
+            // incumbent.
+            self.selections[i] = Selection::new(vec![0]);
+        }
+        self.warm[i].invalidate();
+        self.reselect_item(i);
+        self.updates_since_refresh += 1;
+    }
+
+    /// Apply one [`SessionEvent`] — the dispatcher the streaming replay
+    /// path uses.
+    ///
+    /// # Panics
+    /// As for [`add_review`](Self::add_review),
+    /// [`edit_review`](Self::edit_review), and
+    /// [`delete_review`](Self::delete_review).
+    pub fn apply_event(&mut self, event: &SessionEvent) {
+        match event {
+            SessionEvent::Add { item, id, feature } => {
+                self.add_review(*item, *id, feature.clone());
+            }
+            SessionEvent::Edit { item, id, feature } => {
+                self.edit_review(*item, *id, feature.clone());
+            }
+            SessionEvent::Delete { item, id } => self.delete_review(*item, *id),
+        }
+    }
+
+    /// Rebuild a session from durable state: a context recovered from a
+    /// snapshot plus the WAL-tail events that post-date it. All events
+    /// are folded into the context *first*, then one cold solve runs —
+    /// so the recovered session is byte-identical to a session started
+    /// cold on the final corpus (the crash-recovery identity the
+    /// streaming tests pin).
+    ///
+    /// # Panics
+    /// As for [`apply_event`](Self::apply_event), for events that do not
+    /// apply to the snapshot state.
+    pub fn replay(
+        mut ctx: InstanceContext,
+        params: SelectParams,
+        opts: SolveOptions,
+        events: &[SessionEvent],
+    ) -> Self {
+        for event in events {
+            ctx.apply_session_event(event);
+        }
+        IncrementalSession::with_options(ctx, params, opts)
+    }
+
     /// One step of Algorithm 1 for item `i` against the other items'
     /// current selections; keeps the better of old/new selection. (The
-    /// old selection's indices remain valid because reviews are only
-    /// appended.)
+    /// old selection's indices are valid by construction: appends and
+    /// edits leave positions unchanged, deletes remap first.)
     fn reselect_item(&mut self, i: usize) {
         // A fired session token skips the re-selection entirely: the old
-        // selection stays valid (indices only ever grow) and is the
-        // anytime iterate.
+        // selection stays valid and is the anytime iterate.
         if self.opts.ctl().is_cancelled() {
             return;
         }
@@ -208,6 +331,61 @@ impl InstanceContext {
         let n = self.num_items();
         assert!(i < n, "item index out of range");
         self.push_review_internal(i, id, feature);
+    }
+
+    /// Replace review `id`'s feature on item `i`, refreshing τᵢ (and Γ
+    /// when `i` is the target). Positions are unchanged, so selections
+    /// stay valid.
+    ///
+    /// # Panics
+    /// Panics when `i` is out of range or `id` is not one of item `i`'s
+    /// reviews.
+    pub fn edit_review(&mut self, i: usize, id: ReviewId, feature: ReviewFeature) {
+        assert!(i < self.num_items(), "item index out of range");
+        let Some(pos) = self.position_of(i, id) else {
+            panic!("review {id:?} is not part of item {i}");
+        };
+        self.edit_review_internal(i, pos, feature);
+    }
+
+    /// Remove review `id` from item `i`, refreshing τᵢ (and Γ when `i`
+    /// is the target). Later positions shift down by one — callers
+    /// holding selections must remap them (see
+    /// [`IncrementalSession::delete_review`]).
+    ///
+    /// # Panics
+    /// Panics when `i` is out of range, `id` is not one of item `i`'s
+    /// reviews, or the item would be left with no reviews.
+    pub fn remove_review(&mut self, i: usize, id: ReviewId) {
+        assert!(i < self.num_items(), "item index out of range");
+        assert!(
+            self.item(i).num_reviews() > 1,
+            "cannot delete the last review of an item"
+        );
+        let Some(pos) = self.position_of(i, id) else {
+            panic!("review {id:?} is not part of item {i}");
+        };
+        self.remove_review_internal(i, pos);
+    }
+
+    /// Fold one [`SessionEvent`] into the context *without* re-selecting
+    /// anything — the replay fast path: apply the whole WAL tail, then
+    /// solve once.
+    ///
+    /// # Panics
+    /// As for [`push_review`](Self::push_review),
+    /// [`edit_review`](Self::edit_review), and
+    /// [`remove_review`](Self::remove_review).
+    pub fn apply_session_event(&mut self, event: &SessionEvent) {
+        match event {
+            SessionEvent::Add { item, id, feature } => {
+                self.push_review(*item, *id, feature.clone());
+            }
+            SessionEvent::Edit { item, id, feature } => {
+                self.edit_review(*item, *id, feature.clone());
+            }
+            SessionEvent::Delete { item, id } => self.remove_review(*item, *id),
+        }
     }
 }
 

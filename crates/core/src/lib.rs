@@ -59,7 +59,7 @@ pub use comparison_table::{AspectRow, CellCounts, ComparisonTable};
 pub use crs::{solve_crs, solve_crs_checked, solve_crs_with};
 pub use error::CoreError;
 pub use exhaustive::{solve_exhaustive, solve_exhaustive_item};
-pub use incremental::IncrementalSession;
+pub use incremental::{IncrementalSession, SessionEvent};
 pub use instance::{InstanceContext, Item, ReviewFeature, Selection};
 pub use integer_regression::{
     integer_regression, integer_regression_ctl, integer_regression_metered,

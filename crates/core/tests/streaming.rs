@@ -1,0 +1,269 @@
+//! Streaming-session tests: edit/delete event application and the
+//! crash-recovery identity — a session rebuilt by
+//! [`IncrementalSession::replay`] from a snapshot context + event tail
+//! is byte-identical to a session started cold on the final corpus.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use comparesets_core::{
+    IncrementalSession, InstanceContext, OpinionScheme, ReviewFeature, SelectParams, SessionEvent,
+    SolveOptions,
+};
+use comparesets_data::wal::{EventKind, ReviewEvent};
+use comparesets_data::{
+    AspectId, AspectMention, CategoryPreset, ComparisonInstance, Dataset, Polarity, ReviewId,
+};
+use proptest::prelude::*;
+
+fn corpus(seed: u64) -> (Dataset, ComparisonInstance) {
+    let d = CategoryPreset::Toy.config(30, seed).generate();
+    let inst = d.instances().into_iter().next().unwrap().truncated(2);
+    (d, inst)
+}
+
+fn feature_of(mentions: &[AspectMention]) -> ReviewFeature {
+    ReviewFeature::new(
+        mentions
+            .iter()
+            .map(|m| (m.aspect.0 as usize, m.polarity))
+            .collect(),
+    )
+}
+
+/// Drive `raw` op tuples through the *data-layer* event path (exactly
+/// what WAL replay applies to a recovered dataset), mirroring each
+/// applied event as the *core-layer* [`SessionEvent`]. Infeasible ops
+/// (deleting a last review) are skipped, as the serve path's
+/// validate-before-append guarantees.
+fn mirror_events(
+    d: &mut Dataset,
+    inst: &ComparisonInstance,
+    raw: &[(u8, u8, u8, u8)],
+) -> Vec<SessionEvent> {
+    let mut session_events = Vec::new();
+    let mut seq = 0u64;
+    for &(op, item_r, which_r, aspect_r) in raw {
+        let item = (item_r as usize) % inst.items.len();
+        let product = inst.items[item];
+        let listed = d.reviews_of(product).to_vec();
+        let mentions = vec![AspectMention {
+            aspect: AspectId(u32::from(aspect_r) % d.num_aspects() as u32),
+            polarity: if which_r % 2 == 0 {
+                Polarity::Positive
+            } else {
+                Polarity::Negative
+            },
+        }];
+        seq += 1;
+        let ev = match op % 3 {
+            0 => ReviewEvent {
+                seq,
+                kind: EventKind::Add,
+                product,
+                review: ReviewId(d.reviews.len() as u32),
+                reviewer: d.num_reviewers,
+                rating: 4,
+                text: format!("streamed {seq}"),
+                mentions,
+            },
+            1 => ReviewEvent {
+                seq,
+                kind: EventKind::Edit,
+                product,
+                review: listed[which_r as usize % listed.len()],
+                reviewer: 0,
+                rating: 3,
+                text: format!("revised {seq}"),
+                mentions,
+            },
+            _ => {
+                if listed.len() <= 1 {
+                    continue; // the serve path rejects deleting a last review mid-instance
+                }
+                ReviewEvent {
+                    seq,
+                    kind: EventKind::Delete,
+                    product,
+                    review: listed[which_r as usize % listed.len()],
+                    reviewer: 0,
+                    rating: 0,
+                    text: String::new(),
+                    mentions: Vec::new(),
+                }
+            }
+        };
+        d.apply_event(&ev).unwrap();
+        session_events.push(match ev.kind {
+            EventKind::Add => SessionEvent::Add {
+                item,
+                id: ev.review,
+                feature: feature_of(&ev.mentions),
+            },
+            EventKind::Edit => SessionEvent::Edit {
+                item,
+                id: ev.review,
+                feature: feature_of(&ev.mentions),
+            },
+            EventKind::Delete => SessionEvent::Delete {
+                item,
+                id: ev.review,
+            },
+        });
+    }
+    session_events
+}
+
+/// Assert two contexts are bit-identical in everything the solver reads.
+fn assert_contexts_identical(a: &InstanceContext, b: &InstanceContext) {
+    assert_eq!(a.num_items(), b.num_items());
+    for i in 0..a.num_items() {
+        assert_eq!(a.item(i).product, b.item(i).product);
+        assert_eq!(a.item(i).review_ids, b.item(i).review_ids);
+        assert_eq!(a.item(i).features, b.item(i).features);
+        let (ta, tb) = (a.tau(i), b.tau(i));
+        assert_eq!(ta.len(), tb.len());
+        assert!(ta.iter().zip(tb).all(|(x, y)| x.to_bits() == y.to_bits()));
+    }
+    assert!(a
+        .gamma()
+        .iter()
+        .zip(b.gamma())
+        .all(|(x, y)| x.to_bits() == y.to_bits()));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The tentpole identity: replaying a WAL tail over the snapshot
+    /// context, then solving once, equals a cold solve over the final
+    /// corpus — selections equal, objective bit-identical.
+    #[test]
+    fn replay_is_byte_identical_to_cold_solve_over_final_corpus(
+        seed in 0u64..50,
+        raw in proptest::collection::vec((0u8..255, 0u8..255, 0u8..255, 0u8..255), 1..10),
+    ) {
+        let (d0, inst) = corpus(seed);
+        let mut d = d0.clone();
+        let events = mirror_events(&mut d, &inst, &raw);
+        prop_assert!(d.validate().is_empty());
+
+        // Recovery path: snapshot context + event tail.
+        let snapshot_ctx = InstanceContext::build(&d0, &inst, OpinionScheme::Binary);
+        let replayed = IncrementalSession::replay(
+            snapshot_ctx,
+            SelectParams::default(),
+            SolveOptions::sequential(),
+            &events,
+        );
+        // Never-crashed path: cold solve over the final corpus.
+        let cold_ctx = InstanceContext::build(&d, &inst, OpinionScheme::Binary);
+        assert_contexts_identical(replayed.context(), &cold_ctx);
+        let cold = IncrementalSession::with_options(
+            cold_ctx,
+            SelectParams::default(),
+            SolveOptions::sequential(),
+        );
+        prop_assert_eq!(replayed.selections(), cold.selections());
+        prop_assert_eq!(
+            replayed.objective().to_bits(),
+            cold.objective().to_bits(),
+            "objectives must match bit-for-bit"
+        );
+    }
+
+    /// Live edit/delete application keeps every selection a valid subset
+    /// of its (mutated) candidate set, whatever order events arrive in.
+    #[test]
+    fn live_event_application_keeps_selections_valid(
+        seed in 0u64..50,
+        raw in proptest::collection::vec((0u8..255, 0u8..255, 0u8..255, 0u8..255), 1..8),
+    ) {
+        let (d0, inst) = corpus(seed);
+        let mut d = d0.clone();
+        let events = mirror_events(&mut d, &inst, &raw);
+        let ctx = InstanceContext::build(&d0, &inst, OpinionScheme::Binary);
+        let mut session = IncrementalSession::with_options(
+            ctx,
+            SelectParams::default(),
+            SolveOptions::sequential(),
+        );
+        for ev in &events {
+            session.apply_event(ev);
+            for (i, sel) in session.selections().iter().enumerate() {
+                let n = session.context().item(i).num_reviews();
+                prop_assert!(!sel.is_empty());
+                prop_assert!(sel.indices.iter().all(|&r| r < n));
+                prop_assert!(sel.indices.windows(2).all(|w| w[0] < w[1]),
+                    "indices stay sorted and unique");
+            }
+        }
+        prop_assert!(session.objective().is_finite());
+        prop_assert_eq!(session.updates_since_refresh(), events.len());
+    }
+}
+
+#[test]
+fn deleting_a_selected_review_remaps_the_selection() {
+    let (d, inst) = corpus(7);
+    let ctx = InstanceContext::build(&d, &inst, OpinionScheme::Binary);
+    let mut session =
+        IncrementalSession::with_options(ctx, SelectParams::default(), SolveOptions::sequential());
+    // Delete exactly the first selected review of item 1.
+    let victim_pos = session.selections()[1].indices[0];
+    let victim_id = session.context().item(1).review_ids[victim_pos];
+    let before = session.context().item(1).num_reviews();
+    session.delete_review(1, victim_id);
+    assert_eq!(session.context().item(1).num_reviews(), before - 1);
+    assert!(session.context().position_of(1, victim_id).is_none());
+    let n = session.context().item(1).num_reviews();
+    assert!(!session.selections()[1].is_empty());
+    assert!(session.selections()[1].indices.iter().all(|&r| r < n));
+}
+
+#[test]
+fn editing_a_target_review_moves_gamma() {
+    let (d, inst) = corpus(11);
+    let ctx = InstanceContext::build(&d, &inst, OpinionScheme::Binary);
+    let mut session =
+        IncrementalSession::with_options(ctx, SelectParams::default(), SolveOptions::sequential());
+    let z = session.context().space().num_aspects();
+    let absent = (0..z)
+        .find(|&a| session.context().gamma()[a] == 0.0)
+        .expect("some absent aspect");
+    // Rewrite every target review to mention only the absent aspect.
+    let ids = session.context().item(0).review_ids.clone();
+    for id in ids {
+        session.edit_review(
+            0,
+            id,
+            ReviewFeature::new(vec![(absent, Polarity::Positive)]),
+        );
+    }
+    assert!(
+        session.context().gamma()[absent] > 0.0,
+        "gamma must track edited annotations"
+    );
+}
+
+#[test]
+#[should_panic(expected = "not part of item")]
+fn editing_an_unknown_review_panics() {
+    let (d, inst) = corpus(3);
+    let ctx = InstanceContext::build(&d, &inst, OpinionScheme::Binary);
+    let mut session =
+        IncrementalSession::with_options(ctx, SelectParams::default(), SolveOptions::sequential());
+    session.edit_review(0, ReviewId(999_999), ReviewFeature::new(vec![]));
+}
+
+#[test]
+#[should_panic(expected = "last review")]
+fn deleting_down_to_zero_panics() {
+    let (d, inst) = corpus(5);
+    let ctx = InstanceContext::build(&d, &inst, OpinionScheme::Binary);
+    let mut session =
+        IncrementalSession::with_options(ctx, SelectParams::default(), SolveOptions::sequential());
+    let ids = session.context().item(1).review_ids.clone();
+    for id in ids {
+        session.delete_review(1, id);
+    }
+}

@@ -79,12 +79,16 @@ pub fn from_json(json: &str) -> Result<Dataset, IoError> {
 
 /// Write `bytes` to `path` atomically: full contents to a temp file in
 /// the destination directory, `fsync`, `rename` over the target, then a
-/// best-effort directory `fsync`. Readers never observe a torn file; a
-/// crash mid-write leaves the previous contents (or nothing) in place.
+/// directory `fsync` so the rename itself is durable. Readers never
+/// observe a torn file; a crash mid-write leaves the previous contents
+/// (or nothing) in place, and once this returns `Ok` the new contents
+/// survive power loss — the durability contract the WAL snapshot and
+/// suite checkpoint writers rely on.
 ///
 /// # Errors
 /// Propagates filesystem errors from creating, writing, syncing, or
-/// renaming the temp file.
+/// renaming the temp file, and (on Unix) from syncing the parent
+/// directory after the rename.
 pub fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
     let dir = match path.parent() {
         Some(p) if !p.as_os_str().is_empty() => p,
@@ -110,10 +114,19 @@ pub fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
         let _ = fs::remove_file(&tmp);
         return result;
     }
-    // Persist the rename itself. Directory fsync is Linux-reliable but not
-    // universally supported; the rename already happened, so best-effort.
-    if let Ok(d) = File::open(dir) {
-        let _ = d.sync_all();
+    // Persist the rename itself: file fsync alone leaves the directory
+    // entry unflushed, so a power cut could roll the rename back. On
+    // Unix a directory opens like a file and fsyncs reliably; elsewhere
+    // directory handles may not be openable, so stay best-effort.
+    #[cfg(unix)]
+    {
+        File::open(dir)?.sync_all()?;
+    }
+    #[cfg(not(unix))]
+    {
+        if let Ok(d) = File::open(dir) {
+            let _ = d.sync_all();
+        }
     }
     Ok(())
 }
@@ -236,6 +249,25 @@ mod tests {
             .filter(|n| n.to_string_lossy().contains(".tmp"))
             .collect();
         assert!(leftovers.is_empty(), "temp litter: {leftovers:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn write_atomic_survives_overwrite_and_reports_missing_parent() {
+        let dir = std::env::temp_dir().join("comparesets_io_durable_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("blob.json");
+        write_atomic(&path, b"first").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"first");
+        // Overwrite goes through the same temp+fsync+rename+dir-fsync
+        // path and must leave exactly the new contents.
+        write_atomic(&path, b"second").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second");
+        // A destination whose parent does not exist fails cleanly
+        // (before any rename) instead of fsync-ing a phantom directory.
+        let bad = dir.join("missing").join("blob.json");
+        assert!(write_atomic(&bad, b"x").is_err());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

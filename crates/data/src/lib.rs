@@ -18,6 +18,9 @@
 //! * [`templates`] — the sentence templates used by the generator.
 //! * [`stats`] — dataset statistics (regenerates Table 2's rows).
 //! * [`io`] — JSON (de)serialisation for reproducible corpora on disk.
+//! * [`wal`] — the durable streaming store: a CRC-framed write-ahead
+//!   log of review events plus atomic snapshots, with torn-tail
+//!   recovery and log compaction (ARCHITECTURE.md §11).
 
 #![warn(missing_docs)]
 
@@ -28,6 +31,7 @@ pub mod retry;
 pub mod stats;
 pub mod synth;
 pub mod templates;
+pub mod wal;
 
 pub use amazon::{AmazonError, AmazonLoader, SkippedLines};
 pub use model::{
@@ -37,3 +41,7 @@ pub use model::{
 pub use retry::{RetryPolicy, RetryReader};
 pub use stats::DatasetStats;
 pub use synth::{CategoryPreset, SynthConfig};
+pub use wal::{
+    CorpusSnapshot, CorpusStore, EventKind, Recovery, ReviewEvent, WalError, WalScan,
+    SNAPSHOT_SCHEMA,
+};

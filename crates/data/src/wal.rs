@@ -1,0 +1,885 @@
+//! Durable streaming corpus store: write-ahead log + snapshots.
+//!
+//! A corpus that mutates under a serving daemon needs two guarantees
+//! (ARCHITECTURE.md §11): an acknowledged review event survives a crash,
+//! and recovery reconstructs *exactly* the acknowledged prefix — no
+//! more, no less. This module provides both with the classic WAL +
+//! snapshot pair:
+//!
+//! * **WAL** (`wal.log`) — an append-only log of [`ReviewEvent`]s. Each
+//!   record is length-prefixed and carries a CRC32 of its payload:
+//!
+//!   ```text
+//!   +--------------+---------------+------------------------+
+//!   | len: u32 LE  | crc32: u32 LE | payload: len JSON bytes|
+//!   +--------------+---------------+------------------------+
+//!   ```
+//!
+//!   Appends are batched: one `fsync` per acknowledged batch, however
+//!   many records it carries (*fsync-on-ack*). Recovery scans from the
+//!   front and stops at the first record that is short, oversized, fails
+//!   its CRC, or does not decode — a *torn tail* from a crash mid-write —
+//!   and truncates the file there instead of failing. Everything before
+//!   the tear was acknowledged and is kept; everything after was never
+//!   acknowledged (the fsync that would have acked it never returned).
+//!
+//! * **Snapshots** (`snapshot.json`) — the full dataset under a
+//!   `corpus-snapshot/v1` header (the style of the eval suite's
+//!   `suite-checkpoint/v1`), written atomically via
+//!   [`write_atomic`]. Once a snapshot covers a
+//!   WAL prefix the log is *compacted*: appends up to the snapshot's
+//!   sequence number are redundant, and since appends are strictly
+//!   sequential the covered prefix is the whole log, which restarts
+//!   empty. A crash between snapshot write and compaction is benign —
+//!   replay skips records with `seq <= snapshot.seq`.
+//!
+//! [`CorpusStore`] ties the two together for the serving daemon;
+//! [`recover`] is the read-only flavour behind `comparesets recover`.
+
+use crate::io::write_atomic;
+use crate::model::{AspectMention, Dataset, ProductId, Review, ReviewId};
+use comparesets_obs::SolverMetrics;
+use serde::{Deserialize, Serialize};
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Schema tag embedded in every corpus snapshot.
+pub const SNAPSHOT_SCHEMA: &str = "corpus-snapshot/v1";
+
+/// WAL file name inside a store directory.
+pub const WAL_FILE: &str = "wal.log";
+
+/// Snapshot file name inside a store directory.
+pub const SNAPSHOT_FILE: &str = "snapshot.json";
+
+/// Hard cap on one WAL record's payload, in bytes (4 MiB — matches the
+/// serve protocol's frame cap). A corrupt length prefix can therefore
+/// never demand an unbounded allocation; recovery treats an oversized
+/// length as a torn tail.
+pub const MAX_RECORD_LEN: u32 = 4 * 1024 * 1024;
+
+// ---------------------------------------------------------------------
+// CRC32 (IEEE 802.3, reflected — the ubiquitous zlib/ethernet polynomial)
+// ---------------------------------------------------------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+const CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// CRC32 checksum of `bytes` (IEEE polynomial, as in zlib/PNG/Ethernet).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+// ---------------------------------------------------------------------
+// Events
+// ---------------------------------------------------------------------
+
+/// What a [`ReviewEvent`] does to its corpus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// Append a brand-new review to a product.
+    Add,
+    /// Replace an existing review's rating, text, and mentions.
+    Edit,
+    /// Unlist a review from its product (the `Review` record stays in
+    /// the dataset's review table as a tombstone, so review ids remain
+    /// stable and replay stays deterministic).
+    Delete,
+}
+
+/// One corpus mutation, as logged and replayed. Flat by design — the
+/// vendored `serde` derives named-field structs and fieldless enums
+/// only — so `Edit`/`Delete` simply leave the fields they do not use at
+/// their defaults.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReviewEvent {
+    /// Strictly increasing per-store sequence number (1-based); the
+    /// snapshot/compaction handshake keys on it.
+    pub seq: u64,
+    /// What to do.
+    pub kind: EventKind,
+    /// The product the event targets.
+    pub product: ProductId,
+    /// The review the event targets. For `Add` this is assigned at
+    /// append time as `dataset.reviews.len()`, making replay reproduce
+    /// identical ids.
+    pub review: ReviewId,
+    /// Reviewer index (`Add` only; assigned at append time).
+    #[serde(default)]
+    pub reviewer: u32,
+    /// Star rating 1–5 (`Add`/`Edit`).
+    #[serde(default)]
+    pub rating: u8,
+    /// Review body (`Add`/`Edit`).
+    #[serde(default)]
+    pub text: String,
+    /// Aspect-opinion annotations (`Add`/`Edit`).
+    #[serde(default)]
+    pub mentions: Vec<AspectMention>,
+}
+
+impl Dataset {
+    /// Check that `ev` can apply to this dataset *right now*. The serve
+    /// path validates before the WAL append, so the log only ever holds
+    /// applicable events and replay is infallible in practice.
+    ///
+    /// # Errors
+    /// A human-readable reason the event does not apply.
+    pub fn check_event(&self, ev: &ReviewEvent) -> Result<(), String> {
+        let np = self.products.len() as u32;
+        if ev.product.0 >= np {
+            return Err(format!(
+                "product {:?} out of range ({} products)",
+                ev.product, np
+            ));
+        }
+        match ev.kind {
+            EventKind::Add => {
+                if ev.review.0 as usize != self.reviews.len() {
+                    return Err(format!(
+                        "add must assign the next review id {} (got {:?})",
+                        self.reviews.len(),
+                        ev.review
+                    ));
+                }
+                self.check_annotations(ev)
+            }
+            EventKind::Edit => {
+                self.check_listed(ev)?;
+                self.check_annotations(ev)
+            }
+            EventKind::Delete => self.check_listed(ev),
+        }
+    }
+
+    fn check_annotations(&self, ev: &ReviewEvent) -> Result<(), String> {
+        if !(1..=5).contains(&ev.rating) {
+            return Err(format!("rating {} outside 1..=5", ev.rating));
+        }
+        let z = self.aspects.len() as u32;
+        for m in &ev.mentions {
+            if m.aspect.0 >= z {
+                return Err(format!("aspect {:?} out of range ({z} aspects)", m.aspect));
+            }
+        }
+        Ok(())
+    }
+
+    fn check_listed(&self, ev: &ReviewEvent) -> Result<(), String> {
+        if ev.review.0 as usize >= self.reviews.len() {
+            return Err(format!(
+                "review {:?} out of range ({} reviews)",
+                ev.review,
+                self.reviews.len()
+            ));
+        }
+        if self.reviews[ev.review.0 as usize].product != ev.product {
+            return Err(format!(
+                "review {:?} belongs to {:?}, not {:?}",
+                ev.review, self.reviews[ev.review.0 as usize].product, ev.product
+            ));
+        }
+        if !self.products[ev.product.0 as usize]
+            .reviews
+            .contains(&ev.review)
+        {
+            return Err(format!(
+                "review {:?} already deleted from product {:?}",
+                ev.review, ev.product
+            ));
+        }
+        Ok(())
+    }
+
+    /// Apply one event ([`check_event`](Dataset::check_event) first).
+    /// Deletes are tombstones: the review id disappears from the
+    /// product's listing but the `Review` record stays in the table, so
+    /// every other id — and therefore replay — is unaffected.
+    ///
+    /// # Errors
+    /// As for [`check_event`](Dataset::check_event); on error the
+    /// dataset is unchanged.
+    pub fn apply_event(&mut self, ev: &ReviewEvent) -> Result<(), String> {
+        self.check_event(ev)?;
+        match ev.kind {
+            EventKind::Add => {
+                self.reviews.push(Review {
+                    id: ev.review,
+                    product: ev.product,
+                    reviewer: ev.reviewer,
+                    rating: ev.rating,
+                    text: ev.text.clone(),
+                    mentions: ev.mentions.clone(),
+                });
+                self.products[ev.product.0 as usize].reviews.push(ev.review);
+                self.num_reviewers = self.num_reviewers.max(ev.reviewer + 1);
+            }
+            EventKind::Edit => {
+                let r = &mut self.reviews[ev.review.0 as usize];
+                r.rating = ev.rating;
+                r.text = ev.text.clone();
+                r.mentions = ev.mentions.clone();
+            }
+            EventKind::Delete => {
+                self.products[ev.product.0 as usize]
+                    .reviews
+                    .retain(|r| *r != ev.review);
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------
+
+/// Failures from the durable store. WAL *corruption* is deliberately
+/// absent: a torn or corrupt tail truncates during recovery instead of
+/// erroring (losing only never-acknowledged records).
+#[derive(Debug)]
+pub enum WalError {
+    /// Underlying filesystem failure.
+    Io(std::io::Error),
+    /// The snapshot file exists but is unusable (bad schema tag,
+    /// malformed JSON, or an inconsistent dataset).
+    Corrupt(String),
+    /// A replayed event did not apply — the log and snapshot disagree
+    /// (e.g. hand-edited files).
+    Apply(String),
+    /// Recovery was asked of a directory with no snapshot and no seed
+    /// corpus to start from.
+    NothingToRecover(PathBuf),
+}
+
+impl std::fmt::Display for WalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalError::Io(e) => write!(f, "store io error: {e}"),
+            WalError::Corrupt(why) => write!(f, "corrupt snapshot: {why}"),
+            WalError::Apply(why) => write!(f, "replayed event does not apply: {why}"),
+            WalError::NothingToRecover(dir) => {
+                write!(f, "no snapshot in {} and no seed corpus", dir.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+impl From<std::io::Error> for WalError {
+    fn from(e: std::io::Error) -> Self {
+        WalError::Io(e)
+    }
+}
+
+// ---------------------------------------------------------------------
+// WAL framing
+// ---------------------------------------------------------------------
+
+/// Frame one event as a WAL record.
+fn encode_record(ev: &ReviewEvent) -> Result<Vec<u8>, WalError> {
+    let payload =
+        serde_json::to_string(ev).map_err(|e| WalError::Corrupt(format!("encoding event: {e}")))?;
+    let payload = payload.as_bytes();
+    let len = u32::try_from(payload.len())
+        .ok()
+        .filter(|l| *l <= MAX_RECORD_LEN)
+        .ok_or_else(|| WalError::Corrupt(format!("event of {} bytes", payload.len())))?;
+    let mut rec = Vec::with_capacity(8 + payload.len());
+    rec.extend_from_slice(&len.to_le_bytes());
+    rec.extend_from_slice(&crc32(payload).to_le_bytes());
+    rec.extend_from_slice(payload);
+    Ok(rec)
+}
+
+/// What scanning a WAL file yields.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalScan {
+    /// Every decodable record, in log order.
+    pub events: Vec<ReviewEvent>,
+    /// Byte length of the valid prefix (`events` live in `[0, valid_len)`).
+    pub valid_len: u64,
+    /// Bytes past the valid prefix — the torn tail a crash left behind.
+    pub truncated_bytes: u64,
+}
+
+/// Scan a WAL file, stopping at the first record that is short,
+/// oversized, CRC-mismatched, or undecodable. Never fails on content: a
+/// torn tail is reported, not an error. A missing file scans as empty.
+///
+/// # Errors
+/// Filesystem errors only.
+pub fn scan_wal(path: &Path) -> Result<WalScan, WalError> {
+    let buf = match std::fs::read(path) {
+        Ok(buf) => buf,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(WalError::Io(e)),
+    };
+    let mut events = Vec::new();
+    let mut off = 0usize;
+    while buf.len() - off >= 8 {
+        let len = u32::from_le_bytes([buf[off], buf[off + 1], buf[off + 2], buf[off + 3]]);
+        if len > MAX_RECORD_LEN {
+            break;
+        }
+        let crc = u32::from_le_bytes([buf[off + 4], buf[off + 5], buf[off + 6], buf[off + 7]]);
+        let Some(end) = (off + 8)
+            .checked_add(len as usize)
+            .filter(|e| *e <= buf.len())
+        else {
+            break;
+        };
+        let payload = &buf[off + 8..end];
+        if crc32(payload) != crc {
+            break;
+        }
+        let Ok(text) = std::str::from_utf8(payload) else {
+            break;
+        };
+        let Ok(ev) = serde_json::from_str::<ReviewEvent>(text) else {
+            break;
+        };
+        events.push(ev);
+        off = end;
+    }
+    Ok(WalScan {
+        events,
+        valid_len: off as u64,
+        truncated_bytes: (buf.len() - off) as u64,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Snapshots
+// ---------------------------------------------------------------------
+
+/// A corpus snapshot on disk: the full dataset plus the sequence number
+/// it covers, under the [`SNAPSHOT_SCHEMA`] tag.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CorpusSnapshot {
+    /// Always [`SNAPSHOT_SCHEMA`]; checked on load.
+    pub schema: String,
+    /// Every event with `seq <=` this is folded into `dataset`.
+    pub seq: u64,
+    /// The folded corpus.
+    pub dataset: Dataset,
+}
+
+fn load_snapshot(path: &Path) -> Result<CorpusSnapshot, WalError> {
+    let json = std::fs::read_to_string(path)?;
+    let snap: CorpusSnapshot = serde_json::from_str(&json)
+        .map_err(|e| WalError::Corrupt(format!("{}: {e}", path.display())))?;
+    if snap.schema != SNAPSHOT_SCHEMA {
+        return Err(WalError::Corrupt(format!(
+            "{}: schema {:?}, expected {SNAPSHOT_SCHEMA:?}",
+            path.display(),
+            snap.schema
+        )));
+    }
+    let problems = snap.dataset.validate();
+    if let Some(first) = problems.first() {
+        return Err(WalError::Corrupt(format!(
+            "{}: invalid dataset ({} problems, first: {first})",
+            path.display(),
+            problems.len()
+        )));
+    }
+    Ok(snap)
+}
+
+// ---------------------------------------------------------------------
+// Recovery + store
+// ---------------------------------------------------------------------
+
+/// What recovery reconstructed and how.
+#[derive(Debug, Clone)]
+pub struct Recovery {
+    /// The corpus after snapshot + WAL tail.
+    pub dataset: Dataset,
+    /// Sequence number the snapshot covered (0 = seeded fresh).
+    pub snapshot_seq: u64,
+    /// WAL records replayed on top of the snapshot.
+    pub replayed: u64,
+    /// Torn-tail bytes dropped from the end of the WAL.
+    pub truncated_bytes: u64,
+    /// Highest sequence number in the recovered state.
+    pub last_seq: u64,
+}
+
+/// Read-only recovery: fold the snapshot and the WAL tail into a
+/// dataset without touching either file. Behind `comparesets recover`.
+///
+/// # Errors
+/// [`WalError::NothingToRecover`] when the directory has no snapshot;
+/// snapshot corruption and filesystem failures as usual.
+pub fn recover(dir: &Path, metrics: Option<&SolverMetrics>) -> Result<Recovery, WalError> {
+    let snap_path = dir.join(SNAPSHOT_FILE);
+    if !snap_path.exists() {
+        return Err(WalError::NothingToRecover(dir.to_path_buf()));
+    }
+    let snap = load_snapshot(&snap_path)?;
+    let scan = scan_wal(&dir.join(WAL_FILE))?;
+    let mut dataset = snap.dataset;
+    let mut last_seq = snap.seq;
+    let mut replayed = 0u64;
+    for ev in &scan.events {
+        if ev.seq <= snap.seq {
+            continue; // already folded into the snapshot
+        }
+        dataset.apply_event(ev).map_err(WalError::Apply)?;
+        last_seq = ev.seq;
+        replayed += 1;
+    }
+    if let Some(m) = metrics {
+        SolverMetrics::add(&m.recovery_replayed_records, replayed);
+    }
+    Ok(Recovery {
+        dataset,
+        snapshot_seq: snap.seq,
+        replayed,
+        truncated_bytes: scan.truncated_bytes,
+        last_seq,
+    })
+}
+
+/// The durable side of one corpus shard: an open WAL append handle plus
+/// the snapshot/compaction bookkeeping. The in-memory dataset lives with
+/// the caller (the serving shard); the store only guarantees that what
+/// was acknowledged can be rebuilt.
+pub struct CorpusStore {
+    dir: PathBuf,
+    wal: File,
+    next_seq: u64,
+    records_since_snapshot: u64,
+    snapshot_every: u64,
+    metrics: Option<Arc<SolverMetrics>>,
+}
+
+impl CorpusStore {
+    /// Open (or create) the store in `dir` and recover its corpus.
+    ///
+    /// Existing durable state wins: when `dir` holds a snapshot, `seed`
+    /// is ignored and the corpus is snapshot + WAL tail (with any torn
+    /// tail truncated so new appends start at a clean record boundary).
+    /// Otherwise `seed` becomes the initial corpus and is written as the
+    /// first snapshot immediately — from then on the directory is
+    /// self-contained.
+    ///
+    /// `snapshot_every` auto-snapshots (and compacts) after that many
+    /// appended records; 0 disables automatic snapshots.
+    ///
+    /// # Errors
+    /// [`WalError::NothingToRecover`] when `dir` has no snapshot and no
+    /// `seed` was given; snapshot corruption and filesystem failures.
+    pub fn open(
+        dir: &Path,
+        seed: Option<&Dataset>,
+        snapshot_every: u64,
+        metrics: Option<Arc<SolverMetrics>>,
+    ) -> Result<(CorpusStore, Recovery), WalError> {
+        std::fs::create_dir_all(dir)?;
+        let snap_path = dir.join(SNAPSHOT_FILE);
+        let wal_path = dir.join(WAL_FILE);
+        let fresh = !snap_path.exists();
+        let recovery = if fresh {
+            let seed = seed.ok_or_else(|| WalError::NothingToRecover(dir.to_path_buf()))?;
+            Recovery {
+                dataset: seed.clone(),
+                snapshot_seq: 0,
+                replayed: 0,
+                truncated_bytes: 0,
+                last_seq: 0,
+            }
+        } else {
+            recover(dir, metrics.as_deref())?
+        };
+        if recovery.truncated_bytes > 0 {
+            // Drop the torn tail so the next append starts a clean record.
+            let scan_len = scan_wal(&wal_path)?.valid_len;
+            let f = OpenOptions::new().write(true).open(&wal_path)?;
+            f.set_len(scan_len)?;
+            f.sync_all()?;
+        }
+        let wal = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&wal_path)?;
+        let mut store = CorpusStore {
+            dir: dir.to_path_buf(),
+            wal,
+            next_seq: recovery.last_seq + 1,
+            records_since_snapshot: recovery.replayed,
+            snapshot_every,
+            metrics,
+        };
+        if fresh {
+            // Seal the seed so recovery never needs it again.
+            store.snapshot(&recovery.dataset)?;
+        }
+        Ok((store, recovery))
+    }
+
+    /// The sequence number the next appended event must carry.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Append a batch of events durably: every record is written, then
+    /// **one** `fsync` covers the batch (fsync-on-ack). Only after this
+    /// returns `Ok` may the caller acknowledge the batch.
+    ///
+    /// Events must carry consecutive sequence numbers starting at
+    /// [`next_seq`](CorpusStore::next_seq) — the caller stamps them while
+    /// holding its shard lock, which is what makes the log total-ordered.
+    ///
+    /// # Errors
+    /// Encoding and filesystem failures; on error nothing was
+    /// acknowledged and the next recovery truncates any partial write.
+    pub fn append(&mut self, events: &[ReviewEvent]) -> Result<(), WalError> {
+        let mut buf = Vec::new();
+        for (k, ev) in events.iter().enumerate() {
+            debug_assert_eq!(ev.seq, self.next_seq + k as u64, "non-sequential WAL batch");
+            buf.extend_from_slice(&encode_record(ev)?);
+        }
+        self.wal.write_all(&buf)?;
+        self.wal.sync_data()?;
+        self.next_seq += events.len() as u64;
+        self.records_since_snapshot += events.len() as u64;
+        if let Some(m) = &self.metrics {
+            SolverMetrics::add(&m.wal_appends, events.len() as u64);
+            SolverMetrics::incr(&m.wal_fsyncs);
+        }
+        Ok(())
+    }
+
+    /// Write a snapshot of `dataset` (which must reflect every appended
+    /// event) and compact the WAL it covers. Called automatically every
+    /// `snapshot_every` records via
+    /// [`maybe_snapshot`](CorpusStore::maybe_snapshot).
+    ///
+    /// # Errors
+    /// Encoding and filesystem failures. A crash between the snapshot
+    /// rename and the WAL reset is safe: replay skips covered records.
+    pub fn snapshot(&mut self, dataset: &Dataset) -> Result<(), WalError> {
+        let snap = CorpusSnapshot {
+            schema: SNAPSHOT_SCHEMA.to_string(),
+            seq: self.next_seq - 1,
+            dataset: dataset.clone(),
+        };
+        let json = serde_json::to_string(&snap)
+            .map_err(|e| WalError::Corrupt(format!("encoding snapshot: {e}")))?;
+        write_atomic(&self.dir.join(SNAPSHOT_FILE), json.as_bytes())?;
+        if let Some(m) = &self.metrics {
+            SolverMetrics::incr(&m.snapshot_writes);
+        }
+        // Compact: appends are sequential, so the snapshot covers the
+        // entire log — restart it empty (atomically, via rename).
+        write_atomic(&self.dir.join(WAL_FILE), &[])?;
+        self.wal = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.dir.join(WAL_FILE))?;
+        self.records_since_snapshot = 0;
+        Ok(())
+    }
+
+    /// Snapshot + compact if `snapshot_every` records accumulated since
+    /// the last snapshot. Returns whether a snapshot was written.
+    ///
+    /// # Errors
+    /// As for [`snapshot`](CorpusStore::snapshot).
+    pub fn maybe_snapshot(&mut self, dataset: &Dataset) -> Result<bool, WalError> {
+        if self.snapshot_every > 0 && self.records_since_snapshot >= self.snapshot_every {
+            self.snapshot(dataset)?;
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    /// The store's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use super::*;
+    use crate::model::AspectId;
+    use crate::synth::CategoryPreset;
+    use crate::Polarity;
+
+    fn base() -> Dataset {
+        CategoryPreset::Toy.config(12, 5).generate()
+    }
+
+    fn add_event(d: &Dataset, seq: u64, product: u32, aspect: u32) -> ReviewEvent {
+        ReviewEvent {
+            seq,
+            kind: EventKind::Add,
+            product: ProductId(product),
+            review: ReviewId(d.reviews.len() as u32),
+            reviewer: d.num_reviewers,
+            rating: 4,
+            text: format!("streamed review {seq}"),
+            mentions: vec![AspectMention {
+                aspect: AspectId(aspect),
+                polarity: Polarity::Positive,
+            }],
+        }
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("comparesets_wal_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The canonical IEEE CRC32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn events_apply_and_validate() {
+        let mut d = base();
+        let ev = add_event(&d, 1, 0, 1);
+        let before = d.reviews.len();
+        d.apply_event(&ev).unwrap();
+        assert_eq!(d.reviews.len(), before + 1);
+        assert!(d.validate().is_empty());
+
+        // Edit in place.
+        let edit = ReviewEvent {
+            kind: EventKind::Edit,
+            rating: 2,
+            text: "revised".into(),
+            mentions: vec![],
+            ..ev.clone()
+        };
+        d.apply_event(&edit).unwrap();
+        assert_eq!(d.review(ev.review).rating, 2);
+        assert!(d.validate().is_empty());
+
+        // Delete tombstones: unlisted from the product, id table intact.
+        let del = ReviewEvent {
+            kind: EventKind::Delete,
+            ..ev.clone()
+        };
+        d.apply_event(&del).unwrap();
+        assert!(!d.reviews_of(ev.product).contains(&ev.review));
+        assert_eq!(d.reviews.len(), before + 1);
+        assert!(d.validate().is_empty());
+
+        // Double delete is rejected; the dataset is unchanged.
+        assert!(d.apply_event(&del).is_err());
+        // Wrong add id is rejected.
+        let mut bad = add_event(&d, 9, 0, 0);
+        bad.review = ReviewId(0);
+        assert!(d.check_event(&bad).is_err());
+    }
+
+    #[test]
+    fn store_round_trips_through_reopen() {
+        let dir = temp_dir("roundtrip");
+        let seed = base();
+        let (mut store, rec) = CorpusStore::open(&dir, Some(&seed), 0, None).unwrap();
+        assert_eq!(rec.last_seq, 0);
+        let mut live = rec.dataset;
+        for k in 0..5 {
+            let ev = add_event(&live, store.next_seq(), k % 3, k % 2);
+            store.append(std::slice::from_ref(&ev)).unwrap();
+            live.apply_event(&ev).unwrap();
+        }
+        drop(store);
+
+        // Reopen without the seed: durable state is self-contained.
+        let (_store2, rec2) = CorpusStore::open(&dir, None, 0, None).unwrap();
+        assert_eq!(rec2.replayed, 5);
+        assert_eq!(rec2.last_seq, 5);
+        assert_eq!(
+            serde_json::to_string(&rec2.dataset).unwrap(),
+            serde_json::to_string(&live).unwrap()
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_compacts_the_wal_and_recovery_skips_covered_records() {
+        let dir = temp_dir("compact");
+        let seed = base();
+        let (mut store, rec) = CorpusStore::open(&dir, Some(&seed), 3, None).unwrap();
+        let mut live = rec.dataset;
+        for k in 0..7 {
+            let ev = add_event(&live, store.next_seq(), k % 3, 0);
+            store.append(std::slice::from_ref(&ev)).unwrap();
+            live.apply_event(&ev).unwrap();
+            store.maybe_snapshot(&live).unwrap();
+        }
+        // 7 appends with snapshot_every=3: snapshots at 3 and 6, so the
+        // WAL holds only record 7.
+        let scan = scan_wal(&dir.join(WAL_FILE)).unwrap();
+        assert_eq!(scan.events.len(), 1);
+        assert_eq!(scan.events[0].seq, 7);
+        let rec2 = recover(&dir, None).unwrap();
+        assert_eq!(rec2.snapshot_seq, 6);
+        assert_eq!(rec2.replayed, 1);
+        assert_eq!(
+            serde_json::to_string(&rec2.dataset).unwrap(),
+            serde_json::to_string(&live).unwrap()
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_truncates_instead_of_failing() {
+        let dir = temp_dir("torn");
+        let seed = base();
+        let (mut store, rec) = CorpusStore::open(&dir, Some(&seed), 0, None).unwrap();
+        let mut live = rec.dataset;
+        for k in 0..4 {
+            let ev = add_event(&live, store.next_seq(), k % 3, 0);
+            store.append(std::slice::from_ref(&ev)).unwrap();
+            live.apply_event(&ev).unwrap();
+        }
+        drop(store);
+        // Simulate a crash mid-write: garbage bytes after the last record.
+        let wal_path = dir.join(WAL_FILE);
+        let clean_len = std::fs::metadata(&wal_path).unwrap().len();
+        let mut f = OpenOptions::new().append(true).open(&wal_path).unwrap();
+        f.write_all(&[0x13, 0x37, 0xFF]).unwrap();
+        drop(f);
+
+        let (_store2, rec2) = CorpusStore::open(&dir, None, 0, None).unwrap();
+        assert_eq!(rec2.replayed, 4);
+        assert_eq!(rec2.truncated_bytes, 3);
+        // The reopened store truncated the tail to a clean boundary.
+        assert_eq!(std::fs::metadata(&wal_path).unwrap().len(), clean_len);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupted_record_truncates_it_and_everything_after() {
+        let dir = temp_dir("midflip");
+        let seed = base();
+        let (mut store, rec) = CorpusStore::open(&dir, Some(&seed), 0, None).unwrap();
+        let mut live = rec.dataset;
+        let mut offsets = vec![0u64];
+        for k in 0..4 {
+            let ev = add_event(&live, store.next_seq(), k % 3, 0);
+            store.append(std::slice::from_ref(&ev)).unwrap();
+            live.apply_event(&ev).unwrap();
+            offsets.push(std::fs::metadata(dir.join(WAL_FILE)).unwrap().len());
+        }
+        drop(store);
+        // Flip one payload byte inside record 3 (index 2).
+        let wal_path = dir.join(WAL_FILE);
+        let mut bytes = std::fs::read(&wal_path).unwrap();
+        let idx = offsets[2] as usize + 8; // first payload byte of record 3
+        bytes[idx] ^= 0x5A;
+        std::fs::write(&wal_path, &bytes).unwrap();
+
+        let scan = scan_wal(&wal_path).unwrap();
+        assert_eq!(scan.events.len(), 2, "records 1–2 survive, 3–4 drop");
+        assert_eq!(scan.valid_len, offsets[2]);
+        let rec2 = recover(&dir, None).unwrap();
+        assert_eq!(rec2.replayed, 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recovery_counts_into_metrics() {
+        let dir = temp_dir("metrics");
+        let seed = base();
+        let metrics = Arc::new(SolverMetrics::new());
+        let (mut store, rec) =
+            CorpusStore::open(&dir, Some(&seed), 0, Some(Arc::clone(&metrics))).unwrap();
+        let mut live = rec.dataset;
+        for k in 0..3 {
+            let ev = add_event(&live, store.next_seq(), k % 3, 0);
+            store.append(std::slice::from_ref(&ev)).unwrap();
+            live.apply_event(&ev).unwrap();
+        }
+        let snap = metrics.snapshot();
+        assert_eq!(snap.wal_appends, 3);
+        assert_eq!(snap.wal_fsyncs, 3);
+        assert_eq!(snap.snapshot_writes, 1, "the seed seal");
+        drop(store);
+        let fresh = Arc::new(SolverMetrics::new());
+        let _ = CorpusStore::open(&dir, None, 0, Some(Arc::clone(&fresh))).unwrap();
+        assert_eq!(fresh.snapshot().recovery_replayed_records, 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_snapshot_without_seed_is_nothing_to_recover() {
+        let dir = temp_dir("nothing");
+        assert!(matches!(
+            CorpusStore::open(&dir, None, 0, None),
+            Err(WalError::NothingToRecover(_))
+        ));
+        assert!(matches!(
+            recover(&dir, None),
+            Err(WalError::NothingToRecover(_))
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn batched_append_is_one_fsync() {
+        let dir = temp_dir("batch");
+        let seed = base();
+        let metrics = Arc::new(SolverMetrics::new());
+        let (mut store, rec) =
+            CorpusStore::open(&dir, Some(&seed), 0, Some(Arc::clone(&metrics))).unwrap();
+        let mut live = rec.dataset;
+        let mut batch = Vec::new();
+        for k in 0..4u64 {
+            let ev = add_event(&live, store.next_seq() + k, (k % 3) as u32, 0);
+            live.apply_event(&ev).unwrap();
+            batch.push(ev);
+        }
+        store.append(&batch).unwrap();
+        let snap = metrics.snapshot();
+        assert_eq!(snap.wal_appends, 4);
+        assert_eq!(snap.wal_fsyncs, 1, "one fsync acknowledges the batch");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

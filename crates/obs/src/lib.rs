@@ -39,7 +39,10 @@ pub use cancel::{CancelToken, SolveCtl};
 /// `corr_exact_recomputes`. v4 added the serving counters
 /// `serve_requests`, `serve_full_hits`, `serve_warm_hits`,
 /// `serve_cache_misses`, `serve_cache_evictions`, and `serve_degraded`.
-pub const METRICS_SCHEMA: &str = "comparesets-metrics/v4";
+/// v5 added the durability counters `wal_appends`, `wal_fsyncs`,
+/// `snapshot_writes`, `recovery_replayed_records`, and
+/// `cache_invalidations`.
+pub const METRICS_SCHEMA: &str = "comparesets-metrics/v5";
 
 /// Shared counter block for one logical run (a CLI command, an eval
 /// experiment, a test solve). Cheap to share via `Arc`; all updates are
@@ -114,6 +117,20 @@ pub struct SolverMetrics {
     /// Requests answered with a degraded best-so-far selection because
     /// their admission deadline expired mid-solve.
     pub serve_degraded: AtomicU64,
+    /// Review events appended to a write-ahead log (one per record, even
+    /// when a batch shares a single fsync).
+    pub wal_appends: AtomicU64,
+    /// `fsync` calls issued for WAL durability (one per acknowledged
+    /// batch — the fsync-on-ack contract).
+    pub wal_fsyncs: AtomicU64,
+    /// Corpus snapshots written atomically (each one also compacts the
+    /// WAL it covers).
+    pub snapshot_writes: AtomicU64,
+    /// WAL records replayed on top of a snapshot during crash recovery.
+    pub recovery_replayed_records: AtomicU64,
+    /// Session-cache entries dropped because an ingested event mutated
+    /// an item they were keyed on.
+    pub cache_invalidations: AtomicU64,
 }
 
 impl SolverMetrics {
@@ -171,6 +188,11 @@ impl SolverMetrics {
             serve_cache_misses: self.serve_cache_misses.load(Ordering::Relaxed),
             serve_cache_evictions: self.serve_cache_evictions.load(Ordering::Relaxed),
             serve_degraded: self.serve_degraded.load(Ordering::Relaxed),
+            wal_appends: self.wal_appends.load(Ordering::Relaxed),
+            wal_fsyncs: self.wal_fsyncs.load(Ordering::Relaxed),
+            snapshot_writes: self.snapshot_writes.load(Ordering::Relaxed),
+            recovery_replayed_records: self.recovery_replayed_records.load(Ordering::Relaxed),
+            cache_invalidations: self.cache_invalidations.load(Ordering::Relaxed),
         }
     }
 }
@@ -221,6 +243,16 @@ pub struct MetricsSnapshot {
     pub serve_cache_evictions: u64,
     #[serde(default)]
     pub serve_degraded: u64,
+    #[serde(default)]
+    pub wal_appends: u64,
+    #[serde(default)]
+    pub wal_fsyncs: u64,
+    #[serde(default)]
+    pub snapshot_writes: u64,
+    #[serde(default)]
+    pub recovery_replayed_records: u64,
+    #[serde(default)]
+    pub cache_invalidations: u64,
 }
 
 impl MetricsSnapshot {

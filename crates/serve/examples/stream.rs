@@ -1,0 +1,62 @@
+//! Example ingest driver: stream review events at a running server.
+//!
+//! ```text
+//! cargo run -p comparesets-serve --example stream -- 127.0.0.1:PORT COUNT [TARGET] [shutdown]
+//! ```
+//!
+//! Sends `COUNT` deterministic `add` events (one per request, so each is
+//! individually WAL-fsynced on a durable server) against the default
+//! shard's `TARGET` product, prints the final acknowledged sequence
+//! number, solves the target once, and optionally shuts the server
+//! down. Exits non-zero on any protocol failure — this doubles as the
+//! `just stream-smoke` driver, which SIGKILLs the server mid-life and
+//! asserts recovery picks up at the printed sequence.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use comparesets_serve::{Client, IngestEvent, Request, Status};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let addr = args
+        .next()
+        .expect("usage: stream ADDR COUNT [TARGET] [shutdown]");
+    let count: u64 = args
+        .next()
+        .expect("usage: stream ADDR COUNT [TARGET] [shutdown]")
+        .parse()
+        .expect("COUNT must be a number");
+    let target: u32 = args
+        .next()
+        .map(|t| t.parse().expect("TARGET must be a product id"))
+        .unwrap_or(0);
+    let shutdown = args.next().as_deref() == Some("shutdown");
+
+    let mut client = Client::connect(&addr).expect("connecting to server");
+    let mut last_seq = 0;
+    for k in 0..count {
+        let event = IngestEvent {
+            rating: Some(1 + (k % 5) as u8),
+            text: Some(format!("streamed {k}")),
+            ..IngestEvent::add(target, vec![])
+        };
+        let ack = client.call(&Request::ingest(vec![event])).expect("ingest");
+        assert_eq!(ack.status, Status::Ok, "ingest failed: {ack:?}");
+        assert_eq!(ack.ingested, Some(1), "{ack:?}");
+        last_seq = ack.last_seq.expect("ack carries last_seq");
+    }
+    println!("streamed {count} event(s), last seq {last_seq}");
+
+    let solved = client.call(&Request::solve(target)).expect("solve");
+    assert_eq!(solved.status, Status::Ok, "solve failed: {solved:?}");
+    println!(
+        "solve target {target}: {} items, cache {}",
+        solved.selections.len(),
+        solved.cache.as_deref().unwrap_or("?")
+    );
+
+    if shutdown {
+        client.shutdown().expect("shutdown");
+    }
+    println!("stream ok");
+}

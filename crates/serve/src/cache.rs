@@ -100,6 +100,13 @@ impl<V> Lru<V> {
         evicted
     }
 
+    /// Drop every entry whose key fails `keep`; returns how many fell.
+    fn retain(&mut self, keep: impl Fn(&str) -> bool) -> u64 {
+        let before = self.entries.len();
+        self.entries.retain(|k, _| keep(k));
+        (before - self.entries.len()) as u64
+    }
+
     fn len(&self) -> usize {
         self.entries.len()
     }
@@ -126,22 +133,35 @@ pub struct CacheKeys {
 impl CacheKeys {
     /// Build the canonical keys for a query. λ and μ key on their IEEE-754
     /// bit patterns, so `1.0` and `1.0 + ε` are distinct and NaN cannot
-    /// alias.
+    /// alias. Every item is keyed together with its shard-local mutation
+    /// *version* (`versions[i]`, `id:vN` tokens): an ingest that touches
+    /// a product bumps its version, so every entry computed before the
+    /// mutation becomes unreachable — a warm or full hit can never serve
+    /// a selection computed over a stale corpus. Static shards pass all
+    /// zeros and key exactly as before versioning.
+    ///
+    /// # Panics
+    /// Panics when `versions` does not align with `items`.
+    // Eight positional dimensions of one key, all primitives: a builder
+    // struct would only rename them.
+    #[allow(clippy::too_many_arguments)]
     pub fn build(
         shard: &str,
         scheme: &str,
         items: &[u32],
+        versions: &[u64],
         m: usize,
         lambda: f64,
         mu: f64,
         sweeps: usize,
     ) -> CacheKeys {
+        assert_eq!(items.len(), versions.len(), "one version per item");
         let mut base = format!("{shard}|{scheme}|");
         for (i, id) in items.iter().enumerate() {
             if i > 0 {
                 base.push(',');
             }
-            base.push_str(&id.to_string());
+            base.push_str(&format!("{id}:v{}", versions[i]));
         }
         let context = base.clone();
         let warm = format!("{base}|m{m}");
@@ -242,6 +262,26 @@ impl SessionCache {
         self.lock().contexts.insert(keys.context.clone(), ctx)
     }
 
+    /// Drop every entry (all three layers) that involves `product` on
+    /// `shard`, returning how many entries fell. Versioned keys already
+    /// make stale entries unreachable after an ingest bumps the product's
+    /// version; this sweep reclaims their capacity so dead selections
+    /// don't crowd out live ones. Key format: `shard|scheme|items` where
+    /// items is a CSV of `id:vN` tokens.
+    pub fn invalidate_item(&self, shard: &str, product: u32) -> u64 {
+        let prefix = format!("{product}:");
+        let keep = move |key: &str| {
+            let mut parts = key.split('|');
+            let (Some(s), Some(_scheme), Some(items)) = (parts.next(), parts.next(), parts.next())
+            else {
+                return true;
+            };
+            s != shard || !items.split(',').any(|tok| tok.starts_with(&prefix))
+        };
+        let mut layers = self.lock();
+        layers.results.retain(&keep) + layers.warm.retain(&keep) + layers.contexts.retain(&keep)
+    }
+
     /// Current entry counts per layer.
     pub fn sizes(&self) -> CacheSizes {
         let layers = self.lock();
@@ -260,7 +300,16 @@ mod tests {
     use super::*;
 
     fn keys(items: &[u32], m: usize, lambda: f64, sweeps: usize) -> CacheKeys {
-        CacheKeys::build("s", "binary", items, m, lambda, 0.1, sweeps)
+        CacheKeys::build(
+            "s",
+            "binary",
+            items,
+            &vec![0; items.len()],
+            m,
+            lambda,
+            0.1,
+            sweeps,
+        )
     }
 
     #[test]
@@ -283,6 +332,45 @@ mod tests {
         // Context keys ignore everything but shard/scheme/items.
         assert_eq!(a.context, rebudgeted.context);
         assert_ne!(a.context, other_items.context);
+    }
+
+    #[test]
+    fn item_versions_fork_every_key_layer() {
+        let v0 = CacheKeys::build("s", "binary", &[1, 2], &[0, 0], 3, 1.0, 0.1, 1);
+        let v1 = CacheKeys::build("s", "binary", &[1, 2], &[0, 1], 3, 1.0, 0.1, 1);
+        // A mutation on any item in the set invalidates by key: full,
+        // warm, and context entries from before the bump are unreachable.
+        assert_ne!(v0.full, v1.full);
+        assert_ne!(v0.warm, v1.warm);
+        assert_ne!(v0.context, v1.context);
+    }
+
+    #[test]
+    fn invalidate_item_sweeps_matching_entries_from_all_layers() {
+        let cache = SessionCache::new(8);
+        let with7 = CacheKeys::build("s", "binary", &[7, 8], &[2, 0], 3, 1.0, 0.1, 1);
+        let without7 = CacheKeys::build("s", "binary", &[8, 9], &[0, 0], 3, 1.0, 0.1, 1);
+        let other_shard = CacheKeys::build("t", "binary", &[7, 8], &[2, 0], 3, 1.0, 0.1, 1);
+        for k in [&with7, &without7, &other_shard] {
+            cache.store_full(
+                k,
+                CachedAnswer {
+                    selections: vec![],
+                    objective: 0.0,
+                },
+            );
+            cache.put_warm(k, vec![RegressionWarm::new()]);
+        }
+        // Product 7 on shard "s": one entry per layer falls; shard "t"
+        // and 7-free item sets survive. `8` must not match a `78` token.
+        assert_eq!(cache.invalidate_item("s", 7), 2);
+        assert!(cache.full_hit(&with7).is_none());
+        assert!(cache.full_hit(&without7).is_some());
+        assert!(cache.full_hit(&other_shard).is_some());
+        assert_eq!(cache.invalidate_item("s", 78), 0);
+        // with7 is already gone, so only without7's two entries remain
+        // on shard "s" that mention product 8.
+        assert_eq!(cache.invalidate_item("s", 8), 2);
     }
 
     #[test]

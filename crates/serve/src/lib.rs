@@ -18,6 +18,14 @@
 //! degraded-but-valid best-so-far answer instead of a queue or an
 //! error.
 //!
+//! Shards are *live*: `ingest` requests stream review add/edit/delete
+//! events into a shard between (and during) solves, durably when the
+//! server runs with a data directory — events are fsynced to a
+//! per-shard write-ahead log before the ack, and a restart recovers
+//! every acknowledged event (ARCHITECTURE.md §11). Per-product mutation
+//! versions inside the cache keys keep the warm path honest: no cached
+//! selection from before an item's last mutation is reachable.
+//!
 //! ## In-process round trip
 //!
 //! ```
@@ -53,5 +61,7 @@ pub mod server;
 
 pub use cache::{CacheKeys, CacheSizes, CachedAnswer, SessionCache};
 pub use client::Client;
-pub use protocol::{ItemSelection, ProtocolError, Request, Response, Status, MAX_FRAME_LEN};
+pub use protocol::{
+    IngestEvent, ItemSelection, ProtocolError, Request, Response, Status, MAX_FRAME_LEN,
+};
 pub use server::{ServeSummary, Server, ServerConfig};

@@ -21,6 +21,7 @@
 //! JSON fields are ignored on decode, which is the forward-compatibility
 //! escape hatch: a newer client can send extra fields to an older server.
 
+use comparesets_data::AspectMention;
 use serde::{Deserialize, Serialize};
 use std::io::{Read, Write};
 
@@ -181,6 +182,8 @@ pub fn decode<T: Deserialize>(payload: &[u8]) -> Result<T, ProtocolError> {
 /// |------------|-----------------------------------------------------------|
 /// | `ping`     | liveness check; answers with `pong` set                   |
 /// | `solve`    | CompaReSetS+ selection for an item set under a budget     |
+/// | `ingest`   | apply review events to a shard, durably when the server   |
+/// |            | runs with `--data-dir` (acked only after the WAL fsync)   |
 /// | `metrics`  | snapshot of the server's solver/serving counters (`info`) |
 /// | `shutdown` | acknowledge, then stop accepting connections              |
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -224,6 +227,11 @@ pub struct Request {
     /// its own `--request-timeout` (and further under overload).
     #[serde(default)]
     pub timeout_ms: Option<u64>,
+    /// Review events to apply (`ingest`). The batch is atomic: either
+    /// every event validates, is logged durably (one fsync), and applies,
+    /// or none do.
+    #[serde(default)]
+    pub events: Option<Vec<IngestEvent>>,
 }
 
 impl Request {
@@ -241,6 +249,7 @@ impl Request {
             sweeps: None,
             scheme: None,
             timeout_ms: None,
+            events: None,
         }
     }
 
@@ -257,6 +266,80 @@ impl Request {
         Request {
             items: Some(items),
             ..Request::bare("solve")
+        }
+    }
+
+    /// An ingest request carrying one batch of review events.
+    pub fn ingest(events: Vec<IngestEvent>) -> Request {
+        Request {
+            events: Some(events),
+            ..Request::bare("ingest")
+        }
+    }
+}
+
+/// One review mutation on the wire. `op` is `add`, `edit`, or `delete`;
+/// the remaining fields are per-operation (flat, like [`Request`], for
+/// the vendored `serde`). Review ids for `add` are assigned by the
+/// server — deterministically, in arrival order — and returned implicitly
+/// through subsequent solves.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IngestEvent {
+    /// `add`, `edit`, or `delete`.
+    pub op: String,
+    /// The product the event targets.
+    pub product: u32,
+    /// The review to `edit`/`delete` (ignored for `add`).
+    #[serde(default)]
+    pub review: Option<u32>,
+    /// Star rating 1–5 (`add` defaults to 4; `edit` keeps the current
+    /// rating when absent).
+    #[serde(default)]
+    pub rating: Option<u8>,
+    /// Review body (`add` defaults to empty; `edit` keeps the current
+    /// body when absent).
+    #[serde(default)]
+    pub text: Option<String>,
+    /// Aspect-opinion annotations (`add` defaults to none; `edit` keeps
+    /// the current annotations when absent).
+    #[serde(default)]
+    pub mentions: Option<Vec<AspectMention>>,
+}
+
+impl IngestEvent {
+    /// An `add` event with annotations and everything else defaulted.
+    pub fn add(product: u32, mentions: Vec<AspectMention>) -> IngestEvent {
+        IngestEvent {
+            op: "add".to_string(),
+            product,
+            review: None,
+            rating: None,
+            text: None,
+            mentions: Some(mentions),
+        }
+    }
+
+    /// An `edit` event replacing a review's annotations.
+    pub fn edit(product: u32, review: u32, mentions: Vec<AspectMention>) -> IngestEvent {
+        IngestEvent {
+            op: "edit".to_string(),
+            product,
+            review: Some(review),
+            rating: None,
+            text: None,
+            mentions: Some(mentions),
+        }
+    }
+
+    /// A `delete` event unlisting a review.
+    pub fn delete(product: u32, review: u32) -> IngestEvent {
+        IngestEvent {
+            op: "delete".to_string(),
+            product,
+            review: Some(review),
+            rating: None,
+            text: None,
+            mentions: None,
         }
     }
 }
@@ -292,8 +375,10 @@ pub struct Response {
     /// Human-readable failure cause when `status` is `Error`.
     #[serde(default)]
     pub error: Option<String>,
-    /// Machine-readable failure class (`usage`, `data`, `internal`)
-    /// when `status` is `Error` — mirrors the CLI's exit-code taxonomy.
+    /// Machine-readable failure class (`usage`, `data`, `io`,
+    /// `internal`) when `status` is `Error` — mirrors the CLI's
+    /// exit-code taxonomy; `io` marks a failed WAL append (the batch was
+    /// not applied and must be retried).
     #[serde(default)]
     pub code: Option<String>,
     /// Per-item selections (solve responses; target first).
@@ -314,6 +399,14 @@ pub struct Response {
     /// Free-form payload for `metrics` (a `MetricsSnapshot` as JSON).
     #[serde(default)]
     pub info: Option<String>,
+    /// How many events an `ingest` applied (the whole batch, or the
+    /// request failed and applied none).
+    #[serde(default)]
+    pub ingested: Option<u64>,
+    /// The WAL sequence number of the last applied event — durable up to
+    /// here once the ack arrives.
+    #[serde(default)]
+    pub last_seq: Option<u64>,
 }
 
 impl Response {
@@ -328,6 +421,8 @@ impl Response {
             cache: None,
             pong: None,
             info: None,
+            ingested: None,
+            last_seq: None,
         }
     }
 

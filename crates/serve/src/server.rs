@@ -9,6 +9,10 @@
 //!                          │
 //!                          ├─ ping / metrics / shutdown: answer inline
 //!                          │
+//!                          ├─ ingest: stage ▸ WAL append + fsync ▸ swap
+//!                          │          ▸ bump item versions ▸ invalidate
+//!                          │          (ack carries the durable last_seq)
+//!                          │
 //!                          └─ solve:
 //!                              resolve shard + item set ── invalid ──▶ Error
 //!                              full-result hit? ───────────── yes ──▶ Ok (cache=full)
@@ -36,18 +40,37 @@
 //! Degraded answers are never written to the session cache: the cache
 //! holds only completed solves, so every cache hit replays a converged
 //! answer byte-identically.
+//!
+//! ## Live corpora
+//!
+//! Shards are mutable: `ingest` requests stream review events
+//! (add/edit/delete) into a shard while solves keep running. Each shard
+//! sits behind a readers-writer lock — solves share it, an ingest
+//! excludes them only for the stage-log-swap critical section, never
+//! for a solve. With [`ServerConfig::data_dir`] set the swap is durable:
+//! events are fsynced to a per-shard WAL before the ack, snapshots
+//! compact the log, and a restart recovers every acknowledged event
+//! (see `comparesets_data::wal` and ARCHITECTURE.md §11). Cache
+//! freshness is structural: cache keys embed a per-product mutation
+//! version, so no cached selection computed before an item's last
+//! mutation can ever be served.
 
 use crate::cache::{CacheKeys, CachedAnswer, SessionCache};
-use crate::protocol::{read_frame, write_message, ItemSelection, Request, Response, Status};
+use crate::protocol::{
+    read_frame, write_message, IngestEvent, ItemSelection, Request, Response, Status,
+};
 use comparesets_core::{
     comparesets_plus_objective, solve_comparesets_plus_sweeps_warm_with, CancelToken,
     InstanceContext, OpinionScheme, RegressionWarm, SelectParams, Selection, SolveOptions,
     SolverMetrics,
 };
-use comparesets_data::{ComparisonInstance, Dataset, ProductId};
+use comparesets_data::wal::{EventKind, ReviewEvent};
+use comparesets_data::{ComparisonInstance, CorpusStore, Dataset, ProductId, ReviewId};
+use std::collections::{BTreeSet, HashMap};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::Duration;
 
 /// Server tuning knobs. Everything here is operational — no setting
@@ -68,6 +91,15 @@ pub struct ServerConfig {
     /// Stop accepting after this many requests (`None` = run until a
     /// `shutdown` request). A backstop for smoke tests and benches.
     pub max_requests: Option<u64>,
+    /// Root of the durable corpus store. When set, every shard gets a
+    /// WAL + snapshot pair under `<data_dir>/<shard>` (created or
+    /// recovered at bind), and `ingest` requests are acknowledged only
+    /// after their events are fsynced to the WAL. `None` serves
+    /// in-memory: ingest still works but mutations die with the process.
+    pub data_dir: Option<PathBuf>,
+    /// Compact each shard's WAL into a fresh snapshot after this many
+    /// appended records (0 = never; snapshot only at first open).
+    pub snapshot_every: u64,
 }
 
 impl Default for ServerConfig {
@@ -78,6 +110,8 @@ impl Default for ServerConfig {
             request_timeout: Duration::from_secs(30),
             overload_timeout: Duration::from_millis(250),
             max_requests: None,
+            data_dir: None,
+            snapshot_every: 256,
         }
     }
 }
@@ -99,9 +133,49 @@ struct ServeState {
     degraded: AtomicU64,
 }
 
+/// One corpus shard: a name and its mutable state behind a
+/// readers-writer lock — solves share read access, ingests serialize on
+/// write access. The lock is never held across a solve: `handle_solve`
+/// snapshots what it needs (context + versions) and drops the guard
+/// before optimizing.
+struct Shard {
+    name: String,
+    state: RwLock<ShardState>,
+}
+
+/// The mutable half of a shard.
+struct ShardState {
+    /// The live corpus all new solves see.
+    dataset: Dataset,
+    /// Per-product mutation version, bumped by every ingest that touches
+    /// the product. Folded into cache keys (`id:vN`) so entries computed
+    /// before a mutation become unreachable — a warm or full cache hit
+    /// can never serve a selection older than the item's last mutation.
+    /// Products never mutated are implicitly at version 0.
+    versions: HashMap<u32, u64>,
+    /// The next WAL sequence number (mirrors the store when durable;
+    /// counts locally when serving in-memory).
+    next_seq: u64,
+    /// The durable WAL + snapshot pair (`None` when serving in-memory).
+    store: Option<CorpusStore>,
+}
+
+impl Shard {
+    /// Read-lock the shard, riding over a poisoned lock: a handler panic
+    /// can leave at worst a fully-applied ingest (the dataset is swapped
+    /// in whole), never a half-mutated corpus.
+    fn read(&self) -> RwLockReadGuard<'_, ShardState> {
+        self.state.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn write(&self) -> RwLockWriteGuard<'_, ShardState> {
+        self.state.write().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
 /// Everything a connection handler needs, behind one `Arc`.
 struct Shared {
-    shards: Vec<(String, Dataset)>,
+    shards: Vec<Shard>,
     cache: SessionCache,
     metrics: Arc<SolverMetrics>,
     config: ServerConfig,
@@ -119,11 +193,16 @@ pub struct Server {
 
 impl Server {
     /// Bind `addr` and prepare to serve `shards` (name → corpus; the
-    /// first shard is the default for requests that name none).
+    /// first shard is the default for requests that name none). With
+    /// `config.data_dir` set, each shard opens (or recovers) its durable
+    /// store under `<data_dir>/<name>`: an existing snapshot + WAL tail
+    /// *wins over the passed corpus*, so restarting after a crash
+    /// resumes from every acknowledged ingest.
     ///
     /// # Errors
-    /// `std::io::Error` when the address cannot be bound, or
-    /// `InvalidInput` when `shards` is empty or `workers` is 0.
+    /// `std::io::Error` when the address cannot be bound, the store
+    /// cannot be opened, or `InvalidInput` when `shards` is empty or
+    /// `workers` is 0.
     pub fn bind(
         addr: &str,
         shards: Vec<(String, Dataset)>,
@@ -142,6 +221,41 @@ impl Server {
                 "workers must be at least 1",
             ));
         }
+        let shards = shards
+            .into_iter()
+            .map(|(name, dataset)| {
+                let (dataset, next_seq, store) = match &config.data_dir {
+                    None => (dataset, 1, None),
+                    Some(root) => {
+                        let dir = root.join(&name);
+                        std::fs::create_dir_all(&dir)?;
+                        let (store, recovered) =
+                            CorpusStore::open(&dir, Some(&dataset), config.snapshot_every, Some(Arc::clone(&metrics)))
+                                .map_err(|e| {
+                                    std::io::Error::other(format!("opening store for shard {name:?}: {e}"))
+                                })?;
+                        if recovered.replayed > 0 || recovered.truncated_bytes > 0 {
+                            tracing::info!(
+                                "shard {name:?}: recovered {} event(s) past snapshot seq {} ({} torn byte(s) dropped)",
+                                recovered.replayed,
+                                recovered.snapshot_seq,
+                                recovered.truncated_bytes
+                            );
+                        }
+                        (recovered.dataset, store.next_seq(), Some(store))
+                    }
+                };
+                Ok(Shard {
+                    name,
+                    state: RwLock::new(ShardState {
+                        dataset,
+                        versions: HashMap::new(),
+                        next_seq,
+                        store,
+                    }),
+                })
+            })
+            .collect::<std::io::Result<Vec<Shard>>>()?;
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let cache = SessionCache::new(config.cache_capacity);
@@ -283,6 +397,7 @@ fn handle_request(shared: &Shared, request: &Request) -> Response {
             Response::ok()
         }
         "solve" => handle_solve(shared, request),
+        "ingest" => handle_ingest(shared, request),
         other => Response::error("usage", format!("unknown op {other:?}")),
     };
     if response.status == Status::Degraded {
@@ -324,18 +439,28 @@ struct SolveQuery {
 }
 
 fn handle_solve(shared: &Shared, request: &Request) -> Response {
-    let (shard_name, dataset) = match resolve_shard(shared, &request.shard) {
+    let shard = match resolve_shard(shared, &request.shard) {
         Ok(found) => found,
         Err(resp) => return *resp,
     };
-    let query = match resolve_query(dataset, request) {
+    // Read-lock while resolving the query and (on a context miss)
+    // assembling the instance context; concurrent solves share the lock,
+    // only an ingest excludes them. Never held across the solve itself.
+    let state = shard.read();
+    let query = match resolve_query(&state.dataset, request) {
         Ok(q) => q,
         Err(resp) => return *resp,
     };
+    let versions: Vec<u64> = query
+        .items
+        .iter()
+        .map(|id| state.versions.get(id).copied().unwrap_or(0))
+        .collect();
     let keys = CacheKeys::build(
-        shard_name,
+        &shard.name,
         query.scheme_name,
         &query.items,
+        &versions,
         query.params.m,
         query.params.lambda,
         query.params.mu,
@@ -343,7 +468,8 @@ fn handle_solve(shared: &Shared, request: &Request) -> Response {
     );
 
     // Layer 1: an exact repeat replays the memoized answer. The solver
-    // is deterministic, so this is byte-identical to re-solving.
+    // is deterministic, so this is byte-identical to re-solving; item
+    // versions in the key guarantee the memo postdates every mutation.
     if let Some(answer) = shared.cache.full_hit(&keys) {
         SolverMetrics::incr(&shared.metrics.serve_full_hits);
         return answer_response(answer, "full");
@@ -365,12 +491,17 @@ fn handle_solve(shared: &Shared, request: &Request) -> Response {
             let instance = ComparisonInstance {
                 items: query.items.iter().map(|&id| ProductId(id)).collect(),
             };
-            let built = Arc::new(InstanceContext::build(dataset, &instance, query.scheme));
+            let built = Arc::new(InstanceContext::build(
+                &state.dataset,
+                &instance,
+                query.scheme,
+            ));
             let evicted = shared.cache.store_context(&keys, Arc::clone(&built));
             SolverMetrics::add(&shared.metrics.serve_cache_evictions, evicted);
             built
         }
     };
+    drop(state);
 
     // Layer 2: check out warm states for this query shape, or start
     // fresh. A shape mismatch (item count changed under the same key
@@ -425,26 +556,172 @@ fn handle_solve(shared: &Shared, request: &Request) -> Response {
 }
 
 /// Find the requested shard (or default to the first).
-fn resolve_shard<'a>(
-    shared: &'a Shared,
-    name: &str,
-) -> Result<(&'a str, &'a Dataset), Box<Response>> {
+fn resolve_shard<'a>(shared: &'a Shared, name: &str) -> Result<&'a Shard, Box<Response>> {
     if name.is_empty() {
-        let (name, dataset) = &shared.shards[0];
-        return Ok((name.as_str(), dataset));
+        return Ok(&shared.shards[0]);
     }
     shared
         .shards
         .iter()
-        .find(|(shard, _)| shard == name)
-        .map(|(shard, dataset)| (shard.as_str(), dataset))
+        .find(|shard| shard.name == name)
         .ok_or_else(|| {
-            let known: Vec<&str> = shared.shards.iter().map(|(n, _)| n.as_str()).collect();
+            let known: Vec<&str> = shared.shards.iter().map(|s| s.name.as_str()).collect();
             Box::new(Response::error(
                 "usage",
                 format!("unknown shard {name:?} (have {known:?})"),
             ))
         })
+}
+
+/// Apply one batch of review events to a shard — atomically, durably,
+/// and without ever exposing a half-applied corpus:
+///
+/// 1. *Stage*: clone the live dataset and validate + apply every event
+///    to the clone; any failure rejects the whole batch untouched.
+/// 2. *Log*: append the batch to the shard's WAL — one write, one
+///    fsync. An I/O failure rejects the batch (code `io`); the torn
+///    tail, if any, truncates on recovery.
+/// 3. *Swap*: publish the staged dataset, advance `next_seq`, and bump
+///    the version of every touched product (stale cache keys die here).
+/// 4. *Invalidate*: after dropping the lock, sweep cache entries that
+///    mention a touched product (hygiene — versioned keys already made
+///    them unreachable).
+///
+/// The ack (`ingested` + `last_seq`) is sent only after step 2's fsync
+/// returns, so an acknowledged event survives any crash.
+fn handle_ingest(shared: &Shared, request: &Request) -> Response {
+    let shard = match resolve_shard(shared, &request.shard) {
+        Ok(found) => found,
+        Err(resp) => return *resp,
+    };
+    let events = match &request.events {
+        Some(events) if !events.is_empty() => events,
+        _ => return Response::error("usage", "ingest needs a non-empty events list".to_string()),
+    };
+
+    let mut state = shard.write();
+    let base_seq = state.next_seq;
+    let mut staged = state.dataset.clone();
+    let mut batch = Vec::with_capacity(events.len());
+    for (k, wire) in events.iter().enumerate() {
+        let ev = match wire_event(&staged, base_seq + k as u64, wire) {
+            Ok(ev) => ev,
+            Err(resp) => return *resp,
+        };
+        if ev.kind == EventKind::Delete && staged.reviews_of(ev.product).len() <= 1 {
+            return Response::error(
+                "data",
+                format!(
+                    "event {k}: cannot delete the last review of product {}",
+                    ev.product.0
+                ),
+            );
+        }
+        if let Err(why) = staged.apply_event(&ev) {
+            return Response::error("data", format!("event {k}: {why}"));
+        }
+        batch.push(ev);
+    }
+
+    if let Some(store) = state.store.as_mut() {
+        if let Err(e) = store.append(&batch) {
+            // Nothing was published; a torn tail from the failed append
+            // truncates on recovery, before any ack exists for it.
+            return Response::error("io", format!("wal append failed: {e}"));
+        }
+    }
+
+    let last_seq = base_seq + batch.len() as u64 - 1;
+    let touched: BTreeSet<u32> = batch.iter().map(|ev| ev.product.0).collect();
+    state.dataset = staged;
+    state.next_seq = base_seq + batch.len() as u64;
+    for &product in &touched {
+        *state.versions.entry(product).or_insert(0) += 1;
+    }
+    let ShardState { dataset, store, .. } = &mut *state;
+    if let Some(store) = store.as_mut() {
+        match store.maybe_snapshot(dataset) {
+            Ok(true) => tracing::debug!("shard {:?}: snapshot + WAL compaction", shard.name),
+            Ok(false) => {}
+            // The WAL already holds the events durably; a failed
+            // snapshot only means a longer replay after the next crash.
+            Err(e) => tracing::warn!("shard {:?}: snapshot failed: {e}", shard.name),
+        }
+    }
+    drop(state);
+
+    let mut invalidated = 0;
+    for &product in &touched {
+        invalidated += shared.cache.invalidate_item(&shard.name, product);
+    }
+    SolverMetrics::add(&shared.metrics.cache_invalidations, invalidated);
+    Response {
+        ingested: Some(batch.len() as u64),
+        last_seq: Some(last_seq),
+        ..Response::ok()
+    }
+}
+
+/// Resolve one wire event against the staged corpus into the WAL shape:
+/// `add` assigns the next review id and reviewer index; `edit` fills
+/// absent fields from the current review; `delete` carries ids only.
+fn wire_event(
+    staged: &Dataset,
+    seq: u64,
+    wire: &IngestEvent,
+) -> Result<ReviewEvent, Box<Response>> {
+    let usage = |msg: String| Box::new(Response::error("usage", msg));
+    let product = ProductId(wire.product);
+    let need_review = || {
+        wire.review
+            .map(ReviewId)
+            .ok_or_else(|| usage(format!("{} needs a review id", wire.op)))
+    };
+    match wire.op.as_str() {
+        "add" => Ok(ReviewEvent {
+            seq,
+            kind: EventKind::Add,
+            product,
+            review: ReviewId(staged.reviews.len() as u32),
+            reviewer: staged.num_reviewers,
+            rating: wire.rating.unwrap_or(4),
+            text: wire.text.clone().unwrap_or_default(),
+            mentions: wire.mentions.clone().unwrap_or_default(),
+        }),
+        "edit" => {
+            let review = need_review()?;
+            let current = staged
+                .reviews
+                .get(review.0 as usize)
+                .ok_or_else(|| usage(format!("review {} out of range", review.0)))?;
+            Ok(ReviewEvent {
+                seq,
+                kind: EventKind::Edit,
+                product,
+                review,
+                reviewer: current.reviewer,
+                rating: wire.rating.unwrap_or(current.rating),
+                text: wire.text.clone().unwrap_or_else(|| current.text.clone()),
+                mentions: wire
+                    .mentions
+                    .clone()
+                    .unwrap_or_else(|| current.mentions.clone()),
+            })
+        }
+        "delete" => Ok(ReviewEvent {
+            seq,
+            kind: EventKind::Delete,
+            product,
+            review: need_review()?,
+            reviewer: 0,
+            rating: 0,
+            text: String::new(),
+            mentions: Vec::new(),
+        }),
+        other => Err(usage(format!(
+            "unknown ingest op {other:?} (add, edit, delete)"
+        ))),
+    }
 }
 
 /// Default, resolve, and validate a solve request against its shard.

@@ -5,8 +5,8 @@
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use comparesets_serve::protocol::{
-    decode, read_frame, read_message, write_frame, write_message, ProtocolError, Request, Response,
-    Status, MAX_FRAME_LEN,
+    decode, read_frame, read_message, write_frame, write_message, IngestEvent, ProtocolError,
+    Request, Response, Status, MAX_FRAME_LEN,
 };
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
@@ -145,6 +145,18 @@ fn request_messages_round_trip() {
             sweeps: rng.random_bool(0.5).then(|| rng.random_range(1..5)),
             scheme: rng.random_bool(0.3).then(|| "binary".to_string()),
             timeout_ms: rng.random_bool(0.3).then(|| rng.random_range(1..10_000)),
+            events: rng.random_bool(0.3).then(|| {
+                (0..rng.random_range(1..4))
+                    .map(|_| IngestEvent {
+                        op: ["add", "edit", "delete"][rng.random_range(0..3)].to_string(),
+                        product: rng.next_u32(),
+                        review: rng.random_bool(0.5).then(|| rng.next_u32()),
+                        rating: rng.random_bool(0.5).then(|| rng.random_range(1..=5)),
+                        text: rng.random_bool(0.5).then(|| "streamed".to_string()),
+                        mentions: rng.random_bool(0.5).then(Vec::new),
+                    })
+                    .collect()
+            }),
         };
         let mut wire = Vec::new();
         write_message(&mut wire, &request).unwrap();
@@ -169,6 +181,8 @@ fn response_messages_round_trip() {
         cache: Some("warm".to_string()),
         pong: None,
         info: None,
+        ingested: Some(3),
+        last_seq: Some(41),
     };
     let mut wire = Vec::new();
     write_message(&mut wire, &response).unwrap();

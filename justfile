@@ -1,7 +1,7 @@
 # Local equivalents of the CI gates (.github/workflows/ci.yml).
 
 # Run every CI gate in order.
-ci: fmt-check clippy build test doctest doc smoke resume-smoke serve-smoke bench-smoke
+ci: fmt-check clippy build test doctest doc smoke resume-smoke serve-smoke stream-smoke bench-smoke
 
 fmt:
     cargo fmt
@@ -43,7 +43,7 @@ smoke:
         --corpus "$tmp/corpus.json" --target 0 --m 3 \
         --trace debug --metrics-json "$tmp/metrics.json"
     test -s "$tmp/metrics.json"
-    grep -q 'comparesets-metrics/v4' "$tmp/metrics.json"
+    grep -q 'comparesets-metrics/v5' "$tmp/metrics.json"
     grep -q '"nomp_pursuits":' "$tmp/metrics.json"
     grep -q '"cancellation_checks":' "$tmp/metrics.json"
     grep -q '"io_retries":' "$tmp/metrics.json"
@@ -103,11 +103,65 @@ serve-smoke:
     grep -q '"serve_full_hits":1' "$tmp/metrics.json"
     echo "serve smoke ok"
 
-# Refresh the performance baselines (updates BENCH_parallel_solver.json
-# and BENCH_serve.json, see PERFORMANCE.md).
+# Streaming smoke: serve durably (--data-dir), stream ingest events with
+# the example driver, SIGKILL the server (no cleanup runs), smear garbage
+# over the WAL tail, then require `recover` to report the exact durable
+# prefix and a restarted server to keep serving and appending from it
+# (mirrors the "Stream smoke" CI step).
+stream-smoke:
+    #!/usr/bin/env bash
+    set -euo pipefail
+    tmp=$(mktemp -d)
+    trap 'rm -rf "$tmp"' EXIT
+    cargo run --release -p comparesets-cli -- generate \
+        --category cellphone --products 40 --seed 7 --out "$tmp/corpus.json"
+    cargo build --release -p comparesets-serve --example stream
+    cargo run --release -p comparesets-cli -- serve \
+        --corpus "$tmp/corpus.json" --addr 127.0.0.1:0 \
+        --data-dir "$tmp/data" > "$tmp/serve.out" &
+    server=$!
+    addr=""
+    for _ in $(seq 100); do
+        addr=$(sed -n 's/^serving on //p' "$tmp/serve.out")
+        [ -n "$addr" ] && break
+        sleep 0.1
+    done
+    test -n "$addr"
+    cargo run --release -p comparesets-serve --example stream -- "$addr" 6 0
+    kill -9 "$server"
+    wait "$server" || true
+    printf 'torn garbage' >> "$tmp/data/corpus/wal.log"
+    cargo run --release -p comparesets-cli -- recover \
+        --data-dir "$tmp/data" > "$tmp/recover.out"
+    grep -q 'replayed 6 event(s)' "$tmp/recover.out"
+    grep -q 'dropped 12 torn byte(s)' "$tmp/recover.out"
+    cargo run --release -p comparesets-cli -- serve \
+        --corpus "$tmp/corpus.json" --addr 127.0.0.1:0 \
+        --data-dir "$tmp/data" --metrics-json "$tmp/metrics.json" \
+        > "$tmp/serve2.out" &
+    server=$!
+    addr=""
+    for _ in $(seq 100); do
+        addr=$(sed -n 's/^serving on //p' "$tmp/serve2.out")
+        [ -n "$addr" ] && break
+        sleep 0.1
+    done
+    test -n "$addr"
+    cargo run --release -p comparesets-serve --example stream -- \
+        "$addr" 2 0 shutdown > "$tmp/stream2.out"
+    wait "$server"
+    grep -q 'last seq 8' "$tmp/stream2.out"
+    grep -q '"recovery_replayed_records":6' "$tmp/metrics.json"
+    grep -q '"wal_appends":2' "$tmp/metrics.json"
+    grep -q '"wal_fsyncs":2' "$tmp/metrics.json"
+    echo "stream smoke ok"
+
+# Refresh the performance baselines (updates BENCH_parallel_solver.json,
+# BENCH_serve.json, and BENCH_stream.json, see PERFORMANCE.md).
 bench-baseline:
     cargo bench -p comparesets-bench --bench parallel_solver
     cargo bench -p comparesets-bench --bench serve
+    cargo bench -p comparesets-bench --bench stream
 
 # One-sample, one-iteration run of every bench group: proves each bench
 # body executes end-to-end without paying measurement-grade runtimes.
