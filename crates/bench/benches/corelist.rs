@@ -29,7 +29,7 @@ fn bench_corelist(c: &mut Criterion) {
     });
     let graph = SimilarityGraph::from_selections(&ctx, &selections, params.lambda, params.mu);
     g.bench_function("exact_k3", |b| {
-        b.iter(|| black_box(solve_exact(&graph, 0, 3, ExactOptions::default())))
+        b.iter(|| black_box(solve_exact(&graph, 0, 3, &ExactOptions::default())))
     });
     g.bench_function("greedy_k3", |b| {
         b.iter(|| black_box(solve_greedy(&graph, 0, 3)))

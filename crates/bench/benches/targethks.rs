@@ -27,7 +27,7 @@ fn bench_targethks(c: &mut Criterion) {
         let graph = random_graph(n, 42);
         let k = 5;
         g.bench_with_input(BenchmarkId::new("exact_k5", n), &graph, |b, gr| {
-            b.iter(|| black_box(solve_exact(gr, 0, k, ExactOptions::default())))
+            b.iter(|| black_box(solve_exact(gr, 0, k, &ExactOptions::default())))
         });
         g.bench_with_input(BenchmarkId::new("greedy_k5", n), &graph, |b, gr| {
             b.iter(|| black_box(solve_greedy(gr, 0, k)))

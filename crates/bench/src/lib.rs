@@ -6,7 +6,7 @@ pub mod schema;
 
 pub use schema::{
     BenchReport, Measurement, ServeBenchReport, ServeMeasurement, StreamBenchReport,
-    StreamMeasurement,
+    StreamMeasurement, TargetHksBenchReport, TargetHksCell,
 };
 
 use comparesets_core::{InstanceContext, OpinionScheme};

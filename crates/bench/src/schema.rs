@@ -213,6 +213,176 @@ impl StreamBenchReport {
     }
 }
 
+/// One cell of the TargetHkS scaling grid: the same (vertices, k)
+/// instance solved under the same deadline by the sequential and the
+/// parallel branch-and-bound.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TargetHksCell {
+    /// Cell path, e.g. `"targethks/n32/k6"`.
+    pub name: String,
+    /// Graph size (number of candidate reviews/items).
+    pub vertices: usize,
+    /// Subgraph size.
+    pub k: usize,
+    /// Per-solve wall-clock deadline, in milliseconds.
+    pub deadline_ms: u64,
+    /// Worker threads of the parallel solve.
+    pub threads: usize,
+    /// Sequential solve proved optimality within the deadline.
+    pub seq_closed: bool,
+    /// Parallel solve proved optimality within the deadline.
+    pub par_closed: bool,
+    /// Sequential incumbent weight at the deadline (the optimum when
+    /// `seq_closed`).
+    pub seq_weight: f64,
+    /// Parallel incumbent weight at the deadline.
+    pub par_weight: f64,
+    /// Sequential absolute optimality-gap certificate (0 when closed).
+    pub seq_gap: f64,
+    /// Parallel absolute optimality-gap certificate (0 when closed).
+    pub par_gap: f64,
+    /// Branch-and-bound nodes the sequential solve expanded.
+    pub seq_nodes: u64,
+    /// Branch-and-bound nodes the parallel solve expanded (all workers).
+    pub par_nodes: u64,
+    /// Sequential node throughput (nodes / elapsed seconds).
+    pub seq_nodes_per_sec: f64,
+    /// Parallel aggregate node throughput.
+    pub par_nodes_per_sec: f64,
+}
+
+/// The machine-readable report `benches/targethks_scaling.rs` writes to
+/// `BENCH_targethks.json` at the workspace root.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TargetHksBenchReport {
+    /// Bench target name (`"targethks_scaling"`).
+    pub bench: String,
+    /// `std::thread::available_parallelism()` on the measuring machine.
+    pub threads_available: usize,
+    /// All grid cells, in emission order.
+    pub cells: Vec<TargetHksCell>,
+}
+
+impl TargetHksBenchReport {
+    /// Structural validation: non-empty identity, unique cell names,
+    /// well-formed grid coordinates, finite non-negative weights and
+    /// gaps, zero gap whenever a solve closed, and positive throughputs.
+    ///
+    /// # Errors
+    /// A readable description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.bench.is_empty() {
+            return Err("bench name is empty".to_string());
+        }
+        if self.threads_available == 0 {
+            return Err("threads_available must be at least 1".to_string());
+        }
+        if self.cells.is_empty() {
+            return Err("report has no cells".to_string());
+        }
+        let mut seen = std::collections::HashSet::new();
+        for c in &self.cells {
+            if c.name.is_empty() {
+                return Err("a cell has an empty name".to_string());
+            }
+            if !seen.insert(c.name.as_str()) {
+                return Err(format!("duplicate cell name {:?}", c.name));
+            }
+            if c.k < 2 || c.vertices <= c.k {
+                return Err(format!(
+                    "{}: grid cell needs vertices > k >= 2, got n={} k={}",
+                    c.name, c.vertices, c.k
+                ));
+            }
+            if c.deadline_ms == 0 {
+                return Err(format!("{}: zero deadline", c.name));
+            }
+            if c.threads < 2 {
+                return Err(format!(
+                    "{}: parallel column ran on {} thread(s)",
+                    c.name, c.threads
+                ));
+            }
+            for (what, v) in [
+                ("seq_weight", c.seq_weight),
+                ("par_weight", c.par_weight),
+                ("seq_gap", c.seq_gap),
+                ("par_gap", c.par_gap),
+            ] {
+                if !(v.is_finite() && v >= 0.0) {
+                    return Err(format!(
+                        "{}: {what} {v} is not finite and non-negative",
+                        c.name
+                    ));
+                }
+            }
+            if c.seq_closed && c.seq_gap != 0.0 {
+                return Err(format!("{}: closed sequential cell with gap", c.name));
+            }
+            if c.par_closed && c.par_gap != 0.0 {
+                return Err(format!("{}: closed parallel cell with gap", c.name));
+            }
+            if c.seq_nodes == 0 || c.par_nodes == 0 {
+                return Err(format!("{}: a solve expanded zero nodes", c.name));
+            }
+            for (what, v) in [
+                ("seq_nodes_per_sec", c.seq_nodes_per_sec),
+                ("par_nodes_per_sec", c.par_nodes_per_sec),
+            ] {
+                if !(v.is_finite() && v > 0.0) {
+                    return Err(format!("{}: {what} {v} is not positive finite", c.name));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The anytime acceptance property the committed baseline must hold:
+    ///
+    /// * at least one cell is left open by the sequential solver (the
+    ///   grid actually stresses the deadline);
+    /// * on those open cells, the parallel solver closes strictly more of
+    ///   them, or certifies a strictly smaller mean bound gap (best-first
+    ///   frontier certificates beat the sequential root bound);
+    /// * on every cell both modes close, the proven optimal weights agree.
+    ///
+    /// # Errors
+    /// A readable description of the first violated property.
+    pub fn anytime_acceptance(&self) -> Result<(), String> {
+        let open: Vec<&TargetHksCell> = self.cells.iter().filter(|c| !c.seq_closed).collect();
+        if open.is_empty() {
+            return Err(
+                "no cell left open by the sequential solver; the grid is too easy".to_string(),
+            );
+        }
+        let par_extra = open.iter().filter(|c| c.par_closed).count();
+        let mean = |f: fn(&TargetHksCell) -> f64| {
+            open.iter().map(|c| f(c)).sum::<f64>() / open.len() as f64
+        };
+        let mean_seq = mean(|c| c.seq_gap);
+        let mean_par = mean(|c| c.par_gap);
+        if par_extra == 0 && mean_par >= mean_seq {
+            return Err(format!(
+                "parallel closed no extra cell and its mean gap {mean_par} \
+                 does not beat the sequential mean gap {mean_seq}"
+            ));
+        }
+        for c in &self.cells {
+            if c.seq_closed && c.par_closed {
+                let tol = 1e-6 * c.seq_weight.abs().max(1.0);
+                if (c.seq_weight - c.par_weight).abs() > tol {
+                    return Err(format!(
+                        "{}: both modes closed but proved different optima \
+                         ({} vs {})",
+                        c.name, c.seq_weight, c.par_weight
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -336,6 +506,115 @@ mod tests {
         let dup = r.measurements[0].clone();
         r.measurements.push(dup);
         assert!(r.validate().is_err());
+    }
+
+    fn sample_targethks_report() -> TargetHksBenchReport {
+        TargetHksBenchReport {
+            bench: "targethks_scaling".to_string(),
+            threads_available: 4,
+            cells: vec![
+                TargetHksCell {
+                    name: "targethks/n16/k4".to_string(),
+                    vertices: 16,
+                    k: 4,
+                    deadline_ms: 1000,
+                    threads: 4,
+                    seq_closed: true,
+                    par_closed: true,
+                    seq_weight: 41.5,
+                    par_weight: 41.5,
+                    seq_gap: 0.0,
+                    par_gap: 0.0,
+                    seq_nodes: 900,
+                    par_nodes: 1100,
+                    seq_nodes_per_sec: 5e5,
+                    par_nodes_per_sec: 3e5,
+                },
+                TargetHksCell {
+                    name: "targethks/n40/k8".to_string(),
+                    vertices: 40,
+                    k: 8,
+                    deadline_ms: 1000,
+                    threads: 4,
+                    seq_closed: false,
+                    par_closed: false,
+                    seq_weight: 150.0,
+                    par_weight: 151.0,
+                    seq_gap: 40.0,
+                    par_gap: 12.0,
+                    seq_nodes: 2_000_000,
+                    par_nodes: 1_500_000,
+                    seq_nodes_per_sec: 2e6,
+                    par_nodes_per_sec: 1.5e6,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn targethks_report_round_trips_through_json() {
+        let report = sample_targethks_report();
+        let json = serde_json::to_string(&report).unwrap();
+        let back: TargetHksBenchReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+        assert!(back.validate().is_ok());
+        assert!(back.anytime_acceptance().is_ok());
+    }
+
+    #[test]
+    fn targethks_validation_rejects_malformed_reports() {
+        let mut r = sample_targethks_report();
+        r.cells.clear();
+        assert!(r.validate().is_err());
+
+        // A closed cell must certify gap zero.
+        let mut r = sample_targethks_report();
+        r.cells[0].seq_gap = 1.0;
+        assert!(r.validate().is_err());
+
+        let mut r = sample_targethks_report();
+        r.cells[0].par_weight = f64::NAN;
+        assert!(r.validate().is_err());
+
+        // The grid requires vertices > k.
+        let mut r = sample_targethks_report();
+        r.cells[0].vertices = 4;
+        assert!(r.validate().is_err());
+
+        // The parallel column must actually be parallel.
+        let mut r = sample_targethks_report();
+        r.cells[0].threads = 1;
+        assert!(r.validate().is_err());
+
+        let mut r = sample_targethks_report();
+        let dup = r.cells[0].clone();
+        r.cells.push(dup);
+        assert!(r.validate().is_err());
+    }
+
+    #[test]
+    fn targethks_acceptance_requires_an_anytime_win() {
+        // All cells closed: the grid never stressed the deadline.
+        let mut r = sample_targethks_report();
+        r.cells[1].seq_closed = true;
+        r.cells[1].seq_gap = 0.0;
+        assert!(r.anytime_acceptance().is_err());
+
+        // Open cell where parallel neither closes nor tightens the gap.
+        let mut r = sample_targethks_report();
+        r.cells[1].par_gap = 40.0;
+        assert!(r.anytime_acceptance().is_err());
+
+        // Parallel closing the open cell is also a win.
+        let mut r = sample_targethks_report();
+        r.cells[1].par_closed = true;
+        r.cells[1].par_gap = 0.0;
+        assert!(r.anytime_acceptance().is_ok());
+
+        // Disagreeing optima on a doubly-closed cell are rejected.
+        let mut r = sample_targethks_report();
+        r.cells[0].par_weight = 40.0;
+        assert!(r.anytime_acceptance().is_err());
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! validation, and the solver-metrics report format used by the CLI's
 //! `--metrics-json` must round-trip under its schema tag.
 
-use comparesets_bench::{BenchReport, ServeBenchReport, StreamBenchReport};
+use comparesets_bench::{BenchReport, ServeBenchReport, StreamBenchReport, TargetHksBenchReport};
 use comparesets_core::{MetricsReport, SolverMetrics};
 use std::path::Path;
 
@@ -108,6 +108,38 @@ fn committed_serve_baseline_matches_schema() {
         "warm p50 {warm}ms is not >=5x faster than cold p50 {cold}ms"
     );
     let round_tripped: ServeBenchReport =
+        serde_json::from_str(&serde_json::to_string(&report).unwrap()).unwrap();
+    assert_eq!(round_tripped, report);
+}
+
+#[test]
+fn committed_targethks_baseline_matches_schema_and_acceptance() {
+    let path = workspace_root().join("BENCH_targethks.json");
+    let raw = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("reading {}: {e}", path.display()));
+    let report: TargetHksBenchReport = serde_json::from_str(&raw)
+        .unwrap_or_else(|e| panic!("{} does not match the schema: {e}", path.display()));
+    report
+        .validate()
+        .unwrap_or_else(|e| panic!("{} is malformed: {e}", path.display()));
+    assert_eq!(report.bench, "targethks_scaling");
+    // The PR's acceptance criterion, guarded against the committed grid:
+    // the deadline bites somewhere, the 4-thread anytime solver closes
+    // strictly more of those open cells or certifies a strictly smaller
+    // mean bound gap, and both modes prove the same optimum on every cell
+    // both close.
+    report
+        .anytime_acceptance()
+        .unwrap_or_else(|e| panic!("{} fails the anytime acceptance: {e}", path.display()));
+    // The grid must actually be a vertices x k grid, spanning both easy
+    // (closed) and deadline-bound (open) cells.
+    let vertex_sizes: std::collections::HashSet<usize> =
+        report.cells.iter().map(|c| c.vertices).collect();
+    let ks: std::collections::HashSet<usize> = report.cells.iter().map(|c| c.k).collect();
+    assert!(vertex_sizes.len() >= 3, "grid too narrow: {vertex_sizes:?}");
+    assert!(ks.len() >= 3, "grid too shallow: {ks:?}");
+    assert!(report.cells.iter().any(|c| c.seq_closed && c.par_closed));
+    let round_tripped: TargetHksBenchReport =
         serde_json::from_str(&serde_json::to_string(&report).unwrap()).unwrap();
     assert_eq!(round_tripped, report);
 }
@@ -275,7 +307,6 @@ fn metrics_schema_v5_carries_the_streaming_counters() {
     // The durable streaming store landed with the v5 tag; serialized
     // reports carry the WAL/snapshot/recovery counters, and v4-tagged
     // reports (no streaming fields) still parse defaulting to zero.
-    assert_eq!(comparesets_core::METRICS_SCHEMA, "comparesets-metrics/v5");
     let collector = SolverMetrics::new();
     SolverMetrics::add(&collector.wal_appends, 12);
     SolverMetrics::add(&collector.wal_fsyncs, 7);
@@ -305,4 +336,38 @@ fn metrics_schema_v5_carries_the_streaming_counters() {
     assert!(!back.schema_matches());
     assert_eq!(back.metrics.wal_appends, 0);
     assert_eq!(back.metrics.cache_invalidations, 0);
+}
+
+#[test]
+fn metrics_schema_v6_carries_the_bnb_counters() {
+    // The parallel branch-and-bound landed with the v6 tag; serialized
+    // reports carry the B&B search counters, and v5-tagged reports (no
+    // B&B fields) still parse defaulting to zero.
+    assert_eq!(comparesets_core::METRICS_SCHEMA, "comparesets-metrics/v6");
+    let collector = SolverMetrics::new();
+    SolverMetrics::add(&collector.bnb_nodes, 41);
+    SolverMetrics::add(&collector.bnb_prunes, 17);
+    SolverMetrics::add(&collector.bnb_incumbent_updates, 3);
+    SolverMetrics::add(&collector.bnb_steals, 2);
+    let report = MetricsReport::new("narrow", std::time::Duration::from_millis(3), &collector);
+    assert!(report.schema_matches());
+    let json = serde_json::to_string(&report).unwrap();
+    for field in [
+        ",\"bnb_nodes\":41",
+        ",\"bnb_prunes\":17",
+        ",\"bnb_incumbent_updates\":3",
+        ",\"bnb_steals\":2",
+    ] {
+        assert!(json.contains(field), "{field} missing from {json}");
+    }
+    let stripped = json
+        .replace(",\"bnb_nodes\":41", "")
+        .replace(",\"bnb_prunes\":17", "")
+        .replace(",\"bnb_incumbent_updates\":3", "")
+        .replace(",\"bnb_steals\":2", "")
+        .replace(comparesets_core::METRICS_SCHEMA, "comparesets-metrics/v5");
+    let back: MetricsReport = serde_json::from_str(&stripped).unwrap();
+    assert!(!back.schema_matches());
+    assert_eq!(back.metrics.bnb_nodes, 0);
+    assert_eq!(back.metrics.bnb_steals, 0);
 }

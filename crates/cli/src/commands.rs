@@ -453,15 +453,22 @@ fn cmd_narrow(args: &Args, metrics: Option<Arc<SolverMetrics>>) -> Result<String
     let graph = SimilarityGraph::from_selections(&ctx, &selections, params.lambda, params.mu);
     let vertices = match method.as_str() {
         "exact" | "ilp" => {
-            solve_exact(
-                &graph,
-                0,
-                k,
-                ExactOptions {
-                    time_limit: std::time::Duration::from_millis(time_limit),
-                },
-            )
-            .vertices
+            // --timeout and --metrics-json reach the graph solve, and
+            // --threads picks the parallel branch-and-bound.
+            let mut exact_opts = ExactOptions::default()
+                .with_time_limit(std::time::Duration::from_millis(time_limit))
+                .with_threads(args.get_or("threads", 1)?);
+            exact_opts.cancel = opts.cancel.clone();
+            exact_opts.metrics = opts.metrics.clone();
+            let result = solve_exact(&graph, 0, k, &exact_opts);
+            if opts.cancel.as_deref().is_some_and(CancelToken::fired) {
+                return Err(CliError::deadline(format!(
+                    "--timeout expired during exact narrowing \
+                     (incumbent weight {:.4}, optimality gap <= {:.4})",
+                    result.weight, result.gap
+                )));
+            }
+            result.vertices
         }
         "greedy" => graph_greedy(&graph, 0, k),
         "topk" | "top-k" => solve_top_k_similarity(&graph, 0, k),

@@ -144,9 +144,10 @@ pub fn run(cfg: &EvalConfig) -> Ablation {
 
     // --- 4. peeling vs exact --------------------------------------------------
     let k = 3usize;
-    let options = ExactOptions {
-        time_limit: Duration::from_millis(cfg.exact_time_limit_ms),
-    };
+    let mut options =
+        ExactOptions::default().with_time_limit(Duration::from_millis(cfg.exact_time_limit_ms));
+    options.cancel = cfg.solve_options.cancel.clone();
+    options.metrics = cfg.solve_options.metrics.clone();
     let plus = run_algorithm_cfg(&instances, Algorithm::CompareSetsPlus, &params, cfg);
     let mut omega_exact = 0.0;
     let mut omega_peel = 0.0;
@@ -156,7 +157,7 @@ pub fn run(cfg: &EvalConfig) -> Ablation {
             continue;
         }
         let graph = SimilarityGraph::from_selections(&inst.ctx, sels, cfg.lambda, cfg.mu);
-        omega_exact += solve_exact(&graph, 0, k, options).weight;
+        omega_exact += solve_exact(&graph, 0, k, &options).weight;
         let peel = improve_by_swaps(&graph, &solve_peeling(&graph, Some(0), k), &[0]);
         omega_peel += graph.subgraph_weight(&peel);
         omega_greedy += graph.subgraph_weight(&comparesets_graph::solve_greedy(&graph, 0, k));

@@ -51,16 +51,17 @@ fn case_for(dataset: &Dataset, name: &str, cfg: &EvalConfig) -> Option<CaseStudy
     };
     let instances = prepare_instances(dataset, cfg);
     let sols = run_algorithm_cfg(&instances, Algorithm::CompareSetsPlus, &params, cfg);
-    let options = ExactOptions {
-        time_limit: Duration::from_millis(cfg.exact_time_limit_ms),
-    };
+    let mut options =
+        ExactOptions::default().with_time_limit(Duration::from_millis(cfg.exact_time_limit_ms));
+    options.cancel = cfg.solve_options.cancel.clone();
+    options.metrics = cfg.solve_options.metrics.clone();
     // Pick the first instance with more than k items.
     let (inst, sels) = instances
         .iter()
         .zip(sols.iter())
         .find(|(inst, _)| inst.ctx.num_items() > k)?;
     let graph = SimilarityGraph::from_selections(&inst.ctx, sels, cfg.lambda, cfg.mu);
-    let exact = solve_exact(&graph, 0, k, options);
+    let exact = solve_exact(&graph, 0, k, &options);
     // Target first, then the rest of the core list.
     let mut order = exact.vertices.clone();
     order.sort_unstable();

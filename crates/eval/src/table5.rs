@@ -73,13 +73,16 @@ pub fn run(cfg: &EvalConfig) -> Table5 {
             if work.is_empty() {
                 continue;
             }
-            let options = ExactOptions {
-                time_limit: Duration::from_millis(cfg.exact_time_limit_ms),
-            };
+            // Thread the suite's cancellation token and metrics collector
+            // into the exact solves so `--timeout` preempts Table 5 too.
+            let mut options = ExactOptions::default()
+                .with_time_limit(Duration::from_millis(cfg.exact_time_limit_ms));
+            options.cancel = cfg.solve_options.cancel.clone();
+            options.metrics = cfg.solve_options.metrics.clone();
             let results: Vec<(f64, f64, f64, bool)> = work
                 .par_iter()
                 .map(|(idx, graph)| {
-                    let exact = solve_exact(graph, 0, k, options);
+                    let exact = solve_exact(graph, 0, k, &options);
                     let greedy = solve_greedy(graph, 0, k);
                     let random = solve_random_k(graph, 0, k, cfg.seed.wrapping_add(*idx as u64));
                     (

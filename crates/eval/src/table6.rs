@@ -82,9 +82,10 @@ pub struct Table6 {
 /// Run the experiment.
 pub fn run(cfg: &EvalConfig) -> Table6 {
     let mut blocks = Vec::new();
-    let options = ExactOptions {
-        time_limit: Duration::from_millis(cfg.exact_time_limit_ms),
-    };
+    let mut options =
+        ExactOptions::default().with_time_limit(Duration::from_millis(cfg.exact_time_limit_ms));
+    options.cancel = cfg.solve_options.cancel.clone();
+    options.metrics = cfg.solve_options.metrics.clone();
     for &preset in &CategoryPreset::ALL {
         let dataset = dataset_for(preset, cfg);
         let instances = prepare_instances(&dataset, cfg);
@@ -111,7 +112,7 @@ pub fn run(cfg: &EvalConfig) -> Table6 {
                         }
                         CoreListMethod::TopKSimilarity => solve_top_k_similarity(&graph, 0, k),
                         CoreListMethod::Greedy => solve_greedy(&graph, 0, k),
-                        CoreListMethod::Exact => solve_exact(&graph, 0, k, options).vertices,
+                        CoreListMethod::Exact => solve_exact(&graph, 0, k, &options).vertices,
                     };
                     if let Some(t) = alignment_target_vs_comparatives(inst, sels, Some(&subset)) {
                         per_method[mi].0.push(t);

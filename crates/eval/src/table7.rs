@@ -53,9 +53,10 @@ pub fn run(cfg: &EvalConfig) -> Table7 {
         lambda: cfg.lambda,
         mu: cfg.mu,
     };
-    let options = ExactOptions {
-        time_limit: Duration::from_millis(cfg.exact_time_limit_ms),
-    };
+    let mut options =
+        ExactOptions::default().with_time_limit(Duration::from_millis(cfg.exact_time_limit_ms));
+    options.cancel = cfg.solve_options.cancel.clone();
+    options.metrics = cfg.solve_options.metrics.clone();
 
     // Collect (example, per-algorithm latent utilities).
     let mut example_utilities = Vec::new();
@@ -75,7 +76,7 @@ pub fn run(cfg: &EvalConfig) -> Table7 {
             }
             // Core list from the exact solver over CompaReSetS+ selections.
             let graph = SimilarityGraph::from_selections(&inst.ctx, &plus[idx], cfg.lambda, cfg.mu);
-            let core = solve_exact(&graph, 0, k, options).vertices;
+            let core = solve_exact(&graph, 0, k, &options).vertices;
             let utilities = [
                 latent_utility(inst, &random[idx], &core),
                 latent_utility(inst, &crs[idx], &core),

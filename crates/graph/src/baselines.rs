@@ -112,7 +112,7 @@ mod tests {
         rest.sort_unstable();
         assert_eq!(rest, vec![1, 2]);
         // Exact prefers {0,1,3}: 10 + 5 + 5 = 20 > 19.
-        let exact = crate::exact::solve_exact(&g, 0, 3, Default::default());
+        let exact = crate::exact::solve_exact(&g, 0, 3, &Default::default());
         assert_eq!(exact.vertices, vec![0, 1, 3]);
         assert!(exact.weight > g.subgraph_weight(&topk));
     }

@@ -10,11 +10,15 @@ use crate::similarity::SimilarityGraph;
 
 /// Solve HkS by running the exact TargetHkS solver from every vertex and
 /// keeping the heaviest result. The returned status is `Optimal` only when
-/// every inner solve proved optimality.
-pub fn solve_hks(graph: &SimilarityGraph, k: usize, options: ExactOptions) -> ExactResult {
+/// every inner solve proved optimality; otherwise the returned gap bounds
+/// the HkS optimum: it is at most `weight + gap` because the optimum of
+/// every per-target subproblem is at most its `weight_t + gap_t`.
+pub fn solve_hks(graph: &SimilarityGraph, k: usize, options: &ExactOptions) -> ExactResult {
     assert!(k > 0, "k must be positive");
     let mut best: Option<ExactResult> = None;
     let mut all_optimal = true;
+    let mut certified = f64::NEG_INFINITY;
+    let mut nodes = 0u64;
     for target in 0..graph.len() {
         // Skip targets already inside the incumbent: any k-subgraph
         // containing them was already explored optimally from that target.
@@ -25,16 +29,21 @@ pub fn solve_hks(graph: &SimilarityGraph, k: usize, options: ExactOptions) -> Ex
         }
         let r = solve_exact(graph, target, k, options);
         all_optimal &= r.status == SolveStatus::Optimal;
+        certified = certified.max(r.weight + r.gap);
+        nodes += r.nodes;
         if best.as_ref().is_none_or(|b| r.weight > b.weight) {
             best = Some(r);
         }
     }
     let mut out = best.expect("graph has at least one vertex");
-    out.status = if all_optimal {
-        SolveStatus::Optimal
+    out.nodes = nodes;
+    if all_optimal {
+        out.status = SolveStatus::Optimal;
+        out.gap = 0.0;
     } else {
-        SolveStatus::TimeLimit
-    };
+        out.status = SolveStatus::TimeLimit;
+        out.gap = (certified - out.weight).max(0.0);
+    }
     out
 }
 
@@ -46,7 +55,7 @@ mod tests {
     #[test]
     fn hks_finds_global_optimum_ignoring_target() {
         let g = figure4_graph();
-        let r = solve_hks(&g, 3, ExactOptions::default());
+        let r = solve_hks(&g, 3, &ExactOptions::default());
         // Figure 4: HkS optimum is {p2,p5,p6} = vertices {1,4,5}, 26.5.
         assert_eq!(r.vertices, vec![1, 4, 5]);
         assert!((r.weight - 26.5).abs() < 1e-12);
@@ -56,9 +65,9 @@ mod tests {
     #[test]
     fn hks_dominates_every_targethks() {
         let g = figure4_graph();
-        let hks = solve_hks(&g, 3, ExactOptions::default());
+        let hks = solve_hks(&g, 3, &ExactOptions::default());
         for t in 0..6 {
-            let r = solve_exact(&g, t, 3, ExactOptions::default());
+            let r = solve_exact(&g, t, 3, &ExactOptions::default());
             assert!(hks.weight >= r.weight - 1e-12);
         }
     }
@@ -66,7 +75,7 @@ mod tests {
     #[test]
     fn hks_k_equals_n_takes_everything() {
         let g = figure4_graph();
-        let r = solve_hks(&g, 6, ExactOptions::default());
+        let r = solve_hks(&g, 6, &ExactOptions::default());
         assert_eq!(r.vertices.len(), 6);
     }
 }

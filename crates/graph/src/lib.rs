@@ -26,7 +26,7 @@ pub mod peeling;
 pub mod similarity;
 
 pub use baselines::{solve_random_k, solve_top_k_similarity};
-pub use exact::{solve_exact, ExactOptions, ExactResult, SolveStatus};
+pub use exact::{solve_exact, upper_bound, ExactOptions, ExactResult, SolveStatus};
 pub use greedy::solve_greedy;
 pub use hks::solve_hks;
 pub use peeling::{improve_by_swaps, solve_peeling};

@@ -178,7 +178,7 @@ mod tests {
                 }
             }
             let g = crate::similarity::SimilarityGraph::from_weights(n, w);
-            let exact = solve_exact(&g, 0, 4, ExactOptions::default());
+            let exact = solve_exact(&g, 0, 4, &ExactOptions::default());
             let peel = improve_by_swaps(&g, &solve_peeling(&g, Some(0), 4), &[0]);
             total_ratio += g.subgraph_weight(&peel) / exact.weight.max(1e-9);
         }

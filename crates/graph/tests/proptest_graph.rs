@@ -1,7 +1,7 @@
 //! Property-based tests for the TargetHkS solvers.
 
 use comparesets_graph::{
-    solve_exact, solve_greedy, solve_random_k, solve_top_k_similarity, ExactOptions,
+    solve_exact, solve_greedy, solve_random_k, solve_top_k_similarity, upper_bound, ExactOptions,
     SimilarityGraph, SolveStatus,
 };
 use proptest::prelude::*;
@@ -31,7 +31,7 @@ proptest! {
         let n = g.len();
         let k = k_raw.min(n);
         let target = (seed as usize) % n;
-        let exact = solve_exact(&g, target, k, ExactOptions::default());
+        let exact = solve_exact(&g, target, k, &ExactOptions::default());
         prop_assert_eq!(exact.status, SolveStatus::Optimal);
         prop_assert!(exact.vertices.contains(&target));
         prop_assert_eq!(exact.vertices.len(), k);
@@ -80,8 +80,65 @@ proptest! {
         prop_assert!(improved.contains(&target));
         prop_assert!(g.subgraph_weight(&improved) >= g.subgraph_weight(&peel) - 1e-9);
         // Never beats the exact optimum.
-        let exact = solve_exact(&g, target, k, ExactOptions::default());
+        let exact = solve_exact(&g, target, k, &ExactOptions::default());
         prop_assert!(exact.weight >= g.subgraph_weight(&improved) - 1e-9);
+    }
+
+    #[test]
+    fn upper_bound_is_admissible(
+        g in random_graph(),
+        k_raw in 2usize..=5,
+        prefix_seed in 0u64..1000,
+    ) {
+        // The bound must dominate the best brute-force completion from
+        // *any* partial state, not just the root: pick a random prefix of
+        // chosen vertices, enumerate every completion, and require
+        // `upper_bound >= max completion`. This is the invariant the
+        // whole solver rests on — an inadmissible bound silently prunes
+        // optima (no test on final weights alone would localize that).
+        let n = g.len();
+        let k = k_raw.min(n);
+        let target = (prefix_seed as usize) % n;
+        let mut chosen = vec![target];
+        let mut cands: Vec<usize> = (0..n).filter(|&v| v != target).collect();
+        // Deterministically pre-place 0..k-1 extra vertices.
+        let pre = (prefix_seed as usize / n) % k;
+        for step in 0..pre {
+            let pick = (prefix_seed as usize)
+                .wrapping_mul(31)
+                .wrapping_add(step) % cands.len();
+            chosen.push(cands.remove(pick));
+        }
+        let r = k - chosen.len();
+        let current = g.subgraph_weight(&chosen);
+        let bound = upper_bound(&g, &chosen, current, &cands, r);
+
+        // Brute-force the best completion.
+        fn best_completion(
+            g: &SimilarityGraph,
+            chosen: &mut Vec<usize>,
+            cands: &[usize],
+            from: usize,
+            left: usize,
+            best: &mut f64,
+        ) {
+            if left == 0 {
+                *best = best.max(g.subgraph_weight(chosen));
+                return;
+            }
+            for pos in from..=cands.len().saturating_sub(left) {
+                chosen.push(cands[pos]);
+                best_completion(g, chosen, cands, pos + 1, left - 1, best);
+                chosen.pop();
+            }
+        }
+        let mut best = current; // r == 0 or no completion: the state itself
+        best_completion(&g, &mut chosen.clone(), &cands, 0, r.min(cands.len()), &mut best);
+        prop_assert!(
+            bound >= best - 1e-9,
+            "inadmissible: bound {bound} < best completion {best} \
+             (n={n}, k={k}, chosen={chosen:?})"
+        );
     }
 
     #[test]

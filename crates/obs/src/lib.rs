@@ -41,8 +41,9 @@ pub use cancel::{CancelToken, SolveCtl};
 /// `serve_cache_misses`, `serve_cache_evictions`, and `serve_degraded`.
 /// v5 added the durability counters `wal_appends`, `wal_fsyncs`,
 /// `snapshot_writes`, `recovery_replayed_records`, and
-/// `cache_invalidations`.
-pub const METRICS_SCHEMA: &str = "comparesets-metrics/v5";
+/// `cache_invalidations`. v6 added the branch-and-bound counters
+/// `bnb_nodes`, `bnb_prunes`, `bnb_incumbent_updates`, and `bnb_steals`.
+pub const METRICS_SCHEMA: &str = "comparesets-metrics/v6";
 
 /// Shared counter block for one logical run (a CLI command, an eval
 /// experiment, a test solve). Cheap to share via `Arc`; all updates are
@@ -131,6 +132,18 @@ pub struct SolverMetrics {
     /// Session-cache entries dropped because an ingested event mutated
     /// an item they were keyed on.
     pub cache_invalidations: AtomicU64,
+    /// TargetHkS branch-and-bound nodes expanded (sequential and parallel
+    /// workers both count here; the aggregate equals `ExactResult.nodes`).
+    pub bnb_nodes: AtomicU64,
+    /// Subtrees discarded because their admissible upper bound could not
+    /// beat the shared incumbent.
+    pub bnb_prunes: AtomicU64,
+    /// Strict improvements published to the shared best-incumbent (the
+    /// greedy warm start does not count; it seeds the incumbent).
+    pub bnb_incumbent_updates: AtomicU64,
+    /// Frontier subproblems a worker pulled that a *different* worker
+    /// produced (cross-worker work transfer; always zero sequentially).
+    pub bnb_steals: AtomicU64,
 }
 
 impl SolverMetrics {
@@ -193,6 +206,10 @@ impl SolverMetrics {
             snapshot_writes: self.snapshot_writes.load(Ordering::Relaxed),
             recovery_replayed_records: self.recovery_replayed_records.load(Ordering::Relaxed),
             cache_invalidations: self.cache_invalidations.load(Ordering::Relaxed),
+            bnb_nodes: self.bnb_nodes.load(Ordering::Relaxed),
+            bnb_prunes: self.bnb_prunes.load(Ordering::Relaxed),
+            bnb_incumbent_updates: self.bnb_incumbent_updates.load(Ordering::Relaxed),
+            bnb_steals: self.bnb_steals.load(Ordering::Relaxed),
         }
     }
 }
@@ -253,6 +270,14 @@ pub struct MetricsSnapshot {
     pub recovery_replayed_records: u64,
     #[serde(default)]
     pub cache_invalidations: u64,
+    #[serde(default)]
+    pub bnb_nodes: u64,
+    #[serde(default)]
+    pub bnb_prunes: u64,
+    #[serde(default)]
+    pub bnb_incumbent_updates: u64,
+    #[serde(default)]
+    pub bnb_steals: u64,
 }
 
 impl MetricsSnapshot {

@@ -28,7 +28,7 @@ fn main() {
     // Select + narrow.
     let selections = solve_comparesets_plus(&ctx, &params);
     let graph = SimilarityGraph::from_selections(&ctx, &selections, params.lambda, params.mu);
-    let core = solve_exact(&graph, 0, 3, ExactOptions::default()).vertices;
+    let core = solve_exact(&graph, 0, 3, &ExactOptions::default()).vertices;
 
     // Figure-1-style comparison grid over the core items.
     let table = ComparisonTable::build(&ctx, &selections, Some(&core));

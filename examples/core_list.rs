@@ -45,13 +45,13 @@ fn figure4_demo() {
     let g = SimilarityGraph::from_weights(n, w);
 
     println!("=== Figure 4 demo (6 items, k = 3) ===");
-    let target = solve_exact(&g, 0, 3, ExactOptions::default());
+    let target = solve_exact(&g, 0, 3, &ExactOptions::default());
     println!(
         "TargetHkS (must include p1): {:?}  weight {:.1}",
         pretty(&target.vertices),
         target.weight
     );
-    let hks = solve_hks(&g, 3, ExactOptions::default());
+    let hks = solve_hks(&g, 3, &ExactOptions::default());
     println!(
         "HkS (any 3 items):           {:?}  weight {:.1}",
         pretty(&hks.vertices),
@@ -84,7 +84,7 @@ fn corpus_demo() {
         ctx.num_items() - 1
     );
     let k = 3;
-    let exact = solve_exact(&graph, 0, k, ExactOptions::default());
+    let exact = solve_exact(&graph, 0, k, &ExactOptions::default());
     let greedy = solve_greedy(&graph, 0, k);
     let topk = solve_top_k_similarity(&graph, 0, k);
     let random = solve_random_k(&graph, 0, k, 5);

@@ -1,7 +1,7 @@
 # Local equivalents of the CI gates (.github/workflows/ci.yml).
 
 # Run every CI gate in order.
-ci: fmt-check clippy build test doctest doc smoke resume-smoke serve-smoke stream-smoke bench-smoke
+ci: fmt-check clippy build test doctest doc smoke resume-smoke serve-smoke stream-smoke graph-smoke bench-smoke
 
 fmt:
     cargo fmt
@@ -43,7 +43,7 @@ smoke:
         --corpus "$tmp/corpus.json" --target 0 --m 3 \
         --trace debug --metrics-json "$tmp/metrics.json"
     test -s "$tmp/metrics.json"
-    grep -q 'comparesets-metrics/v5' "$tmp/metrics.json"
+    grep -q 'comparesets-metrics/v6' "$tmp/metrics.json"
     grep -q '"nomp_pursuits":' "$tmp/metrics.json"
     grep -q '"cancellation_checks":' "$tmp/metrics.json"
     grep -q '"io_retries":' "$tmp/metrics.json"
@@ -156,12 +156,35 @@ stream-smoke:
     grep -q '"wal_fsyncs":2' "$tmp/metrics.json"
     echo "stream smoke ok"
 
+# Graph solver smoke: one-sample run of the TargetHkS scaling bench
+# (smoke mode never rewrites BENCH_targethks.json), then an end-to-end
+# parallel exact narrowing through the CLI requiring nonzero v6
+# branch-and-bound counters in the metrics report (mirrors the
+# "Graph smoke" CI step).
+graph-smoke:
+    #!/usr/bin/env bash
+    set -euo pipefail
+    tmp=$(mktemp -d)
+    trap 'rm -rf "$tmp"' EXIT
+    COMPARESETS_BENCH_SMOKE=1 cargo bench -p comparesets-bench --bench targethks_scaling
+    cargo run --release -p comparesets-cli -- generate \
+        --category cellphone --products 40 --seed 7 --out "$tmp/corpus.json"
+    cargo run --release -p comparesets-cli -- narrow \
+        --corpus "$tmp/corpus.json" --target 2 --k 3 --method exact \
+        --threads 4 --metrics-json "$tmp/metrics.json"
+    grep -q '"bnb_nodes":' "$tmp/metrics.json"
+    ! grep -q '"bnb_nodes":0' "$tmp/metrics.json"
+    ! grep -q '"bnb_steals":0' "$tmp/metrics.json"
+    echo "graph smoke ok"
+
 # Refresh the performance baselines (updates BENCH_parallel_solver.json,
-# BENCH_serve.json, and BENCH_stream.json, see PERFORMANCE.md).
+# BENCH_serve.json, BENCH_stream.json, and BENCH_targethks.json, see
+# PERFORMANCE.md).
 bench-baseline:
     cargo bench -p comparesets-bench --bench parallel_solver
     cargo bench -p comparesets-bench --bench serve
     cargo bench -p comparesets-bench --bench stream
+    cargo bench -p comparesets-bench --bench targethks_scaling
 
 # One-sample, one-iteration run of every bench group: proves each bench
 # body executes end-to-end without paying measurement-grade runtimes.

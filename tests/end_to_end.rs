@@ -31,7 +31,7 @@ fn full_pipeline_runs_and_is_deterministic() {
     assert_eq!(sels1, sels2, "selection must be deterministic");
 
     let graph = SimilarityGraph::from_selections(&ctx, &sels1, params.lambda, params.mu);
-    let exact = solve_exact(&graph, 0, 3, ExactOptions::default());
+    let exact = solve_exact(&graph, 0, 3, &ExactOptions::default());
     assert_eq!(exact.status, SolveStatus::Optimal);
     assert!(exact.vertices.contains(&0));
 
@@ -115,7 +115,7 @@ fn greedy_core_list_matches_exact_on_small_instances() {
     let params = SelectParams::default();
     let sels = solve_comparesets_plus(&ctx, &params);
     let graph = SimilarityGraph::from_selections(&ctx, &sels, params.lambda, params.mu);
-    let exact = solve_exact(&graph, 0, 3, ExactOptions::default());
+    let exact = solve_exact(&graph, 0, 3, &ExactOptions::default());
     let greedy = solve_greedy(&graph, 0, 3);
     let gw = graph.subgraph_weight(&greedy);
     // Greedy is near-optimal on these small graphs (Table 5's finding).

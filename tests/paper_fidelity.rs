@@ -103,11 +103,11 @@ fn figure_4_targethks_excludes_globally_heavier_clique() {
     set(3, 4, 1.0);
     let g = SimilarityGraph::from_weights(n, w);
 
-    let target = solve_exact(&g, 0, 3, ExactOptions::default());
+    let target = solve_exact(&g, 0, 3, &ExactOptions::default());
     assert_eq!(target.vertices, vec![0, 3, 5]);
     assert!((target.weight - 25.4).abs() < 1e-9);
 
-    let hks = solve_hks(&g, 3, ExactOptions::default());
+    let hks = solve_hks(&g, 3, &ExactOptions::default());
     assert_eq!(hks.vertices, vec![1, 4, 5]);
     assert!((hks.weight - 26.5).abs() < 1e-9);
     assert!(!hks.vertices.contains(&0), "HkS drops the target item");

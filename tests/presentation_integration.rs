@@ -21,7 +21,7 @@ fn full_pipeline_to_comparison_table_and_summaries() {
     let params = SelectParams::default();
     let selections = solve_comparesets_plus(&ctx, &params);
     let graph = SimilarityGraph::from_selections(&ctx, &selections, params.lambda, params.mu);
-    let core = solve_exact(&graph, 0, 3, ExactOptions::default()).vertices;
+    let core = solve_exact(&graph, 0, 3, &ExactOptions::default()).vertices;
 
     // Comparison table over the core list.
     let table = ComparisonTable::build(&ctx, &selections, Some(&core));
