@@ -343,7 +343,6 @@ fn metrics_schema_v6_carries_the_bnb_counters() {
     // The parallel branch-and-bound landed with the v6 tag; serialized
     // reports carry the B&B search counters, and v5-tagged reports (no
     // B&B fields) still parse defaulting to zero.
-    assert_eq!(comparesets_core::METRICS_SCHEMA, "comparesets-metrics/v6");
     let collector = SolverMetrics::new();
     SolverMetrics::add(&collector.bnb_nodes, 41);
     SolverMetrics::add(&collector.bnb_prunes, 17);
@@ -370,4 +369,39 @@ fn metrics_schema_v6_carries_the_bnb_counters() {
     assert!(!back.schema_matches());
     assert_eq!(back.metrics.bnb_nodes, 0);
     assert_eq!(back.metrics.bnb_steals, 0);
+}
+
+#[test]
+fn metrics_schema_v7_carries_the_chaos_and_drain_counters() {
+    // The chaos plane + graceful drain landed with the v7 tag;
+    // serialized reports carry the fault/drain/timeout/health counters,
+    // and v6-tagged reports (no chaos fields) still parse defaulting to
+    // zero.
+    assert_eq!(comparesets_core::METRICS_SCHEMA, "comparesets-metrics/v7");
+    let collector = SolverMetrics::new();
+    SolverMetrics::add(&collector.faults_injected, 23);
+    SolverMetrics::add(&collector.drain_initiated, 1);
+    SolverMetrics::add(&collector.connections_timed_out, 4);
+    SolverMetrics::add(&collector.health_checks, 9);
+    let report = MetricsReport::new("serve", std::time::Duration::from_millis(3), &collector);
+    assert!(report.schema_matches());
+    let json = serde_json::to_string(&report).unwrap();
+    for field in [
+        ",\"faults_injected\":23",
+        ",\"drain_initiated\":1",
+        ",\"connections_timed_out\":4",
+        ",\"health_checks\":9",
+    ] {
+        assert!(json.contains(field), "{field} missing from {json}");
+    }
+    let stripped = json
+        .replace(",\"faults_injected\":23", "")
+        .replace(",\"drain_initiated\":1", "")
+        .replace(",\"connections_timed_out\":4", "")
+        .replace(",\"health_checks\":9", "")
+        .replace(comparesets_core::METRICS_SCHEMA, "comparesets-metrics/v6");
+    let back: MetricsReport = serde_json::from_str(&stripped).unwrap();
+    assert!(!back.schema_matches());
+    assert_eq!(back.metrics.faults_injected, 0);
+    assert_eq!(back.metrics.health_checks, 0);
 }

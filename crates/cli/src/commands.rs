@@ -51,12 +51,23 @@ commands:
                   shutdown request (or --max-requests), then exits 0.
                   with --data-dir, ingest requests are WAL-backed under
                   DIR/<shard> and acked only after fsync; restarting with
-                  the same DIR recovers every acknowledged event
+                  the same DIR recovers every acknowledged event.
+                  [--drain-deadline-ms N] on SIGTERM the server drains:
+                  stops admitting work (typed `draining` error with a
+                  retry-after hint), lets in-flight solves run up to N ms
+                  (default 1000) before deadline-clamping them, flushes
+                  the WAL, writes a final snapshot, and exits 0
   recover         --data-dir DIR [--shard NAME] [--out FILE] [--compact true]
                   inspect (and optionally re-snapshot) a durable corpus
                   store offline: reports snapshot seq, replayed WAL
-                  events, and torn bytes dropped per shard; --out writes
-                  the recovered corpus of --shard as a plain corpus file
+                  events, torn bytes dropped, and every absorbed fault
+                  per shard; --out writes the recovered corpus of --shard
+                  as a plain corpus file
+  chaos           [--schedules N] [--seed S] [--dir DIR]
+                  drive the durable store through N (default 1000) seeded
+                  fault schedules (short writes, failed fsyncs, disk
+                  full, bit flips, crashes) and verify every acknowledged
+                  event recovers intact; any violation exits 4
   help            print this text
 
 long-run flags (select, narrow, eval):
@@ -77,7 +88,8 @@ exit codes:
   3  io error (file could not be opened, read, or written)
   4  data error (input parsed but is corrupt or unusable)
   5  solver error (numerical failure on the solve path)
-  6  deadline exceeded (--timeout expired before the solve completed)";
+  6  deadline exceeded (--timeout expired before the solve completed)
+  7  disk fatal (ENOSPC/EROFS: disk full or read-only, never retried)";
 
 /// Arg-parser and flag-validation strings are usage errors by definition.
 impl From<String> for CliError {
@@ -111,6 +123,7 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
         "eval" => cmd_eval(&args, metrics.clone()),
         "serve" => cmd_serve(&args, metrics.clone()),
         "recover" => cmd_recover(&args, metrics.clone()),
+        "chaos" => cmd_chaos(&args, metrics.clone()),
         other => Err(CliError::usage(format!("unknown command {other:?}"))),
     };
     if result.is_ok() {
@@ -192,6 +205,7 @@ fn load_corpus(path: &str, metrics: Option<&Arc<SolverMetrics>>) -> Result<Datas
         let message = format!("loading {path}: {e}");
         match e {
             corpus_io::IoError::Io(_) => CliError::io(message),
+            corpus_io::IoError::Disk(_) => CliError::disk(message),
             corpus_io::IoError::Json(_) | corpus_io::IoError::InvalidDataset(_) => {
                 CliError::data(message)
             }
@@ -502,7 +516,10 @@ fn cmd_narrow(args: &Args, metrics: Option<Arc<SolverMetrics>>) -> Result<String
 /// `--corpus` file as a shard named after its file stem, binds, announces
 /// the resolved address on stdout (orchestration and the `serve-smoke`
 /// recipe parse that line to find an ephemeral port), and serves until a
-/// `shutdown` request or the `--max-requests` backstop.
+/// `shutdown` request, the `--max-requests` backstop, or a SIGTERM —
+/// which drains gracefully (ARCHITECTURE.md §12): in-flight solves are
+/// answered or deadline-clamped, the WAL is flushed, a final snapshot is
+/// written, and the process exits 0.
 fn cmd_serve(args: &Args, metrics: Option<Arc<SolverMetrics>>) -> Result<String, CliError> {
     use comparesets_serve::{Server, ServerConfig};
 
@@ -525,6 +542,8 @@ fn cmd_serve(args: &Args, metrics: Option<Arc<SolverMetrics>>) -> Result<String,
         max_requests: (max_requests > 0).then_some(max_requests),
         data_dir: args.get("data-dir").map(std::path::PathBuf::from),
         snapshot_every: args.get_or("snapshot-every", 256)?,
+        drain_deadline: std::time::Duration::from_millis(args.get_or("drain-deadline-ms", 1_000)?),
+        ..ServerConfig::default()
     };
     if config.workers == 0 {
         return Err(CliError::usage("--workers: must be at least 1"));
@@ -548,6 +567,7 @@ fn cmd_serve(args: &Args, metrics: Option<Arc<SolverMetrics>>) -> Result<String,
 
     let server = Server::bind(addr, shards, Arc::clone(&metrics), config)
         .map_err(|e| CliError::io(format!("binding {addr}: {e}")))?;
+    comparesets_serve::install_sigterm_drain();
     println!("serving on {}", server.local_addr());
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
@@ -635,14 +655,21 @@ fn cmd_recover(args: &Args, metrics: Option<Arc<SolverMetrics>>) -> Result<Strin
             recovered.dataset.products.len(),
             recovered.dataset.reviews.len(),
         ));
+        for fault in &recovered.faults {
+            report.push_str(&format!("shard {name}: absorbed fault: {fault}\n"));
+        }
         if compact {
             // Re-opening the store replays the same tail, then one
             // explicit snapshot folds it in and truncates the WAL.
             let (mut store, rec) = CorpusStore::open(dir, None, 0, metrics.clone())
                 .map_err(|e| CliError::data(format!("opening shard {name:?}: {e}")))?;
-            store
-                .snapshot(&rec.dataset)
-                .map_err(|e| CliError::io(format!("compacting shard {name:?}: {e}")))?;
+            store.snapshot(&rec.dataset).map_err(|e| {
+                let message = format!("compacting shard {name:?}: {e}");
+                match e {
+                    comparesets_data::WalError::Disk(_) => CliError::disk(message),
+                    _ => CliError::io(message),
+                }
+            })?;
             report.push_str(&format!("shard {name}: compacted\n"));
         }
         if let Some(out) = out {
@@ -653,6 +680,52 @@ fn cmd_recover(args: &Args, metrics: Option<Arc<SolverMetrics>>) -> Result<Strin
     }
     report.push_str(&format!("{} shard(s) recovered", shard_dirs.len()));
     Ok(report)
+}
+
+/// Drive the durable store through seeded fault schedules
+/// (ARCHITECTURE.md §12): each schedule interleaves appends, snapshots,
+/// and simulated crashes under an injection profile (short writes,
+/// failed fsyncs, disk full, bit flips on read) and verifies after every
+/// crash that the acknowledged prefix recovers byte-identical. A single
+/// violated invariant fails the run with a data error.
+fn cmd_chaos(args: &Args, _metrics: Option<Arc<SolverMetrics>>) -> Result<String, CliError> {
+    use comparesets_data::{run_fault_schedule, CategoryPreset, FaultProfile};
+
+    let schedules: u64 = args.get_or("schedules", 1_000)?;
+    if schedules == 0 {
+        return Err(CliError::usage("--schedules: must be at least 1"));
+    }
+    let base_seed: u64 = args.get_or("seed", 0)?;
+    let root = match args.get("dir") {
+        Some(dir) => std::path::PathBuf::from(dir),
+        None => std::env::temp_dir().join(format!("comparesets_chaos_{}", std::process::id())),
+    };
+    let seed_dataset = CategoryPreset::Toy.config(6, 5).generate();
+    let profile = FaultProfile::chaos();
+
+    let (mut acked, mut faults, mut crashes, mut snapshots, mut failed) = (0u64, 0, 0, 0, 0u64);
+    for i in 0..schedules {
+        let seed = base_seed.wrapping_add(i);
+        let dir = root.join(format!("sched_{seed}"));
+        let outcome =
+            run_fault_schedule(&dir, &seed_dataset, seed, &profile).map_err(|violation| {
+                CliError::data(format!(
+                    "schedule seed {seed}: invariant violated: {violation}"
+                ))
+            })?;
+        let _ = std::fs::remove_dir_all(&dir);
+        acked += outcome.acked;
+        faults += outcome.faults_injected;
+        crashes += outcome.crashes;
+        snapshots += outcome.snapshots;
+        failed += outcome.failed_appends;
+    }
+    let _ = std::fs::remove_dir_all(&root);
+    Ok(format!(
+        "{schedules} schedule(s) clean: {acked} event(s) acked, {faults} fault(s) injected, \
+         {failed} append(s) failed, {crashes} crash(es) recovered, {snapshots} snapshot(s); \
+         every acknowledged event recovered intact"
+    ))
 }
 
 /// Run the reproduction suite (or a named subset) with optional

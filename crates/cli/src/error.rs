@@ -12,6 +12,8 @@
 //! | 4    | data     | input parsed but is corrupt or unusable            |
 //! | 5    | solver   | numerical failure on the solve path                |
 //! | 6    | deadline | `--timeout` expired before the solve completed     |
+//! | 7    | disk     | disk full or read-only (`ENOSPC`/`EROFS`) — fatal, |
+//! |      |          | never retried; free space or remount, then rerun   |
 //!
 //! Every error prints as `error: <readable cause chain>` on stderr; usage
 //! errors additionally print the usage text.
@@ -31,6 +33,9 @@ pub enum ErrorKind {
     Solver,
     /// A `--timeout` deadline expired before the work completed (exit 6).
     Deadline,
+    /// Disk full or read-only (exit 7). Unlike `Io`, retrying cannot
+    /// help until an operator frees space or remounts writable.
+    Disk,
 }
 
 /// A classified CLI error: what failed plus a readable cause.
@@ -90,6 +95,14 @@ impl CliError {
         }
     }
 
+    /// A fatal disk-state error (exit 7): `ENOSPC`/`EROFS`.
+    pub fn disk(message: impl Into<String>) -> Self {
+        CliError {
+            kind: ErrorKind::Disk,
+            message: message.into(),
+        }
+    }
+
     /// The process exit code for this error class.
     pub fn exit_code(&self) -> u8 {
         match self.kind {
@@ -99,6 +112,7 @@ impl CliError {
             ErrorKind::Data => 4,
             ErrorKind::Solver => 5,
             ErrorKind::Deadline => 6,
+            ErrorKind::Disk => 7,
         }
     }
 }
@@ -124,9 +138,10 @@ mod tests {
             CliError::data("x"),
             CliError::solver("x"),
             CliError::deadline("x"),
+            CliError::disk("x"),
         ];
         let codes: Vec<u8> = errors.iter().map(CliError::exit_code).collect();
-        assert_eq!(codes, vec![1, 2, 3, 4, 5, 6]);
+        assert_eq!(codes, vec![1, 2, 3, 4, 5, 6, 7]);
     }
 
     #[test]

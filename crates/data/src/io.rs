@@ -4,6 +4,7 @@
 //! pinned, diffed, and shared — the reproducibility role the paper's
 //! public dataset download plays.
 
+use crate::fault::{disk_full_error, injected_error, FaultAction, FaultPlane, IoOp};
 use crate::model::Dataset;
 use crate::retry::{RetryPolicy, RetryReader};
 use comparesets_obs::SolverMetrics;
@@ -12,11 +13,23 @@ use std::io::{BufReader, Write};
 use std::path::Path;
 use std::sync::Arc;
 
+/// Is this error the fatal disk class — `ENOSPC` (no space) or `EROFS`
+/// (read-only filesystem)? Neither resolves by retrying: backing off
+/// against a full disk just delays the same failure, so every retry
+/// path treats these as immediately fatal and the CLI maps them to
+/// their own exit code (7) so operators can alert on it.
+pub fn is_disk_fatal(e: &std::io::Error) -> bool {
+    matches!(e.raw_os_error(), Some(28) | Some(30)) // ENOSPC, EROFS
+}
+
 /// Errors from dataset IO.
 #[derive(Debug)]
 pub enum IoError {
     /// Underlying filesystem error.
     Io(std::io::Error),
+    /// Fatal disk condition (`ENOSPC`/`EROFS`, see [`is_disk_fatal`]):
+    /// never retried, surfaced as its own CLI exit code.
+    Disk(std::io::Error),
     /// JSON (de)serialisation error.
     Json(serde_json::Error),
     /// The loaded dataset failed consistency validation.
@@ -27,6 +40,7 @@ impl std::fmt::Display for IoError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             IoError::Io(e) => write!(f, "io error: {e}"),
+            IoError::Disk(e) => write!(f, "disk fatal: {e}"),
             IoError::Json(e) => write!(f, "json error: {e}"),
             IoError::InvalidDataset(problems) => {
                 write!(
@@ -44,7 +58,11 @@ impl std::error::Error for IoError {}
 
 impl From<std::io::Error> for IoError {
     fn from(e: std::io::Error) -> Self {
-        IoError::Io(e)
+        if is_disk_fatal(&e) {
+            IoError::Disk(e)
+        } else {
+            IoError::Io(e)
+        }
     }
 }
 
@@ -90,6 +108,25 @@ pub fn from_json(json: &str) -> Result<Dataset, IoError> {
 /// renaming the temp file, and (on Unix) from syncing the parent
 /// directory after the rename.
 pub fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    write_atomic_with(path, bytes, None)
+}
+
+/// [`write_atomic`] with an optional [`FaultPlane`] consulted before the
+/// temp-file write ([`IoOp::AtomicWrite`]) and before the publishing
+/// rename ([`IoOp::Rename`]). With `plane` absent (every production
+/// call) the behaviour and cost are identical to [`write_atomic`]; with
+/// a plane, injected failures leave the destination untouched and the
+/// temp file cleaned up — exactly the crash contract the real path
+/// promises.
+///
+/// # Errors
+/// As for [`write_atomic`], plus injected faults surfaced as I/O errors
+/// (disk-full faults carry a real `ENOSPC` code).
+pub fn write_atomic_with(
+    path: &Path,
+    bytes: &[u8],
+    plane: Option<&FaultPlane>,
+) -> std::io::Result<()> {
     let dir = match path.parent() {
         Some(p) if !p.as_os_str().is_empty() => p,
         _ => Path::new("."),
@@ -103,10 +140,36 @@ pub fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
         std::process::id()
     ));
     let result = (|| {
+        let mut keep = bytes.len();
+        let mut verdict = Ok(());
+        if let Some(p) = plane {
+            match p.next(IoOp::AtomicWrite) {
+                FaultAction::Pass | FaultAction::BitFlip(_) => {}
+                FaultAction::Delay(d) => std::thread::sleep(d),
+                FaultAction::Fail => return Err(injected_error()),
+                FaultAction::DiskFull => return Err(disk_full_error()),
+                FaultAction::ShortWrite(per_mille) => {
+                    // A torn temp-file write: some prefix lands, then the
+                    // device gives out. The rename never runs, so the
+                    // destination stays intact either way.
+                    keep = bytes.len() * per_mille as usize / 1000;
+                    verdict = Err(injected_error());
+                }
+            }
+        }
         let mut f = File::create(&tmp)?;
-        f.write_all(bytes)?;
+        f.write_all(&bytes[..keep])?;
+        verdict?;
         f.sync_all()?;
         drop(f);
+        if let Some(p) = plane {
+            match p.next(IoOp::Rename) {
+                FaultAction::Delay(d) => std::thread::sleep(d),
+                FaultAction::Fail => return Err(injected_error()),
+                FaultAction::DiskFull => return Err(disk_full_error()),
+                _ => {}
+            }
+        }
         fs::rename(&tmp, path)
     })();
     if result.is_err() {
@@ -269,6 +332,51 @@ mod tests {
         let bad = dir.join("missing").join("blob.json");
         assert!(write_atomic(&bad, b"x").is_err());
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn faulted_atomic_write_never_tears_the_destination() {
+        let dir = std::env::temp_dir().join("comparesets_io_fault_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("blob.json");
+        write_atomic(&path, b"baseline").unwrap();
+        let plane = FaultPlane::from_seed(0xBAD_5EED);
+        let mut failures = 0;
+        for k in 0..200u32 {
+            let payload = format!("generation {k}");
+            match write_atomic_with(&path, payload.as_bytes(), Some(&plane)) {
+                Ok(()) => assert_eq!(std::fs::read(&path).unwrap(), payload.as_bytes()),
+                Err(_) => {
+                    failures += 1;
+                    // The destination is whole: either the previous
+                    // generation or some earlier complete write.
+                    let now = std::fs::read_to_string(&path).unwrap();
+                    assert!(
+                        now == "baseline" || now.starts_with("generation "),
+                        "torn destination: {now:?}"
+                    );
+                    assert!(!now.contains('\0'));
+                }
+            }
+        }
+        assert!(failures > 0, "plane never fired");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .filter(|n| n.to_string_lossy().contains(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "temp litter: {leftovers:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn disk_fatal_errors_classify_into_their_own_variant() {
+        let e: IoError = crate::fault::disk_full_error().into();
+        assert!(matches!(e, IoError::Disk(_)), "{e:?}");
+        assert!(e.to_string().contains("disk fatal"), "{e}");
+        let e: IoError = std::io::Error::other("plain").into();
+        assert!(matches!(e, IoError::Io(_)), "{e:?}");
     }
 
     #[test]

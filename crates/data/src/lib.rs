@@ -21,10 +21,14 @@
 //! * [`wal`] — the durable streaming store: a CRC-framed write-ahead
 //!   log of review events plus atomic snapshots, with torn-tail
 //!   recovery and log compaction (ARCHITECTURE.md §11).
+//! * [`fault`] — the deterministic fault-injection plane and seeded
+//!   chaos-schedule harness that exercise the store's crash-safety
+//!   claims (ARCHITECTURE.md §12).
 
 #![warn(missing_docs)]
 
 pub mod amazon;
+pub mod fault;
 pub mod io;
 pub mod model;
 pub mod retry;
@@ -34,6 +38,7 @@ pub mod templates;
 pub mod wal;
 
 pub use amazon::{AmazonError, AmazonLoader, SkippedLines};
+pub use fault::{run_fault_schedule, FaultAction, FaultPlane, FaultProfile, IoOp, ScheduleOutcome};
 pub use model::{
     AspectId, AspectMention, ComparisonInstance, Dataset, Polarity, Product, ProductId, Review,
     ReviewId,
@@ -43,5 +48,5 @@ pub use stats::DatasetStats;
 pub use synth::{CategoryPreset, SynthConfig};
 pub use wal::{
     CorpusSnapshot, CorpusStore, EventKind, Recovery, ReviewEvent, WalError, WalScan,
-    SNAPSHOT_SCHEMA,
+    SNAPSHOT_PREV_FILE, SNAPSHOT_SCHEMA,
 };

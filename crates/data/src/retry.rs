@@ -59,7 +59,10 @@ impl RetryPolicy {
     }
 
     /// Is this error kind worth retrying? Only interruptions that can
-    /// resolve by themselves qualify; everything else is fatal.
+    /// resolve by themselves qualify; everything else is fatal. Note
+    /// that disk-fatal conditions (`ENOSPC`/`EROFS`, see
+    /// [`crate::io::is_disk_fatal`]) are never transient: retrying a
+    /// full or read-only disk only delays the inevitable.
     pub fn is_transient(kind: io::ErrorKind) -> bool {
         matches!(
             kind,
@@ -67,8 +70,32 @@ impl RetryPolicy {
         )
     }
 
-    /// Backoff before 0-based retry `attempt`, advancing the jitter
-    /// state: exponential, capped, plus up to +50% deterministic jitter.
+    /// Is this error kind worth retrying *for a connection attempt*? On
+    /// top of [`is_transient`](RetryPolicy::is_transient), a refused or
+    /// reset connection usually means the server is restarting or
+    /// draining — exactly the window a capped backoff rides out.
+    pub fn is_transient_connect(kind: io::ErrorKind) -> bool {
+        RetryPolicy::is_transient(kind)
+            || matches!(
+                kind,
+                io::ErrorKind::ConnectionRefused | io::ErrorKind::ConnectionReset
+            )
+    }
+
+    /// Fresh jitter state for [`delay`](RetryPolicy::delay) sequences.
+    pub fn jitter_state(&self) -> u64 {
+        self.jitter_seed | 1 // xorshift state must be nonzero
+    }
+
+    /// Backoff before 0-based retry `attempt`, advancing `jitter_state`
+    /// (seed it with [`jitter_state`](RetryPolicy::jitter_state)):
+    /// exponential, capped, plus up to +50% deterministic jitter. Public
+    /// so non-`Read` callers (the serve client's connect loop) can share
+    /// the schedule.
+    pub fn delay(&self, attempt: u32, jitter_state: &mut u64) -> Duration {
+        self.backoff(attempt, jitter_state)
+    }
+
     fn backoff(&self, attempt: u32, jitter_state: &mut u64) -> Duration {
         let exp = self
             .base_delay

@@ -26,17 +26,18 @@
 //! * **Snapshots** (`snapshot.json`) — the full dataset under a
 //!   `corpus-snapshot/v1` header (the style of the eval suite's
 //!   `suite-checkpoint/v1`), written atomically via
-//!   [`write_atomic`]. Once a snapshot covers a
-//!   WAL prefix the log is *compacted*: appends up to the snapshot's
-//!   sequence number are redundant, and since appends are strictly
-//!   sequential the covered prefix is the whole log, which restarts
-//!   empty. A crash between snapshot write and compaction is benign —
-//!   replay skips records with `seq <= snapshot.seq`.
+//!   [`write_atomic`](crate::io::write_atomic). Snapshots are retained
+//!   two generations deep (`snapshot.json` + `snapshot.prev.json`): a
+//!   torn primary falls back one generation. Once a snapshot lands the
+//!   WAL is *compacted* down to the records the fallback generation
+//!   still needs. A crash between snapshot write and compaction is
+//!   benign — replay skips records with `seq <= snapshot.seq`.
 //!
 //! [`CorpusStore`] ties the two together for the serving daemon;
 //! [`recover`] is the read-only flavour behind `comparesets recover`.
 
-use crate::io::write_atomic;
+use crate::fault::{disk_full_error, injected_error, FaultAction, FaultPlane, IoOp};
+use crate::io::{is_disk_fatal, write_atomic_with};
 use crate::model::{AspectMention, Dataset, ProductId, Review, ReviewId};
 use comparesets_obs::SolverMetrics;
 use serde::{Deserialize, Serialize};
@@ -53,6 +54,12 @@ pub const WAL_FILE: &str = "wal.log";
 
 /// Snapshot file name inside a store directory.
 pub const SNAPSHOT_FILE: &str = "snapshot.json";
+
+/// Previous-generation snapshot kept as a recovery fallback: when
+/// [`SNAPSHOT_FILE`] is corrupt or truncated (a fault the chaos plane
+/// injects and real disks deliver), recovery falls back to this file and
+/// replays the longer WAL suffix it still covers.
+pub const SNAPSHOT_PREV_FILE: &str = "snapshot.prev.json";
 
 /// Hard cap on one WAL record's payload, in bytes (4 MiB — matches the
 /// serve protocol's frame cap). A corrupt length prefix can therefore
@@ -266,6 +273,10 @@ impl Dataset {
 pub enum WalError {
     /// Underlying filesystem failure.
     Io(std::io::Error),
+    /// Fatal disk condition (`ENOSPC`/`EROFS`): retrying cannot help,
+    /// the CLI surfaces it as its own exit code, and the serve protocol
+    /// answers it with the `disk` error code.
+    Disk(std::io::Error),
     /// The snapshot file exists but is unusable (bad schema tag,
     /// malformed JSON, or an inconsistent dataset).
     Corrupt(String),
@@ -275,16 +286,24 @@ pub enum WalError {
     /// Recovery was asked of a directory with no snapshot and no seed
     /// corpus to start from.
     NothingToRecover(PathBuf),
+    /// A failed append could not be rolled back to a clean record
+    /// boundary, so the store refuses further writes: continuing could
+    /// log duplicate sequence numbers. Reopen (and recover) to resume.
+    Poisoned(String),
 }
 
 impl std::fmt::Display for WalError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             WalError::Io(e) => write!(f, "store io error: {e}"),
+            WalError::Disk(e) => write!(f, "disk fatal: {e} (not retried)"),
             WalError::Corrupt(why) => write!(f, "corrupt snapshot: {why}"),
             WalError::Apply(why) => write!(f, "replayed event does not apply: {why}"),
             WalError::NothingToRecover(dir) => {
                 write!(f, "no snapshot in {} and no seed corpus", dir.display())
+            }
+            WalError::Poisoned(why) => {
+                write!(f, "store poisoned (reopen to recover): {why}")
             }
         }
     }
@@ -294,7 +313,11 @@ impl std::error::Error for WalError {}
 
 impl From<std::io::Error> for WalError {
     fn from(e: std::io::Error) -> Self {
-        WalError::Io(e)
+        if is_disk_fatal(&e) {
+            WalError::Disk(e)
+        } else {
+            WalError::Io(e)
+        }
     }
 }
 
@@ -336,11 +359,34 @@ pub struct WalScan {
 /// # Errors
 /// Filesystem errors only.
 pub fn scan_wal(path: &Path) -> Result<WalScan, WalError> {
-    let buf = match std::fs::read(path) {
+    scan_wal_with(path, None)
+}
+
+/// [`scan_wal`] under an optional [`FaultPlane`]: the read itself can be
+/// failed, delayed, or handed back with one bit flipped
+/// ([`IoOp::WalRead`]). A flipped bit lands wherever the schedule says,
+/// fails that record's CRC, and truncates the scan there — exactly what
+/// a real media-corrupted read would do.
+///
+/// # Errors
+/// Filesystem errors and injected read failures.
+pub fn scan_wal_with(path: &Path, plane: Option<&FaultPlane>) -> Result<WalScan, WalError> {
+    let mut buf = match std::fs::read(path) {
         Ok(buf) => buf,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
         Err(e) => return Err(WalError::Io(e)),
     };
+    if let Some(p) = plane {
+        match p.next(IoOp::WalRead) {
+            FaultAction::Delay(d) => std::thread::sleep(d),
+            FaultAction::Fail => return Err(injected_error().into()),
+            FaultAction::BitFlip(at) if !buf.is_empty() => {
+                let idx = (at % buf.len() as u64) as usize;
+                buf[idx] ^= 1 << (at % 8);
+            }
+            _ => {}
+        }
+    }
     let mut events = Vec::new();
     let mut off = 0usize;
     while buf.len() - off >= 8 {
@@ -430,21 +476,101 @@ pub struct Recovery {
     pub truncated_bytes: u64,
     /// Highest sequence number in the recovered state.
     pub last_seq: u64,
+    /// Byte length of the WAL's valid prefix at scan time (what a
+    /// reopening store truncates the file to).
+    pub wal_valid_len: u64,
+    /// Human-readable descriptions of every fault recovery absorbed —
+    /// a torn WAL tail, an unusable primary snapshot — so `comparesets
+    /// recover` can name each one instead of silently healing.
+    pub faults: Vec<String>,
+    /// Recovery could not use [`SNAPSHOT_FILE`] and fell back to
+    /// [`SNAPSHOT_PREV_FILE`]; the reopening store re-seals a fresh
+    /// primary immediately.
+    pub snapshot_fallback: bool,
 }
 
 /// Read-only recovery: fold the snapshot and the WAL tail into a
 /// dataset without touching either file. Behind `comparesets recover`.
 ///
+/// When the primary snapshot is corrupt or truncated, recovery falls
+/// back to the previous-generation snapshot ([`SNAPSHOT_PREV_FILE`]) —
+/// compaction keeps every WAL record the fallback still needs — and
+/// records both faults in [`Recovery::faults`].
+///
 /// # Errors
 /// [`WalError::NothingToRecover`] when the directory has no snapshot;
-/// snapshot corruption and filesystem failures as usual.
+/// [`WalError::Corrupt`] when every snapshot generation is unusable;
+/// filesystem failures as usual.
 pub fn recover(dir: &Path, metrics: Option<&SolverMetrics>) -> Result<Recovery, WalError> {
+    recover_with(dir, metrics, None)
+}
+
+/// [`recover`] under an optional [`FaultPlane`] (read faults on the WAL
+/// scan).
+///
+/// # Errors
+/// As for [`recover`], plus injected read failures.
+pub fn recover_with(
+    dir: &Path,
+    metrics: Option<&SolverMetrics>,
+    plane: Option<&FaultPlane>,
+) -> Result<Recovery, WalError> {
     let snap_path = dir.join(SNAPSHOT_FILE);
-    if !snap_path.exists() {
+    let prev_path = dir.join(SNAPSHOT_PREV_FILE);
+    let mut faults: Vec<String> = Vec::new();
+    let primary = if snap_path.exists() {
+        match load_snapshot(&snap_path) {
+            Ok(snap) => Some(snap),
+            Err(WalError::Corrupt(why)) => {
+                faults.push(format!("primary snapshot unusable: {why}"));
+                None
+            }
+            Err(e) => return Err(e),
+        }
+    } else if prev_path.exists() {
+        faults.push(format!(
+            "primary snapshot missing: {} does not exist",
+            snap_path.display()
+        ));
+        None
+    } else {
         return Err(WalError::NothingToRecover(dir.to_path_buf()));
+    };
+    let snapshot_fallback = primary.is_none();
+    let snap = match primary {
+        Some(snap) => snap,
+        None => match load_snapshot(&prev_path) {
+            Ok(snap) => {
+                faults.push(format!(
+                    "fell back to previous snapshot {} (seq {})",
+                    prev_path.display(),
+                    snap.seq
+                ));
+                snap
+            }
+            Err(WalError::Corrupt(why)) => {
+                return Err(WalError::Corrupt(format!(
+                    "{}; previous snapshot also unusable: {why}",
+                    faults.join("; ")
+                )))
+            }
+            Err(e) if !prev_path.exists() => {
+                let _ = e;
+                return Err(WalError::Corrupt(format!(
+                    "{}; and no previous snapshot to fall back to",
+                    faults.join("; ")
+                )));
+            }
+            Err(e) => return Err(e),
+        },
+    };
+    let scan = scan_wal_with(&dir.join(WAL_FILE), plane)?;
+    if scan.truncated_bytes > 0 {
+        faults.push(format!(
+            "wal tail torn: dropped {} byte(s) past the last whole record",
+            scan.truncated_bytes
+        ));
     }
-    let snap = load_snapshot(&snap_path)?;
-    let scan = scan_wal(&dir.join(WAL_FILE))?;
     let mut dataset = snap.dataset;
     let mut last_seq = snap.seq;
     let mut replayed = 0u64;
@@ -465,6 +591,9 @@ pub fn recover(dir: &Path, metrics: Option<&SolverMetrics>) -> Result<Recovery, 
         replayed,
         truncated_bytes: scan.truncated_bytes,
         last_seq,
+        wal_valid_len: scan.valid_len,
+        faults,
+        snapshot_fallback,
     })
 }
 
@@ -477,8 +606,14 @@ pub struct CorpusStore {
     wal: File,
     next_seq: u64,
     records_since_snapshot: u64,
+    /// Seq the current primary snapshot covers. At the next snapshot
+    /// the primary is demoted to the previous generation, so this value
+    /// becomes the compaction bound: every record past it is kept.
+    last_snapshot_seq: u64,
     snapshot_every: u64,
     metrics: Option<Arc<SolverMetrics>>,
+    plane: Option<Arc<FaultPlane>>,
+    poisoned: Option<String>,
 }
 
 impl CorpusStore {
@@ -503,10 +638,27 @@ impl CorpusStore {
         snapshot_every: u64,
         metrics: Option<Arc<SolverMetrics>>,
     ) -> Result<(CorpusStore, Recovery), WalError> {
+        CorpusStore::open_with_plane(dir, seed, snapshot_every, metrics, None)
+    }
+
+    /// [`open`](CorpusStore::open) with a [`FaultPlane`] threaded
+    /// through every subsequent durability-critical I/O (appends,
+    /// fsyncs, snapshot writes, compaction) *and* through the recovery
+    /// scan itself. Production paths pass `None` and pay nothing.
+    ///
+    /// # Errors
+    /// As for [`open`](CorpusStore::open), plus injected faults.
+    pub fn open_with_plane(
+        dir: &Path,
+        seed: Option<&Dataset>,
+        snapshot_every: u64,
+        metrics: Option<Arc<SolverMetrics>>,
+        plane: Option<Arc<FaultPlane>>,
+    ) -> Result<(CorpusStore, Recovery), WalError> {
         std::fs::create_dir_all(dir)?;
         let snap_path = dir.join(SNAPSHOT_FILE);
         let wal_path = dir.join(WAL_FILE);
-        let fresh = !snap_path.exists();
+        let fresh = !snap_path.exists() && !dir.join(SNAPSHOT_PREV_FILE).exists();
         let recovery = if fresh {
             let seed = seed.ok_or_else(|| WalError::NothingToRecover(dir.to_path_buf()))?;
             Recovery {
@@ -515,15 +667,17 @@ impl CorpusStore {
                 replayed: 0,
                 truncated_bytes: 0,
                 last_seq: 0,
+                wal_valid_len: 0,
+                faults: Vec::new(),
+                snapshot_fallback: false,
             }
         } else {
-            recover(dir, metrics.as_deref())?
+            recover_with(dir, metrics.as_deref(), plane.as_deref())?
         };
         if recovery.truncated_bytes > 0 {
             // Drop the torn tail so the next append starts a clean record.
-            let scan_len = scan_wal(&wal_path)?.valid_len;
             let f = OpenOptions::new().write(true).open(&wal_path)?;
-            f.set_len(scan_len)?;
+            f.set_len(recovery.wal_valid_len)?;
             f.sync_all()?;
         }
         let wal = OpenOptions::new()
@@ -535,11 +689,15 @@ impl CorpusStore {
             wal,
             next_seq: recovery.last_seq + 1,
             records_since_snapshot: recovery.replayed,
+            last_snapshot_seq: recovery.snapshot_seq,
             snapshot_every,
             metrics,
+            plane,
+            poisoned: None,
         };
-        if fresh {
-            // Seal the seed so recovery never needs it again.
+        if fresh || recovery.snapshot_fallback {
+            // Seal the seed so recovery never needs it again — or, after
+            // a fallback, re-seal a healthy primary snapshot immediately.
             store.snapshot(&recovery.dataset)?;
         }
         Ok((store, recovery))
@@ -548,6 +706,36 @@ impl CorpusStore {
     /// The sequence number the next appended event must carry.
     pub fn next_seq(&self) -> u64 {
         self.next_seq
+    }
+
+    /// Install (or remove) a fault-injection plane on a live store.
+    /// The chaos harness opens cleanly, then arms the plane, so setup
+    /// I/O never consumes schedule draws.
+    pub fn set_fault_plane(&mut self, plane: Option<Arc<FaultPlane>>) {
+        self.plane = plane;
+    }
+
+    /// Why the store refuses writes, if a failed append could not be
+    /// rolled back (see [`WalError::Poisoned`]).
+    pub fn poisoned(&self) -> Option<&str> {
+        self.poisoned.as_deref()
+    }
+
+    /// Records appended since the last snapshot — the WAL lag the serve
+    /// `health` op reports (how much replay a crash right now would cost).
+    pub fn wal_lag(&self) -> u64 {
+        self.records_since_snapshot
+    }
+
+    /// Force an fsync of the WAL file (drain calls this before the
+    /// final snapshot; appends already fsync per acknowledged batch, so
+    /// this is belt-and-braces for the shutdown path).
+    ///
+    /// # Errors
+    /// Filesystem failures.
+    pub fn sync(&mut self) -> Result<(), WalError> {
+        self.wal.sync_data()?;
+        Ok(())
     }
 
     /// Append a batch of events durably: every record is written, then
@@ -562,13 +750,26 @@ impl CorpusStore {
     /// Encoding and filesystem failures; on error nothing was
     /// acknowledged and the next recovery truncates any partial write.
     pub fn append(&mut self, events: &[ReviewEvent]) -> Result<(), WalError> {
+        if let Some(why) = &self.poisoned {
+            return Err(WalError::Poisoned(why.clone()));
+        }
         let mut buf = Vec::new();
         for (k, ev) in events.iter().enumerate() {
             debug_assert_eq!(ev.seq, self.next_seq + k as u64, "non-sequential WAL batch");
             buf.extend_from_slice(&encode_record(ev)?);
         }
-        self.wal.write_all(&buf)?;
-        self.wal.sync_data()?;
+        let start = self.wal.metadata()?.len();
+        if let Err(e) = self.write_and_sync(&buf) {
+            // Roll the log back to the pre-append boundary so the failed
+            // batch's sequence numbers can be reused without ever leaving
+            // two records with the same seq on disk. If even that fails,
+            // poison the store: only a reopen (which truncates the torn
+            // region through recovery) can make writes safe again.
+            if let Err(rb) = self.rollback_to(start) {
+                self.poisoned = Some(format!("append failed ({e}); rollback failed ({rb})"));
+            }
+            return Err(e);
+        }
         self.next_seq += events.len() as u64;
         self.records_since_snapshot += events.len() as u64;
         if let Some(m) = &self.metrics {
@@ -578,15 +779,93 @@ impl CorpusStore {
         Ok(())
     }
 
+    /// Draw the plane's verdict for `op` (Pass when no plane is armed),
+    /// counting injections into the metrics collector.
+    fn consult(&self, op: IoOp) -> FaultAction {
+        let Some(p) = &self.plane else {
+            return FaultAction::Pass;
+        };
+        let action = p.next(op);
+        if action != FaultAction::Pass {
+            if let Some(m) = &self.metrics {
+                SolverMetrics::incr(&m.faults_injected);
+            }
+        }
+        action
+    }
+
+    /// The faultable write+fsync at the heart of `append`.
+    fn write_and_sync(&mut self, buf: &[u8]) -> Result<(), WalError> {
+        let mut keep = buf.len();
+        let mut verdict: Result<(), WalError> = Ok(());
+        match self.consult(IoOp::WalWrite) {
+            FaultAction::Pass | FaultAction::BitFlip(_) => {}
+            FaultAction::Delay(d) => std::thread::sleep(d),
+            FaultAction::Fail => return Err(injected_error().into()),
+            FaultAction::DiskFull => return Err(disk_full_error().into()),
+            FaultAction::ShortWrite(per_mille) => {
+                // A torn write: a prefix lands on disk, then the device
+                // gives out mid-record.
+                keep = buf.len() * per_mille as usize / 1000;
+                verdict = Err(injected_error().into());
+            }
+        }
+        self.wal.write_all(&buf[..keep])?;
+        verdict?;
+        match self.consult(IoOp::WalFsync) {
+            FaultAction::Delay(d) => std::thread::sleep(d),
+            FaultAction::Fail => return Err(injected_error().into()),
+            FaultAction::DiskFull => return Err(disk_full_error().into()),
+            _ => {}
+        }
+        self.wal.sync_data()?;
+        Ok(())
+    }
+
+    /// Truncate the WAL back to `len` and fsync, consulting the plane
+    /// (a rollback can itself fail on a dying disk).
+    fn rollback_to(&mut self, len: u64) -> Result<(), WalError> {
+        match self.consult(IoOp::WalTruncate) {
+            FaultAction::Delay(d) => std::thread::sleep(d),
+            FaultAction::Fail => return Err(injected_error().into()),
+            FaultAction::DiskFull => return Err(disk_full_error().into()),
+            _ => {}
+        }
+        self.wal.set_len(len)?;
+        self.wal.sync_data()?;
+        Ok(())
+    }
+
     /// Write a snapshot of `dataset` (which must reflect every appended
     /// event) and compact the WAL it covers. Called automatically every
     /// `snapshot_every` records via
     /// [`maybe_snapshot`](CorpusStore::maybe_snapshot).
     ///
+    /// Snapshots are kept two generations deep: the outgoing primary is
+    /// demoted to [`SNAPSHOT_PREV_FILE`] first, and compaction keeps
+    /// every WAL record past the demoted generation's sequence number —
+    /// so if the *new* primary is later found torn, recovery falls back
+    /// one generation and replays the suffix it still needs.
+    ///
     /// # Errors
-    /// Encoding and filesystem failures. A crash between the snapshot
-    /// rename and the WAL reset is safe: replay skips covered records.
+    /// Encoding and filesystem failures. A crash (or injected fault)
+    /// between any two steps is safe: each file moves atomically, replay
+    /// skips covered records, and a failed compaction merely leaves
+    /// redundant records for the next snapshot to collect.
     pub fn snapshot(&mut self, dataset: &Dataset) -> Result<(), WalError> {
+        if let Some(why) = &self.poisoned {
+            return Err(WalError::Poisoned(why.clone()));
+        }
+        let plane = self.plane.clone();
+        let plane = plane.as_deref();
+        let snap_path = self.dir.join(SNAPSHOT_FILE);
+        // Demote a *valid* primary to the previous generation. When the
+        // primary does not load (we are re-sealing after a fallback) the
+        // existing prev file is the only good generation — keep it.
+        if load_snapshot(&snap_path).is_ok() {
+            let bytes = std::fs::read(&snap_path)?;
+            write_atomic_with(&self.dir.join(SNAPSHOT_PREV_FILE), &bytes, plane)?;
+        }
         let snap = CorpusSnapshot {
             schema: SNAPSHOT_SCHEMA.to_string(),
             seq: self.next_seq - 1,
@@ -594,17 +873,39 @@ impl CorpusStore {
         };
         let json = serde_json::to_string(&snap)
             .map_err(|e| WalError::Corrupt(format!("encoding snapshot: {e}")))?;
-        write_atomic(&self.dir.join(SNAPSHOT_FILE), json.as_bytes())?;
+        write_atomic_with(&snap_path, json.as_bytes(), plane)?;
         if let Some(m) = &self.metrics {
             SolverMetrics::incr(&m.snapshot_writes);
         }
-        // Compact: appends are sequential, so the snapshot covers the
-        // entire log — restart it empty (atomically, via rename).
-        write_atomic(&self.dir.join(WAL_FILE), &[])?;
-        self.wal = OpenOptions::new()
+        // The previous generation now covers what the primary covered
+        // before this call; compaction must keep every record past it.
+        let keep_after = self.last_snapshot_seq;
+        self.last_snapshot_seq = snap.seq;
+        // Compact: rewrite the WAL with only the records the fallback
+        // generation still needs (atomically, via rename). The scan runs
+        // fault-free on purpose — compaction rewrites *acknowledged*
+        // data, and injecting a read fault here would turn a simulated
+        // glitch into real record loss; the plane governs the writes.
+        let scan = scan_wal(&self.dir.join(WAL_FILE))?;
+        let mut buf = Vec::new();
+        for ev in scan.events.iter().filter(|ev| ev.seq > keep_after) {
+            buf.extend_from_slice(&encode_record(ev)?);
+        }
+        write_atomic_with(&self.dir.join(WAL_FILE), &buf, plane)?;
+        // The append handle still points at the renamed-over inode;
+        // reopen it on the new file. If that fails the store must refuse
+        // writes — appending to the unlinked file would lose them.
+        match OpenOptions::new()
             .create(true)
             .append(true)
-            .open(self.dir.join(WAL_FILE))?;
+            .open(self.dir.join(WAL_FILE))
+        {
+            Ok(f) => self.wal = f,
+            Err(e) => {
+                self.poisoned = Some(format!("wal reopen after compaction failed: {e}"));
+                return Err(e.into());
+            }
+        }
         self.records_since_snapshot = 0;
         Ok(())
     }
@@ -753,14 +1054,16 @@ mod tests {
             live.apply_event(&ev).unwrap();
             store.maybe_snapshot(&live).unwrap();
         }
-        // 7 appends with snapshot_every=3: snapshots at 3 and 6, so the
-        // WAL holds only record 7.
+        // 7 appends with snapshot_every=3: snapshots at 3 and 6. The
+        // previous generation covers seq 3, so compaction keeps 4..=6
+        // for its fallback; record 7 is the uncompacted tail.
         let scan = scan_wal(&dir.join(WAL_FILE)).unwrap();
-        assert_eq!(scan.events.len(), 1);
-        assert_eq!(scan.events[0].seq, 7);
+        assert_eq!(scan.events.len(), 4);
+        assert_eq!(scan.events[0].seq, 4);
+        assert!(dir.join(SNAPSHOT_PREV_FILE).exists());
         let rec2 = recover(&dir, None).unwrap();
         assert_eq!(rec2.snapshot_seq, 6);
-        assert_eq!(rec2.replayed, 1);
+        assert_eq!(rec2.replayed, 1, "only record 7 is past the primary");
         assert_eq!(
             serde_json::to_string(&rec2.dataset).unwrap(),
             serde_json::to_string(&live).unwrap()
@@ -859,6 +1162,200 @@ mod tests {
             recover(&dir, None),
             Err(WalError::NothingToRecover(_))
         ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Build a store with two snapshot generations on disk: primary at
+    /// seq 6, previous at seq 3, WAL holding records 4..=7.
+    fn two_generation_store(tag: &str) -> (PathBuf, Dataset) {
+        let dir = temp_dir(tag);
+        let seed = base();
+        let (mut store, rec) = CorpusStore::open(&dir, Some(&seed), 3, None).unwrap();
+        let mut live = rec.dataset;
+        for k in 0..7 {
+            let ev = add_event(&live, store.next_seq(), k % 3, 0);
+            store.append(std::slice::from_ref(&ev)).unwrap();
+            live.apply_event(&ev).unwrap();
+            store.maybe_snapshot(&live).unwrap();
+        }
+        drop(store);
+        (dir, live)
+    }
+
+    #[test]
+    fn truncated_primary_snapshot_falls_back_one_generation() {
+        let (dir, live) = two_generation_store("fallback");
+        // Truncate the primary mid-JSON, as a torn write would.
+        let snap_path = dir.join(SNAPSHOT_FILE);
+        let len = std::fs::metadata(&snap_path).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&snap_path).unwrap();
+        f.set_len(len / 2).unwrap();
+        drop(f);
+
+        let rec = recover(&dir, None).unwrap();
+        assert!(rec.snapshot_fallback);
+        assert_eq!(rec.snapshot_seq, 3, "previous generation covers seq 3");
+        assert_eq!(rec.replayed, 4, "records 4..=7 replay from the WAL");
+        assert_eq!(rec.last_seq, 7);
+        assert!(rec.faults.iter().any(|f| f.contains("primary snapshot")));
+        assert!(rec.faults.iter().any(|f| f.contains("fell back")));
+        assert_eq!(
+            serde_json::to_string(&rec.dataset).unwrap(),
+            serde_json::to_string(&live).unwrap()
+        );
+
+        // Reopening re-seals a healthy primary immediately.
+        let (_store, rec2) = CorpusStore::open(&dir, None, 0, None).unwrap();
+        assert_eq!(rec2.last_seq, 7);
+        let rec3 = recover(&dir, None).unwrap();
+        assert_eq!(rec3.snapshot_seq, 7);
+        assert_eq!(rec3.replayed, 0);
+        assert!(rec3.faults.is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn double_fault_recovery_names_both_faults() {
+        let (dir, live) = two_generation_store("double");
+        // Fault 1: truncated primary snapshot.
+        let snap_path = dir.join(SNAPSHOT_FILE);
+        let len = std::fs::metadata(&snap_path).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&snap_path).unwrap();
+        f.set_len(len / 2).unwrap();
+        drop(f);
+        // Fault 2: WAL tail corrupted mid-record.
+        let mut f = OpenOptions::new()
+            .append(true)
+            .open(dir.join(WAL_FILE))
+            .unwrap();
+        f.write_all(&[9, 0, 0, 0, 0xAA, 0xBB]).unwrap();
+        drop(f);
+
+        let rec = recover(&dir, None).unwrap();
+        assert!(rec.faults.iter().any(|f| f.contains("primary snapshot")));
+        assert!(rec.faults.iter().any(|f| f.contains("wal tail torn")));
+        assert_eq!(rec.truncated_bytes, 6);
+        assert_eq!(rec.last_seq, 7, "both faults healed, acked prefix intact");
+        assert_eq!(
+            serde_json::to_string(&rec.dataset).unwrap(),
+            serde_json::to_string(&live).unwrap()
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn both_generations_unusable_is_corrupt() {
+        let (dir, _) = two_generation_store("bothdead");
+        for name in [SNAPSHOT_FILE, SNAPSHOT_PREV_FILE] {
+            std::fs::write(dir.join(name), b"{ not json").unwrap();
+        }
+        match recover(&dir, None) {
+            Err(WalError::Corrupt(why)) => {
+                assert!(why.contains("previous snapshot also unusable"), "{why}");
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_append_rolls_back_to_a_clean_boundary() {
+        use crate::fault::FaultProfile;
+        let dir = temp_dir("rollback");
+        let seed = base();
+        let (mut store, rec) = CorpusStore::open(&dir, Some(&seed), 0, None).unwrap();
+        let live = rec.dataset;
+        // Every write tears; truncate (the rollback) stays clean.
+        let torn = FaultProfile {
+            fail: 0,
+            disk_full: 0,
+            short_write: 1024,
+            bit_flip: 0,
+            delay: 0,
+        };
+        store.set_fault_plane(Some(Arc::new(FaultPlane::with_profile(1, torn))));
+        let wal_len = std::fs::metadata(dir.join(WAL_FILE)).unwrap().len();
+        let ev = add_event(&live, store.next_seq(), 0, 0);
+        assert!(store.append(std::slice::from_ref(&ev)).is_err());
+        assert!(store.poisoned().is_none(), "rollback succeeded");
+        assert_eq!(
+            std::fs::metadata(dir.join(WAL_FILE)).unwrap().len(),
+            wal_len,
+            "the torn prefix was rolled back"
+        );
+        // The failed batch's seq is reusable without duplicates on disk.
+        store.set_fault_plane(None);
+        assert_eq!(store.next_seq(), ev.seq);
+        store.append(std::slice::from_ref(&ev)).unwrap();
+        let scan = scan_wal(&dir.join(WAL_FILE)).unwrap();
+        assert_eq!(scan.events.len(), 1);
+        assert_eq!(scan.events[0].seq, ev.seq);
+        assert_eq!(scan.truncated_bytes, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn poisoned_store_refuses_writes_until_reopen() {
+        use crate::fault::FaultProfile;
+        let dir = temp_dir("poison");
+        let seed = base();
+        let (mut store, rec) = CorpusStore::open(&dir, Some(&seed), 0, None).unwrap();
+        let live = rec.dataset;
+        // Every op fails — including the rollback truncate.
+        let hostile = FaultProfile {
+            fail: 1024,
+            disk_full: 0,
+            short_write: 0,
+            bit_flip: 0,
+            delay: 0,
+        };
+        store.set_fault_plane(Some(Arc::new(FaultPlane::with_profile(2, hostile))));
+        let ev = add_event(&live, store.next_seq(), 0, 0);
+        assert!(store.append(std::slice::from_ref(&ev)).is_err());
+        assert!(store.poisoned().is_some());
+        // Disarming the plane does not heal it: only a reopen recovers.
+        store.set_fault_plane(None);
+        assert!(matches!(
+            store.append(std::slice::from_ref(&ev)),
+            Err(WalError::Poisoned(_))
+        ));
+        assert!(matches!(store.snapshot(&live), Err(WalError::Poisoned(_))));
+        drop(store);
+        let (mut store2, rec2) = CorpusStore::open(&dir, None, 0, None).unwrap();
+        assert_eq!(rec2.last_seq, 0);
+        let ev = add_event(&rec2.dataset, store2.next_seq(), 0, 0);
+        store2.append(std::slice::from_ref(&ev)).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bit_flip_on_read_truncates_at_the_flipped_record() {
+        use crate::fault::FaultProfile;
+        let dir = temp_dir("bitflip");
+        let seed = base();
+        let (mut store, rec) = CorpusStore::open(&dir, Some(&seed), 0, None).unwrap();
+        let mut live = rec.dataset;
+        for k in 0..4 {
+            let ev = add_event(&live, store.next_seq(), k % 3, 0);
+            store.append(std::slice::from_ref(&ev)).unwrap();
+            live.apply_event(&ev).unwrap();
+        }
+        drop(store);
+        let clean = scan_wal(&dir.join(WAL_FILE)).unwrap();
+        assert_eq!(clean.events.len(), 4);
+        let flip = FaultProfile {
+            fail: 0,
+            disk_full: 0,
+            short_write: 0,
+            bit_flip: 1024,
+            delay: 0,
+        };
+        let plane = FaultPlane::with_profile(5, flip);
+        let scan = scan_wal_with(&dir.join(WAL_FILE), Some(&plane)).unwrap();
+        assert!(scan.events.len() < 4, "the flipped record fails its CRC");
+        // The surviving prefix is untouched.
+        assert_eq!(scan.events[..], clean.events[..scan.events.len()]);
+        assert_eq!(plane.injected(), 1);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -43,7 +43,9 @@ pub use cancel::{CancelToken, SolveCtl};
 /// `snapshot_writes`, `recovery_replayed_records`, and
 /// `cache_invalidations`. v6 added the branch-and-bound counters
 /// `bnb_nodes`, `bnb_prunes`, `bnb_incumbent_updates`, and `bnb_steals`.
-pub const METRICS_SCHEMA: &str = "comparesets-metrics/v6";
+/// v7 added the chaos/drain counters `faults_injected`,
+/// `drain_initiated`, `connections_timed_out`, and `health_checks`.
+pub const METRICS_SCHEMA: &str = "comparesets-metrics/v7";
 
 /// Shared counter block for one logical run (a CLI command, an eval
 /// experiment, a test solve). Cheap to share via `Arc`; all updates are
@@ -144,6 +146,16 @@ pub struct SolverMetrics {
     /// Frontier subproblems a worker pulled that a *different* worker
     /// produced (cross-worker work transfer; always zero sequentially).
     pub bnb_steals: AtomicU64,
+    /// Faults a chaos-plane schedule injected into durability I/O
+    /// (always zero in production runs — no plane is armed).
+    pub faults_injected: AtomicU64,
+    /// Graceful drains begun (SIGTERM or in-band shutdown while serving).
+    pub drain_initiated: AtomicU64,
+    /// Connections closed for blowing a read/write or per-frame deadline
+    /// (slowloris peers, stalled sockets).
+    pub connections_timed_out: AtomicU64,
+    /// `health` ops answered by the serving daemon.
+    pub health_checks: AtomicU64,
 }
 
 impl SolverMetrics {
@@ -210,6 +222,10 @@ impl SolverMetrics {
             bnb_prunes: self.bnb_prunes.load(Ordering::Relaxed),
             bnb_incumbent_updates: self.bnb_incumbent_updates.load(Ordering::Relaxed),
             bnb_steals: self.bnb_steals.load(Ordering::Relaxed),
+            faults_injected: self.faults_injected.load(Ordering::Relaxed),
+            drain_initiated: self.drain_initiated.load(Ordering::Relaxed),
+            connections_timed_out: self.connections_timed_out.load(Ordering::Relaxed),
+            health_checks: self.health_checks.load(Ordering::Relaxed),
         }
     }
 }
@@ -278,6 +294,14 @@ pub struct MetricsSnapshot {
     pub bnb_incumbent_updates: u64,
     #[serde(default)]
     pub bnb_steals: u64,
+    #[serde(default)]
+    pub faults_injected: u64,
+    #[serde(default)]
+    pub drain_initiated: u64,
+    #[serde(default)]
+    pub connections_timed_out: u64,
+    #[serde(default)]
+    pub health_checks: u64,
 }
 
 impl MetricsSnapshot {

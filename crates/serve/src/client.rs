@@ -3,8 +3,14 @@
 //! One TCP connection, synchronous request/response pairs. Concurrency
 //! is the caller's business: open one [`Client`] per thread (the server
 //! handles each connection on its own thread).
+//!
+//! Connecting rides out server restarts: a refused or reset connection
+//! is retried with the shared capped-backoff-plus-seeded-jitter schedule
+//! from [`comparesets_data::retry`] — exactly the window a draining
+//! server's `retry_after_ms` asks clients to wait through.
 
 use crate::protocol::{read_message, write_message, ProtocolError, Request, Response};
+use comparesets_data::retry::RetryPolicy;
 use std::net::{TcpStream, ToSocketAddrs};
 
 /// A blocking connection to a running server.
@@ -13,12 +19,45 @@ pub struct Client {
 }
 
 impl Client {
-    /// Connect to a server.
+    /// Connect to a server, retrying refused/reset/timed-out attempts
+    /// under the default [`RetryPolicy`] (four retries, capped
+    /// exponential backoff, deterministic jitter — a ~1 s worst case).
     ///
     /// # Errors
-    /// `std::io::Error` when the connection cannot be established.
+    /// `std::io::Error` when the connection cannot be established within
+    /// the retry budget; non-transient errors surface immediately.
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
-        let stream = TcpStream::connect(addr)?;
+        Client::connect_with(addr, &RetryPolicy::default())
+    }
+
+    /// [`connect`](Client::connect) under an explicit retry policy
+    /// (`RetryPolicy::immediate(0)` restores fail-fast behaviour).
+    ///
+    /// # Errors
+    /// As for [`connect`](Client::connect).
+    pub fn connect_with(addr: impl ToSocketAddrs, policy: &RetryPolicy) -> std::io::Result<Client> {
+        let mut jitter = policy.jitter_state();
+        let mut attempt: u32 = 0;
+        let stream = loop {
+            match TcpStream::connect(&addr) {
+                Ok(stream) => break stream,
+                Err(e)
+                    if RetryPolicy::is_transient_connect(e.kind())
+                        && attempt < policy.max_retries =>
+                {
+                    let delay = policy.delay(attempt, &mut jitter);
+                    attempt += 1;
+                    tracing::debug!(
+                        "connect failed ({e}); retry {attempt}/{} after {delay:?}",
+                        policy.max_retries
+                    );
+                    if !delay.is_zero() {
+                        std::thread::sleep(delay);
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        };
         stream.set_nodelay(true)?;
         Ok(Client { stream })
     }
@@ -40,6 +79,14 @@ impl Client {
     /// See [`Client::call`].
     pub fn ping(&mut self) -> Result<Response, ProtocolError> {
         self.call(&Request::bare("ping"))
+    }
+
+    /// Readiness probe: `ready`/`draining`/`degraded` plus WAL lag.
+    ///
+    /// # Errors
+    /// See [`Client::call`].
+    pub fn health(&mut self) -> Result<Response, ProtocolError> {
+        self.call(&Request::bare("health"))
     }
 
     /// Ask the server to stop accepting connections.

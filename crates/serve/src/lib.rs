@@ -64,4 +64,4 @@ pub use client::Client;
 pub use protocol::{
     IngestEvent, ItemSelection, ProtocolError, Request, Response, Status, MAX_FRAME_LEN,
 };
-pub use server::{ServeSummary, Server, ServerConfig};
+pub use server::{install_sigterm_drain, request_drain, ServeSummary, Server, ServerConfig};

@@ -24,6 +24,8 @@
 use comparesets_data::AspectMention;
 use serde::{Deserialize, Serialize};
 use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
 
 /// Hard cap on a frame's payload length, in bytes (4 MiB).
 ///
@@ -43,6 +45,13 @@ pub enum ProtocolError {
     Truncated,
     /// The payload was not valid UTF-8 JSON of the expected shape.
     Malformed(String),
+    /// A frame started but did not complete within the per-frame
+    /// deadline — a slowloris peer trickling bytes, or a stalled link.
+    /// Answered in-band as a `usage` error before the close.
+    FrameTimeout,
+    /// No frame arrived within the idle deadline; the connection is
+    /// closed quietly (an idle peer is lazy, not malformed).
+    IdleTimeout,
 }
 
 impl std::fmt::Display for ProtocolError {
@@ -54,6 +63,12 @@ impl std::fmt::Display for ProtocolError {
             }
             ProtocolError::Truncated => write!(f, "stream ended mid-frame"),
             ProtocolError::Malformed(why) => write!(f, "malformed payload: {why}"),
+            ProtocolError::FrameTimeout => {
+                write!(f, "frame not completed within the per-frame deadline")
+            }
+            ProtocolError::IdleTimeout => {
+                write!(f, "connection idle past its read deadline")
+            }
         }
     }
 }
@@ -103,6 +118,123 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, ProtocolError> {
     match read_exact_or_eof(r, &mut payload)? {
         Fill::Full => Ok(Some(payload)),
         Fill::Eof | Fill::Partial => Err(ProtocolError::Truncated),
+    }
+}
+
+/// Poll tick for bounded frame reads: the socket read timeout, i.e. how
+/// often deadlines and the `give_up` signal are re-checked while blocked.
+const POLL_TICK: Duration = Duration::from_millis(25);
+
+/// [`read_frame`] with deadlines, for server-side reads from untrusted
+/// peers. Three bounds apply:
+///
+/// * **idle** — maximum wait for a frame to *start*. Expiry is
+///   [`ProtocolError::IdleTimeout`]: the peer just went quiet.
+/// * **frame** — maximum wall time from a frame's first byte to its
+///   last. A peer that trickles one byte per tick (slowloris) can
+///   therefore pin a handler for at most `frame`, not forever; expiry is
+///   [`ProtocolError::FrameTimeout`], which the server answers in-band
+///   as a `usage` error before closing.
+/// * **give_up** — polled between frames; when it returns true (server
+///   draining or shut down) the read reports a clean end-of-stream. It
+///   is *not* honoured mid-frame: a started frame gets its full deadline
+///   so an in-flight request is never torn by a drain.
+///
+/// Installs a short poll-tick read timeout on the socket as a side
+/// effect.
+///
+/// # Errors
+/// See [`ProtocolError`].
+pub fn read_frame_bounded(
+    stream: &TcpStream,
+    idle: Duration,
+    frame: Duration,
+    give_up: &dyn Fn() -> bool,
+) -> Result<Option<Vec<u8>>, ProtocolError> {
+    stream.set_read_timeout(Some(POLL_TICK))?;
+    let mut r = DeadlineReader {
+        stream,
+        started: Instant::now(),
+        first_byte: None,
+        idle,
+        frame,
+        give_up,
+    };
+    let mut len_buf = [0u8; 4];
+    match r.fill(&mut len_buf)? {
+        Fill::Eof => return Ok(None),
+        Fill::Partial => return Err(ProtocolError::Truncated),
+        Fill::Full => {}
+    }
+    let len = u32::from_be_bytes(len_buf);
+    if len > MAX_FRAME_LEN {
+        return Err(ProtocolError::FrameTooLarge(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    match r.fill(&mut payload)? {
+        Fill::Full => Ok(Some(payload)),
+        Fill::Eof | Fill::Partial => Err(ProtocolError::Truncated),
+    }
+}
+
+/// Incremental reads off a non-blocking-ish socket (read timeout =
+/// [`POLL_TICK`]) with the idle/frame deadline bookkeeping shared across
+/// the length prefix and the payload.
+struct DeadlineReader<'a> {
+    stream: &'a TcpStream,
+    /// When the wait for this frame began (idle clock).
+    started: Instant,
+    /// When the frame's first byte arrived (frame clock), if it has.
+    first_byte: Option<Instant>,
+    idle: Duration,
+    frame: Duration,
+    give_up: &'a dyn Fn() -> bool,
+}
+
+impl DeadlineReader<'_> {
+    fn fill(&mut self, buf: &mut [u8]) -> Result<Fill, ProtocolError> {
+        let mut filled = 0;
+        while filled < buf.len() {
+            match self.stream.read(&mut buf[filled..]) {
+                Ok(0) => {
+                    return Ok(if filled == 0 && self.first_byte.is_none() {
+                        Fill::Eof
+                    } else {
+                        Fill::Partial
+                    });
+                }
+                Ok(n) => {
+                    filled += n;
+                    self.first_byte.get_or_insert_with(Instant::now);
+                }
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock
+                            | std::io::ErrorKind::TimedOut
+                            | std::io::ErrorKind::Interrupted
+                    ) =>
+                {
+                    match self.first_byte {
+                        Some(t0) => {
+                            if t0.elapsed() > self.frame {
+                                return Err(ProtocolError::FrameTimeout);
+                            }
+                        }
+                        None => {
+                            if (self.give_up)() {
+                                return Ok(Fill::Eof);
+                            }
+                            if self.started.elapsed() > self.idle {
+                                return Err(ProtocolError::IdleTimeout);
+                            }
+                        }
+                    }
+                }
+                Err(e) => return Err(ProtocolError::Io(e)),
+            }
+        }
+        Ok(Fill::Full)
     }
 }
 
@@ -185,6 +317,7 @@ pub fn decode<T: Deserialize>(payload: &[u8]) -> Result<T, ProtocolError> {
 /// | `ingest`   | apply review events to a shard, durably when the server   |
 /// |            | runs with `--data-dir` (acked only after the WAL fsync)   |
 /// | `metrics`  | snapshot of the server's solver/serving counters (`info`) |
+/// | `health`   | readiness probe: `ready`/`draining`/`degraded` + WAL lag  |
 /// | `shutdown` | acknowledge, then stop accepting connections              |
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Request {
@@ -375,10 +508,12 @@ pub struct Response {
     /// Human-readable failure cause when `status` is `Error`.
     #[serde(default)]
     pub error: Option<String>,
-    /// Machine-readable failure class (`usage`, `data`, `io`,
-    /// `internal`) when `status` is `Error` — mirrors the CLI's
-    /// exit-code taxonomy; `io` marks a failed WAL append (the batch was
-    /// not applied and must be retried).
+    /// Machine-readable failure class (`usage`, `data`, `io`, `disk`,
+    /// `draining`, `internal`) when `status` is `Error` — mirrors the
+    /// CLI's exit-code taxonomy; `io` marks a failed WAL append (the
+    /// batch was not applied and may be retried), `disk` a fatal
+    /// `ENOSPC`/`EROFS` (do *not* retry), `draining` a server shutting
+    /// down gracefully (retry after `retry_after_ms` elsewhere).
     #[serde(default)]
     pub code: Option<String>,
     /// Per-item selections (solve responses; target first).
@@ -407,6 +542,18 @@ pub struct Response {
     /// here once the ack arrives.
     #[serde(default)]
     pub last_seq: Option<u64>,
+    /// On a `draining` error: how long the client should wait before
+    /// retrying against this server (or a restarted instance of it).
+    #[serde(default)]
+    pub retry_after_ms: Option<u64>,
+    /// `health` responses: `ready`, `draining`, or `degraded` (a shard's
+    /// durable store is poisoned and refusing writes).
+    #[serde(default)]
+    pub health: Option<String>,
+    /// `health` responses: WAL records appended since the last snapshot,
+    /// summed over shards — the replay a crash right now would cost.
+    #[serde(default)]
+    pub wal_lag: Option<u64>,
 }
 
 impl Response {
@@ -423,6 +570,9 @@ impl Response {
             info: None,
             ingested: None,
             last_seq: None,
+            retry_after_ms: None,
+            health: None,
+            wal_lag: None,
         }
     }
 

@@ -57,21 +57,22 @@
 
 use crate::cache::{CacheKeys, CachedAnswer, SessionCache};
 use crate::protocol::{
-    read_frame, write_message, IngestEvent, ItemSelection, Request, Response, Status,
+    read_frame_bounded, write_message, IngestEvent, ItemSelection, ProtocolError, Request,
+    Response, Status,
 };
 use comparesets_core::{
     comparesets_plus_objective, solve_comparesets_plus_sweeps_warm_with, CancelToken,
     InstanceContext, OpinionScheme, RegressionWarm, SelectParams, Selection, SolveOptions,
     SolverMetrics,
 };
-use comparesets_data::wal::{EventKind, ReviewEvent};
+use comparesets_data::wal::{EventKind, ReviewEvent, WalError};
 use comparesets_data::{ComparisonInstance, CorpusStore, Dataset, ProductId, ReviewId};
 use std::collections::{BTreeSet, HashMap};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
-use std::time::Duration;
+use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard, Weak};
+use std::time::{Duration, Instant};
 
 /// Server tuning knobs. Everything here is operational — no setting
 /// changes what a completed (non-degraded) solve returns.
@@ -100,6 +101,19 @@ pub struct ServerConfig {
     /// Compact each shard's WAL into a fresh snapshot after this many
     /// appended records (0 = never; snapshot only at first open).
     pub snapshot_every: u64,
+    /// Close a connection that sends no frame for this long. Idle peers
+    /// are closed quietly — keep-alives are cheap to re-establish.
+    pub idle_timeout: Duration,
+    /// Total wall-time budget for one frame, first byte to last (and the
+    /// socket write timeout for responses). A slowloris peer trickling a
+    /// frame byte-by-byte pins a handler for at most this long; expiry
+    /// is answered in-band as a `usage` error, then the close.
+    pub frame_timeout: Duration,
+    /// On drain (SIGTERM or [`request_drain`]): how long in-flight
+    /// solves may run to completion before their deadlines are clamped
+    /// (cancel tokens fired; the anytime solver answers each with its
+    /// best-so-far iterate, marked degraded).
+    pub drain_deadline: Duration,
 }
 
 impl Default for ServerConfig {
@@ -112,6 +126,9 @@ impl Default for ServerConfig {
             max_requests: None,
             data_dir: None,
             snapshot_every: 256,
+            idle_timeout: Duration::from_secs(60),
+            frame_timeout: Duration::from_secs(10),
+            drain_deadline: Duration::from_secs(1),
         }
     }
 }
@@ -128,9 +145,45 @@ pub struct ServeSummary {
 /// Mutable serving state shared by the accept loop and every handler.
 struct ServeState {
     shutdown: AtomicBool,
+    draining: AtomicBool,
     in_flight: AtomicUsize,
     served: AtomicU64,
     degraded: AtomicU64,
+}
+
+/// Set by the process-wide SIGTERM handler (or [`request_drain`]);
+/// consumed by the drain watcher of the running server.
+static DRAIN_REQUESTED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+extern "C" {
+    fn signal(signum: i32, handler: usize) -> usize;
+}
+
+#[cfg(unix)]
+extern "C" fn sigterm_handler(_sig: i32) {
+    // The only async-signal-safe thing worth doing: flip an atomic the
+    // drain watcher polls. Everything else happens on normal threads.
+    DRAIN_REQUESTED.store(true, Ordering::SeqCst);
+}
+
+/// Install a SIGTERM handler that triggers a graceful drain of the
+/// running server: stop accepting, finish (or deadline-clamp) in-flight
+/// solves, fsync the WALs, write final snapshots, then exit the run
+/// loop. The CLI installs this before `serve`; embedders may too.
+/// Process-wide and idempotent.
+pub fn install_sigterm_drain() {
+    #[cfg(unix)]
+    unsafe {
+        signal(15, sigterm_handler as extern "C" fn(i32) as usize);
+    }
+}
+
+/// Trigger the same graceful drain a SIGTERM would, from inside the
+/// process (tests, embedders). Process-wide: with several servers
+/// running in one process, whichever drain watcher polls first wins.
+pub fn request_drain() {
+    DRAIN_REQUESTED.store(true, Ordering::SeqCst);
 }
 
 /// One corpus shard: a name and its mutable state behind a
@@ -181,6 +234,18 @@ struct Shared {
     config: ServerConfig,
     state: ServeState,
     addr: SocketAddr,
+    /// Cancel tokens of in-flight solves, so a drain can deadline-clamp
+    /// them. Weak: a completed solve drops its token, and registration
+    /// sweeps dead entries.
+    in_flight_tokens: Mutex<Vec<Weak<CancelToken>>>,
+}
+
+impl Shared {
+    fn tokens(&self) -> std::sync::MutexGuard<'_, Vec<Weak<CancelToken>>> {
+        self.in_flight_tokens
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
 }
 
 /// The serving daemon. Bind, then [`run`](Server::run) until a
@@ -268,11 +333,13 @@ impl Server {
                 config,
                 state: ServeState {
                     shutdown: AtomicBool::new(false),
+                    draining: AtomicBool::new(false),
                     in_flight: AtomicUsize::new(0),
                     served: AtomicU64::new(0),
                     degraded: AtomicU64::new(0),
                 },
                 addr: local,
+                in_flight_tokens: Mutex::new(Vec::new()),
             }),
         })
     }
@@ -286,9 +353,18 @@ impl Server {
     /// gets its own thread and may carry any number of request frames.
     ///
     /// Shutdown stops the *accept loop*; handler threads finish the
-    /// request they are on and exit with their connection. A client that
-    /// wants every answer before shutdown sends `shutdown` last on its
-    /// own connection.
+    /// request they are on and exit with their connection (bounded reads
+    /// notice the shutdown within one poll tick). A client that wants
+    /// every answer before shutdown sends `shutdown` last on its own
+    /// connection.
+    ///
+    /// A SIGTERM (with [`install_sigterm_drain`] installed) or
+    /// [`request_drain`] triggers the graceful path instead: stop
+    /// admitting solves/ingests (they answer a typed `draining` error
+    /// with a retry-after hint), let in-flight solves finish or clamp
+    /// them at `drain_deadline`, then shut down. Either way, durable
+    /// shards are fsynced and a final snapshot is written before this
+    /// returns — a restart replays zero records.
     ///
     /// # Errors
     /// Only fatal listener errors; per-connection failures are logged
@@ -301,6 +377,10 @@ impl Server {
             self.shared.config.workers,
             self.shared.config.cache_capacity
         );
+        let watcher = {
+            let shared = Arc::clone(&self.shared);
+            std::thread::spawn(move || drain_watcher(&shared))
+        };
         let mut handles = Vec::new();
         for stream in self.listener.incoming() {
             if self.shared.state.shutdown.load(Ordering::SeqCst) {
@@ -316,11 +396,34 @@ impl Server {
                 Err(e) => tracing::warn!("accept failed: {e}"),
             }
         }
-        // Handlers only block while a client keeps the connection open;
-        // by the shutdown contract above the orchestrating client has
-        // already finished, so this join is bounded in practice.
+        // Bounded reads re-check the shutdown flag every poll tick, so
+        // handlers exit as soon as their current request is answered.
         for handle in handles {
             let _ = handle.join();
+        }
+        self.shared.state.shutdown.store(true, Ordering::SeqCst);
+        let _ = watcher.join();
+        // Flush + final snapshot: a restart recovers with zero replayed
+        // records. A failed snapshot is logged, not fatal — the WAL
+        // already holds everything acknowledged.
+        for shard in &self.shared.shards {
+            let mut state = shard.write();
+            let ShardState { dataset, store, .. } = &mut *state;
+            if let Some(store) = store.as_mut() {
+                if let Err(e) = store.sync() {
+                    tracing::warn!("shard {:?}: final WAL sync failed: {e}", shard.name);
+                }
+                if store.wal_lag() > 0 {
+                    match store.snapshot(dataset) {
+                        Ok(()) => {
+                            tracing::info!("shard {:?}: final snapshot written", shard.name);
+                        }
+                        Err(e) => {
+                            tracing::warn!("shard {:?}: final snapshot failed: {e}", shard.name);
+                        }
+                    }
+                }
+            }
         }
         Ok(ServeSummary {
             requests: self.shared.state.served.load(Ordering::Relaxed),
@@ -329,14 +432,92 @@ impl Server {
     }
 }
 
+/// Poll for a drain request (SIGTERM or [`request_drain`]) until the
+/// server shuts down; on one, run the graceful-drain sequence.
+fn drain_watcher(shared: &Shared) {
+    loop {
+        if shared.state.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        if DRAIN_REQUESTED.swap(false, Ordering::SeqCst) {
+            drain(shared);
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+/// The graceful-drain sequence: stop admitting work, give in-flight
+/// solves `drain_deadline` to finish, then clamp the stragglers by
+/// firing their cancel tokens (the anytime solver answers each with its
+/// best-so-far iterate), and finally stop the accept loop. WAL flush and
+/// final snapshots happen in [`Server::run`] after the handlers join.
+fn drain(shared: &Shared) {
+    tracing::info!(
+        "drain initiated: {} solve(s) in flight",
+        shared.state.in_flight.load(Ordering::SeqCst)
+    );
+    SolverMetrics::incr(&shared.metrics.drain_initiated);
+    shared.state.draining.store(true, Ordering::SeqCst);
+    let deadline = Instant::now() + shared.config.drain_deadline;
+    while shared.state.in_flight.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    // Deadline-clamp whatever is still running. The loop keeps firing
+    // in case a solve slipped past the draining gate and registered
+    // late; the backstop bounds us even if a token is never dropped.
+    let backstop = Instant::now() + Duration::from_secs(2);
+    loop {
+        for weak in shared.tokens().drain(..) {
+            if let Some(token) = weak.upgrade() {
+                token.cancel();
+            }
+        }
+        if shared.state.in_flight.load(Ordering::SeqCst) == 0 || Instant::now() >= backstop {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    shared.state.shutdown.store(true, Ordering::SeqCst);
+    wake_accept_loop(shared);
+}
+
 /// Serve one connection: frames in, frames out, until EOF, a protocol
-/// error, or shutdown.
+/// error, a deadline, or shutdown.
+///
+/// Reads are bounded two ways: an *idle* deadline between frames (a
+/// silent client is closed quietly) and a *per-frame* deadline from the
+/// first byte of a frame (a slowloris trickling bytes gets a typed
+/// `usage` error in-band, then the close). Writes carry the same
+/// per-frame deadline via the socket write timeout.
 fn handle_connection(mut stream: TcpStream, shared: &Shared) {
     let _ = stream.set_nodelay(true);
+    let _ = stream.set_write_timeout(Some(shared.config.frame_timeout));
     loop {
-        let payload = match read_frame(&mut stream) {
+        // Only *shutdown* abandons an idle read: a draining server must
+        // still read incoming requests so it can answer them with the
+        // typed `draining` error instead of a silent hangup.
+        let give_up = || shared.state.shutdown.load(Ordering::SeqCst);
+        let payload = match read_frame_bounded(
+            &stream,
+            shared.config.idle_timeout,
+            shared.config.frame_timeout,
+            &give_up,
+        ) {
             Ok(Some(payload)) => payload,
-            Ok(None) => return, // clean EOF between frames
+            Ok(None) => return, // clean EOF between frames, or drain/shutdown
+            Err(ProtocolError::IdleTimeout) => {
+                SolverMetrics::incr(&shared.metrics.connections_timed_out);
+                tracing::debug!("closing idle connection");
+                return;
+            }
+            Err(e @ ProtocolError::FrameTimeout) => {
+                SolverMetrics::incr(&shared.metrics.connections_timed_out);
+                tracing::warn!("connection error: {e}");
+                let resp = Response::error("usage", e.to_string());
+                let _ = write_message(&mut stream, &resp);
+                return;
+            }
             Err(e) => {
                 // Answer in-band when the transport still works, so a
                 // buggy client sees *why* instead of a hangup.
@@ -380,6 +561,16 @@ fn handle_request(shared: &Shared, request: &Request) -> Response {
     }
     let span = tracing::debug_span!("request", op = request.op.as_str());
     let _guard = span.enter();
+    // A draining server refuses new work with a typed error and a
+    // retry-after hint; probes (`ping`/`health`/`metrics`) stay open so
+    // orchestrators can watch the drain complete.
+    if shared.state.draining.load(Ordering::SeqCst)
+        && matches!(request.op.as_str(), "solve" | "ingest")
+    {
+        let mut resp = Response::error("draining", "server is draining; retry soon".to_string());
+        resp.retry_after_ms = Some(shared.config.drain_deadline.as_millis() as u64 + 500);
+        return resp;
+    }
     let response = match request.op.as_str() {
         "ping" => Response {
             pong: Some("pong".to_string()),
@@ -396,6 +587,7 @@ fn handle_request(shared: &Shared, request: &Request) -> Response {
             shared.state.shutdown.store(true, Ordering::SeqCst);
             Response::ok()
         }
+        "health" => handle_health(shared),
         "solve" => handle_solve(shared, request),
         "ingest" => handle_ingest(shared, request),
         other => Response::error("usage", format!("unknown op {other:?}")),
@@ -404,6 +596,36 @@ fn handle_request(shared: &Shared, request: &Request) -> Response {
         shared.state.degraded.fetch_add(1, Ordering::Relaxed);
     }
     response
+}
+
+/// Readiness probe: `degraded` when any shard's store is poisoned (a
+/// rollback-after-failed-append could not restore the WAL boundary),
+/// `draining` while a graceful shutdown is refusing new work, `ready`
+/// otherwise. `wal_lag` sums the records each shard would replay if it
+/// crashed right now — a proxy for how stale the snapshots are.
+fn handle_health(shared: &Shared) -> Response {
+    SolverMetrics::incr(&shared.metrics.health_checks);
+    let mut lag = 0u64;
+    let mut poisoned = false;
+    for shard in &shared.shards {
+        let state = shard.read();
+        if let Some(store) = state.store.as_ref() {
+            lag += store.wal_lag();
+            poisoned |= store.poisoned().is_some();
+        }
+    }
+    let health = if poisoned {
+        "degraded"
+    } else if shared.state.draining.load(Ordering::SeqCst) {
+        "draining"
+    } else {
+        "ready"
+    };
+    Response {
+        health: Some(health.to_string()),
+        wal_lag: Some(lag),
+        ..Response::ok()
+    }
 }
 
 /// RAII slot in the in-flight gauge; `overloaded` reflects the count the
@@ -484,6 +706,15 @@ fn handle_solve(shared: &Shared, request: &Request) -> Response {
         budget = budget.min(shared.config.overload_timeout);
     }
     let token = Arc::new(CancelToken::with_timeout(budget));
+    // Register for deadline-clamping on drain: the drain sequence fires
+    // every live token so no handler outlives its deadline. Weak refs
+    // keep completed solves from pinning memory; sweep the dead ones
+    // while we hold the lock anyway.
+    {
+        let mut tokens = shared.tokens();
+        tokens.retain(|weak| weak.strong_count() > 0);
+        tokens.push(Arc::downgrade(&token));
+    }
 
     let ctx = match shared.cache.context(&keys) {
         Some(ctx) => ctx,
@@ -626,8 +857,15 @@ fn handle_ingest(shared: &Shared, request: &Request) -> Response {
     if let Some(store) = state.store.as_mut() {
         if let Err(e) = store.append(&batch) {
             // Nothing was published; a torn tail from the failed append
-            // truncates on recovery, before any ack exists for it.
-            return Response::error("io", format!("wal append failed: {e}"));
+            // truncates on recovery, before any ack exists for it. A
+            // full or read-only disk is reported as `disk`, not `io`:
+            // retrying cannot help until an operator intervenes.
+            let code = if matches!(e, WalError::Disk(_)) {
+                "disk"
+            } else {
+                "io"
+            };
+            return Response::error(code, format!("wal append failed: {e}"));
         }
     }
 

@@ -183,6 +183,9 @@ fn response_messages_round_trip() {
         info: None,
         ingested: Some(3),
         last_seq: Some(41),
+        retry_after_ms: Some(1500),
+        health: Some("ready".to_string()),
+        wal_lag: Some(2),
     };
     let mut wire = Vec::new();
     write_message(&mut wire, &response).unwrap();

@@ -1,7 +1,7 @@
 # Local equivalents of the CI gates (.github/workflows/ci.yml).
 
 # Run every CI gate in order.
-ci: fmt-check clippy build test doctest doc smoke resume-smoke serve-smoke stream-smoke graph-smoke bench-smoke
+ci: fmt-check clippy build test doctest doc smoke resume-smoke serve-smoke stream-smoke graph-smoke chaos-smoke bench-smoke
 
 fmt:
     cargo fmt
@@ -43,7 +43,7 @@ smoke:
         --corpus "$tmp/corpus.json" --target 0 --m 3 \
         --trace debug --metrics-json "$tmp/metrics.json"
     test -s "$tmp/metrics.json"
-    grep -q 'comparesets-metrics/v6' "$tmp/metrics.json"
+    grep -q 'comparesets-metrics/v7' "$tmp/metrics.json"
     grep -q '"nomp_pursuits":' "$tmp/metrics.json"
     grep -q '"cancellation_checks":' "$tmp/metrics.json"
     grep -q '"io_retries":' "$tmp/metrics.json"
@@ -176,6 +176,45 @@ graph-smoke:
     ! grep -q '"bnb_nodes":0' "$tmp/metrics.json"
     ! grep -q '"bnb_steals":0' "$tmp/metrics.json"
     echo "graph smoke ok"
+
+# Chaos smoke: 1000 seeded fault schedules against the durable store
+# (short writes, failed fsyncs, disk full, bit flips, crashes — every
+# acknowledged event must recover intact), then a SIGTERM drain drill:
+# an in-flight slow solve must be answered (deadline-clamped), the
+# server must exit 0, and a recover must report zero replayed events
+# (the final snapshot covered the WAL). Fixed seeds, well under 60s
+# (mirrors the "Chaos smoke" CI step).
+chaos-smoke:
+    #!/usr/bin/env bash
+    set -euo pipefail
+    tmp=$(mktemp -d)
+    trap 'rm -rf "$tmp"' EXIT
+    cargo run --release -p comparesets-cli -- chaos \
+        --schedules 1000 --seed 0 --dir "$tmp/chaos" > "$tmp/chaos.out"
+    grep -q '1000 schedule(s) clean' "$tmp/chaos.out"
+    cargo run --release -p comparesets-cli -- generate \
+        --category toy --products 40 --seed 9 --out "$tmp/corpus.json"
+    cargo run --release -p comparesets-cli -- serve \
+        --corpus "$tmp/corpus.json" --addr 127.0.0.1:0 \
+        --data-dir "$tmp/data" --drain-deadline-ms 1000 \
+        --metrics-json "$tmp/metrics.json" > "$tmp/serve.out" &
+    server=$!
+    addr=""
+    for _ in $(seq 100); do
+        addr=$(sed -n 's/^serving on //p' "$tmp/serve.out")
+        [ -n "$addr" ] && break
+        sleep 0.1
+    done
+    test -n "$addr"
+    cargo run --release -p comparesets-serve --example stream -- "$addr" 3 0
+    kill -TERM "$server"
+    wait "$server"
+    grep -q '"drain_initiated":1' "$tmp/metrics.json"
+    cargo run --release -p comparesets-cli -- recover \
+        --data-dir "$tmp/data" > "$tmp/recover.out"
+    grep -q 'replayed 0 event(s)' "$tmp/recover.out"
+    grep -q 'dropped 0 torn byte(s)' "$tmp/recover.out"
+    echo "chaos smoke ok"
 
 # Refresh the performance baselines (updates BENCH_parallel_solver.json,
 # BENCH_serve.json, BENCH_stream.json, and BENCH_targethks.json, see
