@@ -6,8 +6,8 @@
 use crate::args::{parse, Args};
 use crate::error::CliError;
 use comparesets_core::{
-    solve_checked, solve_with, Algorithm, CancelToken, CoreError, InstanceContext, MetricsReport,
-    OpinionScheme, SelectParams, Selection, SolveOptions, SolverMetrics,
+    solve_checked, solve_with, Algorithm, CancelToken, CoreError, InstanceContext, MatrixBackend,
+    MetricsReport, OpinionScheme, SelectParams, Selection, SolveOptions, SolverMetrics,
 };
 use comparesets_data::{
     io as corpus_io, AmazonError, AmazonLoader, CategoryPreset, ComparisonInstance, Dataset,
@@ -34,10 +34,12 @@ commands:
                   [--algorithm random|crs|greedy|comparesets|comparesets+]
                   [--max-comparatives N] [--scheme binary|3-polarity|unary-scale] [--seed S]
                   [--parallel true] [--threads N] [--warm-start false]
+                  [--backend auto|dense|sparse]  design-matrix storage (selection-invariant)
                   [--strict true]      fail (exit 5) instead of degrading on numerical faults
   narrow          --corpus FILE --target ID [--k N] [--method exact|greedy|topk|random|peel]
                   [--m N] [--lambda X] [--mu X] [--time-limit-ms N] [--seed S]
                   [--parallel true] [--threads N] [--warm-start false]
+                  [--backend auto|dense|sparse]
   eval            [--out FILE] [--scale N] [--config tiny|default] [--experiments a,b,...]
                   [--checkpoint-dir DIR] [--resume true]
                   run the reproduction suite; the deterministic report (no
@@ -345,15 +347,29 @@ fn timeout_token(args: &Args) -> Result<Option<Arc<CancelToken>>, String> {
     ))))
 }
 
+/// Parse `--backend auto|dense|sparse` into a [`MatrixBackend`]. The
+/// backend changes wall-clock and resident memory only — selections are
+/// byte-identical either way (ARCHITECTURE.md §13).
+fn matrix_backend(args: &Args) -> Result<MatrixBackend, String> {
+    match args.get("backend").unwrap_or("auto") {
+        "auto" => Ok(MatrixBackend::Auto),
+        "dense" => Ok(MatrixBackend::Dense),
+        "sparse" => Ok(MatrixBackend::Sparse),
+        other => Err(format!(
+            "--backend: expected auto, dense, or sparse, got {other}"
+        )),
+    }
+}
+
 /// Parse `--parallel true` / `--threads N` / `--warm-start BOOL` /
-/// `--timeout SECS` into [`SolveOptions`]. A thread count implies
-/// parallelism; the selections are identical either way, and the optional
-/// `--metrics-json` collector only observes, never steers. Warm starts
-/// default on and are selection-invariant too — `--warm-start false`
-/// forces every alternating sweep to solve from scratch (the cold
-/// baseline the `alternation/*` benches compare against). A timeout arms
-/// a cooperative deadline: iterative solvers stop at their next
-/// cancellation check.
+/// `--backend NAME` / `--timeout SECS` into [`SolveOptions`]. A thread
+/// count implies parallelism; the selections are identical either way,
+/// and the optional `--metrics-json` collector only observes, never
+/// steers. Warm starts default on and are selection-invariant too —
+/// `--warm-start false` forces every alternating sweep to solve from
+/// scratch (the cold baseline the `alternation/*` benches compare
+/// against). A timeout arms a cooperative deadline: iterative solvers
+/// stop at their next cancellation check.
 fn solve_options(args: &Args, metrics: Option<Arc<SolverMetrics>>) -> Result<SolveOptions, String> {
     let parallel: bool = args.get_or("parallel", false)?;
     let threads: usize = args.get_or("threads", 0)?;
@@ -361,6 +377,7 @@ fn solve_options(args: &Args, metrics: Option<Arc<SolverMetrics>>) -> Result<Sol
         parallel: parallel || threads > 0,
         threads: (threads > 0).then_some(threads),
         warm_start: args.get_or("warm-start", true)?,
+        backend: matrix_backend(args)?,
         metrics,
         cancel: timeout_token(args)?,
     })
@@ -1019,9 +1036,17 @@ mod tests {
         let parallel = run(&[&base[..], &["--parallel", "true"]].concat()).unwrap();
         let pinned = run(&[&base[..], &["--threads", "2"]].concat()).unwrap();
         let cold = run(&[&base[..], &["--warm-start", "false"]].concat()).unwrap();
+        let dense = run(&[&base[..], &["--backend", "dense"]].concat()).unwrap();
+        let sparse = run(&[&base[..], &["--backend", "sparse"]].concat()).unwrap();
         assert_eq!(sequential, parallel);
         assert_eq!(sequential, pinned);
         assert_eq!(sequential, cold);
+        assert_eq!(sequential, dense);
+        assert_eq!(sequential, sparse);
+        assert!(run(&[&base[..], &["--backend", "csr"]].concat())
+            .unwrap_err()
+            .to_string()
+            .contains("--backend"));
         std::fs::remove_file(&path).ok();
     }
 

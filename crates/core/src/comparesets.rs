@@ -27,8 +27,8 @@ use rayon::prelude::*;
 use crate::error::{validate_params, CoreError};
 use crate::instance::{InstanceContext, Selection};
 use crate::integer_regression::{
-    integer_regression_ctl, integer_regression_warm_ctl, try_integer_regression_ctl,
-    try_integer_regression_warm_ctl, DedupColumns, RegressionTask, RegressionWarm,
+    integer_regression_ctl, integer_regression_session_ctl, try_integer_regression_ctl,
+    try_integer_regression_session_ctl, DedupColumns, RegressionTask, RegressionWarm,
 };
 use crate::{SelectParams, SolveOptions, SolverMetrics};
 
@@ -74,7 +74,8 @@ pub fn solve_comparesets_with(
         let item = ctx.item(i);
         let tau = ctx.tau(i);
         let gamma = ctx.gamma();
-        let task = RegressionTask::build(ctx.space(), item, tau, &[(gamma, lambda)]);
+        let task =
+            RegressionTask::build_with(ctx.space(), item, tau, &[(gamma, lambda)], opts.backend);
         integer_regression_ctl(
             &task,
             params.m,
@@ -126,7 +127,13 @@ pub fn solve_comparesets_checked(
         let item = ctx.item(i);
         let tau = ctx.tau(i);
         let gamma = ctx.gamma();
-        let task = RegressionTask::try_build(ctx.space(), item, tau, &[(gamma, lambda)])?;
+        let task = RegressionTask::try_build_with(
+            ctx.space(),
+            item,
+            tau,
+            &[(gamma, lambda)],
+            opts.backend,
+        )?;
         try_integer_regression_ctl(
             &task,
             params.m,
@@ -300,21 +307,31 @@ pub fn solve_comparesets_plus_sweeps_warm_with(
             };
             let candidate = if let Some(sel) = reused {
                 sel
+            } else if opts.warm_start {
+                // Session path: the design matrix is parked inside
+                // warm[i] between rounds, so stabilised sweeps skip the
+                // O(q·rows) assembly and only re-stack the target.
+                integer_regression_session_ctl(
+                    ctx.space(),
+                    ctx.item(i),
+                    ctx.tau(i),
+                    &aspect_targets,
+                    opts.backend,
+                    params.m,
+                    item_plus_cost,
+                    &mut ws,
+                    &mut warm[i],
+                    ctl,
+                )
             } else {
-                let task =
-                    RegressionTask::build(ctx.space(), ctx.item(i), ctx.tau(i), &aspect_targets);
-                if opts.warm_start {
-                    integer_regression_warm_ctl(
-                        &task,
-                        params.m,
-                        item_plus_cost,
-                        &mut ws,
-                        &mut warm[i],
-                        ctl,
-                    )
-                } else {
-                    integer_regression_ctl(&task, params.m, item_plus_cost, &mut ws, ctl)
-                }
+                let task = RegressionTask::build_with(
+                    ctx.space(),
+                    ctx.item(i),
+                    ctx.tau(i),
+                    &aspect_targets,
+                    opts.backend,
+                );
+                integer_regression_ctl(&task, params.m, item_plus_cost, &mut ws, ctl)
             };
 
             // A candidate equal to the current selection can never win the
@@ -428,32 +445,41 @@ pub fn solve_comparesets_plus_checked(
             } else {
                 None
             };
+            // A failed build or solve keeps the current valid selection
+            // (accept-only-if-better degrades gracefully), so both error
+            // channels collapse to `None` here.
             let solved = if let Some(sel) = reused {
-                Ok(sel)
-            } else {
-                let task = match RegressionTask::try_build(
+                Some(sel)
+            } else if opts.warm_start {
+                try_integer_regression_session_ctl(
                     ctx.space(),
                     ctx.item(i),
                     ctx.tau(i),
                     &aspect_targets,
+                    opts.backend,
+                    params.m,
+                    item_plus_cost,
+                    &mut ws,
+                    &mut warm[i],
+                    ctl,
+                )
+                .ok()
+            } else {
+                match RegressionTask::try_build_with(
+                    ctx.space(),
+                    ctx.item(i),
+                    ctx.tau(i),
+                    &aspect_targets,
+                    opts.backend,
                 ) {
-                    Ok(t) => t,
-                    Err(_) => continue, // keep the current valid selection
-                };
-                if opts.warm_start {
-                    try_integer_regression_warm_ctl(
-                        &task,
-                        params.m,
-                        item_plus_cost,
-                        &mut ws,
-                        &mut warm[i],
-                        ctl,
-                    )
-                } else {
-                    try_integer_regression_ctl(&task, params.m, item_plus_cost, &mut ws, ctl)
+                    Ok(task) => {
+                        try_integer_regression_ctl(&task, params.m, item_plus_cost, &mut ws, ctl)
+                            .ok()
+                    }
+                    Err(_) => None,
                 }
             };
-            if let Ok(candidate) = solved {
+            if let Some(candidate) = solved {
                 // Equal candidates can never win the strict `<` accept
                 // test; skip both cost evaluations (decision unchanged).
                 if candidate != current && item_plus_cost(&candidate) < item_plus_cost(&current) {

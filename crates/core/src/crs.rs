@@ -31,7 +31,7 @@ pub fn solve_crs_with(ctx: &InstanceContext, m: usize, opts: &SolveOptions) -> V
     let solve_item = |i: usize, ws: &mut NompWorkspace| {
         let item = ctx.item(i);
         let tau = ctx.tau(i);
-        let task = RegressionTask::build(ctx.space(), item, tau, &[]);
+        let task = RegressionTask::build_with(ctx.space(), item, tau, &[], opts.backend);
         integer_regression_ctl(
             &task,
             m,
@@ -76,7 +76,7 @@ pub fn solve_crs_checked(
     let solve_item = |i: usize, ws: &mut NompWorkspace| -> Result<Selection, CoreError> {
         let item = ctx.item(i);
         let tau = ctx.tau(i);
-        let task = RegressionTask::try_build(ctx.space(), item, tau, &[])?;
+        let task = RegressionTask::try_build_with(ctx.space(), item, tau, &[], opts.backend)?;
         try_integer_regression_ctl(
             &task,
             m,

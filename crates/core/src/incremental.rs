@@ -20,7 +20,7 @@
 use crate::comparesets::solve_comparesets_plus_with;
 use crate::instance::{InstanceContext, ReviewFeature, Selection};
 use crate::integer_regression::{
-    integer_regression_ctl, integer_regression_warm_ctl, DedupColumns, RegressionTask,
+    integer_regression_ctl, integer_regression_session_ctl, DedupColumns, RegressionTask,
     RegressionWarm,
 };
 use crate::objective::comparesets_plus_objective;
@@ -280,26 +280,40 @@ impl IncrementalSession {
         };
         let candidate = if let Some(sel) = reused {
             sel
+        } else if self.opts.warm_start {
+            // Session path: the parked design matrix survives ingest — an
+            // appended review whose feature forms a new dedup group grows
+            // the cached CSC by one column in place; a feature matching an
+            // existing group reuses the matrix untouched (only the caps
+            // changed). Edits and deletes fail the structural key and
+            // rebuild.
+            integer_regression_session_ctl(
+                ctx.space(),
+                ctx.item(i),
+                ctx.tau(i),
+                &aspect_targets,
+                self.opts.backend,
+                self.params.m,
+                cost,
+                &mut self.workspace,
+                &mut self.warm[i],
+                self.opts.ctl(),
+            )
         } else {
-            let task = RegressionTask::build(ctx.space(), ctx.item(i), ctx.tau(i), &aspect_targets);
-            if self.opts.warm_start {
-                integer_regression_warm_ctl(
-                    &task,
-                    self.params.m,
-                    cost,
-                    &mut self.workspace,
-                    &mut self.warm[i],
-                    self.opts.ctl(),
-                )
-            } else {
-                integer_regression_ctl(
-                    &task,
-                    self.params.m,
-                    cost,
-                    &mut self.workspace,
-                    self.opts.ctl(),
-                )
-            }
+            let task = RegressionTask::build_with(
+                ctx.space(),
+                ctx.item(i),
+                ctx.tau(i),
+                &aspect_targets,
+                self.opts.backend,
+            );
+            integer_regression_ctl(
+                &task,
+                self.params.m,
+                cost,
+                &mut self.workspace,
+                self.opts.ctl(),
+            )
         };
         if cost(&candidate) < cost(&self.selections[i]) {
             self.selections[i] = candidate;

@@ -53,12 +53,13 @@
 //! ```
 
 use comparesets_linalg::{
-    nomp_path_ctl, nomp_path_warm, CscMatrix, NompOptions, NompWorkspace, SolveError, WarmState,
+    nomp_path_ctl, nomp_path_warm, CscMatrix, DesignMatrix, LinalgError, Matrix, NompOptions,
+    NompWorkspace, SolveError, WarmState,
 };
 use comparesets_obs::{SolveCtl, SolverMetrics};
 
 use crate::error::CoreError;
-use crate::instance::{Item, Selection};
+use crate::instance::{Item, ReviewFeature, Selection};
 use crate::space::VectorSpace;
 
 /// Deduplicated design-matrix columns for one item.
@@ -117,17 +118,158 @@ impl DedupColumns {
     }
 }
 
+/// Storage backend for the regression design matrix.
+///
+/// Every backend produces **byte-identical selections**: the NOMP kernels
+/// are bit-exact across representations (skipped zero entries are exact
+/// no-ops under a `+0.0`-seeded accumulator), so the choice is purely a
+/// time/space decision. `Auto` (the default) picks per task by stored
+/// density — CSC below [`DENSITY_CROSSOVER`], dense at or above it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MatrixBackend {
+    /// Choose per task by the density of the assembled columns.
+    #[default]
+    Auto,
+    /// Always materialise the dense row-major matrix.
+    Dense,
+    /// Always build compressed sparse columns.
+    Sparse,
+}
+
+/// Density (`nnz / rows·cols`) at or above which [`MatrixBackend::Auto`]
+/// materialises the design matrix densely.
+///
+/// Measured on the `regression_engine/sparse/crossover` bench family
+/// (4 000×64 budget-path pursuits swept over stored density, committed
+/// in `BENCH_sparse.json`): the sparse backend's per-iteration advantage
+/// — correlation scans and Gram builds walk only stored entries — decays
+/// from ~5× at 5% density to parity at ~65%, where the dense kernels'
+/// contiguous 4-lane chunking catches up (see PERFORMANCE.md). Memory
+/// agrees: CSC stores 12 bytes per non-zero against dense's 8 bytes per
+/// cell, so CSC is also the smaller representation below 2/3 density.
+/// Paper-scale design matrices (z = 500 aspects, a handful of mentions
+/// per review) sit around 1–2% density, far below the crossover.
+pub const DENSITY_CROSSOVER: f64 = 0.65;
+
+/// The design matrix of a [`RegressionTask`], in whichever storage the
+/// [`MatrixBackend`] chose. Implements [`DesignMatrix`] by delegation, so
+/// the NOMP engine runs on it directly — no copies, no dispatch above the
+/// kernel level.
+#[derive(Debug, Clone)]
+pub enum TaskMatrix {
+    /// Compressed sparse columns (the low-density hot path).
+    Sparse(CscMatrix),
+    /// Dense row-major storage (the high-density fallback).
+    Dense(Matrix),
+}
+
+impl TaskMatrix {
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        match self {
+            TaskMatrix::Sparse(m) => m.rows(),
+            TaskMatrix::Dense(m) => m.rows(),
+        }
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        match self {
+            TaskMatrix::Sparse(m) => m.cols(),
+            TaskMatrix::Dense(m) => m.cols(),
+        }
+    }
+
+    /// Entry accessor.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        match self {
+            TaskMatrix::Sparse(m) => m.get(i, j),
+            TaskMatrix::Dense(m) => m[(i, j)],
+        }
+    }
+
+    /// Whether this task holds the CSC representation.
+    pub fn is_sparse(&self) -> bool {
+        matches!(self, TaskMatrix::Sparse(_))
+    }
+
+    /// Resident bytes of the held representation (capacities, not
+    /// lengths). Summed per shard by the serving daemon's `health` op.
+    pub fn memory_bytes(&self) -> u64 {
+        match self {
+            TaskMatrix::Sparse(m) => m.memory_bytes(),
+            TaskMatrix::Dense(m) => m.memory_bytes(),
+        }
+    }
+}
+
+impl DesignMatrix for TaskMatrix {
+    fn rows(&self) -> usize {
+        TaskMatrix::rows(self)
+    }
+    fn cols(&self) -> usize {
+        TaskMatrix::cols(self)
+    }
+    fn column_into(&self, j: usize, out: &mut [f64]) {
+        match self {
+            TaskMatrix::Sparse(m) => m.column_into(j, out),
+            TaskMatrix::Dense(m) => Matrix::column_into(m, j, out),
+        }
+    }
+    fn matvec(&self, x: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        match self {
+            TaskMatrix::Sparse(m) => DesignMatrix::matvec(m, x),
+            TaskMatrix::Dense(m) => Matrix::matvec(m, x),
+        }
+    }
+    fn tr_matvec(&self, x: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        match self {
+            TaskMatrix::Sparse(m) => DesignMatrix::tr_matvec(m, x),
+            TaskMatrix::Dense(m) => Matrix::tr_matvec(m, x),
+        }
+    }
+    fn dense_columns(&self, indices: &[usize]) -> Matrix {
+        match self {
+            TaskMatrix::Sparse(m) => m.dense_columns(indices),
+            TaskMatrix::Dense(m) => m.dense_columns(indices),
+        }
+    }
+    fn column_dot(&self, i: usize, j: usize) -> f64 {
+        match self {
+            TaskMatrix::Sparse(m) => m.column_dot(i, j),
+            TaskMatrix::Dense(m) => m.column_dot(i, j),
+        }
+    }
+    fn column_dot_vec(&self, j: usize, v: &[f64]) -> f64 {
+        match self {
+            TaskMatrix::Sparse(m) => m.column_dot_vec(j, v),
+            TaskMatrix::Dense(m) => m.column_dot_vec(j, v),
+        }
+    }
+    fn is_sparse(&self) -> bool {
+        TaskMatrix::is_sparse(self)
+    }
+    fn tr_scan_simd_blocks(&self, x: &[f64]) -> u64 {
+        match self {
+            TaskMatrix::Sparse(m) => m.tr_scan_simd_blocks(x),
+            TaskMatrix::Dense(m) => m.tr_scan_simd_blocks(x),
+        }
+    }
+}
+
 /// A prepared regression task: deduplicated design matrix plus target.
 ///
-/// The matrix is stored in compressed sparse column form: with the
-/// paper's z = 500 aspects the CompaReSetS+ design matrix has
+/// The matrix is held behind [`TaskMatrix`], CSC by default at paper
+/// scale: with z = 500 aspects the CompaReSetS+ design matrix has
 /// `2z + n·z` ≈ 15 000+ rows per item while each review column touches
 /// only a handful — sparsity is what keeps Integer-Regression fast at
-/// real-corpus scale.
+/// real-corpus scale. Dense-ish tasks (stored density at or above
+/// [`DENSITY_CROSSOVER`]) materialise densely under
+/// [`MatrixBackend::Auto`] so the chunked dense kernels take over.
 #[derive(Debug, Clone)]
 pub struct RegressionTask {
     /// Deduplicated design matrix Ṽ (rows = blocks, cols = groups).
-    pub matrix: CscMatrix,
+    pub matrix: TaskMatrix,
     /// Target vector Υ, pre-weighted to match the matrix blocks.
     pub target: Vec<f64>,
     /// Column groups / caps.
@@ -152,7 +294,27 @@ impl RegressionTask {
         opinion_target: &[f64],
         aspect_targets: &[(&[f64], f64)],
     ) -> Self {
-        match Self::try_build(space, item, opinion_target, aspect_targets) {
+        Self::build_with(
+            space,
+            item,
+            opinion_target,
+            aspect_targets,
+            MatrixBackend::Auto,
+        )
+    }
+
+    /// [`RegressionTask::build`] with an explicit [`MatrixBackend`].
+    ///
+    /// # Panics
+    /// As [`RegressionTask::build`].
+    pub fn build_with(
+        space: &VectorSpace,
+        item: &Item,
+        opinion_target: &[f64],
+        aspect_targets: &[(&[f64], f64)],
+        backend: MatrixBackend,
+    ) -> Self {
+        match Self::try_build_with(space, item, opinion_target, aspect_targets, backend) {
             Ok(task) => task,
             Err(e) => panic!("RegressionTask::build: {e}"),
         }
@@ -169,6 +331,31 @@ impl RegressionTask {
         item: &Item,
         opinion_target: &[f64],
         aspect_targets: &[(&[f64], f64)],
+    ) -> Result<Self, CoreError> {
+        Self::try_build_with(
+            space,
+            item,
+            opinion_target,
+            aspect_targets,
+            MatrixBackend::Auto,
+        )
+    }
+
+    /// [`RegressionTask::try_build`] with an explicit [`MatrixBackend`].
+    ///
+    /// The columns are always assembled as sparse `(row, value)` entry
+    /// lists first — a dense matrix is only ever materialised after the
+    /// backend decision, so low-density tasks never pay `O(rows·cols)`
+    /// storage even transiently.
+    ///
+    /// # Errors
+    /// As [`RegressionTask::try_build`].
+    pub fn try_build_with(
+        space: &VectorSpace,
+        item: &Item,
+        opinion_target: &[f64],
+        aspect_targets: &[(&[f64], f64)],
+        backend: MatrixBackend,
     ) -> Result<Self, CoreError> {
         let z = space.num_aspects();
         let od = space.opinion_dim();
@@ -195,38 +382,9 @@ impl RegressionTask {
         let columns: Vec<Vec<(usize, f64)>> = dedup
             .groups
             .iter()
-            .map(|group| {
-                let f = &item.features[group[0]];
-                let mut entries: Vec<(usize, f64)> = Vec::new();
-                for (r, v) in space.opinion_column(f).into_iter().enumerate() {
-                    if v != 0.0 {
-                        entries.push((r, v));
-                    }
-                }
-                let asp = space.aspect_column(f);
-                for (b, &(_, w)) in aspect_targets.iter().enumerate() {
-                    for (a, v) in asp.iter().enumerate() {
-                        if *v != 0.0 && w != 0.0 {
-                            entries.push((od + b * z + a, w * v));
-                        }
-                    }
-                }
-                entries
-            })
+            .map(|group| column_entries(space, &item.features[group[0]], aspect_targets))
             .collect();
-        let matrix = CscMatrix::try_from_columns(rows, &columns).map_err(|e| match e {
-            SolveError::DimensionMismatch {
-                expected, actual, ..
-            } => CoreError::DimensionMismatch {
-                context: "RegressionTask design matrix rows",
-                expected,
-                actual,
-            },
-            other => CoreError::Solver {
-                item: 0,
-                source: other,
-            },
-        })?;
+        let matrix = assemble_matrix(rows, &columns, backend)?;
         let mut target = Vec::with_capacity(rows);
         target.extend_from_slice(opinion_target);
         for &(t, w) in aspect_targets {
@@ -278,6 +436,96 @@ impl RegressionTask {
             target.extend(t.iter().map(|v| w * v));
         }
         Ok(target)
+    }
+}
+
+/// The sparse `(row, value)` entries of one design-matrix column: the
+/// review's non-zero opinion slots, then its mentioned aspects weighted
+/// per target block. Shared by the batch builder and the in-place column
+/// growth of the warm-held matrix cache, so grown and rebuilt matrices
+/// are entry-for-entry identical.
+fn column_entries(
+    space: &VectorSpace,
+    f: &ReviewFeature,
+    aspect_targets: &[(&[f64], f64)],
+) -> Vec<(usize, f64)> {
+    let z = space.num_aspects();
+    let od = space.opinion_dim();
+    let mut entries: Vec<(usize, f64)> = Vec::new();
+    for (r, v) in space.opinion_column(f).into_iter().enumerate() {
+        if v != 0.0 {
+            entries.push((r, v));
+        }
+    }
+    let asp = space.aspect_column(f);
+    for (b, &(_, w)) in aspect_targets.iter().enumerate() {
+        for (a, v) in asp.iter().enumerate() {
+            if *v != 0.0 && w != 0.0 {
+                entries.push((od + b * z + a, w * v));
+            }
+        }
+    }
+    entries
+}
+
+/// Materialise the backend's representation from sparse column entry
+/// lists. `Auto` compares the stored density against
+/// [`DENSITY_CROSSOVER`]; the dense path is only entered here, after the
+/// decision, so sparse tasks never allocate `rows·cols` cells.
+fn assemble_matrix(
+    rows: usize,
+    columns: &[Vec<(usize, f64)>],
+    backend: MatrixBackend,
+) -> Result<TaskMatrix, CoreError> {
+    let sparse = match backend {
+        MatrixBackend::Sparse => true,
+        MatrixBackend::Dense => false,
+        MatrixBackend::Auto => {
+            let cells = rows * columns.len();
+            // Column entries are zero-free by construction, so the entry
+            // count is the stored nnz.
+            let nnz: usize = columns.iter().map(Vec::len).sum();
+            cells == 0 || (nnz as f64) < DENSITY_CROSSOVER * cells as f64
+        }
+    };
+    if sparse {
+        let matrix = CscMatrix::try_from_columns(rows, columns).map_err(classify_build_error)?;
+        Ok(TaskMatrix::Sparse(matrix))
+    } else {
+        let mut m = Matrix::zeros(rows, columns.len());
+        for (j, entries) in columns.iter().enumerate() {
+            for &(r, v) in entries {
+                if r >= rows {
+                    return Err(CoreError::DimensionMismatch {
+                        context: "RegressionTask design matrix rows",
+                        expected: rows,
+                        actual: r,
+                    });
+                }
+                // `+=`, not `=`: duplicate rows sum, exactly as the CSC
+                // normalisation does.
+                m[(r, j)] += v;
+            }
+        }
+        Ok(TaskMatrix::Dense(m))
+    }
+}
+
+/// Map a CSC construction failure onto the core error taxonomy (same
+/// classification the original monolithic builder used).
+fn classify_build_error(e: SolveError) -> CoreError {
+    match e {
+        SolveError::DimensionMismatch {
+            expected, actual, ..
+        } => CoreError::DimensionMismatch {
+            context: "RegressionTask design matrix rows",
+            expected,
+            actual,
+        },
+        other => CoreError::Solver {
+            item: 0,
+            source: other,
+        },
     }
 }
 
@@ -529,6 +777,55 @@ struct CachedSelection {
     selection: Selection,
 }
 
+/// Structural identity of a warm-held design matrix: everything the
+/// matrix's entries are a function of. Two builds with equal keys produce
+/// entry-for-entry identical matrices ([`column_entries`] is a pure
+/// function of the space, the representative feature, and the block
+/// weights), so a key match licenses reuse without touching a single
+/// stored value — and the comparison is exact (cloned features, bitwise
+/// weights), never a hash that could collide.
+#[derive(Debug, Clone, PartialEq)]
+struct MatrixKey {
+    rows: usize,
+    opinion_dim: usize,
+    /// Aspect-block weights in block order, compared bitwise.
+    weight_bits: Vec<u64>,
+    /// One representative [`ReviewFeature`] per dedup group, in group
+    /// order. Prefix-comparable: an append-only item keeps its old groups
+    /// as a prefix, which is what licenses in-place column growth.
+    reps: Vec<ReviewFeature>,
+}
+
+impl MatrixKey {
+    fn build(
+        space: &VectorSpace,
+        item: &Item,
+        dedup: &DedupColumns,
+        aspect_targets: &[(&[f64], f64)],
+    ) -> Self {
+        MatrixKey {
+            rows: space.opinion_dim() + space.num_aspects() * aspect_targets.len(),
+            opinion_dim: space.opinion_dim(),
+            weight_bits: aspect_targets.iter().map(|&(_, w)| w.to_bits()).collect(),
+            reps: dedup
+                .groups
+                .iter()
+                .map(|g| item.features[g[0]].clone())
+                .collect(),
+        }
+    }
+
+    /// Does `self` describe a strict column-prefix of `new`? True exactly
+    /// when the cached matrix can grow to `new` by appending columns.
+    fn is_prefix_of(&self, new: &MatrixKey) -> bool {
+        self.rows == new.rows
+            && self.opinion_dim == new.opinion_dim
+            && self.weight_bits == new.weight_bits
+            && self.reps.len() < new.reps.len()
+            && self.reps[..] == new.reps[..self.reps.len()]
+    }
+}
+
 /// Cross-round cache for one item's repeated integer regressions.
 ///
 /// Wraps the linalg [`WarmState`] (the relaxation's trajectory cache) with
@@ -540,10 +837,20 @@ struct CachedSelection {
 /// runs, while the full-skip fast path relies on the caller re-solving the
 /// *same item* (the intended use — both CompaReSetS+ variants and the
 /// incremental session thread exactly that).
+///
+/// The session entry points ([`integer_regression_session_ctl`]) also park
+/// the item's [`TaskMatrix`] here between re-solves, validated by an exact
+/// structural key: an unchanged item reuses the matrix outright, an
+/// append-only item grows its CSC columns in place
+/// ([`CscMatrix::try_push_column`]), and anything else rebuilds. This is
+/// what lets alternating sweeps skip the `O(q·rows)` matrix assembly per
+/// round and lets the serving daemon's session cache hold one resident CSC
+/// instance per item (reported by [`RegressionWarm::matrix_bytes`]).
 #[derive(Debug, Clone, Default)]
 pub struct RegressionWarm {
     state: WarmState,
     cached: Option<CachedSelection>,
+    matrix: Option<(MatrixKey, TaskMatrix)>,
 }
 
 impl RegressionWarm {
@@ -552,11 +859,22 @@ impl RegressionWarm {
         RegressionWarm::default()
     }
 
-    /// Drop every cache (see [`WarmState::invalidate`]); call when the
-    /// item behind this cache changed.
+    /// Drop the trajectory and answer caches (see
+    /// [`WarmState::invalidate`]); call when the item behind this cache
+    /// changed. The parked design matrix survives: it is validated by an
+    /// exact structural key on every session re-solve, so a stale matrix
+    /// is grown in place (append-only change) or rebuilt (anything else)
+    /// rather than trusted.
     pub fn invalidate(&mut self) {
         self.state.invalidate();
         self.cached = None;
+    }
+
+    /// Resident bytes of the parked design matrix; 0 when none is held.
+    /// The serving daemon sums this over its session cache to report
+    /// per-process resident matrix memory.
+    pub fn matrix_bytes(&self) -> u64 {
+        self.matrix.as_ref().map_or(0, |(_, m)| m.memory_bytes())
     }
 
     /// Matrix-free full-skip probe: when this cache holds the answer of a
@@ -646,6 +964,182 @@ where
     F: FnMut(&Selection) -> f64,
 {
     integer_regression_impl(task, m, &mut evaluate, workspace, Some(warm), true, ctl)
+}
+
+/// Assemble the regression task for a session re-solve, reusing the
+/// matrix parked in `warm` when its structural key licenses it: exact
+/// match → reuse outright (trajectory kept), append-only growth on a CSC
+/// matrix → push the new columns in place (trajectory dropped — it
+/// replays a different candidate set), anything else → rebuild under
+/// `backend` (trajectory dropped). Grown and rebuilt matrices are
+/// entry-for-entry identical ([`column_entries`] is shared), so every
+/// path yields byte-identical selections.
+///
+/// On an exact key match the held representation wins even if `backend`
+/// changed between calls — representations are selection-equivalent, so
+/// swapping one in costs a rebuild for no observable difference.
+fn session_task(
+    space: &VectorSpace,
+    item: &Item,
+    opinion_target: &[f64],
+    aspect_targets: &[(&[f64], f64)],
+    backend: MatrixBackend,
+    warm: &mut RegressionWarm,
+) -> Result<(MatrixKey, RegressionTask), CoreError> {
+    let target = RegressionTask::try_stack_target(space, opinion_target, aspect_targets)?;
+    let dedup = DedupColumns::build(item);
+    let key = MatrixKey::build(space, item, &dedup, aspect_targets);
+    let matrix = match warm.matrix.take() {
+        Some((held_key, held)) if held_key == key => held,
+        Some((held_key, TaskMatrix::Sparse(mut csc))) if held_key.is_prefix_of(&key) => {
+            for g in held_key.reps.len()..key.reps.len() {
+                let entries =
+                    column_entries(space, &item.features[dedup.groups[g][0]], aspect_targets);
+                csc.try_push_column(&entries)
+                    .map_err(classify_build_error)?;
+            }
+            warm.invalidate();
+            TaskMatrix::Sparse(csc)
+        }
+        held => {
+            // A held matrix that reaches here failed validation (the item
+            // was edited, a weight changed, a dense matrix cannot grow);
+            // its trajectory describes a dead candidate set.
+            if held.is_some() {
+                warm.invalidate();
+            }
+            let columns: Vec<Vec<(usize, f64)>> = dedup
+                .groups
+                .iter()
+                .map(|g| column_entries(space, &item.features[g[0]], aspect_targets))
+                .collect();
+            assemble_matrix(key.rows, &columns, backend)?
+        }
+    };
+    Ok((
+        key,
+        RegressionTask {
+            matrix,
+            target,
+            dedup,
+        },
+    ))
+}
+
+/// Shared engine behind the session entry points: build-or-reuse the
+/// design matrix via [`session_task`], run the regression, park the
+/// matrix back in `warm` for the next re-solve (also when the solver
+/// itself failed — the matrix is still valid).
+#[allow(clippy::too_many_arguments)] // mirrors the warm_ctl surface plus the raw task blocks
+fn session_impl<F>(
+    space: &VectorSpace,
+    item: &Item,
+    opinion_target: &[f64],
+    aspect_targets: &[(&[f64], f64)],
+    backend: MatrixBackend,
+    m: usize,
+    evaluate: &mut F,
+    workspace: &mut NompWorkspace,
+    warm: &mut RegressionWarm,
+    strict: bool,
+    ctl: SolveCtl<'_>,
+) -> Result<Selection, CoreError>
+where
+    F: FnMut(&Selection) -> f64,
+{
+    let (key, task) = session_task(space, item, opinion_target, aspect_targets, backend, warm)?;
+    let result = integer_regression_impl(&task, m, evaluate, workspace, Some(warm), strict, ctl)
+        .map_err(|source| CoreError::Solver { item: 0, source });
+    warm.matrix = Some((key, task.matrix));
+    result
+}
+
+/// [`integer_regression_warm_ctl`] that also owns the design-matrix
+/// lifecycle: instead of taking a pre-built [`RegressionTask`], this
+/// builds the task from the raw blocks and **parks the matrix inside
+/// `warm`** between calls. A re-solve of an unchanged item (the
+/// alternating sweeps' steady state, the serving daemon's repeat
+/// sessions) skips the `O(q·rows)` matrix assembly entirely; an
+/// append-only item (incremental ingest) grows its CSC columns in place;
+/// anything else rebuilds under `backend`. Selections are byte-identical
+/// to building fresh and calling [`integer_regression_warm_ctl`].
+///
+/// # Panics
+/// Panics on malformed target blocks, exactly as
+/// [`RegressionTask::build`] does.
+#[allow(clippy::too_many_arguments)] // mirrors the warm_ctl surface plus the raw task blocks
+pub fn integer_regression_session_ctl<F>(
+    space: &VectorSpace,
+    item: &Item,
+    opinion_target: &[f64],
+    aspect_targets: &[(&[f64], f64)],
+    backend: MatrixBackend,
+    m: usize,
+    mut evaluate: F,
+    workspace: &mut NompWorkspace,
+    warm: &mut RegressionWarm,
+    ctl: SolveCtl<'_>,
+) -> Selection
+where
+    F: FnMut(&Selection) -> f64,
+{
+    match session_impl(
+        space,
+        item,
+        opinion_target,
+        aspect_targets,
+        backend,
+        m,
+        &mut evaluate,
+        workspace,
+        warm,
+        false,
+        ctl,
+    ) {
+        Ok(sel) => sel,
+        // Non-strict regressions never report solver errors, so the only
+        // reachable failure is a malformed task — the build panic.
+        Err(e) => panic!("integer_regression_session_ctl: {e}"),
+    }
+}
+
+/// Strict variant of [`integer_regression_session_ctl`]: task-build
+/// failures and solver failures are both reported instead of panicking
+/// or degrading.
+///
+/// # Errors
+/// [`CoreError::DimensionMismatch`] on malformed target blocks;
+/// [`CoreError::Solver`] (with `item` 0 — the caller knows which item it
+/// is solving) when the relaxation fails.
+#[allow(clippy::too_many_arguments)] // mirrors the warm_ctl surface plus the raw task blocks
+pub fn try_integer_regression_session_ctl<F>(
+    space: &VectorSpace,
+    item: &Item,
+    opinion_target: &[f64],
+    aspect_targets: &[(&[f64], f64)],
+    backend: MatrixBackend,
+    m: usize,
+    mut evaluate: F,
+    workspace: &mut NompWorkspace,
+    warm: &mut RegressionWarm,
+    ctl: SolveCtl<'_>,
+) -> Result<Selection, CoreError>
+where
+    F: FnMut(&Selection) -> f64,
+{
+    session_impl(
+        space,
+        item,
+        opinion_target,
+        aspect_targets,
+        backend,
+        m,
+        &mut evaluate,
+        workspace,
+        warm,
+        true,
+        ctl,
+    )
 }
 
 /// Shared engine behind the strict and non-strict entry points. `strict`
@@ -929,6 +1423,127 @@ mod tests {
             sq_distance(&tau, &space.pi(&item, &s.indices))
         });
         assert_eq!(sel.indices, vec![0]);
+    }
+
+    fn assert_matrices_bit_identical(a: &TaskMatrix, b: &TaskMatrix, what: &str) {
+        assert_eq!(a.rows(), b.rows(), "{what}: rows");
+        assert_eq!(a.cols(), b.cols(), "{what}: cols");
+        for r in 0..a.rows() {
+            for c in 0..a.cols() {
+                assert_eq!(
+                    a.get(r, c).to_bits(),
+                    b.get(r, c).to_bits(),
+                    "{what}: entry ({r}, {c})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn session_grows_parked_csc_in_place_to_match_rebuild() {
+        use Polarity::{Negative, Positive};
+        let space = VectorSpace::new(3, OpinionScheme::Binary);
+        let tau = vec![0.5, 0.0, 0.0, 0.25, 0.25, 0.0];
+        let gamma = vec![1.0, 1.0, 1.0];
+        let targets: [(&[f64], f64); 1] = [(&gamma, 1.0)];
+
+        let small = item_with(vec![vec![(0, Positive)], vec![(1, Negative)]]);
+        let mut warm = RegressionWarm::new();
+        let (key, task) = session_task(
+            &space,
+            &small,
+            &tau,
+            &targets,
+            MatrixBackend::Sparse,
+            &mut warm,
+        )
+        .unwrap();
+        assert!(task.matrix.is_sparse());
+        warm.matrix = Some((key, task.matrix.clone()));
+
+        // Appending a structurally new review must extend the parked CSC
+        // in place — and land bit-identically on a from-scratch build.
+        let grown_item = item_with(vec![
+            vec![(0, Positive)],
+            vec![(1, Negative)],
+            vec![(2, Positive)],
+        ]);
+        let (key2, grown) = session_task(
+            &space,
+            &grown_item,
+            &tau,
+            &targets,
+            MatrixBackend::Sparse,
+            &mut warm,
+        )
+        .unwrap();
+        let rebuilt = RegressionTask::try_build_with(
+            &space,
+            &grown_item,
+            &tau,
+            &targets,
+            MatrixBackend::Sparse,
+        )
+        .unwrap();
+        assert!(grown.matrix.is_sparse());
+        assert_matrices_bit_identical(&grown.matrix, &rebuilt.matrix, "grown vs rebuilt");
+
+        // Exact-key reuse: re-solving the identical item hands the parked
+        // matrix straight back.
+        warm.matrix = Some((key2, grown.matrix.clone()));
+        let (_, reused) = session_task(
+            &space,
+            &grown_item,
+            &tau,
+            &targets,
+            MatrixBackend::Sparse,
+            &mut warm,
+        )
+        .unwrap();
+        assert_matrices_bit_identical(&reused.matrix, &rebuilt.matrix, "exact-key reuse");
+    }
+
+    #[test]
+    fn session_rebuilds_on_structural_mismatch() {
+        use Polarity::{Negative, Positive};
+        let space = VectorSpace::new(3, OpinionScheme::Binary);
+        let tau = vec![0.5, 0.0, 0.0, 0.25, 0.25, 0.0];
+        let gamma = vec![1.0, 1.0, 1.0];
+        let targets: [(&[f64], f64); 1] = [(&gamma, 1.0)];
+        let item = item_with(vec![vec![(0, Positive)], vec![(1, Negative)]]);
+
+        let mut warm = RegressionWarm::new();
+        let (key, task) = session_task(
+            &space,
+            &item,
+            &tau,
+            &targets,
+            MatrixBackend::Sparse,
+            &mut warm,
+        )
+        .unwrap();
+        warm.matrix = Some((key, task.matrix));
+
+        // Different target weight → different weight_bits → not a prefix:
+        // the session must rebuild, not grow.
+        let reweighted: [(&[f64], f64); 1] = [(&gamma, 2.0)];
+        let (_, rebuilt_via_session) = session_task(
+            &space,
+            &item,
+            &tau,
+            &reweighted,
+            MatrixBackend::Sparse,
+            &mut warm,
+        )
+        .unwrap();
+        let fresh =
+            RegressionTask::try_build_with(&space, &item, &tau, &reweighted, MatrixBackend::Sparse)
+                .unwrap();
+        assert_matrices_bit_identical(
+            &rebuilt_via_session.matrix,
+            &fresh.matrix,
+            "mismatch rebuild",
+        );
     }
 
     #[test]

@@ -63,9 +63,11 @@ pub use incremental::{IncrementalSession, SessionEvent};
 pub use instance::{InstanceContext, Item, ReviewFeature, Selection};
 pub use integer_regression::{
     integer_regression, integer_regression_ctl, integer_regression_metered,
-    integer_regression_warm_ctl, integer_regression_with, try_integer_regression,
-    try_integer_regression_ctl, try_integer_regression_metered, try_integer_regression_warm_ctl,
-    try_integer_regression_with, RegressionTask, RegressionWarm,
+    integer_regression_session_ctl, integer_regression_warm_ctl, integer_regression_with,
+    try_integer_regression, try_integer_regression_ctl, try_integer_regression_metered,
+    try_integer_regression_session_ctl, try_integer_regression_warm_ctl,
+    try_integer_regression_with, MatrixBackend, RegressionTask, RegressionWarm, TaskMatrix,
+    DENSITY_CROSSOVER,
 };
 pub use objective::{
     comparesets_objective, comparesets_plus_objective, item_objective, pair_distance,
@@ -130,6 +132,13 @@ impl Default for SelectParams {
 /// cold path by `crates/core/tests/warm_start.rs`; set `warm_start` to
 /// `false` to force every sweep to solve from scratch (the cold baseline
 /// the `alternation/*` benches compare against).
+///
+/// `backend` picks the design-matrix storage ([`MatrixBackend`]): CSC,
+/// dense, or per-task automatic selection by stored density against
+/// [`DENSITY_CROSSOVER`] (the default). The NOMP kernels are bit-exact
+/// across representations, so this too is purely a wall-clock/memory
+/// decision — selections never change with the backend (pinned by
+/// `crates/core/tests/backend_equivalence.rs`).
 #[derive(Debug, Clone)]
 pub struct SolveOptions {
     /// Fan independent per-item regression tasks out over rayon's pool.
@@ -140,6 +149,10 @@ pub struct SolveOptions {
     /// Carry per-item warm-start caches across alternating sweeps and
     /// incremental re-solves (on by default).
     pub warm_start: bool,
+    /// Design-matrix storage backend for every regression the solve
+    /// builds ([`MatrixBackend::Auto`] by default: CSC below the
+    /// [`DENSITY_CROSSOVER`] density, dense at or above it).
+    pub backend: MatrixBackend,
     /// Optional solver-metrics collector shared by every regression the
     /// solve performs; `None` (the default) disables all counting.
     pub metrics: Option<Arc<SolverMetrics>>,
@@ -155,6 +168,7 @@ impl Default for SolveOptions {
             parallel: false,
             threads: None,
             warm_start: true,
+            backend: MatrixBackend::Auto,
             metrics: None,
             cancel: None,
         }
@@ -209,6 +223,13 @@ impl SolveOptions {
     #[must_use]
     pub fn with_warm_start(mut self, warm_start: bool) -> Self {
         self.warm_start = warm_start;
+        self
+    }
+
+    /// This options value with an explicit design-matrix backend.
+    #[must_use]
+    pub fn with_backend(mut self, backend: MatrixBackend) -> Self {
+        self.backend = backend;
         self
     }
 

@@ -57,6 +57,35 @@ fn warm_sweeps_select_identically_to_cold_sweeps() {
 }
 
 #[test]
+fn warm_equals_cold_on_every_backend() {
+    // The warm==cold identity must hold whether the design matrices are
+    // dense, CSC, or auto-selected — the warm engine's sparse-aware
+    // correlation downdates and the parked-matrix reuse may change
+    // nothing but wall-clock (crates/core/tests/backend_equivalence.rs
+    // pins cross-backend identity; this pins warm==cold per backend).
+    use comparesets_core::MatrixBackend;
+    let params = SelectParams::default();
+    for ctx in &contexts() {
+        for backend in [MatrixBackend::Dense, MatrixBackend::Sparse] {
+            for sweeps in [1, 3] {
+                let opts = SolveOptions::default().with_backend(backend);
+                let warm = solve_comparesets_plus_sweeps_with(ctx, &params, sweeps, &opts);
+                let coldsel = solve_comparesets_plus_sweeps_with(
+                    ctx,
+                    &params,
+                    sweeps,
+                    &opts.clone().with_warm_start(false),
+                );
+                assert_eq!(
+                    warm, coldsel,
+                    "warm drifted from cold on {backend:?} at sweeps={sweeps}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn checked_warm_sweeps_select_identically_to_cold_sweeps() {
     let params = SelectParams::default();
     for ctx in &contexts() {

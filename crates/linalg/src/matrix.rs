@@ -160,10 +160,9 @@ impl Matrix {
             if xi == 0.0 {
                 continue;
             }
-            let row = self.row(i);
-            for (j, &a) in row.iter().enumerate() {
-                y[j] += a * xi;
-            }
+            // Chunked axpy over the contiguous row: `a * xi == xi * a`
+            // bitwise, so this is exactly the scalar accumulation.
+            crate::vector::axpy(xi, self.row(i), &mut y);
         }
         Ok(y)
     }
@@ -225,6 +224,13 @@ impl Matrix {
     #[inline]
     pub fn is_finite(&self) -> bool {
         crate::vector::all_finite(&self.data)
+    }
+
+    /// Resident heap + inline bytes of this matrix (capacity, not length —
+    /// this is what the allocator actually holds). The dense counterpart
+    /// of [`crate::CscMatrix::memory_bytes`].
+    pub fn memory_bytes(&self) -> u64 {
+        (std::mem::size_of::<Self>() + self.data.capacity() * std::mem::size_of::<f64>()) as u64
     }
 }
 

@@ -40,6 +40,14 @@ use crate::matrix::Matrix;
 use crate::vector;
 use comparesets_obs::{SolveCtl, SolverMetrics};
 
+/// Row-range width of the cache-blocked dual refresh in
+/// [`nnls_gram_capped_ctl`]. A multiple of [`vector::SIMD_LANES`], so the
+/// per-block chunked axpys execute exactly `⌊n/4⌋` full 4-lane blocks per
+/// passive column in total (only the final range can have a scalar tail),
+/// and small enough that one `gx` range plus the touched Gram rows stay
+/// resident in L1/L2 across the whole passive set.
+const NNLS_REFRESH_BLOCK: usize = 512;
+
 /// Convergence diagnostic returned by the capped NNLS entry points.
 ///
 /// The active-set loop has a hard iteration budget (`3 × cols + 10` outer
@@ -441,8 +449,36 @@ pub fn nnls_gram_capped_ctl(
             }
         }
 
-        // Refresh the dual: w = atb − G x.
-        let gx = g.matvec(&x)?;
+        // Refresh the dual: w = atb − G x. `x` is non-zero only on the
+        // passive set (p ≪ n after pruning), and `G = AᵀA` is symmetric by
+        // this function's contract, so column `j` of `G` is row `j` — a
+        // contiguous slice the chunked axpy kernel can stream. The update
+        // is blocked over row ranges so one `gx` range stays cache-resident
+        // across the whole passive set. Bit-exactness versus the naive
+        // per-row dot: for each element `i` the products arrive in the same
+        // `j`-ascending order (`g[j][i]·x[j] == g[i][j]·x[j]` bitwise by
+        // symmetry and commutativity), and the skipped `x[j] == 0` terms
+        // are exact no-ops — a +0-seeded f64 accumulator never becomes
+        // −0.0, so dropping ±0 additions changes nothing.
+        let mut gx = vec![0.0_f64; n];
+        let mut start = 0;
+        while start < n {
+            let end = (start + NNLS_REFRESH_BLOCK).min(n);
+            for (j, &xj) in x.iter().enumerate() {
+                if xj == 0.0 {
+                    continue;
+                }
+                vector::axpy(xj, &g.row(j)[start..end], &mut gx[start..end]);
+            }
+            start = end;
+        }
+        if let Some(mm) = metrics {
+            // Every block except the last is a multiple of 4 wide, so the
+            // chunked axpys run exactly ⌊n/4⌋ full lanes-blocks per
+            // passive column.
+            let nzx = x.iter().filter(|v| **v != 0.0).count() as u64;
+            SolverMetrics::add(&mm.simd_blocks, nzx * vector::simd_block_count(n));
+        }
         for (wi, (&ai, &gi)) in w.iter_mut().zip(atb.iter().zip(gx.iter())) {
             *wi = ai - gi;
         }

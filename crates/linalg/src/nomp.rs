@@ -262,6 +262,21 @@ pub fn nomp_path_ctl<M: DesignMatrix>(
     pursuit(a, b, opts, ws, true, ctl)
 }
 
+/// Count one full correlation scan (`c = Aᵀr`) into `metrics`, classified
+/// by backend: sparse scans walk stored entries, dense scans run the
+/// chunked 4-lane kernels (whose full blocks land in `simd_blocks`).
+#[inline]
+fn count_corr_scan<M: DesignMatrix>(a: &M, residual: &[f64], metrics: Option<&SolverMetrics>) {
+    if let Some(mm) = metrics {
+        if a.is_sparse() {
+            SolverMetrics::incr(&mm.sparse_corr_scans);
+        } else {
+            SolverMetrics::incr(&mm.dense_corr_scans);
+            SolverMetrics::add(&mm.simd_blocks, a.tr_scan_simd_blocks(residual));
+        }
+    }
+}
+
 /// The shared pursuit engine behind [`nomp`] and [`nomp_path`].
 ///
 /// With `record_path` set, a snapshot for budget `l` is taken at the first
@@ -365,6 +380,7 @@ fn pursuit<M: DesignMatrix>(
         }
 
         // Correlations of all columns with the residual.
+        count_corr_scan(a, &ws.residual, metrics);
         let corr = a.tr_matvec(&ws.residual)?;
         let mut best_j = None;
         let mut best_c = 0.0_f64;
@@ -392,6 +408,13 @@ fn pursuit<M: DesignMatrix>(
         }
 
         // Enter j_star: extend the cached Gram and Aᵀb by one atom.
+        if let Some(mm) = metrics {
+            if a.is_sparse() {
+                // CSC `column_dot` is a merge-join over the two columns'
+                // stored entries — a sparse Gram build, not a dense dot.
+                SolverMetrics::incr(&mm.sparse_gram_builds);
+            }
+        }
         let entering_dots: Vec<f64> = ws
             .support
             .iter()
@@ -522,6 +545,35 @@ struct WarmStep {
     x_sub: Vec<f64>,
 }
 
+/// A cached full Gram column `G[:,j] = AᵀA eⱼ` plus its non-zero index
+/// list. Correlation downdates iterate only `nnz`: a skipped entry has
+/// `g == 0.0`, so its update `c ← c − Δx·0` is an exact no-op (an f64
+/// accumulator can never flip to −0.0 by adding ±0.0), and the error
+/// bound built from the touched entries' maxima stays conservative —
+/// untouched entries incur zero new rounding. On review design matrices
+/// most column pairs share no aspect row, so `nnz` is short and the
+/// downdate cost drops from `O(n)` to `O(nnz(G[:,j]))`.
+#[derive(Debug, Clone)]
+struct GramCol {
+    values: Box<[f64]>,
+    nnz: Box<[u32]>,
+}
+
+impl GramCol {
+    fn new(values: Vec<f64>) -> Self {
+        let nnz: Vec<u32> = values
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| **v != 0.0)
+            .map(|(k, _)| k as u32)
+            .collect();
+        GramCol {
+            values: values.into_boxed_slice(),
+            nnz: nnz.into_boxed_slice(),
+        }
+    }
+}
+
 /// Cross-call cache for [`nomp_path_warm`]: the previous completed
 /// pursuit's trajectory and path for one design matrix, plus lazily
 /// filled full Gram columns shared by replay validation and the
@@ -543,9 +595,10 @@ pub struct WarmState {
     opts: (usize, u64, u64),
     /// Column norms of the cached matrix, compared bitwise each call.
     col_norms: Vec<f64>,
-    /// Lazily cached full Gram columns `G[:,j] = AᵀA eⱼ`, filled the
-    /// first time atom `j` enters a pursuit and reused across calls.
-    gram_cols: Vec<Option<Box<[f64]>>>,
+    /// Lazily cached full Gram columns `G[:,j] = AᵀA eⱼ` (with non-zero
+    /// index lists for the sparse downdates), filled the first time atom
+    /// `j` enters a pursuit and reused across calls.
+    gram_cols: Vec<Option<GramCol>>,
     /// Target of the cached trajectory.
     target: Vec<f64>,
     /// Per-iteration trajectory of the cached (completed) pursuit.
@@ -719,6 +772,7 @@ pub fn nomp_path_warm<M: DesignMatrix>(
     let sq_b = sq_res;
 
     // Exact correlations at pursuit start; downdated thereafter.
+    count_corr_scan(a, &ws.residual, metrics);
     warm.corr = a.tr_matvec(&ws.residual)?;
     warm.x_prev.clear();
     warm.x_prev.resize(n, 0.0);
@@ -799,6 +853,7 @@ pub fn nomp_path_warm<M: DesignMatrix>(
             if decisive {
                 break;
             }
+            count_corr_scan(a, &ws.residual, metrics);
             warm.corr = a.tr_matvec(&ws.residual)?;
             corr_err = 0.0;
             since_exact = 0;
@@ -835,15 +890,20 @@ pub fn nomp_path_warm<M: DesignMatrix>(
         // extension and the later downdates; fill it once per atom and
         // keep it across calls.
         if warm.gram_cols[j_star].is_none() {
-            let g: Vec<f64> = (0..n).map(|k| a.column_dot(k, j_star)).collect();
-            warm.gram_cols[j_star] = Some(g.into_boxed_slice());
-        }
-        if let Some(gcol) = warm.gram_cols[j_star].as_deref() {
-            for (row, &k) in ws.gram_rows.iter_mut().zip(ws.support.iter()) {
-                row.push(gcol[k]);
+            if let Some(mm) = metrics {
+                if a.is_sparse() {
+                    SolverMetrics::incr(&mm.sparse_gram_builds);
+                }
             }
-            let mut new_row: Vec<f64> = ws.support.iter().map(|&k| gcol[k]).collect();
-            new_row.push(gcol[j_star]);
+            let g: Vec<f64> = (0..n).map(|k| a.column_dot(k, j_star)).collect();
+            warm.gram_cols[j_star] = Some(GramCol::new(g));
+        }
+        if let Some(gcol) = warm.gram_cols[j_star].as_ref() {
+            for (row, &k) in ws.gram_rows.iter_mut().zip(ws.support.iter()) {
+                row.push(gcol.values[k]);
+            }
+            let mut new_row: Vec<f64> = ws.support.iter().map(|&k| gcol.values[k]).collect();
+            new_row.push(gcol.values[j_star]);
             ws.gram_rows.push(new_row);
         }
         ws.atb.push(a.column_dot_vec(j_star, b));
@@ -950,6 +1010,7 @@ pub fn nomp_path_warm<M: DesignMatrix>(
         let near_floor =
             new_sq <= CORR_SAFETY_FLOOR * sq_b.max(1e-30) || new_sq <= opts.residual_tolerance;
         if since_exact >= CORR_RECOMPUTE_PERIOD || near_floor {
+            count_corr_scan(a, &ws.residual, metrics);
             warm.corr = a.tr_matvec(&ws.residual)?;
             since_exact = 0;
             corr_err = 0.0;
@@ -964,11 +1025,18 @@ pub fn nomp_path_warm<M: DesignMatrix>(
                     continue;
                 }
                 // Every atom with a coefficient entered some pursuit on
-                // this matrix, so its Gram column is cached.
-                if let Some(gcol) = warm.gram_cols[j].as_deref() {
+                // this matrix, so its Gram column is cached. Only the
+                // stored non-zeros of `G[:,j]` are visited: a zero entry's
+                // update is an exact no-op (see [`GramCol`]), so the
+                // touched values — and hence the selections — are bitwise
+                // those of the full-column walk at a fraction of the cost
+                // on sparse instances.
+                if let Some(gcol) = warm.gram_cols[j].as_ref() {
                     let mut gmax = 0.0_f64;
                     let mut cmax = 0.0_f64;
-                    for (cv, &g) in warm.corr.iter_mut().zip(gcol.iter()) {
+                    for &k in gcol.nnz.iter() {
+                        let g = gcol.values[k as usize];
+                        let cv = &mut warm.corr[k as usize];
                         *cv -= dx * g;
                         gmax = gmax.max(g.abs());
                         cmax = cmax.max(cv.abs());
@@ -976,9 +1044,11 @@ pub fn nomp_path_warm<M: DesignMatrix>(
                     // Per-entry rounding of `fl(c − fl(dx·g))`: one ulp
                     // of the product plus one of the difference, bounded
                     // by `ε·(|dx|·max|G[:,j]| + max|c|)` with a 2×
-                    // safety factor. The downdate is also one exact
-                    // mathematical identity away from `Aᵀr`, so no model
-                    // error enters — only these roundings.
+                    // safety factor (maxima over the touched entries —
+                    // untouched ones incur zero rounding). The downdate
+                    // is also one exact mathematical identity away from
+                    // `Aᵀr`, so no model error enters — only these
+                    // roundings.
                     corr_err += 2.0 * f64::EPSILON * (dx.abs() * gmax + cmax);
                     updates += 1;
                 }
@@ -1373,7 +1443,7 @@ mod tests {
     fn path_is_identical_on_sparse_and_dense() {
         for seed in 1..=4u64 {
             let (a, b) = random_instance(15, 10, seed);
-            let sp = CscMatrix::from_dense(&a);
+            let sp = CscMatrix::from_dense(&a, 0.0);
             let dense_path = nomp_path(&a, &b, opts(5)).unwrap();
             let sparse_path = nomp_path(&sp, &b, opts(5)).unwrap();
             for (d, s) in dense_path.iter().zip(sparse_path.iter()) {

@@ -44,7 +44,15 @@ pub trait DesignMatrix {
         let mut cj = vec![0.0; self.rows()];
         self.column_into(i, &mut ci);
         self.column_into(j, &mut cj);
-        ci.iter().zip(cj.iter()).map(|(x, y)| x * y).sum()
+        // Explicit +0.0-seeded fold, NOT `Iterator::sum` (which seeds
+        // -0.0): a +0.0-seeded accumulator can never become -0.0, which
+        // makes skipped ±0.0 terms exact no-ops — the invariant behind
+        // dense/CSC bit-identity (ARCHITECTURE.md §13).
+        let mut acc = 0.0;
+        for (x, y) in ci.iter().zip(cj.iter()) {
+            acc += x * y;
+        }
+        acc
     }
     /// Inner product of column `j` with an arbitrary vector, `⟨aⱼ, v⟩`
     /// (`v.len()` must equal `rows`). Used to extend the cached `Aᵀb`
@@ -53,7 +61,26 @@ pub trait DesignMatrix {
         debug_assert_eq!(v.len(), self.rows());
         let mut cj = vec![0.0; self.rows()];
         self.column_into(j, &mut cj);
-        cj.iter().zip(v.iter()).map(|(x, y)| x * y).sum()
+        // +0.0-seeded fold; see `column_dot` for why `sum()` won't do.
+        let mut acc = 0.0;
+        for (x, y) in cj.iter().zip(v.iter()) {
+            acc += x * y;
+        }
+        acc
+    }
+    /// Whether this backend stores only non-zero entries. Metered solvers
+    /// use this to classify correlation scans and Gram-column builds as
+    /// sparse vs dense in the solver metrics counters.
+    fn is_sparse(&self) -> bool {
+        false
+    }
+    /// Number of 4-lane SIMD blocks one `tr_matvec(x)` against this matrix
+    /// executes. Dense backends report their chunked-kernel block count;
+    /// sparse backends report 0 (they walk stored entries, not lanes).
+    /// Purely observability — never consulted on a numeric path.
+    fn tr_scan_simd_blocks(&self, x: &[f64]) -> u64 {
+        let _ = x;
+        0
     }
 }
 
@@ -78,14 +105,29 @@ impl DesignMatrix for Matrix {
     }
     fn column_dot(&self, i: usize, j: usize) -> f64 {
         debug_assert!(i < Matrix::cols(self) && j < Matrix::cols(self));
-        (0..Matrix::rows(self))
-            .map(|r| self[(r, i)] * self[(r, j)])
-            .sum()
+        // +0.0-seeded folds (not `sum()`, which seeds -0.0) so the
+        // zero-row terms the CSC merge-join skips are exact no-ops here
+        // too — dense and sparse Gram entries match bit for bit.
+        let mut acc = 0.0;
+        for r in 0..Matrix::rows(self) {
+            acc += self[(r, i)] * self[(r, j)];
+        }
+        acc
     }
     fn column_dot_vec(&self, j: usize, v: &[f64]) -> f64 {
         debug_assert!(j < Matrix::cols(self));
         debug_assert_eq!(v.len(), Matrix::rows(self));
-        v.iter().enumerate().map(|(r, &vr)| self[(r, j)] * vr).sum()
+        let mut acc = 0.0;
+        for (r, &vr) in v.iter().enumerate() {
+            acc += self[(r, j)] * vr;
+        }
+        acc
+    }
+    fn tr_scan_simd_blocks(&self, x: &[f64]) -> u64 {
+        // `Matrix::tr_matvec` runs one chunked axpy over the columns for
+        // every non-zero entry of `x`.
+        let nz = x.iter().filter(|v| **v != 0.0).count() as u64;
+        nz * crate::vector::simd_block_count(Matrix::cols(self))
     }
 }
 
@@ -163,14 +205,21 @@ impl CscMatrix {
         })
     }
 
-    /// Convert a dense matrix (zeros are dropped).
-    pub fn from_dense(dense: &Matrix) -> Self {
+    /// Convert a dense matrix, dropping entries with `|v| <= zero_eps`.
+    ///
+    /// Pass `0.0` to drop exactly the (signed) zeros — the conversion is
+    /// then value-preserving and round-trips bit-exactly through
+    /// [`CscMatrix::to_dense`]. A positive epsilon additionally squashes
+    /// near-zero noise (useful when densifying measured data), at the cost
+    /// of no longer being an exact representation.
+    pub fn from_dense(dense: &Matrix, zero_eps: f64) -> Self {
+        debug_assert!(zero_eps >= 0.0, "from_dense: negative zero_eps");
         let columns: Vec<Vec<(usize, f64)>> = (0..dense.cols())
             .map(|j| {
                 (0..dense.rows())
                     .filter_map(|i| {
                         let v = dense[(i, j)];
-                        (v != 0.0).then_some((i, v))
+                        (v.abs() > zero_eps).then_some((i, v))
                     })
                     .collect()
             })
@@ -178,9 +227,71 @@ impl CscMatrix {
         CscMatrix::from_columns(dense.rows(), &columns)
     }
 
+    /// Append one column from a `(row, value)` entry list, in place.
+    /// Entries may be unordered; duplicate rows are summed; zeros are
+    /// dropped — the same normalisation as [`CscMatrix::try_from_columns`],
+    /// so growing a matrix column-by-column is indistinguishable from
+    /// rebuilding it. This is what lets `IncrementalSession` ingest extend
+    /// a cached design matrix without re-materialising it.
+    ///
+    /// # Errors
+    /// [`LinalgError::DimensionMismatch`] on an out-of-range row index;
+    /// the matrix is left untouched.
+    pub fn try_push_column(&mut self, entries: &[(usize, f64)]) -> Result<(), LinalgError> {
+        for &(r, _) in entries {
+            if r >= self.rows {
+                return Err(LinalgError::DimensionMismatch {
+                    context: "CscMatrix::try_push_column (row index out of range)",
+                    expected: self.rows,
+                    actual: r,
+                });
+            }
+        }
+        let mut sorted: Vec<(usize, f64)> = entries.to_vec();
+        sorted.sort_by_key(|&(r, _)| r);
+        let mut last_row = usize::MAX;
+        for &(r, v) in &sorted {
+            if v == 0.0 {
+                continue;
+            }
+            if r == last_row {
+                if let Some(last) = self.values.last_mut() {
+                    *last += v;
+                }
+            } else {
+                self.row_idx.push(r);
+                self.values.push(v);
+                last_row = r;
+            }
+        }
+        self.col_ptr.push(self.row_idx.len());
+        self.cols += 1;
+        Ok(())
+    }
+
     /// Number of stored non-zeros.
     pub fn nnz(&self) -> usize {
         self.values.len()
+    }
+
+    /// Stored fraction: `nnz / (rows · cols)`; 0 for degenerate shapes.
+    pub fn density(&self) -> f64 {
+        let cells = self.rows * self.cols;
+        if cells == 0 {
+            0.0
+        } else {
+            self.values.len() as f64 / cells as f64
+        }
+    }
+
+    /// Resident heap + inline bytes of this matrix (capacities, not
+    /// lengths — this is what the allocator actually holds). Reported per
+    /// shard by the serving daemon's `health` op.
+    pub fn memory_bytes(&self) -> u64 {
+        (std::mem::size_of::<Self>()
+            + self.col_ptr.capacity() * std::mem::size_of::<usize>()
+            + self.row_idx.capacity() * std::mem::size_of::<usize>()
+            + self.values.capacity() * std::mem::size_of::<f64>()) as u64
     }
 
     /// Whether every stored value is finite (no NaN, no ±Inf). Solver
@@ -307,9 +418,16 @@ impl DesignMatrix for CscMatrix {
     fn column_dot_vec(&self, j: usize, v: &[f64]) -> f64 {
         debug_assert!(j < self.cols);
         debug_assert_eq!(v.len(), self.rows);
-        (self.col_ptr[j]..self.col_ptr[j + 1])
-            .map(|k| self.values[k] * v[self.row_idx[k]])
-            .sum()
+        // +0.0 seed: an empty or all-cancelling column must report +0.0
+        // exactly like the dense all-rows loop (`sum()` would seed -0.0).
+        let mut acc = 0.0;
+        for k in self.col_ptr[j]..self.col_ptr[j + 1] {
+            acc += self.values[k] * v[self.row_idx[k]];
+        }
+        acc
+    }
+    fn is_sparse(&self) -> bool {
+        true
     }
 }
 
@@ -329,7 +447,7 @@ mod tests {
     #[test]
     fn dense_round_trip() {
         let d = sample_dense();
-        let s = CscMatrix::from_dense(&d);
+        let s = CscMatrix::from_dense(&d, 0.0);
         assert_eq!(s.nnz(), 5);
         assert_eq!(s.to_dense(), d);
         assert_eq!(s.get(0, 0), 1.0);
@@ -340,7 +458,7 @@ mod tests {
     #[test]
     fn matvec_agrees_with_dense() {
         let d = sample_dense();
-        let s = CscMatrix::from_dense(&d);
+        let s = CscMatrix::from_dense(&d, 0.0);
         let x = vec![1.0, -2.0, 0.5];
         assert_eq!(
             DesignMatrix::matvec(&s, &x).unwrap(),
@@ -355,7 +473,7 @@ mod tests {
 
     #[test]
     fn column_extraction() {
-        let s = CscMatrix::from_dense(&sample_dense());
+        let s = CscMatrix::from_dense(&sample_dense(), 0.0);
         let mut out = vec![9.0; 3];
         DesignMatrix::column_into(&s, 2, &mut out);
         assert_eq!(out, vec![2.0, 3.0, 0.0]);
@@ -379,7 +497,7 @@ mod tests {
 
     #[test]
     fn shape_errors() {
-        let s = CscMatrix::from_dense(&sample_dense());
+        let s = CscMatrix::from_dense(&sample_dense(), 0.0);
         assert!(DesignMatrix::matvec(&s, &[1.0]).is_err());
         assert!(DesignMatrix::tr_matvec(&s, &[1.0]).is_err());
     }
@@ -409,7 +527,7 @@ mod tests {
     #[test]
     fn column_dots_agree_across_representations() {
         let d = sample_dense();
-        let s = CscMatrix::from_dense(&d);
+        let s = CscMatrix::from_dense(&d, 0.0);
         let v = vec![0.5, -1.0, 2.0];
         for i in 0..3 {
             for j in 0..3 {
@@ -430,5 +548,68 @@ mod tests {
         assert_eq!(s.nnz(), 0);
         let y = DesignMatrix::matvec(&s, &[]).unwrap();
         assert_eq!(y, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn from_dense_epsilon_squashes_near_zeros() {
+        let d = Matrix::from_rows(&[vec![1.0, 1e-13], vec![-1e-13, 2.0]]).unwrap();
+        let exact = CscMatrix::from_dense(&d, 0.0);
+        assert_eq!(exact.nnz(), 4);
+        let squashed = CscMatrix::from_dense(&d, 1e-12);
+        assert_eq!(squashed.nnz(), 2);
+        assert_eq!(squashed.get(0, 0), 1.0);
+        assert_eq!(squashed.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn push_column_matches_rebuild() {
+        let cols = vec![
+            vec![(0, 1.0), (2, 4.0)],
+            vec![(2, 5.0)],
+            vec![(1, 3.0), (0, 2.0), (0, 0.5), (2, 0.0)],
+        ];
+        let mut grown = CscMatrix::from_columns(3, &cols[..1]);
+        grown.try_push_column(&cols[1]).unwrap();
+        grown.try_push_column(&cols[2]).unwrap();
+        let rebuilt = CscMatrix::from_columns(3, &cols);
+        assert_eq!(grown, rebuilt);
+    }
+
+    #[test]
+    fn push_column_out_of_range_leaves_matrix_untouched() {
+        let mut s = CscMatrix::from_columns(2, &[vec![(0, 1.0)]]);
+        let before = s.clone();
+        assert!(s.try_push_column(&[(0, 2.0), (7, 1.0)]).is_err());
+        assert_eq!(s, before);
+    }
+
+    #[test]
+    fn density_and_memory_bytes() {
+        let s = CscMatrix::from_dense(&sample_dense(), 0.0);
+        assert!((s.density() - 5.0 / 9.0).abs() < 1e-15);
+        assert_eq!(CscMatrix::from_columns(3, &[]).density(), 0.0);
+        // 5 stored values + 5 row indices + 4 col_ptr entries at least.
+        assert!(s.memory_bytes() >= (5 * 8 + 5 * 8 + 4 * 8) as u64);
+        // Denser storage costs more bytes.
+        let dense64 = Matrix::from_rows(&vec![vec![1.0; 64]; 64]).unwrap();
+        let bigger = CscMatrix::from_dense(&dense64, 0.0);
+        assert!(bigger.memory_bytes() > s.memory_bytes());
+    }
+
+    #[test]
+    fn sparsity_flags() {
+        let d = sample_dense();
+        let s = CscMatrix::from_dense(&d, 0.0);
+        assert!(DesignMatrix::is_sparse(&s));
+        assert!(!DesignMatrix::is_sparse(&d));
+        // Dense tr_matvec over x with 2 non-zeros and 3 columns: 3/4 = 0
+        // full blocks per pass.
+        assert_eq!(DesignMatrix::tr_scan_simd_blocks(&d, &[1.0, 0.0, 2.0]), 0);
+        assert_eq!(DesignMatrix::tr_scan_simd_blocks(&s, &[1.0, 0.0, 2.0]), 0);
+        let wide = Matrix::from_rows(&vec![vec![1.0; 10]; 3]).unwrap();
+        assert_eq!(
+            DesignMatrix::tr_scan_simd_blocks(&wide, &[1.0, 0.0, 2.0]),
+            2 * 2
+        );
     }
 }

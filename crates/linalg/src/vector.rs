@@ -5,7 +5,29 @@
 //! (Equation 9, used for the Figure 11b information-loss measurement) is
 //! [`cosine_similarity`].
 
+/// Lane width of the portable SIMD blocks used by [`dot`] and [`axpy`].
+///
+/// The kernels process fixed 4-lane `f64` blocks with a scalar tail; the
+/// block bodies are written so the compiler can keep the element-wise
+/// multiplies in vector registers while every addition into an accumulator
+/// happens in the original left-to-right order. Summation order is the
+/// bitwise contract of the whole solver stack (selections must stay
+/// byte-identical), so the blocking must never introduce partial sums.
+pub const SIMD_LANES: usize = 4;
+
+/// Number of full [`SIMD_LANES`]-wide blocks a chunked kernel pass over
+/// `len` elements executes (the scalar tail is not counted).
+#[inline]
+pub fn simd_block_count(len: usize) -> u64 {
+    (len / SIMD_LANES) as u64
+}
+
 /// Dot product of two equal-length slices.
+///
+/// Processes 4-lane blocks with a scalar tail. The four products of a
+/// block are independent (vectorisable) but are folded into the
+/// accumulator strictly left-to-right, so the result is bit-identical to
+/// the naive sequential loop for every input.
 ///
 /// # Panics
 /// Panics in debug builds if the lengths differ; in release builds the
@@ -14,7 +36,26 @@
 #[inline]
 pub fn dot(x: &[f64], y: &[f64]) -> f64 {
     debug_assert_eq!(x.len(), y.len(), "dot: length mismatch");
-    x.iter().zip(y.iter()).map(|(a, b)| a * b).sum()
+    let n = x.len().min(y.len());
+    let (x, y) = (&x[..n], &y[..n]);
+    let mut acc = 0.0;
+    let mut xc = x.chunks_exact(SIMD_LANES);
+    let mut yc = y.chunks_exact(SIMD_LANES);
+    for (xb, yb) in xc.by_ref().zip(yc.by_ref()) {
+        let p0 = xb[0] * yb[0];
+        let p1 = xb[1] * yb[1];
+        let p2 = xb[2] * yb[2];
+        let p3 = xb[3] * yb[3];
+        // Sequential folds: identical rounding to the scalar loop.
+        acc += p0;
+        acc += p1;
+        acc += p2;
+        acc += p3;
+    }
+    for (a, b) in xc.remainder().iter().zip(yc.remainder()) {
+        acc += a * b;
+    }
+    acc
 }
 
 /// Squared Euclidean distance Δ(x, y) = Σ (xᵢ − yᵢ)² (Equation 2).
@@ -63,10 +104,25 @@ pub fn cosine_similarity(x: &[f64], y: &[f64]) -> f64 {
 }
 
 /// `y += alpha * x` (BLAS axpy).
+///
+/// Processes 4-lane blocks with a scalar tail. Each element update is
+/// independent, so the blocked form is trivially bit-identical to the
+/// scalar loop while giving the compiler straight-line vectorisable
+/// bodies.
 #[inline]
 pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
     debug_assert_eq!(x.len(), y.len(), "axpy: length mismatch");
-    for (yi, xi) in y.iter_mut().zip(x.iter()) {
+    let n = x.len().min(y.len());
+    let (x, y) = (&x[..n], &mut y[..n]);
+    let mut yc = y.chunks_exact_mut(SIMD_LANES);
+    let mut xc = x.chunks_exact(SIMD_LANES);
+    for (yb, xb) in yc.by_ref().zip(xc.by_ref()) {
+        yb[0] += alpha * xb[0];
+        yb[1] += alpha * xb[1];
+        yb[2] += alpha * xb[2];
+        yb[3] += alpha * xb[3];
+    }
+    for (yi, xi) in yc.into_remainder().iter_mut().zip(xc.remainder()) {
         *yi += alpha * xi;
     }
 }
@@ -212,5 +268,49 @@ mod tests {
     fn max_element_empty_is_zero() {
         assert_eq!(max_element(&[]), 0.0);
         assert_eq!(max_element(&[-1.0, -5.0]), -1.0);
+    }
+
+    /// The blocked kernels must match the naive sequential loops bitwise
+    /// for every length (full blocks, scalar tails, empty).
+    #[test]
+    fn chunked_dot_is_bitwise_sequential() {
+        for n in 0..19usize {
+            let x: Vec<f64> = (0..n)
+                .map(|i| (i as f64 * 0.37 - 1.1).sin() * 1e3)
+                .collect();
+            let y: Vec<f64> = (0..n)
+                .map(|i| (i as f64 * 0.73 + 0.2).cos() / 7.0)
+                .collect();
+            let mut naive = 0.0;
+            for i in 0..n {
+                naive += x[i] * y[i];
+            }
+            assert_eq!(dot(&x, &y).to_bits(), naive.to_bits(), "len {n}");
+        }
+    }
+
+    #[test]
+    fn chunked_axpy_is_bitwise_sequential() {
+        for n in 0..19usize {
+            let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.31).tan()).collect();
+            let mut y: Vec<f64> = (0..n).map(|i| i as f64 / 3.0 - 2.0).collect();
+            let mut naive = y.clone();
+            for i in 0..n {
+                naive[i] += 0.123456789 * x[i];
+            }
+            axpy(0.123456789, &x, &mut y);
+            for i in 0..n {
+                assert_eq!(y[i].to_bits(), naive[i].to_bits(), "len {n} idx {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn simd_block_count_floors() {
+        assert_eq!(simd_block_count(0), 0);
+        assert_eq!(simd_block_count(3), 0);
+        assert_eq!(simd_block_count(4), 1);
+        assert_eq!(simd_block_count(11), 2);
+        assert_eq!(simd_block_count(80), 20);
     }
 }

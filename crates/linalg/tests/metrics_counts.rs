@@ -6,7 +6,8 @@
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use comparesets_linalg::{
-    nomp_path, nomp_path_metered, solve_gram_system_with, Matrix, NompOptions, NompWorkspace,
+    nomp_path, nomp_path_metered, solve_gram_system_with, CscMatrix, Matrix, NompOptions,
+    NompWorkspace,
 };
 use comparesets_obs::SolverMetrics;
 
@@ -97,6 +98,68 @@ fn counters_accumulate_across_pursuits() {
     assert_eq!(snap.nnls_refits, 6);
     assert_eq!(snap.gram_cache_hits, 3);
     assert_eq!(snap.path_snapshots, 6);
+}
+
+/// 8×8 identity design with strictly increasing positive targets: the
+/// pursuit accepts atoms in descending target order, each refit zeroes
+/// exactly one residual component, so every scan's residual support size
+/// is known in advance.
+fn identity8() -> (Matrix, Vec<f64>) {
+    let mut a = Matrix::zeros(8, 8);
+    for i in 0..8 {
+        a[(i, i)] = 1.0;
+    }
+    (a, (1..=8).map(f64::from).collect())
+}
+
+#[test]
+fn dense_scan_counters_match_known_trajectory() {
+    let (a, b) = identity8();
+    let metrics = SolverMetrics::new();
+    let mut ws = NompWorkspace::new();
+    nomp_path_metered(
+        &a,
+        &b,
+        NompOptions::with_max_atoms(2),
+        &mut ws,
+        Some(&metrics),
+    )
+    .unwrap();
+    let snap = metrics.snapshot();
+    // Two accepted atoms = two full Aᵀr scans, both on the dense backend.
+    assert_eq!(snap.dense_corr_scans, 2);
+    assert_eq!(snap.sparse_corr_scans, 0);
+    assert_eq!(snap.sparse_gram_builds, 0);
+    // Scan 1 sees all 8 residual components live, scan 2 sees 7 (the
+    // first refit is exact on the identity design); each live component
+    // drives one chunked axpy over 8 columns = 2 full 4-lane blocks.
+    // The NNLS dual refreshes run on active sets of size ≤ 2 — below one
+    // block — so the corr scans are the whole count: (8 + 7) · 2 = 30.
+    assert_eq!(snap.simd_blocks, 30);
+}
+
+#[test]
+fn sparse_scan_counters_match_known_trajectory() {
+    let (a, b) = identity8();
+    let csc = CscMatrix::from_dense(&a, 0.0);
+    let metrics = SolverMetrics::new();
+    let mut ws = NompWorkspace::new();
+    nomp_path_metered(
+        &csc,
+        &b,
+        NompOptions::with_max_atoms(2),
+        &mut ws,
+        Some(&metrics),
+    )
+    .unwrap();
+    let snap = metrics.snapshot();
+    // Same trajectory, classified sparse: no dense scans, no lane blocks
+    // (the CSC scan walks stored entries), and one sparse Gram extension
+    // per entering atom.
+    assert_eq!(snap.sparse_corr_scans, 2);
+    assert_eq!(snap.dense_corr_scans, 0);
+    assert_eq!(snap.sparse_gram_builds, 2);
+    assert_eq!(snap.simd_blocks, 0);
 }
 
 #[test]

@@ -71,6 +71,28 @@ fn matrix_and_rhs() -> impl Strategy<Value = (Matrix, Vec<f64>)> {
     })
 }
 
+/// Like [`matrix_and_rhs`] but with entries biased three-to-one towards
+/// exact zero, so the CSC backend actually drops storage and the
+/// bit-identity proptests cover genuinely sparse structure.
+fn sparse_matrix_and_rhs() -> impl Strategy<Value = (Matrix, Vec<f64>)> {
+    let entry = || {
+        prop_oneof![
+            Just(0.0).boxed(),
+            Just(0.0).boxed(),
+            Just(0.0).boxed(),
+            small_f64().boxed(),
+        ]
+    };
+    (2usize..=8, 1usize..=6).prop_flat_map(move |(m, n)| {
+        let n = n.min(m);
+        (
+            proptest::collection::vec(entry(), m * n),
+            proptest::collection::vec(entry(), m),
+        )
+            .prop_map(move |(data, b)| (Matrix::from_vec(m, n, data).unwrap(), b))
+    })
+}
+
 proptest! {
     #[test]
     fn sq_distance_is_symmetric_nonnegative(
@@ -140,7 +162,7 @@ proptest! {
 
     #[test]
     fn sparse_and_dense_nomp_agree((a, b) in matrix_and_rhs(), budget in 1usize..=4) {
-        let sparse = CscMatrix::from_dense(&a);
+        let sparse = CscMatrix::from_dense(&a, 0.0);
         let rd = nomp(&a, &b, NompOptions::with_max_atoms(budget)).unwrap();
         let rs = nomp(&sparse, &b, NompOptions::with_max_atoms(budget)).unwrap();
         prop_assert_eq!(&rd.support, &rs.support);
@@ -152,7 +174,7 @@ proptest! {
 
     #[test]
     fn sparse_ops_match_dense((a, b) in matrix_and_rhs()) {
-        let s = CscMatrix::from_dense(&a);
+        let s = CscMatrix::from_dense(&a, 0.0);
         prop_assert_eq!(s.to_dense(), a.clone());
         let x: Vec<f64> = (0..a.cols()).map(|j| j as f64 - 1.0).collect();
         let dm = DesignMatrix::matvec(&a, &x).unwrap();
@@ -164,6 +186,62 @@ proptest! {
         let st = DesignMatrix::tr_matvec(&s, &b).unwrap();
         for (p, q) in dt.iter().zip(st.iter()) {
             prop_assert!((p - q).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn csc_and_dense_design_ops_are_bit_identical(
+        (a, b) in sparse_matrix_and_rhs(),
+        budget in 1usize..=4,
+    ) {
+        // The backend-invariance contract (ARCHITECTURE.md §13): every
+        // DesignMatrix primitive — and therefore the whole pursuit — is
+        // *bit-identical* between the dense and CSC backends, not merely
+        // close. Both walk surviving terms in the same order; the terms
+        // one backend has and the other skips are ±0.0 no-ops.
+        let s = CscMatrix::from_dense(&a, 0.0);
+        let (m, n) = (a.rows(), a.cols());
+        let mut cd = vec![0.0; m];
+        let mut cs = vec![0.0; m];
+        for j in 0..n {
+            DesignMatrix::column_into(&a, j, &mut cd);
+            DesignMatrix::column_into(&s, j, &mut cs);
+            for (x, y) in cd.iter().zip(cs.iter()) {
+                prop_assert_eq!(x.to_bits(), y.to_bits(), "column {}", j);
+            }
+            prop_assert_eq!(
+                DesignMatrix::column_dot_vec(&a, j, &b).to_bits(),
+                DesignMatrix::column_dot_vec(&s, j, &b).to_bits(),
+            );
+            for i in 0..n {
+                prop_assert_eq!(
+                    DesignMatrix::column_dot(&a, i, j).to_bits(),
+                    DesignMatrix::column_dot(&s, i, j).to_bits(),
+                    "gram entry ({}, {})", i, j
+                );
+            }
+        }
+        let x: Vec<f64> = (0..n).map(|j| (j % 3) as f64 - 1.0).collect();
+        let dm = DesignMatrix::matvec(&a, &x).unwrap();
+        let sm = DesignMatrix::matvec(&s, &x).unwrap();
+        for (p, q) in dm.iter().zip(sm.iter()) {
+            prop_assert_eq!(p.to_bits(), q.to_bits());
+        }
+        let dt = DesignMatrix::tr_matvec(&a, &b).unwrap();
+        let st = DesignMatrix::tr_matvec(&s, &b).unwrap();
+        for (p, q) in dt.iter().zip(st.iter()) {
+            prop_assert_eq!(p.to_bits(), q.to_bits());
+        }
+        // And the full shared pursuit on top of those primitives.
+        let pd = nomp_path(&a, &b, NompOptions::with_max_atoms(budget)).unwrap();
+        let ps = nomp_path(&s, &b, NompOptions::with_max_atoms(budget)).unwrap();
+        prop_assert_eq!(pd.len(), ps.len());
+        for (d, sp) in pd.iter().zip(ps.iter()) {
+            prop_assert_eq!(&d.support, &sp.support);
+            for (x, y) in d.x.iter().zip(sp.x.iter()) {
+                prop_assert_eq!(x.to_bits(), y.to_bits());
+            }
+            prop_assert_eq!(d.sq_residual.to_bits(), sp.sq_residual.to_bits());
         }
     }
 

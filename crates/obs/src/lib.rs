@@ -45,7 +45,9 @@ pub use cancel::{CancelToken, SolveCtl};
 /// `bnb_nodes`, `bnb_prunes`, `bnb_incumbent_updates`, and `bnb_steals`.
 /// v7 added the chaos/drain counters `faults_injected`,
 /// `drain_initiated`, `connections_timed_out`, and `health_checks`.
-pub const METRICS_SCHEMA: &str = "comparesets-metrics/v7";
+/// v8 added the sparse-kernel counters `sparse_corr_scans`,
+/// `dense_corr_scans`, `sparse_gram_builds`, and `simd_blocks`.
+pub const METRICS_SCHEMA: &str = "comparesets-metrics/v8";
 
 /// Shared counter block for one logical run (a CLI command, an eval
 /// experiment, a test solve). Cheap to share via `Arc`; all updates are
@@ -156,6 +158,20 @@ pub struct SolverMetrics {
     pub connections_timed_out: AtomicU64,
     /// `health` ops answered by the serving daemon.
     pub health_checks: AtomicU64,
+    /// Full correlation scans (`c = Aᵀr`) executed against a sparse (CSC)
+    /// design matrix — stored-entry iteration, no dense column walks.
+    pub sparse_corr_scans: AtomicU64,
+    /// Full correlation scans executed against a dense design matrix
+    /// (the chunked-SIMD fallback path).
+    pub dense_corr_scans: AtomicU64,
+    /// Gram columns/rows built from sparse column-column intersections
+    /// (merge-joins over stored entries) instead of dense column dots.
+    pub sparse_gram_builds: AtomicU64,
+    /// Full 4-lane SIMD blocks executed by the dense chunked kernels on
+    /// metered hot paths (correlation scans and blocked NNLS dual
+    /// refreshes); scalar tails are not counted. Zero for pure-sparse
+    /// solves — the complement of `sparse_corr_scans` coverage.
+    pub simd_blocks: AtomicU64,
 }
 
 impl SolverMetrics {
@@ -226,6 +242,10 @@ impl SolverMetrics {
             drain_initiated: self.drain_initiated.load(Ordering::Relaxed),
             connections_timed_out: self.connections_timed_out.load(Ordering::Relaxed),
             health_checks: self.health_checks.load(Ordering::Relaxed),
+            sparse_corr_scans: self.sparse_corr_scans.load(Ordering::Relaxed),
+            dense_corr_scans: self.dense_corr_scans.load(Ordering::Relaxed),
+            sparse_gram_builds: self.sparse_gram_builds.load(Ordering::Relaxed),
+            simd_blocks: self.simd_blocks.load(Ordering::Relaxed),
         }
     }
 }
@@ -302,6 +322,14 @@ pub struct MetricsSnapshot {
     pub connections_timed_out: u64,
     #[serde(default)]
     pub health_checks: u64,
+    #[serde(default)]
+    pub sparse_corr_scans: u64,
+    #[serde(default)]
+    pub dense_corr_scans: u64,
+    #[serde(default)]
+    pub sparse_gram_builds: u64,
+    #[serde(default)]
+    pub simd_blocks: u64,
 }
 
 impl MetricsSnapshot {

@@ -110,6 +110,10 @@ impl<V> Lru<V> {
     fn len(&self) -> usize {
         self.entries.len()
     }
+
+    fn values(&self) -> impl Iterator<Item = &V> {
+        self.entries.values().map(|(_, v)| v)
+    }
 }
 
 /// The canonical cache keys for one solve query. Derived once per
@@ -291,6 +295,20 @@ impl SessionCache {
             contexts: layers.contexts.len(),
         }
     }
+
+    /// Resident bytes of every design matrix parked in the warm layer
+    /// (see [`RegressionWarm::matrix_bytes`]): the dominant solver-state
+    /// memory the daemon holds between requests. CSC instances shrink
+    /// with corpus density, so this figure is what the `health` op
+    /// reports to show resident memory dropping on sparse corpora.
+    pub fn resident_bytes(&self) -> u64 {
+        self.lock()
+            .warm
+            .values()
+            .flat_map(|states| states.iter())
+            .map(RegressionWarm::matrix_bytes)
+            .sum()
+    }
 }
 
 #[cfg(test)]
@@ -394,6 +412,53 @@ mod tests {
         assert_eq!(lru.insert("a".into(), 1), 0);
         assert_eq!(lru.get("a"), None);
         assert_eq!(lru.len(), 0);
+    }
+
+    #[test]
+    fn resident_bytes_tracks_parked_matrices() {
+        use comparesets_core::{
+            solve_comparesets_plus_sweeps_warm_with, InstanceContext, Item, OpinionScheme,
+            RegressionWarm, SelectParams, SolveOptions,
+        };
+        use comparesets_data::{Polarity, ProductId, ReviewId};
+
+        let cache = SessionCache::new(4);
+        assert_eq!(cache.resident_bytes(), 0, "empty cache holds nothing");
+
+        // Two items: with one item the coupling vanishes and the
+        // alternation (the path that parks matrices) never runs.
+        let items: Vec<Item> = (0..2)
+            .map(|p| {
+                Item::from_mentions(
+                    ProductId(p),
+                    vec![
+                        (ReviewId(0), vec![(0, Polarity::Positive)]),
+                        (ReviewId(1), vec![(1, Polarity::Negative)]),
+                        (
+                            ReviewId(2),
+                            vec![(0, Polarity::Positive), (1, Polarity::Negative)],
+                        ),
+                    ],
+                )
+            })
+            .collect();
+        let ctx = InstanceContext::from_items(2, items, OpinionScheme::Binary);
+        let mut warm = vec![RegressionWarm::new(), RegressionWarm::new()];
+        solve_comparesets_plus_sweeps_warm_with(
+            &ctx,
+            &SelectParams::default(),
+            1,
+            &SolveOptions::default(),
+            &mut warm,
+        );
+        let parked: u64 = warm.iter().map(RegressionWarm::matrix_bytes).sum();
+        assert!(parked > 0, "warm solve must park its design matrix");
+
+        let k = keys(&[0, 1], 3, 1.0, 1);
+        cache.put_warm(&k, warm);
+        assert_eq!(cache.resident_bytes(), parked);
+        cache.take_warm(&k);
+        assert_eq!(cache.resident_bytes(), 0, "checkout removes the bytes");
     }
 
     #[test]

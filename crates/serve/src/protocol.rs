@@ -317,7 +317,8 @@ pub fn decode<T: Deserialize>(payload: &[u8]) -> Result<T, ProtocolError> {
 /// | `ingest`   | apply review events to a shard, durably when the server   |
 /// |            | runs with `--data-dir` (acked only after the WAL fsync)   |
 /// | `metrics`  | snapshot of the server's solver/serving counters (`info`) |
-/// | `health`   | readiness probe: `ready`/`draining`/`degraded` + WAL lag  |
+/// | `health`   | readiness: `ready`/`draining`/`degraded` + WAL lag +      |
+/// |            | resident bytes of cached design matrices                  |
 /// | `shutdown` | acknowledge, then stop accepting connections              |
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Request {
@@ -554,6 +555,11 @@ pub struct Response {
     /// summed over shards — the replay a crash right now would cost.
     #[serde(default)]
     pub wal_lag: Option<u64>,
+    /// `health` responses: resident bytes of the design matrices parked
+    /// in the session cache's warm layer (CSC instances on sparse
+    /// corpora, so the figure tracks corpus density).
+    #[serde(default)]
+    pub resident_bytes: Option<u64>,
 }
 
 impl Response {
@@ -573,6 +579,7 @@ impl Response {
             retry_after_ms: None,
             health: None,
             wal_lag: None,
+            resident_bytes: None,
         }
     }
 

@@ -624,6 +624,7 @@ fn handle_health(shared: &Shared) -> Response {
     Response {
         health: Some(health.to_string()),
         wal_lag: Some(lag),
+        resident_bytes: Some(shared.cache.resident_bytes()),
         ..Response::ok()
     }
 }

@@ -186,6 +186,7 @@ fn response_messages_round_trip() {
         retry_after_ms: Some(1500),
         health: Some("ready".to_string()),
         wal_lag: Some(2),
+        resident_bytes: Some(4096),
     };
     let mut wire = Vec::new();
     write_message(&mut wire, &response).unwrap();

@@ -1,7 +1,7 @@
 # Local equivalents of the CI gates (.github/workflows/ci.yml).
 
 # Run every CI gate in order.
-ci: fmt-check clippy build test doctest doc smoke resume-smoke serve-smoke stream-smoke graph-smoke chaos-smoke bench-smoke
+ci: fmt-check clippy build test doctest doc smoke resume-smoke serve-smoke stream-smoke graph-smoke chaos-smoke sparse-smoke bench-smoke
 
 fmt:
     cargo fmt
@@ -43,7 +43,7 @@ smoke:
         --corpus "$tmp/corpus.json" --target 0 --m 3 \
         --trace debug --metrics-json "$tmp/metrics.json"
     test -s "$tmp/metrics.json"
-    grep -q 'comparesets-metrics/v7' "$tmp/metrics.json"
+    grep -q 'comparesets-metrics/v8' "$tmp/metrics.json"
     grep -q '"nomp_pursuits":' "$tmp/metrics.json"
     grep -q '"cancellation_checks":' "$tmp/metrics.json"
     grep -q '"io_retries":' "$tmp/metrics.json"
@@ -216,11 +216,20 @@ chaos-smoke:
     grep -q 'dropped 0 torn byte(s)' "$tmp/recover.out"
     echo "chaos smoke ok"
 
+# Sparse-kernel smoke: one-sample run of the dense-vs-CSC bench bodies
+# (the regression_engine/sparse/* family behind BENCH_sparse.json).
+# Smoke mode never rewrites the committed baseline; the >=2x acceptance
+# on it is a test in crates/bench/tests/schema.rs (mirrors the "Sparse
+# smoke" CI step).
+sparse-smoke:
+    COMPARESETS_BENCH_SMOKE=1 cargo bench -p comparesets-bench --bench nomp_sparse
+
 # Refresh the performance baselines (updates BENCH_parallel_solver.json,
-# BENCH_serve.json, BENCH_stream.json, and BENCH_targethks.json, see
-# PERFORMANCE.md).
+# BENCH_serve.json, BENCH_sparse.json, BENCH_stream.json, and
+# BENCH_targethks.json, see PERFORMANCE.md).
 bench-baseline:
     cargo bench -p comparesets-bench --bench parallel_solver
+    cargo bench -p comparesets-bench --bench nomp_sparse
     cargo bench -p comparesets-bench --bench serve
     cargo bench -p comparesets-bench --bench stream
     cargo bench -p comparesets-bench --bench targethks_scaling
